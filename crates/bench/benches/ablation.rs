@@ -1,0 +1,231 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **Limit-hint prefetch** (§7.1): one bounded range request vs
+//!    tuple-at-a-time fetching for a single IndexScan.
+//! 2. **Intra-operator parallelism** (§7.1): parallel vs sequential probe
+//!    rounds for a SortedIndexJoin.
+//! 3. **Primary-index preference** (§5.1/Figure 3 discussion): serving a
+//!    residual predicate with a LocalSelection over the primary index vs
+//!    forcing a covering secondary index (extra deref round + maintenance).
+//! 4. **Replication for reads**: least-loaded replica routing, replication
+//!    1 vs 2, under moderate load.
+
+use piql_bench::{bench_cluster_calm, header, p99_ms, row, scaled};
+use piql_core::plan::params::Params;
+use piql_core::tuple::Tuple;
+use piql_core::value::Value;
+use piql_engine::{Database, ExecStrategy};
+use piql_kv::{ClusterConfig, KvRequest, KvStore, Session, SimCluster};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn main() {
+    header(
+        "ablation",
+        "design-choice ablations (DESIGN.md §4)",
+        "p99 (ms) with the mechanism on vs off",
+    );
+    let executions = scaled(1_500, 150) as usize;
+
+    // ---------------------------------------------- 1 + 2: executor knobs
+    {
+        let cluster = bench_cluster_calm(8, 0xAB1);
+        let db = Database::new(cluster);
+        db.execute_ddl(
+            "CREATE TABLE events (stream VARCHAR(16) NOT NULL, seq INT NOT NULL, \
+             payload VARCHAR(64), PRIMARY KEY (stream, seq), \
+             CARDINALITY LIMIT 50 (stream))",
+        )
+        .unwrap();
+        db.bulk_load(
+            "events",
+            (0..400usize).flat_map(|s| {
+                (0..50).map(move |q| {
+                    Tuple::new(vec![
+                        Value::Varchar(format!("s{s:04}")),
+                        Value::Int(q),
+                        Value::Varchar("x".repeat(40)),
+                    ])
+                })
+            }),
+        )
+        .unwrap();
+        db.cluster().rebalance();
+        let scan = db
+            .prepare("SELECT * FROM events WHERE stream = <s> LIMIT 50")
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut clock = 0u64;
+        for (label, strategy) in [
+            ("scan tuple-at-a-time (no prefetch)", ExecStrategy::Lazy),
+            ("scan with limit-hint prefetch", ExecStrategy::Parallel),
+        ] {
+            let mut lat = Vec::with_capacity(executions);
+            for _ in 0..executions {
+                let mut p = Params::new();
+                p.set(0, Value::Varchar(format!("s{:04}", rng.gen_range(0..400))));
+                let mut s = Session::at(clock);
+                let t0 = s.begin();
+                db.execute_with(&mut s, &scan, &p, strategy, None).unwrap();
+                lat.push(s.elapsed_since(t0));
+                clock = s.now + 5_000;
+            }
+            row(&[("mechanism", label.into()), ("p99_ms", format!("{:.1}", p99_ms(&mut lat)))]);
+        }
+
+        // sorted join: sequential vs parallel probes
+        db.execute_ddl(
+            "CREATE TABLE follows (owner VARCHAR(16) NOT NULL, target VARCHAR(16) NOT NULL, \
+             PRIMARY KEY (owner, target), CARDINALITY LIMIT 25 (owner))",
+        )
+        .unwrap();
+        db.bulk_load(
+            "follows",
+            (0..400usize).flat_map(|o| {
+                (1..=25usize).map(move |d| {
+                    Tuple::new(vec![
+                        Value::Varchar(format!("s{o:04}")),
+                        Value::Varchar(format!("s{:04}", (o + d) % 400)),
+                    ])
+                })
+            }),
+        )
+        .unwrap();
+        db.cluster().rebalance();
+        let join = db
+            .prepare(
+                "SELECT e.* FROM follows f JOIN events e \
+                 WHERE e.stream = f.target AND f.owner = <s> \
+                 ORDER BY e.seq DESC LIMIT 10",
+            )
+            .unwrap();
+        let mut clock = clock + 1_000_000;
+        for (label, strategy) in [
+            ("join probes sequential (Simple)", ExecStrategy::Simple),
+            ("join probes parallel (Parallel)", ExecStrategy::Parallel),
+        ] {
+            let mut lat = Vec::with_capacity(executions);
+            for _ in 0..executions {
+                let mut p = Params::new();
+                p.set(0, Value::Varchar(format!("s{:04}", rng.gen_range(0..400))));
+                let mut s = Session::at(clock);
+                let t0 = s.begin();
+                db.execute_with(&mut s, &join, &p, strategy, None).unwrap();
+                lat.push(s.elapsed_since(t0));
+                clock = s.now + 5_000;
+            }
+            row(&[("mechanism", label.into()), ("p99_ms", format!("{:.1}", p99_ms(&mut lat)))]);
+        }
+    }
+
+    // ---------------------------------- 3: primary + residual vs secondary
+    {
+        let cluster = bench_cluster_calm(8, 0xAB2);
+        let db = Database::new(cluster);
+        db.execute_ddl(
+            "CREATE TABLE subs (owner VARCHAR(16) NOT NULL, target VARCHAR(16) NOT NULL, \
+             approved BOOL, PRIMARY KEY (owner, target), CARDINALITY LIMIT 50 (owner))",
+        )
+        .unwrap();
+        db.bulk_load(
+            "subs",
+            (0..500usize).flat_map(|o| {
+                (0..50usize).map(move |t| {
+                    Tuple::new(vec![
+                        Value::Varchar(format!("u{o:04}")),
+                        Value::Varchar(format!("u{:04}", (o + t + 1) % 500)),
+                        Value::Bool(t % 3 != 0),
+                    ])
+                })
+            }),
+        )
+        .unwrap();
+        // the plan the optimizer picks: primary scan + LocalSelection
+        let primary_plan = db
+            .prepare("SELECT * FROM subs WHERE owner = <o> AND approved = true")
+            .unwrap();
+        assert!(primary_plan
+            .compiled
+            .physical
+            .remote_ops()
+            .iter()
+            .all(|op| match op {
+                piql_core::plan::physical::PhysicalPlan::IndexScan { spec, .. } =>
+                    spec.index.is_primary(),
+                _ => true,
+            }));
+        // the rejected alternative: force a covering-ish secondary index on
+        // (owner, approved) — requires a deref round for `*`
+        db.execute_ddl("CREATE INDEX subs_by_approval ON subs (owner, approved)")
+            .unwrap();
+        let forced = db
+            .prepare("SELECT * FROM subs WHERE owner = <o> AND approved = true")
+            .unwrap();
+        db.cluster().rebalance();
+        let uses_secondary = forced.compiled.physical.remote_ops().iter().any(|op| {
+            matches!(op, piql_core::plan::physical::PhysicalPlan::IndexScan { spec, .. }
+                if !spec.index.is_primary())
+        });
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut clock = 0u64;
+        for (label, plan) in [
+            ("primary index + LocalSelection", &primary_plan),
+            ("secondary index + deref round", &forced),
+        ] {
+            let mut lat = Vec::with_capacity(executions);
+            for _ in 0..executions {
+                let mut p = Params::new();
+                p.set(0, Value::Varchar(format!("u{:04}", rng.gen_range(0..500))));
+                let mut s = Session::at(clock);
+                let t0 = s.begin();
+                db.execute_with(&mut s, plan, &p, ExecStrategy::Parallel, None)
+                    .unwrap();
+                lat.push(s.elapsed_since(t0));
+                clock = s.now + 5_000;
+            }
+            row(&[("mechanism", label.into()), ("p99_ms", format!("{:.1}", p99_ms(&mut lat)))]);
+        }
+        println!(
+            "# note: with the index present the optimizer prefers it only when it serves \
+             more (sort/range); here: secondary chosen = {uses_secondary}"
+        );
+    }
+
+    // ------------------------------------------------ 4: replication knob
+    {
+        for replication in [1usize, 2, 3] {
+            let mut cfg = ClusterConfig::default().with_nodes(6).with_seed(0xAB3);
+            cfg.interference = piql_kv::InterferenceConfig::none();
+            cfg.replication = replication;
+            let cluster = Arc::new(SimCluster::new(cfg));
+            let ns = cluster.namespace("t/x");
+            for i in 0..5_000u64 {
+                cluster.bulk_put(ns, i.to_be_bytes().to_vec(), vec![7; 64]);
+            }
+            cluster.rebalance();
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut lat = Vec::with_capacity(executions);
+            // heavy load: enough closed-loop readers to queue on nodes, so
+            // replica choice matters
+            let mut sessions: Vec<Session> = (0..64).map(|_| Session::new()).collect();
+            for i in 0..executions {
+                let s = &mut sessions[i % 64];
+                let t0 = s.now;
+                cluster.execute_round(
+                    s,
+                    vec![KvRequest::Get {
+                        ns,
+                        key: rng.gen_range(0..5_000u64).to_be_bytes().to_vec(),
+                    }],
+                );
+                lat.push(s.now - t0);
+            }
+            row(&[
+                ("mechanism", format!("reads with replication={replication}")),
+                ("p99_ms", format!("{:.1}", p99_ms(&mut lat))),
+            ]);
+        }
+        println!("# replication>1 lets the least-loaded replica serve reads (lower queueing)");
+    }
+}

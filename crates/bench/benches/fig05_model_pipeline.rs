@@ -1,0 +1,115 @@
+//! Figure 5 — the SLO modeling pipeline (§6.1–§6.3): (a) per-operator
+//! histograms at different (α, β) settings, (b) whole-plan distribution by
+//! convolution, (c) the per-interval p99 distribution that expresses
+//! SLO-violation risk under cloud volatility.
+
+use piql_bench::{bench_cluster, header};
+use piql_core::catalog::{Catalog, TableDef};
+use piql_core::opt::Optimizer;
+use piql_core::parser::parse_select;
+use piql_core::value::DataType;
+use piql_predict::{train, ModelKey, OpKind, SloPredictor, TrainConfig};
+
+fn main() {
+    header(
+        "fig05",
+        "Figure 5 (§6)",
+        "operator models -> plan convolution -> interval p99 distribution",
+    );
+    let cluster = bench_cluster(10, 0xF05);
+    let mut config = if piql_bench::quick() {
+        TrainConfig::quick()
+    } else {
+        TrainConfig {
+            intervals: 20,
+            samples_per_interval: 10,
+            ..TrainConfig::default()
+        }
+    };
+    config.alphas = vec![1, 10, 50, 100, 150, 500];
+    config.alpha_js = vec![1, 10, 50];
+    config.betas = vec![40, 160];
+    let models = train(&cluster, &config);
+    println!(
+        "# trained {} keys from {} samples over {} intervals",
+        models.keys().len(),
+        models.total_samples(),
+        models.n_intervals()
+    );
+
+    // (a) single-operator models, the paper's Θ(100, 40B) vs Θ(150, 40B)
+    println!("stage\toperator\talpha\tbeta\tmedian_ms\tp99_ms");
+    for alpha in [100u32, 150] {
+        let h = models
+            .lookup_overall(ModelKey {
+                op: OpKind::IndexScan,
+                alpha_c: alpha,
+                alpha_j: 1,
+                beta: 40,
+            })
+            .expect("trained");
+        println!(
+            "a\tIndexScan\t{alpha}\t40\t{:.1}\t{:.1}",
+            h.quantile_ms(0.5),
+            h.quantile_ms(0.99)
+        );
+    }
+
+    // (b) plan prediction: the thoughtstream convolution of §6.2
+    let mut cat = Catalog::new();
+    cat.create_table(
+        TableDef::builder("subscriptions")
+            .column("owner", DataType::Varchar(24))
+            .column("target", DataType::Varchar(24))
+            .column("approved", DataType::Bool)
+            .primary_key(&["owner", "target"])
+            .cardinality_limit(100, &["owner"])
+            .build(),
+    )
+    .unwrap();
+    cat.create_table(
+        TableDef::builder("thoughts")
+            .column("owner", DataType::Varchar(24))
+            .column("timestamp", DataType::Timestamp)
+            .column("text", DataType::Varchar(140))
+            .primary_key(&["owner", "timestamp"])
+            .build(),
+    )
+    .unwrap();
+    let compiled = Optimizer::scale_independent()
+        .compile(
+            &cat,
+            &parse_select(
+                "SELECT thoughts.* FROM subscriptions s JOIN thoughts \
+                 WHERE thoughts.owner = s.target AND s.owner = <u> \
+                 ORDER BY thoughts.timestamp DESC LIMIT 10",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let predictor = SloPredictor::new(models);
+    let pred = predictor.predict(&compiled);
+    println!(
+        "b\tQ_thoughtstream = Θ_IndexScan(100,·) ∗ Θ_SortedJoin(100,10,·)\t\t\t{:.1}\t{:.1}",
+        pred.overall.quantile_ms(0.5),
+        pred.overall.quantile_ms(0.99)
+    );
+
+    // (c) the p99-per-interval distribution and SLO risk
+    let mut p99s = pred.p99_per_interval_ms.clone();
+    p99s.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "c\tp99 per interval: min={:.0} median={:.0} p90={:.0} max={:.0} ms",
+        p99s.first().unwrap_or(&0.0),
+        pred.p99_quantile_ms(0.5),
+        pred.p99_quantile_ms(0.9),
+        pred.max_p99_ms
+    );
+    for slo in [100.0, 200.0, 500.0] {
+        println!(
+            "c\tSLO {:>3.0} ms: violation risk = {:.0}% of intervals",
+            slo,
+            pred.violation_risk(slo) * 100.0
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Figures 8 & 9 — TPC-W scale-up (§8.4.1): throughput (WIPS) grows
+//! linearly with storage nodes (paper R² = 0.99854) while the p99 web-
+//! interaction latency stays flat. Data per node is constant; one client
+//! machine (10 threads) per two storage nodes; ordering mix.
+
+use piql_bench::{bench_cluster_calm, header, row, scaled};
+use piql_engine::Database;
+use piql_kv::SECONDS;
+use piql_workloads::driver::{run_closed_loop, DriverConfig};
+use piql_workloads::metrics::linear_fit;
+use piql_workloads::tpcw::{setup, TpcwConfig, TpcwWorkload};
+
+fn main() {
+    header(
+        "fig08_09",
+        "Figures 8 and 9 (§8.4.1)",
+        "TPC-W: WIPS and p99 (ms) vs number of storage nodes; clients scale with nodes",
+    );
+    let nodes_sweep: Vec<usize> = if piql_bench::quick() {
+        vec![4, 8, 12]
+    } else {
+        vec![20, 40, 60, 80, 100]
+    };
+    let duration = scaled(15, 6) * SECONDS;
+
+    // independent cluster configurations measured in parallel (items are
+    // constant per config, so memory stays modest)
+    let mut results: Vec<(usize, f64, f64)> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = nodes_sweep
+            .iter()
+            .map(|&nodes| {
+                scope.spawn(move |_| {
+                    let cluster = bench_cluster_calm(nodes, 0xF89);
+                    let db = Database::new(cluster);
+                    let config = TpcwConfig {
+                        items: if piql_bench::quick() { 2_000 } else { 10_000 },
+                        customers_per_node: 100,
+                        ..Default::default()
+                    };
+                    let (c, i, o) = setup(&db, &config, nodes).unwrap();
+                    let workload = TpcwWorkload::new(&db, c, i, o).unwrap();
+                    let cfg = DriverConfig {
+                        // one client per two storage nodes, 10 threads each
+                        sessions: (nodes / 2).max(1) * 10,
+                        duration_us: duration,
+                        warmup_us: 2 * SECONDS,
+                        seed: 0xF89,
+                        ..Default::default()
+                    };
+                    let m = run_closed_loop(&db, &workload, &cfg).unwrap();
+                    (nodes, m.throughput_per_sec(), m.quantile_ms(0.99))
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().unwrap());
+        }
+    })
+    .unwrap();
+    results.sort_by_key(|r| r.0);
+
+    println!("nodes\twips\tp99_ms");
+    for (nodes, wips, p99) in &results {
+        row(&[
+            ("nodes", nodes.to_string()),
+            ("wips", format!("{wips:.0}")),
+            ("p99_ms", format!("{p99:.0}")),
+        ]);
+    }
+    let xs: Vec<f64> = results.iter().map(|r| r.0 as f64).collect();
+    let ys: Vec<f64> = results.iter().map(|r| r.1).collect();
+    let (slope, intercept, r2) = linear_fit(&xs, &ys);
+    println!(
+        "# fig8 linear fit: wips ≈ {slope:.1}*nodes + {intercept:.1}, R² = {r2:.5} (paper: 0.99854)"
+    );
+    let p99s: Vec<f64> = results.iter().map(|r| r.2).collect();
+    let spread = p99s.iter().cloned().fold(0.0f64, f64::max)
+        - p99s.iter().cloned().fold(f64::MAX, f64::min);
+    println!(
+        "# fig9 flatness: p99 spread across cluster sizes = {spread:.0} ms (paper: virtually constant)"
+    );
+}

@@ -1,0 +1,69 @@
+//! Figures 10 & 11 — SCADr scale-up (§8.4.2): near-linear throughput
+//! (paper R² = 0.98683) with flat p99 as storage nodes grow, data per node
+//! constant (users/thoughts/subscriptions scale with the cluster).
+
+use piql_bench::{bench_cluster_calm, header, row, scaled};
+use piql_engine::Database;
+use piql_kv::SECONDS;
+use piql_workloads::driver::{run_closed_loop, DriverConfig};
+use piql_workloads::metrics::linear_fit;
+use piql_workloads::scadr::{setup, ScadrConfig, ScadrWorkload};
+
+fn main() {
+    header(
+        "fig10_11",
+        "Figures 10 and 11 (§8.4.2)",
+        "SCADr: home-page interactions/sec and p99 (ms) vs number of storage nodes",
+    );
+    let nodes_sweep: Vec<usize> = if piql_bench::quick() {
+        vec![4, 8, 12]
+    } else {
+        vec![20, 40, 60, 80, 100]
+    };
+    let duration = scaled(15, 6) * SECONDS;
+
+    // sequential: SCADr data grows with the cluster, keep peak memory low
+    let mut results: Vec<(usize, f64, f64)> = Vec::new();
+    for &nodes in &nodes_sweep {
+        let cluster = bench_cluster_calm(nodes, 0x5CA);
+        let db = Database::new(cluster);
+        let config = ScadrConfig {
+            users_per_node: if piql_bench::quick() { 120 } else { 400 },
+            thoughts_per_user: 15,
+            subscriptions_per_user: 10,
+            max_subscriptions: 10,
+            page_size: 10,
+            ..Default::default()
+        };
+        let n_users = setup(&db, &config, nodes).unwrap();
+        let workload = ScadrWorkload::new(&db, &config, n_users).unwrap();
+        let cfg = DriverConfig {
+            sessions: (nodes / 2).max(1) * 10,
+            duration_us: duration,
+            warmup_us: 2 * SECONDS,
+            seed: 0x5CA,
+            ..Default::default()
+        };
+        let m = run_closed_loop(&db, &workload, &cfg).unwrap();
+        results.push((nodes, m.throughput_per_sec(), m.quantile_ms(0.99)));
+    }
+
+    println!("nodes\tinteractions_per_sec\tp99_ms");
+    for (nodes, tput, p99) in &results {
+        row(&[
+            ("nodes", nodes.to_string()),
+            ("interactions_per_sec", format!("{tput:.0}")),
+            ("p99_ms", format!("{p99:.0}")),
+        ]);
+    }
+    let xs: Vec<f64> = results.iter().map(|r| r.0 as f64).collect();
+    let ys: Vec<f64> = results.iter().map(|r| r.1).collect();
+    let (slope, intercept, r2) = linear_fit(&xs, &ys);
+    println!(
+        "# fig10 linear fit: tput ≈ {slope:.1}*nodes + {intercept:.1}, R² = {r2:.5} (paper: 0.98683)"
+    );
+    let p99s: Vec<f64> = results.iter().map(|r| r.2).collect();
+    let spread = p99s.iter().cloned().fold(0.0f64, f64::max)
+        - p99s.iter().cloned().fold(f64::MAX, f64::min);
+    println!("# fig11 flatness: p99 spread = {spread:.0} ms (paper: flat, <300 ms at all sizes)");
+}

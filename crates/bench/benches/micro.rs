@@ -1,0 +1,165 @@
+//! Criterion microbenchmarks: the engine-side costs that must stay small
+//! for the library-centric architecture to make sense (compilation,
+//! codecs, histogram math, end-to-end execution against an instant store).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use piql_core::catalog::{Catalog, TableDef};
+use piql_core::codec::key;
+use piql_core::codec::row;
+use piql_core::opt::Optimizer;
+use piql_core::parser::parse_select;
+use piql_core::plan::params::Params;
+use piql_core::tuple::Tuple;
+use piql_core::value::{DataType, Value};
+use piql_engine::Database;
+use piql_kv::{ClusterConfig, Session, SimCluster};
+use piql_predict::LatencyHistogram;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const THOUGHTSTREAM: &str = "SELECT thoughts.* FROM subscriptions s JOIN thoughts \
+     WHERE thoughts.owner = s.target AND s.owner = <u> AND s.approved = true \
+     ORDER BY thoughts.timestamp DESC LIMIT 10";
+
+fn scadr_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.create_table(
+        TableDef::builder("subscriptions")
+            .column("owner", DataType::Varchar(24))
+            .column("target", DataType::Varchar(24))
+            .column("approved", DataType::Bool)
+            .primary_key(&["owner", "target"])
+            .cardinality_limit(100, &["owner"])
+            .build(),
+    )
+    .unwrap();
+    cat.create_table(
+        TableDef::builder("thoughts")
+            .column("owner", DataType::Varchar(24))
+            .column("timestamp", DataType::Timestamp)
+            .column("text", DataType::Varchar(140))
+            .primary_key(&["owner", "timestamp"])
+            .build(),
+    )
+    .unwrap();
+    cat
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let values = vec![
+        Value::Varchar("someuser0042".into()),
+        Value::Timestamp(1_300_000_000_000_000),
+        Value::Int(-123),
+    ];
+    c.bench_function("key_encode_composite", |b| {
+        b.iter(|| key::encode_key_asc(black_box(&values)).unwrap())
+    });
+    let encoded = key::encode_key_asc(&values).unwrap();
+    let types = [
+        DataType::Varchar(24),
+        DataType::Timestamp,
+        DataType::Int,
+    ];
+    c.bench_function("key_decode_composite", |b| {
+        b.iter(|| key::decode_key(black_box(&encoded), &types, &[]).unwrap())
+    });
+    let tuple = Tuple::new(vec![
+        Value::Varchar("user".into()),
+        Value::Timestamp(99),
+        Value::Varchar("the quick brown fox jumps over the lazy dog".into()),
+    ]);
+    c.bench_function("row_encode", |b| b.iter(|| row::encode_tuple(black_box(&tuple))));
+    let bytes = row::encode_tuple(&tuple);
+    c.bench_function("row_decode", |b| {
+        b.iter(|| row::decode_tuple(black_box(&bytes)).unwrap())
+    });
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    c.bench_function("parse_thoughtstream", |b| {
+        b.iter(|| parse_select(black_box(THOUGHTSTREAM)).unwrap())
+    });
+    let cat = scadr_catalog();
+    let stmt = parse_select(THOUGHTSTREAM).unwrap();
+    let opt = Optimizer::scale_independent();
+    c.bench_function("compile_thoughtstream", |b| {
+        b.iter(|| opt.compile(black_box(&cat), black_box(&stmt)).unwrap())
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut h1 = LatencyHistogram::standard();
+    let mut h2 = LatencyHistogram::standard();
+    for i in 0..2_000u64 {
+        h1.record((3_000 + i * 17 % 40_000) as piql_kv::Micros);
+        h2.record((8_000 + i * 23 % 60_000) as piql_kv::Micros);
+    }
+    c.bench_function("histogram_convolve", |b| {
+        b.iter(|| black_box(&h1).convolve(black_box(&h2)))
+    });
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let cluster = Arc::new(SimCluster::new(ClusterConfig::instant(4)));
+    let db = Database::new(cluster);
+    db.execute_ddl(
+        "CREATE TABLE subscriptions (owner VARCHAR(24) NOT NULL, target VARCHAR(24) NOT NULL, \
+         approved BOOL, PRIMARY KEY (owner, target), CARDINALITY LIMIT 100 (owner))",
+    )
+    .unwrap();
+    db.execute_ddl(
+        "CREATE TABLE thoughts (owner VARCHAR(24) NOT NULL, timestamp TIMESTAMP NOT NULL, \
+         text VARCHAR(140), PRIMARY KEY (owner, timestamp))",
+    )
+    .unwrap();
+    let uname = |i: usize| format!("u{i:05}");
+    db.bulk_load(
+        "subscriptions",
+        (0..200usize).flat_map(|i| {
+            (1..=10usize).map(move |d| {
+                Tuple::new(vec![
+                    Value::Varchar(format!("u{i:05}")),
+                    Value::Varchar(format!("u{:05}", (i + d) % 200)),
+                    Value::Bool(true),
+                ])
+            })
+        }),
+    )
+    .unwrap();
+    db.bulk_load(
+        "thoughts",
+        (0..200usize).flat_map(|i| {
+            (0..20usize).map(move |p| {
+                Tuple::new(vec![
+                    Value::Varchar(format!("u{i:05}")),
+                    Value::Timestamp((i * 131 + p) as i64),
+                    Value::Varchar("hello world".into()),
+                ])
+            })
+        }),
+    )
+    .unwrap();
+    db.cluster().rebalance();
+    let prepared = db.prepare(THOUGHTSTREAM).unwrap();
+    let mut params = Params::new();
+    params.set(0, Value::Varchar(uname(42)));
+    c.bench_function("execute_thoughtstream_instant_cluster", |b| {
+        b.iter_batched(
+            Session::new,
+            |mut session| {
+                db.execute(&mut session, black_box(&prepared), black_box(&params))
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_codecs,
+    bench_compiler,
+    bench_histogram,
+    bench_execution
+);
+criterion_main!(benches);

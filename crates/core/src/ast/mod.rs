@@ -1,0 +1,13 @@
+//! Abstract syntax of the PIQL language: standard SQL select/insert/update/
+//! delete plus the paper's extensions — `PAGINATE` (§4.1), `CARDINALITY
+//! LIMIT` in DDL (§4.2), and declared-maximum parameters (needed to bound
+//! `IN <collection>` predicates).
+
+mod expr;
+mod stmt;
+
+pub use expr::{ColumnRef, CompareOp, InList, Param, Predicate, ScalarExpr};
+pub use stmt::{
+    AggFunc, AggregateExpr, CreateIndexStmt, CreateTableStmt, DeleteStmt, InsertStmt, Join,
+    OrderByItem, RowBound, SelectItem, SelectStmt, Statement, TableRef, UpdateStmt,
+};

@@ -1,0 +1,350 @@
+//! Order-preserving key encoding.
+//!
+//! The key/value store orders entries by raw bytes; PIQL's scale
+//! independence relies on index scans reading *contiguous* key ranges
+//! (§5.2.1). This codec guarantees that for composite keys
+//! `(v1, .., vn)` and `(w1, .., wn)` of the same column types/directions,
+//! `encode(v) < encode(w)` (bytewise) iff `v < w` (tuple order).
+//!
+//! Encoding per component (ascending):
+//! * tag byte: `0x00` for NULL (sorts first), `0x01` for a present value
+//! * `Int`: 4 bytes big-endian with the sign bit flipped
+//! * `BigInt`/`Timestamp`: 8 bytes big-endian, sign bit flipped
+//! * `Bool`: one byte (0/1)
+//! * `Varchar`: UTF-8 with `0x00` escaped as `0x00 0xFF`, terminated by
+//!   `0x00 0x01`. The terminator is less than any escaped byte pair, so
+//!   prefixes sort before extensions.
+//!
+//! A component marked [`Dir::Desc`] has every payload byte complemented
+//! after encoding (tag byte included), which exactly reverses its order
+//! while preserving the order of the components around it. This is how
+//! `ORDER BY timestamp DESC` becomes a forward scan of a composite index.
+
+use crate::value::{DataType, Value};
+use std::fmt;
+
+/// Sort direction of one key component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Dir {
+    #[default]
+    Asc,
+    Desc,
+}
+
+impl Dir {
+    pub fn reversed(self) -> Dir {
+        match self {
+            Dir::Asc => Dir::Desc,
+            Dir::Desc => Dir::Asc,
+        }
+    }
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dir::Asc => write!(f, "ASC"),
+            Dir::Desc => write!(f, "DESC"),
+        }
+    }
+}
+
+/// Errors raised while encoding or decoding keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyCodecError {
+    /// Doubles (NaN) cannot participate in ordered keys.
+    UnsupportedType(DataType),
+    /// Ran out of bytes or hit a malformed escape while decoding.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for KeyCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyCodecError::UnsupportedType(t) => {
+                write!(f, "type {t} is not allowed in index keys")
+            }
+            KeyCodecError::Corrupt(msg) => write!(f, "corrupt key encoding: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KeyCodecError {}
+
+const TAG_NULL: u8 = 0x00;
+const TAG_VALUE: u8 = 0x01;
+
+/// Append one value to `out` with the given direction.
+pub fn encode_component(out: &mut Vec<u8>, value: &Value, dir: Dir) -> Result<(), KeyCodecError> {
+    let start = out.len();
+    match value {
+        Value::Null => out.push(TAG_NULL),
+        Value::Int(v) => {
+            out.push(TAG_VALUE);
+            out.extend_from_slice(&((*v as u32) ^ 0x8000_0000).to_be_bytes());
+        }
+        Value::BigInt(v) | Value::Timestamp(v) => {
+            out.push(TAG_VALUE);
+            out.extend_from_slice(&((*v as u64) ^ 0x8000_0000_0000_0000).to_be_bytes());
+        }
+        Value::Bool(b) => {
+            out.push(TAG_VALUE);
+            out.push(*b as u8);
+        }
+        Value::Varchar(s) => {
+            out.push(TAG_VALUE);
+            for &b in s.as_bytes() {
+                if b == 0x00 {
+                    out.push(0x00);
+                    out.push(0xFF);
+                } else {
+                    out.push(b);
+                }
+            }
+            out.push(0x00);
+            out.push(TAG_VALUE); // terminator 0x00 0x01: below every escape pair
+        }
+        Value::Double(_) => return Err(KeyCodecError::UnsupportedType(DataType::Double)),
+    }
+    if dir == Dir::Desc {
+        for b in &mut out[start..] {
+            *b = !*b;
+        }
+    }
+    Ok(())
+}
+
+/// Encode a composite key. `dirs` must be at least as long as `values`;
+/// missing entries default to ascending.
+pub fn encode_key(values: &[Value], dirs: &[Dir]) -> Result<Vec<u8>, KeyCodecError> {
+    let mut out = Vec::with_capacity(values.iter().map(Value::encoded_len).sum());
+    for (i, v) in values.iter().enumerate() {
+        encode_component(&mut out, v, dirs.get(i).copied().unwrap_or(Dir::Asc))?;
+    }
+    Ok(out)
+}
+
+/// Encode an all-ascending composite key.
+pub fn encode_key_asc(values: &[Value]) -> Result<Vec<u8>, KeyCodecError> {
+    encode_key(values, &[])
+}
+
+/// Decode `types.len()` components from `bytes`.
+///
+/// Returns the values and the number of bytes consumed (callers decoding a
+/// key prefix use the remainder).
+pub fn decode_key(
+    bytes: &[u8],
+    types: &[DataType],
+    dirs: &[Dir],
+) -> Result<(Vec<Value>, usize), KeyCodecError> {
+    let mut pos = 0usize;
+    let mut values = Vec::with_capacity(types.len());
+    for (i, ty) in types.iter().enumerate() {
+        let dir = dirs.get(i).copied().unwrap_or(Dir::Asc);
+        let flip = |b: u8| if dir == Dir::Desc { !b } else { b };
+        let tag = flip(*bytes.get(pos).ok_or(KeyCodecError::Corrupt("missing tag"))?);
+        pos += 1;
+        if tag == TAG_NULL {
+            values.push(Value::Null);
+            continue;
+        }
+        if tag != TAG_VALUE {
+            return Err(KeyCodecError::Corrupt("bad tag"));
+        }
+        match ty {
+            DataType::Int => {
+                let end = pos + 4;
+                let raw = bytes
+                    .get(pos..end)
+                    .ok_or(KeyCodecError::Corrupt("short int"))?;
+                let mut buf = [0u8; 4];
+                for (d, s) in buf.iter_mut().zip(raw) {
+                    *d = flip(*s);
+                }
+                values.push(Value::Int((u32::from_be_bytes(buf) ^ 0x8000_0000) as i32));
+                pos = end;
+            }
+            DataType::BigInt | DataType::Timestamp => {
+                let end = pos + 8;
+                let raw = bytes
+                    .get(pos..end)
+                    .ok_or(KeyCodecError::Corrupt("short bigint"))?;
+                let mut buf = [0u8; 8];
+                for (d, s) in buf.iter_mut().zip(raw) {
+                    *d = flip(*s);
+                }
+                let v = (u64::from_be_bytes(buf) ^ 0x8000_0000_0000_0000) as i64;
+                values.push(if *ty == DataType::Timestamp {
+                    Value::Timestamp(v)
+                } else {
+                    Value::BigInt(v)
+                });
+                pos = end;
+            }
+            DataType::Bool => {
+                let b = flip(*bytes.get(pos).ok_or(KeyCodecError::Corrupt("short bool"))?);
+                values.push(Value::Bool(b != 0));
+                pos += 1;
+            }
+            DataType::Varchar(_) => {
+                let mut s = Vec::new();
+                loop {
+                    let b = flip(
+                        *bytes
+                            .get(pos)
+                            .ok_or(KeyCodecError::Corrupt("unterminated string"))?,
+                    );
+                    pos += 1;
+                    if b != 0x00 {
+                        s.push(b);
+                        continue;
+                    }
+                    let next = flip(
+                        *bytes
+                            .get(pos)
+                            .ok_or(KeyCodecError::Corrupt("dangling escape"))?,
+                    );
+                    pos += 1;
+                    match next {
+                        0xFF => s.push(0x00),
+                        TAG_VALUE => break,
+                        _ => return Err(KeyCodecError::Corrupt("bad escape")),
+                    }
+                }
+                let s =
+                    String::from_utf8(s).map_err(|_| KeyCodecError::Corrupt("invalid utf-8"))?;
+                values.push(Value::Varchar(s));
+            }
+            DataType::Double => return Err(KeyCodecError::UnsupportedType(DataType::Double)),
+        }
+    }
+    Ok((values, pos))
+}
+
+/// Smallest byte string strictly greater than every key having `prefix` as a
+/// prefix — i.e. the exclusive upper bound of the prefix range. `None` means
+/// the range is unbounded above (prefix was all `0xFF`).
+pub fn prefix_upper_bound(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut bound = prefix.to_vec();
+    while let Some(last) = bound.last_mut() {
+        if *last != 0xFF {
+            *last += 1;
+            return Some(bound);
+        }
+        bound.pop();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc1(v: &Value, dir: Dir) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_component(&mut out, v, dir).unwrap();
+        out
+    }
+
+    #[test]
+    fn int_order_preserved() {
+        let vals = [i32::MIN, -7, -1, 0, 1, 42, i32::MAX];
+        for w in vals.windows(2) {
+            assert!(
+                enc1(&Value::Int(w[0]), Dir::Asc) < enc1(&Value::Int(w[1]), Dir::Asc),
+                "{} < {}",
+                w[0],
+                w[1]
+            );
+            assert!(enc1(&Value::Int(w[0]), Dir::Desc) > enc1(&Value::Int(w[1]), Dir::Desc));
+        }
+    }
+
+    #[test]
+    fn string_prefix_sorts_first() {
+        let a = enc1(&Value::Varchar("ab".into()), Dir::Asc);
+        let b = enc1(&Value::Varchar("abc".into()), Dir::Asc);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn embedded_nul_roundtrip_and_order() {
+        let v1 = Value::Varchar("a\0b".into());
+        let v2 = Value::Varchar("a\0c".into());
+        assert!(enc1(&v1, Dir::Asc) < enc1(&v2, Dir::Asc));
+        let enc = encode_key_asc(std::slice::from_ref(&v1)).unwrap();
+        let (dec, used) = decode_key(&enc, &[DataType::Varchar(10)], &[]).unwrap();
+        assert_eq!(dec[0], v1);
+        assert_eq!(used, enc.len());
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert!(enc1(&Value::Null, Dir::Asc) < enc1(&Value::Int(i32::MIN), Dir::Asc));
+        assert!(
+            enc1(&Value::Null, Dir::Asc) < enc1(&Value::Varchar(String::new()), Dir::Asc)
+        );
+    }
+
+    #[test]
+    fn composite_key_lexicographic() {
+        let k1 = encode_key_asc(&[Value::Varchar("bob".into()), Value::Int(2)]).unwrap();
+        let k2 = encode_key_asc(&[Value::Varchar("bob".into()), Value::Int(10)]).unwrap();
+        let k3 = encode_key_asc(&[Value::Varchar("carol".into()), Value::Int(0)]).unwrap();
+        assert!(k1 < k2 && k2 < k3);
+    }
+
+    #[test]
+    fn desc_component_reverses_only_itself() {
+        // (owner ASC, timestamp DESC): same owner → later timestamps first.
+        let dirs = [Dir::Asc, Dir::Desc];
+        let k_new = encode_key(
+            &[Value::Varchar("u".into()), Value::Timestamp(100)],
+            &dirs,
+        )
+        .unwrap();
+        let k_old = encode_key(&[Value::Varchar("u".into()), Value::Timestamp(50)], &dirs)
+            .unwrap();
+        let k_other = encode_key(&[Value::Varchar("v".into()), Value::Timestamp(999)], &dirs)
+            .unwrap();
+        assert!(k_new < k_old, "newer timestamp sorts first under DESC");
+        assert!(k_old < k_other, "owner still ascending");
+    }
+
+    #[test]
+    fn decode_roundtrip_composite() {
+        let vals = vec![
+            Value::Int(-5),
+            Value::Varchar("hé\0llo".into()),
+            Value::Bool(true),
+            Value::Timestamp(123456789),
+            Value::Null,
+        ];
+        let types = [
+            DataType::Int,
+            DataType::Varchar(20),
+            DataType::Bool,
+            DataType::Timestamp,
+            DataType::BigInt,
+        ];
+        let dirs = [Dir::Asc, Dir::Desc, Dir::Asc, Dir::Desc, Dir::Asc];
+        let enc = encode_key(&vals, &dirs).unwrap();
+        let (dec, used) = decode_key(&enc, &types, &dirs).unwrap();
+        assert_eq!(dec, vals);
+        assert_eq!(used, enc.len());
+    }
+
+    #[test]
+    fn double_rejected() {
+        assert!(encode_key_asc(&[Value::Double(1.0)]).is_err());
+    }
+
+    #[test]
+    fn prefix_bound_basics() {
+        assert_eq!(prefix_upper_bound(&[1, 2, 3]), Some(vec![1, 2, 4]));
+        assert_eq!(prefix_upper_bound(&[1, 0xFF]), Some(vec![2]));
+        assert_eq!(prefix_upper_bound(&[0xFF, 0xFF]), None);
+        assert_eq!(prefix_upper_bound(&[]), None);
+    }
+}

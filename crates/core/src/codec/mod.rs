@@ -1,0 +1,4 @@
+//! Byte-level codecs: order-preserving keys and tagged row payloads.
+
+pub mod key;
+pub mod row;

@@ -1,0 +1,208 @@
+//! Compact, self-describing row (payload) serialization.
+//!
+//! Index entries and records are stored as raw bytes in the key/value
+//! store; this codec frames each value with a one-byte tag so rows can be
+//! decoded without consulting the schema (handy for debugging dumps and the
+//! pagination cursor, which serializes heterogeneous resume state).
+//! Unlike the key codec, this encoding is *not* order-preserving — it is
+//! only used for values, never keys.
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::fmt;
+
+/// Errors raised while decoding rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RowCodecError {
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for RowCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RowCodecError::Corrupt(msg) => write!(f, "corrupt row encoding: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RowCodecError {}
+
+const T_NULL: u8 = 0;
+const T_INT: u8 = 1;
+const T_BIGINT: u8 = 2;
+const T_VARCHAR: u8 = 3;
+const T_BOOL_FALSE: u8 = 4;
+const T_BOOL_TRUE: u8 = 5;
+const T_TIMESTAMP: u8 = 6;
+const T_DOUBLE: u8 = 7;
+
+/// Append a LEB128-style varint.
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, RowCodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *bytes
+            .get(*pos)
+            .ok_or(RowCodecError::Corrupt("truncated varint"))?;
+        *pos += 1;
+        v |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(RowCodecError::Corrupt("varint overflow"));
+        }
+    }
+}
+
+/// Append one value.
+pub fn encode_value(out: &mut Vec<u8>, value: &Value) {
+    match value {
+        Value::Null => out.push(T_NULL),
+        Value::Int(v) => {
+            out.push(T_INT);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Value::BigInt(v) => {
+            out.push(T_BIGINT);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Value::Varchar(s) => {
+            out.push(T_VARCHAR);
+            write_varint(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bool(false) => out.push(T_BOOL_FALSE),
+        Value::Bool(true) => out.push(T_BOOL_TRUE),
+        Value::Timestamp(v) => {
+            out.push(T_TIMESTAMP);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Value::Double(v) => {
+            out.push(T_DOUBLE);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+fn decode_value(bytes: &[u8], pos: &mut usize) -> Result<Value, RowCodecError> {
+    let tag = *bytes
+        .get(*pos)
+        .ok_or(RowCodecError::Corrupt("missing tag"))?;
+    *pos += 1;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], RowCodecError> {
+        let s = bytes
+            .get(*pos..*pos + n)
+            .ok_or(RowCodecError::Corrupt("truncated value"))?;
+        *pos += n;
+        Ok(s)
+    };
+    Ok(match tag {
+        T_NULL => Value::Null,
+        T_INT => Value::Int(i32::from_le_bytes(take(pos, 4)?.try_into().unwrap())),
+        T_BIGINT => Value::BigInt(i64::from_le_bytes(take(pos, 8)?.try_into().unwrap())),
+        T_VARCHAR => {
+            let len = read_varint(bytes, pos)? as usize;
+            let raw = take(pos, len)?;
+            Value::Varchar(
+                std::str::from_utf8(raw)
+                    .map_err(|_| RowCodecError::Corrupt("invalid utf-8"))?
+                    .to_string(),
+            )
+        }
+        T_BOOL_FALSE => Value::Bool(false),
+        T_BOOL_TRUE => Value::Bool(true),
+        T_TIMESTAMP => Value::Timestamp(i64::from_le_bytes(take(pos, 8)?.try_into().unwrap())),
+        T_DOUBLE => Value::Double(f64::from_le_bytes(take(pos, 8)?.try_into().unwrap())),
+        _ => return Err(RowCodecError::Corrupt("unknown tag")),
+    })
+}
+
+/// Serialize a whole tuple: varint arity followed by tagged values.
+pub fn encode_tuple(tuple: &Tuple) -> Vec<u8> {
+    let mut out = Vec::with_capacity(tuple.encoded_len());
+    write_varint(&mut out, tuple.len() as u64);
+    for v in tuple.values() {
+        encode_value(&mut out, v);
+    }
+    out
+}
+
+/// Deserialize a tuple produced by [`encode_tuple`].
+pub fn decode_tuple(bytes: &[u8]) -> Result<Tuple, RowCodecError> {
+    let mut pos = 0usize;
+    let arity = read_varint(bytes, &mut pos)? as usize;
+    if arity > bytes.len() {
+        return Err(RowCodecError::Corrupt("implausible arity"));
+    }
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        values.push(decode_value(bytes, &mut pos)?);
+    }
+    if pos != bytes.len() {
+        return Err(RowCodecError::Corrupt("trailing bytes"));
+    }
+    Ok(Tuple::new(values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let t = Tuple::new(vec![
+            Value::Null,
+            Value::Int(-1),
+            Value::BigInt(i64::MIN),
+            Value::Varchar("héllo\0world".into()),
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Timestamp(1_700_000_000_000_000),
+            Value::Double(std::f64::consts::PI),
+        ]);
+        assert_eq!(decode_tuple(&encode_tuple(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn empty_tuple() {
+        let t = Tuple::default();
+        assert_eq!(decode_tuple(&encode_tuple(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn corrupt_inputs_rejected() {
+        assert!(decode_tuple(&[]).is_err());
+        let mut enc = encode_tuple(&tuple![1, "abc"]);
+        enc.truncate(enc.len() - 1);
+        assert!(decode_tuple(&enc).is_err());
+        let mut enc2 = encode_tuple(&tuple![1]);
+        enc2.push(0xAA);
+        assert!(decode_tuple(&enc2).is_err());
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 127, 128, 16383, 16384, u64::MAX] {
+            let mut out = Vec::new();
+            write_varint(&mut out, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&out, &mut pos).unwrap(), v);
+            assert_eq!(pos, out.len());
+        }
+    }
+}

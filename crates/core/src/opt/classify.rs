@@ -1,0 +1,81 @@
+//! Query scaling classes (§2, Figure 1).
+//!
+//! * **Class I (Constant)** — the data a query touches is constant
+//!   regardless of database size: pk lookups, fixed LIMITs without joins,
+//!   joins against unique primary keys.
+//! * **Class II (Bounded)** — touched data grows but is capped by explicit
+//!   relationship-cardinality constraints (or declared parameter maxima).
+//! * **Class III (Linear)** — touched data grows linearly (one unbounded
+//!   scan or join fan-out).
+//! * **Class IV (Super-linear)** — intermediate results grow faster than
+//!   the database (two or more unbounded operators compounding, e.g. a self
+//!   cartesian product).
+//!
+//! A success-tolerant application may only ship Class I and II queries.
+
+use std::fmt;
+
+/// The four classes of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum QueryClass {
+    Constant,
+    Bounded,
+    Linear,
+    SuperLinear,
+}
+
+impl QueryClass {
+    /// Classify from compilation evidence: how many remote operators had no
+    /// static bound, and whether any bound came from a cardinality
+    /// constraint (vs only pk/LIMIT bounds).
+    pub fn from_analysis(unbounded_ops: u64, used_cardinality_bound: bool) -> QueryClass {
+        match (unbounded_ops, used_cardinality_bound) {
+            (0, false) => QueryClass::Constant,
+            (0, true) => QueryClass::Bounded,
+            (1, _) => QueryClass::Linear,
+            (_, _) => QueryClass::SuperLinear,
+        }
+    }
+
+    /// Scale-independent queries are exactly Classes I and II.
+    pub fn is_scale_independent(self) -> bool {
+        matches!(self, QueryClass::Constant | QueryClass::Bounded)
+    }
+
+    pub fn roman(self) -> &'static str {
+        match self {
+            QueryClass::Constant => "I",
+            QueryClass::Bounded => "II",
+            QueryClass::Linear => "III",
+            QueryClass::SuperLinear => "IV",
+        }
+    }
+}
+
+impl fmt::Display for QueryClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            QueryClass::Constant => "Class I (constant)",
+            QueryClass::Bounded => "Class II (bounded)",
+            QueryClass::Linear => "Class III (linear)",
+            QueryClass::SuperLinear => "Class IV (super-linear)",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matrix() {
+        assert_eq!(QueryClass::from_analysis(0, false), QueryClass::Constant);
+        assert_eq!(QueryClass::from_analysis(0, true), QueryClass::Bounded);
+        assert_eq!(QueryClass::from_analysis(1, true), QueryClass::Linear);
+        assert_eq!(QueryClass::from_analysis(2, false), QueryClass::SuperLinear);
+        assert!(QueryClass::Bounded.is_scale_independent());
+        assert!(!QueryClass::Linear.is_scale_independent());
+        assert_eq!(QueryClass::SuperLinear.roman(), "IV");
+    }
+}

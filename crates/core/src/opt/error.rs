@@ -1,0 +1,119 @@
+//! Optimizer errors and the structural half of the Performance Insight
+//! Assistant (§6.4).
+//!
+//! When the compiler cannot produce a scale-independent plan, it does not
+//! just fail: it identifies the unbounded plan segment and suggests concrete
+//! schema or query changes that would allow optimization to proceed —
+//! exactly the workflow Table 1's "Modifications" column records.
+
+use crate::plan::BindError;
+use std::fmt;
+
+/// A concrete fix suggested by the assistant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Suggestion {
+    /// Add `CARDINALITY LIMIT n (columns)` to the table so the optimizer can
+    /// insert a data-stop (§4.2). The paper's thoughtstream example.
+    AddCardinalityLimit { table: String, columns: Vec<String> },
+    /// Add `LIMIT k` / `PAGINATE k` so a standard stop bounds the plan.
+    AddLimitOrPaginate,
+    /// Rewrite a general `LIKE` into a single-keyword tokenized search
+    /// served by an inverted `TOKEN(col)` index (§7.3).
+    TokenizeSearch { table: String, column: String },
+    /// Declare `MAX n` on a collection parameter so `IN` lookups are
+    /// bounded.
+    DeclareParamMax { param: String },
+    /// The query is analytical (Class III/IV); serve it from a
+    /// pre-computed/materialized result instead (§8.2, future work in §10).
+    Precompute,
+}
+
+impl fmt::Display for Suggestion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Suggestion::AddCardinalityLimit { table, columns } => write!(
+                f,
+                "add `CARDINALITY LIMIT <n> ({})` to table {table}",
+                columns.join(", ")
+            ),
+            Suggestion::AddLimitOrPaginate => {
+                write!(f, "add a LIMIT or PAGINATE clause to bound the result")
+            }
+            Suggestion::TokenizeSearch { table, column } => write!(
+                f,
+                "rewrite the LIKE predicate on {table}.{column} as a single-keyword \
+                 tokenized search (served by an inverted TOKEN({column}) index)"
+            ),
+            Suggestion::DeclareParamMax { param } => {
+                write!(f, "declare a maximum cardinality: `[{param} MAX <n>]`")
+            }
+            Suggestion::Precompute => write!(
+                f,
+                "this is an analytical query; answer it from a pre-computed result"
+            ),
+        }
+    }
+}
+
+/// The assistant's diagnosis of a rejected query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsightReport {
+    /// What part of the plan is unbounded, in plain language.
+    pub problem: String,
+    /// Binding name of the offending relation, when identifiable.
+    pub relation: Option<String>,
+    pub suggestions: Vec<Suggestion>,
+}
+
+impl fmt::Display for InsightReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "not scale-independent: {}", self.problem)?;
+        if let Some(rel) = &self.relation {
+            writeln!(f, "  offending relation: {rel}")?;
+        }
+        for s in &self.suggestions {
+            writeln!(f, "  suggestion: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Compilation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// Binding failed before optimization started.
+    Bind(BindError),
+    /// No scale-independent plan exists; the report explains why and how to
+    /// fix it (Algorithm 2 line 12).
+    NotScaleIndependent(InsightReport),
+    /// Internal invariant violation (a bug, surfaced loudly).
+    Internal(String),
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::Bind(e) => write!(f, "{e}"),
+            OptError::NotScaleIndependent(r) => write!(f, "{r}"),
+            OptError::Internal(msg) => write!(f, "internal optimizer error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+impl From<BindError> for OptError {
+    fn from(e: BindError) -> Self {
+        OptError::Bind(e)
+    }
+}
+
+impl OptError {
+    /// The insight report, when this is a scale-independence rejection.
+    pub fn insight(&self) -> Option<&InsightReport> {
+        match self {
+            OptError::NotScaleIndependent(r) => Some(r),
+            _ => None,
+        }
+    }
+}

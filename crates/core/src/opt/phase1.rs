@@ -1,0 +1,345 @@
+//! Phase I of the optimizer — `StopOperatorPrepare` (Algorithm 1, §5.1).
+//!
+//! 1. Rewrite bounded `IN [param MAX n]` predicates into joins against a
+//!    synthetic bounded relation (enabling the paper's "bounded random
+//!    lookup" plans, §8.3).
+//! 2. Find a linear join ordering that starts from the most tightly bounded
+//!    relation and extends along join edges.
+//! 3. Insert *data-stop* operators wherever attribute-equality predicates
+//!    cover a primary key (cardinality 1) or a `CARDINALITY LIMIT`
+//!    constraint (lines 3–11).
+//! 4. Push stops down: a data-stop sinks past every predicate except the
+//!    ones that caused its insertion (line 12); the standard stop stays atop
+//!    the sort, to be folded into remote operators by Phase II.
+
+use super::chain::{Chain, Leg, LegItem};
+use crate::catalog::{Catalog, ColumnId, TableDef};
+use crate::plan::logical::{Stop, StopKind};
+use crate::plan::{
+    BoundPredicate, InOperand, QuerySchema, RelId, RelationSource,
+};
+use crate::catalog::CardinalityConstraint;
+use std::collections::BTreeSet;
+
+/// Base column of a (possibly `token:`-prefixed) constraint column.
+fn piql_cc_base(col: &str) -> &str {
+    CardinalityConstraint::base_column(col)
+}
+
+/// Which objective the compiler pursues (§8.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// The paper's contribution: refuse plans without static bounds.
+    #[default]
+    ScaleIndependent,
+    /// Traditional baseline: minimize expected operation count using table
+    /// statistics; unbounded plans allowed.
+    CostBased,
+}
+
+/// Attribute-equality predicates of a leg, as (table column, predicate).
+pub fn leg_eq_columns(
+    schema: &QuerySchema,
+    leg: &Leg,
+) -> Vec<(ColumnId, BoundPredicate)> {
+    let mut out = Vec::new();
+    for p in leg.all_preds() {
+        if let Some((field, _)) = p.as_attribute_equality() {
+            if let Some(col) = schema.field(field).column {
+                out.push((col, p.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// The table behind a leg, when it is a base table.
+pub fn leg_table<'a>(
+    catalog: &'a Catalog,
+    schema: &QuerySchema,
+    leg: &Leg,
+) -> Option<&'a std::sync::Arc<TableDef>> {
+    match schema.relation(leg.rel).source {
+        RelationSource::Table(id) => Some(catalog.table_by_id(id)),
+        RelationSource::ParamValues { .. } => None,
+    }
+}
+
+/// Step 1: rewrite `col IN [param MAX n]` into a join with a synthetic
+/// bounded relation when the lookup side is otherwise pk- or
+/// constraint-addressable. Returns human-readable notes of rewrites applied.
+pub fn rewrite_in_params(
+    catalog: &Catalog,
+    schema: &mut QuerySchema,
+    chain: &mut Chain,
+) -> Vec<String> {
+    let mut notes = Vec::new();
+    let mut new_legs = Vec::new();
+    for leg in &mut chain.legs {
+        let Some(table) = leg_table(catalog, schema, leg) else {
+            continue;
+        };
+        let table = table.clone();
+        let eq_cols: BTreeSet<ColumnId> = leg_eq_columns(schema, leg)
+            .into_iter()
+            .map(|(c, _)| c)
+            .collect();
+        for item in &mut leg.items {
+            let LegItem::Preds(preds) = item else { continue };
+            let mut i = 0;
+            while i < preds.len() {
+                let candidate = match &preds[i] {
+                    BoundPredicate::In {
+                        field,
+                        operand: InOperand::Param(p),
+                    } if p.max_cardinality.is_some() => Some((*field, p.clone())),
+                    _ => None,
+                };
+                let Some((field, param)) = candidate else {
+                    i += 1;
+                    continue;
+                };
+                let Some(col) = schema.field(field).column else {
+                    i += 1;
+                    continue;
+                };
+                // beneficial only if eq cols + IN col pin the pk or a
+                // cardinality constraint
+                let mut cols: Vec<ColumnId> = eq_cols.iter().copied().collect();
+                cols.push(col);
+                let addressable = table.covers_primary_key(&cols)
+                    || table.matching_cardinality(&cols).is_some();
+                if !addressable {
+                    i += 1;
+                    continue;
+                }
+                let max = param.max_cardinality.expect("checked");
+                let binding = format!("${}", param.name);
+                let ty = schema.field(field).ty;
+                let rel = schema.add_param_values(param.clone(), ty, &binding);
+                let value_field = schema.relation(rel).first_field;
+                chain.join_edges.push((value_field, field));
+                let mut new_leg = Leg::new(rel);
+                new_leg.items.push(LegItem::Stop(Stop {
+                    kind: StopKind::Data,
+                    count: max,
+                    provenance: format!("[{} MAX {max}]", param.name),
+                    cause: Vec::new(),
+                }));
+                new_legs.push(new_leg);
+                notes.push(format!(
+                    "rewrote `{} IN [{}]` into a bounded lookup join ({} random reads max)",
+                    schema.field(field).qualified_name(),
+                    param.name,
+                    max
+                ));
+                preds.remove(i);
+            }
+        }
+        leg.items
+            .retain(|i| !matches!(i, LegItem::Preds(ps) if ps.is_empty()));
+    }
+    chain.legs.extend(new_legs);
+    notes
+}
+
+/// Step 2: linear join ordering (Algorithm 1 line 1).
+pub fn order_joins(catalog: &Catalog, schema: &QuerySchema, chain: &mut Chain) {
+    let n = chain.legs.len();
+    if n <= 1 {
+        return;
+    }
+
+    // how tightly a leg is bounded on its own
+    let self_score = |leg: &Leg| -> u8 {
+        match schema.relation(leg.rel).source {
+            RelationSource::ParamValues { .. } => 0,
+            RelationSource::Table(_) => {
+                let table = leg_table(catalog, schema, leg).expect("table leg");
+                let cols: Vec<ColumnId> = leg_eq_columns(schema, leg)
+                    .into_iter()
+                    .map(|(c, _)| c)
+                    .collect();
+                let token_bounded = leg.all_preds().iter().any(|p| match p {
+                    BoundPredicate::TokenMatch { field, .. } => schema
+                        .field(*field)
+                        .column
+                        .and_then(|c| table.matching_token_cardinality(c))
+                        .is_some(),
+                    _ => false,
+                });
+                if table.covers_primary_key(&cols) {
+                    0
+                } else if table.matching_cardinality(&cols).is_some() || token_bounded {
+                    1
+                } else if leg
+                    .all_preds()
+                    .iter()
+                    .any(|p| matches!(p, BoundPredicate::TokenMatch { .. }))
+                    || !cols.is_empty()
+                {
+                    2
+                } else if !leg.all_preds().is_empty() {
+                    3
+                } else {
+                    4
+                }
+            }
+        }
+    };
+
+    // how good it is to join `leg` given already-placed relations
+    let join_score = |leg: &Leg, placed: &BTreeSet<RelId>| -> u8 {
+        let Some(table) = leg_table(catalog, schema, leg) else {
+            return 0; // ParamValues join: bounded lookups
+        };
+        let mut cols: Vec<ColumnId> = leg_eq_columns(schema, leg)
+            .into_iter()
+            .map(|(c, _)| c)
+            .collect();
+        for &(a, b) in &chain.join_edges {
+            for (mine, other) in [(a, b), (b, a)] {
+                if schema.rel_of(mine) == leg.rel && placed.contains(&schema.rel_of(other)) {
+                    if let Some(c) = schema.field(mine).column {
+                        cols.push(c);
+                    }
+                }
+            }
+        }
+        if table.covers_primary_key(&cols) {
+            0
+        } else if table.matching_cardinality(&cols).is_some() {
+            1
+        } else {
+            2
+        }
+    };
+
+    let connected = |leg: &Leg, placed: &BTreeSet<RelId>| -> bool {
+        chain.join_edges.iter().any(|&(a, b)| {
+            (schema.rel_of(a) == leg.rel && placed.contains(&schema.rel_of(b)))
+                || (schema.rel_of(b) == leg.rel && placed.contains(&schema.rel_of(a)))
+        })
+    };
+
+    let mut remaining: Vec<Leg> = std::mem::take(&mut chain.legs);
+    let mut ordered: Vec<Leg> = Vec::with_capacity(n);
+    // first leg: tightest self-bound, ties by syntactic position
+    let first = remaining
+        .iter()
+        .enumerate()
+        .min_by_key(|(pos, leg)| (self_score(leg), *pos))
+        .map(|(pos, _)| pos)
+        .expect("nonempty");
+    ordered.push(remaining.remove(first));
+    let mut placed: BTreeSet<RelId> = ordered.iter().map(|l| l.rel).collect();
+    while !remaining.is_empty() {
+        let next = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|(pos, leg)| {
+                let conn = connected(leg, &placed);
+                (
+                    !conn, // connected legs first
+                    if conn { join_score(leg, &placed) } else { self_score(leg) },
+                    *pos,
+                )
+            })
+            .map(|(pos, _)| pos)
+            .expect("nonempty");
+        let leg = remaining.remove(next);
+        placed.insert(leg.rel);
+        ordered.push(leg);
+    }
+    chain.legs = ordered;
+}
+
+/// Steps 3–4: data-stop insertion (Algorithm 1 lines 3–11) and stop
+/// push-down (line 12). Each table leg gets at most one data-stop — the
+/// tightest applicable — placed directly above its cause predicates, with
+/// the remaining predicates above it.
+pub fn insert_data_stops(catalog: &Catalog, schema: &QuerySchema, chain: &mut Chain) {
+    for leg in &mut chain.legs {
+        let Some(table) = leg_table(catalog, schema, leg) else {
+            continue; // ParamValues legs carry their stop from the rewrite
+        };
+        if leg.data_stop().is_some() {
+            continue;
+        }
+        let eq = leg_eq_columns(schema, leg);
+        let cols: Vec<ColumnId> = eq.iter().map(|(c, _)| *c).collect();
+        // tokenized searches may be bounded by TOKEN(col) constraints
+        let token_pred: Option<(ColumnId, BoundPredicate)> =
+            leg.all_preds().iter().find_map(|p| match p {
+                BoundPredicate::TokenMatch { field, .. } => schema
+                    .field(*field)
+                    .column
+                    .map(|c| (c, (*p).clone())),
+                _ => None,
+            });
+        let (count, provenance, cause): (u64, String, Vec<BoundPredicate>) =
+            if table.covers_primary_key(&cols) {
+                let pk = table.primary_key_ids();
+                let cause = eq
+                    .iter()
+                    .filter(|(c, _)| pk.contains(c))
+                    .map(|(_, p)| p.clone())
+                    .collect();
+                (1, format!("pk({})", table.name), cause)
+            } else if let Some(cc) = table.matching_cardinality(&cols) {
+                let cc_cols: Vec<ColumnId> = cc
+                    .columns
+                    .iter()
+                    .map(|n| table.column_id(n).expect("validated"))
+                    .collect();
+                let cause = eq
+                    .iter()
+                    .filter(|(c, _)| cc_cols.contains(c))
+                    .map(|(_, p)| p.clone())
+                    .collect();
+                (
+                    cc.limit,
+                    format!("CARDINALITY LIMIT {} ({})", cc.limit, cc.columns.join(", ")),
+                    cause,
+                )
+            } else if let Some((tc, tp)) = token_pred
+                .as_ref()
+                .and_then(|(c, p)| table.matching_token_cardinality(*c).map(|cc| (cc, p)))
+                .map(|(cc, p)| {
+                    (
+                        (
+                            cc.limit,
+                            format!(
+                                "CARDINALITY LIMIT {} (TOKEN({}))",
+                                cc.limit,
+                                piql_cc_base(&cc.columns[0])
+                            ),
+                        ),
+                        p.clone(),
+                    )
+                })
+            {
+                (tc.0, tc.1, vec![tp])
+            } else {
+                continue;
+            };
+        // push-down result: [cause][data-stop][rest]
+        let all: Vec<BoundPredicate> = leg.all_preds().into_iter().cloned().collect();
+        let rest: Vec<BoundPredicate> =
+            all.iter().filter(|p| !cause.contains(p)).cloned().collect();
+        let mut items = Vec::new();
+        if !cause.is_empty() {
+            items.push(LegItem::Preds(cause.clone()));
+        }
+        items.push(LegItem::Stop(Stop {
+            kind: StopKind::Data,
+            count,
+            provenance,
+            cause,
+        }));
+        if !rest.is_empty() {
+            items.push(LegItem::Preds(rest));
+        }
+        leg.items = items;
+    }
+}

@@ -1,0 +1,484 @@
+//! Hand-rolled lexer for PIQL text.
+
+use std::fmt;
+
+/// Token kinds. Keywords are case-insensitive and surface as `Keyword`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    Keyword(Kw),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// `[1: name MAX 50]` — parsed as one token to keep the grammar simple.
+    Param {
+        index: Option<usize>,
+        name: String,
+        max: Option<u64>,
+    },
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Star,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Semicolon,
+    Eof,
+}
+
+/// Recognized keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(clippy::upper_case_acronyms)]
+pub enum Kw {
+    Select,
+    From,
+    Where,
+    And,
+    Join,
+    On,
+    Order,
+    Group,
+    By,
+    Asc,
+    Desc,
+    Limit,
+    Paginate,
+    Like,
+    In,
+    Is,
+    Not,
+    Null,
+    True,
+    False,
+    As,
+    Insert,
+    Into,
+    Values,
+    Update,
+    Set,
+    Delete,
+    Create,
+    Table,
+    Index,
+    Primary,
+    Foreign,
+    Key,
+    References,
+    Cardinality,
+    Unique,
+    Max,
+    Token,
+    Count,
+    Sum,
+    Min,
+    Avg,
+    IntTy,
+    BigIntTy,
+    VarcharTy,
+    BoolTy,
+    TimestampTy,
+    DoubleTy,
+}
+
+impl Kw {
+    fn from_str(s: &str) -> Option<Kw> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "SELECT" => Kw::Select,
+            "FROM" => Kw::From,
+            "WHERE" => Kw::Where,
+            "AND" => Kw::And,
+            "JOIN" | "INNER" => Kw::Join, // `INNER JOIN` lexes as two Join keywords
+            "ON" => Kw::On,
+            "ORDER" => Kw::Order,
+            "GROUP" => Kw::Group,
+            "BY" => Kw::By,
+            "ASC" => Kw::Asc,
+            "DESC" => Kw::Desc,
+            "LIMIT" => Kw::Limit,
+            "PAGINATE" => Kw::Paginate,
+            "LIKE" => Kw::Like,
+            "IN" => Kw::In,
+            "IS" => Kw::Is,
+            "NOT" => Kw::Not,
+            "NULL" => Kw::Null,
+            "TRUE" => Kw::True,
+            "FALSE" => Kw::False,
+            "AS" => Kw::As,
+            "INSERT" => Kw::Insert,
+            "INTO" => Kw::Into,
+            "VALUES" => Kw::Values,
+            "UPDATE" => Kw::Update,
+            "SET" => Kw::Set,
+            "DELETE" => Kw::Delete,
+            "CREATE" => Kw::Create,
+            "TABLE" => Kw::Table,
+            "INDEX" => Kw::Index,
+            "PRIMARY" => Kw::Primary,
+            "FOREIGN" => Kw::Foreign,
+            "KEY" => Kw::Key,
+            "REFERENCES" => Kw::References,
+            "CARDINALITY" => Kw::Cardinality,
+            "UNIQUE" => Kw::Unique,
+            "MAX" => Kw::Max,
+            "TOKEN" => Kw::Token,
+            "COUNT" => Kw::Count,
+            "SUM" => Kw::Sum,
+            "MIN" => Kw::Min,
+            "AVG" => Kw::Avg,
+            "INT" | "INTEGER" => Kw::IntTy,
+            "BIGINT" => Kw::BigIntTy,
+            "VARCHAR" => Kw::VarcharTy,
+            "BOOL" | "BOOLEAN" => Kw::BoolTy,
+            "TIMESTAMP" => Kw::TimestampTy,
+            "DOUBLE" => Kw::DoubleTy,
+            _ => return None,
+        })
+    }
+}
+
+/// A token with its source offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    pub tok: Tok,
+    pub offset: usize,
+}
+
+/// Lexer errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `input` into a vector ending with `Tok::Eof`.
+pub fn lex(input: &str) -> Result<Vec<SpannedTok>, LexError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let err = |msg: &str, at: usize| LexError {
+        message: msg.to_string(),
+        offset: at,
+    };
+    while i < bytes.len() {
+        let c = bytes[i];
+        let start = i;
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+                continue;
+            }
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            b',' => {
+                toks.push(SpannedTok { tok: Tok::Comma, offset: start });
+                i += 1;
+            }
+            b'.' => {
+                toks.push(SpannedTok { tok: Tok::Dot, offset: start });
+                i += 1;
+            }
+            b'(' => {
+                toks.push(SpannedTok { tok: Tok::LParen, offset: start });
+                i += 1;
+            }
+            b')' => {
+                toks.push(SpannedTok { tok: Tok::RParen, offset: start });
+                i += 1;
+            }
+            b'*' => {
+                toks.push(SpannedTok { tok: Tok::Star, offset: start });
+                i += 1;
+            }
+            b';' => {
+                toks.push(SpannedTok { tok: Tok::Semicolon, offset: start });
+                i += 1;
+            }
+            b'=' => {
+                toks.push(SpannedTok { tok: Tok::Eq, offset: start });
+                i += 1;
+            }
+            b'!' if bytes.get(i + 1) == Some(&b'=') => {
+                toks.push(SpannedTok { tok: Tok::Ne, offset: start });
+                i += 2;
+            }
+            b'<' => {
+                // `<=`, `<>`, `<name>` (angle-bracket parameter), or `<`
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(SpannedTok { tok: Tok::Le, offset: start });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    toks.push(SpannedTok { tok: Tok::Ne, offset: start });
+                    i += 2;
+                } else if let Some(j) = angle_param_end(bytes, i) {
+                    // `<name>` where name is a single identifier; anything
+                    // else (e.g. `a < b`) falls through to the Lt operator.
+                    toks.push(SpannedTok {
+                        tok: Tok::Param {
+                            index: None,
+                            name: input[i + 1..j].to_string(),
+                            max: None,
+                        },
+                        offset: start,
+                    });
+                    i = j + 1;
+                } else {
+                    toks.push(SpannedTok { tok: Tok::Lt, offset: start });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(SpannedTok { tok: Tok::Ge, offset: start });
+                    i += 2;
+                } else {
+                    toks.push(SpannedTok { tok: Tok::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            b'[' => {
+                // `[1: name]` or `[1: name MAX 50]` or `[name]`
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] != b']' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(err("unterminated '[param]'", start));
+                }
+                let inner = input[i + 1..j].trim();
+                let (index, rest) = match inner.split_once(':') {
+                    Some((n, rest)) => {
+                        let n: usize = n
+                            .trim()
+                            .parse()
+                            .map_err(|_| err("parameter index must be a number", start))?;
+                        if n == 0 {
+                            return Err(err("parameter indexes are 1-based", start));
+                        }
+                        (Some(n - 1), rest.trim())
+                    }
+                    None => (None, inner),
+                };
+                let mut parts = rest.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err("parameter needs a name", start))?
+                    .to_string();
+                let max = match (parts.next(), parts.next()) {
+                    (None, _) => None,
+                    (Some(kw), Some(n)) if kw.eq_ignore_ascii_case("max") => Some(
+                        n.parse::<u64>()
+                            .map_err(|_| err("MAX expects a number", start))?,
+                    ),
+                    _ => return Err(err("expected 'MAX n' after parameter name", start)),
+                };
+                toks.push(SpannedTok {
+                    tok: Tok::Param { index, name, max },
+                    offset: start,
+                });
+                i = j + 1;
+            }
+            b'\'' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    if j >= bytes.len() {
+                        return Err(err("unterminated string literal", start));
+                    }
+                    if bytes[j] == b'\'' {
+                        if bytes.get(j + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            j += 2;
+                            continue;
+                        }
+                        break;
+                    }
+                    // copy one UTF-8 scalar
+                    let ch_len = utf8_len(bytes[j]);
+                    s.push_str(&input[j..j + ch_len]);
+                    j += ch_len;
+                }
+                toks.push(SpannedTok { tok: Tok::Str(s), offset: start });
+                i = j + 1;
+            }
+            b'0'..=b'9' => {
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_digit()
+                        || (bytes[j] == b'.'
+                            && bytes.get(j + 1).map(|b| b.is_ascii_digit()).unwrap_or(false)))
+                {
+                    if bytes[j] == b'.' {
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let text = &input[i..j];
+                let tok = if is_float {
+                    Tok::Float(text.parse().map_err(|_| err("bad float literal", start))?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| err("integer literal too large", start))?)
+                };
+                toks.push(SpannedTok { tok, offset: start });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = &input[i..j];
+                let tok = match Kw::from_str(word) {
+                    Some(kw) => Tok::Keyword(kw),
+                    None => Tok::Ident(word.to_string()),
+                };
+                toks.push(SpannedTok { tok, offset: start });
+                i = j;
+            }
+            _ => return Err(err(&format!("unexpected character '{}'", c as char), start)),
+        }
+    }
+    toks.push(SpannedTok { tok: Tok::Eof, offset: input.len() });
+    Ok(toks)
+}
+
+/// If `bytes[start] == b'<'` begins a `<ident>` parameter, return the index
+/// of the closing `>`; otherwise `None` (it is a less-than operator).
+fn angle_param_end(bytes: &[u8], start: usize) -> Option<usize> {
+    let mut j = start + 1;
+    if !bytes.get(j).map(|b| b.is_ascii_alphabetic() || *b == b'_')? {
+        return None;
+    }
+    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+        j += 1;
+    }
+    (bytes.get(j) == Some(&b'>') && j > start + 1).then_some(j)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<Tok> {
+        lex(input).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_select_tokens() {
+        let toks = kinds("SELECT * FROM t WHERE a = 1");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Keyword(Kw::Select),
+                Tok::Star,
+                Tok::Keyword(Kw::From),
+                Tok::Ident("t".into()),
+                Tok::Keyword(Kw::Where),
+                Tok::Ident("a".into()),
+                Tok::Eq,
+                Tok::Int(1),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn params_both_styles() {
+        let toks = kinds("owner = <uname> AND x IN [2: friends MAX 50]");
+        assert!(toks.contains(&Tok::Param {
+            index: None,
+            name: "uname".into(),
+            max: None
+        }));
+        assert!(toks.contains(&Tok::Param {
+            index: Some(1),
+            name: "friends".into(),
+            max: Some(50)
+        }));
+    }
+
+    #[test]
+    fn string_escapes_and_comments() {
+        let toks = kinds("-- comment\n'it''s' <= 2.5");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Str("it's".into()),
+                Tok::Le,
+                Tok::Float(2.5),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("a <> b != c < d > e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ne,
+                Tok::Ident("b".into()),
+                Tok::Ne,
+                Tok::Ident("c".into()),
+                Tok::Lt,
+                Tok::Ident("d".into()),
+                Tok::Gt,
+                Tok::Ident("e".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn less_than_column_is_not_a_param() {
+        assert_eq!(
+            kinds("a < b AND c > 1"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Lt,
+                Tok::Ident("b".into()),
+                Tok::Keyword(Kw::And),
+                Tok::Ident("c".into()),
+                Tok::Gt,
+                Tok::Int(1),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let e = lex("a = 'oops").unwrap_err();
+        assert_eq!(e.offset, 4);
+        assert!(lex("a = [x MAX]").is_err());
+    }
+}

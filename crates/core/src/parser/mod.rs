@@ -1,0 +1,901 @@
+//! The PIQL parser: a hand-rolled recursive-descent parser over
+//! [`lexer::lex`]'s token stream.
+//!
+//! Grammar (informal):
+//! ```text
+//! statement   := select | insert | update | delete | create_table | create_index
+//! select      := SELECT items FROM table_ref join* [WHERE conj]
+//!                [GROUP BY cols] [ORDER BY order_items] [LIMIT n | PAGINATE n]
+//! join        := JOIN table_ref [ON conj]
+//! conj        := predicate (AND predicate)*
+//! predicate   := col (=|<>|<|<=|>|>=) scalar
+//!              | col LIKE scalar | col IN in_list | col IS [NOT] NULL
+//! scalar      := literal | param | col
+//! param       := '[' [n ':'] name ['MAX' n] ']'  |  '<' name '>'
+//! create_table:= CREATE TABLE name '(' column_def* table_constraint* ')'
+//! table_constraint := PRIMARY KEY '(' cols ')'
+//!                  | FOREIGN KEY '(' cols ')' REFERENCES table
+//!                  | CARDINALITY LIMIT n '(' cols ')'
+//! create_index:= CREATE INDEX name ON table '(' index_part (',' index_part)* ')'
+//! index_part  := col [ASC|DESC] | TOKEN '(' col ')'
+//! ```
+
+pub mod lexer;
+
+use crate::ast::*;
+use crate::catalog::{CardinalityConstraint, ForeignKey, IndexKeyPart};
+use crate::codec::key::Dir;
+use crate::value::{DataType, Value};
+use lexer::{lex, Kw, SpannedTok, Tok};
+use std::fmt;
+
+/// Parse errors with a byte offset into the source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<lexer::LexError> for ParseError {
+    fn from(e: lexer::LexError) -> Self {
+        ParseError {
+            message: e.message,
+            offset: e.offset,
+        }
+    }
+}
+
+/// Parse a single statement.
+pub fn parse(input: &str) -> Result<Statement, ParseError> {
+    let toks = lex(input)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        next_param_index: 0,
+    };
+    let stmt = p.statement()?;
+    p.eat_semicolons();
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a SELECT, failing on any other statement kind.
+pub fn parse_select(input: &str) -> Result<SelectStmt, ParseError> {
+    match parse(input)? {
+        Statement::Select(s) => Ok(s),
+        _ => Err(ParseError {
+            message: "expected a SELECT statement".into(),
+            offset: 0,
+        }),
+    }
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    /// Auto-assigned indexes for `<name>`-style parameters without explicit
+    /// positions; repeated names share one index.
+    next_param_index: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn offset(&self) -> usize {
+        self.toks[self.pos].offset
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: msg.into(),
+            offset: self.offset(),
+        })
+    }
+
+    fn eat_kw(&mut self, kw: Kw) -> bool {
+        if self.peek() == &Tok::Keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Kw) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected {kw:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat_tok(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_tok(&mut self, t: &Tok) -> Result<(), ParseError> {
+        if self.eat_tok(t) {
+            Ok(())
+        } else {
+            self.err(format!("expected {t:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat_semicolons(&mut self) {
+        while self.eat_tok(&Tok::Semicolon) {}
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if self.peek() == &Tok::Eof {
+            Ok(())
+        } else {
+            self.err(format!("unexpected trailing input: {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        // Several keywords double as common column names (`timestamp`,
+        // `key`, `count`, `token`, ...); accept them as identifiers in
+        // identifier position.
+        let contextual = |kw: Kw| -> Option<&'static str> {
+            Some(match kw {
+                Kw::Key => "key",
+                Kw::Count => "count",
+                Kw::Sum => "sum",
+                Kw::Min => "min",
+                Kw::Max => "max",
+                Kw::Avg => "avg",
+                Kw::Token => "token",
+                Kw::TimestampTy => "timestamp",
+                _ => return None,
+            })
+        };
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            Tok::Keyword(kw) if contextual(kw).is_some() => {
+                self.bump();
+                Ok(contextual(kw).unwrap().into())
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        match self.peek() {
+            Tok::Keyword(Kw::Select) => Ok(Statement::Select(self.select()?)),
+            Tok::Keyword(Kw::Insert) => Ok(Statement::Insert(self.insert()?)),
+            Tok::Keyword(Kw::Update) => Ok(Statement::Update(self.update()?)),
+            Tok::Keyword(Kw::Delete) => Ok(Statement::Delete(self.delete()?)),
+            Tok::Keyword(Kw::Create) => self.create(),
+            other => self.err(format!("expected a statement, found {other:?}")),
+        }
+    }
+
+    // ---------------------------------------------------------- SELECT
+
+    fn select(&mut self) -> Result<SelectStmt, ParseError> {
+        self.expect_kw(Kw::Select)?;
+        let projection = self.select_items()?;
+        self.expect_kw(Kw::From)?;
+        let from = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            // comma-style (`FROM item, author` — the paper's §5.3 query) and
+            // explicit JOIN are both accepted; conditions may live in ON or
+            // in the WHERE clause.
+            if self.eat_tok(&Tok::Comma) {
+                joins.push(Join {
+                    table: self.table_ref()?,
+                    on: Vec::new(),
+                });
+            } else if self.eat_kw(Kw::Join) {
+                // `INNER JOIN` lexes as two Join keywords
+                self.eat_kw(Kw::Join);
+                let table = self.table_ref()?;
+                let on = if self.eat_kw(Kw::On) {
+                    self.conjunction()?
+                } else {
+                    Vec::new()
+                };
+                joins.push(Join { table, on });
+            } else {
+                break;
+            }
+        }
+        let filter = if self.eat_kw(Kw::Where) {
+            self.conjunction()?
+        } else {
+            Vec::new()
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw(Kw::Group) {
+            self.expect_kw(Kw::By)?;
+            loop {
+                group_by.push(self.column_ref()?);
+                if !self.eat_tok(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw(Kw::Order) {
+            self.expect_kw(Kw::By)?;
+            loop {
+                let column = self.column_ref()?;
+                let dir = if self.eat_kw(Kw::Desc) {
+                    Dir::Desc
+                } else {
+                    self.eat_kw(Kw::Asc);
+                    Dir::Asc
+                };
+                order_by.push(OrderByItem { column, dir });
+                if !self.eat_tok(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        let bound = if self.eat_kw(Kw::Limit) {
+            Some(RowBound::Limit(self.positive_int()?))
+        } else if self.eat_kw(Kw::Paginate) {
+            Some(RowBound::Paginate(self.positive_int()?))
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            projection,
+            from,
+            joins,
+            filter,
+            group_by,
+            order_by,
+            bound,
+        })
+    }
+
+    fn select_items(&mut self) -> Result<Vec<SelectItem>, ParseError> {
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if !self.eat_tok(&Tok::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if self.eat_tok(&Tok::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // aggregate?
+        if let Tok::Keyword(kw @ (Kw::Count | Kw::Sum | Kw::Min | Kw::Max | Kw::Avg)) =
+            self.peek().clone()
+        {
+            // MAX is also the param keyword; only treat as aggregate if '('
+            if self.toks.get(self.pos + 1).map(|t| &t.tok) == Some(&Tok::LParen) {
+                self.bump();
+                self.expect_tok(&Tok::LParen)?;
+                let func = match kw {
+                    Kw::Count => AggFunc::Count,
+                    Kw::Sum => AggFunc::Sum,
+                    Kw::Min => AggFunc::Min,
+                    Kw::Max => AggFunc::Max,
+                    Kw::Avg => AggFunc::Avg,
+                    _ => unreachable!(),
+                };
+                let arg = if self.eat_tok(&Tok::Star) {
+                    if func != AggFunc::Count {
+                        return self.err("only COUNT may take '*'");
+                    }
+                    None
+                } else {
+                    Some(self.column_ref()?)
+                };
+                self.expect_tok(&Tok::RParen)?;
+                let alias = self.optional_alias()?;
+                return Ok(SelectItem::Aggregate(AggregateExpr { func, arg, alias }));
+            }
+        }
+        // `alias.*` or plain column
+        let first = self.ident()?;
+        if self.eat_tok(&Tok::Dot) {
+            if self.eat_tok(&Tok::Star) {
+                return Ok(SelectItem::QualifiedWildcard(first));
+            }
+            let column = self.ident()?;
+            let alias = self.optional_alias()?;
+            return Ok(SelectItem::Column {
+                column: ColumnRef {
+                    qualifier: Some(first),
+                    column,
+                },
+                alias,
+            });
+        }
+        let alias = self.optional_alias()?;
+        Ok(SelectItem::Column {
+            column: ColumnRef {
+                qualifier: None,
+                column: first,
+            },
+            alias,
+        })
+    }
+
+    fn optional_alias(&mut self) -> Result<Option<String>, ParseError> {
+        if self.eat_kw(Kw::As) {
+            return Ok(Some(self.ident()?));
+        }
+        Ok(None)
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let table = self.ident()?;
+        let alias = match self.peek() {
+            Tok::Ident(_) => Some(self.ident()?),
+            _ => None,
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, ParseError> {
+        let first = self.ident()?;
+        if self.eat_tok(&Tok::Dot) {
+            let column = self.ident()?;
+            Ok(ColumnRef {
+                qualifier: Some(first),
+                column,
+            })
+        } else {
+            Ok(ColumnRef {
+                qualifier: None,
+                column: first,
+            })
+        }
+    }
+
+    fn conjunction(&mut self) -> Result<Vec<Predicate>, ParseError> {
+        let mut preds = vec![self.predicate()?];
+        while self.eat_kw(Kw::And) {
+            preds.push(self.predicate()?);
+        }
+        Ok(preds)
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, ParseError> {
+        let column = self.column_ref()?;
+        match self.peek().clone() {
+            Tok::Eq => {
+                self.bump();
+                Ok(Predicate::Compare {
+                    left: column,
+                    op: CompareOp::Eq,
+                    right: self.scalar()?,
+                })
+            }
+            Tok::Ne => {
+                self.bump();
+                Ok(Predicate::Compare {
+                    left: column,
+                    op: CompareOp::Ne,
+                    right: self.scalar()?,
+                })
+            }
+            Tok::Lt => {
+                self.bump();
+                Ok(Predicate::Compare {
+                    left: column,
+                    op: CompareOp::Lt,
+                    right: self.scalar()?,
+                })
+            }
+            Tok::Le => {
+                self.bump();
+                Ok(Predicate::Compare {
+                    left: column,
+                    op: CompareOp::Le,
+                    right: self.scalar()?,
+                })
+            }
+            Tok::Gt => {
+                self.bump();
+                Ok(Predicate::Compare {
+                    left: column,
+                    op: CompareOp::Gt,
+                    right: self.scalar()?,
+                })
+            }
+            Tok::Ge => {
+                self.bump();
+                Ok(Predicate::Compare {
+                    left: column,
+                    op: CompareOp::Ge,
+                    right: self.scalar()?,
+                })
+            }
+            Tok::Keyword(Kw::Like) => {
+                self.bump();
+                Ok(Predicate::Like {
+                    column,
+                    pattern: self.scalar()?,
+                })
+            }
+            Tok::Keyword(Kw::In) => {
+                self.bump();
+                let list = if self.eat_tok(&Tok::LParen) {
+                    let mut vals = Vec::new();
+                    loop {
+                        vals.push(self.literal()?);
+                        if !self.eat_tok(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect_tok(&Tok::RParen)?;
+                    InList::Values(vals)
+                } else {
+                    match self.scalar()? {
+                        ScalarExpr::Param(p) => InList::Param(p),
+                        _ => return self.err("IN expects a literal list or a parameter"),
+                    }
+                };
+                Ok(Predicate::In { column, list })
+            }
+            Tok::Keyword(Kw::Is) => {
+                self.bump();
+                let negated = self.eat_kw(Kw::Not);
+                self.expect_kw(Kw::Null)?;
+                Ok(Predicate::IsNull { column, negated })
+            }
+            other => self.err(format!("expected a predicate operator, found {other:?}")),
+        }
+    }
+
+    fn scalar(&mut self) -> Result<ScalarExpr, ParseError> {
+        match self.peek().clone() {
+            Tok::Param { index, name, max } => {
+                self.bump();
+                let index = match index {
+                    Some(i) => {
+                        self.next_param_index = self.next_param_index.max(i + 1);
+                        i
+                    }
+                    None => {
+                        let i = self.next_param_index;
+                        self.next_param_index += 1;
+                        i
+                    }
+                };
+                Ok(ScalarExpr::Param(Param {
+                    index,
+                    name,
+                    max_cardinality: max,
+                }))
+            }
+            Tok::Ident(_) => Ok(ScalarExpr::Column(self.column_ref()?)),
+            _ => Ok(ScalarExpr::Literal(self.literal()?)),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value, ParseError> {
+        match self.bump() {
+            Tok::Int(v) => Ok(if v >= i32::MIN as i64 && v <= i32::MAX as i64 {
+                Value::Int(v as i32)
+            } else {
+                Value::BigInt(v)
+            }),
+            Tok::Float(v) => Ok(Value::Double(v)),
+            Tok::Str(s) => Ok(Value::Varchar(s)),
+            Tok::Keyword(Kw::True) => Ok(Value::Bool(true)),
+            Tok::Keyword(Kw::False) => Ok(Value::Bool(false)),
+            Tok::Keyword(Kw::Null) => Ok(Value::Null),
+            other => self.err(format!("expected a literal, found {other:?}")),
+        }
+    }
+
+    fn positive_int(&mut self) -> Result<u64, ParseError> {
+        match self.bump() {
+            Tok::Int(v) if v > 0 => Ok(v as u64),
+            other => self.err(format!("expected a positive integer, found {other:?}")),
+        }
+    }
+
+    // ---------------------------------------------------------- DML writes
+
+    fn insert(&mut self) -> Result<InsertStmt, ParseError> {
+        self.expect_kw(Kw::Insert)?;
+        self.expect_kw(Kw::Into)?;
+        let table = self.ident()?;
+        let mut columns = Vec::new();
+        if self.eat_tok(&Tok::LParen) {
+            loop {
+                columns.push(self.ident()?);
+                if !self.eat_tok(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect_tok(&Tok::RParen)?;
+        }
+        self.expect_kw(Kw::Values)?;
+        self.expect_tok(&Tok::LParen)?;
+        let mut values = Vec::new();
+        loop {
+            values.push(self.scalar()?);
+            if !self.eat_tok(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect_tok(&Tok::RParen)?;
+        Ok(InsertStmt {
+            table,
+            columns,
+            values,
+        })
+    }
+
+    fn update(&mut self) -> Result<UpdateStmt, ParseError> {
+        self.expect_kw(Kw::Update)?;
+        let table = self.ident()?;
+        self.expect_kw(Kw::Set)?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_tok(&Tok::Eq)?;
+            assignments.push((col, self.scalar()?));
+            if !self.eat_tok(&Tok::Comma) {
+                break;
+            }
+        }
+        let filter = if self.eat_kw(Kw::Where) {
+            self.conjunction()?
+        } else {
+            Vec::new()
+        };
+        Ok(UpdateStmt {
+            table,
+            assignments,
+            filter,
+        })
+    }
+
+    fn delete(&mut self) -> Result<DeleteStmt, ParseError> {
+        self.expect_kw(Kw::Delete)?;
+        self.expect_kw(Kw::From)?;
+        let table = self.ident()?;
+        let filter = if self.eat_kw(Kw::Where) {
+            self.conjunction()?
+        } else {
+            Vec::new()
+        };
+        Ok(DeleteStmt { table, filter })
+    }
+
+    // ---------------------------------------------------------- DDL
+
+    fn create(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw(Kw::Create)?;
+        if self.eat_kw(Kw::Table) {
+            return Ok(Statement::CreateTable(self.create_table()?));
+        }
+        if self.eat_kw(Kw::Index) {
+            return Ok(Statement::CreateIndex(self.create_index()?));
+        }
+        self.err("expected TABLE or INDEX after CREATE")
+    }
+
+    fn create_table(&mut self) -> Result<CreateTableStmt, ParseError> {
+        let name = self.ident()?;
+        self.expect_tok(&Tok::LParen)?;
+        let mut stmt = CreateTableStmt {
+            name,
+            columns: Vec::new(),
+            primary_key: Vec::new(),
+            foreign_keys: Vec::new(),
+            cardinality_constraints: Vec::new(),
+        };
+        loop {
+            match self.peek().clone() {
+                Tok::Keyword(Kw::Primary) => {
+                    self.bump();
+                    self.expect_kw(Kw::Key)?;
+                    stmt.primary_key = self.paren_ident_list()?;
+                }
+                Tok::Keyword(Kw::Foreign) => {
+                    self.bump();
+                    self.expect_kw(Kw::Key)?;
+                    let columns = self.paren_ident_list()?;
+                    self.expect_kw(Kw::References)?;
+                    let ref_table = self.ident()?;
+                    // optional parenthesized referenced columns (must be pk)
+                    if self.peek() == &Tok::LParen {
+                        let _ = self.paren_ident_list()?;
+                    }
+                    stmt.foreign_keys.push(ForeignKey { columns, ref_table });
+                }
+                Tok::Keyword(Kw::Cardinality) => {
+                    self.bump();
+                    self.expect_kw(Kw::Limit)?;
+                    let limit = self.positive_int()?;
+                    // columns may be plain or TOKEN(col)
+                    self.expect_tok(&Tok::LParen)?;
+                    let mut columns = Vec::new();
+                    loop {
+                        if self.peek() == &Tok::Keyword(Kw::Token)
+                            && self.toks.get(self.pos + 1).map(|t| &t.tok) == Some(&Tok::LParen)
+                        {
+                            self.bump();
+                            self.expect_tok(&Tok::LParen)?;
+                            let col = self.ident()?;
+                            self.expect_tok(&Tok::RParen)?;
+                            columns.push(format!(
+                                "{}{col}",
+                                CardinalityConstraint::TOKEN_PREFIX
+                            ));
+                        } else {
+                            columns.push(self.ident()?);
+                        }
+                        if !self.eat_tok(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect_tok(&Tok::RParen)?;
+                    stmt.cardinality_constraints
+                        .push(CardinalityConstraint { limit, columns });
+                }
+                _ => {
+                    let col = self.ident()?;
+                    let ty = self.data_type()?;
+                    let mut nullable = true;
+                    if self.eat_kw(Kw::Not) {
+                        self.expect_kw(Kw::Null)?;
+                        nullable = false;
+                    }
+                    stmt.columns.push((col, ty, nullable));
+                }
+            }
+            if !self.eat_tok(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect_tok(&Tok::RParen)?;
+        Ok(stmt)
+    }
+
+    fn create_index(&mut self) -> Result<CreateIndexStmt, ParseError> {
+        let name = self.ident()?;
+        self.expect_kw(Kw::On)?;
+        let table = self.ident()?;
+        self.expect_tok(&Tok::LParen)?;
+        let mut parts = Vec::new();
+        loop {
+            if self.eat_kw(Kw::Token) {
+                self.expect_tok(&Tok::LParen)?;
+                let col = self.ident()?;
+                self.expect_tok(&Tok::RParen)?;
+                parts.push(IndexKeyPart::token(col));
+            } else {
+                let col = self.ident()?;
+                let part = if self.eat_kw(Kw::Desc) {
+                    IndexKeyPart::desc(col)
+                } else {
+                    self.eat_kw(Kw::Asc);
+                    IndexKeyPart::asc(col)
+                };
+                parts.push(part);
+            }
+            if !self.eat_tok(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect_tok(&Tok::RParen)?;
+        Ok(CreateIndexStmt { name, table, parts })
+    }
+
+    fn paren_ident_list(&mut self) -> Result<Vec<String>, ParseError> {
+        self.expect_tok(&Tok::LParen)?;
+        let mut idents = Vec::new();
+        loop {
+            idents.push(self.ident()?);
+            if !self.eat_tok(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect_tok(&Tok::RParen)?;
+        Ok(idents)
+    }
+
+    fn data_type(&mut self) -> Result<DataType, ParseError> {
+        match self.bump() {
+            Tok::Keyword(Kw::IntTy) => Ok(DataType::Int),
+            Tok::Keyword(Kw::BigIntTy) => Ok(DataType::BigInt),
+            Tok::Keyword(Kw::BoolTy) => Ok(DataType::Bool),
+            Tok::Keyword(Kw::TimestampTy) => Ok(DataType::Timestamp),
+            Tok::Keyword(Kw::DoubleTy) => Ok(DataType::Double),
+            Tok::Keyword(Kw::VarcharTy) => {
+                self.expect_tok(&Tok::LParen)?;
+                let n = self.positive_int()?;
+                self.expect_tok(&Tok::RParen)?;
+                Ok(DataType::Varchar(n as u32))
+            }
+            other => self.err(format!("expected a data type, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_thoughtstream_query() {
+        // The exact query from Figure 3(a).
+        let q = parse_select(
+            "SELECT thoughts.* \
+             FROM subscriptions s JOIN thoughts t \
+             WHERE t.owner = s.target \
+               AND s.owner = <uname> \
+               AND s.approved = true \
+             ORDER BY t.timestamp DESC \
+             LIMIT 10",
+        )
+        .unwrap();
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.filter.len(), 3);
+        assert_eq!(q.order_by[0].dir, Dir::Desc);
+        assert_eq!(q.bound, Some(RowBound::Limit(10)));
+        assert!(matches!(
+            q.projection[0],
+            SelectItem::QualifiedWildcard(ref w) if w == "thoughts"
+        ));
+    }
+
+    #[test]
+    fn parses_tpcw_search_by_title() {
+        // The exact query from §5.3 (comma-style join).
+        let q = parse_select(
+            "SELECT I_TITLE, I_ID, A_FNAME, A_LNAME \
+             FROM ITEM, AUTHOR \
+             WHERE I_A_ID = A_ID AND I_TITLE LIKE [1: titleWord] \
+             ORDER BY I_TITLE LIMIT 50",
+        )
+        .unwrap();
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.bound, Some(RowBound::Limit(50)));
+        assert!(matches!(q.filter[1], Predicate::Like { .. }));
+    }
+
+    #[test]
+    fn parses_paginate_and_in_param() {
+        let q = parse_select(
+            "SELECT * FROM subscriptions \
+             WHERE target = <target_user> AND owner IN [2: friends MAX 50] \
+             PAGINATE 25",
+        )
+        .unwrap();
+        assert_eq!(q.bound, Some(RowBound::Paginate(25)));
+        match &q.filter[1] {
+            Predicate::In {
+                list: InList::Param(p),
+                ..
+            } => {
+                assert_eq!(p.max_cardinality, Some(50));
+                assert_eq!(p.index, 1);
+            }
+            other => panic!("unexpected predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn angle_params_are_indexed_in_order() {
+        let q = parse_select("SELECT * FROM t WHERE a = <p1> AND b = <p2>").unwrap();
+        let idx: Vec<usize> = q
+            .filter
+            .iter()
+            .map(|p| match p {
+                Predicate::Compare {
+                    right: ScalarExpr::Param(p),
+                    ..
+                } => p.index,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(idx, vec![0, 1]);
+    }
+
+    #[test]
+    fn parses_create_table_with_cardinality_limit() {
+        // The exact DDL from §4.2.
+        let s = parse(
+            "CREATE TABLE Subscriptions ( \
+               ownerUserId INT, \
+               targetUserId INT, \
+               approved BOOL, \
+               PRIMARY KEY (ownerUserId, targetUserId), \
+               CARDINALITY LIMIT 100 (ownerUserId) \
+             )",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateTable(t) => {
+                assert_eq!(t.columns.len(), 3);
+                assert_eq!(t.primary_key, vec!["ownerUserId", "targetUserId"]);
+                assert_eq!(t.cardinality_constraints[0].limit, 100);
+                assert_eq!(t.cardinality_constraints[0].columns, vec!["ownerUserId"]);
+            }
+            _ => panic!("expected CREATE TABLE"),
+        }
+    }
+
+    #[test]
+    fn parses_create_index_with_token() {
+        let s = parse("CREATE INDEX idx_title ON items (TOKEN(i_title), i_title, i_id)").unwrap();
+        match s {
+            Statement::CreateIndex(i) => {
+                assert_eq!(i.parts.len(), 3);
+                assert!(i.parts[0].kind.is_token());
+            }
+            _ => panic!("expected CREATE INDEX"),
+        }
+    }
+
+    #[test]
+    fn parses_dml_writes() {
+        let s = parse("INSERT INTO thoughts (owner, ts, text) VALUES (<u>, <t>, <txt>)").unwrap();
+        assert!(matches!(s, Statement::Insert(_)));
+        let s = parse("UPDATE users SET home_town = 'SF' WHERE username = <u>").unwrap();
+        assert!(matches!(s, Statement::Update(_)));
+        let s = parse("DELETE FROM carts WHERE cart_id = <c>").unwrap();
+        assert!(matches!(s, Statement::Delete(_)));
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let q = parse_select(
+            "SELECT owner, COUNT(*) AS n FROM order_lines \
+             WHERE order_id = <o> GROUP BY owner LIMIT 10",
+        )
+        .unwrap();
+        assert!(matches!(
+            q.projection[1],
+            SelectItem::Aggregate(AggregateExpr {
+                func: AggFunc::Count,
+                arg: None,
+                ..
+            })
+        ));
+        assert_eq!(q.group_by.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let e = parse("SELECT FROM t").unwrap_err();
+        assert!(e.offset >= 7);
+        assert!(parse("SELECT * FROM t LIMIT 0").is_err());
+        assert!(parse("SELECT * FROM t WHERE a").is_err());
+    }
+}

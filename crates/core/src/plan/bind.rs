@@ -1,0 +1,597 @@
+//! Binding: name resolution and construction of the naive logical plan
+//! (the Figure 3(b) stage).
+//!
+//! The binder validates the query against the catalog, assigns global field
+//! ids, classifies predicates (relation-local vs join vs residual), and
+//! produces a left-deep join tree in syntactic order with:
+//! relation-local selections directly above their leaves, join conditions on
+//! join nodes, residual predicates above the topmost join, then
+//! Sort → Stop → Project/Aggregate.
+
+use super::logical::{LogicalPlan, Stop, StopKind};
+use super::pred::{BoundPredicate, InOperand, Operand};
+use super::schema::{FieldId, QuerySchema, RelId, RelationSource, ResolveError};
+use crate::ast::{
+    AggFunc, InList, Predicate, RowBound, ScalarExpr, SelectItem, SelectStmt,
+};
+use crate::catalog::Catalog;
+use crate::codec::key::Dir;
+use crate::value::DataType;
+use std::fmt;
+
+/// A bound aggregate expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundAggregate {
+    pub func: AggFunc,
+    pub arg: Option<FieldId>,
+    pub alias: String,
+}
+
+/// A parameter slot expected at execution time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSlot {
+    pub index: usize,
+    pub name: String,
+    /// `Some(max)` when the slot expects a collection.
+    pub collection_max: Option<u64>,
+}
+
+/// One column of the query's output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputField {
+    pub name: String,
+    pub ty: DataType,
+}
+
+/// Result of binding a SELECT.
+#[derive(Debug, Clone)]
+pub struct BoundQuery {
+    pub schema: QuerySchema,
+    /// The naive logical plan (Figure 3(b)).
+    pub plan: LogicalPlan,
+    pub row_bound: Option<RowBound>,
+    pub output: Vec<OutputField>,
+    pub params: Vec<ParamSlot>,
+}
+
+/// Binding errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BindError {
+    UnknownTable(String),
+    Resolve(ResolveError),
+    DuplicateBinding(String),
+    TypeMismatch {
+        context: String,
+        expected: DataType,
+        found: String,
+    },
+    Unsupported(String),
+    ParamConflict(String),
+}
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            BindError::Resolve(e) => write!(f, "{e}"),
+            BindError::DuplicateBinding(b) => {
+                write!(f, "duplicate relation binding '{b}'")
+            }
+            BindError::TypeMismatch {
+                context,
+                expected,
+                found,
+            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            BindError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            BindError::ParamConflict(msg) => write!(f, "parameter conflict: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+impl From<ResolveError> for BindError {
+    fn from(e: ResolveError) -> Self {
+        BindError::Resolve(e)
+    }
+}
+
+/// Bind `stmt` against `catalog`.
+pub fn bind(catalog: &Catalog, stmt: &SelectStmt) -> Result<BoundQuery, BindError> {
+    let mut schema = QuerySchema::default();
+    let mut bindings = std::collections::BTreeSet::new();
+
+    let add_rel = |schema: &mut QuerySchema,
+                       bindings: &mut std::collections::BTreeSet<String>,
+                       tref: &crate::ast::TableRef|
+     -> Result<RelId, BindError> {
+        let table = catalog
+            .table(&tref.table)
+            .ok_or_else(|| BindError::UnknownTable(tref.table.clone()))?;
+        let binding = tref.binding_name().to_string();
+        if !bindings.insert(binding.to_ascii_lowercase()) {
+            return Err(BindError::DuplicateBinding(binding));
+        }
+        Ok(schema.add_table(catalog, table.id, &binding))
+    };
+
+    add_rel(&mut schema, &mut bindings, &stmt.from)?;
+    for join in &stmt.joins {
+        add_rel(&mut schema, &mut bindings, &join.table)?;
+    }
+
+    // ---- predicates: WHERE plus every ON clause, all one conjunction.
+    let mut all_preds = Vec::new();
+    for p in stmt.filter.iter().chain(stmt.joins.iter().flat_map(|j| j.on.iter())) {
+        all_preds.push(bind_predicate(catalog, &schema, p)?);
+    }
+
+    // ---- classify
+    let n_rels = schema.relations.len();
+    let mut local: Vec<Vec<BoundPredicate>> = vec![Vec::new(); n_rels];
+    let mut join_conds: Vec<(FieldId, FieldId)> = Vec::new();
+    let mut residual: Vec<BoundPredicate> = Vec::new();
+    for pred in all_preds {
+        let rels: std::collections::BTreeSet<RelId> =
+            pred.fields().iter().map(|&f| schema.rel_of(f)).collect();
+        if rels.len() <= 1 {
+            let rel = rels.into_iter().next().expect("predicate references a field");
+            local[rel].push(pred);
+        } else if let Some((l, r)) = pred.as_join_equality() {
+            join_conds.push((l, r));
+        } else {
+            residual.push(pred);
+        }
+    }
+
+    // ---- naive left-deep join tree in syntactic order
+    let mut plan = LogicalPlan::selection(
+        LogicalPlan::Relation { rel: 0 },
+        std::mem::take(&mut local[0]),
+    );
+    for (rel, local_preds) in local.iter_mut().enumerate().skip(1) {
+        let right = LogicalPlan::selection(
+            LogicalPlan::Relation { rel },
+            std::mem::take(local_preds),
+        );
+        // join conditions whose later relation is `rel` and whose other side
+        // is already in the left subtree
+        let mut on = Vec::new();
+        join_conds.retain(|&(a, b)| {
+            let (ra, rb) = (schema.rel_of(a), schema.rel_of(b));
+            if ra == rel && rb < rel {
+                on.push((b, a));
+                false
+            } else if rb == rel && ra < rel {
+                on.push((a, b));
+                false
+            } else {
+                true
+            }
+        });
+        plan = LogicalPlan::Join {
+            left: Box::new(plan),
+            right: Box::new(right),
+            on,
+        };
+    }
+    if !join_conds.is_empty() {
+        // equality between two relations neither of which is the later one —
+        // only possible with self-referencing conditions; keep as residual
+        for (l, r) in join_conds {
+            residual.push(BoundPredicate::FieldCompare {
+                left: l,
+                op: crate::ast::CompareOp::Eq,
+                right: r,
+            });
+        }
+    }
+    plan = LogicalPlan::selection(plan, residual);
+
+    // ---- aggregate / sort / stop / project
+    let mut aggs = Vec::new();
+    let mut proj_items: Vec<(FieldId, String)> = Vec::new();
+    let mut has_aggregate = false;
+    for item in &stmt.projection {
+        match item {
+            SelectItem::Wildcard => {
+                for (id, f) in schema.fields.iter().enumerate() {
+                    if matches!(
+                        schema.relations[f.rel_id].source,
+                        RelationSource::Table(_)
+                    ) {
+                        proj_items.push((id, f.name.clone()));
+                    }
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                let rel = schema.resolve_relation(q)?;
+                for id in schema.relation(rel).fields() {
+                    proj_items.push((id, schema.field(id).name.clone()));
+                }
+            }
+            SelectItem::Column { column, alias } => {
+                let id = schema.resolve(column)?;
+                let name = alias.clone().unwrap_or_else(|| column.column.clone());
+                proj_items.push((id, name));
+            }
+            SelectItem::Aggregate(a) => {
+                has_aggregate = true;
+                let arg = a.arg.as_ref().map(|c| schema.resolve(c)).transpose()?;
+                let alias = a.alias.clone().unwrap_or_else(|| {
+                    match &a.arg {
+                        Some(c) => format!("{}_{}", a.func, c.column).to_lowercase(),
+                        None => a.func.to_string().to_lowercase(),
+                    }
+                });
+                aggs.push(BoundAggregate {
+                    func: a.func,
+                    arg,
+                    alias,
+                });
+            }
+        }
+    }
+
+    let group_by: Vec<FieldId> = stmt
+        .group_by
+        .iter()
+        .map(|c| schema.resolve(c))
+        .collect::<Result<_, _>>()?;
+    if !group_by.is_empty() && !has_aggregate {
+        return Err(BindError::Unsupported(
+            "GROUP BY requires aggregate functions in the projection".into(),
+        ));
+    }
+    if has_aggregate {
+        // standard SQL: non-aggregate projection items must be group keys
+        for (fid, _) in &proj_items {
+            if !group_by.contains(fid) {
+                return Err(BindError::Unsupported(format!(
+                    "projection column {} must appear in GROUP BY",
+                    schema.field(*fid).qualified_name()
+                )));
+            }
+        }
+    }
+
+    let sort_keys: Vec<(FieldId, Dir)> = stmt
+        .order_by
+        .iter()
+        .map(|o| Ok::<_, BindError>((schema.resolve(&o.column)?, o.dir)))
+        .collect::<Result<_, _>>()?;
+    if !sort_keys.is_empty() {
+        plan = LogicalPlan::Sort {
+            input: Box::new(plan),
+            keys: sort_keys,
+        };
+    }
+    if let Some(bound) = stmt.bound {
+        plan = LogicalPlan::Stop {
+            input: Box::new(plan),
+            stop: Stop {
+                kind: StopKind::Standard,
+                count: bound.count(),
+                provenance: if bound.is_paginated() {
+                    format!("PAGINATE {}", bound.count())
+                } else {
+                    format!("LIMIT {}", bound.count())
+                },
+                cause: Vec::new(),
+            },
+        };
+    }
+
+    let output: Vec<OutputField>;
+    if has_aggregate {
+        output = group_by
+            .iter()
+            .map(|&g| OutputField {
+                name: schema.field(g).name.clone(),
+                ty: schema.field(g).ty,
+            })
+            .chain(aggs.iter().map(|a| OutputField {
+                name: a.alias.clone(),
+                ty: match a.func {
+                    AggFunc::Count => DataType::BigInt,
+                    AggFunc::Avg => DataType::Double,
+                    _ => a
+                        .arg
+                        .map(|f| schema.field(f).ty)
+                        .unwrap_or(DataType::BigInt),
+                },
+            }))
+            .collect();
+        plan = LogicalPlan::Aggregate {
+            input: Box::new(plan),
+            group_by,
+            aggs,
+        };
+    } else {
+        output = proj_items
+            .iter()
+            .map(|(fid, name)| OutputField {
+                name: name.clone(),
+                ty: schema.field(*fid).ty,
+            })
+            .collect();
+        plan = LogicalPlan::Project {
+            input: Box::new(plan),
+            items: proj_items,
+        };
+    }
+
+    let params = collect_params(&plan)?;
+    Ok(BoundQuery {
+        schema,
+        plan,
+        row_bound: stmt.bound,
+        output,
+        params,
+    })
+}
+
+fn bind_predicate(
+    catalog: &Catalog,
+    schema: &QuerySchema,
+    pred: &Predicate,
+) -> Result<BoundPredicate, BindError> {
+    let _ = catalog;
+    Ok(match pred {
+        Predicate::Compare { left, op, right } => {
+            let field = schema.resolve(left)?;
+            match right {
+                ScalarExpr::Column(c) => {
+                    let right = schema.resolve(c)?;
+                    BoundPredicate::FieldCompare {
+                        left: field,
+                        op: *op,
+                        right,
+                    }
+                }
+                ScalarExpr::Literal(v) => {
+                    let ty = schema.field(field).ty;
+                    let coerced = v.coerce(ty).ok_or_else(|| BindError::TypeMismatch {
+                        context: format!("predicate on {}", schema.field(field).qualified_name()),
+                        expected: ty,
+                        found: v.to_string(),
+                    })?;
+                    BoundPredicate::Compare {
+                        field,
+                        op: *op,
+                        operand: Operand::Literal(coerced),
+                    }
+                }
+                ScalarExpr::Param(p) => BoundPredicate::Compare {
+                    field,
+                    op: *op,
+                    operand: Operand::Param(p.clone()),
+                },
+            }
+        }
+        Predicate::Like { column, pattern } => {
+            let field = schema.resolve(column)?;
+            if !matches!(schema.field(field).ty, DataType::Varchar(_)) {
+                return Err(BindError::TypeMismatch {
+                    context: format!("LIKE on {}", schema.field(field).qualified_name()),
+                    expected: DataType::Varchar(0),
+                    found: schema.field(field).ty.to_string(),
+                });
+            }
+            let operand = match pattern {
+                ScalarExpr::Literal(v) => Operand::Literal(v.clone()),
+                ScalarExpr::Param(p) => Operand::Param(p.clone()),
+                ScalarExpr::Column(_) => {
+                    return Err(BindError::Unsupported(
+                        "LIKE against another column".into(),
+                    ))
+                }
+            };
+            // The §7.3 rewrite: LIKE becomes a tokenized search served by an
+            // inverted TOKEN index.
+            BoundPredicate::TokenMatch { field, operand }
+        }
+        Predicate::In { column, list } => {
+            let field = schema.resolve(column)?;
+            let operand = match list {
+                InList::Values(vs) => {
+                    let ty = schema.field(field).ty;
+                    let coerced: Option<Vec<_>> = vs.iter().map(|v| v.coerce(ty)).collect();
+                    InOperand::Values(coerced.ok_or_else(|| BindError::TypeMismatch {
+                        context: format!("IN list on {}", schema.field(field).qualified_name()),
+                        expected: ty,
+                        found: "incompatible literal".into(),
+                    })?)
+                }
+                InList::Param(p) => InOperand::Param(p.clone()),
+            };
+            BoundPredicate::In { field, operand }
+        }
+        Predicate::IsNull { column, negated } => BoundPredicate::IsNull {
+            field: schema.resolve(column)?,
+            negated: *negated,
+        },
+    })
+}
+
+/// Collect parameter slots from a plan, checking that one index is used
+/// consistently (same name, same kind).
+fn collect_params(plan: &LogicalPlan) -> Result<Vec<ParamSlot>, BindError> {
+    let mut slots: Vec<Option<ParamSlot>> = Vec::new();
+    let mut visit_operand = |op: &Operand, slots: &mut Vec<Option<ParamSlot>>| {
+        if let Operand::Param(p) = op {
+            record(slots, p.index, &p.name, None)
+        } else {
+            Ok(())
+        }
+    };
+    fn record(
+        slots: &mut Vec<Option<ParamSlot>>,
+        index: usize,
+        name: &str,
+        collection_max: Option<u64>,
+    ) -> Result<(), BindError> {
+        if slots.len() <= index {
+            slots.resize(index + 1, None);
+        }
+        match &slots[index] {
+            None => {
+                slots[index] = Some(ParamSlot {
+                    index,
+                    name: name.to_string(),
+                    collection_max,
+                });
+                Ok(())
+            }
+            Some(existing) => {
+                if !existing.name.eq_ignore_ascii_case(name)
+                    || existing.collection_max.is_some() != collection_max.is_some()
+                {
+                    Err(BindError::ParamConflict(format!(
+                        "parameter {} bound as both '{}' and '{}'",
+                        index + 1,
+                        existing.name,
+                        name
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+    let mut stack = vec![plan];
+    while let Some(node) = stack.pop() {
+        match node {
+            LogicalPlan::Selection { input, predicates } => {
+                for p in predicates {
+                    visit_pred(p, &mut slots, &mut visit_operand)?;
+                }
+                stack.push(input);
+            }
+            LogicalPlan::Join { left, right, .. } => {
+                stack.push(left);
+                stack.push(right);
+            }
+            LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Stop { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. } => stack.push(input),
+            LogicalPlan::Relation { .. } | LogicalPlan::ParamValues { .. } => {}
+        }
+    }
+    fn visit_pred(
+        p: &BoundPredicate,
+        slots: &mut Vec<Option<ParamSlot>>,
+        visit_operand: &mut impl FnMut(&Operand, &mut Vec<Option<ParamSlot>>) -> Result<(), BindError>,
+    ) -> Result<(), BindError> {
+        match p {
+            BoundPredicate::Compare { operand, .. }
+            | BoundPredicate::TokenMatch { operand, .. } => visit_operand(operand, slots),
+            BoundPredicate::In { operand, .. } => match operand {
+                InOperand::Param(prm) => record(
+                    slots,
+                    prm.index,
+                    &prm.name,
+                    Some(prm.max_cardinality.unwrap_or(u64::MAX)),
+                ),
+                InOperand::Values(_) => Ok(()),
+            },
+            BoundPredicate::FieldCompare { .. } | BoundPredicate::IsNull { .. } => Ok(()),
+        }
+    }
+    Ok(slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            s.unwrap_or(ParamSlot {
+                index: i,
+                name: format!("p{}", i + 1),
+                collection_max: None,
+            })
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::TableDef;
+    use crate::parser::parse_select;
+
+    fn scadr_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.create_table(
+            TableDef::builder("users")
+                .column("username", DataType::Varchar(32))
+                .column("home_town", DataType::Varchar(64))
+                .primary_key(&["username"])
+                .build(),
+        )
+        .unwrap();
+        cat.create_table(
+            TableDef::builder("subscriptions")
+                .column("owner", DataType::Varchar(32))
+                .column("target", DataType::Varchar(32))
+                .column("approved", DataType::Bool)
+                .primary_key(&["owner", "target"])
+                .cardinality_limit(100, &["owner"])
+                .build(),
+        )
+        .unwrap();
+        cat.create_table(
+            TableDef::builder("thoughts")
+                .column("owner", DataType::Varchar(32))
+                .column("timestamp", DataType::Timestamp)
+                .column("text", DataType::Varchar(140))
+                .primary_key(&["owner", "timestamp"])
+                .build(),
+        )
+        .unwrap();
+        cat
+    }
+
+    #[test]
+    fn binds_thoughtstream_to_naive_plan() {
+        let cat = scadr_catalog();
+        let stmt = parse_select(
+            "SELECT t.* FROM subscriptions s JOIN thoughts t \
+             WHERE t.owner = s.target AND s.owner = <uname> AND s.approved = true \
+             ORDER BY t.timestamp DESC LIMIT 10",
+        )
+        .unwrap();
+        let bq = bind(&cat, &stmt).unwrap();
+        assert_eq!(bq.schema.relations.len(), 2);
+        assert_eq!(bq.output.len(), 3); // thoughts.*
+        assert_eq!(bq.params.len(), 1);
+        // shape: Project(Stop(Sort(Join(Selection(Relation s), Relation t))))
+        let rendered = format!("{}", bq.plan.display_with(&bq.schema));
+        assert!(rendered.contains("Stop(10, from LIMIT 10)"));
+        assert!(rendered.contains("Join(s.target = t.owner)"));
+        assert!(rendered.contains("Selection(s.owner = [1: uname], s.approved = true)"));
+    }
+
+    #[test]
+    fn rejects_unknowns_and_type_errors() {
+        let cat = scadr_catalog();
+        let q = parse_select("SELECT * FROM nope").unwrap();
+        assert!(matches!(bind(&cat, &q), Err(BindError::UnknownTable(_))));
+        let q = parse_select("SELECT * FROM users WHERE username = 5").unwrap();
+        assert!(matches!(bind(&cat, &q), Err(BindError::TypeMismatch { .. })));
+        let q = parse_select("SELECT * FROM users u JOIN users u").unwrap();
+        assert!(matches!(bind(&cat, &q), Err(BindError::DuplicateBinding(_))));
+    }
+
+    #[test]
+    fn group_by_validation() {
+        let cat = scadr_catalog();
+        let q = parse_select(
+            "SELECT owner, COUNT(*) FROM thoughts WHERE owner = <u> GROUP BY owner LIMIT 5",
+        )
+        .unwrap();
+        let bq = bind(&cat, &q).unwrap();
+        assert_eq!(bq.output.len(), 2);
+        assert_eq!(bq.output[1].ty, DataType::BigInt);
+        let bad = parse_select("SELECT text, COUNT(*) FROM thoughts GROUP BY owner").unwrap();
+        assert!(bind(&cat, &bad).is_err());
+    }
+}

@@ -1,0 +1,14 @@
+//! Query plans: binding, logical plans, and shared plan infrastructure.
+
+pub mod bind;
+pub mod logical;
+pub mod physical;
+pub mod params;
+pub mod pred;
+pub mod schema;
+
+pub use bind::{bind, BindError, BoundAggregate, BoundQuery, OutputField, ParamSlot};
+pub use logical::{LogicalPlan, Stop, StopKind};
+pub use params::{ParamError, ParamValue, Params};
+pub use pred::{BoundPredicate, InOperand, Operand};
+pub use schema::{Field, FieldId, QuerySchema, RelId, Relation, RelationSource};

@@ -1,0 +1,72 @@
+//! Tokenization for inverted full-text indexes (§7.3).
+//!
+//! PIQL rewrites `LIKE` predicates into lookups against a `TOKEN(col)`
+//! index. The tokenizer is deliberately simple and deterministic: lowercase,
+//! split on non-alphanumeric characters, drop empties. Both the write path
+//! (index maintenance) and predicate evaluation use this single definition,
+//! so a stored row always matches the tokens it was indexed under.
+
+/// Split `text` into lowercase alphanumeric tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            current.extend(ch.to_lowercase());
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Canonical form of a single search token (what a `LIKE [param]` binds to).
+/// Returns `None` when the pattern contains more than one token — PIQL's
+/// inverted index serves single-token lookups (§7.3).
+pub fn search_token(pattern: &str) -> Option<String> {
+    let stripped = pattern.trim_matches('%');
+    let mut toks = tokenize(stripped);
+    if toks.len() == 1 {
+        Some(toks.remove(0))
+    } else {
+        None
+    }
+}
+
+/// Whether `text` contains `token` as one of its tokens.
+pub fn contains_token(text: &str, token: &str) -> bool {
+    let token = token.to_lowercase();
+    tokenize(text).contains(&token)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_lowercase_alnum() {
+        assert_eq!(
+            tokenize("The Grapes-of Wrath! 2nd ed."),
+            vec!["the", "grapes", "of", "wrath", "2nd", "ed"]
+        );
+        assert!(tokenize("  --  ").is_empty());
+    }
+
+    #[test]
+    fn search_token_accepts_single_words_only() {
+        assert_eq!(search_token("Wrath"), Some("wrath".into()));
+        assert_eq!(search_token("%wrath%"), Some("wrath".into()));
+        assert_eq!(search_token("grapes of"), None);
+        assert_eq!(search_token(""), None);
+    }
+
+    #[test]
+    fn containment_is_token_exact() {
+        assert!(contains_token("The Grapes of Wrath", "grapes"));
+        assert!(!contains_token("The Grapes of Wrath", "rape"));
+        assert!(contains_token("Ümlaut Text", "ümlaut"));
+    }
+}

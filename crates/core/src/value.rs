@@ -1,0 +1,310 @@
+//! Runtime values and their static types.
+//!
+//! PIQL targets interactive web applications, so the type lattice is the
+//! small one the paper's schemas need: integers, strings, booleans,
+//! timestamps, and doubles. Every value is orderable within its type, which
+//! is what lets the key codec ([`crate::codec::key`]) lay tuples out
+//! contiguously in the ordered key/value store.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Static type of a column or expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 32-bit signed integer (`INT`).
+    Int,
+    /// 64-bit signed integer (`BIGINT`).
+    BigInt,
+    /// Variable-length UTF-8 string with a declared maximum length
+    /// (`VARCHAR(n)`). The bound feeds the predictor's tuple-size estimate.
+    Varchar(u32),
+    /// Boolean (`BOOL`).
+    Bool,
+    /// Microseconds since the epoch (`TIMESTAMP`).
+    Timestamp,
+    /// IEEE-754 double (`DOUBLE`). Not allowed in keys (NaN breaks total
+    /// order); fine in payloads.
+    Double,
+}
+
+impl DataType {
+    /// Upper bound on the encoded size of a value of this type, in bytes.
+    ///
+    /// Used by the SLO predictor to pick the tuple-size parameter β and by
+    /// the bound analyzer for `max_bytes` annotations.
+    pub fn max_encoded_len(self) -> usize {
+        match self {
+            DataType::Int => 5,
+            DataType::BigInt | DataType::Timestamp => 9,
+            // worst case: every byte escaped (2x) + 2-byte terminator + tag
+            DataType::Varchar(n) => 2 * n as usize + 3,
+            DataType::Bool => 2,
+            DataType::Double => 9,
+        }
+    }
+
+    /// Whether values of this type may participate in index keys.
+    pub fn key_compatible(self) -> bool {
+        !matches!(self, DataType::Double)
+    }
+
+    /// Human-readable SQL-ish name.
+    pub fn sql_name(self) -> String {
+        match self {
+            DataType::Int => "INT".into(),
+            DataType::BigInt => "BIGINT".into(),
+            DataType::Varchar(n) => format!("VARCHAR({n})"),
+            DataType::Bool => "BOOL".into(),
+            DataType::Timestamp => "TIMESTAMP".into(),
+            DataType::Double => "DOUBLE".into(),
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.sql_name())
+    }
+}
+
+/// A runtime value.
+///
+/// `Null` compares less than every non-null value of the same type, matching
+/// the key codec's encoding (a null sorts first within its column position).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Int(i32),
+    BigInt(i64),
+    Varchar(String),
+    Bool(bool),
+    Timestamp(i64),
+    Double(f64),
+}
+
+impl Value {
+    /// The dynamic type, or `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::BigInt(_) => Some(DataType::BigInt),
+            Value::Varchar(s) => Some(DataType::Varchar(s.len() as u32)),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Timestamp(_) => Some(DataType::Timestamp),
+            Value::Double(_) => Some(DataType::Double),
+        }
+    }
+
+    /// Whether this value is storable in a column of type `ty`
+    /// (exact type match, with `Null` allowed everywhere and integer
+    /// widening `Int -> BigInt/Timestamp`).
+    pub fn conforms_to(&self, ty: DataType) -> bool {
+        match (self, ty) {
+            (Value::Null, _) => true,
+            (Value::Int(_), DataType::Int) => true,
+            (Value::Int(_) | Value::BigInt(_), DataType::BigInt) => true,
+            (Value::Varchar(s), DataType::Varchar(n)) => s.len() <= n as usize,
+            (Value::Bool(_), DataType::Bool) => true,
+            (Value::Int(_) | Value::BigInt(_) | Value::Timestamp(_), DataType::Timestamp) => true,
+            (Value::Double(_), DataType::Double) => true,
+            _ => false,
+        }
+    }
+
+    /// Coerce into the canonical representation for `ty`, widening integers.
+    ///
+    /// Returns `None` when the value does not conform.
+    pub fn coerce(&self, ty: DataType) -> Option<Value> {
+        if !self.conforms_to(ty) {
+            return None;
+        }
+        Some(match (self, ty) {
+            (Value::Int(v), DataType::BigInt) => Value::BigInt(*v as i64),
+            (Value::Int(v), DataType::Timestamp) => Value::Timestamp(*v as i64),
+            (Value::BigInt(v), DataType::Timestamp) => Value::Timestamp(*v),
+            _ => self.clone(),
+        })
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Total order within one logical type; cross-type comparisons order by
+    /// a fixed type rank so sorting heterogeneous data never panics.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Bool(_) => 1,
+                Int(_) | BigInt(_) | Timestamp(_) => 2,
+                Double(_) => 3,
+                Varchar(_) => 4,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (BigInt(a), BigInt(b)) => a.cmp(b),
+            (Timestamp(a), Timestamp(b)) => a.cmp(b),
+            (Int(a), BigInt(b)) => (*a as i64).cmp(b),
+            (BigInt(a), Int(b)) => a.cmp(&(*b as i64)),
+            (Int(a), Timestamp(b)) => (*a as i64).cmp(b),
+            (Timestamp(a), Int(b)) => a.cmp(&(*b as i64)),
+            (BigInt(a), Timestamp(b)) | (Timestamp(a), BigInt(b)) => a.cmp(b),
+            (Varchar(a), Varchar(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Double(a), Double(b)) => a.total_cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// Approximate encoded size in bytes (used for β estimates and stats).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) => 5,
+            Value::BigInt(_) | Value::Timestamp(_) | Value::Double(_) => 9,
+            Value::Varchar(s) => s.len() + 3,
+            Value::Bool(_) => 2,
+        }
+    }
+
+    /// Extract a string slice, if this is a `Varchar`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Varchar(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extract an integral value widened to `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v as i64),
+            Value::BigInt(v) | Value::Timestamp(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Double(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            Value::BigInt(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Int(v) => (2u8, *v as i64).hash(state),
+            Value::BigInt(v) | Value::Timestamp(v) => (2u8, *v).hash(state),
+            Value::Varchar(s) => (4u8, s).hash(state),
+            Value::Bool(b) => (1u8, b).hash(state),
+            Value::Double(d) => (3u8, d.to_bits()).hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::BigInt(v) => write!(f, "{v}"),
+            Value::Varchar(s) => write!(f, "'{s}'"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Timestamp(t) => write!(f, "ts:{t}"),
+            Value::Double(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::BigInt(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Varchar(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Varchar(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conformance_and_coercion() {
+        assert!(Value::Int(5).conforms_to(DataType::BigInt));
+        assert_eq!(
+            Value::Int(5).coerce(DataType::BigInt),
+            Some(Value::BigInt(5))
+        );
+        assert!(Value::Varchar("abc".into()).conforms_to(DataType::Varchar(3)));
+        assert!(!Value::Varchar("abcd".into()).conforms_to(DataType::Varchar(3)));
+        assert!(Value::Null.conforms_to(DataType::Bool));
+        assert!(!Value::Bool(true).conforms_to(DataType::Int));
+    }
+
+    #[test]
+    fn total_order_within_types() {
+        assert_eq!(
+            Value::Int(1).total_cmp(&Value::Int(2)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::Varchar("a".into()).total_cmp(&Value::Varchar("b".into())),
+            Ordering::Less
+        );
+        assert_eq!(Value::Null.total_cmp(&Value::Int(-100)), Ordering::Less);
+        assert_eq!(
+            Value::Int(3).total_cmp(&Value::BigInt(3)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn encoded_len_bounds_hold() {
+        let v = Value::Varchar("hello".into());
+        assert!(v.encoded_len() <= DataType::Varchar(5).max_encoded_len());
+        assert!(Value::Int(i32::MAX).encoded_len() <= DataType::Int.max_encoded_len());
+    }
+}

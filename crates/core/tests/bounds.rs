@@ -1,0 +1,110 @@
+//! Bound-arithmetic tests: the per-operator annotations must sum into the
+//! whole-query totals the paper's contribution revolves around (§1.3).
+
+use piql_core::catalog::{Catalog, TableDef};
+use piql_core::opt::Optimizer;
+use piql_core::parser::parse_select;
+use piql_core::plan::physical::PhysicalPlan;
+use piql_core::value::DataType;
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.create_table(
+        TableDef::builder("orders")
+            .column("o_id", DataType::Int)
+            .column("c_uname", DataType::Varchar(20))
+            .column("total", DataType::Double)
+            .primary_key(&["o_id"])
+            .build(),
+    )
+    .unwrap();
+    cat.create_table(
+        TableDef::builder("lines")
+            .column("o_id", DataType::Int)
+            .column("l_id", DataType::Int)
+            .column("item", DataType::Varchar(20))
+            .primary_key(&["o_id", "l_id"])
+            .foreign_key(&["o_id"], "orders")
+            .cardinality_limit(30, &["o_id"])
+            .build(),
+    )
+    .unwrap();
+    cat
+}
+
+#[test]
+fn totals_are_the_sum_of_operator_bounds() {
+    let cat = catalog();
+    let c = Optimizer::scale_independent()
+        .compile(
+            &cat,
+            &parse_select(
+                "SELECT l.*, o.total FROM lines l JOIN orders o \
+                 WHERE l.o_id = <o> AND o.o_id = l.o_id",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let remotes = c.physical.remote_ops();
+    assert_eq!(remotes.len(), 2, "{}", c.explain());
+    let sum_requests: u64 = remotes.iter().map(|op| op.bounds().requests).sum();
+    let sum_rounds: u64 = remotes.iter().map(|op| op.bounds().rounds).sum();
+    assert_eq!(c.bounds.requests, sum_requests);
+    assert_eq!(c.bounds.rounds, sum_rounds);
+    // scan(30) + fk join per scanned line (30)
+    assert_eq!(c.bounds.requests, 1 + 30);
+    assert_eq!(c.bounds.tuples, 30);
+    assert!(c.bounds.bytes > 0);
+    assert!(c.bounds.guaranteed);
+}
+
+#[test]
+fn remote_ops_are_reported_bottom_up() {
+    let cat = catalog();
+    let c = Optimizer::scale_independent()
+        .compile(
+            &cat,
+            &parse_select(
+                "SELECT l.*, o.total FROM lines l JOIN orders o \
+                 WHERE l.o_id = <o> AND o.o_id = l.o_id",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let remotes = c.physical.remote_ops();
+    assert!(matches!(remotes[0], PhysicalPlan::IndexScan { .. }));
+    assert!(matches!(remotes[1], PhysicalPlan::IndexFKJoin { .. }));
+}
+
+#[test]
+fn local_stop_tightens_the_tuple_bound() {
+    let cat = catalog();
+    let c = Optimizer::scale_independent()
+        .compile(
+            &cat,
+            &parse_select("SELECT * FROM lines WHERE o_id = <o> LIMIT 7").unwrap(),
+        )
+        .unwrap();
+    assert_eq!(c.bounds.tuples, 7, "{}", c.explain());
+    // while the scan itself may fetch up to the folded limit
+    assert_eq!(c.bounds.requests, 1);
+}
+
+#[test]
+fn layouts_cover_every_projected_field() {
+    let cat = catalog();
+    let c = Optimizer::scale_independent()
+        .compile(
+            &cat,
+            &parse_select(
+                "SELECT item, total FROM lines l JOIN orders o \
+                 WHERE l.o_id = <o> AND o.o_id = l.o_id",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    assert_eq!(c.physical.layout().len(), 2, "projection layout");
+    assert_eq!(c.output.len(), 2);
+    assert_eq!(c.output[0].name, "item");
+    assert_eq!(c.output[1].ty, DataType::Double);
+}

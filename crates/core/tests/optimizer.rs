@@ -1,0 +1,366 @@
+//! End-to-end compiler tests on the paper's own queries.
+
+use piql_core::catalog::{Catalog, Statistics, TableDef, TableStats};
+use piql_core::opt::{Optimizer, QueryClass, Suggestion};
+use piql_core::parser::parse_select;
+use piql_core::plan::physical::{PhysicalPlan, ScanLimit};
+use piql_core::value::DataType;
+
+/// The SCADr schema exactly as §8.1.2 describes it, with the §8.2
+/// cardinality limit of 10 subscriptions per user changed to 100 (the §4.2
+/// example) — tests that depend on the number use the constant below.
+const MAX_SUBSCRIPTIONS: u64 = 100;
+
+fn scadr_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.create_table(
+        TableDef::builder("users")
+            .column("username", DataType::Varchar(32))
+            .column("home_town", DataType::Varchar(64))
+            .primary_key(&["username"])
+            .build(),
+    )
+    .unwrap();
+    cat.create_table(
+        TableDef::builder("subscriptions")
+            .column("owner", DataType::Varchar(32))
+            .column("target", DataType::Varchar(32))
+            .column("approved", DataType::Bool)
+            .primary_key(&["owner", "target"])
+            .foreign_key(&["target"], "users")
+            .foreign_key(&["owner"], "users")
+            .cardinality_limit(MAX_SUBSCRIPTIONS, &["owner"])
+            .build(),
+    )
+    .unwrap();
+    cat.create_table(
+        TableDef::builder("thoughts")
+            .column("owner", DataType::Varchar(32))
+            .column("timestamp", DataType::Timestamp)
+            .column("text", DataType::Varchar(140))
+            .primary_key(&["owner", "timestamp"])
+            .foreign_key(&["owner"], "users")
+            .build(),
+    )
+    .unwrap();
+    cat
+}
+
+const THOUGHTSTREAM: &str = "SELECT thoughts.* \
+    FROM subscriptions s JOIN thoughts \
+    WHERE thoughts.owner = s.target AND s.owner = <uname> AND s.approved = true \
+    ORDER BY thoughts.timestamp DESC LIMIT 10";
+
+#[test]
+fn thoughtstream_compiles_to_figure_3d() {
+    let cat = scadr_catalog();
+    let opt = Optimizer::scale_independent();
+    let q = parse_select(THOUGHTSTREAM).unwrap();
+    let c = opt.compile(&cat, &q).unwrap();
+
+    // Physical shape: Project(SortedIndexJoin(LocalSelection(IndexScan)))
+    let explain = c.explain();
+    println!("{explain}");
+    let PhysicalPlan::LocalProject { child, .. } = &c.physical else {
+        panic!("expected projection at top, got:\n{explain}");
+    };
+    let PhysicalPlan::SortedIndexJoin { child, spec, .. } = child.as_ref() else {
+        panic!("expected SortedIndexJoin, got:\n{explain}");
+    };
+    assert_eq!(spec.per_key, 10, "limit hint 10 per subscription");
+    assert_eq!(spec.emit_limit, Some(10));
+    assert!(spec.index.is_primary(), "thoughts pk serves the join");
+    assert!(spec.reverse, "timestamp DESC over ascending pk = reverse scan");
+    let PhysicalPlan::LocalSelection { child, predicates, .. } = child.as_ref() else {
+        panic!("expected LocalSelection(approved), got:\n{explain}");
+    };
+    assert_eq!(predicates.len(), 1, "only the approved filter is local");
+    let PhysicalPlan::IndexScan { spec, .. } = child.as_ref() else {
+        panic!("expected IndexScan at the bottom, got:\n{explain}");
+    };
+    match &spec.limit {
+        ScanLimit::Bounded { count, provenance } => {
+            assert_eq!(*count, MAX_SUBSCRIPTIONS);
+            assert!(provenance.contains("CARDINALITY"), "{provenance}");
+        }
+        other => panic!("unexpected limit {other:?}"),
+    }
+    assert!(spec.index.is_primary(), "subscriptions pk serves owner=");
+
+    // Bounds: 1 range request + 100 sorted probes (+0 derefs: both primary)
+    assert_eq!(c.bounds.requests, 1 + MAX_SUBSCRIPTIONS);
+    assert!(c.bounds.guaranteed);
+    assert_eq!(c.class, QueryClass::Bounded);
+    assert!(c.required_indexes.is_empty(), "no extra index needed (Table 1)");
+    assert_eq!(c.params.len(), 1);
+}
+
+#[test]
+fn thoughtstream_without_cardinality_is_rejected_with_insight() {
+    let mut cat = Catalog::new();
+    cat.create_table(
+        TableDef::builder("users")
+            .column("username", DataType::Varchar(32))
+            .primary_key(&["username"])
+            .build(),
+    )
+    .unwrap();
+    cat.create_table(
+        TableDef::builder("subscriptions")
+            .column("owner", DataType::Varchar(32))
+            .column("target", DataType::Varchar(32))
+            .column("approved", DataType::Bool)
+            .primary_key(&["owner", "target"])
+            .build(), // no CARDINALITY LIMIT
+    )
+    .unwrap();
+    cat.create_table(
+        TableDef::builder("thoughts")
+            .column("owner", DataType::Varchar(32))
+            .column("timestamp", DataType::Timestamp)
+            .column("text", DataType::Varchar(140))
+            .primary_key(&["owner", "timestamp"])
+            .build(),
+    )
+    .unwrap();
+    let opt = Optimizer::scale_independent();
+    let q = parse_select(THOUGHTSTREAM).unwrap();
+    let err = opt.compile(&cat, &q).unwrap_err();
+    let report = err.insight().expect("insight report");
+    assert_eq!(report.relation.as_deref(), Some("s"));
+    assert!(report.suggestions.iter().any(|s| matches!(
+        s,
+        Suggestion::AddCardinalityLimit { table, columns }
+            if table == "subscriptions" && columns.contains(&"owner".to_string())
+    )), "{report}");
+}
+
+#[test]
+fn recent_thoughts_is_class_i_primary_only() {
+    let cat = scadr_catalog();
+    let opt = Optimizer::scale_independent();
+    let q = parse_select(
+        "SELECT * FROM thoughts WHERE owner = <uname> \
+         ORDER BY timestamp DESC PAGINATE 10",
+    )
+    .unwrap();
+    let c = opt.compile(&cat, &q).unwrap();
+    assert_eq!(c.class, QueryClass::Constant);
+    assert_eq!(c.page_size, Some(10));
+    assert_eq!(c.bounds.requests, 1);
+    assert!(c.required_indexes.is_empty());
+}
+
+#[test]
+fn pk_lookup_has_bound_one() {
+    let cat = scadr_catalog();
+    let opt = Optimizer::scale_independent();
+    let q = parse_select("SELECT * FROM users WHERE username = <u>").unwrap();
+    let c = opt.compile(&cat, &q).unwrap();
+    assert_eq!(c.class, QueryClass::Constant);
+    assert_eq!(c.bounds.requests, 1);
+    assert_eq!(c.bounds.tuples, 1);
+}
+
+#[test]
+fn users_followed_uses_fk_join() {
+    let cat = scadr_catalog();
+    let opt = Optimizer::scale_independent();
+    let q = parse_select(
+        "SELECT u.* FROM subscriptions s JOIN users u \
+         WHERE u.username = s.target AND s.owner = <uname>",
+    )
+    .unwrap();
+    let c = opt.compile(&cat, &q).unwrap();
+    let explain = c.explain();
+    let PhysicalPlan::LocalProject { child, .. } = &c.physical else {
+        panic!("{explain}");
+    };
+    assert!(
+        matches!(child.as_ref(), PhysicalPlan::IndexFKJoin { .. }),
+        "unique-pk join maps to IndexFKJoin:\n{explain}"
+    );
+    // 1 scan request + up to 100 parallel gets
+    assert_eq!(c.bounds.requests, 1 + MAX_SUBSCRIPTIONS);
+    assert_eq!(c.bounds.rounds, 2);
+    assert_eq!(c.class, QueryClass::Bounded);
+}
+
+#[test]
+fn subscriber_intersection_bounded_vs_cost_based() {
+    // §8.3's comparison query.
+    let cat = scadr_catalog();
+    // projecting only the key columns makes the by-target index covering,
+    // matching the paper's description of the unbounded plan (one RPC)
+    let q = parse_select(
+        "SELECT owner, target FROM subscriptions \
+         WHERE target = <target_user> AND owner IN [2: friends MAX 50]",
+    )
+    .unwrap();
+
+    // SI mode: bounded random-lookup plan (ParamSource + IndexFKJoin)
+    let opt = Optimizer::scale_independent();
+    let c = opt.compile(&cat, &q).unwrap();
+    let explain = c.explain();
+    assert!(c.bounds.guaranteed);
+    assert_eq!(c.bounds.requests, 50, "50 random reads max:\n{explain}");
+    let mut saw_fk = false;
+    let mut node = &c.physical;
+    loop {
+        if let PhysicalPlan::IndexFKJoin { child, .. } = node {
+            saw_fk = true;
+            assert!(matches!(child.as_ref(), PhysicalPlan::ParamSource { .. }));
+            break;
+        }
+        match node.child() {
+            Some(c) => node = c,
+            None => break,
+        }
+    }
+    assert!(saw_fk, "bounded plan does pk lookups:\n{explain}");
+
+    // Cost-based mode with Twitter-2009 stats (avg 126 followers): prefers
+    // the unbounded scan (1-2 expected requests beat 50 lookups).
+    let mut stats = Statistics::new();
+    let subs = cat.table("subscriptions").unwrap().id;
+    let mut ts = TableStats::with_rows(1_000_000);
+    ts.set_avg_group_size("target", 126.0);
+    stats.set_table(subs, ts);
+    let opt = Optimizer::cost_based(stats);
+    let c = opt.compile(&cat, &q).unwrap();
+    assert!(!c.bounds.guaranteed, "cost-based plan is unbounded");
+    let remotes = c.physical.remote_ops();
+    assert_eq!(remotes.len(), 1);
+    match remotes[0] {
+        PhysicalPlan::IndexScan { spec, .. } => {
+            assert!(matches!(spec.limit, ScanLimit::Unbounded { estimate: 126 }));
+            assert!(!spec.index.is_primary(), "needs subscriptions-by-target index");
+        }
+        other => panic!("expected unbounded IndexScan, got {other:?}"),
+    }
+}
+
+#[test]
+fn tpcw_search_by_title_selects_token_index() {
+    // §5.3's example: the derived index must be
+    // Items(TOKEN(I_TITLE), I_TITLE, I_ID).
+    let mut cat = Catalog::new();
+    cat.create_table(
+        TableDef::builder("author")
+            .column("a_id", DataType::Int)
+            .column("a_fname", DataType::Varchar(20))
+            .column("a_lname", DataType::Varchar(20))
+            .primary_key(&["a_id"])
+            .build(),
+    )
+    .unwrap();
+    cat.create_table(
+        TableDef::builder("item")
+            .column("i_id", DataType::Int)
+            .column("i_title", DataType::Varchar(60))
+            .column("i_a_id", DataType::Int)
+            .primary_key(&["i_id"])
+            .foreign_key(&["i_a_id"], "author")
+            .build(),
+    )
+    .unwrap();
+    let opt = Optimizer::scale_independent();
+    let q = parse_select(
+        "SELECT i_title, i_id, a_fname, a_lname FROM item, author \
+         WHERE i_a_id = a_id AND i_title LIKE [1: titleWord] \
+         ORDER BY i_title LIMIT 50",
+    )
+    .unwrap();
+    let c = opt.compile(&cat, &q).unwrap();
+    let explain = c.explain();
+    assert_eq!(c.required_indexes.len(), 1, "{explain}");
+    let idx = &c.required_indexes[0];
+    assert!(idx.key[0].kind.is_token());
+    assert_eq!(idx.key[0].kind.column_name(), "i_title");
+    assert_eq!(idx.key[1].kind.column_name(), "i_title");
+    // pk i_id is the implicit suffix
+    let item = cat.table("item").unwrap();
+    let full = idx.full_key_parts(item);
+    assert_eq!(full.last().unwrap().kind.column_name(), "i_id");
+    assert!(c.notes.iter().any(|n| n.contains("tokenized")), "{:?}", c.notes);
+
+    // scan(item token idx) folded stop 50, then FK join to author
+    let remotes = c.physical.remote_ops();
+    assert_eq!(remotes.len(), 2, "{explain}");
+    match remotes[0] {
+        PhysicalPlan::IndexScan { spec, .. } => {
+            assert!(matches!(&spec.limit, ScanLimit::Bounded { count: 50, .. }));
+            assert!(spec.deref, "title index does not cover i_a_id");
+        }
+        other => panic!("{other:?}"),
+    }
+    assert!(matches!(remotes[1], PhysicalPlan::IndexFKJoin { .. }));
+    // 1 range + 50 derefs + 50 author gets
+    assert_eq!(c.bounds.requests, 101);
+    assert_eq!(c.class, QueryClass::Constant);
+}
+
+#[test]
+fn unbounded_scan_suggests_pagination() {
+    let cat = scadr_catalog();
+    let opt = Optimizer::scale_independent();
+    let q = parse_select("SELECT * FROM users").unwrap();
+    let err = opt.compile(&cat, &q).unwrap_err();
+    let report = err.insight().unwrap();
+    assert!(report
+        .suggestions
+        .contains(&Suggestion::AddLimitOrPaginate));
+    assert!(report.suggestions.contains(&Suggestion::Precompute));
+}
+
+#[test]
+fn class_iii_and_iv_detected_by_cost_based_analysis() {
+    let cat = scadr_catalog();
+    // Class III: single unbounded scan
+    let q3 = parse_select("SELECT * FROM thoughts WHERE text = <x>").unwrap();
+    let opt = Optimizer::cost_based(Statistics::new());
+    let c3 = opt.compile(&cat, &q3).unwrap();
+    assert_eq!(c3.class, QueryClass::Linear);
+    // Class IV: join with unbounded fan-out over an unbounded scan
+    let q4 = parse_select(
+        "SELECT * FROM thoughts t JOIN subscriptions s WHERE s.target = t.owner",
+    )
+    .unwrap();
+    let c4 = opt.compile(&cat, &q4).unwrap();
+    assert_eq!(c4.class, QueryClass::SuperLinear);
+}
+
+#[test]
+fn range_scan_with_limit_uses_primary_order() {
+    let cat = scadr_catalog();
+    let opt = Optimizer::scale_independent();
+    let q = parse_select(
+        "SELECT * FROM thoughts WHERE owner = <u> AND timestamp > <since> \
+         ORDER BY timestamp ASC LIMIT 25",
+    )
+    .unwrap();
+    let c = opt.compile(&cat, &q).unwrap();
+    let remotes = c.physical.remote_ops();
+    match remotes[0] {
+        PhysicalPlan::IndexScan { spec, .. } => {
+            assert!(spec.range.is_some());
+            assert!(!spec.reverse);
+            assert!(matches!(&spec.limit, ScanLimit::Bounded { count: 25, .. }));
+        }
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(c.bounds.requests, 1);
+}
+
+#[test]
+fn explain_renders_all_three_stages() {
+    let cat = scadr_catalog();
+    let opt = Optimizer::scale_independent();
+    let q = parse_select(THOUGHTSTREAM).unwrap();
+    let c = opt.compile(&cat, &q).unwrap();
+    let text = c.explain();
+    assert!(text.contains("-- logical plan (naive)"));
+    assert!(text.contains("DataStop"));
+    assert!(text.contains("SortedIndexJoin"));
+    assert!(text.contains("CARDINALITY LIMIT 100 (owner)"));
+}

@@ -1,0 +1,183 @@
+//! Focused tests for Phase I (Algorithm 1): chain deconstruction, join
+//! ordering, data-stop insertion, and the IN-rewrite.
+
+use piql_core::catalog::{Catalog, TableDef};
+use piql_core::opt::chain::{deconstruct, materialize, LegItem, TopOp};
+use piql_core::opt::phase1::{insert_data_stops, order_joins, rewrite_in_params};
+use piql_core::parser::parse_select;
+use piql_core::plan::logical::StopKind;
+use piql_core::plan::{bind, RelationSource};
+use piql_core::value::DataType;
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.create_table(
+        TableDef::builder("users")
+            .column("username", DataType::Varchar(24))
+            .column("town", DataType::Varchar(24))
+            .primary_key(&["username"])
+            .build(),
+    )
+    .unwrap();
+    cat.create_table(
+        TableDef::builder("subs")
+            .column("owner", DataType::Varchar(24))
+            .column("target", DataType::Varchar(24))
+            .column("approved", DataType::Bool)
+            .primary_key(&["owner", "target"])
+            .cardinality_limit(100, &["owner"])
+            .build(),
+    )
+    .unwrap();
+    cat.create_table(
+        TableDef::builder("thoughts")
+            .column("owner", DataType::Varchar(24))
+            .column("ts", DataType::Timestamp)
+            .primary_key(&["owner", "ts"])
+            .build(),
+    )
+    .unwrap();
+    cat
+}
+
+#[test]
+fn deconstruct_materialize_roundtrips_structure() {
+    let cat = catalog();
+    let stmt = parse_select(
+        "SELECT thoughts.* FROM subs s JOIN thoughts \
+         WHERE thoughts.owner = s.target AND s.owner = <u> AND s.approved = true \
+         ORDER BY thoughts.ts DESC LIMIT 10",
+    )
+    .unwrap();
+    let bq = bind(&cat, &stmt).unwrap();
+    let chain = deconstruct(&bq.plan);
+    assert_eq!(chain.legs.len(), 2);
+    assert_eq!(chain.join_edges.len(), 1);
+    assert_eq!(chain.sort.len(), 1);
+    assert!(chain.stop.is_some());
+    assert!(matches!(chain.top, TopOp::Project(ref items) if items.len() == 2));
+    // re-materializing without transformations reproduces the same chain
+    let rebuilt = materialize(&chain, &bq.schema);
+    let chain2 = deconstruct(&rebuilt);
+    assert_eq!(chain.legs, chain2.legs);
+    assert_eq!(chain.sort, chain2.sort);
+    assert_eq!(chain.stop, chain2.stop);
+}
+
+#[test]
+fn join_ordering_puts_the_bounded_relation_first() {
+    let cat = catalog();
+    // written with thoughts FIRST; ordering must flip it: subs has the
+    // pk/cardinality-addressable predicate
+    let stmt = parse_select(
+        "SELECT thoughts.* FROM thoughts JOIN subs s \
+         WHERE thoughts.owner = s.target AND s.owner = <u>",
+    )
+    .unwrap();
+    let bq = bind(&cat, &stmt).unwrap();
+    let mut chain = deconstruct(&bq.plan);
+    assert_eq!(bq.schema.relation(chain.legs[0].rel).binding, "thoughts");
+    order_joins(&cat, &bq.schema, &mut chain);
+    assert_eq!(
+        bq.schema.relation(chain.legs[0].rel).binding,
+        "s",
+        "the constrained relation leads the chain"
+    );
+}
+
+#[test]
+fn data_stop_sits_between_cause_and_other_predicates() {
+    let cat = catalog();
+    let stmt = parse_select(
+        "SELECT * FROM subs WHERE owner = <u> AND approved = true",
+    )
+    .unwrap();
+    let bq = bind(&cat, &stmt).unwrap();
+    let mut chain = deconstruct(&bq.plan);
+    insert_data_stops(&cat, &bq.schema, &mut chain);
+    let leg = &chain.legs[0];
+    // stack bottom-to-top: [cause preds][data stop][rest]
+    assert_eq!(leg.items.len(), 3, "{:?}", leg.items);
+    assert!(matches!(&leg.items[0], LegItem::Preds(p) if p.len() == 1));
+    match &leg.items[1] {
+        LegItem::Stop(s) => {
+            assert_eq!(s.kind, StopKind::Data);
+            assert_eq!(s.count, 100);
+            assert_eq!(s.cause.len(), 1);
+        }
+        other => panic!("expected data stop, got {other:?}"),
+    }
+    assert!(matches!(&leg.items[2], LegItem::Preds(p) if p.len() == 1));
+    // predicates above the stop are exactly the non-cause ones
+    assert_eq!(leg.preds_above_stop().len(), 1);
+}
+
+#[test]
+fn pk_coverage_beats_cardinality_for_the_data_stop() {
+    let cat = catalog();
+    let stmt = parse_select(
+        "SELECT * FROM subs WHERE owner = <u> AND target = <t>",
+    )
+    .unwrap();
+    let bq = bind(&cat, &stmt).unwrap();
+    let mut chain = deconstruct(&bq.plan);
+    insert_data_stops(&cat, &bq.schema, &mut chain);
+    let stop = chain.legs[0].data_stop().expect("stop inserted");
+    assert_eq!(stop.count, 1, "full pk -> cardinality 1");
+    assert!(stop.provenance.contains("pk("), "{}", stop.provenance);
+}
+
+#[test]
+fn in_rewrite_adds_a_bounded_leg_and_edge() {
+    let cat = catalog();
+    let stmt = parse_select(
+        "SELECT owner, target FROM subs \
+         WHERE target = <t> AND owner IN [2: friends MAX 50]",
+    )
+    .unwrap();
+    let bq = bind(&cat, &stmt).unwrap();
+    let mut schema = bq.schema.clone();
+    let mut chain = deconstruct(&bq.plan);
+    let notes = rewrite_in_params(&cat, &mut schema, &mut chain);
+    assert_eq!(notes.len(), 1, "{notes:?}");
+    assert_eq!(chain.legs.len(), 2);
+    assert_eq!(chain.join_edges.len(), 1);
+    let param_leg = chain
+        .legs
+        .iter()
+        .find(|l| {
+            matches!(
+                schema.relation(l.rel).source,
+                RelationSource::ParamValues { .. }
+            )
+        })
+        .expect("synthetic relation added");
+    let stop = param_leg.data_stop().expect("param leg carries its bound");
+    assert_eq!(stop.count, 50);
+
+    // without MAX the rewrite must not fire
+    let stmt = parse_select(
+        "SELECT owner, target FROM subs WHERE target = <t> AND owner IN [2: friends]",
+    )
+    .unwrap();
+    let bq = bind(&cat, &stmt).unwrap();
+    let mut schema = bq.schema.clone();
+    let mut chain = deconstruct(&bq.plan);
+    assert!(rewrite_in_params(&cat, &mut schema, &mut chain).is_empty());
+    assert_eq!(chain.legs.len(), 1);
+}
+
+#[test]
+fn in_rewrite_requires_addressability() {
+    let cat = catalog();
+    // IN over a non-key column: lookups would not be bounded per element,
+    // so the rewrite must not fire
+    let stmt = parse_select(
+        "SELECT * FROM users WHERE town IN [1: towns MAX 5]",
+    )
+    .unwrap();
+    let bq = bind(&cat, &stmt).unwrap();
+    let mut schema = bq.schema.clone();
+    let mut chain = deconstruct(&bq.plan);
+    assert!(rewrite_in_params(&cat, &mut schema, &mut chain).is_empty());
+}

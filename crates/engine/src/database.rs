@@ -1,0 +1,490 @@
+//! The `Database` facade: PIQL's library-centric database engine (§3).
+//!
+//! One `Database` instance corresponds to one application-server library:
+//! it owns a catalog, compiles PIQL text with the scale-independent
+//! optimizer, auto-creates (and backfills) compiler-derived indexes, and
+//! executes plans against the shared key/value store. It keeps no
+//! per-request state — sessions are externally owned, so many simulated
+//! application servers can share one `Database` handle.
+
+use crate::cursor::Cursor;
+use crate::exec::{ExecCtx, ExecError, ExecStrategy, QueryResult};
+use crate::reference::ReferenceExecutor;
+use crate::write::{WriteError, Writer};
+use parking_lot::RwLock;
+use piql_core::ast::{ScalarExpr, Statement};
+use piql_core::catalog::{Catalog, IndexDef, TableDef};
+use piql_core::opt::{Compiled, OptError, Optimizer};
+use piql_core::parser::{parse, ParseError};
+use piql_core::plan::params::Params;
+use piql_core::tuple::Tuple;
+use piql_core::value::Value;
+use piql_kv::{KvStore, Session, SimCluster};
+use std::fmt;
+use std::sync::Arc;
+
+/// Top-level database errors.
+#[derive(Debug)]
+pub enum DbError {
+    Parse(ParseError),
+    Catalog(piql_core::catalog::CatalogError),
+    Compile(OptError),
+    Exec(ExecError),
+    Write(WriteError),
+    Unsupported(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(e) => write!(f, "{e}"),
+            DbError::Catalog(e) => write!(f, "{e}"),
+            DbError::Compile(e) => write!(f, "{e}"),
+            DbError::Exec(e) => write!(f, "{e}"),
+            DbError::Write(e) => write!(f, "{e}"),
+            DbError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<ParseError> for DbError {
+    fn from(e: ParseError) -> Self {
+        DbError::Parse(e)
+    }
+}
+impl From<piql_core::catalog::CatalogError> for DbError {
+    fn from(e: piql_core::catalog::CatalogError) -> Self {
+        DbError::Catalog(e)
+    }
+}
+impl From<OptError> for DbError {
+    fn from(e: OptError) -> Self {
+        DbError::Compile(e)
+    }
+}
+impl From<ExecError> for DbError {
+    fn from(e: ExecError) -> Self {
+        DbError::Exec(e)
+    }
+}
+impl From<WriteError> for DbError {
+    fn from(e: WriteError) -> Self {
+        DbError::Write(e)
+    }
+}
+
+/// A compiled, index-provisioned, executable query.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    pub compiled: Compiled,
+    /// Output column names.
+    pub columns: Vec<String>,
+}
+
+/// The PIQL database engine.
+pub struct Database {
+    cluster: Arc<SimCluster>,
+    catalog: RwLock<Catalog>,
+    optimizer: Optimizer,
+}
+
+impl Database {
+    pub fn new(cluster: Arc<SimCluster>) -> Self {
+        Database {
+            cluster,
+            catalog: RwLock::new(Catalog::new()),
+            optimizer: Optimizer::scale_independent(),
+        }
+    }
+
+    pub fn cluster(&self) -> &Arc<SimCluster> {
+        &self.cluster
+    }
+
+    /// A point-in-time copy of the catalog (definitions are `Arc`-shared).
+    pub fn catalog(&self) -> Catalog {
+        self.catalog.read().clone()
+    }
+
+    // ---------------------------------------------------------------- DDL
+
+    /// Execute a DDL statement (`CREATE TABLE` / `CREATE INDEX`).
+    pub fn execute_ddl(&self, sql: &str) -> Result<(), DbError> {
+        match parse(sql)? {
+            Statement::CreateTable(stmt) => {
+                let mut b = TableDef::builder(&stmt.name);
+                for (name, ty, nullable) in &stmt.columns {
+                    b = if *nullable {
+                        b.column(name.clone(), *ty)
+                    } else {
+                        b.not_null_column(name.clone(), *ty)
+                    };
+                }
+                let mut def = b.build();
+                def.primary_key = stmt.primary_key.clone();
+                def.foreign_keys = stmt.foreign_keys.clone();
+                def.cardinality_constraints = stmt.cardinality_constraints.clone();
+                self.create_table(def)
+            }
+            Statement::CreateIndex(stmt) => {
+                let catalog = self.catalog.read().clone();
+                let table = catalog
+                    .table(&stmt.table)
+                    .ok_or_else(|| {
+                        DbError::Catalog(piql_core::catalog::CatalogError::UnknownTable(
+                            stmt.table.clone(),
+                        ))
+                    })?
+                    .clone();
+                let def = IndexDef::new(&stmt.name, table.id, stmt.parts.clone());
+                self.create_index_and_backfill(&table, def)?;
+                Ok(())
+            }
+            _ => Err(DbError::Unsupported(
+                "execute_ddl expects CREATE TABLE or CREATE INDEX".into(),
+            )),
+        }
+    }
+
+    /// Register a table. Cardinality constraints whose columns are not a
+    /// primary-key prefix get an auto-created *enforcement index* so the
+    /// write path can count them with one range request (§7.2).
+    pub fn create_table(&self, def: TableDef) -> Result<(), DbError> {
+        let id = self.catalog.write().create_table(def)?;
+        let catalog = self.catalog.read().clone();
+        let table = catalog.table_by_id(id).clone();
+        for cc in &table.cardinality_constraints {
+            if let Some(col) = cc.token_column() {
+                let parts = vec![piql_core::catalog::IndexKeyPart::token(col.to_string())];
+                let name = IndexDef::derived_name(&table, &parts);
+                let def = IndexDef::new(name, table.id, parts);
+                self.create_index_and_backfill(&table, def)?;
+                continue;
+            }
+            let pk_prefix_ok = cc.columns.len() <= table.primary_key.len()
+                && cc
+                    .columns
+                    .iter()
+                    .zip(&table.primary_key)
+                    .all(|(a, b)| a.eq_ignore_ascii_case(b));
+            if !pk_prefix_ok {
+                let parts = cc
+                    .columns
+                    .iter()
+                    .map(|c| piql_core::catalog::IndexKeyPart::asc(c.clone()))
+                    .collect::<Vec<_>>();
+                let name = IndexDef::derived_name(&table, &parts);
+                let def = IndexDef::new(name, table.id, parts);
+                self.create_index_and_backfill(&table, def)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn create_index_and_backfill(
+        &self,
+        table: &TableDef,
+        def: IndexDef,
+    ) -> Result<(), DbError> {
+        let id = self.catalog.write().create_index(def)?;
+        let catalog = self.catalog.read().clone();
+        let idx = catalog.index_by_id(id).clone();
+        // make the namespace exist, then backfill from existing records
+        let _ = self.cluster.namespace(&Catalog::index_namespace(&idx));
+        let writer = Writer::new(self.cluster.as_ref(), &catalog);
+        writer.backfill_index(&self.cluster, table, &idx)?;
+        Ok(())
+    }
+
+    // -------------------------------------------------------------- query
+
+    /// Compile a SELECT, creating and backfilling any indexes the plan
+    /// requires (§5.3).
+    pub fn prepare(&self, sql: &str) -> Result<Prepared, DbError> {
+        self.prepare_with(sql, &self.optimizer)
+    }
+
+    /// Compile with a caller-supplied optimizer (e.g. the cost-based
+    /// baseline).
+    pub fn prepare_with(&self, sql: &str, optimizer: &Optimizer) -> Result<Prepared, DbError> {
+        let stmt = piql_core::parser::parse_select(sql)?;
+        let catalog = self.catalog.read().clone();
+        let compiled = optimizer.compile(&catalog, &stmt)?;
+        if compiled.required_indexes.is_empty() {
+            return Ok(Prepared {
+                columns: compiled.output.iter().map(|o| o.name.clone()).collect(),
+                compiled,
+            });
+        }
+        // provision derived indexes, then recompile against the updated
+        // catalog so the plan references the registered definitions
+        for idx in &compiled.required_indexes {
+            let table = catalog.table_by_id(idx.table).clone();
+            self.create_index_and_backfill(&table, idx.clone())?;
+        }
+        let catalog = self.catalog.read().clone();
+        let compiled = optimizer.compile(&catalog, &stmt)?;
+        Ok(Prepared {
+            columns: compiled.output.iter().map(|o| o.name.clone()).collect(),
+            compiled,
+        })
+    }
+
+    /// Execute a prepared query.
+    pub fn execute(
+        &self,
+        session: &mut Session,
+        prepared: &Prepared,
+        params: &Params,
+    ) -> Result<QueryResult, DbError> {
+        self.execute_with(session, prepared, params, ExecStrategy::Parallel, None)
+    }
+
+    /// Execute with an explicit strategy and optional pagination cursor.
+    pub fn execute_with(
+        &self,
+        session: &mut Session,
+        prepared: &Prepared,
+        params: &Params,
+        strategy: ExecStrategy,
+        cursor: Option<&Cursor>,
+    ) -> Result<QueryResult, DbError> {
+        let catalog = self.catalog.read().clone();
+        let mut ctx = ExecCtx::new(
+            self.cluster.as_ref(),
+            session,
+            &catalog,
+            params,
+            strategy,
+        );
+        ctx.produce_cursor = prepared.compiled.page_size.is_some();
+        ctx.resume = cursor.map(|c| c.state.clone());
+        let rows = ctx.eval(&prepared.compiled.physical)?;
+        let next = ctx.next_cursor.take();
+        Ok(QueryResult {
+            rows,
+            cursor: if prepared.compiled.page_size.is_some() {
+                next.map(|state| Cursor { state })
+            } else {
+                None
+            },
+        })
+    }
+
+    /// One-shot: prepare + execute.
+    pub fn query(
+        &self,
+        session: &mut Session,
+        sql: &str,
+        params: &Params,
+    ) -> Result<QueryResult, DbError> {
+        let prepared = self.prepare(sql)?;
+        self.execute(session, &prepared, params)
+    }
+
+    // ---------------------------------------------------------------- DML
+
+    /// Execute an INSERT/UPDATE/DELETE statement.
+    pub fn execute_dml(
+        &self,
+        session: &mut Session,
+        sql: &str,
+        params: &Params,
+    ) -> Result<(), DbError> {
+        let catalog = self.catalog.read().clone();
+        let writer = Writer::new(self.cluster.as_ref(), &catalog);
+        let resolve = |e: &ScalarExpr| -> Result<Value, DbError> {
+            match e {
+                ScalarExpr::Literal(v) => Ok(v.clone()),
+                ScalarExpr::Param(p) => Ok(params
+                    .scalar(p.index, &p.name)
+                    .map_err(|e| DbError::Exec(ExecError::Param(e)))?
+                    .clone()),
+                ScalarExpr::Column(_) => Err(DbError::Unsupported(
+                    "column references in DML values".into(),
+                )),
+            }
+        };
+        match parse(sql)? {
+            Statement::Insert(stmt) => {
+                let table = self.table_def(&stmt.table)?;
+                let values: Vec<Value> =
+                    stmt.values.iter().map(&resolve).collect::<Result<_, _>>()?;
+                let row = if stmt.columns.is_empty() {
+                    Tuple::new(values)
+                } else {
+                    if stmt.columns.len() != values.len() {
+                        return Err(DbError::Write(WriteError::RowShape(
+                            "column list and VALUES arity differ".into(),
+                        )));
+                    }
+                    let mut row = vec![Value::Null; table.columns.len()];
+                    for (col, v) in stmt.columns.iter().zip(values) {
+                        let c = table.column_id(col).ok_or_else(|| {
+                            DbError::Catalog(piql_core::catalog::CatalogError::UnknownColumn {
+                                table: table.name.clone(),
+                                column: col.clone(),
+                            })
+                        })?;
+                        row[c] = v;
+                    }
+                    Tuple::new(row)
+                };
+                writer.insert(session, &table, &row)?;
+                Ok(())
+            }
+            Statement::Update(stmt) => {
+                let table = self.table_def(&stmt.table)?;
+                let pk_values = extract_pk_filter(&table, &stmt.filter, params)?;
+                let assignments: Vec<(String, Value)> = stmt
+                    .assignments
+                    .iter()
+                    .map(|(c, e)| Ok::<_, DbError>((c.clone(), resolve(e)?)))
+                    .collect::<Result<_, _>>()?;
+                writer.update(session, &table, &pk_values, &assignments)?;
+                Ok(())
+            }
+            Statement::Delete(stmt) => {
+                let table = self.table_def(&stmt.table)?;
+                let pk_values = extract_pk_filter(&table, &stmt.filter, params)?;
+                writer.delete(session, &table, &pk_values)?;
+                Ok(())
+            }
+            _ => Err(DbError::Unsupported(
+                "execute_dml expects INSERT, UPDATE, or DELETE".into(),
+            )),
+        }
+    }
+
+    /// Programmatic single-row insert.
+    pub fn insert_row(
+        &self,
+        session: &mut Session,
+        table: &str,
+        row: Tuple,
+    ) -> Result<(), DbError> {
+        let table = self.table_def(table)?;
+        let catalog = self.catalog.read().clone();
+        let writer = Writer::new(self.cluster.as_ref(), &catalog);
+        writer.insert(session, &table, &row)?;
+        Ok(())
+    }
+
+    /// Programmatic delete by primary key values.
+    pub fn delete_row(
+        &self,
+        session: &mut Session,
+        table: &str,
+        pk_values: &[Value],
+    ) -> Result<bool, DbError> {
+        let table = self.table_def(table)?;
+        let catalog = self.catalog.read().clone();
+        let writer = Writer::new(self.cluster.as_ref(), &catalog);
+        Ok(writer.delete(session, &table, pk_values)?)
+    }
+
+    /// Garbage-collect dangling secondary-index entries of a table (§7.2).
+    /// Returns the number of entries collected.
+    pub fn gc_indexes(&self, session: &mut Session, table: &str) -> Result<u64, DbError> {
+        let table = self.table_def(table)?;
+        let catalog = self.catalog.read().clone();
+        let writer = Writer::new(self.cluster.as_ref(), &catalog);
+        Ok(writer.gc_indexes(session, &table)?)
+    }
+
+    /// Untimed bulk load (experiment setup); maintains index entries.
+    pub fn bulk_load(
+        &self,
+        table: &str,
+        rows: impl IntoIterator<Item = Tuple>,
+    ) -> Result<u64, DbError> {
+        let table = self.table_def(table)?;
+        let catalog = self.catalog.read().clone();
+        let writer = Writer::new(self.cluster.as_ref(), &catalog);
+        Ok(writer.bulk_load(&self.cluster, &table, rows)?)
+    }
+
+    /// Run a SELECT through the naive reference executor (testing oracle).
+    pub fn reference_query(
+        &self,
+        sql: &str,
+        params: &Params,
+    ) -> Result<Vec<Tuple>, DbError> {
+        let stmt = piql_core::parser::parse_select(sql)?;
+        let catalog = self.catalog.read().clone();
+        let r = ReferenceExecutor::new(self.cluster.as_ref(), &catalog);
+        r.run(&stmt, params).map_err(DbError::Exec)
+    }
+
+    fn table_def(&self, name: &str) -> Result<Arc<TableDef>, DbError> {
+        self.catalog
+            .read()
+            .table(name)
+            .cloned()
+            .ok_or_else(|| {
+                DbError::Catalog(piql_core::catalog::CatalogError::UnknownTable(
+                    name.to_string(),
+                ))
+            })
+    }
+}
+
+/// Extract primary-key values from a conjunction of `pk_col = value`
+/// predicates — the only WHERE shape UPDATE/DELETE support (every write is
+/// a bounded single-record operation).
+fn extract_pk_filter(
+    table: &TableDef,
+    filter: &[piql_core::ast::Predicate],
+    params: &Params,
+) -> Result<Vec<Value>, DbError> {
+    use piql_core::ast::{CompareOp, Predicate};
+    let mut by_col: std::collections::BTreeMap<usize, Value> = Default::default();
+    for pred in filter {
+        match pred {
+            Predicate::Compare {
+                left,
+                op: CompareOp::Eq,
+                right,
+            } => {
+                let col = table.column_id(&left.column).ok_or_else(|| {
+                    DbError::Catalog(piql_core::catalog::CatalogError::UnknownColumn {
+                        table: table.name.clone(),
+                        column: left.column.clone(),
+                    })
+                })?;
+                let v = match right {
+                    ScalarExpr::Literal(v) => v.clone(),
+                    ScalarExpr::Param(p) => params
+                        .scalar(p.index, &p.name)
+                        .map_err(|e| DbError::Exec(ExecError::Param(e)))?
+                        .clone(),
+                    ScalarExpr::Column(_) => {
+                        return Err(DbError::Unsupported(
+                            "column = column predicates in DML".into(),
+                        ))
+                    }
+                };
+                by_col.insert(col, v);
+            }
+            _ => {
+                return Err(DbError::Unsupported(
+                    "UPDATE/DELETE require `pk = value` equality predicates".into(),
+                ))
+            }
+        }
+    }
+    table
+        .primary_key_ids()
+        .iter()
+        .map(|c| {
+            by_col.get(c).cloned().ok_or_else(|| {
+                DbError::Unsupported(format!(
+                    "UPDATE/DELETE must pin the full primary key of '{}'",
+                    table.name
+                ))
+            })
+        })
+        .collect()
+}

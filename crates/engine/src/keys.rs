@@ -1,0 +1,281 @@
+//! Key construction: from rows and probe values to store keys.
+//!
+//! Tables map to a primary namespace (`encode(pk) -> row codec bytes`);
+//! each secondary index maps to its own namespace
+//! (`encode(declared parts ++ pk) -> ()`), with `TOKEN(col)` parts expanded
+//! to one entry per token of the column's text (§7.3).
+
+use piql_core::catalog::{IndexDef, IndexKind, TableDef};
+use piql_core::codec::key::{self, Dir};
+use piql_core::text;
+use piql_core::tuple::Tuple;
+use piql_core::value::Value;
+use std::fmt;
+
+/// Engine-level errors around key/row handling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KeyError {
+    Codec(String),
+    RowShape(String),
+}
+
+impl fmt::Display for KeyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyError::Codec(e) => write!(f, "key codec: {e}"),
+            KeyError::RowShape(e) => write!(f, "row shape: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KeyError {}
+
+impl From<key::KeyCodecError> for KeyError {
+    fn from(e: key::KeyCodecError) -> Self {
+        KeyError::Codec(e.to_string())
+    }
+}
+
+/// Primary-key bytes of a row.
+pub fn primary_key_of_row(table: &TableDef, row: &Tuple) -> Result<Vec<u8>, KeyError> {
+    let vals: Vec<Value> = table
+        .primary_key_ids()
+        .iter()
+        .map(|&c| row[c].clone())
+        .collect();
+    if vals.iter().any(Value::is_null) {
+        return Err(KeyError::RowShape(format!(
+            "primary key of {} contains NULL",
+            table.name
+        )));
+    }
+    Ok(key::encode_key_asc(&vals)?)
+}
+
+/// Primary-key bytes from explicit values (probe side).
+pub fn primary_key_from_values(values: &[Value]) -> Result<Vec<u8>, KeyError> {
+    Ok(key::encode_key_asc(values)?)
+}
+
+/// All index-entry keys of a row under `index` (several when a TOKEN part
+/// expands).
+pub fn index_entry_keys(
+    table: &TableDef,
+    index: &IndexDef,
+    row: &Tuple,
+) -> Result<Vec<Vec<u8>>, KeyError> {
+    let parts = index.full_key_parts(table);
+    // token expansion: cartesian over token parts (in practice one)
+    let mut variants: Vec<Vec<u8>> = vec![Vec::new()];
+    for part in &parts {
+        let col = table
+            .column_id(part.kind.column_name())
+            .ok_or_else(|| KeyError::RowShape(format!("unknown column {}", part.kind.column_name())))?;
+        match &part.kind {
+            IndexKind::Column(_) => {
+                for buf in &mut variants {
+                    key::encode_component(buf, &row[col], part.dir)?;
+                }
+            }
+            IndexKind::Token(_) => {
+                let texts = match row[col].as_str() {
+                    Some(s) => text::tokenize(s),
+                    None => Vec::new(),
+                };
+                if texts.is_empty() {
+                    // no tokens -> no entries for this row
+                    return Ok(Vec::new());
+                }
+                let mut expanded = Vec::with_capacity(variants.len() * texts.len());
+                for buf in &variants {
+                    for tok in &texts {
+                        let mut b = buf.clone();
+                        key::encode_component(&mut b, &Value::Varchar(tok.clone()), part.dir)?;
+                        expanded.push(b);
+                    }
+                }
+                variants = expanded;
+            }
+        }
+    }
+    variants.sort();
+    variants.dedup();
+    Ok(variants)
+}
+
+/// Append one probe component with the part's direction.
+pub fn encode_probe_component(
+    buf: &mut Vec<u8>,
+    value: &Value,
+    dir: Dir,
+) -> Result<(), KeyError> {
+    key::encode_component(buf, value, dir)?;
+    Ok(())
+}
+
+/// Decode a full-row tuple from a primary-index entry's value bytes.
+pub fn decode_row(table: &TableDef, bytes: &[u8]) -> Result<Tuple, KeyError> {
+    let t = piql_core::codec::row::decode_tuple(bytes)
+        .map_err(|e| KeyError::Codec(e.to_string()))?;
+    if t.len() != table.columns.len() {
+        return Err(KeyError::RowShape(format!(
+            "row for {} has {} values, expected {}",
+            table.name,
+            t.len(),
+            table.columns.len()
+        )));
+    }
+    Ok(t)
+}
+
+/// Encode a full-row tuple.
+pub fn encode_row(row: &Tuple) -> Vec<u8> {
+    piql_core::codec::row::encode_tuple(row)
+}
+
+/// Reconstruct a (partial) full-arity row from a covering index entry key.
+/// Columns not present in the key come back as NULL; the planner only
+/// allows covering scans when every needed column is in the key.
+pub fn row_from_index_key(
+    table: &TableDef,
+    index: &IndexDef,
+    key_bytes: &[u8],
+) -> Result<Tuple, KeyError> {
+    let parts = index.full_key_parts(table);
+    let types = index.full_key_types(table);
+    let dirs = index.full_key_dirs(table);
+    let (values, _) = key::decode_key(key_bytes, &types, &dirs)?;
+    let mut row = vec![Value::Null; table.columns.len()];
+    for ((part, ty), value) in parts.iter().zip(&types).zip(values) {
+        let _ = ty;
+        if let IndexKind::Column(name) = &part.kind {
+            let col = table.column_id(name).expect("validated");
+            row[col] = value;
+        }
+    }
+    Ok(Tuple::new(row))
+}
+
+/// Extract the primary-key values from an index entry key (the trailing
+/// components plus any pk columns earlier in the key).
+pub fn pk_values_from_index_key(
+    table: &TableDef,
+    index: &IndexDef,
+    key_bytes: &[u8],
+) -> Result<Vec<Value>, KeyError> {
+    let row = row_from_index_key(table, index, key_bytes)?;
+    Ok(table
+        .primary_key_ids()
+        .iter()
+        .map(|&c| row[c].clone())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piql_core::catalog::{IndexKeyPart, TableId};
+    use piql_core::value::DataType;
+
+    fn thoughts() -> TableDef {
+        let mut t = TableDef::builder("thoughts")
+            .column("owner", DataType::Varchar(32))
+            .column("timestamp", DataType::Timestamp)
+            .column("text", DataType::Varchar(140))
+            .primary_key(&["owner", "timestamp"])
+            .build();
+        t.id = TableId(0);
+        t
+    }
+
+    #[test]
+    fn primary_key_roundtrip() {
+        let t = thoughts();
+        let row = Tuple::new(vec![
+            Value::Varchar("bob".into()),
+            Value::Timestamp(42),
+            Value::Varchar("hi".into()),
+        ]);
+        let k = primary_key_of_row(&t, &row).unwrap();
+        let k2 =
+            primary_key_from_values(&[Value::Varchar("bob".into()), Value::Timestamp(42)]).unwrap();
+        assert_eq!(k, k2);
+        let null_row = Tuple::new(vec![Value::Null, Value::Timestamp(1), Value::Null]);
+        assert!(primary_key_of_row(&t, &null_row).is_err());
+    }
+
+    #[test]
+    fn token_index_expands_per_token() {
+        let t = thoughts();
+        let idx = IndexDef::new("tok", t.id, vec![IndexKeyPart::token("text")]);
+        let row = Tuple::new(vec![
+            Value::Varchar("bob".into()),
+            Value::Timestamp(1),
+            Value::Varchar("hello wonderful world".into()),
+        ]);
+        let keys = index_entry_keys(&t, &idx, &row).unwrap();
+        assert_eq!(keys.len(), 3, "one entry per token");
+        // every entry decodes back to the same pk
+        for k in &keys {
+            let pk = pk_values_from_index_key(&t, &idx, k).unwrap();
+            assert_eq!(pk, vec![Value::Varchar("bob".into()), Value::Timestamp(1)]);
+        }
+        // empty text -> no entries
+        let row2 = Tuple::new(vec![
+            Value::Varchar("bob".into()),
+            Value::Timestamp(2),
+            Value::Varchar("--".into()),
+        ]);
+        assert!(index_entry_keys(&t, &idx, &row2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn covering_reconstruction() {
+        let t = thoughts();
+        let idx = IndexDef::on_columns("by_ts", t.id, &[("timestamp", Dir::Desc)]);
+        let row = Tuple::new(vec![
+            Value::Varchar("amy".into()),
+            Value::Timestamp(99),
+            Value::Varchar("zzz".into()),
+        ]);
+        let keys = index_entry_keys(&t, &idx, &row).unwrap();
+        assert_eq!(keys.len(), 1);
+        let rec = row_from_index_key(&t, &idx, &keys[0]).unwrap();
+        assert_eq!(rec[0], Value::Varchar("amy".into()));
+        assert_eq!(rec[1], Value::Timestamp(99));
+        assert_eq!(rec[2], Value::Null, "text not in key");
+    }
+
+    #[test]
+    fn desc_index_orders_newest_first() {
+        let t = thoughts();
+        let idx = IndexDef::on_columns(
+            "owner_ts_desc",
+            t.id,
+            &[("owner", Dir::Asc), ("timestamp", Dir::Desc)],
+        );
+        let mk = |ts: i64| {
+            Tuple::new(vec![
+                Value::Varchar("amy".into()),
+                Value::Timestamp(ts),
+                Value::Varchar("x".into()),
+            ])
+        };
+        let k_new = &index_entry_keys(&t, &idx, &mk(100)).unwrap()[0];
+        let k_old = &index_entry_keys(&t, &idx, &mk(50)).unwrap()[0];
+        assert!(k_new < k_old);
+    }
+
+    #[test]
+    fn row_codec_roundtrip() {
+        let t = thoughts();
+        let row = Tuple::new(vec![
+            Value::Varchar("amy".into()),
+            Value::Timestamp(7),
+            Value::Null,
+        ]);
+        let bytes = encode_row(&row);
+        assert_eq!(decode_row(&t, &bytes).unwrap(), row);
+        assert!(decode_row(&t, &encode_row(&Tuple::new(vec![Value::Int(1)]))).is_err());
+    }
+}

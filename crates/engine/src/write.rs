@@ -1,0 +1,615 @@
+//! The write path: index maintenance and constraint enforcement (§7.2).
+//!
+//! The store is eventually consistent, so the engine orders writes to fail
+//! safe:
+//!
+//! * **Insert/update**: new secondary-index entries first, then the record
+//!   (via test-and-set for uniqueness), then deletion of stale entries. A
+//!   crash can leave *dangling* index entries — readers skip them and they
+//!   are garbage-collectable — but never a record that indexes cannot find.
+//! * **Cardinality enforcement**: optimistically insert, then issue a
+//!   count-range over the constraint's enforcement prefix; if the count
+//!   exceeds the limit, undo the insert and fail. Concurrent inserts may
+//!   transiently overshoot (the paper accepts this).
+//! * **Uniqueness**: the record put is a test-and-set expecting absence.
+
+use crate::exec::ExecError;
+use crate::keys;
+use piql_core::catalog::{CardinalityConstraint, Catalog, IndexDef, TableDef};
+use piql_core::codec::key::prefix_upper_bound;
+use piql_core::tuple::Tuple;
+use piql_core::value::Value;
+use piql_kv::{KvRequest, KvResponse, KvStore, NsId, Session};
+use std::fmt;
+use std::sync::Arc;
+
+/// Write-path errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WriteError {
+    DuplicateKey { table: String },
+    NotFound { table: String },
+    CardinalityExceeded { table: String, constraint: String, limit: u64 },
+    RowShape(String),
+    Exec(String),
+}
+
+impl fmt::Display for WriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteError::DuplicateKey { table } => {
+                write!(f, "duplicate primary key in table '{table}'")
+            }
+            WriteError::NotFound { table } => write!(f, "row not found in table '{table}'"),
+            WriteError::CardinalityExceeded {
+                table,
+                constraint,
+                limit,
+            } => write!(
+                f,
+                "insert into '{table}' violates CARDINALITY LIMIT {limit} ({constraint})"
+            ),
+            WriteError::RowShape(e) => write!(f, "{e}"),
+            WriteError::Exec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WriteError {}
+
+impl From<keys::KeyError> for WriteError {
+    fn from(e: keys::KeyError) -> Self {
+        WriteError::RowShape(e.to_string())
+    }
+}
+
+impl From<ExecError> for WriteError {
+    fn from(e: ExecError) -> Self {
+        WriteError::Exec(e.to_string())
+    }
+}
+
+/// The write-path engine.
+pub struct Writer<'a> {
+    pub store: &'a dyn KvStore,
+    pub catalog: &'a Catalog,
+}
+
+impl<'a> Writer<'a> {
+    pub fn new(store: &'a dyn KvStore, catalog: &'a Catalog) -> Self {
+        Writer { store, catalog }
+    }
+
+    fn primary_ns(&self, table: &TableDef) -> NsId {
+        self.store.namespace(&Catalog::table_namespace(table))
+    }
+
+    fn index_ns(&self, index: &IndexDef) -> NsId {
+        self.store.namespace(&Catalog::index_namespace(index))
+    }
+
+    /// Validate and coerce a full row for `table`.
+    pub fn conform_row(table: &TableDef, row: &Tuple) -> Result<Tuple, WriteError> {
+        if row.len() != table.columns.len() {
+            return Err(WriteError::RowShape(format!(
+                "table '{}' expects {} values, got {}",
+                table.name,
+                table.columns.len(),
+                row.len()
+            )));
+        }
+        let mut vals = Vec::with_capacity(row.len());
+        for (col, v) in table.columns.iter().zip(row.values()) {
+            if v.is_null() && !col.nullable {
+                return Err(WriteError::RowShape(format!(
+                    "column '{}' of table '{}' is NOT NULL",
+                    col.name, table.name
+                )));
+            }
+            let cv = v.coerce(col.ty).ok_or_else(|| {
+                WriteError::RowShape(format!(
+                    "value {v} does not fit column '{}' {}",
+                    col.name, col.ty
+                ))
+            })?;
+            vals.push(cv);
+        }
+        Ok(Tuple::new(vals))
+    }
+
+    /// Insert one row, maintaining all secondary indexes and constraints.
+    pub fn insert(
+        &self,
+        session: &mut Session,
+        table: &TableDef,
+        row: &Tuple,
+    ) -> Result<(), WriteError> {
+        let row = Self::conform_row(table, row)?;
+        let pk = keys::primary_key_of_row(table, &row)?;
+        let row_bytes = keys::encode_row(&row);
+        let primary = self.primary_ns(table);
+        let indexes = self.catalog.indexes_for_table(table.id);
+
+        // 1. secondary index entries first (one parallel round)
+        let mut index_puts = Vec::new();
+        for idx in &indexes {
+            let ns = self.index_ns(idx);
+            for key in keys::index_entry_keys(table, idx, &row)? {
+                index_puts.push(KvRequest::Put {
+                    ns,
+                    key,
+                    value: Vec::new(),
+                });
+            }
+        }
+        if !index_puts.is_empty() {
+            self.store.execute_round(session, index_puts.clone());
+        }
+
+        // 2. the record, with a test-and-set enforcing pk uniqueness
+        let resp = self.store.execute_round(
+            session,
+            vec![KvRequest::TestAndSet {
+                ns: primary,
+                key: pk.clone(),
+                expect: None,
+                value: Some(row_bytes),
+            }],
+        );
+        if let Some(KvResponse::TasResult { success: false, .. }) = resp.first() {
+            // undo the index entries we just wrote
+            self.delete_index_entries(session, table, &row)?;
+            return Err(WriteError::DuplicateKey {
+                table: table.name.clone(),
+            });
+        }
+
+        // 3. cardinality enforcement: count after insert, undo on overflow
+        for cc in &table.cardinality_constraints {
+            let count = self.constraint_count(session, table, cc, &row)?;
+            if count > cc.limit {
+                self.delete_index_entries(session, table, &row)?;
+                self.store.execute_round(
+                    session,
+                    vec![KvRequest::Delete {
+                        ns: primary,
+                        key: pk.clone(),
+                    }],
+                );
+                return Err(WriteError::CardinalityExceeded {
+                    table: table.name.clone(),
+                    constraint: cc.columns.join(", "),
+                    limit: cc.limit,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Update a row identified by its primary-key values. Assignments may
+    /// not touch pk columns.
+    pub fn update(
+        &self,
+        session: &mut Session,
+        table: &TableDef,
+        pk_values: &[Value],
+        assignments: &[(String, Value)],
+    ) -> Result<(), WriteError> {
+        for (col, _) in assignments {
+            if table.primary_key.iter().any(|p| p.eq_ignore_ascii_case(col)) {
+                return Err(WriteError::RowShape(format!(
+                    "cannot update primary-key column '{col}'"
+                )));
+            }
+        }
+        let primary = self.primary_ns(table);
+        let pk = keys::primary_key_from_values(pk_values)?;
+        // optimistic TAS loop against concurrent writers
+        for _attempt in 0..8 {
+            let resp = self.store.execute_round(
+                session,
+                vec![KvRequest::Get {
+                    ns: primary,
+                    key: pk.clone(),
+                }],
+            );
+            let old_bytes = match resp.first() {
+                Some(KvResponse::Value(Some(b))) => b.clone(),
+                _ => {
+                    return Err(WriteError::NotFound {
+                        table: table.name.clone(),
+                    })
+                }
+            };
+            let old_row = keys::decode_row(table, &old_bytes)?;
+            let mut new_row = old_row.clone();
+            for (col, val) in assignments {
+                let c = table.column_id(col).ok_or_else(|| {
+                    WriteError::RowShape(format!(
+                        "unknown column '{col}' in table '{}'",
+                        table.name
+                    ))
+                })?;
+                new_row.set(c, val.clone());
+            }
+            let new_row = Self::conform_row(table, &new_row)?;
+            let new_bytes = keys::encode_row(&new_row);
+
+            // 1. fresh index entries
+            let indexes = self.catalog.indexes_for_table(table.id);
+            let mut adds = Vec::new();
+            let mut stale = Vec::new();
+            for idx in &indexes {
+                let ns = self.index_ns(idx);
+                let old_keys = keys::index_entry_keys(table, idx, &old_row)?;
+                let new_keys = keys::index_entry_keys(table, idx, &new_row)?;
+                for k in &new_keys {
+                    if !old_keys.contains(k) {
+                        adds.push(KvRequest::Put {
+                            ns,
+                            key: k.clone(),
+                            value: Vec::new(),
+                        });
+                    }
+                }
+                for k in old_keys {
+                    if !new_keys.contains(&k) {
+                        stale.push(KvRequest::Delete { ns, key: k });
+                    }
+                }
+            }
+            if !adds.is_empty() {
+                self.store.execute_round(session, adds);
+            }
+            // 2. the record, conditionally
+            let resp = self.store.execute_round(
+                session,
+                vec![KvRequest::TestAndSet {
+                    ns: primary,
+                    key: pk.clone(),
+                    expect: Some(old_bytes),
+                    value: Some(new_bytes),
+                }],
+            );
+            let success = matches!(
+                resp.first(),
+                Some(KvResponse::TasResult { success: true, .. })
+            );
+            if success {
+                // 3. stale entries last
+                if !stale.is_empty() {
+                    self.store.execute_round(session, stale);
+                }
+                return Ok(());
+            }
+            // lost the race: the adds we made are dangling (GC-able); retry
+        }
+        Err(WriteError::Exec(format!(
+            "update of '{}' lost too many test-and-set races",
+            table.name
+        )))
+    }
+
+    /// Delete a row by primary key. Returns whether a row existed.
+    pub fn delete(
+        &self,
+        session: &mut Session,
+        table: &TableDef,
+        pk_values: &[Value],
+    ) -> Result<bool, WriteError> {
+        let primary = self.primary_ns(table);
+        let pk = keys::primary_key_from_values(pk_values)?;
+        let resp = self.store.execute_round(
+            session,
+            vec![KvRequest::Get {
+                ns: primary,
+                key: pk.clone(),
+            }],
+        );
+        let old_bytes = match resp.first() {
+            Some(KvResponse::Value(Some(b))) => b.clone(),
+            _ => return Ok(false),
+        };
+        let old_row = keys::decode_row(table, &old_bytes)?;
+        // record first, then index entries (dangling entries are safe)
+        self.store.execute_round(
+            session,
+            vec![KvRequest::Delete {
+                ns: primary,
+                key: pk,
+            }],
+        );
+        self.delete_index_entries(session, table, &old_row)?;
+        Ok(true)
+    }
+
+    /// Bulk-load rows without timing (experiment setup). Index entries are
+    /// written too; constraints are trusted, not checked.
+    pub fn bulk_load(
+        &self,
+        cluster: &piql_kv::SimCluster,
+        table: &TableDef,
+        rows: impl IntoIterator<Item = Tuple>,
+    ) -> Result<u64, WriteError> {
+        let primary = self.primary_ns(table);
+        let indexes = self.catalog.indexes_for_table(table.id);
+        let index_ns: Vec<(Arc<IndexDef>, NsId)> = indexes
+            .into_iter()
+            .map(|i| {
+                let ns = self.index_ns(&i);
+                (i, ns)
+            })
+            .collect();
+        let mut n = 0;
+        for row in rows {
+            let row = Self::conform_row(table, &row)?;
+            let pk = keys::primary_key_of_row(table, &row)?;
+            cluster.bulk_put(primary, pk, keys::encode_row(&row));
+            for (idx, ns) in &index_ns {
+                for key in keys::index_entry_keys(table, idx, &row)? {
+                    cluster.bulk_put(*ns, key, Vec::new());
+                }
+            }
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Garbage-collect dangling index entries of one table (§7.2): the
+    /// ordered write path can leave index entries whose record no longer
+    /// exists (or no longer matches) after a crash mid-update. Readers skip
+    /// them; this sweep removes them. Returns the number collected.
+    pub fn gc_indexes(
+        &self,
+        session: &mut Session,
+        table: &TableDef,
+    ) -> Result<u64, WriteError> {
+        let primary = self.primary_ns(table);
+        let mut collected = 0u64;
+        for idx in self.catalog.indexes_for_table(table.id) {
+            let ns = self.index_ns(&idx);
+            let mut start: Vec<u8> = Vec::new();
+            loop {
+                let resp = self.store.execute_round(
+                    session,
+                    vec![KvRequest::GetRange {
+                        ns,
+                        start: start.clone(),
+                        end: None,
+                        limit: Some(512),
+                        reverse: false,
+                    }],
+                );
+                let entries = resp[0].expect_entries().to_vec();
+                let len = entries.len();
+                if len == 0 {
+                    break;
+                }
+                // fetch the referenced records in one parallel round
+                let mut pk_keys = Vec::with_capacity(entries.len());
+                for (k, _) in &entries {
+                    let pk_vals = keys::pk_values_from_index_key(table, &idx, k)?;
+                    pk_keys.push(keys::primary_key_from_values(&pk_vals)?);
+                }
+                let gets: Vec<KvRequest> = pk_keys
+                    .iter()
+                    .map(|key| KvRequest::Get {
+                        ns: primary,
+                        key: key.clone(),
+                    })
+                    .collect();
+                let rows = self.store.execute_round(session, gets);
+                let mut dels = Vec::new();
+                for ((entry_key, _), row) in entries.iter().zip(rows) {
+                    let dangling = match row {
+                        KvResponse::Value(Some(bytes)) => {
+                            // entry must still be derivable from the record
+                            let rec = keys::decode_row(table, &bytes)?;
+                            !keys::index_entry_keys(table, &idx, &rec)?
+                                .contains(entry_key)
+                        }
+                        _ => true, // record gone entirely
+                    };
+                    if dangling {
+                        dels.push(KvRequest::Delete {
+                            ns,
+                            key: entry_key.clone(),
+                        });
+                    }
+                }
+                collected += dels.len() as u64;
+                if !dels.is_empty() {
+                    self.store.execute_round(session, dels);
+                }
+                start = entries.last().unwrap().0.clone();
+                start.push(0);
+                if len < 512 {
+                    break;
+                }
+            }
+        }
+        Ok(collected)
+    }
+
+    /// Build (backfill) one index from the table's current records —
+    /// offline index construction for compiler-derived indexes.
+    pub fn backfill_index(
+        &self,
+        cluster: &piql_kv::SimCluster,
+        table: &TableDef,
+        index: &IndexDef,
+    ) -> Result<u64, WriteError> {
+        let primary = self.primary_ns(table);
+        let ns = self.index_ns(index);
+        let mut session = Session::new();
+        let mut start: Vec<u8> = Vec::new();
+        let mut n = 0;
+        loop {
+            let resp = self.store.execute_round(
+                &mut session,
+                vec![KvRequest::GetRange {
+                    ns: primary,
+                    start: start.clone(),
+                    end: None,
+                    limit: Some(1024),
+                    reverse: false,
+                }],
+            );
+            let entries = resp[0].expect_entries().to_vec();
+            let len = entries.len();
+            for (k, v) in &entries {
+                let row = keys::decode_row(table, v)?;
+                for key in keys::index_entry_keys(table, index, &row)? {
+                    cluster.bulk_put(ns, key, Vec::new());
+                    n += 1;
+                }
+                start = k.clone();
+                start.push(0);
+            }
+            if len < 1024 {
+                break;
+            }
+        }
+        Ok(n)
+    }
+
+    fn delete_index_entries(
+        &self,
+        session: &mut Session,
+        table: &TableDef,
+        row: &Tuple,
+    ) -> Result<(), WriteError> {
+        let mut dels = Vec::new();
+        for idx in self.catalog.indexes_for_table(table.id) {
+            let ns = self.index_ns(&idx);
+            for key in keys::index_entry_keys(table, &idx, row)? {
+                dels.push(KvRequest::Delete { ns, key });
+            }
+        }
+        if !dels.is_empty() {
+            self.store.execute_round(session, dels);
+        }
+        Ok(())
+    }
+
+    /// Count rows sharing this row's values on the constraint columns.
+    /// Requires the constraint columns to be a prefix of the primary key or
+    /// of some secondary index (the *enforcement index*, which
+    /// [`crate::database::Database`] auto-creates at table definition time).
+    fn constraint_count(
+        &self,
+        session: &mut Session,
+        table: &TableDef,
+        cc: &CardinalityConstraint,
+        row: &Tuple,
+    ) -> Result<u64, WriteError> {
+        // TOKEN(col) constraints: count the token index prefix for every
+        // token of the new value; report the worst token.
+        if let Some(col) = cc.token_column() {
+            let c = table.column_id(col).expect("validated");
+            let tokens = match row[c].as_str() {
+                Some(s) => piql_core::text::tokenize(s),
+                None => Vec::new(),
+            };
+            if tokens.is_empty() {
+                return Ok(0);
+            }
+            let idx = self
+                .catalog
+                .indexes_for_table(table.id)
+                .into_iter()
+                .find(|i| {
+                    i.key
+                        .first()
+                        .map(|p| {
+                            p.kind.is_token()
+                                && p.kind.column_name().eq_ignore_ascii_case(col)
+                        })
+                        .unwrap_or(false)
+                })
+                .ok_or_else(|| {
+                    WriteError::Exec(format!(
+                        "no enforcement index for CARDINALITY LIMIT (TOKEN({col})) on '{}'",
+                        table.name
+                    ))
+                })?;
+            let ns = self.index_ns(&idx);
+            let counts: Vec<KvRequest> = tokens
+                .iter()
+                .map(|t| {
+                    let mut p = Vec::new();
+                    keys::encode_probe_component(
+                        &mut p,
+                        &Value::Varchar(t.clone()),
+                        Default::default(),
+                    )
+                    .expect("varchar is key-compatible");
+                    let end = prefix_upper_bound(&p);
+                    KvRequest::CountRange {
+                        ns,
+                        start: p,
+                        end,
+                    }
+                })
+                .collect();
+            let resps = self.store.execute_round(session, counts);
+            return Ok(resps.iter().map(|r| r.expect_count()).max().unwrap_or(0));
+        }
+
+        let vals: Vec<Value> = cc
+            .columns
+            .iter()
+            .map(|c| row[table.column_id(c).expect("validated")].clone())
+            .collect();
+
+        // primary prefix?
+        let pk_prefix_ok = cc.columns.len() <= table.primary_key.len()
+            && cc
+                .columns
+                .iter()
+                .zip(&table.primary_key)
+                .all(|(a, b)| a.eq_ignore_ascii_case(b));
+        let (ns, prefix) = if pk_prefix_ok {
+            let mut p = Vec::new();
+            for v in &vals {
+                keys::encode_probe_component(&mut p, v, Default::default())?;
+            }
+            (self.primary_ns(table), p)
+        } else {
+            // find an index whose leading parts are the constraint columns
+            let idx = self
+                .catalog
+                .indexes_for_table(table.id)
+                .into_iter()
+                .find(|i| {
+                    i.key.len() >= cc.columns.len()
+                        && i.key.iter().zip(&cc.columns).all(|(part, col)| {
+                            !part.kind.is_token()
+                                && part.kind.column_name().eq_ignore_ascii_case(col)
+                        })
+                })
+                .ok_or_else(|| {
+                    WriteError::Exec(format!(
+                        "no enforcement index for CARDINALITY LIMIT ({}) on '{}'",
+                        cc.columns.join(", "),
+                        table.name
+                    ))
+                })?;
+            let dirs = idx.full_key_dirs(table);
+            let mut p = Vec::new();
+            for (i, v) in vals.iter().enumerate() {
+                keys::encode_probe_component(&mut p, v, dirs[i])?;
+            }
+            (self.index_ns(&idx), p)
+        };
+        let end = prefix_upper_bound(&prefix);
+        let resp = self.store.execute_round(
+            session,
+            vec![KvRequest::CountRange {
+                ns,
+                start: prefix,
+                end,
+            }],
+        );
+        Ok(resp[0].expect_count())
+    }
+}

@@ -1,0 +1,468 @@
+//! Engine integration tests: the compiler's plans executed against the
+//! simulated cluster, checked against the naive reference executor.
+
+use piql_core::plan::params::Params;
+use piql_core::tuple;
+use piql_core::value::Value;
+use piql_engine::{Cursor, Database, DbError, ExecStrategy, WriteError};
+use piql_kv::{ClusterConfig, Session, SimCluster};
+use std::sync::Arc;
+
+const SCADR_DDL: &[&str] = &[
+    "CREATE TABLE users ( \
+       username VARCHAR(32) NOT NULL, \
+       home_town VARCHAR(64), \
+       PRIMARY KEY (username) )",
+    "CREATE TABLE subscriptions ( \
+       owner VARCHAR(32) NOT NULL, \
+       target VARCHAR(32) NOT NULL, \
+       approved BOOL, \
+       PRIMARY KEY (owner, target), \
+       FOREIGN KEY (target) REFERENCES users, \
+       FOREIGN KEY (owner) REFERENCES users, \
+       CARDINALITY LIMIT 10 (owner) )",
+    "CREATE TABLE thoughts ( \
+       owner VARCHAR(32) NOT NULL, \
+       timestamp TIMESTAMP NOT NULL, \
+       text VARCHAR(140), \
+       PRIMARY KEY (owner, timestamp), \
+       FOREIGN KEY (owner) REFERENCES users )",
+];
+
+const THOUGHTSTREAM: &str = "SELECT thoughts.* \
+    FROM subscriptions s JOIN thoughts \
+    WHERE thoughts.owner = s.target AND s.owner = <uname> AND s.approved = true \
+    ORDER BY thoughts.timestamp DESC LIMIT 10";
+
+fn scadr_db(nodes: usize) -> Database {
+    let cluster = Arc::new(SimCluster::new(ClusterConfig::instant(nodes)));
+    let db = Database::new(cluster);
+    for ddl in SCADR_DDL {
+        db.execute_ddl(ddl).unwrap();
+    }
+    db
+}
+
+/// Deterministic small SCADr population: `n_users` users, each following
+/// users (u+1..u+follows), each posting `posts` thoughts.
+fn populate(db: &Database, n_users: usize, follows: usize, posts: usize) {
+    let uname = |i: usize| format!("user{i:04}");
+    db.bulk_load(
+        "users",
+        (0..n_users).map(|i| tuple![uname(i).as_str(), "Berkeley"]),
+    )
+    .unwrap();
+    db.bulk_load(
+        "subscriptions",
+        (0..n_users).flat_map(|i| {
+            (1..=follows).map(move |d| {
+                let target = uname((i + d) % n_users);
+                let approved = d % 2 == 1; // every other subscription approved
+                Tup(uname(i), target, approved)
+            })
+        })
+        .map(|Tup(o, t, a)| tuple![o.as_str(), t.as_str(), a]),
+    )
+    .unwrap();
+    db.bulk_load(
+        "thoughts",
+        (0..n_users).flat_map(|i| {
+            (0..posts).map(move |p| {
+                (
+                    uname(i),
+                    1_000_000i64 + (i * 131 + p * 7919) as i64,
+                    format!("thought {p} of user {i}"),
+                )
+            })
+        })
+        .map(|(o, ts, txt)| tuple![o.as_str(), Value::Timestamp(ts), txt.as_str()]),
+    )
+    .unwrap();
+    db.cluster().rebalance();
+}
+
+struct Tup(String, String, bool);
+
+#[test]
+fn thoughtstream_matches_reference() {
+    let db = scadr_db(4);
+    populate(&db, 40, 7, 12);
+    let prepared = db.prepare(THOUGHTSTREAM).unwrap();
+    let mut params = Params::new();
+    params.set(0, Value::Varchar("user0003".into()));
+    let mut session = Session::new();
+    let result = db.execute(&mut session, &prepared, &params).unwrap();
+    let expected = db.reference_query(THOUGHTSTREAM, &params).unwrap();
+    assert_eq!(result.rows.len(), 10);
+    assert_eq!(result.rows, expected, "optimized plan == naive semantics");
+    // ordered by timestamp desc
+    assert!(result
+        .rows
+        .windows(2)
+        .all(|w| w[0][1].as_i64() >= w[1][1].as_i64()));
+}
+
+#[test]
+fn all_strategies_agree_and_parallel_is_fastest() {
+    let mut cfg = ClusterConfig::default().with_nodes(6).with_seed(11);
+    cfg.interference = piql_kv::InterferenceConfig::none();
+    let cluster = Arc::new(SimCluster::new(cfg));
+    let db = Database::new(cluster);
+    for ddl in SCADR_DDL {
+        db.execute_ddl(ddl).unwrap();
+    }
+    populate(&db, 60, 9, 10);
+    let prepared = db.prepare(THOUGHTSTREAM).unwrap();
+    let mut params = Params::new();
+    params.set(0, Value::Varchar("user0007".into()));
+
+    let mut timings = Vec::new();
+    let mut results = Vec::new();
+    for strategy in [
+        ExecStrategy::Lazy,
+        ExecStrategy::Simple,
+        ExecStrategy::Parallel,
+    ] {
+        let mut session = Session::new();
+        let t0 = session.begin();
+        let r = db
+            .execute_with(&mut session, &prepared, &params, strategy, None)
+            .unwrap();
+        timings.push(session.elapsed_since(t0));
+        results.push(r.rows);
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[1], results[2]);
+    assert!(
+        timings[2] < timings[1] && timings[1] < timings[0],
+        "Parallel < Simple < Lazy, got {timings:?}"
+    );
+}
+
+#[test]
+fn measured_requests_stay_within_static_bound() {
+    let db = scadr_db(4);
+    populate(&db, 50, 10, 15);
+    for (sql, p0) in [
+        (THOUGHTSTREAM, "user0001"),
+        (
+            "SELECT * FROM thoughts WHERE owner = <u> ORDER BY timestamp DESC LIMIT 5",
+            "user0002",
+        ),
+        ("SELECT * FROM users WHERE username = <u>", "user0003"),
+        (
+            "SELECT u.* FROM subscriptions s JOIN users u \
+             WHERE u.username = s.target AND s.owner = <uname>",
+            "user0004",
+        ),
+    ] {
+        let prepared = db.prepare(sql).unwrap();
+        let mut params = Params::new();
+        params.set(0, Value::Varchar(p0.into()));
+        let mut session = Session::new();
+        db.execute(&mut session, &prepared, &params).unwrap();
+        assert!(
+            session.stats.logical_requests <= prepared.compiled.bounds.requests,
+            "{sql}: measured {} > bound {}",
+            session.stats.logical_requests,
+            prepared.compiled.bounds.requests
+        );
+        assert!(
+            session.stats.rounds <= prepared.compiled.bounds.rounds,
+            "{sql}: rounds {} > bound {}",
+            session.stats.rounds,
+            prepared.compiled.bounds.rounds
+        );
+    }
+}
+
+#[test]
+fn scan_pagination_visits_everything_once() {
+    let db = scadr_db(3);
+    populate(&db, 10, 3, 25);
+    let sql = "SELECT * FROM thoughts WHERE owner = <u> ORDER BY timestamp DESC PAGINATE 7";
+    let prepared = db.prepare(sql).unwrap();
+    let mut params = Params::new();
+    params.set(0, Value::Varchar("user0004".into()));
+
+    let mut session = Session::new();
+    let mut all = Vec::new();
+    let mut cursor: Option<Cursor> = None;
+    let mut pages = 0;
+    loop {
+        let r = db
+            .execute_with(
+                &mut session,
+                &prepared,
+                &params,
+                ExecStrategy::Parallel,
+                cursor.as_ref(),
+            )
+            .unwrap();
+        if r.rows.is_empty() {
+            break;
+        }
+        pages += 1;
+        assert!(r.rows.len() <= 7);
+        all.extend(r.rows);
+        match r.cursor {
+            // cursors survive serialization (shipped to the user, §4.1)
+            Some(c) => cursor = Some(Cursor::from_bytes(&c.to_bytes()).unwrap()),
+            None => break,
+        }
+    }
+    assert_eq!(pages, 4, "25 thoughts / 7 per page");
+    assert_eq!(all.len(), 25);
+    let full = db
+        .reference_query(
+            "SELECT * FROM thoughts WHERE owner = <u> ORDER BY timestamp DESC",
+            &params,
+        )
+        .unwrap();
+    assert_eq!(all, full, "pages concatenate to the full ordered result");
+}
+
+#[test]
+fn sorted_join_pagination_resumes_the_merge() {
+    let db = scadr_db(4);
+    populate(&db, 30, 8, 9);
+    let sql = "SELECT thoughts.* \
+        FROM subscriptions s JOIN thoughts \
+        WHERE thoughts.owner = s.target AND s.owner = <uname> \
+        ORDER BY thoughts.timestamp DESC PAGINATE 5";
+    let prepared = db.prepare(sql).unwrap();
+    let mut params = Params::new();
+    params.set(0, Value::Varchar("user0010".into()));
+
+    let mut session = Session::new();
+    let mut all = Vec::new();
+    let mut cursor: Option<Cursor> = None;
+    for _ in 0..50 {
+        let r = db
+            .execute_with(
+                &mut session,
+                &prepared,
+                &params,
+                ExecStrategy::Parallel,
+                cursor.as_ref(),
+            )
+            .unwrap();
+        if r.rows.is_empty() {
+            break;
+        }
+        all.extend(r.rows);
+        match r.cursor {
+            Some(c) => cursor = Some(c),
+            None => break,
+        }
+    }
+    // 8 followed users x 9 thoughts = 72 rows
+    let full = db
+        .reference_query(
+            "SELECT thoughts.* FROM subscriptions s JOIN thoughts \
+             WHERE thoughts.owner = s.target AND s.owner = <uname> \
+             ORDER BY thoughts.timestamp DESC",
+            &params,
+        )
+        .unwrap();
+    assert_eq!(all.len(), full.len());
+    // same multiset in the same timestamp order (ties may permute between
+    // equal-timestamp rows of different owners — the merge breaks ties by
+    // index key, the reference by input order)
+    let ts = |rows: &[piql_core::tuple::Tuple]| -> Vec<i64> {
+        rows.iter().map(|r| r[1].as_i64().unwrap()).collect()
+    };
+    assert_eq!(ts(&all), ts(&full));
+    let mut a = all.clone();
+    let mut b = full.clone();
+    let key = |t: &piql_core::tuple::Tuple| format!("{t}");
+    a.sort_by_key(key);
+    b.sort_by_key(key);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn token_search_finds_rows_after_updates() {
+    let db = scadr_db(3);
+    populate(&db, 8, 2, 3);
+    // force creation of the token index via prepare
+    let sql = "SELECT * FROM users WHERE home_town LIKE <word> LIMIT 10";
+    let prepared = db.prepare(sql).unwrap();
+    assert!(!prepared.compiled.required_indexes.is_empty() || {
+        // re-preparing reuses the provisioned index
+        db.prepare(sql).unwrap().compiled.required_indexes.is_empty()
+    });
+    let mut params = Params::new();
+    params.set(0, Value::Varchar("Berkeley".into()));
+    let mut session = Session::new();
+    let r = db.query(&mut session, sql, &params).unwrap();
+    assert_eq!(r.rows.len(), 8, "all users live in Berkeley");
+
+    // move one user; token index must follow (§7.2 maintenance order)
+    db.execute_dml(
+        &mut session,
+        "UPDATE users SET home_town = 'Istanbul Turkey' WHERE username = 'user0002'",
+        &Params::new(),
+    )
+    .unwrap();
+    let r = db.query(&mut session, sql, &params).unwrap();
+    assert_eq!(r.rows.len(), 7);
+    params.set(0, Value::Varchar("istanbul".into()));
+    let r = db.query(&mut session, sql, &params).unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0], Value::Varchar("user0002".into()));
+}
+
+#[test]
+fn insert_enforces_uniqueness_and_cardinality() {
+    let db = scadr_db(3);
+    populate(&db, 5, 0, 0);
+    let mut session = Session::new();
+
+    // duplicate pk
+    let err = db
+        .insert_row(&mut session, "users", tuple!["user0000", "Oakland"])
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        DbError::Write(WriteError::DuplicateKey { .. })
+    ));
+
+    // cardinality limit 10 on subscriptions.owner
+    for i in 0..10 {
+        db.insert_row(
+            &mut session,
+            "subscriptions",
+            tuple!["user0000", format!("t{i}").as_str(), true],
+        )
+        .unwrap();
+    }
+    let err = db
+        .insert_row(
+            &mut session,
+            "subscriptions",
+            tuple!["user0000", "one-too-many", true],
+        )
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            DbError::Write(WriteError::CardinalityExceeded { limit: 10, .. })
+        ),
+        "{err}"
+    );
+    // the violating row must have been rolled back
+    let mut params = Params::new();
+    params.set(0, Value::Varchar("user0000".into()));
+    let rows = db
+        .reference_query(
+            "SELECT * FROM subscriptions WHERE owner = <o>",
+            &params,
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 10);
+}
+
+#[test]
+fn delete_removes_record_and_index_entries() {
+    let db = scadr_db(3);
+    populate(&db, 4, 0, 0);
+    let mut session = Session::new();
+    let existed = db
+        .delete_row(
+            &mut session,
+            "users",
+            &[Value::Varchar("user0001".into())],
+        )
+        .unwrap();
+    assert!(existed);
+    let gone = db
+        .delete_row(
+            &mut session,
+            "users",
+            &[Value::Varchar("user0001".into())],
+        )
+        .unwrap();
+    assert!(!gone);
+    let mut params = Params::new();
+    params.set(0, Value::Varchar("Berkeley".into()));
+    let r = db
+        .query(
+            &mut session,
+            "SELECT * FROM users WHERE home_town LIKE <w> LIMIT 10",
+            &params,
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 3, "token index entry deleted too");
+}
+
+#[test]
+fn in_rewrite_executes_as_bounded_lookups() {
+    let db = scadr_db(4);
+    populate(&db, 30, 6, 0);
+    let sql = "SELECT owner, target FROM subscriptions \
+               WHERE target = <t> AND owner IN [2: friends MAX 8]";
+    let prepared = db.prepare(sql).unwrap();
+    let mut params = Params::new();
+    params.set(0, Value::Varchar("user0005".into()));
+    params.set(
+        1,
+        vec![
+            Value::Varchar("user0001".into()),
+            Value::Varchar("user0002".into()),
+            Value::Varchar("user0003".into()),
+            Value::Varchar("user0004".into()),
+            Value::Varchar("user0029".into()),
+        ],
+    );
+    let mut session = Session::new();
+    let r = db.execute(&mut session, &prepared, &params).unwrap();
+    let expected = db.reference_query(sql, &params).unwrap();
+    let sorted = |mut v: Vec<piql_core::tuple::Tuple>| {
+        v.sort_by_key(|t| format!("{t}"));
+        v
+    };
+    assert_eq!(sorted(r.rows), sorted(expected));
+    assert!(session.stats.logical_requests <= 8, "bounded by MAX 8");
+
+    // exceeding the declared MAX is an error, not a truncation
+    params.set(1, (0..9).map(|i| Value::Varchar(format!("user{i:04}"))).collect::<Vec<_>>());
+    let mut s2 = Session::new();
+    assert!(db.execute(&mut s2, &prepared, &params).is_err());
+}
+
+#[test]
+fn aggregates_group_bounded_results() {
+    let db = scadr_db(3);
+    populate(&db, 6, 4, 5);
+    let sql = "SELECT owner, COUNT(*) AS n FROM subscriptions \
+               WHERE owner = <o> GROUP BY owner";
+    let mut params = Params::new();
+    params.set(0, Value::Varchar("user0002".into()));
+    let mut session = Session::new();
+    let r = db.query(&mut session, sql, &params).unwrap();
+    assert_eq!(r.rows, vec![tuple!["user0002", Value::BigInt(4)]]);
+}
+
+#[test]
+fn update_preserves_unchanged_index_entries() {
+    let db = scadr_db(3);
+    populate(&db, 3, 0, 2);
+    let mut session = Session::new();
+    db.execute_dml(
+        &mut session,
+        "UPDATE thoughts SET text = 'edited contents' \
+         WHERE owner = 'user0001' AND timestamp = <ts>",
+        Params::new().set(0, Value::Timestamp(1_000_131)),
+    )
+    .unwrap();
+    let mut params = Params::new();
+    params.set(0, Value::Varchar("user0001".into()));
+    let rows = db
+        .reference_query("SELECT * FROM thoughts WHERE owner = <o>", &params)
+        .unwrap();
+    assert_eq!(rows.len(), 2);
+    assert!(rows
+        .iter()
+        .any(|r| r[2] == Value::Varchar("edited contents".into())));
+}

@@ -1,0 +1,212 @@
+//! Cloud latency modeling.
+//!
+//! Per-operation service times are heavy-tailed lognormals (the shape
+//! Dynamo-style stores exhibit, §3) plus payload-proportional terms, and
+//! every node suffers *interference intervals* — randomly slowed stretches
+//! of time modeling noisy multi-tenant neighbors (§6.3's motivation for
+//! modeling the p99 as a distribution over intervals rather than a point).
+
+use crate::op::KvRequest;
+use crate::time::Micros;
+use rand::Rng;
+
+/// Latency model configuration.
+#[derive(Debug, Clone)]
+pub struct LatencyConfig {
+    /// Median of one op's base latency (network RTT + service), µs.
+    pub median_us: f64,
+    /// Lognormal sigma; 0.6 puts p99 ≈ 4× the median.
+    pub sigma: f64,
+    /// Added per entry returned by range scans / counted, µs.
+    pub per_entry_us: f64,
+    /// Added per KiB of payload, µs.
+    pub per_kib_us: f64,
+    /// Multiplier for writes (replica coordination overhead).
+    pub write_factor: f64,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        // Calibrated to 2011-era EC2 key/value stores: median get ≈ 4 ms,
+        // p99 ≈ 16-20 ms unloaded.
+        LatencyConfig {
+            median_us: 4_000.0,
+            sigma: 0.6,
+            per_entry_us: 15.0,
+            per_kib_us: 40.0,
+            write_factor: 1.25,
+        }
+    }
+}
+
+impl LatencyConfig {
+    /// Zero latency: pure-correctness tests.
+    pub fn zero() -> Self {
+        LatencyConfig {
+            median_us: 0.0,
+            sigma: 0.0,
+            per_entry_us: 0.0,
+            per_kib_us: 0.0,
+            write_factor: 1.0,
+        }
+    }
+
+    /// Sample one service time for `req` with the given result size.
+    pub fn sample(
+        &self,
+        rng: &mut impl Rng,
+        req: &KvRequest,
+        result_entries: u64,
+        result_bytes: u64,
+    ) -> Micros {
+        if self.median_us == 0.0 {
+            return 0;
+        }
+        // lognormal via Box-Muller on two uniforms
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let base = self.median_us * (self.sigma * z).exp();
+        let payload =
+            result_entries as f64 * self.per_entry_us + result_bytes as f64 / 1024.0 * self.per_kib_us;
+        let factor = if req.is_write() { self.write_factor } else { 1.0 };
+        ((base + payload) * factor) as Micros
+    }
+}
+
+/// Interference configuration: within each wall-clock interval a node is,
+/// with probability `prob`, slowed by a multiplier drawn uniformly from
+/// `multiplier`.
+#[derive(Debug, Clone)]
+pub struct InterferenceConfig {
+    pub interval_us: Micros,
+    pub prob: f64,
+    pub multiplier: (f64, f64),
+}
+
+impl Default for InterferenceConfig {
+    fn default() -> Self {
+        InterferenceConfig {
+            interval_us: 10 * crate::time::SECONDS,
+            prob: 0.08,
+            multiplier: (1.5, 3.0),
+        }
+    }
+}
+
+impl InterferenceConfig {
+    pub fn none() -> Self {
+        InterferenceConfig {
+            interval_us: crate::time::SECONDS,
+            prob: 0.0,
+            multiplier: (1.0, 1.0),
+        }
+    }
+
+    /// Deterministic slow-down factor for `node` during the interval
+    /// containing `at`.
+    pub fn factor(&self, seed: u64, node: usize, at: Micros) -> f64 {
+        if self.prob == 0.0 {
+            return 1.0;
+        }
+        let interval = at / self.interval_us.max(1);
+        // splitmix-style hash of (seed, node, interval)
+        let mut h = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(node as u64)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            .wrapping_add(interval);
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if unit < self.prob {
+            // reuse upper hash bits for the multiplier draw
+            let unit2 = ((h.wrapping_mul(0x2545_F491_4F6C_DD1D)) >> 11) as f64 / (1u64 << 53) as f64;
+            self.multiplier.0 + unit2 * (self.multiplier.1 - self.multiplier.0)
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::NsId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn get_req() -> KvRequest {
+        KvRequest::Get {
+            ns: NsId(0),
+            key: vec![1],
+        }
+    }
+
+    #[test]
+    fn lognormal_shape_roughly_calibrated() {
+        let cfg = LatencyConfig::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut samples: Vec<Micros> = (0..20_000)
+            .map(|_| cfg.sample(&mut rng, &get_req(), 0, 0))
+            .collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let p99 = samples[samples.len() * 99 / 100];
+        assert!((3_000..5_000).contains(&median), "median {median}");
+        assert!((10_000..30_000).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn payload_terms_add_up() {
+        let cfg = LatencyConfig {
+            median_us: 1000.0,
+            sigma: 0.0,
+            per_entry_us: 10.0,
+            per_kib_us: 100.0,
+            write_factor: 2.0,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let base = cfg.sample(&mut rng, &get_req(), 0, 0);
+        assert_eq!(base, 1000);
+        let with_payload = cfg.sample(&mut rng, &get_req(), 10, 2048);
+        assert_eq!(with_payload, 1000 + 100 + 200);
+        let write = KvRequest::Put {
+            ns: NsId(0),
+            key: vec![],
+            value: vec![],
+        };
+        assert_eq!(cfg.sample(&mut rng, &write, 0, 0), 2000);
+    }
+
+    #[test]
+    fn zero_config_is_zero() {
+        let cfg = LatencyConfig::zero();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(cfg.sample(&mut rng, &get_req(), 100, 10000), 0);
+    }
+
+    #[test]
+    fn interference_is_deterministic_and_bounded() {
+        let cfg = InterferenceConfig {
+            interval_us: 1_000_000,
+            prob: 0.5,
+            multiplier: (2.0, 3.0),
+        };
+        let mut slowed = 0;
+        for interval in 0..1000 {
+            let f1 = cfg.factor(42, 3, interval * 1_000_000);
+            let f2 = cfg.factor(42, 3, interval * 1_000_000 + 500);
+            assert_eq!(f1, f2, "same interval, same factor");
+            assert!(f1 == 1.0 || (2.0..=3.0).contains(&f1));
+            if f1 > 1.0 {
+                slowed += 1;
+            }
+        }
+        assert!((300..700).contains(&slowed), "≈50% of intervals slowed: {slowed}");
+        assert_eq!(InterferenceConfig::none().factor(42, 0, 123), 1.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # piql-kv
+//!
+//! A deterministic virtual-time simulation of a distributed, ordered,
+//! replicated key/value store — the substrate PIQL runs on (§3 of the
+//! paper; SCADS on EC2 in the original evaluation).
+//!
+//! The simulation holds data once and models *placement and timing*
+//! separately: range-partitioned namespaces with replica sets, per-node
+//! bounded concurrency with FIFO queueing, heavy-tailed (lognormal) service
+//! times, multi-tenant interference intervals, and eventual-consistency
+//! visibility lag on non-primary replicas. Everything is seeded and
+//! reproducible; no wall-clock time is consumed by simulated latency.
+
+pub mod cluster;
+pub mod latency;
+pub mod node;
+pub mod op;
+pub mod partition;
+pub mod session;
+pub mod stats;
+pub mod store;
+pub mod time;
+
+pub use cluster::{ClusterConfig, KvStore, SimCluster};
+pub use latency::{InterferenceConfig, LatencyConfig};
+pub use op::{KvRequest, KvResponse, NsId, RequestRound};
+pub use session::{Session, SessionStats};
+pub use time::{as_millis_f64, Micros, MILLIS, SECONDS};

@@ -1,0 +1,119 @@
+//! The key/value-store operation vocabulary (§3).
+//!
+//! PIQL requires exactly this from its store: get/put/delete, *range*
+//! requests (for index scans with data locality), count-range (cardinality
+//! enforcement, §7.2), and test-and-set (uniqueness constraints and
+//! conditional updates). Requests are grouped into [`RequestRound`]s — all
+//! requests of a round are issued in parallel, which is how the execution
+//! engine's Parallel strategy gets its speedup (§8.5).
+
+/// Namespace handle (one per table / index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NsId(pub u32);
+
+/// One key/value-store request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KvRequest {
+    Get {
+        ns: NsId,
+        key: Vec<u8>,
+    },
+    Put {
+        ns: NsId,
+        key: Vec<u8>,
+        value: Vec<u8>,
+    },
+    Delete {
+        ns: NsId,
+        key: Vec<u8>,
+    },
+    /// Contiguous scan of `[start, end)` (or down from `end` when
+    /// `reverse`), returning at most `limit` entries.
+    GetRange {
+        ns: NsId,
+        start: Vec<u8>,
+        /// Exclusive upper bound; `None` = to the end of the namespace.
+        end: Option<Vec<u8>>,
+        limit: Option<u64>,
+        reverse: bool,
+    },
+    /// Number of entries in `[start, end)`.
+    CountRange {
+        ns: NsId,
+        start: Vec<u8>,
+        end: Option<Vec<u8>>,
+    },
+    /// Atomically set `key` to `value` iff its current value equals
+    /// `expect`. `value = None` deletes; `expect = None` requires absence.
+    TestAndSet {
+        ns: NsId,
+        key: Vec<u8>,
+        expect: Option<Vec<u8>>,
+        value: Option<Vec<u8>>,
+    },
+}
+
+impl KvRequest {
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            KvRequest::Put { .. } | KvRequest::Delete { .. } | KvRequest::TestAndSet { .. }
+        )
+    }
+
+    pub fn ns(&self) -> NsId {
+        match self {
+            KvRequest::Get { ns, .. }
+            | KvRequest::Put { ns, .. }
+            | KvRequest::Delete { ns, .. }
+            | KvRequest::GetRange { ns, .. }
+            | KvRequest::CountRange { ns, .. }
+            | KvRequest::TestAndSet { ns, .. } => *ns,
+        }
+    }
+}
+
+/// One response, positionally matching the request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KvResponse {
+    /// Get: the value, if present.
+    Value(Option<Vec<u8>>),
+    /// GetRange: entries in scan order.
+    Entries(Vec<(Vec<u8>, Vec<u8>)>),
+    /// CountRange.
+    Count(u64),
+    /// TestAndSet: whether the swap applied, and the value now stored.
+    TasResult {
+        success: bool,
+        current: Option<Vec<u8>>,
+    },
+    /// Put/Delete acknowledgement.
+    Done,
+}
+
+impl KvResponse {
+    pub fn expect_value(&self) -> Option<&[u8]> {
+        match self {
+            KvResponse::Value(v) => v.as_deref(),
+            other => panic!("expected Value response, got {other:?}"),
+        }
+    }
+
+    pub fn expect_entries(&self) -> &[(Vec<u8>, Vec<u8>)] {
+        match self {
+            KvResponse::Entries(e) => e,
+            other => panic!("expected Entries response, got {other:?}"),
+        }
+    }
+
+    pub fn expect_count(&self) -> u64 {
+        match self {
+            KvResponse::Count(c) => *c,
+            other => panic!("expected Count response, got {other:?}"),
+        }
+    }
+}
+
+/// A set of requests issued in parallel; the session clock advances to the
+/// latest completion in the round.
+pub type RequestRound = Vec<KvRequest>;

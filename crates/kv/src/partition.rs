@@ -1,0 +1,154 @@
+//! Range partitioning and replica placement.
+//!
+//! Each namespace's keyspace is split at learned split points (quantiles of
+//! the loaded data, the job SCADS's Director performs dynamically); each
+//! partition is assigned `replication` nodes. Routing a key or range to
+//! nodes is a binary search — requests to different partitions land on
+//! different nodes, which is where the cluster's parallelism comes from.
+
+use crate::op::NsId;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// Placement of one namespace.
+#[derive(Debug, Clone, Default)]
+pub struct NsPlacement {
+    /// Ascending split keys; partition `i` covers
+    /// `[splits[i-1], splits[i])` with sentinel bounds at the ends.
+    pub splits: Vec<Vec<u8>>,
+    /// `replicas[i]` = node ids serving partition `i`
+    /// (`splits.len() + 1` entries).
+    pub replicas: Vec<Vec<usize>>,
+}
+
+impl NsPlacement {
+    /// Single partition on the given replica set.
+    pub fn single(replicas: Vec<usize>) -> Self {
+        NsPlacement {
+            splits: Vec::new(),
+            replicas: vec![replicas],
+        }
+    }
+
+    pub fn partitions(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Partition index owning `key`.
+    pub fn partition_of(&self, key: &[u8]) -> usize {
+        self.splits.partition_point(|s| s.as_slice() <= key)
+    }
+
+    /// Partition indexes intersecting `[start, end)` (`None` = unbounded),
+    /// in scan order.
+    pub fn partitions_for_range(&self, start: &[u8], end: Option<&[u8]>) -> Vec<usize> {
+        let first = self.partition_of(start);
+        let last = match end {
+            // end is exclusive; a range ending exactly at a split does not
+            // touch the next partition
+            Some(e) => {
+                let mut p = self.splits.partition_point(|s| s.as_slice() < e);
+                if p > 0 && self.splits.get(p - 1).map(|s| s.as_slice() == e).unwrap_or(false) {
+                    p -= 1;
+                }
+                p.min(self.partitions() - 1).max(first)
+            }
+            None => self.partitions() - 1,
+        };
+        (first..=last).collect()
+    }
+}
+
+/// Placement for all namespaces.
+#[derive(Debug, Default)]
+pub struct PartitionMap {
+    placements: RwLock<BTreeMap<NsId, NsPlacement>>,
+}
+
+impl PartitionMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn set(&self, ns: NsId, placement: NsPlacement) {
+        self.placements.write().insert(ns, placement);
+    }
+
+    pub fn get(&self, ns: NsId) -> NsPlacement {
+        self.placements
+            .read()
+            .get(&ns)
+            .cloned()
+            .unwrap_or_else(|| NsPlacement::single(vec![0]))
+    }
+
+    /// Round-robin replica assignment of `partitions` partitions over
+    /// `nodes` nodes with `replication` copies each.
+    pub fn assign_round_robin(
+        partitions: usize,
+        nodes: usize,
+        replication: usize,
+        offset: usize,
+    ) -> Vec<Vec<usize>> {
+        (0..partitions)
+            .map(|p| {
+                (0..replication.min(nodes))
+                    .map(|r| (offset + p + r) % nodes)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn placement() -> NsPlacement {
+        NsPlacement {
+            splits: vec![b"g".to_vec(), b"p".to_vec()],
+            replicas: vec![vec![0, 1], vec![1, 2], vec![2, 0]],
+        }
+    }
+
+    #[test]
+    fn key_routing() {
+        let p = placement();
+        assert_eq!(p.partition_of(b"a"), 0);
+        assert_eq!(p.partition_of(b"g"), 1, "split key belongs to the right");
+        assert_eq!(p.partition_of(b"m"), 1);
+        assert_eq!(p.partition_of(b"z"), 2);
+    }
+
+    #[test]
+    fn range_routing() {
+        let p = placement();
+        assert_eq!(p.partitions_for_range(b"a", Some(b"c")), vec![0]);
+        assert_eq!(p.partitions_for_range(b"a", Some(b"m")), vec![0, 1]);
+        assert_eq!(p.partitions_for_range(b"a", None), vec![0, 1, 2]);
+        assert_eq!(
+            p.partitions_for_range(b"a", Some(b"g")),
+            vec![0],
+            "exclusive end at split stays left"
+        );
+        assert_eq!(p.partitions_for_range(b"h", Some(b"z")), vec![1, 2]);
+    }
+
+    #[test]
+    fn round_robin_assignment() {
+        let r = PartitionMap::assign_round_robin(4, 3, 2, 0);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0], vec![0, 1]);
+        assert_eq!(r[1], vec![1, 2]);
+        assert_eq!(r[3], vec![0, 1]);
+        // replication capped by node count
+        let r = PartitionMap::assign_round_robin(2, 1, 3, 0);
+        assert_eq!(r[0], vec![0]);
+    }
+
+    #[test]
+    fn default_placement_for_unknown_ns() {
+        let map = PartitionMap::new();
+        assert_eq!(map.get(NsId(9)).partitions(), 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Client sessions: the virtual clock plus per-session accounting.
+
+use crate::time::Micros;
+
+/// Per-session operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Parallel rounds issued.
+    pub rounds: u64,
+    /// Requests as issued by the execution engine (what the compiler's
+    /// bound counts).
+    pub logical_requests: u64,
+    /// Node visits after partition fan-out/continuation (≥ logical).
+    pub physical_requests: u64,
+    /// Entries shipped back.
+    pub entries: u64,
+    /// Payload bytes shipped back.
+    pub bytes: u64,
+}
+
+/// One client session. The engine threads a session through a query
+/// execution; `now` advances as rounds complete, and the difference between
+/// start and end is the query's simulated response time.
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    pub now: Micros,
+    pub stats: SessionStats,
+}
+
+impl Session {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn at(now: Micros) -> Self {
+        Session {
+            now,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Begin timing a query; returns the start time.
+    pub fn begin(&self) -> Micros {
+        self.now
+    }
+
+    /// Elapsed virtual time since `start`.
+    pub fn elapsed_since(&self, start: Micros) -> Micros {
+        self.now - start
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.stats = SessionStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_helpers() {
+        let mut s = Session::at(100);
+        let t0 = s.begin();
+        s.now = 350;
+        assert_eq!(s.elapsed_since(t0), 250);
+        s.stats.rounds = 3;
+        s.reset_stats();
+        assert_eq!(s.stats, SessionStats::default());
+    }
+}

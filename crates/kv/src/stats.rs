@@ -1,0 +1,76 @@
+//! Cluster-wide atomic counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters across all sessions of a cluster.
+#[derive(Debug, Default)]
+pub struct ClusterStats {
+    pub rounds: AtomicU64,
+    pub logical_requests: AtomicU64,
+    pub physical_requests: AtomicU64,
+    pub read_bytes: AtomicU64,
+    pub write_bytes: AtomicU64,
+    pub reads: AtomicU64,
+    pub writes: AtomicU64,
+}
+
+impl ClusterStats {
+    pub fn record_round(&self, logical: u64, physical: u64) {
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+        self.logical_requests.fetch_add(logical, Ordering::Relaxed);
+        self.physical_requests.fetch_add(physical, Ordering::Relaxed);
+    }
+
+    pub fn record_read(&self, bytes: u64) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.read_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub fn record_write(&self, bytes: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.write_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            rounds: self.rounds.load(Ordering::Relaxed),
+            logical_requests: self.logical_requests.load(Ordering::Relaxed),
+            physical_requests: self.physical_requests.load(Ordering::Relaxed),
+            read_bytes: self.read_bytes.load(Ordering::Relaxed),
+            write_bytes: self.write_bytes.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`ClusterStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub rounds: u64,
+    pub logical_requests: u64,
+    pub physical_requests: u64,
+    pub read_bytes: u64,
+    pub write_bytes: u64,
+    pub reads: u64,
+    pub writes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = ClusterStats::default();
+        s.record_round(3, 5);
+        s.record_read(100);
+        s.record_write(50);
+        let snap = s.snapshot();
+        assert_eq!(snap.rounds, 1);
+        assert_eq!(snap.logical_requests, 3);
+        assert_eq!(snap.physical_requests, 5);
+        assert_eq!(snap.read_bytes, 100);
+        assert_eq!(snap.write_bytes, 50);
+    }
+}

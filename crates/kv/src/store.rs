@@ -1,0 +1,278 @@
+//! Logical data storage.
+//!
+//! Data lives once per namespace in an ordered map; *placement* (which node
+//! serves which key range) is modeled separately by the partition map, so
+//! replication affects timing and visibility without duplicating bytes.
+//!
+//! Eventual consistency (§3, §7.2) is modeled with per-entry versions: each
+//! write records its virtual commit time and keeps the previous version;
+//! a read served by a non-primary replica only observes writes older than
+//! the configured replica lag, otherwise it sees the previous version —
+//! exactly the read-your-writes anomaly an asynchronously replicated store
+//! exhibits.
+
+use crate::time::Micros;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// One versioned entry. `None` data = tombstone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Versioned {
+    pub data: Option<Vec<u8>>,
+    pub written_at: Micros,
+    pub prev: Option<(Option<Vec<u8>>, Micros)>,
+}
+
+impl Versioned {
+    /// The value visible to a reader that only sees writes committed at or
+    /// before `horizon`.
+    pub fn visible_at(&self, horizon: Micros) -> Option<&[u8]> {
+        if self.written_at <= horizon {
+            self.data.as_deref()
+        } else {
+            match &self.prev {
+                Some((data, at)) if *at <= horizon => data.as_deref(),
+                _ => None,
+            }
+        }
+    }
+}
+
+/// An ordered, versioned namespace.
+#[derive(Debug, Default)]
+pub struct Namespace {
+    entries: RwLock<BTreeMap<Vec<u8>, Versioned>>,
+}
+
+impl Namespace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn put(&self, key: Vec<u8>, value: Option<Vec<u8>>, at: Micros) {
+        let mut map = self.entries.write();
+        match map.get_mut(&key) {
+            Some(v) => {
+                let old = (v.data.take(), v.written_at);
+                v.prev = Some(old);
+                v.data = value;
+                v.written_at = at;
+            }
+            None => {
+                map.insert(
+                    key,
+                    Versioned {
+                        data: value,
+                        written_at: at,
+                        prev: None,
+                    },
+                );
+            }
+        }
+    }
+
+    pub fn get(&self, key: &[u8], horizon: Micros) -> Option<Vec<u8>> {
+        self.entries
+            .read()
+            .get(key)
+            .and_then(|v| v.visible_at(horizon).map(<[u8]>::to_vec))
+    }
+
+    /// Atomic compare-and-swap against the *latest* version (the store's
+    /// primary replica coordinates TAS, so no lag applies).
+    pub fn test_and_set(
+        &self,
+        key: &[u8],
+        expect: Option<&[u8]>,
+        value: Option<Vec<u8>>,
+        at: Micros,
+    ) -> (bool, Option<Vec<u8>>) {
+        let mut map = self.entries.write();
+        let current = map.get(key).and_then(|v| v.data.clone());
+        if current.as_deref() != expect {
+            return (false, current);
+        }
+        match map.get_mut(key) {
+            Some(v) => {
+                let old = (v.data.take(), v.written_at);
+                v.prev = Some(old);
+                v.data = value.clone();
+                v.written_at = at;
+            }
+            None => {
+                map.insert(
+                    key.to_vec(),
+                    Versioned {
+                        data: value.clone(),
+                        written_at: at,
+                        prev: None,
+                    },
+                );
+            }
+        }
+        (true, value)
+    }
+
+    /// Scan `[start, end)` (or reversed), returning up to `limit` visible
+    /// entries.
+    pub fn range(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: Option<u64>,
+        reverse: bool,
+        horizon: Micros,
+    ) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let map = self.entries.read();
+        let lo = Bound::Included(start.to_vec());
+        let hi = match end {
+            Some(e) => Bound::Excluded(e.to_vec()),
+            None => Bound::Unbounded,
+        };
+        let limit = limit.unwrap_or(u64::MAX) as usize;
+        let mut out = Vec::new();
+        let iter = map.range::<Vec<u8>, _>((lo, hi));
+        if reverse {
+            for (k, v) in iter.rev() {
+                if let Some(data) = v.visible_at(horizon) {
+                    out.push((k.clone(), data.to_vec()));
+                    if out.len() >= limit {
+                        break;
+                    }
+                }
+            }
+        } else {
+            for (k, v) in iter {
+                if let Some(data) = v.visible_at(horizon) {
+                    out.push((k.clone(), data.to_vec()));
+                    if out.len() >= limit {
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    pub fn count_range(&self, start: &[u8], end: Option<&[u8]>, horizon: Micros) -> u64 {
+        let map = self.entries.read();
+        let lo = Bound::Included(start.to_vec());
+        let hi = match end {
+            Some(e) => Bound::Excluded(e.to_vec()),
+            None => Bound::Unbounded,
+        };
+        map.range::<Vec<u8>, _>((lo, hi))
+            .filter(|(_, v)| v.visible_at(horizon).is_some())
+            .count() as u64
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Keys at the given quantile positions — used to compute partition
+    /// split points.
+    pub fn quantile_keys(&self, parts: usize) -> Vec<Vec<u8>> {
+        let map = self.entries.read();
+        let n = map.len();
+        if parts <= 1 || n == 0 {
+            return Vec::new();
+        }
+        let mut splits = Vec::with_capacity(parts - 1);
+        let step = n / parts;
+        if step == 0 {
+            return Vec::new();
+        }
+        for (i, (k, _)) in map.iter().enumerate() {
+            if i > 0 && i % step == 0 && splits.len() < parts - 1 {
+                splits.push(k.clone());
+            }
+        }
+        splits
+    }
+
+    /// Drop tombstones and old versions older than `horizon` (GC).
+    pub fn compact(&self, horizon: Micros) {
+        let mut map = self.entries.write();
+        map.retain(|_, v| {
+            if v.written_at <= horizon {
+                v.prev = None;
+            }
+            !(v.data.is_none() && v.written_at <= horizon)
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip_and_tombstone() {
+        let ns = Namespace::new();
+        ns.put(b"a".to_vec(), Some(b"1".to_vec()), 10);
+        assert_eq!(ns.get(b"a", 10), Some(b"1".to_vec()));
+        ns.put(b"a".to_vec(), None, 20);
+        assert_eq!(ns.get(b"a", 20), None);
+        assert_eq!(ns.get(b"a", 15), Some(b"1".to_vec()), "old version visible");
+    }
+
+    #[test]
+    fn replica_lag_hides_recent_writes() {
+        let ns = Namespace::new();
+        ns.put(b"k".to_vec(), Some(b"v1".to_vec()), 100);
+        ns.put(b"k".to_vec(), Some(b"v2".to_vec()), 200);
+        assert_eq!(ns.get(b"k", 250), Some(b"v2".to_vec()));
+        assert_eq!(ns.get(b"k", 150), Some(b"v1".to_vec()));
+        assert_eq!(ns.get(b"k", 50), None);
+    }
+
+    #[test]
+    fn test_and_set_semantics() {
+        let ns = Namespace::new();
+        let (ok, cur) = ns.test_and_set(b"k", None, Some(b"v".to_vec()), 10);
+        assert!(ok);
+        assert_eq!(cur, Some(b"v".to_vec()));
+        let (ok, cur) = ns.test_and_set(b"k", None, Some(b"w".to_vec()), 20);
+        assert!(!ok, "expected-absent fails when present");
+        assert_eq!(cur, Some(b"v".to_vec()));
+        let (ok, _) = ns.test_and_set(b"k", Some(b"v"), None, 30);
+        assert!(ok, "conditional delete");
+        assert_eq!(ns.get(b"k", 30), None);
+    }
+
+    #[test]
+    fn range_scans_forward_reverse_limit() {
+        let ns = Namespace::new();
+        for i in 0..10u8 {
+            ns.put(vec![i], Some(vec![i]), 0);
+        }
+        let fwd = ns.range(&[2], Some(&[7]), None, false, 0);
+        assert_eq!(fwd.len(), 5);
+        assert_eq!(fwd[0].0, vec![2]);
+        let rev = ns.range(&[2], Some(&[7]), Some(2), true, 0);
+        assert_eq!(rev.len(), 2);
+        assert_eq!(rev[0].0, vec![6]);
+        assert_eq!(rev[1].0, vec![5]);
+        assert_eq!(ns.count_range(&[0], None, 0), 10);
+    }
+
+    #[test]
+    fn quantiles_and_compaction() {
+        let ns = Namespace::new();
+        for i in 0..100u8 {
+            ns.put(vec![i], Some(vec![i]), 5);
+        }
+        let splits = ns.quantile_keys(4);
+        assert_eq!(splits.len(), 3);
+        assert!(splits[0] < splits[1] && splits[1] < splits[2]);
+        ns.put(vec![5], None, 10);
+        ns.compact(20);
+        assert_eq!(ns.len(), 99, "tombstone collected");
+    }
+}

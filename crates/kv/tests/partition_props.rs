@@ -1,0 +1,93 @@
+//! Property tests for partition routing: every key routes to exactly one
+//! partition, ranges cover exactly the partitions their keys live in, and
+//! simulated scans agree with a flat reference store.
+
+use piql_kv::partition::{NsPlacement, PartitionMap};
+use piql_kv::{ClusterConfig, KvRequest, KvStore, Session, SimCluster};
+use proptest::prelude::*;
+
+fn arb_placement() -> impl Strategy<Value = NsPlacement> {
+    prop::collection::btree_set(prop::collection::vec(any::<u8>(), 1..6), 0..8).prop_map(
+        |splits| {
+            let splits: Vec<Vec<u8>> = splits.into_iter().collect();
+            let replicas =
+                PartitionMap::assign_round_robin(splits.len() + 1, 5, 2, 1);
+            NsPlacement { splits, replicas }
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn key_routing_is_consistent_with_ranges(
+        placement in arb_placement(),
+        key in prop::collection::vec(any::<u8>(), 0..8),
+    ) {
+        let part = placement.partition_of(&key);
+        prop_assert!(part < placement.partitions());
+        // a singleton range [key, key+0x00) must route to exactly that
+        // partition
+        let mut end = key.clone();
+        end.push(0);
+        let parts = placement.partitions_for_range(&key, Some(&end));
+        prop_assert_eq!(parts, vec![part]);
+    }
+
+    #[test]
+    fn range_partitions_are_contiguous_and_ordered(
+        placement in arb_placement(),
+        a in prop::collection::vec(any::<u8>(), 0..8),
+        b in prop::collection::vec(any::<u8>(), 0..8),
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        if lo == hi { return Ok(()); }
+        let parts = placement.partitions_for_range(&lo, Some(&hi));
+        prop_assert!(!parts.is_empty());
+        for w in parts.windows(2) {
+            prop_assert_eq!(w[1], w[0] + 1, "contiguous ascending");
+        }
+        prop_assert_eq!(parts[0], placement.partition_of(&lo));
+    }
+
+    #[test]
+    fn cluster_scans_agree_with_flat_reference(
+        entries in prop::collection::btree_map(
+            prop::collection::vec(any::<u8>(), 1..6),
+            any::<u8>(),
+            0..40,
+        ),
+        start in prop::collection::vec(any::<u8>(), 0..4),
+        limit in 1u64..20,
+        reverse in any::<bool>(),
+    ) {
+        let cluster = SimCluster::new(ClusterConfig::instant(4));
+        let ns = cluster.namespace("p");
+        for (k, v) in &entries {
+            cluster.bulk_put(ns, k.clone(), vec![*v]);
+        }
+        cluster.rebalance();
+        let mut session = Session::new();
+        let got = cluster.execute_round(
+            &mut session,
+            vec![KvRequest::GetRange {
+                ns,
+                start: start.clone(),
+                end: None,
+                limit: Some(limit),
+                reverse,
+            }],
+        );
+        let got = got[0].expect_entries().to_vec();
+        // flat reference
+        let mut expect: Vec<(Vec<u8>, Vec<u8>)> = entries
+            .iter()
+            .filter(|(k, _)| k.as_slice() >= start.as_slice())
+            .map(|(k, v)| (k.clone(), vec![*v]))
+            .collect();
+        if reverse {
+            expect.reverse();
+        }
+        expect.truncate(limit as usize);
+        prop_assert_eq!(got, expect);
+    }
+}

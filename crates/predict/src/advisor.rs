@@ -1,0 +1,132 @@
+//! The SLO half of the Performance Insight Assistant (§6.4): heatmaps over
+//! cardinality parameters (Figure 6) and cardinality-limit suggestions that
+//! maximize functionality while meeting the SLO.
+
+use crate::predict::SloPredictor;
+use piql_core::opt::Compiled;
+
+/// A predicted-p99 heatmap over two cardinality parameters (Figure 6:
+/// subscriptions-per-user × records-per-page for the thoughtstream query).
+#[derive(Debug, Clone)]
+pub struct Heatmap {
+    pub row_param: String,
+    pub col_param: String,
+    pub rows: Vec<u64>,
+    pub cols: Vec<u64>,
+    /// `cells[r][c]` = predicted max-interval p99 in ms.
+    pub cells: Vec<Vec<f64>>,
+}
+
+impl Heatmap {
+    /// Build by compiling the query for each (row, col) cardinality pair.
+    /// `compile` returns the plan for a given pair (typically by swapping
+    /// the schema's CARDINALITY LIMIT and the query's page size).
+    pub fn build(
+        predictor: &SloPredictor,
+        row_param: &str,
+        col_param: &str,
+        rows: Vec<u64>,
+        cols: Vec<u64>,
+        mut compile: impl FnMut(u64, u64) -> Compiled,
+    ) -> Heatmap {
+        let cells = rows
+            .iter()
+            .map(|&r| {
+                cols.iter()
+                    .map(|&c| predictor.predict(&compile(r, c)).max_p99_ms)
+                    .collect()
+            })
+            .collect();
+        Heatmap {
+            row_param: row_param.to_string(),
+            col_param: col_param.to_string(),
+            rows,
+            cols,
+            cells,
+        }
+    }
+
+    /// All (row, col) pairs whose predicted p99 meets the SLO.
+    pub fn feasible(&self, slo_ms: f64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for (ri, &r) in self.rows.iter().enumerate() {
+            for (ci, &c) in self.cols.iter().enumerate() {
+                if self.cells[ri][ci] <= slo_ms {
+                    out.push((r, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// The largest row cardinality fully meeting the SLO for a given column
+    /// value — the assistant's suggested CARDINALITY LIMIT (§6.4).
+    pub fn suggest_row_limit(&self, col: u64, slo_ms: f64) -> Option<u64> {
+        let ci = self.cols.iter().position(|&c| c == col)?;
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(ri, _)| self.cells[*ri][ci] <= slo_ms)
+            .map(|(_, &r)| r)
+            .max()
+    }
+
+    /// Render like the paper's Figure 6 (rows descending, ms cells).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{: >28} | predicted p99 latency (ms)\n",
+            format!("{} \\ {}", self.row_param, self.col_param)
+        ));
+        s.push_str(&format!("{: >28} |", ""));
+        for c in &self.cols {
+            s.push_str(&format!(" {c: >5}"));
+        }
+        s.push('\n');
+        for (ri, r) in self.rows.iter().enumerate().rev() {
+            s.push_str(&format!("{r: >28} |"));
+            for cell in &self.cells[ri] {
+                s.push_str(&format!(" {cell: >5.0}"));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag_heatmap() -> Heatmap {
+        Heatmap {
+            row_param: "subs".into(),
+            col_param: "page".into(),
+            rows: vec![100, 200, 300],
+            cols: vec![10, 20],
+            cells: vec![
+                vec![100.0, 150.0],
+                vec![200.0, 300.0],
+                vec![400.0, 600.0],
+            ],
+        }
+    }
+
+    #[test]
+    fn feasibility_and_suggestion() {
+        let h = diag_heatmap();
+        assert_eq!(h.feasible(200.0).len(), 3);
+        assert_eq!(h.suggest_row_limit(10, 250.0), Some(200));
+        assert_eq!(h.suggest_row_limit(20, 250.0), Some(100));
+        assert_eq!(h.suggest_row_limit(20, 50.0), None);
+        assert_eq!(h.suggest_row_limit(99, 500.0), None, "unknown column");
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let text = diag_heatmap().render();
+        for v in ["100", "150", "200", "300", "400", "600"] {
+            assert!(text.contains(v), "{text}");
+        }
+    }
+}

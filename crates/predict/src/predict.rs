@@ -1,0 +1,284 @@
+//! Query-plan prediction (§6.2) and SLO-violation risk (§6.3, Figure 5).
+//!
+//! Serial plan sections sum (convolve); the model treats operators as
+//! blocking, which ignores pipeline overlap and therefore errs on the
+//! conservative side — the goal is predicting SLO *compliance*, not exact
+//! response time. The per-interval histograms turn the p99 into a
+//! distribution over intervals, from which the violation risk is read.
+
+use crate::histogram::Distribution;
+use crate::model::{ModelKey, ModelStore, OpKind};
+use piql_core::opt::Compiled;
+use piql_core::plan::physical::{PhysicalPlan, ScanLimit};
+
+/// One operator's model parameters extracted from the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpTheta {
+    pub key: ModelKey,
+}
+
+/// The remote-operator chain of a plan as model keys, including the extra
+/// dereference rounds of non-covering secondary-index reads (modeled as an
+/// [`OpKind::IndexFKJoin`] of the fetched entries, which is exactly what
+/// the executor issues).
+pub fn plan_thetas(compiled: &Compiled) -> Vec<OpTheta> {
+    let mut out = Vec::new();
+    for op in compiled.physical.remote_ops() {
+        match op {
+            PhysicalPlan::IndexScan { spec, .. } => {
+                let alpha = match &spec.limit {
+                    ScanLimit::Bounded { count, .. } => *count,
+                    ScanLimit::Unbounded { estimate } => *estimate,
+                };
+                out.push(OpTheta {
+                    key: ModelKey {
+                        op: OpKind::IndexScan,
+                        alpha_c: alpha.min(u32::MAX as u64) as u32,
+                        alpha_j: 1,
+                        beta: spec.row_bytes.min(u32::MAX as u64) as u32,
+                    },
+                });
+                if spec.deref {
+                    out.push(OpTheta {
+                        key: ModelKey {
+                            op: OpKind::IndexFKJoin,
+                            alpha_c: alpha.min(u32::MAX as u64) as u32,
+                            alpha_j: 1,
+                            beta: spec.row_bytes.min(u32::MAX as u64) as u32,
+                        },
+                    });
+                }
+            }
+            PhysicalPlan::IndexFKJoin {
+                child, row_bytes, ..
+            } => {
+                let alpha_c = child.bounds().tuples.min(u32::MAX as u64) as u32;
+                out.push(OpTheta {
+                    key: ModelKey {
+                        op: OpKind::IndexFKJoin,
+                        alpha_c,
+                        alpha_j: 1,
+                        beta: (*row_bytes).min(u32::MAX as u64) as u32,
+                    },
+                });
+            }
+            PhysicalPlan::SortedIndexJoin { child, spec, .. } => {
+                let alpha_c = child.bounds().tuples.min(u32::MAX as u64) as u32;
+                let alpha_j = spec.per_key.min(u32::MAX as u64) as u32;
+                out.push(OpTheta {
+                    key: ModelKey {
+                        op: OpKind::SortedIndexJoin,
+                        alpha_c,
+                        alpha_j,
+                        beta: spec.row_bytes.min(u32::MAX as u64) as u32,
+                    },
+                });
+                if spec.deref {
+                    out.push(OpTheta {
+                        key: ModelKey {
+                            op: OpKind::IndexFKJoin,
+                            alpha_c: alpha_c.saturating_mul(alpha_j),
+                            alpha_j: 1,
+                            beta: spec.row_bytes.min(u32::MAX as u64) as u32,
+                        },
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Per-query prediction output.
+#[derive(Debug, Clone)]
+pub struct QueryPrediction {
+    /// Predicted p99 (ms) for every training interval (Figure 5(c)).
+    pub p99_per_interval_ms: Vec<f64>,
+    /// The conservative headline number Table 1 reports: the max interval
+    /// p99.
+    pub max_p99_ms: f64,
+    /// Aggregate (all intervals pooled) latency distribution.
+    pub overall: Distribution,
+}
+
+impl QueryPrediction {
+    /// The q-quantile of the per-interval p99 distribution (e.g. 0.9 →
+    /// "the p99 stays below this in 90% of intervals").
+    pub fn p99_quantile_ms(&self, q: f64) -> f64 {
+        if self.p99_per_interval_ms.is_empty() {
+            return 0.0;
+        }
+        let mut xs = self.p99_per_interval_ms.clone();
+        xs.sort_by(|a, b| a.total_cmp(b));
+        let idx = ((q.clamp(0.0, 1.0) * xs.len() as f64).ceil() as usize)
+            .clamp(1, xs.len())
+            - 1;
+        xs[idx]
+    }
+
+    /// Fraction of intervals whose predicted p99 exceeds `slo_ms` — the
+    /// §6.3 SLO-violation risk.
+    pub fn violation_risk(&self, slo_ms: f64) -> f64 {
+        if self.p99_per_interval_ms.is_empty() {
+            return 0.0;
+        }
+        let violations = self
+            .p99_per_interval_ms
+            .iter()
+            .filter(|&&p| p > slo_ms)
+            .count();
+        violations as f64 / self.p99_per_interval_ms.len() as f64
+    }
+
+    /// Whether the query is predicted to meet "`pct` of queries in each
+    /// interval under `slo_ms`" for at least `interval_confidence` of
+    /// intervals.
+    pub fn meets_slo(&self, slo_ms: f64, interval_confidence: f64) -> bool {
+        self.violation_risk(slo_ms) <= 1.0 - interval_confidence
+    }
+}
+
+/// The predictor: a trained model store applied to compiled plans.
+#[derive(Debug, Clone)]
+pub struct SloPredictor {
+    pub models: ModelStore,
+}
+
+impl SloPredictor {
+    pub fn new(models: ModelStore) -> Self {
+        SloPredictor { models }
+    }
+
+    /// Predict the latency distribution of a compiled query.
+    pub fn predict(&self, compiled: &Compiled) -> QueryPrediction {
+        let thetas = plan_thetas(compiled);
+        let mut p99s = Vec::with_capacity(self.models.n_intervals());
+        for interval in 0..self.models.n_intervals() {
+            if let Some(d) = self.compose(&thetas, Some(interval)) {
+                p99s.push(d.quantile_ms(0.99));
+            }
+        }
+        let overall = self
+            .compose(&thetas, None)
+            .unwrap_or_else(|| Distribution::point(0));
+        let max_p99 = p99s.iter().cloned().fold(0.0f64, f64::max);
+        QueryPrediction {
+            p99_per_interval_ms: p99s,
+            max_p99_ms: max_p99,
+            overall,
+        }
+    }
+
+    /// Convolve the operator distributions of one interval (`None` = pooled).
+    fn compose(&self, thetas: &[OpTheta], interval: Option<usize>) -> Option<Distribution> {
+        let mut acc: Option<Distribution> = None;
+        for t in thetas {
+            let hist = match interval {
+                Some(i) => self.models.lookup(i, t.key)?,
+                None => self.models.lookup_overall(t.key)?,
+            };
+            let d = hist.to_distribution();
+            acc = Some(match acc {
+                None => d,
+                Some(prev) => prev.convolve(&d),
+            });
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piql_core::catalog::{Catalog, TableDef};
+    use piql_core::opt::Optimizer;
+    use piql_core::parser::parse_select;
+    use piql_core::value::DataType;
+    use piql_kv::MILLIS;
+
+    fn compile_thoughtstream() -> Compiled {
+        let mut cat = Catalog::new();
+        cat.create_table(
+            TableDef::builder("subscriptions")
+                .column("owner", DataType::Varchar(32))
+                .column("target", DataType::Varchar(32))
+                .column("approved", DataType::Bool)
+                .primary_key(&["owner", "target"])
+                .cardinality_limit(100, &["owner"])
+                .build(),
+        )
+        .unwrap();
+        cat.create_table(
+            TableDef::builder("thoughts")
+                .column("owner", DataType::Varchar(32))
+                .column("timestamp", DataType::Timestamp)
+                .column("text", DataType::Varchar(140))
+                .primary_key(&["owner", "timestamp"])
+                .build(),
+        )
+        .unwrap();
+        Optimizer::scale_independent()
+            .compile(
+                &cat,
+                &parse_select(
+                    "SELECT thoughts.* FROM subscriptions s JOIN thoughts \
+                     WHERE thoughts.owner = s.target AND s.owner = <u> \
+                     ORDER BY thoughts.timestamp DESC LIMIT 10",
+                )
+                .unwrap(),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn thoughtstream_thetas_match_section_6_2() {
+        // Q = Θ_IndexScan(SubscrCard, SubscrSize) ∗
+        //     Θ_SortedJoin(SubscrCard, ThoughtsCard, ThoughtSize)
+        let compiled = compile_thoughtstream();
+        let thetas = plan_thetas(&compiled);
+        assert_eq!(thetas.len(), 2);
+        assert_eq!(thetas[0].key.op, OpKind::IndexScan);
+        assert_eq!(thetas[0].key.alpha_c, 100);
+        assert_eq!(thetas[1].key.op, OpKind::SortedIndexJoin);
+        assert_eq!(thetas[1].key.alpha_c, 100);
+        assert_eq!(thetas[1].key.alpha_j, 10);
+    }
+
+    #[test]
+    fn prediction_composes_and_reports_risk() {
+        let mut models = ModelStore::new(4);
+        // interval 3 is "slow"
+        for interval in 0..4 {
+            let slow = if interval == 3 { 5 } else { 1 };
+            for sample in 0..50u64 {
+                let scan = ModelKey {
+                    op: OpKind::IndexScan,
+                    alpha_c: 100,
+                    alpha_j: 1,
+                    beta: 40,
+                };
+                let join = ModelKey {
+                    op: OpKind::SortedIndexJoin,
+                    alpha_c: 100,
+                    alpha_j: 10,
+                    beta: 160,
+                };
+                models.record(interval, scan, (10 + sample % 5) * slow * MILLIS);
+                models.record(interval, join, (20 + sample % 7) * slow * MILLIS);
+            }
+        }
+        let predictor = SloPredictor::new(models);
+        let pred = predictor.predict(&compile_thoughtstream());
+        assert_eq!(pred.p99_per_interval_ms.len(), 4);
+        // normal intervals: ~14+26 ≈ 40ms p99; slow interval ≈ 5x
+        assert!(pred.p99_per_interval_ms[0] < 50.0);
+        assert!(pred.p99_per_interval_ms[3] > 150.0);
+        assert_eq!(pred.max_p99_ms, pred.p99_per_interval_ms[3]);
+        // SLO 100ms: 1 of 4 intervals violates
+        assert!((pred.violation_risk(100.0) - 0.25).abs() < 1e-9);
+        assert!(pred.meets_slo(100.0, 0.75));
+        assert!(!pred.meets_slo(100.0, 0.9));
+        assert!(pred.meets_slo(1_000.0, 1.0));
+    }
+}

@@ -1,0 +1,161 @@
+//! The closed-loop workload driver (§8.4's measurement methodology).
+//!
+//! Simulated client threads (the paper runs one client machine per two
+//! storage nodes, ten threads each) repeatedly execute web interactions
+//! with no think time. Sessions are scheduled through a priority queue on
+//! their next-start time, so node queueing and contention emerge from the
+//! shared cluster timelines; the run is deterministic for a given seed.
+
+use crate::metrics::RunMetrics;
+use piql_engine::{Database, DbError, ExecStrategy};
+use piql_kv::{Micros, Session};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A benchmark workload: names its interaction kinds and executes one
+/// interaction per call.
+pub trait Workload {
+    /// Labels for reporting, indexed by the `usize` returned from
+    /// [`Workload::interaction`].
+    fn kinds(&self) -> Vec<&'static str>;
+
+    /// Run one complete web interaction on `session`; returns the kind
+    /// index executed.
+    fn interaction(
+        &self,
+        db: &Database,
+        session: &mut Session,
+        rng: &mut StdRng,
+        strategy: ExecStrategy,
+    ) -> Result<usize, DbError>;
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Concurrent closed-loop sessions (client threads).
+    pub sessions: usize,
+    /// Virtual measurement duration (after warm-up).
+    pub duration_us: Micros,
+    /// Warm-up discarded from metrics (the paper discards the first run).
+    pub warmup_us: Micros,
+    pub strategy: ExecStrategy,
+    pub seed: u64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            sessions: 8,
+            duration_us: 30 * piql_kv::SECONDS,
+            warmup_us: 2 * piql_kv::SECONDS,
+            strategy: ExecStrategy::Parallel,
+            seed: 42,
+        }
+    }
+}
+
+/// Run `workload` closed-loop; returns collected metrics.
+pub fn run_closed_loop(
+    db: &Database,
+    workload: &dyn Workload,
+    config: &DriverConfig,
+) -> Result<RunMetrics, DbError> {
+    let horizon = config.warmup_us + config.duration_us;
+    let mut metrics = RunMetrics {
+        warmup_us: config.warmup_us,
+        horizon_us: horizon,
+        ..Default::default()
+    };
+    // (next start, session idx); sessions start staggered to avoid a
+    // synchronized stampede at t=0
+    let mut heap: BinaryHeap<Reverse<(Micros, usize)>> = BinaryHeap::new();
+    let mut sessions: Vec<Session> = Vec::with_capacity(config.sessions);
+    let mut rngs: Vec<StdRng> = Vec::with_capacity(config.sessions);
+    for i in 0..config.sessions {
+        let start = (i as Micros * 1_000) % 100_000;
+        sessions.push(Session::at(start));
+        rngs.push(StdRng::seed_from_u64(
+            config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ));
+        heap.push(Reverse((start, i)));
+    }
+    while let Some(Reverse((at, idx))) = heap.pop() {
+        if at >= horizon {
+            break;
+        }
+        let session = &mut sessions[idx];
+        session.now = at;
+        let t0 = session.begin();
+        let kind = workload.interaction(db, session, &mut rngs[idx], config.strategy)?;
+        let latency = session.elapsed_since(t0);
+        metrics.record(t0, latency, kind);
+        heap.push(Reverse((session.now, idx)));
+    }
+    Ok(metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piql_core::plan::params::Params;
+    use piql_core::tuple;
+    use piql_core::value::Value;
+    use piql_kv::{ClusterConfig, SimCluster};
+    use rand::Rng;
+    use std::sync::Arc;
+
+    struct PkLookups;
+
+    impl Workload for PkLookups {
+        fn kinds(&self) -> Vec<&'static str> {
+            vec!["lookup"]
+        }
+
+        fn interaction(
+            &self,
+            db: &Database,
+            session: &mut Session,
+            rng: &mut StdRng,
+            _strategy: ExecStrategy,
+        ) -> Result<usize, DbError> {
+            let mut params = Params::new();
+            params.set(0, Value::Int(rng.gen_range(0..100)));
+            db.query(
+                session,
+                "SELECT * FROM kv WHERE k = <k>",
+                &params,
+            )?;
+            Ok(0)
+        }
+    }
+
+    #[test]
+    fn closed_loop_is_deterministic_and_measures() {
+        let run = || {
+            let cluster = Arc::new(SimCluster::new(
+                ClusterConfig::default().with_nodes(3).with_seed(5),
+            ));
+            let db = Database::new(cluster);
+            db.execute_ddl("CREATE TABLE kv (k INT, v VARCHAR(16), PRIMARY KEY (k))")
+                .unwrap();
+            db.bulk_load("kv", (0..100).map(|i| tuple![i, "x"])).unwrap();
+            db.cluster().rebalance();
+            let cfg = DriverConfig {
+                sessions: 4,
+                duration_us: 3 * piql_kv::SECONDS,
+                warmup_us: piql_kv::SECONDS,
+                ..Default::default()
+            };
+            let m = run_closed_loop(&db, &PkLookups, &cfg).unwrap();
+            (m.count(), m.throughput_per_sec(), m.quantile_ms(0.99))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed, same run");
+        assert!(a.0 > 100, "interactions completed: {}", a.0);
+        assert!(a.2 > 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! The SLO compliance workflow (§6): train operator models on a
+//! production-like cluster, predict a query's p99 distribution across
+//! intervals, check an SLO, and let the Performance Insight Assistant
+//! suggest the largest cardinality limit that still meets it (Figure 6).
+//!
+//! ```sh
+//! cargo run --release --example slo_advisor
+//! ```
+
+use piql::core::catalog::{Catalog, TableDef};
+use piql::core::opt::Optimizer;
+use piql::core::parser::parse_select;
+use piql::core::value::DataType;
+use piql::kv::{ClusterConfig, SimCluster};
+use piql_predict::{train, Heatmap, SloPredictor, TrainConfig};
+
+fn catalog_with_limit(subs: u64) -> Catalog {
+    let mut cat = Catalog::new();
+    cat.create_table(
+        TableDef::builder("subscriptions")
+            .column("owner", DataType::Varchar(24))
+            .column("target", DataType::Varchar(24))
+            .column("approved", DataType::Bool)
+            .primary_key(&["owner", "target"])
+            .cardinality_limit(subs, &["owner"])
+            .build(),
+    )
+    .unwrap();
+    cat.create_table(
+        TableDef::builder("thoughts")
+            .column("owner", DataType::Varchar(24))
+            .column("timestamp", DataType::Timestamp)
+            .column("text", DataType::Varchar(140))
+            .primary_key(&["owner", "timestamp"])
+            .build(),
+    )
+    .unwrap();
+    cat
+}
+
+fn main() {
+    // 1. train once per cluster configuration (§6.1) — these models are not
+    // application-specific and could ship per public cloud
+    let cluster = SimCluster::new(ClusterConfig::default().with_nodes(10).with_seed(3));
+    let config = TrainConfig {
+        intervals: 12,
+        samples_per_interval: 8,
+        alphas: vec![1, 10, 50, 100, 200, 300, 400, 500],
+        alpha_js: vec![1, 10, 25, 50],
+        betas: vec![40, 160, 640],
+        ..TrainConfig::default()
+    };
+    println!("training operator models ({} intervals)...", config.intervals);
+    let models = train(&cluster, &config);
+    println!(
+        "trained {} grid points from {} samples\n",
+        models.keys().len(),
+        models.total_samples()
+    );
+    let predictor = SloPredictor::new(models);
+
+    // 2. predict the thoughtstream query for one concrete schema
+    let optimizer = Optimizer::scale_independent();
+    let compile = |subs: u64, page: u64| {
+        optimizer
+            .compile(
+                &catalog_with_limit(subs),
+                &parse_select(&format!(
+                    "SELECT thoughts.* FROM subscriptions s JOIN thoughts \
+                     WHERE thoughts.owner = s.target AND s.owner = <u> \
+                     ORDER BY thoughts.timestamp DESC LIMIT {page}"
+                ))
+                .unwrap(),
+            )
+            .unwrap()
+    };
+    let pred = predictor.predict(&compile(100, 10));
+    println!("thoughtstream with CARDINALITY LIMIT 100, page 10:");
+    println!(
+        "  predicted p99 per interval: median {:.0} ms, p90 {:.0} ms, max {:.0} ms",
+        pred.p99_quantile_ms(0.5),
+        pred.p99_quantile_ms(0.9),
+        pred.max_p99_ms
+    );
+    for slo in [150.0, 300.0, 500.0] {
+        println!(
+            "  SLO \"99% under {slo:.0} ms per interval\": risk {:.0}% of intervals -> {}",
+            pred.violation_risk(slo) * 100.0,
+            if pred.meets_slo(slo, 0.9) { "MEETS (90% confidence)" } else { "AT RISK" }
+        );
+    }
+
+    // 3. the Figure 6 heatmap + limit suggestion
+    println!("\nbuilding the Figure 6 heatmap...");
+    let heat = Heatmap::build(
+        &predictor,
+        "subscriptions per user",
+        "records per page",
+        (100..=500).step_by(50).collect(),
+        (10..=50).step_by(10).collect(),
+        compile,
+    );
+    println!("{}", heat.render());
+    for slo in [300.0, 500.0] {
+        println!(
+            "largest CARDINALITY LIMIT meeting a {slo:.0} ms SLO at 10 records/page: {:?}",
+            heat.suggest_row_limit(10, slo)
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! The "success disaster" in one file (§1, §8.3): the same query compiled
+//! by a traditional cost-based optimizer and by PIQL, executed as the
+//! database experiences success. The cost-based plan is faster on day one
+//! and melts down when a user goes viral; the PIQL plan never moves.
+//!
+//! ```sh
+//! cargo run --release --example success_disaster
+//! ```
+
+use piql::core::catalog::{Statistics, TableStats};
+use piql::core::opt::Optimizer;
+use piql::engine::{Database, ExecStrategy};
+use piql::kv::{ClusterConfig, Session, SimCluster};
+use piql::{Params, Value};
+use piql_core::tuple::Tuple;
+use std::sync::Arc;
+
+const QUERY: &str = "SELECT owner, target FROM subscriptions \
+     WHERE target = <who> AND owner IN [2: friends MAX 50]";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = Arc::new(SimCluster::new(
+        ClusterConfig::default().with_nodes(8).with_seed(4),
+    ));
+    let db = Database::new(cluster);
+    db.execute_ddl(
+        "CREATE TABLE subscriptions ( \
+           owner VARCHAR(24) NOT NULL, target VARCHAR(24) NOT NULL, \
+           PRIMARY KEY (owner, target), CARDINALITY LIMIT 50 (owner) )",
+    )?;
+
+    // day 1: a niche service — everyone has a handful of subscribers
+    let uname = |i: usize| format!("user{i:06}");
+    db.bulk_load(
+        "subscriptions",
+        (0..2_000).flat_map(|i| {
+            (1..=5).map(move |d| {
+                Tuple::new(vec![
+                    Value::Varchar(format!("user{:06}", (i + d) % 2000)),
+                    Value::Varchar(format!("user{i:06}")),
+                ])
+            })
+        }),
+    )?;
+    db.cluster().rebalance();
+
+    // two compilers, same query
+    let piql_plan = db.prepare(QUERY)?;
+    let mut stats = Statistics::new();
+    let mut ts = TableStats::with_rows(10_000);
+    ts.set_avg_group_size("target", 5.0);
+    stats.set_table(db.catalog().table("subscriptions").unwrap().id, ts);
+    let cost_plan = db.prepare_with(QUERY, &Optimizer::cost_based(stats))?;
+    println!("PIQL plan:     bounded, ≤{} requests — always", piql_plan.compiled.bounds.requests);
+    println!(
+        "cost-based:    unbounded scan, ~{} requests *on average today*\n",
+        cost_plan.compiled.bounds.requests
+    );
+
+    let friends: Vec<Value> = (0..50).map(|i| Value::Varchar(uname(i * 7))).collect();
+    let run = |label: &str, who: &str, clock: &mut u64| {
+        let mut params = Params::new();
+        params.set(0, Value::Varchar(who.to_string()));
+        params.set(1, friends.clone());
+        for (name, plan) in [("cost-based", &cost_plan), ("PIQL", &piql_plan)] {
+            let mut s = Session::at(*clock);
+            let t0 = s.begin();
+            db.execute_with(&mut s, plan, &params, ExecStrategy::Parallel, None)
+                .unwrap();
+            println!(
+                "  {label:<28} {name:<11} {:>7.1} ms  ({} kv requests)",
+                s.elapsed_since(t0) as f64 / 1000.0,
+                s.stats.logical_requests
+            );
+            *clock = s.now + 10_000;
+        }
+    };
+
+    let mut clock = 0u64;
+    println!("day 1 — ordinary user (5 subscribers):");
+    run("ordinary user", &uname(100), &mut clock);
+
+    // the site succeeds: one user goes viral
+    println!("\nday 90 — someone went viral (100k subscribers):");
+    let celebrity = "ladygaga";
+    db.bulk_load(
+        "subscriptions",
+        (0..100_000).map(|i| {
+            Tuple::new(vec![
+                Value::Varchar(format!("fan{i:07}")),
+                Value::Varchar(celebrity.to_string()),
+            ])
+        }),
+    )?;
+    db.cluster().rebalance();
+    run("viral user", celebrity, &mut clock);
+
+    println!(
+        "\nthe cost-based plan scales with the *data*; the PIQL plan scales with the *bound*."
+    );
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! # PIQL — Performance-Insightful Query Language
+//!
+//! A from-scratch Rust reproduction of *PIQL: Success-Tolerant Query
+//! Processing in the Cloud* (Armbrust et al., PVLDB 5(3), 2011): a
+//! declarative query language with **scale independence** — every compiled
+//! query carries a static bound on the key/value-store operations it may
+//! perform, so queries that meet their SLO on day one keep meeting it when
+//! the site goes viral.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`core`] — the PIQL dialect, catalog, and two-phase scale-independent
+//!   optimizer (the paper's primary contribution),
+//! * [`kv`] — a deterministic virtual-time simulation of a distributed
+//!   ordered key/value store (the SCADS substrate),
+//! * [`engine`] — the execution engine, pagination cursors, and write path,
+//! * [`predict`] — the SLO compliance prediction framework,
+//! * [`workloads`] — the TPC-W and SCADr benchmarks with a closed-loop
+//!   driver.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use piql_core as core;
+pub use piql_engine as engine;
+pub use piql_kv as kv;
+pub use piql_predict as predict;
+pub use piql_workloads as workloads;
+
+pub use piql_core::opt::{Compiled, Objective, OptError, Optimizer, QueryClass};
+pub use piql_core::plan::params::{ParamValue, Params};
+pub use piql_core::value::{DataType, Value};
+pub use piql_engine::{Cursor, Database, DbError, ExecStrategy, Prepared, QueryResult};
+pub use piql_kv::{ClusterConfig, Session, SimCluster};

@@ -1,0 +1,93 @@
+//! Golden test for the Figure 3 plan stages: the thoughtstream query must
+//! pass through exactly the paper's transformations.
+
+use piql::{Database, SimCluster};
+use piql_kv::ClusterConfig;
+use std::sync::Arc;
+
+#[test]
+fn figure3_stages_for_the_thoughtstream_query() {
+    let db = Database::new(Arc::new(SimCluster::new(ClusterConfig::instant(2))));
+    db.execute_ddl(
+        "CREATE TABLE users (username VARCHAR(24) NOT NULL, PRIMARY KEY (username))",
+    )
+    .unwrap();
+    db.execute_ddl(
+        "CREATE TABLE subscriptions (owner VARCHAR(24) NOT NULL, \
+         target VARCHAR(24) NOT NULL, approved BOOL, \
+         PRIMARY KEY (owner, target), \
+         CARDINALITY LIMIT 100 (owner))",
+    )
+    .unwrap();
+    db.execute_ddl(
+        "CREATE TABLE thoughts (owner VARCHAR(24) NOT NULL, \
+         timestamp TIMESTAMP NOT NULL, text VARCHAR(140), \
+         PRIMARY KEY (owner, timestamp))",
+    )
+    .unwrap();
+    let prepared = db
+        .prepare(
+            "SELECT thoughts.* FROM subscriptions s JOIN thoughts \
+             WHERE thoughts.owner = s.target AND s.owner = <uname> AND s.approved = true \
+             ORDER BY thoughts.timestamp DESC LIMIT 10",
+        )
+        .unwrap();
+    let explain = prepared.compiled.explain();
+    println!("{explain}");
+
+    // stage (b): naive logical plan — predicates at their relations, join
+    // condition on the join, Stop(LIMIT) above Sort
+    let naive = format!(
+        "{}",
+        prepared.compiled.naive.display_with(&prepared.compiled.schema)
+    );
+    assert!(naive.contains("Stop(10, from LIMIT 10)"), "{naive}");
+    assert!(naive.contains("Sort(thoughts.timestamp DESC)"), "{naive}");
+    assert!(naive.contains("Join(s.target = thoughts.owner)"), "{naive}");
+    assert!(
+        naive.contains("Selection(s.owner = [1: uname], s.approved = true)"),
+        "{naive}"
+    );
+    assert!(!naive.contains("DataStop"), "no data-stop before phase I");
+
+    // stage (c): after Phase I — the data-stop sits between its cause
+    // (owner = <uname>) and the non-cause predicate (approved = true),
+    // exactly the push-down of Figure 3(c)
+    let optimized = format!(
+        "{}",
+        prepared
+            .compiled
+            .optimized
+            .display_with(&prepared.compiled.schema)
+    );
+    let pos = |needle: &str| {
+        optimized
+            .find(needle)
+            .unwrap_or_else(|| panic!("missing '{needle}' in:\n{optimized}"))
+    };
+    let p_approved = pos("Selection(s.approved = true)");
+    let p_datastop = pos("DataStop(100, from CARDINALITY LIMIT 100 (owner))");
+    let p_owner = pos("Selection(s.owner = [1: uname])");
+    assert!(
+        p_approved < p_datastop && p_datastop < p_owner,
+        "data-stop must sit between approved (above) and owner (below):\n{optimized}"
+    );
+
+    // stage (d): physical — IndexScan with the cardinality limit hint,
+    // LocalSelection(approved), SortedIndexJoin with limitHint 10
+    let physical = format!(
+        "{}",
+        prepared
+            .compiled
+            .physical
+            .display_with(&prepared.compiled.schema)
+    );
+    assert!(
+        physical.contains("limitHint=100 [CARDINALITY LIMIT 100 (owner)]"),
+        "{physical}"
+    );
+    assert!(physical.contains("LocalSelection(s.approved = true)"), "{physical}");
+    assert!(physical.contains("SortedIndexJoin"), "{physical}");
+    assert!(physical.contains("perKey=10"), "{physical}");
+    assert!(physical.contains("descending") || physical.contains("DESC"), "{physical}");
+}

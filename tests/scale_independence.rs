@@ -1,0 +1,154 @@
+//! The paper's central claim, as an executable invariant: a compiled
+//! scale-independent query performs a bounded number of key/value
+//! operations *regardless of database size*, and its virtual latency stays
+//! flat, while an unbounded (cost-based) plan degrades with growth.
+
+use piql::core::catalog::Statistics;
+use piql::core::opt::Optimizer;
+use piql::{Database, ExecStrategy, Params, Session, SimCluster, Value};
+use piql_core::tuple::Tuple;
+use piql_kv::ClusterConfig;
+use std::sync::Arc;
+
+const THOUGHTSTREAM: &str = "SELECT thoughts.* FROM subscriptions s JOIN thoughts \
+     WHERE thoughts.owner = s.target AND s.owner = <u> AND s.approved = true \
+     ORDER BY thoughts.timestamp DESC LIMIT 10";
+
+fn build_db(n_users: usize) -> Database {
+    let mut cfg = ClusterConfig::default().with_nodes(6).with_seed(0xABCD);
+    cfg.interference = piql_kv::InterferenceConfig::none();
+    let db = Database::new(Arc::new(SimCluster::new(cfg)));
+    db.execute_ddl(
+        "CREATE TABLE users (username VARCHAR(24) NOT NULL, PRIMARY KEY (username))",
+    )
+    .unwrap();
+    db.execute_ddl(
+        "CREATE TABLE subscriptions (owner VARCHAR(24) NOT NULL, \
+         target VARCHAR(24) NOT NULL, approved BOOL, PRIMARY KEY (owner, target), \
+         FOREIGN KEY (owner) REFERENCES users, FOREIGN KEY (target) REFERENCES users, \
+         CARDINALITY LIMIT 20 (owner))",
+    )
+    .unwrap();
+    db.execute_ddl(
+        "CREATE TABLE thoughts (owner VARCHAR(24) NOT NULL, \
+         timestamp TIMESTAMP NOT NULL, text VARCHAR(140), \
+         PRIMARY KEY (owner, timestamp), FOREIGN KEY (owner) REFERENCES users)",
+    )
+    .unwrap();
+    let uname = |i: usize| format!("u{i:07}");
+    db.bulk_load(
+        "users",
+        (0..n_users).map(|i| Tuple::new(vec![Value::Varchar(uname(i))])),
+    )
+    .unwrap();
+    db.bulk_load(
+        "subscriptions",
+        (0..n_users).flat_map(|i| {
+            (1..=10usize).map(move |d| {
+                Tuple::new(vec![
+                    Value::Varchar(format!("u{i:07}")),
+                    Value::Varchar(format!("u{:07}", (i + d) % n_users)),
+                    Value::Bool(true),
+                ])
+            })
+        }),
+    )
+    .unwrap();
+    db.bulk_load(
+        "thoughts",
+        (0..n_users).flat_map(|i| {
+            (0..15usize).map(move |p| {
+                Tuple::new(vec![
+                    Value::Varchar(format!("u{i:07}")),
+                    Value::Timestamp((i * 131 + p * 7) as i64),
+                    Value::Varchar("text".into()),
+                ])
+            })
+        }),
+    )
+    .unwrap();
+    db.cluster().rebalance();
+    db
+}
+
+/// Average (requests, latency µs) over a few users at a given size.
+fn probe(db: &Database, prepared: &piql::Prepared, n_users: usize) -> (f64, f64) {
+    let mut reqs = 0u64;
+    let mut lat = 0u64;
+    let mut clock = 0u64;
+    let samples = 40;
+    for k in 0..samples {
+        let mut params = Params::new();
+        params.set(0, Value::Varchar(format!("u{:07}", (k * 97) % n_users)));
+        let mut s = Session::at(clock);
+        let t0 = s.begin();
+        db.execute_with(&mut s, prepared, &params, ExecStrategy::Parallel, None)
+            .unwrap();
+        reqs += s.stats.logical_requests;
+        lat += s.elapsed_since(t0);
+        clock = s.now + 20_000;
+    }
+    (reqs as f64 / samples as f64, lat as f64 / samples as f64)
+}
+
+#[test]
+fn bounded_query_is_flat_across_100x_growth() {
+    let sizes = [200usize, 2_000, 20_000];
+    let mut results = Vec::new();
+    for &n in &sizes {
+        let db = build_db(n);
+        let prepared = db.prepare(THOUGHTSTREAM).unwrap();
+        assert!(prepared.compiled.bounds.guaranteed);
+        let (reqs, lat) = probe(&db, &prepared, n);
+        assert!(
+            reqs <= prepared.compiled.bounds.requests as f64,
+            "measured {reqs} > bound {}",
+            prepared.compiled.bounds.requests
+        );
+        results.push((n, reqs, lat));
+    }
+    let (_, r0, l0) = results[0];
+    let (_, r2, l2) = results[2];
+    assert!(
+        (r2 - r0).abs() <= 1.0,
+        "request count must not grow with data: {results:?}"
+    );
+    assert!(
+        l2 <= l0 * 1.5,
+        "latency must stay flat across 100x growth: {results:?}"
+    );
+}
+
+#[test]
+fn unbounded_plan_degrades_with_growth() {
+    // the Class-III query PIQL would reject, forced through the baseline
+    let sql = "SELECT * FROM thoughts WHERE text = 'text'";
+    let sizes = [200usize, 2_000];
+    let mut lat = Vec::new();
+    for &n in &sizes {
+        let db = build_db(n);
+        let prepared = db
+            .prepare_with(sql, &Optimizer::cost_based(Statistics::new()))
+            .unwrap();
+        assert!(!prepared.compiled.bounds.guaranteed);
+        let mut s = Session::new();
+        let t0 = s.begin();
+        db.execute_with(&mut s, &prepared, &Params::new(), ExecStrategy::Parallel, None)
+            .unwrap();
+        lat.push(s.elapsed_since(t0));
+    }
+    assert!(
+        lat[1] as f64 >= lat[0] as f64 * 3.0,
+        "10x data should make the unbounded scan much slower: {lat:?}"
+    );
+}
+
+#[test]
+fn scale_independent_mode_rejects_the_unbounded_query() {
+    let db = build_db(200);
+    let err = db
+        .prepare("SELECT * FROM thoughts WHERE text = 'text'")
+        .unwrap_err();
+    let msg = format!("{err}");
+    assert!(msg.contains("not scale-independent"), "{msg}");
+}
