@@ -71,7 +71,10 @@ fn main() {
                 lat.push(s.elapsed_since(t0));
                 clock = s.now + 5_000;
             }
-            row(&[("mechanism", label.into()), ("p99_ms", format!("{:.1}", p99_ms(&mut lat)))]);
+            row(&[
+                ("mechanism", label.into()),
+                ("p99_ms", format!("{:.1}", p99_ms(&mut lat))),
+            ]);
         }
 
         // sorted join: sequential vs parallel probes
@@ -115,7 +118,10 @@ fn main() {
                 lat.push(s.elapsed_since(t0));
                 clock = s.now + 5_000;
             }
-            row(&[("mechanism", label.into()), ("p99_ms", format!("{:.1}", p99_ms(&mut lat)))]);
+            row(&[
+                ("mechanism", label.into()),
+                ("p99_ms", format!("{:.1}", p99_ms(&mut lat))),
+            ]);
         }
     }
 
@@ -184,7 +190,10 @@ fn main() {
                 lat.push(s.elapsed_since(t0));
                 clock = s.now + 5_000;
             }
-            row(&[("mechanism", label.into()), ("p99_ms", format!("{:.1}", p99_ms(&mut lat)))]);
+            row(&[
+                ("mechanism", label.into()),
+                ("p99_ms", format!("{:.1}", p99_ms(&mut lat))),
+            ]);
         }
         println!(
             "# note: with the index present the optimizer prefers it only when it serves \

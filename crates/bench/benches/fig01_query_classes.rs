@@ -23,7 +23,9 @@ fn main() {
     );
     let sizes: Vec<usize> = vec![500, 1_000, 2_000, 4_000, 8_000];
 
-    println!("users\tclass_I_pk_lookup\tclass_II_bounded_subs\tclass_III_town_scan\tclass_IV_self_join");
+    println!(
+        "users\tclass_I_pk_lookup\tclass_II_bounded_subs\tclass_III_town_scan\tclass_IV_self_join"
+    );
     for &n_users in &sizes {
         let cluster = Arc::new(SimCluster::new(ClusterConfig::instant(4)));
         let db = Database::new(cluster);
@@ -86,15 +88,9 @@ fn main() {
         // Class I: pk lookup — constant
         let (c1, k1) = entries_for("SELECT * FROM users WHERE username = <u>", false);
         // Class II: bounded by CARDINALITY LIMIT 20
-        let (c2, k2) = entries_for(
-            "SELECT * FROM subscriptions WHERE owner = <u>",
-            false,
-        );
+        let (c2, k2) = entries_for("SELECT * FROM subscriptions WHERE owner = <u>", false);
         // Class III: all users in a town — linear (cost-based only)
-        let (c3, k3) = entries_for(
-            "SELECT * FROM users WHERE home_town = 'berkeley'",
-            true,
-        );
+        let (c3, k3) = entries_for("SELECT * FROM users WHERE home_town = 'berkeley'", true);
         // Class IV: who-subscribes-to-my-subscribers self join — super-linear
         let (c4, k4) = entries_for(
             "SELECT a.owner, b.owner FROM subscriptions a JOIN subscriptions b \

@@ -108,10 +108,8 @@ fn main() {
     // ---- actual measurements on a separate identically-configured cluster
     let cluster = bench_cluster(10, 0xF06 + 1);
     let db = Database::new(cluster);
-    db.execute_ddl(
-        "CREATE TABLE users (username VARCHAR(24) NOT NULL, PRIMARY KEY (username))",
-    )
-    .unwrap();
+    db.execute_ddl("CREATE TABLE users (username VARCHAR(24) NOT NULL, PRIMARY KEY (username))")
+        .unwrap();
     db.execute_ddl(
         "CREATE TABLE subscriptions ( \
            owner VARCHAR(24) NOT NULL, target VARCHAR(24) NOT NULL, approved BOOL, \
@@ -181,8 +179,14 @@ fn main() {
                 // unloaded: drain between executions
                 let mut session = Session::at(clock);
                 let t0 = session.begin();
-                db.execute_with(&mut session, &prepared, &params, ExecStrategy::Parallel, None)
-                    .unwrap();
+                db.execute_with(
+                    &mut session,
+                    &prepared,
+                    &params,
+                    ExecStrategy::Parallel,
+                    None,
+                )
+                .unwrap();
                 lat.push(session.elapsed_since(t0));
                 clock = session.now + 10_000;
             }

@@ -33,10 +33,8 @@ fn main() {
 
     let cluster = bench_cluster_calm(10, 0x716);
     let db = Database::new(cluster);
-    db.execute_ddl(
-        "CREATE TABLE users (username VARCHAR(24) NOT NULL, PRIMARY KEY (username))",
-    )
-    .unwrap();
+    db.execute_ddl("CREATE TABLE users (username VARCHAR(24) NOT NULL, PRIMARY KEY (username))")
+        .unwrap();
     db.execute_ddl(
         "CREATE TABLE subscriptions ( \
            owner VARCHAR(24) NOT NULL, target VARCHAR(24) NOT NULL, approved BOOL, \
@@ -120,8 +118,14 @@ fn main() {
         }
         row(&[
             ("subscribers", n.to_string()),
-            ("p99_unbounded_scan_ms", format!("{:.1}", p99_ms(&mut lat_u))),
-            ("p99_bounded_lookup_ms", format!("{:.1}", p99_ms(&mut lat_b))),
+            (
+                "p99_unbounded_scan_ms",
+                format!("{:.1}", p99_ms(&mut lat_u)),
+            ),
+            (
+                "p99_bounded_lookup_ms",
+                format!("{:.1}", p99_ms(&mut lat_b)),
+            ),
         ]);
     }
     println!("# paper shape: unbounded grows ~linearly and exceeds the bounded plan past the crossover; bounded stays flat (SLO-safe)");

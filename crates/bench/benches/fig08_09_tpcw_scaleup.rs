@@ -26,11 +26,11 @@ fn main() {
     // independent cluster configurations measured in parallel (items are
     // constant per config, so memory stays modest)
     let mut results: Vec<(usize, f64, f64)> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = nodes_sweep
             .iter()
             .map(|&nodes| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let cluster = bench_cluster_calm(nodes, 0xF89);
                     let db = Database::new(cluster);
                     let config = TpcwConfig {
@@ -56,8 +56,7 @@ fn main() {
         for h in handles {
             results.push(h.join().unwrap());
         }
-    })
-    .unwrap();
+    });
     results.sort_by_key(|r| r.0);
 
     println!("nodes\twips\tp99_ms");
@@ -75,8 +74,8 @@ fn main() {
         "# fig8 linear fit: wips ≈ {slope:.1}*nodes + {intercept:.1}, R² = {r2:.5} (paper: 0.99854)"
     );
     let p99s: Vec<f64> = results.iter().map(|r| r.2).collect();
-    let spread = p99s.iter().cloned().fold(0.0f64, f64::max)
-        - p99s.iter().cloned().fold(f64::MAX, f64::min);
+    let spread =
+        p99s.iter().cloned().fold(0.0f64, f64::max) - p99s.iter().cloned().fold(f64::MAX, f64::min);
     println!(
         "# fig9 flatness: p99 spread across cluster sizes = {spread:.0} ms (paper: virtually constant)"
     );

@@ -63,7 +63,7 @@ fn main() {
         "# fig10 linear fit: tput ≈ {slope:.1}*nodes + {intercept:.1}, R² = {r2:.5} (paper: 0.98683)"
     );
     let p99s: Vec<f64> = results.iter().map(|r| r.2).collect();
-    let spread = p99s.iter().cloned().fold(0.0f64, f64::max)
-        - p99s.iter().cloned().fold(f64::MAX, f64::min);
+    let spread =
+        p99s.iter().cloned().fold(0.0f64, f64::max) - p99s.iter().cloned().fold(f64::MAX, f64::min);
     println!("# fig11 flatness: p99 spread = {spread:.0} ms (paper: flat, <300 ms at all sizes)");
 }

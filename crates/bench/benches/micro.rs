@@ -55,11 +55,7 @@ fn bench_codecs(c: &mut Criterion) {
         b.iter(|| key::encode_key_asc(black_box(&values)).unwrap())
     });
     let encoded = key::encode_key_asc(&values).unwrap();
-    let types = [
-        DataType::Varchar(24),
-        DataType::Timestamp,
-        DataType::Int,
-    ];
+    let types = [DataType::Varchar(24), DataType::Timestamp, DataType::Int];
     c.bench_function("key_decode_composite", |b| {
         b.iter(|| key::decode_key(black_box(&encoded), &types, &[]).unwrap())
     });
@@ -68,7 +64,9 @@ fn bench_codecs(c: &mut Criterion) {
         Value::Timestamp(99),
         Value::Varchar("the quick brown fox jumps over the lazy dog".into()),
     ]);
-    c.bench_function("row_encode", |b| b.iter(|| row::encode_tuple(black_box(&tuple))));
+    c.bench_function("row_encode", |b| {
+        b.iter(|| row::encode_tuple(black_box(&tuple)))
+    });
     let bytes = row::encode_tuple(&tuple);
     c.bench_function("row_decode", |b| {
         b.iter(|| row::decode_tuple(black_box(&bytes)).unwrap())

@@ -1,0 +1,190 @@
+//! Server admission throughput — success-tolerance is cheap.
+//!
+//! Sustained mixed load against a `LiveCluster`-backed `piql-server`
+//! registry: client threads execute an admitted statement while others
+//! hammer the service with registrations that get rejected (unbounded and
+//! over-SLO). The rows show (1) rejected registrations are pure CPU — the
+//! storage op counter does not move — and (2) admitted-query throughput is
+//! barely dented by a concurrent rejection storm.
+//!
+//! `PIQL_QUICK=1` shrinks the run.
+
+use piql_bench::{header, row, scaled};
+use piql_core::plan::params::Params;
+use piql_core::value::Value;
+use piql_engine::Database;
+use piql_kv::{LiveCluster, LiveConfig, Session};
+use piql_server::testkit::linear_predictor;
+use piql_server::{SloConfig, StatementRegistry};
+use piql_workloads::scadr::{self, ScadrConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const UNBOUNDED: &str = "SELECT * FROM thoughts WHERE text = <t>";
+const THOUGHTSTREAM: &str = "SELECT thoughts.* FROM subscriptions s JOIN thoughts \
+     WHERE thoughts.owner = s.target AND s.owner = <u> AND s.approved = true \
+     ORDER BY thoughts.timestamp DESC LIMIT 10";
+
+fn build() -> (Arc<LiveCluster>, Arc<StatementRegistry<LiveCluster>>, usize) {
+    let cluster = Arc::new(LiveCluster::new(LiveConfig::default()));
+    let db = Arc::new(Database::new(cluster.clone()));
+    let config = ScadrConfig {
+        users_per_node: 200,
+        thoughts_per_user: 15,
+        subscriptions_per_user: 8,
+        max_subscriptions: 100,
+        ..Default::default()
+    };
+    let n_users = scadr::setup(&db, &config, 4).unwrap();
+    let registry = Arc::new(StatementRegistry::new(
+        db,
+        linear_predictor(200, 100, 3),
+        SloConfig {
+            slo_ms: 80.0,
+            interval_confidence: 1.0,
+            allow_degrade: true,
+        },
+    ));
+    (cluster, registry, n_users)
+}
+
+fn main() {
+    header(
+        "server_admission",
+        "piql-server (§6 admission at the API boundary)",
+        "registration + execution throughput; rejected registrations issue zero storage ops",
+    );
+    let (cluster, registry, n_users) = build();
+
+    // --- admitted baseline: register once, execute hot
+    registry
+        .register("find_user", "SELECT * FROM users WHERE username = <u>")
+        .unwrap();
+    registry.register("thoughtstream", THOUGHTSTREAM).unwrap();
+
+    let exec_iters = scaled(20_000, 2_000);
+    let t0 = Instant::now();
+    let mut session = Session::new();
+    for i in 0..exec_iters {
+        let mut p = Params::new();
+        p.set(0, Value::Varchar(scadr::username(i as usize % n_users)));
+        registry
+            .execute(&mut session, "find_user", &p, None)
+            .unwrap();
+    }
+    let exec_qps = exec_iters as f64 / t0.elapsed().as_secs_f64();
+    row(&[
+        ("phase", "admitted-exec".into()),
+        ("iters", exec_iters.to_string()),
+        ("qps", format!("{exec_qps:.0}")),
+    ]);
+
+    // --- rejection throughput: unbounded and over-SLO registrations,
+    //     storage op counter pinned before/after
+    for (label, sql, expect) in [
+        ("reject-unbounded", UNBOUNDED, "rejected-unbounded"),
+        ("reject-slo", THOUGHTSTREAM, "rejected-slo"),
+    ] {
+        // over-SLO rejection needs a degrade-free strict registry
+        let strict = StatementRegistry::new(
+            registry.db().clone(),
+            linear_predictor(200, 100, 3),
+            SloConfig {
+                slo_ms: 10.0,
+                interval_confidence: 1.0,
+                allow_degrade: false,
+            },
+        );
+        let reg_iters = scaled(2_000, 200);
+        let ops_before = cluster.op_count();
+        let t0 = Instant::now();
+        for i in 0..reg_iters {
+            let verdict = strict.register(&format!("q{i}"), sql).unwrap();
+            assert_eq!(verdict.verdict(), expect);
+        }
+        let regs_per_sec = reg_iters as f64 / t0.elapsed().as_secs_f64();
+        let storage_ops = cluster.op_count() - ops_before;
+        assert_eq!(storage_ops, 0, "rejection must not touch storage");
+        row(&[
+            ("phase", label.into()),
+            ("registrations", reg_iters.to_string()),
+            ("regs_per_sec", format!("{regs_per_sec:.0}")),
+            ("storage_ops", storage_ops.to_string()),
+        ]);
+    }
+
+    // --- mixed sustained load: 4 executor threads + 4 rejection threads
+    let stop = Arc::new(AtomicBool::new(false));
+    let duration_ms = scaled(2_000, 300);
+    let executors: Vec<_> = (0..4)
+        .map(|t| {
+            let registry = registry.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut session = Session::new();
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let mut p = Params::new();
+                    p.set(
+                        0,
+                        Value::Varchar(scadr::username((t * 31 + n as usize) % 100)),
+                    );
+                    registry
+                        .execute(&mut session, "thoughtstream", &p, None)
+                        .unwrap();
+                    n += 1;
+                }
+                n
+            })
+        })
+        .collect();
+    let ops_before = cluster.op_count();
+    let rejectors: Vec<_> = (0..4)
+        .map(|t| {
+            let registry = registry.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let verdict = registry
+                        .register(&format!("reject-{t}-{n}"), UNBOUNDED)
+                        .unwrap();
+                    assert_eq!(verdict.verdict(), "rejected-unbounded");
+                    n += 1;
+                }
+                n
+            })
+        })
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(duration_ms));
+    stop.store(true, Ordering::SeqCst);
+    let executed: u64 = executors.into_iter().map(|t| t.join().unwrap()).sum();
+    let rejected: u64 = rejectors.into_iter().map(|t| t.join().unwrap()).sum();
+    let elapsed_s = duration_ms as f64 / 1_000.0;
+    // every storage op in the window must be attributable to the admitted
+    // executions' bounded plans — the rejection storm adds none
+    let ops_in_window = cluster.op_count() - ops_before;
+    let bound = registry
+        .get("thoughtstream")
+        .unwrap()
+        .prepared
+        .compiled
+        .bounds
+        .requests;
+    assert!(
+        ops_in_window <= executed * bound.max(1),
+        "storage ops ({ops_in_window}) exceed what admitted executions alone can issue \
+         ({executed} × {bound}) — rejections leaked storage work"
+    );
+    row(&[
+        ("phase", "mixed-load".into()),
+        ("exec_qps", format!("{:.0}", executed as f64 / elapsed_s)),
+        (
+            "rejections_per_sec",
+            format!("{:.0}", rejected as f64 / elapsed_s),
+        ),
+        ("storage_ops_window", ops_in_window.to_string()),
+        ("exec_request_bound", bound.to_string()),
+    ]);
+}

@@ -58,8 +58,14 @@ fn measure(
         // unloaded measurement: start after the previous query drained
         let mut session = Session::at(*clock);
         let t0 = session.begin();
-        db.execute_with(&mut session, prepared, &params, ExecStrategy::Parallel, None)
-            .unwrap();
+        db.execute_with(
+            &mut session,
+            prepared,
+            &params,
+            ExecStrategy::Parallel,
+            None,
+        )
+        .unwrap();
         lat.push(session.elapsed_since(t0));
         *clock = session.now + 10_000;
     }
@@ -84,7 +90,9 @@ fn main() {
     };
     let models = train(&train_cluster, &tc);
     let predictor = SloPredictor::new(models);
-    println!("benchmark\tquery\tmodifications\tadditional_indexes\tactual_p99_ms\tpredicted_p99_ms");
+    println!(
+        "benchmark\tquery\tmodifications\tadditional_indexes\tactual_p99_ms\tpredicted_p99_ms"
+    );
 
     // ================= TPC-W =================
     {

@@ -10,7 +10,9 @@ use std::sync::Arc;
 
 /// Whether quick mode is requested.
 pub fn quick() -> bool {
-    std::env::var("PIQL_QUICK").map(|v| v != "0").unwrap_or(false)
+    std::env::var("PIQL_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
 }
 
 /// Scale an iteration/duration knob down in quick mode.
@@ -56,7 +58,9 @@ pub fn header(id: &str, paper_ref: &str, what: &str) {
     println!("### {id} — {paper_ref}");
     println!("# {what}");
     if quick() {
-        println!("# MODE: quick (PIQL_QUICK=1) — reduced sizes; see EXPERIMENTS.md for full-run numbers");
+        println!(
+            "# MODE: quick (PIQL_QUICK=1) — reduced sizes; see EXPERIMENTS.md for full-run numbers"
+        );
     }
 }
 

@@ -157,7 +157,10 @@ pub enum Predicate {
         right: ScalarExpr,
     },
     /// `col LIKE pattern` — compiles to a tokenized-index lookup (§7.3).
-    Like { column: ColumnRef, pattern: ScalarExpr },
+    Like {
+        column: ColumnRef,
+        pattern: ScalarExpr,
+    },
     /// `col IN (...)`.
     In { column: ColumnRef, list: InList },
     /// `col IS [NOT] NULL`.
@@ -221,7 +224,6 @@ impl fmt::Display for Predicate {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -113,7 +113,10 @@ pub enum SelectItem {
     /// `alias.*`
     QualifiedWildcard(String),
     /// `col [AS alias]`
-    Column { column: ColumnRef, alias: Option<String> },
+    Column {
+        column: ColumnRef,
+        alias: Option<String>,
+    },
     /// `AGG(col) [AS alias]`
     Aggregate(AggregateExpr),
 }

@@ -122,9 +122,9 @@ impl IndexDef {
     pub fn full_key_parts(&self, table: &TableDef) -> Vec<IndexKeyPart> {
         let mut parts = self.key.clone();
         for pk in &table.primary_key {
-            let present = parts.iter().any(|p| {
-                !p.kind.is_token() && p.kind.column_name().eq_ignore_ascii_case(pk)
-            });
+            let present = parts
+                .iter()
+                .any(|p| !p.kind.is_token() && p.kind.column_name().eq_ignore_ascii_case(pk));
             if !present {
                 parts.push(IndexKeyPart::asc(pk.clone()));
             }
@@ -139,9 +139,7 @@ impl IndexDef {
             .iter()
             .map(|p| match &p.kind {
                 IndexKind::Token(_) => DataType::Varchar(64),
-                IndexKind::Column(c) => {
-                    table.columns[table.column_id(c).expect("validated")].ty
-                }
+                IndexKind::Column(c) => table.columns[table.column_id(c).expect("validated")].ty,
             })
             .collect()
     }
@@ -178,9 +176,7 @@ impl IndexDef {
                         table.columns[id].ty
                     )));
                 }
-                IndexKind::Token(_)
-                    if !matches!(table.columns[id].ty, DataType::Varchar(_)) =>
-                {
+                IndexKind::Token(_) if !matches!(table.columns[id].ty, DataType::Varchar(_)) => {
                     return Err(CatalogError::InvalidDefinition(format!(
                         "TOKEN({col}) requires a VARCHAR column"
                     )));

@@ -12,9 +12,7 @@ mod table;
 
 pub use index::{IndexDef, IndexId, IndexKeyPart, IndexKind};
 pub use stats::{Statistics, TableStats};
-pub use table::{
-    CardinalityConstraint, ColumnDef, ColumnId, ForeignKey, TableDef, TableId,
-};
+pub use table::{CardinalityConstraint, ColumnDef, ColumnId, ForeignKey, TableDef, TableId};
 
 use std::collections::BTreeMap;
 use std::fmt;

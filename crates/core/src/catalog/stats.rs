@@ -28,8 +28,7 @@ impl TableStats {
     }
 
     pub fn set_avg_group_size(&mut self, column: &str, avg: f64) {
-        self.avg_group_size
-            .insert(column.to_ascii_lowercase(), avg);
+        self.avg_group_size.insert(column.to_ascii_lowercase(), avg);
     }
 
     pub fn avg_group_size(&self, column: &str) -> Option<f64> {

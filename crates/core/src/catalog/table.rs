@@ -183,10 +183,12 @@ impl TableDef {
         let check_cols = |cols: &[String], what: &str| -> Result<(), CatalogError> {
             for n in cols {
                 let base = CardinalityConstraint::base_column(n);
-                let id = self.column_id(base).ok_or_else(|| CatalogError::UnknownColumn {
-                    table: self.name.clone(),
-                    column: base.to_string(),
-                })?;
+                let id = self
+                    .column_id(base)
+                    .ok_or_else(|| CatalogError::UnknownColumn {
+                        table: self.name.clone(),
+                        column: base.to_string(),
+                    })?;
                 if CardinalityConstraint::is_token_column(n)
                     && !matches!(self.columns[id].ty, crate::value::DataType::Varchar(_))
                 {
@@ -284,10 +286,12 @@ impl TableBuilder {
     }
 
     pub fn cardinality_limit(mut self, limit: u64, cols: &[&str]) -> Self {
-        self.def.cardinality_constraints.push(CardinalityConstraint {
-            limit,
-            columns: cols.iter().map(|s| s.to_string()).collect(),
-        });
+        self.def
+            .cardinality_constraints
+            .push(CardinalityConstraint {
+                limit,
+                columns: cols.iter().map(|s| s.to_string()).collect(),
+            });
         self
     }
 

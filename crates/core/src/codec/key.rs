@@ -143,7 +143,11 @@ pub fn decode_key(
     for (i, ty) in types.iter().enumerate() {
         let dir = dirs.get(i).copied().unwrap_or(Dir::Asc);
         let flip = |b: u8| if dir == Dir::Desc { !b } else { b };
-        let tag = flip(*bytes.get(pos).ok_or(KeyCodecError::Corrupt("missing tag"))?);
+        let tag = flip(
+            *bytes
+                .get(pos)
+                .ok_or(KeyCodecError::Corrupt("missing tag"))?,
+        );
         pos += 1;
         if tag == TAG_NULL {
             values.push(Value::Null);
@@ -282,9 +286,7 @@ mod tests {
     #[test]
     fn null_sorts_first() {
         assert!(enc1(&Value::Null, Dir::Asc) < enc1(&Value::Int(i32::MIN), Dir::Asc));
-        assert!(
-            enc1(&Value::Null, Dir::Asc) < enc1(&Value::Varchar(String::new()), Dir::Asc)
-        );
+        assert!(enc1(&Value::Null, Dir::Asc) < enc1(&Value::Varchar(String::new()), Dir::Asc));
     }
 
     #[test]
@@ -299,15 +301,11 @@ mod tests {
     fn desc_component_reverses_only_itself() {
         // (owner ASC, timestamp DESC): same owner → later timestamps first.
         let dirs = [Dir::Asc, Dir::Desc];
-        let k_new = encode_key(
-            &[Value::Varchar("u".into()), Value::Timestamp(100)],
-            &dirs,
-        )
-        .unwrap();
-        let k_old = encode_key(&[Value::Varchar("u".into()), Value::Timestamp(50)], &dirs)
-            .unwrap();
-        let k_other = encode_key(&[Value::Varchar("v".into()), Value::Timestamp(999)], &dirs)
-            .unwrap();
+        let k_new =
+            encode_key(&[Value::Varchar("u".into()), Value::Timestamp(100)], &dirs).unwrap();
+        let k_old = encode_key(&[Value::Varchar("u".into()), Value::Timestamp(50)], &dirs).unwrap();
+        let k_other =
+            encode_key(&[Value::Varchar("v".into()), Value::Timestamp(999)], &dirs).unwrap();
         assert!(k_new < k_old, "newer timestamp sorts first under DESC");
         assert!(k_old < k_other, "owner still ascending");
     }

@@ -22,7 +22,7 @@ pub mod tuple;
 pub mod value;
 
 pub use catalog::Catalog;
-pub use opt::{Compiled, Objective, Optimizer, OptError, QueryClass};
+pub use opt::{Compiled, Objective, OptError, Optimizer, QueryClass};
 pub use parser::{parse, parse_select, ParseError};
 pub use tuple::Tuple;
 pub use value::{DataType, Value};

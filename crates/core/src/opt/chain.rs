@@ -58,7 +58,10 @@ impl Leg {
     /// Predicates above the data-stop (not part of its cause). When there is
     /// no data-stop, every predicate is "above".
     pub fn preds_above_stop(&self) -> Vec<&BoundPredicate> {
-        let stop_at = self.items.iter().position(|i| matches!(i, LegItem::Stop(_)));
+        let stop_at = self
+            .items
+            .iter()
+            .position(|i| matches!(i, LegItem::Stop(_)));
         match stop_at {
             None => self.all_preds(),
             Some(at) => self.items[at + 1..]
@@ -143,11 +146,7 @@ pub fn deconstruct(plan: &LogicalPlan) -> Chain {
     // join tree
     let mut legs = Vec::new();
     let mut join_edges = Vec::new();
-    fn walk_joins(
-        node: &LogicalPlan,
-        legs: &mut Vec<Leg>,
-        edges: &mut Vec<(FieldId, FieldId)>,
-    ) {
+    fn walk_joins(node: &LogicalPlan, legs: &mut Vec<Leg>, edges: &mut Vec<(FieldId, FieldId)>) {
         match node {
             LogicalPlan::Join { left, right, on } => {
                 walk_joins(left, legs, edges);

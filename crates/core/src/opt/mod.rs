@@ -105,7 +105,11 @@ impl Optimizer {
         let mut notes = Vec::new();
         match self.objective {
             Objective::ScaleIndependent => {
-                notes.extend(phase1::rewrite_in_params(catalog, &mut schema, &mut working));
+                notes.extend(phase1::rewrite_in_params(
+                    catalog,
+                    &mut schema,
+                    &mut working,
+                ));
                 phase1::order_joins(catalog, &schema, &mut working);
                 phase1::insert_data_stops(catalog, &schema, &mut working);
                 self.finish(catalog, schema, naive, working, row_bound, output, notes)
@@ -116,8 +120,7 @@ impl Optimizer {
                 // the traditional objective (§8.3)
                 let mut alt_schema = schema.clone();
                 let mut alt_chain = working.clone();
-                let alt_notes =
-                    phase1::rewrite_in_params(catalog, &mut alt_schema, &mut alt_chain);
+                let alt_notes = phase1::rewrite_in_params(catalog, &mut alt_schema, &mut alt_chain);
 
                 phase1::order_joins(catalog, &schema, &mut working);
                 phase1::insert_data_stops(catalog, &schema, &mut working);
@@ -137,8 +140,9 @@ impl Optimizer {
                 phase1::insert_data_stops(catalog, &alt_schema, &mut alt_chain);
                 let mut notes2 = notes;
                 notes2.extend(alt_notes);
-                let rewritten =
-                    self.finish(catalog, alt_schema, naive, alt_chain, row_bound, output, notes2);
+                let rewritten = self.finish(
+                    catalog, alt_schema, naive, alt_chain, row_bound, output, notes2,
+                );
                 match (plain, rewritten) {
                     (Ok(a), Ok(b)) => {
                         // expected requests: estimates for unbounded ops are
@@ -226,7 +230,7 @@ impl Optimizer {
 
 /// Parameter slots of the final plan (ParamValues relations included).
 fn collect_final_params(bq: &BoundQuery) -> Vec<ParamSlot> {
-    use crate::plan::{RelationSource};
+    use crate::plan::RelationSource;
     let mut slots: std::collections::BTreeMap<usize, ParamSlot> = std::collections::BTreeMap::new();
     // from relations
     for rel in &bq.schema.relations {

@@ -13,12 +13,10 @@
 //!    the sort, to be folded into remote operators by Phase II.
 
 use super::chain::{Chain, Leg, LegItem};
+use crate::catalog::CardinalityConstraint;
 use crate::catalog::{Catalog, ColumnId, TableDef};
 use crate::plan::logical::{Stop, StopKind};
-use crate::plan::{
-    BoundPredicate, InOperand, QuerySchema, RelId, RelationSource,
-};
-use crate::catalog::CardinalityConstraint;
+use crate::plan::{BoundPredicate, InOperand, QuerySchema, RelId, RelationSource};
 use std::collections::BTreeSet;
 
 /// Base column of a (possibly `token:`-prefixed) constraint column.
@@ -38,10 +36,7 @@ pub enum Objective {
 }
 
 /// Attribute-equality predicates of a leg, as (table column, predicate).
-pub fn leg_eq_columns(
-    schema: &QuerySchema,
-    leg: &Leg,
-) -> Vec<(ColumnId, BoundPredicate)> {
+pub fn leg_eq_columns(schema: &QuerySchema, leg: &Leg) -> Vec<(ColumnId, BoundPredicate)> {
     let mut out = Vec::new();
     for p in leg.all_preds() {
         if let Some((field, _)) = p.as_attribute_equality() {
@@ -85,7 +80,9 @@ pub fn rewrite_in_params(
             .map(|(c, _)| c)
             .collect();
         for item in &mut leg.items {
-            let LegItem::Preds(preds) = item else { continue };
+            let LegItem::Preds(preds) = item else {
+                continue;
+            };
             let mut i = 0;
             while i < preds.len() {
                 let candidate = match &preds[i] {
@@ -107,8 +104,8 @@ pub fn rewrite_in_params(
                 // cardinality constraint
                 let mut cols: Vec<ColumnId> = eq_cols.iter().copied().collect();
                 cols.push(col);
-                let addressable = table.covers_primary_key(&cols)
-                    || table.matching_cardinality(&cols).is_some();
+                let addressable =
+                    table.covers_primary_key(&cols) || table.matching_cardinality(&cols).is_some();
                 if !addressable {
                     i += 1;
                     continue;
@@ -241,7 +238,11 @@ pub fn order_joins(catalog: &Catalog, schema: &QuerySchema, chain: &mut Chain) {
                 let conn = connected(leg, &placed);
                 (
                     !conn, // connected legs first
-                    if conn { join_score(leg, &placed) } else { self_score(leg) },
+                    if conn {
+                        join_score(leg, &placed)
+                    } else {
+                        self_score(leg)
+                    },
                     *pos,
                 )
             })
@@ -271,10 +272,9 @@ pub fn insert_data_stops(catalog: &Catalog, schema: &QuerySchema, chain: &mut Ch
         // tokenized searches may be bounded by TOKEN(col) constraints
         let token_pred: Option<(ColumnId, BoundPredicate)> =
             leg.all_preds().iter().find_map(|p| match p {
-                BoundPredicate::TokenMatch { field, .. } => schema
-                    .field(*field)
-                    .column
-                    .map(|c| (c, (*p).clone())),
+                BoundPredicate::TokenMatch { field, .. } => {
+                    schema.field(*field).column.map(|c| (c, (*p).clone()))
+                }
                 _ => None,
             });
         let (count, provenance, cause): (u64, String, Vec<BoundPredicate>) =

@@ -127,9 +127,7 @@ impl<'a> Phase2<'a> {
                     order_ok: chain.sort.is_empty(),
                 }
             }
-            RelationSource::Table(_) => {
-                self.compile_scan(chain, leg0, fold == Some(0), &needed)?
-            }
+            RelationSource::Table(_) => self.compile_scan(chain, leg0, fold == Some(0), &needed)?,
         };
 
         // ---- remaining legs
@@ -188,10 +186,7 @@ impl<'a> Phase2<'a> {
                     .map(|a| {
                         Ok::<_, OptError>(PhysAggregate {
                             func: a.func,
-                            arg: a
-                                .arg
-                                .map(|f| self.pos_of(&build.layout, f))
-                                .transpose()?,
+                            arg: a.arg.map(|f| self.pos_of(&build.layout, f)).transpose()?,
                             alias: a.alias.clone(),
                         })
                     })
@@ -281,11 +276,7 @@ impl<'a> Phase2<'a> {
                         let ok = v.as_str().and_then(text::search_token).is_some();
                         if !ok {
                             let f = self.schema.field(*field);
-                            let table = self
-                                .schema
-                                .relation(f.rel_id)
-                                .binding
-                                .clone();
+                            let table = self.schema.relation(f.rel_id).binding.clone();
                             return Err(OptError::NotScaleIndependent(InsightReport {
                                 problem: format!(
                                     "LIKE pattern {operand} is not a single keyword; \
@@ -385,9 +376,7 @@ impl<'a> Phase2<'a> {
 
         // ---- bound determination
         let sort_fully_served = chain.sort.is_empty()
-            || (!local_sort.is_empty()
-                && local_sort.len() == chain.sort.len()
-                && m.sort_served);
+            || (!local_sort.is_empty() && local_sort.len() == chain.sort.len() && m.sort_served);
         let can_fold_stop =
             fold_here && residual.is_empty() && sort_fully_served && chain.stop.is_some();
         let limit: ScanLimit = match (&analysis.data_stop, can_fold_stop) {
@@ -636,31 +625,27 @@ impl<'a> Phase2<'a> {
 
         // ---- per-key bound
         let sort_fully_served = chain.sort.is_empty()
-            || (!local_sort.is_empty()
-                && local_sort.len() == chain.sort.len()
-                && m.sort_served);
+            || (!local_sort.is_empty() && local_sort.len() == chain.sort.len() && m.sort_served);
         let can_fold = fold_here && residual.is_empty() && sort_fully_served;
         let probe_cols: Vec<ColumnId> = eq_cols.iter().copied().collect();
         let cc_bound = table.matching_cardinality(&probe_cols).map(|cc| {
             (
                 cc.limit,
-                format!(
-                    "CARDINALITY LIMIT {} ({})",
-                    cc.limit,
-                    cc.columns.join(", ")
-                ),
+                format!("CARDINALITY LIMIT {} ({})", cc.limit, cc.columns.join(", ")),
             )
         });
         let (per_key, per_key_provenance, bounded) = match (can_fold, &chain.stop, cc_bound) {
             (true, Some(stop), Some((cc, cc_prov))) if cc < stop.count => {
                 self.used_cardinality_bound = true;
-                self.notes.push(format!("join fan-out bounded by {cc_prov}"));
+                self.notes
+                    .push(format!("join fan-out bounded by {cc_prov}"));
                 (cc, cc_prov, true)
             }
             (true, Some(stop), _) => (stop.count, stop.provenance.clone(), true),
             (_, _, Some((cc, cc_prov))) => {
                 self.used_cardinality_bound = true;
-                self.notes.push(format!("join fan-out bounded by {cc_prov}"));
+                self.notes
+                    .push(format!("join fan-out bounded by {cc_prov}"));
                 (cc, cc_prov, true)
             }
             _ => match self.objective {
@@ -673,8 +658,7 @@ impl<'a> Phase2<'a> {
                 }
                 Objective::CostBased => {
                     self.unbounded_ops += 1;
-                    let est =
-                        self.estimate_group(&table, edge_cols.iter().next().copied());
+                    let est = self.estimate_group(&table, edge_cols.iter().next().copied());
                     (est, "statistics estimate".to_string(), false)
                 }
             },
@@ -936,9 +920,7 @@ impl<'a> Phase2<'a> {
             }
         };
         for i in 0..chain.legs.len() {
-            let sort_ok = sort_rel
-                .map(|r| r == chain.legs[i].rel)
-                .unwrap_or(true);
+            let sort_ok = sort_rel.map(|r| r == chain.legs[i].rel).unwrap_or(true);
             let suffix_pure = ((i + 1)..chain.legs.len()).all(|j| fk[j].pure);
             if sort_ok && suffix_pure {
                 return Some(i);
@@ -1041,9 +1023,7 @@ impl<'a> Phase2<'a> {
     }
 
     fn estimate_group(&self, table: &TableDef, col: Option<ColumnId>) -> u64 {
-        let stats = self
-            .stats
-            .and_then(|s| s.table(table.id));
+        let stats = self.stats.and_then(|s| s.table(table.id));
         match (stats, col) {
             (Some(ts), Some(c)) => ts
                 .avg_group_size(&table.columns[c].name)
@@ -1094,9 +1074,7 @@ impl<'a> Phase2<'a> {
             suggestions.push(Suggestion::Precompute);
         }
         OptError::NotScaleIndependent(InsightReport {
-            problem: format!(
-                "{problem} (relation '{binding}' would be scanned without a bound)"
-            ),
+            problem: format!("{problem} (relation '{binding}' would be scanned without a bound)"),
             relation: Some(binding),
             suggestions,
         })

@@ -187,44 +187,74 @@ pub fn lex(input: &str) -> Result<Vec<SpannedTok>, LexError> {
                 continue;
             }
             b',' => {
-                toks.push(SpannedTok { tok: Tok::Comma, offset: start });
+                toks.push(SpannedTok {
+                    tok: Tok::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             b'.' => {
-                toks.push(SpannedTok { tok: Tok::Dot, offset: start });
+                toks.push(SpannedTok {
+                    tok: Tok::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             b'(' => {
-                toks.push(SpannedTok { tok: Tok::LParen, offset: start });
+                toks.push(SpannedTok {
+                    tok: Tok::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             b')' => {
-                toks.push(SpannedTok { tok: Tok::RParen, offset: start });
+                toks.push(SpannedTok {
+                    tok: Tok::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             b'*' => {
-                toks.push(SpannedTok { tok: Tok::Star, offset: start });
+                toks.push(SpannedTok {
+                    tok: Tok::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             b';' => {
-                toks.push(SpannedTok { tok: Tok::Semicolon, offset: start });
+                toks.push(SpannedTok {
+                    tok: Tok::Semicolon,
+                    offset: start,
+                });
                 i += 1;
             }
             b'=' => {
-                toks.push(SpannedTok { tok: Tok::Eq, offset: start });
+                toks.push(SpannedTok {
+                    tok: Tok::Eq,
+                    offset: start,
+                });
                 i += 1;
             }
             b'!' if bytes.get(i + 1) == Some(&b'=') => {
-                toks.push(SpannedTok { tok: Tok::Ne, offset: start });
+                toks.push(SpannedTok {
+                    tok: Tok::Ne,
+                    offset: start,
+                });
                 i += 2;
             }
             b'<' => {
                 // `<=`, `<>`, `<name>` (angle-bracket parameter), or `<`
                 if bytes.get(i + 1) == Some(&b'=') {
-                    toks.push(SpannedTok { tok: Tok::Le, offset: start });
+                    toks.push(SpannedTok {
+                        tok: Tok::Le,
+                        offset: start,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    toks.push(SpannedTok { tok: Tok::Ne, offset: start });
+                    toks.push(SpannedTok {
+                        tok: Tok::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else if let Some(j) = angle_param_end(bytes, i) {
                     // `<name>` where name is a single identifier; anything
@@ -239,16 +269,25 @@ pub fn lex(input: &str) -> Result<Vec<SpannedTok>, LexError> {
                     });
                     i = j + 1;
                 } else {
-                    toks.push(SpannedTok { tok: Tok::Lt, offset: start });
+                    toks.push(SpannedTok {
+                        tok: Tok::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             b'>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    toks.push(SpannedTok { tok: Tok::Ge, offset: start });
+                    toks.push(SpannedTok {
+                        tok: Tok::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    toks.push(SpannedTok { tok: Tok::Gt, offset: start });
+                    toks.push(SpannedTok {
+                        tok: Tok::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
@@ -314,7 +353,10 @@ pub fn lex(input: &str) -> Result<Vec<SpannedTok>, LexError> {
                     s.push_str(&input[j..j + ch_len]);
                     j += ch_len;
                 }
-                toks.push(SpannedTok { tok: Tok::Str(s), offset: start });
+                toks.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    offset: start,
+                });
                 i = j + 1;
             }
             b'0'..=b'9' => {
@@ -323,7 +365,10 @@ pub fn lex(input: &str) -> Result<Vec<SpannedTok>, LexError> {
                 while j < bytes.len()
                     && (bytes[j].is_ascii_digit()
                         || (bytes[j] == b'.'
-                            && bytes.get(j + 1).map(|b| b.is_ascii_digit()).unwrap_or(false)))
+                            && bytes
+                                .get(j + 1)
+                                .map(|b| b.is_ascii_digit())
+                                .unwrap_or(false)))
                 {
                     if bytes[j] == b'.' {
                         is_float = true;
@@ -334,16 +379,17 @@ pub fn lex(input: &str) -> Result<Vec<SpannedTok>, LexError> {
                 let tok = if is_float {
                     Tok::Float(text.parse().map_err(|_| err("bad float literal", start))?)
                 } else {
-                    Tok::Int(text.parse().map_err(|_| err("integer literal too large", start))?)
+                    Tok::Int(
+                        text.parse()
+                            .map_err(|_| err("integer literal too large", start))?,
+                    )
                 };
                 toks.push(SpannedTok { tok, offset: start });
                 i = j;
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let mut j = i;
-                while j < bytes.len()
-                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
-                {
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
                     j += 1;
                 }
                 let word = &input[i..j];
@@ -357,7 +403,10 @@ pub fn lex(input: &str) -> Result<Vec<SpannedTok>, LexError> {
             _ => return Err(err(&format!("unexpected character '{}'", c as char), start)),
         }
     }
-    toks.push(SpannedTok { tok: Tok::Eof, offset: input.len() });
+    toks.push(SpannedTok {
+        tok: Tok::Eof,
+        offset: input.len(),
+    });
     Ok(toks)
 }
 
@@ -365,7 +414,10 @@ pub fn lex(input: &str) -> Result<Vec<SpannedTok>, LexError> {
 /// of the closing `>`; otherwise `None` (it is a less-than operator).
 fn angle_param_end(bytes: &[u8], start: usize) -> Option<usize> {
     let mut j = start + 1;
-    if !bytes.get(j).map(|b| b.is_ascii_alphabetic() || *b == b'_')? {
+    if !bytes
+        .get(j)
+        .map(|b| b.is_ascii_alphabetic() || *b == b'_')?
+    {
         return None;
     }
     while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
@@ -430,12 +482,7 @@ mod tests {
         let toks = kinds("-- comment\n'it''s' <= 2.5");
         assert_eq!(
             toks,
-            vec![
-                Tok::Str("it's".into()),
-                Tok::Le,
-                Tok::Float(2.5),
-                Tok::Eof
-            ]
+            vec![Tok::Str("it's".into()), Tok::Le, Tok::Float(2.5), Tok::Eof]
         );
     }
 

@@ -652,10 +652,7 @@ impl Parser {
                             self.expect_tok(&Tok::LParen)?;
                             let col = self.ident()?;
                             self.expect_tok(&Tok::RParen)?;
-                            columns.push(format!(
-                                "{}{col}",
-                                CardinalityConstraint::TOKEN_PREFIX
-                            ));
+                            columns.push(format!("{}{col}", CardinalityConstraint::TOKEN_PREFIX));
                         } else {
                             columns.push(self.ident()?);
                         }

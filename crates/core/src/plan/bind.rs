@@ -11,9 +11,7 @@
 use super::logical::{LogicalPlan, Stop, StopKind};
 use super::pred::{BoundPredicate, InOperand, Operand};
 use super::schema::{FieldId, QuerySchema, RelId, RelationSource, ResolveError};
-use crate::ast::{
-    AggFunc, InList, Predicate, RowBound, ScalarExpr, SelectItem, SelectStmt,
-};
+use crate::ast::{AggFunc, InList, Predicate, RowBound, ScalarExpr, SelectItem, SelectStmt};
 use crate::catalog::Catalog;
 use crate::codec::key::Dir;
 use crate::value::DataType;
@@ -81,7 +79,10 @@ impl fmt::Display for BindError {
                 context,
                 expected,
                 found,
-            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, found {found}"
+            ),
             BindError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             BindError::ParamConflict(msg) => write!(f, "parameter conflict: {msg}"),
         }
@@ -102,8 +103,8 @@ pub fn bind(catalog: &Catalog, stmt: &SelectStmt) -> Result<BoundQuery, BindErro
     let mut bindings = std::collections::BTreeSet::new();
 
     let add_rel = |schema: &mut QuerySchema,
-                       bindings: &mut std::collections::BTreeSet<String>,
-                       tref: &crate::ast::TableRef|
+                   bindings: &mut std::collections::BTreeSet<String>,
+                   tref: &crate::ast::TableRef|
      -> Result<RelId, BindError> {
         let table = catalog
             .table(&tref.table)
@@ -122,7 +123,11 @@ pub fn bind(catalog: &Catalog, stmt: &SelectStmt) -> Result<BoundQuery, BindErro
 
     // ---- predicates: WHERE plus every ON clause, all one conjunction.
     let mut all_preds = Vec::new();
-    for p in stmt.filter.iter().chain(stmt.joins.iter().flat_map(|j| j.on.iter())) {
+    for p in stmt
+        .filter
+        .iter()
+        .chain(stmt.joins.iter().flat_map(|j| j.on.iter()))
+    {
         all_preds.push(bind_predicate(catalog, &schema, p)?);
     }
 
@@ -135,7 +140,10 @@ pub fn bind(catalog: &Catalog, stmt: &SelectStmt) -> Result<BoundQuery, BindErro
         let rels: std::collections::BTreeSet<RelId> =
             pred.fields().iter().map(|&f| schema.rel_of(f)).collect();
         if rels.len() <= 1 {
-            let rel = rels.into_iter().next().expect("predicate references a field");
+            let rel = rels
+                .into_iter()
+                .next()
+                .expect("predicate references a field");
             local[rel].push(pred);
         } else if let Some((l, r)) = pred.as_join_equality() {
             join_conds.push((l, r));
@@ -150,10 +158,8 @@ pub fn bind(catalog: &Catalog, stmt: &SelectStmt) -> Result<BoundQuery, BindErro
         std::mem::take(&mut local[0]),
     );
     for (rel, local_preds) in local.iter_mut().enumerate().skip(1) {
-        let right = LogicalPlan::selection(
-            LogicalPlan::Relation { rel },
-            std::mem::take(local_preds),
-        );
+        let right =
+            LogicalPlan::selection(LogicalPlan::Relation { rel }, std::mem::take(local_preds));
         // join conditions whose later relation is `rel` and whose other side
         // is already in the left subtree
         let mut on = Vec::new();
@@ -196,10 +202,7 @@ pub fn bind(catalog: &Catalog, stmt: &SelectStmt) -> Result<BoundQuery, BindErro
         match item {
             SelectItem::Wildcard => {
                 for (id, f) in schema.fields.iter().enumerate() {
-                    if matches!(
-                        schema.relations[f.rel_id].source,
-                        RelationSource::Table(_)
-                    ) {
+                    if matches!(schema.relations[f.rel_id].source, RelationSource::Table(_)) {
                         proj_items.push((id, f.name.clone()));
                     }
                 }
@@ -218,11 +221,9 @@ pub fn bind(catalog: &Catalog, stmt: &SelectStmt) -> Result<BoundQuery, BindErro
             SelectItem::Aggregate(a) => {
                 has_aggregate = true;
                 let arg = a.arg.as_ref().map(|c| schema.resolve(c)).transpose()?;
-                let alias = a.alias.clone().unwrap_or_else(|| {
-                    match &a.arg {
-                        Some(c) => format!("{}_{}", a.func, c.column).to_lowercase(),
-                        None => a.func.to_string().to_lowercase(),
-                    }
+                let alias = a.alias.clone().unwrap_or_else(|| match &a.arg {
+                    Some(c) => format!("{}_{}", a.func, c.column).to_lowercase(),
+                    None => a.func.to_string().to_lowercase(),
                 });
                 aggs.push(BoundAggregate {
                     func: a.func,
@@ -290,16 +291,18 @@ pub fn bind(catalog: &Catalog, stmt: &SelectStmt) -> Result<BoundQuery, BindErro
                 name: schema.field(g).name.clone(),
                 ty: schema.field(g).ty,
             })
-            .chain(aggs.iter().map(|a| OutputField {
-                name: a.alias.clone(),
-                ty: match a.func {
-                    AggFunc::Count => DataType::BigInt,
-                    AggFunc::Avg => DataType::Double,
-                    _ => a
-                        .arg
-                        .map(|f| schema.field(f).ty)
-                        .unwrap_or(DataType::BigInt),
-                },
+            .chain(aggs.iter().map(|a| {
+                OutputField {
+                    name: a.alias.clone(),
+                    ty: match a.func {
+                        AggFunc::Count => DataType::BigInt,
+                        AggFunc::Avg => DataType::Double,
+                        _ => a
+                            .arg
+                            .map(|f| schema.field(f).ty)
+                            .unwrap_or(DataType::BigInt),
+                    },
+                }
             }))
             .collect();
         plan = LogicalPlan::Aggregate {
@@ -382,9 +385,7 @@ fn bind_predicate(
                 ScalarExpr::Literal(v) => Operand::Literal(v.clone()),
                 ScalarExpr::Param(p) => Operand::Param(p.clone()),
                 ScalarExpr::Column(_) => {
-                    return Err(BindError::Unsupported(
-                        "LIKE against another column".into(),
-                    ))
+                    return Err(BindError::Unsupported("LIKE against another column".into()))
                 }
             };
             // The §7.3 rewrite: LIKE becomes a tokenized search served by an
@@ -576,9 +577,15 @@ mod tests {
         let q = parse_select("SELECT * FROM nope").unwrap();
         assert!(matches!(bind(&cat, &q), Err(BindError::UnknownTable(_))));
         let q = parse_select("SELECT * FROM users WHERE username = 5").unwrap();
-        assert!(matches!(bind(&cat, &q), Err(BindError::TypeMismatch { .. })));
+        assert!(matches!(
+            bind(&cat, &q),
+            Err(BindError::TypeMismatch { .. })
+        ));
         let q = parse_select("SELECT * FROM users u JOIN users u").unwrap();
-        assert!(matches!(bind(&cat, &q), Err(BindError::DuplicateBinding(_))));
+        assert!(matches!(
+            bind(&cat, &q),
+            Err(BindError::DuplicateBinding(_))
+        ));
     }
 
     #[test]

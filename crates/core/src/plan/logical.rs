@@ -41,9 +41,13 @@ pub struct Stop {
 #[derive(Debug, Clone, PartialEq)]
 pub enum LogicalPlan {
     /// A base-table leaf.
-    Relation { rel: RelId },
+    Relation {
+        rel: RelId,
+    },
     /// A bounded parameter-collection leaf (`IN` rewrite target).
-    ParamValues { rel: RelId },
+    ParamValues {
+        rel: RelId,
+    },
     /// Conjunctive filter.
     Selection {
         input: Box<LogicalPlan>,

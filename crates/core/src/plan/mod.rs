@@ -2,8 +2,8 @@
 
 pub mod bind;
 pub mod logical;
-pub mod physical;
 pub mod params;
+pub mod physical;
 pub mod pred;
 pub mod schema;
 

@@ -42,9 +42,18 @@ impl From<Vec<Value>> for ParamValue {
 /// Errors raised when resolving parameters at execution time.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParamError {
-    Missing { index: usize, name: String },
-    ExpectedScalar { index: usize, name: String },
-    ExpectedCollection { index: usize, name: String },
+    Missing {
+        index: usize,
+        name: String,
+    },
+    ExpectedScalar {
+        index: usize,
+        name: String,
+    },
+    ExpectedCollection {
+        index: usize,
+        name: String,
+    },
     /// A collection exceeded its declared `MAX` — executing it would break
     /// the static bound, so it is an error, not a truncation.
     CollectionTooLarge {

@@ -398,15 +398,17 @@ fn fmt_phys(
             write!(
                 f,
                 ", {}",
-                if spec.reverse { "descending" } else { "ascending" }
+                if spec.reverse {
+                    "descending"
+                } else {
+                    "ascending"
+                }
             )?;
             match &spec.limit {
                 ScanLimit::Bounded { count, provenance } => {
                     write!(f, ", limitHint={count} [{provenance}]")?
                 }
-                ScanLimit::Unbounded { estimate } => {
-                    write!(f, ", UNBOUNDED (est. {estimate})")?
-                }
+                ScanLimit::Unbounded { estimate } => write!(f, ", UNBOUNDED (est. {estimate})")?,
             }
             if spec.deref {
                 write!(f, ", deref")?;
@@ -428,9 +430,7 @@ fn fmt_phys(
                 }
                 match k {
                     KeySource::Const(op) => write!(f, "{op}")?,
-                    KeySource::ChildField(p) => {
-                        write!(f, "{}", pos_name(child.layout(), *p))?
-                    }
+                    KeySource::ChildField(p) => write!(f, "{}", pos_name(child.layout(), *p))?,
                 }
             }
             writeln!(f, ">) requests<={}", bounds.requests)?;
@@ -457,9 +457,7 @@ fn fmt_phys(
                 }
                 match k {
                     KeySource::Const(op) => write!(f, "{op}")?,
-                    KeySource::ChildField(p) => {
-                        write!(f, "{}", pos_name(child.layout(), *p))?
-                    }
+                    KeySource::ChildField(p) => write!(f, "{}", pos_name(child.layout(), *p))?,
                 }
             }
             write!(f, ">")?;
@@ -472,11 +470,7 @@ fn fmt_phys(
                     write!(f, "{} {}", pos_name(layout, *pos), dir)?;
                 }
             }
-            write!(
-                f,
-                ", perKey={} [{}]",
-                spec.per_key, spec.per_key_provenance
-            )?;
+            write!(f, ", perKey={} [{}]", spec.per_key, spec.per_key_provenance)?;
             if let Some(e) = spec.emit_limit {
                 write!(f, ", limitHint={e}")?;
             }
@@ -495,9 +489,10 @@ fn fmt_phys(
                     write!(f, ", ")?;
                 }
                 // predicates are position-remapped; render via layout
-                let rendered = super::logical::render_pred(schema, &p.remap(|pos| {
-                    child.layout().get(pos).copied().unwrap_or(pos)
-                }));
+                let rendered = super::logical::render_pred(
+                    schema,
+                    &p.remap(|pos| child.layout().get(pos).copied().unwrap_or(pos)),
+                );
                 write!(f, "{rendered}")?;
             }
             writeln!(f, ")")?;

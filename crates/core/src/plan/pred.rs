@@ -324,7 +324,9 @@ mod tests {
             field: 0,
             operand: Operand::Literal(Value::Varchar("Wrath".into())),
         };
-        assert!(pred.eval(&tuple!["The Grapes of Wrath"], &params()).unwrap());
+        assert!(pred
+            .eval(&tuple!["The Grapes of Wrath"], &params())
+            .unwrap());
         assert!(!pred.eval(&tuple!["Wrathful Tales No"], &params()).unwrap());
         assert!(!pred.eval(&tuple!["peaceful"], &params()).unwrap());
     }

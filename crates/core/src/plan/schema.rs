@@ -97,12 +97,7 @@ pub struct QuerySchema {
 
 impl QuerySchema {
     /// Add a base-table relation; returns its [`RelId`].
-    pub fn add_table(
-        &mut self,
-        catalog: &Catalog,
-        table: TableId,
-        binding: &str,
-    ) -> RelId {
+    pub fn add_table(&mut self, catalog: &Catalog, table: TableId, binding: &str) -> RelId {
         let def = catalog.table_by_id(table);
         let rel_id = self.relations.len();
         let first_field = self.fields.len();
@@ -280,7 +275,9 @@ mod tests {
         };
         let rel = qs.add_param_values(p, DataType::Varchar(32), "friends");
         assert_eq!(qs.relation(rel).arity, 1);
-        let f = qs.resolve(&ColumnRef::new(Some("friends"), "value")).unwrap();
+        let f = qs
+            .resolve(&ColumnRef::new(Some("friends"), "value"))
+            .unwrap();
         assert_eq!(qs.field(f).ty, DataType::Varchar(32));
     }
 }

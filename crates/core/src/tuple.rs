@@ -101,7 +101,6 @@ macro_rules! tuple {
 #[cfg(test)]
 mod tests {
 
-
     #[test]
     fn concat_and_project() {
         let a = tuple![1, "x"];

@@ -286,19 +286,13 @@ mod tests {
 
     #[test]
     fn total_order_within_types() {
-        assert_eq!(
-            Value::Int(1).total_cmp(&Value::Int(2)),
-            Ordering::Less
-        );
+        assert_eq!(Value::Int(1).total_cmp(&Value::Int(2)), Ordering::Less);
         assert_eq!(
             Value::Varchar("a".into()).total_cmp(&Value::Varchar("b".into())),
             Ordering::Less
         );
         assert_eq!(Value::Null.total_cmp(&Value::Int(-100)), Ordering::Less);
-        assert_eq!(
-            Value::Int(3).total_cmp(&Value::BigInt(3)),
-            Ordering::Equal
-        );
+        assert_eq!(Value::Int(3).total_cmp(&Value::BigInt(3)), Ordering::Equal);
     }
 
     #[test]

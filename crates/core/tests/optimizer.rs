@@ -70,8 +70,14 @@ fn thoughtstream_compiles_to_figure_3d() {
     assert_eq!(spec.per_key, 10, "limit hint 10 per subscription");
     assert_eq!(spec.emit_limit, Some(10));
     assert!(spec.index.is_primary(), "thoughts pk serves the join");
-    assert!(spec.reverse, "timestamp DESC over ascending pk = reverse scan");
-    let PhysicalPlan::LocalSelection { child, predicates, .. } = child.as_ref() else {
+    assert!(
+        spec.reverse,
+        "timestamp DESC over ascending pk = reverse scan"
+    );
+    let PhysicalPlan::LocalSelection {
+        child, predicates, ..
+    } = child.as_ref()
+    else {
         panic!("expected LocalSelection(approved), got:\n{explain}");
     };
     assert_eq!(predicates.len(), 1, "only the approved filter is local");
@@ -91,7 +97,10 @@ fn thoughtstream_compiles_to_figure_3d() {
     assert_eq!(c.bounds.requests, 1 + MAX_SUBSCRIPTIONS);
     assert!(c.bounds.guaranteed);
     assert_eq!(c.class, QueryClass::Bounded);
-    assert!(c.required_indexes.is_empty(), "no extra index needed (Table 1)");
+    assert!(
+        c.required_indexes.is_empty(),
+        "no extra index needed (Table 1)"
+    );
     assert_eq!(c.params.len(), 1);
 }
 
@@ -128,11 +137,14 @@ fn thoughtstream_without_cardinality_is_rejected_with_insight() {
     let err = opt.compile(&cat, &q).unwrap_err();
     let report = err.insight().expect("insight report");
     assert_eq!(report.relation.as_deref(), Some("s"));
-    assert!(report.suggestions.iter().any(|s| matches!(
-        s,
-        Suggestion::AddCardinalityLimit { table, columns }
-            if table == "subscriptions" && columns.contains(&"owner".to_string())
-    )), "{report}");
+    assert!(
+        report.suggestions.iter().any(|s| matches!(
+            s,
+            Suggestion::AddCardinalityLimit { table, columns }
+                if table == "subscriptions" && columns.contains(&"owner".to_string())
+        )),
+        "{report}"
+    );
 }
 
 #[test]
@@ -234,7 +246,10 @@ fn subscriber_intersection_bounded_vs_cost_based() {
     match remotes[0] {
         PhysicalPlan::IndexScan { spec, .. } => {
             assert!(matches!(spec.limit, ScanLimit::Unbounded { estimate: 126 }));
-            assert!(!spec.index.is_primary(), "needs subscriptions-by-target index");
+            assert!(
+                !spec.index.is_primary(),
+                "needs subscriptions-by-target index"
+            );
         }
         other => panic!("expected unbounded IndexScan, got {other:?}"),
     }
@@ -282,7 +297,11 @@ fn tpcw_search_by_title_selects_token_index() {
     let item = cat.table("item").unwrap();
     let full = idx.full_key_parts(item);
     assert_eq!(full.last().unwrap().kind.column_name(), "i_id");
-    assert!(c.notes.iter().any(|n| n.contains("tokenized")), "{:?}", c.notes);
+    assert!(
+        c.notes.iter().any(|n| n.contains("tokenized")),
+        "{:?}",
+        c.notes
+    );
 
     // scan(item token idx) folded stop 50, then FK join to author
     let remotes = c.physical.remote_ops();
@@ -307,9 +326,7 @@ fn unbounded_scan_suggests_pagination() {
     let q = parse_select("SELECT * FROM users").unwrap();
     let err = opt.compile(&cat, &q).unwrap_err();
     let report = err.insight().unwrap();
-    assert!(report
-        .suggestions
-        .contains(&Suggestion::AddLimitOrPaginate));
+    assert!(report.suggestions.contains(&Suggestion::AddLimitOrPaginate));
     assert!(report.suggestions.contains(&Suggestion::Precompute));
 }
 
@@ -322,10 +339,8 @@ fn class_iii_and_iv_detected_by_cost_based_analysis() {
     let c3 = opt.compile(&cat, &q3).unwrap();
     assert_eq!(c3.class, QueryClass::Linear);
     // Class IV: join with unbounded fan-out over an unbounded scan
-    let q4 = parse_select(
-        "SELECT * FROM thoughts t JOIN subscriptions s WHERE s.target = t.owner",
-    )
-    .unwrap();
+    let q4 = parse_select("SELECT * FROM thoughts t JOIN subscriptions s WHERE s.target = t.owner")
+        .unwrap();
     let c4 = opt.compile(&cat, &q4).unwrap();
     assert_eq!(c4.class, QueryClass::SuperLinear);
 }

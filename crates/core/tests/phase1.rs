@@ -88,10 +88,7 @@ fn join_ordering_puts_the_bounded_relation_first() {
 #[test]
 fn data_stop_sits_between_cause_and_other_predicates() {
     let cat = catalog();
-    let stmt = parse_select(
-        "SELECT * FROM subs WHERE owner = <u> AND approved = true",
-    )
-    .unwrap();
+    let stmt = parse_select("SELECT * FROM subs WHERE owner = <u> AND approved = true").unwrap();
     let bq = bind(&cat, &stmt).unwrap();
     let mut chain = deconstruct(&bq.plan);
     insert_data_stops(&cat, &bq.schema, &mut chain);
@@ -115,10 +112,7 @@ fn data_stop_sits_between_cause_and_other_predicates() {
 #[test]
 fn pk_coverage_beats_cardinality_for_the_data_stop() {
     let cat = catalog();
-    let stmt = parse_select(
-        "SELECT * FROM subs WHERE owner = <u> AND target = <t>",
-    )
-    .unwrap();
+    let stmt = parse_select("SELECT * FROM subs WHERE owner = <u> AND target = <t>").unwrap();
     let bq = bind(&cat, &stmt).unwrap();
     let mut chain = deconstruct(&bq.plan);
     insert_data_stops(&cat, &bq.schema, &mut chain);
@@ -156,10 +150,9 @@ fn in_rewrite_adds_a_bounded_leg_and_edge() {
     assert_eq!(stop.count, 50);
 
     // without MAX the rewrite must not fire
-    let stmt = parse_select(
-        "SELECT owner, target FROM subs WHERE target = <t> AND owner IN [2: friends]",
-    )
-    .unwrap();
+    let stmt =
+        parse_select("SELECT owner, target FROM subs WHERE target = <t> AND owner IN [2: friends]")
+            .unwrap();
     let bq = bind(&cat, &stmt).unwrap();
     let mut schema = bq.schema.clone();
     let mut chain = deconstruct(&bq.plan);
@@ -172,10 +165,7 @@ fn in_rewrite_requires_addressability() {
     let cat = catalog();
     // IN over a non-key column: lookups would not be bounded per element,
     // so the rewrite must not fire
-    let stmt = parse_select(
-        "SELECT * FROM users WHERE town IN [1: towns MAX 5]",
-    )
-    .unwrap();
+    let stmt = parse_select("SELECT * FROM users WHERE town IN [1: towns MAX 5]").unwrap();
     let bq = bind(&cat, &stmt).unwrap();
     let mut schema = bq.schema.clone();
     let mut chain = deconstruct(&bq.plan);

@@ -83,15 +83,17 @@ pub struct Prepared {
     pub columns: Vec<String>,
 }
 
-/// The PIQL database engine.
-pub struct Database {
-    cluster: Arc<SimCluster>,
+/// The PIQL database engine, generic over its key/value backend: the
+/// deterministic [`SimCluster`] for experiments (the default) or any other
+/// [`KvStore`] — e.g. `piql_kv::LiveCluster` for wall-clock serving.
+pub struct Database<S: KvStore = SimCluster> {
+    cluster: Arc<S>,
     catalog: RwLock<Catalog>,
     optimizer: Optimizer,
 }
 
-impl Database {
-    pub fn new(cluster: Arc<SimCluster>) -> Self {
+impl<S: KvStore> Database<S> {
+    pub fn new(cluster: Arc<S>) -> Self {
         Database {
             cluster,
             catalog: RwLock::new(Catalog::new()),
@@ -99,8 +101,13 @@ impl Database {
         }
     }
 
-    pub fn cluster(&self) -> &Arc<SimCluster> {
+    pub fn cluster(&self) -> &Arc<S> {
         &self.cluster
+    }
+
+    /// The backend as a trait object (what the executor and writer take).
+    pub fn store(&self) -> &dyn KvStore {
+        self.cluster.as_ref()
     }
 
     /// A point-in-time copy of the catalog (definitions are `Arc`-shared).
@@ -183,18 +190,14 @@ impl Database {
         Ok(())
     }
 
-    fn create_index_and_backfill(
-        &self,
-        table: &TableDef,
-        def: IndexDef,
-    ) -> Result<(), DbError> {
+    fn create_index_and_backfill(&self, table: &TableDef, def: IndexDef) -> Result<(), DbError> {
         let id = self.catalog.write().create_index(def)?;
         let catalog = self.catalog.read().clone();
         let idx = catalog.index_by_id(id).clone();
         // make the namespace exist, then backfill from existing records
-        let _ = self.cluster.namespace(&Catalog::index_namespace(&idx));
-        let writer = Writer::new(self.cluster.as_ref(), &catalog);
-        writer.backfill_index(&self.cluster, table, &idx)?;
+        let _ = self.store().namespace(&Catalog::index_namespace(&idx));
+        let writer = Writer::new(self.store(), &catalog);
+        writer.backfill_index(table, &idx)?;
         Ok(())
     }
 
@@ -210,8 +213,23 @@ impl Database {
     /// baseline).
     pub fn prepare_with(&self, sql: &str, optimizer: &Optimizer) -> Result<Prepared, DbError> {
         let stmt = piql_core::parser::parse_select(sql)?;
+        self.prepare_stmt_with(&stmt, optimizer)
+    }
+
+    /// Compile an already-parsed SELECT (callers that rewrite the AST —
+    /// e.g. the admission controller degrading a LIMIT — skip re-parsing).
+    pub fn prepare_stmt(&self, stmt: &piql_core::ast::SelectStmt) -> Result<Prepared, DbError> {
+        self.prepare_stmt_with(stmt, &self.optimizer)
+    }
+
+    /// [`Database::prepare_stmt`] with a caller-supplied optimizer.
+    pub fn prepare_stmt_with(
+        &self,
+        stmt: &piql_core::ast::SelectStmt,
+        optimizer: &Optimizer,
+    ) -> Result<Prepared, DbError> {
         let catalog = self.catalog.read().clone();
-        let compiled = optimizer.compile(&catalog, &stmt)?;
+        let compiled = optimizer.compile(&catalog, stmt)?;
         if compiled.required_indexes.is_empty() {
             return Ok(Prepared {
                 columns: compiled.output.iter().map(|o| o.name.clone()).collect(),
@@ -225,7 +243,7 @@ impl Database {
             self.create_index_and_backfill(&table, idx.clone())?;
         }
         let catalog = self.catalog.read().clone();
-        let compiled = optimizer.compile(&catalog, &stmt)?;
+        let compiled = optimizer.compile(&catalog, stmt)?;
         Ok(Prepared {
             columns: compiled.output.iter().map(|o| o.name.clone()).collect(),
             compiled,
@@ -252,13 +270,7 @@ impl Database {
         cursor: Option<&Cursor>,
     ) -> Result<QueryResult, DbError> {
         let catalog = self.catalog.read().clone();
-        let mut ctx = ExecCtx::new(
-            self.cluster.as_ref(),
-            session,
-            &catalog,
-            params,
-            strategy,
-        );
+        let mut ctx = ExecCtx::new(self.store(), session, &catalog, params, strategy);
         ctx.produce_cursor = prepared.compiled.page_size.is_some();
         ctx.resume = cursor.map(|c| c.state.clone());
         let rows = ctx.eval(&prepared.compiled.physical)?;
@@ -294,7 +306,7 @@ impl Database {
         params: &Params,
     ) -> Result<(), DbError> {
         let catalog = self.catalog.read().clone();
-        let writer = Writer::new(self.cluster.as_ref(), &catalog);
+        let writer = Writer::new(self.store(), &catalog);
         let resolve = |e: &ScalarExpr| -> Result<Value, DbError> {
             match e {
                 ScalarExpr::Literal(v) => Ok(v.clone()),
@@ -367,7 +379,7 @@ impl Database {
     ) -> Result<(), DbError> {
         let table = self.table_def(table)?;
         let catalog = self.catalog.read().clone();
-        let writer = Writer::new(self.cluster.as_ref(), &catalog);
+        let writer = Writer::new(self.store(), &catalog);
         writer.insert(session, &table, &row)?;
         Ok(())
     }
@@ -381,7 +393,7 @@ impl Database {
     ) -> Result<bool, DbError> {
         let table = self.table_def(table)?;
         let catalog = self.catalog.read().clone();
-        let writer = Writer::new(self.cluster.as_ref(), &catalog);
+        let writer = Writer::new(self.store(), &catalog);
         Ok(writer.delete(session, &table, pk_values)?)
     }
 
@@ -390,7 +402,7 @@ impl Database {
     pub fn gc_indexes(&self, session: &mut Session, table: &str) -> Result<u64, DbError> {
         let table = self.table_def(table)?;
         let catalog = self.catalog.read().clone();
-        let writer = Writer::new(self.cluster.as_ref(), &catalog);
+        let writer = Writer::new(self.store(), &catalog);
         Ok(writer.gc_indexes(session, &table)?)
     }
 
@@ -402,32 +414,24 @@ impl Database {
     ) -> Result<u64, DbError> {
         let table = self.table_def(table)?;
         let catalog = self.catalog.read().clone();
-        let writer = Writer::new(self.cluster.as_ref(), &catalog);
-        Ok(writer.bulk_load(&self.cluster, &table, rows)?)
+        let writer = Writer::new(self.store(), &catalog);
+        Ok(writer.bulk_load(&table, rows)?)
     }
 
     /// Run a SELECT through the naive reference executor (testing oracle).
-    pub fn reference_query(
-        &self,
-        sql: &str,
-        params: &Params,
-    ) -> Result<Vec<Tuple>, DbError> {
+    pub fn reference_query(&self, sql: &str, params: &Params) -> Result<Vec<Tuple>, DbError> {
         let stmt = piql_core::parser::parse_select(sql)?;
         let catalog = self.catalog.read().clone();
-        let r = ReferenceExecutor::new(self.cluster.as_ref(), &catalog);
+        let r = ReferenceExecutor::new(self.store(), &catalog);
         r.run(&stmt, params).map_err(DbError::Exec)
     }
 
     fn table_def(&self, name: &str) -> Result<Arc<TableDef>, DbError> {
-        self.catalog
-            .read()
-            .table(name)
-            .cloned()
-            .ok_or_else(|| {
-                DbError::Catalog(piql_core::catalog::CatalogError::UnknownTable(
-                    name.to_string(),
-                ))
-            })
+        self.catalog.read().table(name).cloned().ok_or_else(|| {
+            DbError::Catalog(piql_core::catalog::CatalogError::UnknownTable(
+                name.to_string(),
+            ))
+        })
     }
 }
 

@@ -13,8 +13,10 @@
 
 use crate::cursor::{Cursor, CursorState};
 use crate::keys;
+use piql_core::ast::AggFunc;
 use piql_core::catalog::{Catalog, IndexDef, TableDef};
 use piql_core::codec::key::{prefix_upper_bound, Dir};
+use piql_core::opt::UNBOUNDED_SCAN_BATCH;
 use piql_core::plan::params::{ParamError, Params};
 use piql_core::plan::physical::{
     IndexRef, KeySource, PhysAggregate, PhysicalPlan, RangeSpec, ScanLimit, ScanSpec,
@@ -23,8 +25,6 @@ use piql_core::plan::physical::{
 use piql_core::plan::{BoundPredicate, Operand};
 use piql_core::tuple::Tuple;
 use piql_core::value::Value;
-use piql_core::ast::AggFunc;
-use piql_core::opt::UNBOUNDED_SCAN_BATCH;
 use piql_kv::{KvRequest, KvResponse, KvStore, NsId, Session};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -156,13 +156,10 @@ impl<'a> ExecCtx<'a> {
     pub fn eval(&mut self, plan: &PhysicalPlan) -> Result<Vec<Tuple>, ExecError> {
         match plan {
             PhysicalPlan::ParamSource { param, max, .. } => {
-                let values =
-                    self.params
-                        .collection(param.index, &param.name, Some(*max))?;
-                Ok(values
-                    .iter()
-                    .map(|v| Tuple::new(vec![v.clone()]))
-                    .collect())
+                let values = self
+                    .params
+                    .collection(param.index, &param.name, Some(*max))?;
+                Ok(values.iter().map(|v| Tuple::new(vec![v.clone()])).collect())
             }
             PhysicalPlan::IndexScan { spec, .. } => self.eval_scan(spec),
             PhysicalPlan::IndexFKJoin {
@@ -300,9 +297,9 @@ impl<'a> ExecCtx<'a> {
 
         // cursor for the next page
         if self.resume.is_some() || self.next_cursor_wanted() {
-            self.next_cursor = entries
-                .last()
-                .map(|(k, _)| CursorState::ScanAfter { last_key: k.clone() });
+            self.next_cursor = entries.last().map(|(k, _)| CursorState::ScanAfter {
+                last_key: k.clone(),
+            });
         }
 
         self.materialize(&table, &spec.index, entries, spec.deref)
@@ -534,11 +531,7 @@ impl<'a> ExecCtx<'a> {
 
     /// Build the scan's probe prefix and return the direction of the key
     /// part a range (if any) applies to.
-    fn scan_prefix(
-        &self,
-        table: &TableDef,
-        spec: &ScanSpec,
-    ) -> Result<(Vec<u8>, Dir), ExecError> {
+    fn scan_prefix(&self, table: &TableDef, spec: &ScanSpec) -> Result<(Vec<u8>, Dir), ExecError> {
         let dirs = self.index_dirs(table, &spec.index);
         let mut prefix = Vec::new();
         for (i, op) in spec.eq_prefix.iter().enumerate() {
@@ -553,10 +546,7 @@ impl<'a> ExecCtx<'a> {
             };
             keys::encode_probe_component(&mut prefix, &v, dirs[i])?;
         }
-        let range_dir = dirs
-            .get(spec.eq_prefix.len())
-            .copied()
-            .unwrap_or(Dir::Asc);
+        let range_dir = dirs.get(spec.eq_prefix.len()).copied().unwrap_or(Dir::Asc);
         Ok((prefix, range_dir))
     }
 
@@ -575,10 +565,7 @@ impl<'a> ExecCtx<'a> {
             .unwrap_or(false)
     }
 
-    fn resolve_range(
-        &self,
-        range: Option<&RangeSpec>,
-    ) -> Result<ResolvedRange, ExecError> {
+    fn resolve_range(&self, range: Option<&RangeSpec>) -> Result<ResolvedRange, ExecError> {
         let Some(r) = range else {
             return Ok(ResolvedRange::default());
         };
@@ -678,11 +665,7 @@ struct ResolvedRange {
 
 /// Convert a value-space range into byte-space `[start, end)` under the key
 /// part's direction.
-fn range_to_bytes(
-    prefix: &[u8],
-    range: &ResolvedRange,
-    dir: Dir,
-) -> (Vec<u8>, Option<Vec<u8>>) {
+fn range_to_bytes(prefix: &[u8], range: &ResolvedRange, dir: Dir) -> (Vec<u8>, Option<Vec<u8>>) {
     // under Desc encoding, the value-space low bound becomes the byte-space
     // high bound and vice versa
     let (byte_low, byte_high) = match dir {
@@ -735,7 +718,11 @@ pub fn sort_rows(rows: &mut [Tuple], keys: &[(usize, Dir)]) {
     rows.sort_by(|a, b| {
         for (pos, dir) in keys {
             let ord = a[*pos].total_cmp(&b[*pos]);
-            let ord = if *dir == Dir::Desc { ord.reverse() } else { ord };
+            let ord = if *dir == Dir::Desc {
+                ord.reverse()
+            } else {
+                ord
+            };
             if ord != std::cmp::Ordering::Equal {
                 return ord;
             }
@@ -745,11 +732,7 @@ pub fn sort_rows(rows: &mut [Tuple], keys: &[(usize, Dir)]) {
 }
 
 /// Group-by + aggregates over a bounded input (§7.1: computed client-side).
-pub fn aggregate_rows(
-    rows: Vec<Tuple>,
-    group_by: &[usize],
-    aggs: &[PhysAggregate],
-) -> Vec<Tuple> {
+pub fn aggregate_rows(rows: Vec<Tuple>, group_by: &[usize], aggs: &[PhysAggregate]) -> Vec<Tuple> {
     #[derive(Default, Clone)]
     struct Acc {
         count: u64,

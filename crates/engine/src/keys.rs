@@ -68,9 +68,9 @@ pub fn index_entry_keys(
     // token expansion: cartesian over token parts (in practice one)
     let mut variants: Vec<Vec<u8>> = vec![Vec::new()];
     for part in &parts {
-        let col = table
-            .column_id(part.kind.column_name())
-            .ok_or_else(|| KeyError::RowShape(format!("unknown column {}", part.kind.column_name())))?;
+        let col = table.column_id(part.kind.column_name()).ok_or_else(|| {
+            KeyError::RowShape(format!("unknown column {}", part.kind.column_name()))
+        })?;
         match &part.kind {
             IndexKind::Column(_) => {
                 for buf in &mut variants {
@@ -104,19 +104,15 @@ pub fn index_entry_keys(
 }
 
 /// Append one probe component with the part's direction.
-pub fn encode_probe_component(
-    buf: &mut Vec<u8>,
-    value: &Value,
-    dir: Dir,
-) -> Result<(), KeyError> {
+pub fn encode_probe_component(buf: &mut Vec<u8>, value: &Value, dir: Dir) -> Result<(), KeyError> {
     key::encode_component(buf, value, dir)?;
     Ok(())
 }
 
 /// Decode a full-row tuple from a primary-index entry's value bytes.
 pub fn decode_row(table: &TableDef, bytes: &[u8]) -> Result<Tuple, KeyError> {
-    let t = piql_core::codec::row::decode_tuple(bytes)
-        .map_err(|e| KeyError::Codec(e.to_string()))?;
+    let t =
+        piql_core::codec::row::decode_tuple(bytes).map_err(|e| KeyError::Codec(e.to_string()))?;
     if t.len() != table.columns.len() {
         return Err(KeyError::RowShape(format!(
             "row for {} has {} values, expected {}",

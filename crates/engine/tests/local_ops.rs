@@ -31,7 +31,7 @@ fn sort_is_stable_multi_key_with_directions() {
         vec![
             tuple!["a", 2, "second"],
             tuple!["a", 1, "third"],
-            tuple!["b", 2, "first"],  // stability: original order of ties
+            tuple!["b", 2, "first"], // stability: original order of ties
             tuple!["b", 2, "fourth"],
         ]
     );

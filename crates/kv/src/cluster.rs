@@ -92,6 +92,20 @@ pub trait KvStore: Send + Sync {
     /// Issue one parallel round; the session clock advances to the round's
     /// completion.
     fn execute_round(&self, session: &mut Session, round: RequestRound) -> Vec<KvResponse>;
+    /// Write directly, bypassing timing and accounting (bulk load before an
+    /// experiment or to seed a serving store).
+    fn bulk_put(&self, ns: NsId, key: Vec<u8>, value: Vec<u8>);
+    /// Recompute data placement from current contents. Backends without a
+    /// placement concept treat this as a no-op.
+    fn rebalance(&self) {}
+    /// Advance the session clock to the backend's current time, so a
+    /// latency measured as `begin()..now` starts *now* rather than at the
+    /// previous round's completion. Wall-clock backends override this;
+    /// virtual-time backends are a no-op (their sessions own the clock —
+    /// idle time does not pass unless the driver says so).
+    fn sync_session(&self, session: &mut Session) {
+        let _ = session;
+    }
 }
 
 /// The simulated cluster.
@@ -155,10 +169,9 @@ impl SimCluster {
             let splits = data.quantile_keys(parts);
             let n_parts = splits.len() + 1;
             // offset spreads different namespaces' partition #0 across nodes
-            let offset = name
-                .bytes()
-                .fold(0usize, |acc, b| acc.wrapping_mul(31).wrapping_add(b as usize))
-                % self.config.nodes.max(1);
+            let offset = name.bytes().fold(0usize, |acc, b| {
+                acc.wrapping_mul(31).wrapping_add(b as usize)
+            }) % self.config.nodes.max(1);
             let replicas = PartitionMap::assign_round_robin(
                 n_parts,
                 self.config.nodes,
@@ -170,7 +183,12 @@ impl SimCluster {
     }
 
     /// Least-loaded replica for a read, with its visibility horizon.
-    fn read_replica(&self, placement: &NsPlacement, partition: usize, now: Micros) -> (usize, Micros) {
+    fn read_replica(
+        &self,
+        placement: &NsPlacement,
+        partition: usize,
+        now: Micros,
+    ) -> (usize, Micros) {
         let replicas = &placement.replicas[partition.min(placement.replicas.len() - 1)];
         let primary = replicas[0];
         let chosen = replicas
@@ -274,9 +292,11 @@ impl SimCluster {
                     let remaining = want - out.len() as u64;
                     let entries =
                         data.range(&p_lo, p_hi.as_deref(), Some(remaining), *reverse, horizon);
-                    let bytes: u64 = entries.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum();
-                    let adm =
-                        self.nodes[node].admit(t, req, entries.len() as u64, bytes);
+                    let bytes: u64 = entries
+                        .iter()
+                        .map(|(k, v)| (k.len() + v.len()) as u64)
+                        .sum();
+                    let adm = self.nodes[node].admit(t, req, entries.len() as u64, bytes);
                     t = adm.done;
                     *physical += 1;
                     self.stats.record_read(bytes);
@@ -365,17 +385,18 @@ impl KvStore for SimCluster {
         data.push(Arc::new(Namespace::new()));
         names.insert(name.to_string(), id);
         // default placement: whole keyspace on one replica set
-        let offset = name
-            .bytes()
-            .fold(0usize, |acc, b| acc.wrapping_mul(31).wrapping_add(b as usize))
-            % self.config.nodes.max(1);
-        let replicas = PartitionMap::assign_round_robin(
-            1,
-            self.config.nodes,
-            self.config.replication,
-            offset,
+        let offset = name.bytes().fold(0usize, |acc, b| {
+            acc.wrapping_mul(31).wrapping_add(b as usize)
+        }) % self.config.nodes.max(1);
+        let replicas =
+            PartitionMap::assign_round_robin(1, self.config.nodes, self.config.replication, offset);
+        self.placement.set(
+            id,
+            NsPlacement {
+                splits: Vec::new(),
+                replicas,
+            },
         );
-        self.placement.set(id, NsPlacement { splits: Vec::new(), replicas });
         id
     }
 
@@ -392,7 +413,10 @@ impl KvStore for SimCluster {
             latest = latest.max(done);
             if let KvResponse::Entries(e) = &resp {
                 session.stats.entries += e.len() as u64;
-                session.stats.bytes += e.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum::<u64>();
+                session.stats.bytes += e
+                    .iter()
+                    .map(|(k, v)| (k.len() + v.len()) as u64)
+                    .sum::<u64>();
             }
             responses.push(resp);
         }
@@ -402,6 +426,14 @@ impl KvStore for SimCluster {
         session.stats.physical_requests += physical;
         self.stats.record_round(round.len() as u64, physical);
         responses
+    }
+
+    fn bulk_put(&self, ns: NsId, key: Vec<u8>, value: Vec<u8>) {
+        SimCluster::bulk_put(self, ns, key, value);
+    }
+
+    fn rebalance(&self) {
+        SimCluster::rebalance(self);
     }
 }
 

@@ -67,9 +67,13 @@ impl LatencyConfig {
         let u2: f64 = rng.gen_range(0.0..1.0);
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         let base = self.median_us * (self.sigma * z).exp();
-        let payload =
-            result_entries as f64 * self.per_entry_us + result_bytes as f64 / 1024.0 * self.per_kib_us;
-        let factor = if req.is_write() { self.write_factor } else { 1.0 };
+        let payload = result_entries as f64 * self.per_entry_us
+            + result_bytes as f64 / 1024.0 * self.per_kib_us;
+        let factor = if req.is_write() {
+            self.write_factor
+        } else {
+            1.0
+        };
         ((base + payload) * factor) as Micros
     }
 }
@@ -124,7 +128,8 @@ impl InterferenceConfig {
         let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
         if unit < self.prob {
             // reuse upper hash bits for the multiplier draw
-            let unit2 = ((h.wrapping_mul(0x2545_F491_4F6C_DD1D)) >> 11) as f64 / (1u64 << 53) as f64;
+            let unit2 =
+                ((h.wrapping_mul(0x2545_F491_4F6C_DD1D)) >> 11) as f64 / (1u64 << 53) as f64;
             self.multiplier.0 + unit2 * (self.multiplier.1 - self.multiplier.0)
         } else {
             1.0
@@ -206,7 +211,10 @@ mod tests {
                 slowed += 1;
             }
         }
-        assert!((300..700).contains(&slowed), "≈50% of intervals slowed: {slowed}");
+        assert!(
+            (300..700).contains(&slowed),
+            "≈50% of intervals slowed: {slowed}"
+        );
         assert_eq!(InterferenceConfig::none().factor(42, 0, 123), 1.0);
     }
 }

@@ -13,6 +13,7 @@
 
 pub mod cluster;
 pub mod latency;
+pub mod live;
 pub mod node;
 pub mod op;
 pub mod partition;
@@ -23,6 +24,7 @@ pub mod time;
 
 pub use cluster::{ClusterConfig, KvStore, SimCluster};
 pub use latency::{InterferenceConfig, LatencyConfig};
+pub use live::{LiveCluster, LiveConfig, LiveStatsSnapshot};
 pub use op::{KvRequest, KvResponse, NsId, RequestRound};
 pub use session::{Session, SessionStats};
 pub use time::{as_millis_f64, Micros, MILLIS, SECONDS};

@@ -1,0 +1,546 @@
+//! `LiveCluster` — a real-time, thread-safe key/value backend.
+//!
+//! Where [`SimCluster`](crate::SimCluster) models a distributed store in
+//! virtual time, `LiveCluster` *is* a store: sharded ordered maps serving
+//! concurrent sessions on the wall clock. It implements the same
+//! [`KvStore`] trait, so the whole engine — optimizer bounds, executors,
+//! cursors, the write path — runs against it unchanged; this is what
+//! `piql-server` fronts with its TCP interface.
+//!
+//! Design:
+//!
+//! * Each namespace is split into `shards_per_namespace` **contiguous
+//!   key-range shards** (striped by leading key byte), each an ordered map
+//!   under its own `RwLock`. Point operations touch exactly one shard;
+//!   range scans walk the overlapping shards in key order, so lock
+//!   contention is striped while scan semantics stay identical to a single
+//!   ordered map.
+//! * Sessions carry wall-clock time: `Session::now` is set to the cluster's
+//!   monotonic epoch offset when a round completes, so
+//!   `Session::elapsed_since` measures real latency with the same API the
+//!   simulation uses.
+//! * Single-copy strong consistency: `test_and_set` is atomic under the
+//!   owning shard's write lock, reads always observe the latest write.
+//! * Every storage operation is counted. [`LiveCluster::op_count`] is the
+//!   hook the admission-control tests use to prove rejected statements
+//!   issue **zero** storage requests.
+
+use crate::cluster::KvStore;
+use crate::op::{KvRequest, KvResponse, NsId, RequestRound};
+use crate::session::Session;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// `LiveCluster` sizing.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Lock-striping factor: contiguous key-range shards per namespace.
+    pub shards_per_namespace: usize,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            shards_per_namespace: 16,
+        }
+    }
+}
+
+/// Monotonic operation counters (all `Relaxed`; read for reporting only).
+#[derive(Debug, Default)]
+pub struct LiveStats {
+    pub ops: AtomicU64,
+    pub reads: AtomicU64,
+    pub writes: AtomicU64,
+    pub rounds: AtomicU64,
+    pub entries_returned: AtomicU64,
+    pub bytes_read: AtomicU64,
+    pub bytes_written: AtomicU64,
+}
+
+/// A point-in-time copy of [`LiveStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveStatsSnapshot {
+    pub ops: u64,
+    pub reads: u64,
+    pub writes: u64,
+    pub rounds: u64,
+    pub entries_returned: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+}
+
+struct LiveNamespace {
+    shards: Vec<RwLock<BTreeMap<Vec<u8>, Vec<u8>>>>,
+}
+
+impl LiveNamespace {
+    fn new(shards: usize) -> Self {
+        LiveNamespace {
+            shards: (0..shards.max(1))
+                .map(|_| RwLock::new(BTreeMap::new()))
+                .collect(),
+        }
+    }
+
+    /// The shard owning `key`: stripe `i` covers leading bytes
+    /// `[i * 256/n, (i+1) * 256/n)`; the empty key lands in stripe 0.
+    fn shard_of(&self, key: &[u8]) -> usize {
+        match key.first() {
+            Some(&b) => (b as usize * self.shards.len()) / 256,
+            None => 0,
+        }
+    }
+
+    /// Shard indices overlapping `[start, end)`, ascending.
+    fn shards_for_range(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> std::ops::RangeInclusive<usize> {
+        let lo = self.shard_of(start);
+        let hi = match end {
+            // exclusive bound: the end key's shard still may hold smaller keys
+            Some(e) => self.shard_of(e),
+            None => self.shards.len() - 1,
+        };
+        lo..=hi.max(lo)
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.shards[self.shard_of(key)].read().get(key).cloned()
+    }
+
+    fn put(&self, key: Vec<u8>, value: Option<Vec<u8>>) {
+        let mut shard = self.shards[self.shard_of(&key)].write();
+        match value {
+            Some(v) => {
+                shard.insert(key, v);
+            }
+            None => {
+                shard.remove(&key);
+            }
+        }
+    }
+
+    fn test_and_set(
+        &self,
+        key: &[u8],
+        expect: Option<&[u8]>,
+        value: Option<Vec<u8>>,
+    ) -> (bool, Option<Vec<u8>>) {
+        let mut shard = self.shards[self.shard_of(key)].write();
+        let current = shard.get(key).cloned();
+        if current.as_deref() != expect {
+            return (false, current);
+        }
+        match value.clone() {
+            Some(v) => {
+                shard.insert(key.to_vec(), v);
+            }
+            None => {
+                shard.remove(key);
+            }
+        }
+        (true, value)
+    }
+
+    fn range(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: Option<u64>,
+        reverse: bool,
+    ) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let want = limit.unwrap_or(u64::MAX) as usize;
+        let lo = Bound::Included(start.to_vec());
+        let hi = match end {
+            Some(e) => Bound::Excluded(e.to_vec()),
+            None => Bound::Unbounded,
+        };
+        let mut out: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let shards = self.shards_for_range(start, end);
+        let visit = |out: &mut Vec<(Vec<u8>, Vec<u8>)>, idx: usize| {
+            let shard = self.shards[idx].read();
+            let iter = shard.range::<Vec<u8>, _>((lo.clone(), hi.clone()));
+            if reverse {
+                for (k, v) in iter.rev() {
+                    if out.len() >= want {
+                        break;
+                    }
+                    out.push((k.clone(), v.clone()));
+                }
+            } else {
+                for (k, v) in iter {
+                    if out.len() >= want {
+                        break;
+                    }
+                    out.push((k.clone(), v.clone()));
+                }
+            }
+        };
+        if reverse {
+            for idx in shards.rev() {
+                if out.len() >= want {
+                    break;
+                }
+                visit(&mut out, idx);
+            }
+        } else {
+            for idx in shards {
+                if out.len() >= want {
+                    break;
+                }
+                visit(&mut out, idx);
+            }
+        }
+        out
+    }
+
+    fn count_range(&self, start: &[u8], end: Option<&[u8]>) -> u64 {
+        let lo = Bound::Included(start.to_vec());
+        let hi = match end {
+            Some(e) => Bound::Excluded(e.to_vec()),
+            None => Bound::Unbounded,
+        };
+        self.shards_for_range(start, end)
+            .map(|idx| {
+                self.shards[idx]
+                    .read()
+                    .range::<Vec<u8>, _>((lo.clone(), hi.clone()))
+                    .count() as u64
+            })
+            .sum()
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+}
+
+/// The real-time backend.
+pub struct LiveCluster {
+    config: LiveConfig,
+    namespaces: RwLock<Vec<Arc<LiveNamespace>>>,
+    names: RwLock<BTreeMap<String, NsId>>,
+    epoch: Instant,
+    pub stats: LiveStats,
+}
+
+impl Default for LiveCluster {
+    fn default() -> Self {
+        Self::new(LiveConfig::default())
+    }
+}
+
+impl LiveCluster {
+    pub fn new(config: LiveConfig) -> Self {
+        LiveCluster {
+            config,
+            namespaces: RwLock::new(Vec::new()),
+            names: RwLock::new(BTreeMap::new()),
+            epoch: Instant::now(),
+            stats: LiveStats::default(),
+        }
+    }
+
+    fn ns_data(&self, ns: NsId) -> Arc<LiveNamespace> {
+        self.namespaces.read()[ns.0 as usize].clone()
+    }
+
+    /// Total storage operations served so far (including bulk loads).
+    pub fn op_count(&self) -> u64 {
+        self.stats.ops.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently in a namespace.
+    pub fn ns_len(&self, ns: NsId) -> usize {
+        self.ns_data(ns).len()
+    }
+
+    /// Microseconds since this cluster was created (the time base sessions
+    /// advance on).
+    pub fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    pub fn stats_snapshot(&self) -> LiveStatsSnapshot {
+        LiveStatsSnapshot {
+            ops: self.stats.ops.load(Ordering::Relaxed),
+            reads: self.stats.reads.load(Ordering::Relaxed),
+            writes: self.stats.writes.load(Ordering::Relaxed),
+            rounds: self.stats.rounds.load(Ordering::Relaxed),
+            entries_returned: self.stats.entries_returned.load(Ordering::Relaxed),
+            bytes_read: self.stats.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.stats.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    fn execute_one(&self, req: &KvRequest, session: &mut Session) -> KvResponse {
+        let data = self.ns_data(req.ns());
+        self.stats.ops.fetch_add(1, Ordering::Relaxed);
+        match req {
+            KvRequest::Get { key, .. } => {
+                let value = data.get(key);
+                self.stats.reads.fetch_add(1, Ordering::Relaxed);
+                self.stats.bytes_read.fetch_add(
+                    value.as_ref().map_or(0, |v| v.len() as u64),
+                    Ordering::Relaxed,
+                );
+                KvResponse::Value(value)
+            }
+            KvRequest::Put { key, value, .. } => {
+                self.stats.writes.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .bytes_written
+                    .fetch_add(value.len() as u64, Ordering::Relaxed);
+                data.put(key.clone(), Some(value.clone()));
+                KvResponse::Done
+            }
+            KvRequest::Delete { key, .. } => {
+                self.stats.writes.fetch_add(1, Ordering::Relaxed);
+                data.put(key.clone(), None);
+                KvResponse::Done
+            }
+            KvRequest::TestAndSet {
+                key, expect, value, ..
+            } => {
+                self.stats.writes.fetch_add(1, Ordering::Relaxed);
+                let (success, current) = data.test_and_set(key, expect.as_deref(), value.clone());
+                KvResponse::TasResult { success, current }
+            }
+            KvRequest::GetRange {
+                start,
+                end,
+                limit,
+                reverse,
+                ..
+            } => {
+                let entries = data.range(start, end.as_deref(), *limit, *reverse);
+                let bytes: u64 = entries
+                    .iter()
+                    .map(|(k, v)| (k.len() + v.len()) as u64)
+                    .sum();
+                self.stats.reads.fetch_add(1, Ordering::Relaxed);
+                self.stats.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+                self.stats
+                    .entries_returned
+                    .fetch_add(entries.len() as u64, Ordering::Relaxed);
+                session.stats.entries += entries.len() as u64;
+                session.stats.bytes += bytes;
+                KvResponse::Entries(entries)
+            }
+            KvRequest::CountRange { start, end, .. } => {
+                self.stats.reads.fetch_add(1, Ordering::Relaxed);
+                KvResponse::Count(data.count_range(start, end.as_deref()))
+            }
+        }
+    }
+}
+
+impl KvStore for LiveCluster {
+    fn namespace(&self, name: &str) -> NsId {
+        if let Some(id) = self.names.read().get(name) {
+            return *id;
+        }
+        let mut names = self.names.write();
+        if let Some(id) = names.get(name) {
+            return *id;
+        }
+        let mut data = self.namespaces.write();
+        let id = NsId(data.len() as u32);
+        data.push(Arc::new(LiveNamespace::new(
+            self.config.shards_per_namespace,
+        )));
+        names.insert(name.to_string(), id);
+        id
+    }
+
+    fn execute_round(&self, session: &mut Session, round: RequestRound) -> Vec<KvResponse> {
+        if round.is_empty() {
+            return Vec::new();
+        }
+        let responses: Vec<KvResponse> = round
+            .iter()
+            .map(|req| self.execute_one(req, session))
+            .collect();
+        // advance to wall-clock completion (monotonic per session even if
+        // the session was created before this cluster's epoch)
+        session.now = session.now.max(self.now_micros());
+        session.stats.rounds += 1;
+        session.stats.logical_requests += round.len() as u64;
+        session.stats.physical_requests += round.len() as u64;
+        self.stats.rounds.fetch_add(1, Ordering::Relaxed);
+        responses
+    }
+
+    fn bulk_put(&self, ns: NsId, key: Vec<u8>, value: Vec<u8>) {
+        self.stats.ops.fetch_add(1, Ordering::Relaxed);
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_written
+            .fetch_add(value.len() as u64, Ordering::Relaxed);
+        self.ns_data(ns).put(key, Some(value));
+    }
+
+    fn sync_session(&self, session: &mut Session) {
+        session.now = session.now.max(self.now_micros());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> LiveCluster {
+        LiveCluster::new(LiveConfig {
+            shards_per_namespace: 4,
+        })
+    }
+
+    #[test]
+    fn point_ops_roundtrip() {
+        let c = small();
+        let ns = c.namespace("t");
+        let mut s = Session::new();
+        c.execute_round(
+            &mut s,
+            vec![KvRequest::Put {
+                ns,
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            }],
+        );
+        let r = c.execute_round(
+            &mut s,
+            vec![KvRequest::Get {
+                ns,
+                key: b"k".to_vec(),
+            }],
+        );
+        assert_eq!(r[0].expect_value(), Some(b"v".as_slice()));
+        c.execute_round(
+            &mut s,
+            vec![KvRequest::Delete {
+                ns,
+                key: b"k".to_vec(),
+            }],
+        );
+        let r = c.execute_round(
+            &mut s,
+            vec![KvRequest::Get {
+                ns,
+                key: b"k".to_vec(),
+            }],
+        );
+        assert_eq!(r[0].expect_value(), None);
+        assert_eq!(c.op_count(), 4);
+        assert_eq!(s.stats.rounds, 4);
+    }
+
+    #[test]
+    fn ranges_cross_shards_in_order() {
+        let c = small();
+        let ns = c.namespace("r");
+        // keys spread over the whole leading-byte space → all 4 shards
+        for i in 0..=255u8 {
+            c.bulk_put(ns, vec![i, 1], vec![i]);
+        }
+        let mut s = Session::new();
+        let r = c.execute_round(
+            &mut s,
+            vec![KvRequest::GetRange {
+                ns,
+                start: vec![10],
+                end: Some(vec![250]),
+                limit: None,
+                reverse: false,
+            }],
+        );
+        let entries = r[0].expect_entries();
+        assert_eq!(entries.len(), 240);
+        assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        let r = c.execute_round(
+            &mut s,
+            vec![KvRequest::GetRange {
+                ns,
+                start: vec![0],
+                end: None,
+                limit: Some(7),
+                reverse: true,
+            }],
+        );
+        let entries = r[0].expect_entries();
+        assert_eq!(entries.len(), 7);
+        assert_eq!(entries[0].0, vec![255, 1]);
+        assert!(entries.windows(2).all(|w| w[0].0 > w[1].0));
+        let r = c.execute_round(
+            &mut s,
+            vec![KvRequest::CountRange {
+                ns,
+                start: vec![10],
+                end: Some(vec![20]),
+            }],
+        );
+        assert_eq!(r[0].expect_count(), 10);
+    }
+
+    #[test]
+    fn tas_is_atomic_under_contention() {
+        let c = Arc::new(small());
+        let ns = c.namespace("tas");
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    let mut s = Session::new();
+                    let r = c.execute_round(
+                        &mut s,
+                        vec![KvRequest::TestAndSet {
+                            ns,
+                            key: b"winner".to_vec(),
+                            expect: None,
+                            value: Some(vec![i]),
+                        }],
+                    );
+                    matches!(r[0], KvResponse::TasResult { success: true, .. })
+                })
+            })
+            .collect();
+        let wins = threads
+            .into_iter()
+            .map(|t| t.join().unwrap())
+            .filter(|&won| won)
+            .count();
+        assert_eq!(wins, 1, "exactly one TAS may claim an absent key");
+    }
+
+    #[test]
+    fn sessions_measure_wall_clock() {
+        let c = small();
+        let ns = c.namespace("t");
+        let mut s = Session::new();
+        let t0 = s.begin();
+        c.execute_round(
+            &mut s,
+            vec![KvRequest::Put {
+                ns,
+                key: b"a".to_vec(),
+                value: b"b".to_vec(),
+            }],
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        c.execute_round(
+            &mut s,
+            vec![KvRequest::Get {
+                ns,
+                key: b"a".to_vec(),
+            }],
+        );
+        assert!(s.elapsed_since(t0) >= 2_000, "{}", s.elapsed_since(t0));
+    }
+}

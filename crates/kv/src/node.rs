@@ -94,7 +94,12 @@ impl StorageNode {
 
     /// Completion time of the least-loaded slot — used for replica routing.
     pub fn earliest_free(&self) -> Micros {
-        self.state.lock().slots.peek().map(|Reverse(t)| *t).unwrap_or(0)
+        self.state
+            .lock()
+            .slots
+            .peek()
+            .map(|Reverse(t)| *t)
+            .unwrap_or(0)
     }
 
     /// (ops served, total busy µs, total queueing µs).

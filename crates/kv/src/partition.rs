@@ -48,7 +48,13 @@ impl NsPlacement {
             // touch the next partition
             Some(e) => {
                 let mut p = self.splits.partition_point(|s| s.as_slice() < e);
-                if p > 0 && self.splits.get(p - 1).map(|s| s.as_slice() == e).unwrap_or(false) {
+                if p > 0
+                    && self
+                        .splits
+                        .get(p - 1)
+                        .map(|s| s.as_slice() == e)
+                        .unwrap_or(false)
+                {
                     p -= 1;
                 }
                 p.min(self.partitions() - 1).max(first)

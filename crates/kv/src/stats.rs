@@ -18,7 +18,8 @@ impl ClusterStats {
     pub fn record_round(&self, logical: u64, physical: u64) {
         self.rounds.fetch_add(1, Ordering::Relaxed);
         self.logical_requests.fetch_add(logical, Ordering::Relaxed);
-        self.physical_requests.fetch_add(physical, Ordering::Relaxed);
+        self.physical_requests
+            .fetch_add(physical, Ordering::Relaxed);
     }
 
     pub fn record_read(&self, bytes: u64) {

@@ -1,0 +1,400 @@
+//! Backend conformance suite: every [`KvStore`] implementation must agree
+//! on get/put/delete, range, count, test-and-set, and read-your-writes
+//! visibility semantics. Runs against the virtual-time `SimCluster`
+//! (instant, strongly-visible configuration) and the wall-clock
+//! `LiveCluster` — the engine treats them interchangeably, so they must be.
+
+use piql_kv::{
+    ClusterConfig, KvRequest, KvResponse, KvStore, LiveCluster, LiveConfig, Session, SimCluster,
+};
+
+/// Every conforming backend, by name (for assertion messages).
+fn backends() -> Vec<(&'static str, Box<dyn KvStore>)> {
+    vec![
+        (
+            "SimCluster",
+            Box::new(SimCluster::new(ClusterConfig::instant(4))),
+        ),
+        (
+            "LiveCluster",
+            Box::new(LiveCluster::new(LiveConfig {
+                shards_per_namespace: 4,
+            })),
+        ),
+    ]
+}
+
+fn one(store: &dyn KvStore, s: &mut Session, req: KvRequest) -> KvResponse {
+    store.execute_round(s, vec![req]).remove(0)
+}
+
+#[test]
+fn namespaces_are_stable_and_distinct() {
+    for (name, store) in backends() {
+        let a = store.namespace("tables/a");
+        let b = store.namespace("tables/b");
+        assert_ne!(a, b, "{name}: distinct names, distinct namespaces");
+        assert_eq!(a, store.namespace("tables/a"), "{name}: stable resolution");
+
+        // same key in different namespaces never collides
+        let mut s = Session::new();
+        one(
+            store.as_ref(),
+            &mut s,
+            KvRequest::Put {
+                ns: a,
+                key: b"k".to_vec(),
+                value: b"in-a".to_vec(),
+            },
+        );
+        let r = one(
+            store.as_ref(),
+            &mut s,
+            KvRequest::Get {
+                ns: b,
+                key: b"k".to_vec(),
+            },
+        );
+        assert_eq!(r.expect_value(), None, "{name}: namespace isolation");
+    }
+}
+
+#[test]
+fn put_get_delete_read_your_writes() {
+    for (name, store) in backends() {
+        let ns = store.namespace("t");
+        let mut s = Session::new();
+        assert_eq!(
+            one(
+                store.as_ref(),
+                &mut s,
+                KvRequest::Get {
+                    ns,
+                    key: b"k".to_vec()
+                }
+            )
+            .expect_value(),
+            None,
+            "{name}: absent before write"
+        );
+        one(
+            store.as_ref(),
+            &mut s,
+            KvRequest::Put {
+                ns,
+                key: b"k".to_vec(),
+                value: b"v1".to_vec(),
+            },
+        );
+        assert_eq!(
+            one(
+                store.as_ref(),
+                &mut s,
+                KvRequest::Get {
+                    ns,
+                    key: b"k".to_vec()
+                }
+            )
+            .expect_value(),
+            Some(b"v1".as_slice()),
+            "{name}: session reads its own write"
+        );
+        one(
+            store.as_ref(),
+            &mut s,
+            KvRequest::Put {
+                ns,
+                key: b"k".to_vec(),
+                value: b"v2".to_vec(),
+            },
+        );
+        assert_eq!(
+            one(
+                store.as_ref(),
+                &mut s,
+                KvRequest::Get {
+                    ns,
+                    key: b"k".to_vec()
+                }
+            )
+            .expect_value(),
+            Some(b"v2".as_slice()),
+            "{name}: overwrite visible"
+        );
+        one(
+            store.as_ref(),
+            &mut s,
+            KvRequest::Delete {
+                ns,
+                key: b"k".to_vec(),
+            },
+        );
+        assert_eq!(
+            one(
+                store.as_ref(),
+                &mut s,
+                KvRequest::Get {
+                    ns,
+                    key: b"k".to_vec()
+                }
+            )
+            .expect_value(),
+            None,
+            "{name}: delete visible"
+        );
+    }
+}
+
+#[test]
+fn bulk_put_is_immediately_readable() {
+    for (name, store) in backends() {
+        let ns = store.namespace("bulk");
+        for i in 0..20u8 {
+            store.bulk_put(ns, vec![i], vec![i, i]);
+        }
+        store.rebalance();
+        let mut s = Session::new();
+        let r = one(store.as_ref(), &mut s, KvRequest::Get { ns, key: vec![7] });
+        assert_eq!(r.expect_value(), Some([7u8, 7].as_slice()), "{name}");
+        let r = one(
+            store.as_ref(),
+            &mut s,
+            KvRequest::CountRange {
+                ns,
+                start: vec![],
+                end: None,
+            },
+        );
+        assert_eq!(r.expect_count(), 20, "{name}");
+    }
+}
+
+#[test]
+fn range_semantics_forward_reverse_limit_bounds() {
+    for (name, store) in backends() {
+        let ns = store.namespace("r");
+        // leading bytes span the whole space so Live shards and Sim
+        // partitions are both exercised
+        let mut s = Session::new();
+        for i in 0..=255u8 {
+            one(
+                store.as_ref(),
+                &mut s,
+                KvRequest::Put {
+                    ns,
+                    key: vec![i, 0xAA],
+                    value: vec![i],
+                },
+            );
+        }
+        store.rebalance();
+
+        // [lo, hi) clipping, order, completeness
+        let r = one(
+            store.as_ref(),
+            &mut s,
+            KvRequest::GetRange {
+                ns,
+                start: vec![10],
+                end: Some(vec![200]),
+                limit: None,
+                reverse: false,
+            },
+        );
+        let entries = r.expect_entries().to_vec();
+        assert_eq!(entries.len(), 190, "{name}: [10,200) by leading byte");
+        assert_eq!(entries[0].0, vec![10, 0xAA], "{name}: inclusive start");
+        assert_eq!(
+            entries.last().unwrap().0,
+            vec![199, 0xAA],
+            "{name}: exclusive end"
+        );
+        assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "{name}: ascending order"
+        );
+
+        // limit truncates, preserving prefix order
+        let r = one(
+            store.as_ref(),
+            &mut s,
+            KvRequest::GetRange {
+                ns,
+                start: vec![10],
+                end: Some(vec![200]),
+                limit: Some(7),
+                reverse: false,
+            },
+        );
+        assert_eq!(r.expect_entries().to_vec(), entries[..7].to_vec(), "{name}");
+
+        // reverse scans descend from the end bound
+        let r = one(
+            store.as_ref(),
+            &mut s,
+            KvRequest::GetRange {
+                ns,
+                start: vec![10],
+                end: Some(vec![200]),
+                limit: Some(3),
+                reverse: true,
+            },
+        );
+        let rev = r.expect_entries().to_vec();
+        assert_eq!(rev.len(), 3, "{name}");
+        assert_eq!(rev[0].0, vec![199, 0xAA], "{name}: reverse starts at top");
+        assert!(
+            rev.windows(2).all(|w| w[0].0 > w[1].0),
+            "{name}: descending"
+        );
+
+        // count agrees with the scan
+        let r = one(
+            store.as_ref(),
+            &mut s,
+            KvRequest::CountRange {
+                ns,
+                start: vec![10],
+                end: Some(vec![200]),
+            },
+        );
+        assert_eq!(r.expect_count(), 190, "{name}");
+    }
+}
+
+#[test]
+fn test_and_set_conformance() {
+    for (name, store) in backends() {
+        let ns = store.namespace("tas");
+        let mut s = Session::new();
+
+        // expect-absent create
+        let r = one(
+            store.as_ref(),
+            &mut s,
+            KvRequest::TestAndSet {
+                ns,
+                key: b"k".to_vec(),
+                expect: None,
+                value: Some(b"a".to_vec()),
+            },
+        );
+        assert_eq!(
+            r,
+            KvResponse::TasResult {
+                success: true,
+                current: Some(b"a".to_vec())
+            },
+            "{name}"
+        );
+
+        // expect-absent against a present key fails, reporting the value
+        let r = one(
+            store.as_ref(),
+            &mut s,
+            KvRequest::TestAndSet {
+                ns,
+                key: b"k".to_vec(),
+                expect: None,
+                value: Some(b"b".to_vec()),
+            },
+        );
+        assert_eq!(
+            r,
+            KvResponse::TasResult {
+                success: false,
+                current: Some(b"a".to_vec())
+            },
+            "{name}"
+        );
+
+        // matching expectation swaps
+        let r = one(
+            store.as_ref(),
+            &mut s,
+            KvRequest::TestAndSet {
+                ns,
+                key: b"k".to_vec(),
+                expect: Some(b"a".to_vec()),
+                value: Some(b"b".to_vec()),
+            },
+        );
+        assert!(
+            matches!(r, KvResponse::TasResult { success: true, .. }),
+            "{name}"
+        );
+
+        // conditional delete
+        let r = one(
+            store.as_ref(),
+            &mut s,
+            KvRequest::TestAndSet {
+                ns,
+                key: b"k".to_vec(),
+                expect: Some(b"b".to_vec()),
+                value: None,
+            },
+        );
+        assert!(
+            matches!(r, KvResponse::TasResult { success: true, .. }),
+            "{name}"
+        );
+        let r = one(
+            store.as_ref(),
+            &mut s,
+            KvRequest::Get {
+                ns,
+                key: b"k".to_vec(),
+            },
+        );
+        assert_eq!(r.expect_value(), None, "{name}: conditional delete applied");
+    }
+}
+
+#[test]
+fn rounds_answer_positionally_and_advance_the_clock() {
+    for (name, store) in backends() {
+        let ns = store.namespace("mix");
+        let mut s = Session::new();
+        let t0 = s.begin();
+        let responses = store.execute_round(
+            &mut s,
+            vec![
+                KvRequest::Put {
+                    ns,
+                    key: b"a".to_vec(),
+                    value: b"1".to_vec(),
+                },
+                KvRequest::Get {
+                    ns,
+                    key: b"missing".to_vec(),
+                },
+                KvRequest::CountRange {
+                    ns,
+                    start: vec![],
+                    end: None,
+                },
+            ],
+        );
+        assert_eq!(responses.len(), 3, "{name}: one response per request");
+        assert!(matches!(responses[0], KvResponse::Done), "{name}");
+        assert!(matches!(responses[1], KvResponse::Value(None)), "{name}");
+        assert!(matches!(responses[2], KvResponse::Count(_)), "{name}");
+        assert_eq!(s.stats.rounds, 1, "{name}: one round accounted");
+        assert_eq!(s.stats.logical_requests, 3, "{name}");
+        assert!(s.stats.physical_requests >= 3, "{name}");
+        assert!(s.now >= t0, "{name}: the clock never goes backwards");
+    }
+}
+
+#[test]
+fn empty_rounds_are_free() {
+    for (name, store) in backends() {
+        let mut s = Session::new();
+        let before = s.now;
+        let responses = store.execute_round(&mut s, vec![]);
+        assert!(responses.is_empty(), "{name}");
+        assert_eq!(s.stats.rounds, 0, "{name}: empty round not accounted");
+        assert_eq!(s.now, before, "{name}: no time consumed");
+    }
+}

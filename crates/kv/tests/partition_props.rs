@@ -7,14 +7,11 @@ use piql_kv::{ClusterConfig, KvRequest, KvStore, Session, SimCluster};
 use proptest::prelude::*;
 
 fn arb_placement() -> impl Strategy<Value = NsPlacement> {
-    prop::collection::btree_set(prop::collection::vec(any::<u8>(), 1..6), 0..8).prop_map(
-        |splits| {
-            let splits: Vec<Vec<u8>> = splits.into_iter().collect();
-            let replicas =
-                PartitionMap::assign_round_robin(splits.len() + 1, 5, 2, 1);
-            NsPlacement { splits, replicas }
-        },
-    )
+    prop::collection::btree_set(prop::collection::vec(any::<u8>(), 1..6), 0..8).prop_map(|splits| {
+        let splits: Vec<Vec<u8>> = splits.into_iter().collect();
+        let replicas = PartitionMap::assign_round_robin(splits.len() + 1, 5, 2, 1);
+        NsPlacement { splits, replicas }
+    })
 }
 
 proptest! {

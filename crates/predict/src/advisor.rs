@@ -104,11 +104,7 @@ mod tests {
             col_param: "page".into(),
             rows: vec![100, 200, 300],
             cols: vec![10, 20],
-            cells: vec![
-                vec![100.0, 150.0],
-                vec![200.0, 300.0],
-                vec![400.0, 600.0],
-            ],
+            cells: vec![vec![100.0, 150.0], vec![200.0, 300.0], vec![400.0, 600.0]],
         }
     }
 

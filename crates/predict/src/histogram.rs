@@ -153,12 +153,8 @@ impl Distribution {
     /// Max of independent variables (parallel plan sections, §6.2):
     /// `P(max <= x) = P(a <= x) * P(b <= x)`.
     pub fn max_with(&self, other: &Distribution) -> Distribution {
-        let bins: std::collections::BTreeSet<usize> = self
-            .pmf
-            .iter()
-            .chain(&other.pmf)
-            .map(|&(b, _)| b)
-            .collect();
+        let bins: std::collections::BTreeSet<usize> =
+            self.pmf.iter().chain(&other.pmf).map(|&(b, _)| b).collect();
         let cdf_at = |d: &Distribution, x: usize| -> f64 {
             d.pmf
                 .iter()
@@ -192,10 +188,7 @@ impl Distribution {
     }
 
     pub fn mean_ms(&self) -> f64 {
-        self.pmf
-            .iter()
-            .map(|&(b, p)| (b as f64 + 0.5) * p)
-            .sum()
+        self.pmf.iter().map(|&(b, p)| (b as f64 + 0.5) * p).sum()
     }
 }
 

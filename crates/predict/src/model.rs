@@ -41,7 +41,9 @@ pub struct ModelKey {
 
 /// Default training grids (the paper pre-computes histograms for a lattice
 /// of α and β values and looks up the closest while still larger, §6.1).
-pub const ALPHA_GRID: &[u32] = &[1, 2, 5, 10, 25, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500];
+pub const ALPHA_GRID: &[u32] = &[
+    1, 2, 5, 10, 25, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500,
+];
 pub const BETA_GRID: &[u32] = &[40, 160, 640, 2560];
 
 /// Smallest grid value ≥ x (saturating at the top, which keeps predictions

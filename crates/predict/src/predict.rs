@@ -111,9 +111,7 @@ impl QueryPrediction {
         }
         let mut xs = self.p99_per_interval_ms.clone();
         xs.sort_by(|a, b| a.total_cmp(b));
-        let idx = ((q.clamp(0.0, 1.0) * xs.len() as f64).ceil() as usize)
-            .clamp(1, xs.len())
-            - 1;
+        let idx = ((q.clamp(0.0, 1.0) * xs.len() as f64).ceil() as usize).clamp(1, xs.len()) - 1;
         xs[idx]
     }
 

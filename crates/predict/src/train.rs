@@ -11,9 +11,7 @@
 //! configuration matters.
 
 use crate::model::{ModelKey, ModelStore, OpKind, ALPHA_GRID, BETA_GRID};
-use piql_kv::{
-    KvRequest, KvStore, Micros, NsId, Session, SimCluster,
-};
+use piql_kv::{KvRequest, KvStore, Micros, NsId, Session, SimCluster};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -168,8 +166,7 @@ pub fn train(cluster: &SimCluster, config: &TrainConfig) -> ModelStore {
                         let t0 = s.begin();
                         let ranges: Vec<KvRequest> = (0..alpha as u64)
                             .map(|_| {
-                                let st =
-                                    rng.gen_range(0..rows.saturating_sub(aj as u64).max(1));
+                                let st = rng.gen_range(0..rows.saturating_sub(aj as u64).max(1));
                                 KvRequest::GetRange {
                                     ns,
                                     start: key_of(st),

@@ -1,0 +1,209 @@
+//! A small blocking client for the line protocol — what the examples,
+//! benches, and differential tests drive the server with.
+
+use crate::json::Json;
+use crate::protocol::{hex_decode, request_to_line, value_from_json, ProtoError, Request};
+use piql_core::plan::params::ParamValue;
+use piql_core::tuple::Tuple;
+use piql_core::value::Value;
+use piql_engine::Cursor;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(io::Error),
+    Proto(ProtoError),
+    /// The server answered `{"ok":false,...}`.
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol: {e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// One page of results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Page {
+    pub rows: Vec<Tuple>,
+    pub cursor: Option<Cursor>,
+}
+
+/// A connected protocol client.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Send one request, read one response object (the raw envelope,
+    /// `ok` included).
+    pub fn request_raw(&mut self, request: &Request) -> Result<Json, ClientError> {
+        let line = request_to_line(request);
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Ok(crate::json::parse(response.trim()).map_err(ProtoError::Json)?)
+    }
+
+    /// Send one request; error if the server answered `ok = false`.
+    pub fn request(&mut self, request: &Request) -> Result<Json, ClientError> {
+        let response = self.request_raw(request)?;
+        match response.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(response),
+            _ => Err(ClientError::Server(
+                response
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error")
+                    .to_string(),
+            )),
+        }
+    }
+
+    /// Register a statement; returns the admission envelope (even when
+    /// the verdict is a rejection — that is a successful protocol exchange).
+    pub fn prepare(&mut self, name: &str, sql: &str) -> Result<Json, ClientError> {
+        self.request(&Request::Prepare {
+            name: name.to_string(),
+            sql: sql.to_string(),
+        })
+    }
+
+    /// Execute a registered statement.
+    pub fn execute(
+        &mut self,
+        name: &str,
+        params: &[ParamValue],
+        cursor: Option<Cursor>,
+    ) -> Result<Page, ClientError> {
+        let response = self.request(&Request::Execute {
+            name: name.to_string(),
+            params: params.to_vec(),
+            cursor,
+        })?;
+        decode_page(&response)
+    }
+
+    /// Resume a paginated statement from a cursor.
+    pub fn cursor_next(
+        &mut self,
+        name: &str,
+        params: &[ParamValue],
+        cursor: Cursor,
+    ) -> Result<Page, ClientError> {
+        let response = self.request(&Request::CursorNext {
+            name: name.to_string(),
+            params: params.to_vec(),
+            cursor,
+        })?;
+        decode_page(&response)
+    }
+
+    pub fn dml(&mut self, sql: &str, params: &[ParamValue]) -> Result<(), ClientError> {
+        self.request(&Request::Dml {
+            sql: sql.to_string(),
+            params: params.to_vec(),
+        })?;
+        Ok(())
+    }
+
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.request(&Request::Stats)
+    }
+
+    /// Testing hook: a clone of the underlying stream, for writing raw
+    /// (possibly malformed) lines past the typed API.
+    pub fn raw_stream(&self) -> io::Result<TcpStream> {
+        self.writer.try_clone()
+    }
+
+    /// Testing hook: read and parse one raw response line.
+    pub fn raw_read_line(&mut self) -> Result<Json, ClientError> {
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Ok(crate::json::parse(response.trim()).map_err(ProtoError::Json)?)
+    }
+}
+
+fn decode_page(response: &Json) -> Result<Page, ClientError> {
+    let rows = response
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ClientError::Proto(ProtoError::Malformed("missing rows".into())))?
+        .iter()
+        .map(|row| {
+            row.as_arr()
+                .ok_or_else(|| ClientError::Proto(ProtoError::Malformed("row not array".into())))?
+                .iter()
+                .map(|v| value_from_json(v).map_err(ClientError::Proto))
+                .collect::<Result<Vec<Value>, _>>()
+                .map(Tuple::new)
+        })
+        .collect::<Result<Vec<Tuple>, _>>()?;
+    let cursor = match response.get("cursor") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(hex)) => {
+            let bytes = hex_decode(hex).ok_or_else(|| {
+                ClientError::Proto(ProtoError::Malformed("cursor is not hex".into()))
+            })?;
+            Some(
+                Cursor::from_bytes(&bytes)
+                    .map_err(|e| ClientError::Proto(ProtoError::Malformed(e.to_string())))?,
+            )
+        }
+        Some(other) => {
+            return Err(ClientError::Proto(ProtoError::Malformed(format!(
+                "bad cursor field: {}",
+                other
+            ))))
+        }
+    };
+    Ok(Page { rows, cursor })
+}

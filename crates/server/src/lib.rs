@@ -1,0 +1,40 @@
+//! # piql-server
+//!
+//! A success-tolerant query service fronting the PIQL engine — the serving
+//! system the paper's story culminates in (§6, §10): because every
+//! compiled query carries a static bound and a compile-time latency
+//! prediction, the service can *refuse to execute* queries it cannot serve
+//! within its SLO, before they touch storage.
+//!
+//! Pieces:
+//!
+//! * [`StatementRegistry`] — prepared statements with **SLO admission
+//!   control**: register a PIQL query and it is compiled once and run
+//!   through the §6 predictor; unbounded queries are rejected with the
+//!   Performance Insight report, over-SLO queries are rejected or admitted
+//!   with an advisor-degraded LIMIT, and only admitted statements ever
+//!   issue storage requests.
+//! * [`PiqlServer`] — a multi-threaded TCP front-end speaking a
+//!   newline-delimited JSON protocol (`prepare` / `execute` /
+//!   `cursor-next` / `dml` / `stats`) with per-connection sessions and
+//!   serialized pagination cursors that survive reconnects.
+//! * [`Client`] — a small blocking client for that protocol.
+//! * The real-time backend itself lives in `piql_kv::LiveCluster`
+//!   (re-exported here) so the engine stack runs on wall-clock storage.
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod testkit;
+
+pub use client::{Client, ClientError, Page};
+pub use json::{Json, JsonError};
+pub use protocol::{ProtoError, Request};
+pub use registry::{
+    Admission, RegisteredStatement, RegistryCounters, RegistryError, SloConfig, StatementRegistry,
+};
+pub use server::PiqlServer;
+
+pub use piql_kv::{LiveCluster, LiveConfig};

@@ -1,0 +1,371 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request object per line, one response object per line. Commands:
+//!
+//! | cmd           | fields                                | response |
+//! |---------------|---------------------------------------|----------|
+//! | `prepare`     | `name`, `sql`                         | admission verdict + plan facts |
+//! | `execute`     | `name`, `params`, optional `cursor`   | `rows` + optional `cursor` |
+//! | `cursor-next` | `name`, `params`, required `cursor`   | same as `execute` |
+//! | `dml`         | `sql`, `params`                       | `ok` |
+//! | `stats`       | —                                     | service counters + per-statement latency |
+//!
+//! Values are tagged one-field objects (`{"int":5}`, `{"ts":1699...}`,
+//! `{"str":"x"}`, …) so every [`Value`] round-trips exactly — including
+//! `BigInt`/`Timestamp` beyond 2^53 and the `Int`/`BigInt` distinction a
+//! bare JSON number would erase. Pagination cursors travel as hex so a
+//! client can reconnect to any server and resume (§4.1 of the paper).
+
+use crate::json::{Json, JsonError};
+use piql_core::plan::params::ParamValue;
+use piql_core::value::Value;
+use piql_engine::Cursor;
+use std::fmt;
+
+/// Protocol-level failures (distinct from query errors, which travel in
+/// `{"ok":false,"error":...}` responses).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtoError {
+    Json(JsonError),
+    /// Structurally valid JSON that is not a valid protocol message.
+    Malformed(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Json(e) => write!(f, "{e}"),
+            ProtoError::Malformed(m) => write!(f, "malformed request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<JsonError> for ProtoError {
+    fn from(e: JsonError) -> Self {
+        ProtoError::Json(e)
+    }
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Prepare {
+        name: String,
+        sql: String,
+    },
+    Execute {
+        name: String,
+        params: Vec<ParamValue>,
+        cursor: Option<Cursor>,
+    },
+    /// `execute` that *requires* a cursor (resuming pagination).
+    CursorNext {
+        name: String,
+        params: Vec<ParamValue>,
+        cursor: Cursor,
+    },
+    Dml {
+        sql: String,
+        params: Vec<ParamValue>,
+    },
+    Stats,
+}
+
+/// Encode one [`Value`] as a tagged object.
+pub fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Int(i) => Json::obj([("int", Json::Int(*i as i64))]),
+        Value::BigInt(i) => Json::obj([("big", Json::Int(*i))]),
+        Value::Varchar(s) => Json::obj([("str", Json::str(s.clone()))]),
+        Value::Bool(b) => Json::obj([("bool", Json::Bool(*b))]),
+        Value::Timestamp(t) => Json::obj([("ts", Json::Int(*t))]),
+        Value::Double(d) => Json::obj([("f", Json::Float(*d))]),
+    }
+}
+
+/// Decode one tagged object back to a [`Value`].
+pub fn value_from_json(j: &Json) -> Result<Value, ProtoError> {
+    let malformed = || ProtoError::Malformed(format!("bad value: {}", j));
+    match j {
+        Json::Null => Ok(Value::Null),
+        Json::Obj(m) if m.len() == 1 => {
+            let (tag, inner) = m.iter().next().unwrap();
+            match (tag.as_str(), inner) {
+                ("int", Json::Int(i)) => i32::try_from(*i).map(Value::Int).map_err(|_| malformed()),
+                ("big", Json::Int(i)) => Ok(Value::BigInt(*i)),
+                ("str", Json::Str(s)) => Ok(Value::Varchar(s.clone())),
+                ("bool", Json::Bool(b)) => Ok(Value::Bool(*b)),
+                ("ts", Json::Int(t)) => Ok(Value::Timestamp(*t)),
+                // JSON has no Inf/NaN: the encoder writes {"f":null} for
+                // non-finite doubles, which decodes to NaN (lossy but
+                // round-trippable rather than a page-breaking error)
+                ("f", Json::Null) => Ok(Value::Double(f64::NAN)),
+                ("f", j) => j.as_f64().map(Value::Double).ok_or_else(malformed),
+                _ => Err(malformed()),
+            }
+        }
+        _ => Err(malformed()),
+    }
+}
+
+pub fn row_to_json(row: &[Value]) -> Json {
+    Json::Arr(row.iter().map(value_to_json).collect())
+}
+
+/// Parameters: a scalar travels as a tagged value, a collection (bound to
+/// `IN [p MAX n]`) as an array of tagged values.
+pub fn param_to_json(p: &ParamValue) -> Json {
+    match p {
+        ParamValue::Scalar(v) => value_to_json(v),
+        ParamValue::Collection(vs) => Json::Arr(vs.iter().map(value_to_json).collect()),
+    }
+}
+
+pub fn param_from_json(j: &Json) -> Result<ParamValue, ProtoError> {
+    match j {
+        Json::Arr(items) => Ok(ParamValue::Collection(
+            items
+                .iter()
+                .map(value_from_json)
+                .collect::<Result<_, _>>()?,
+        )),
+        other => value_from_json(other).map(ParamValue::Scalar),
+    }
+}
+
+fn params_from_json(j: Option<&Json>) -> Result<Vec<ParamValue>, ProtoError> {
+    match j {
+        None => Ok(Vec::new()),
+        Some(Json::Arr(items)) => items.iter().map(param_from_json).collect(),
+        Some(other) => Err(ProtoError::Malformed(format!(
+            "params must be an array, got {}",
+            other
+        ))),
+    }
+}
+
+fn cursor_from_json(j: Option<&Json>) -> Result<Option<Cursor>, ProtoError> {
+    match j {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(hex)) => {
+            let bytes =
+                hex_decode(hex).ok_or_else(|| ProtoError::Malformed("cursor is not hex".into()))?;
+            Cursor::from_bytes(&bytes)
+                .map(Some)
+                .map_err(|e| ProtoError::Malformed(e.to_string()))
+        }
+        Some(other) => Err(ProtoError::Malformed(format!(
+            "cursor must be a hex string, got {}",
+            other
+        ))),
+    }
+}
+
+pub fn cursor_to_json(cursor: &Option<Cursor>) -> Json {
+    match cursor {
+        Some(c) => Json::str(hex_encode(&c.to_bytes())),
+        None => Json::Null,
+    }
+}
+
+pub fn hex_encode(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(s.get(i..i + 2)?, 16).ok())
+        .collect()
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let j = crate::json::parse(line.trim())?;
+    let cmd = j
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtoError::Malformed("missing 'cmd'".into()))?;
+    let name = |j: &Json| -> Result<String, ProtoError> {
+        j.get("name")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ProtoError::Malformed("missing 'name'".into()))
+    };
+    match cmd {
+        "prepare" => Ok(Request::Prepare {
+            name: name(&j)?,
+            sql: j
+                .get("sql")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ProtoError::Malformed("missing 'sql'".into()))?
+                .to_string(),
+        }),
+        "execute" => Ok(Request::Execute {
+            name: name(&j)?,
+            params: params_from_json(j.get("params"))?,
+            cursor: cursor_from_json(j.get("cursor"))?,
+        }),
+        "cursor-next" => {
+            let cursor = cursor_from_json(j.get("cursor"))?
+                .ok_or_else(|| ProtoError::Malformed("cursor-next requires a 'cursor'".into()))?;
+            Ok(Request::CursorNext {
+                name: name(&j)?,
+                params: params_from_json(j.get("params"))?,
+                cursor,
+            })
+        }
+        "dml" => Ok(Request::Dml {
+            sql: j
+                .get("sql")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ProtoError::Malformed("missing 'sql'".into()))?
+                .to_string(),
+            params: params_from_json(j.get("params"))?,
+        }),
+        "stats" => Ok(Request::Stats),
+        other => Err(ProtoError::Malformed(format!("unknown cmd '{other}'"))),
+    }
+}
+
+/// Serialize a request (what clients send).
+pub fn request_to_line(req: &Request) -> String {
+    let j = match req {
+        Request::Prepare { name, sql } => Json::obj([
+            ("cmd", Json::str("prepare")),
+            ("name", Json::str(name.clone())),
+            ("sql", Json::str(sql.clone())),
+        ]),
+        Request::Execute {
+            name,
+            params,
+            cursor,
+        } => Json::obj([
+            ("cmd", Json::str("execute")),
+            ("name", Json::str(name.clone())),
+            (
+                "params",
+                Json::Arr(params.iter().map(param_to_json).collect()),
+            ),
+            ("cursor", cursor_to_json(cursor)),
+        ]),
+        Request::CursorNext {
+            name,
+            params,
+            cursor,
+        } => Json::obj([
+            ("cmd", Json::str("cursor-next")),
+            ("name", Json::str(name.clone())),
+            (
+                "params",
+                Json::Arr(params.iter().map(param_to_json).collect()),
+            ),
+            ("cursor", cursor_to_json(&Some(cursor.clone()))),
+        ]),
+        Request::Dml { sql, params } => Json::obj([
+            ("cmd", Json::str("dml")),
+            ("sql", Json::str(sql.clone())),
+            (
+                "params",
+                Json::Arr(params.iter().map(param_to_json).collect()),
+            ),
+        ]),
+        Request::Stats => Json::obj([("cmd", Json::str("stats"))]),
+    };
+    j.to_string()
+}
+
+/// Build a success response envelope.
+pub fn ok_response(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    let mut m: std::collections::BTreeMap<String, Json> = fields
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    m.insert("ok".into(), Json::Bool(true));
+    Json::Obj(m)
+}
+
+/// Build an error response envelope.
+pub fn err_response(message: impl Into<String>) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::str(message.into())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piql_engine::CursorState;
+
+    #[test]
+    fn value_tagging_roundtrips() {
+        let values = [
+            Value::Null,
+            Value::Int(-5),
+            Value::BigInt(9_007_199_254_740_993),
+            Value::Varchar("héllo\nworld".into()),
+            Value::Bool(true),
+            Value::Timestamp(1_300_000_000_000_123),
+            Value::Double(0.1),
+        ];
+        for v in &values {
+            let j = value_to_json(v);
+            let reparsed = crate::json::parse(&j.to_string()).unwrap();
+            assert_eq!(&value_from_json(&reparsed).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = [
+            Request::Prepare {
+                name: "q1".into(),
+                sql: "SELECT * FROM t WHERE k = <k>".into(),
+            },
+            Request::Execute {
+                name: "q1".into(),
+                params: vec![Value::Int(3).into(), Value::Varchar("x".into()).into()],
+                cursor: None,
+            },
+            Request::CursorNext {
+                name: "q1".into(),
+                params: vec![],
+                cursor: Cursor {
+                    state: CursorState::ScanAfter {
+                        last_key: vec![1, 2, 255],
+                    },
+                },
+            },
+            Request::Dml {
+                sql: "INSERT INTO t VALUES (<a>)".into(),
+                params: vec![
+                    Value::Int(1).into(),
+                    vec![Value::Int(2), Value::Int(3)].into(),
+                ],
+            },
+            Request::Stats,
+        ];
+        for r in &reqs {
+            assert_eq!(&parse_request(&request_to_line(r)).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn hex_roundtrip_and_rejects() {
+        assert_eq!(
+            hex_decode(&hex_encode(&[0, 127, 255])).unwrap(),
+            vec![0, 127, 255]
+        );
+        assert!(hex_decode("abc").is_none());
+        assert!(hex_decode("zz").is_none());
+        assert!(parse_request("{\"cmd\":\"nope\"}").is_err());
+        assert!(parse_request("not json").is_err());
+    }
+}

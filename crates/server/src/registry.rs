@@ -1,0 +1,367 @@
+//! The prepared-statement registry with SLO admission control.
+//!
+//! This is the paper's success-tolerance enforced at the API boundary
+//! (§6, §10): a statement is compiled **once**, at registration, and the
+//! compile-time p99 prediction decides its fate *before any storage
+//! request is issued*:
+//!
+//! * queries the optimizer cannot bound are **rejected as unbounded**
+//!   (the Performance Insight report travels back to the client),
+//! * bounded queries whose predicted p99 violates the service SLO are
+//!   either **rejected** or — when the service allows degradation — are
+//!   **admitted with a reduced LIMIT/PAGINATE** chosen by the §6.4 advisor
+//!   (the largest result size whose prediction still meets the SLO),
+//! * everything else is **admitted** verbatim.
+//!
+//! Admission works on a *pure* compile against a catalog snapshot: no
+//! namespace creation, no index backfill, no KV round. Only an admitted
+//! statement is fully prepared (which may provision plan-derived indexes)
+//! and stored. The tests assert the zero-storage-ops property directly.
+
+use parking_lot::{Mutex, RwLock};
+use piql_core::ast::{RowBound, SelectStmt};
+use piql_core::opt::{OptError, Optimizer};
+use piql_engine::{Cursor, Database, DbError, ExecStrategy, Prepared, QueryResult};
+use piql_kv::{KvStore, LiveCluster, Session};
+use piql_predict::{Heatmap, SloPredictor, ALPHA_GRID};
+use piql_workloads::RunMetrics;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The service-level objective statements are admitted against.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// p99 response-time target, milliseconds.
+    pub slo_ms: f64,
+    /// Fraction of model intervals whose predicted p99 must meet the SLO
+    /// (§6.3: 1.0 = every interval, 0.9 = tolerate 10% volatile intervals).
+    pub interval_confidence: f64,
+    /// Degrade over-SLO statements to a smaller LIMIT instead of rejecting.
+    pub allow_degrade: bool,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            slo_ms: 100.0,
+            interval_confidence: 0.9,
+            allow_degrade: true,
+        }
+    }
+}
+
+/// The registration verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Admission {
+    /// Within SLO as written.
+    Admitted { predicted_p99_ms: f64 },
+    /// Over SLO as written; admitted with the advisor's reduced bound.
+    Degraded {
+        predicted_p99_ms: f64,
+        original_limit: u64,
+        limit: u64,
+    },
+    /// Bounded, but no feasible bound meets the SLO.
+    RejectedSlo { predicted_p99_ms: f64 },
+    /// The optimizer found no scale-independent plan; `report` is the
+    /// Performance Insight Assistant's diagnosis.
+    RejectedUnbounded { report: String },
+}
+
+impl Admission {
+    pub fn is_admitted(&self) -> bool {
+        matches!(
+            self,
+            Admission::Admitted { .. } | Admission::Degraded { .. }
+        )
+    }
+
+    pub fn verdict(&self) -> &'static str {
+        match self {
+            Admission::Admitted { .. } => "admitted",
+            Admission::Degraded { .. } => "degraded",
+            Admission::RejectedSlo { .. } => "rejected-slo",
+            Admission::RejectedUnbounded { .. } => "rejected-unbounded",
+        }
+    }
+}
+
+/// One admitted statement with its runtime accounting.
+pub struct RegisteredStatement {
+    pub name: String,
+    pub sql: String,
+    pub prepared: Prepared,
+    pub admission: Admission,
+    pub executions: AtomicU64,
+    /// Wall-clock latency samples (reuses the experiment metrics type, so
+    /// the stats endpoint reports the same quantiles the benchmarks do).
+    pub metrics: Mutex<RunMetrics>,
+}
+
+impl RegisteredStatement {
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        self.metrics.lock().quantile_ms(q)
+    }
+}
+
+/// Service counters.
+#[derive(Debug, Default)]
+pub struct RegistryCounters {
+    pub admitted: AtomicU64,
+    pub degraded: AtomicU64,
+    pub rejected_slo: AtomicU64,
+    pub rejected_unbounded: AtomicU64,
+    pub executed: AtomicU64,
+    pub exec_errors: AtomicU64,
+}
+
+/// Errors surfaced to protocol clients.
+#[derive(Debug)]
+pub enum RegistryError {
+    UnknownStatement(String),
+    Db(DbError),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownStatement(name) => {
+                write!(f, "unknown statement '{name}' (prepare it first)")
+            }
+            RegistryError::Db(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<DbError> for RegistryError {
+    fn from(e: DbError) -> Self {
+        RegistryError::Db(e)
+    }
+}
+
+/// The registry. Generic over the backend so the same service logic runs
+/// on the wall-clock [`LiveCluster`] (the default) and, in harnesses, the
+/// virtual-time simulator.
+pub struct StatementRegistry<S: KvStore = LiveCluster> {
+    db: Arc<Database<S>>,
+    predictor: SloPredictor,
+    slo: SloConfig,
+    optimizer: Optimizer,
+    statements: RwLock<BTreeMap<String, Arc<RegisteredStatement>>>,
+    pub counters: RegistryCounters,
+}
+
+impl<S: KvStore> StatementRegistry<S> {
+    pub fn new(db: Arc<Database<S>>, predictor: SloPredictor, slo: SloConfig) -> Self {
+        StatementRegistry {
+            db,
+            predictor,
+            slo,
+            optimizer: Optimizer::scale_independent(),
+            statements: RwLock::new(BTreeMap::new()),
+            counters: RegistryCounters::default(),
+        }
+    }
+
+    pub fn db(&self) -> &Arc<Database<S>> {
+        &self.db
+    }
+
+    pub fn slo(&self) -> &SloConfig {
+        &self.slo
+    }
+
+    /// Register `sql` under `name`. Returns the admission verdict; only
+    /// admitted/degraded statements become executable. Re-registering a
+    /// name replaces it — a rejected re-registration *unregisters* the
+    /// name, so a client can never execute different SQL than it last
+    /// prepared.
+    pub fn register(&self, name: &str, sql: &str) -> Result<Admission, RegistryError> {
+        let stmt = piql_core::parser::parse_select(sql)
+            .map_err(|e| RegistryError::Db(DbError::Parse(e)))?;
+        let catalog = self.db.catalog();
+
+        // Phase 1 — pure compile: no namespaces, no backfill, no KV rounds.
+        let compiled = match self.optimizer.compile(&catalog, &stmt) {
+            Ok(c) => c,
+            Err(OptError::NotScaleIndependent(report)) => {
+                self.counters
+                    .rejected_unbounded
+                    .fetch_add(1, Ordering::Relaxed);
+                self.uninstall(name);
+                return Ok(Admission::RejectedUnbounded {
+                    report: report.to_string(),
+                });
+            }
+            Err(e) => return Err(RegistryError::Db(DbError::Compile(e))),
+        };
+
+        // Phase 2 — SLO prediction (§6.2/6.3) on the compiled plan.
+        let prediction = self.predictor.predict(&compiled);
+        let p99 = prediction.max_p99_ms;
+        if prediction.meets_slo(self.slo.slo_ms, self.slo.interval_confidence) {
+            let prepared = self.db.prepare_stmt(&stmt)?;
+            self.install(
+                name,
+                sql,
+                prepared,
+                Admission::Admitted {
+                    predicted_p99_ms: p99,
+                },
+            );
+            self.counters.admitted.fetch_add(1, Ordering::Relaxed);
+            return Ok(Admission::Admitted {
+                predicted_p99_ms: p99,
+            });
+        }
+
+        // Phase 3 — advisor-guided degradation (§6.4): find the largest
+        // LIMIT/PAGINATE whose prediction still meets the SLO.
+        if self.slo.allow_degrade {
+            if let Some(bound) = stmt.bound {
+                if let Some(limit) = self.suggest_degraded_limit(&catalog, &stmt, bound.count()) {
+                    let mut degraded = stmt.clone();
+                    degraded.bound = Some(match bound {
+                        RowBound::Limit(_) => RowBound::Limit(limit),
+                        RowBound::Paginate(_) => RowBound::Paginate(limit),
+                    });
+                    let prepared = self.db.prepare_stmt(&degraded)?;
+                    let admission = Admission::Degraded {
+                        predicted_p99_ms: self.predictor.predict(&prepared.compiled).max_p99_ms,
+                        original_limit: bound.count(),
+                        limit,
+                    };
+                    self.install(name, sql, prepared, admission.clone());
+                    self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                    return Ok(admission);
+                }
+            }
+        }
+
+        self.counters.rejected_slo.fetch_add(1, Ordering::Relaxed);
+        self.uninstall(name);
+        Ok(Admission::RejectedSlo {
+            predicted_p99_ms: p99,
+        })
+    }
+
+    /// Probe smaller bounds with the §6.4 heatmap advisor. Pure compiles
+    /// only — still zero storage operations.
+    fn suggest_degraded_limit(
+        &self,
+        catalog: &piql_core::catalog::Catalog,
+        stmt: &SelectStmt,
+        original: u64,
+    ) -> Option<u64> {
+        let mut candidates: Vec<u64> = ALPHA_GRID
+            .iter()
+            .map(|&a| a as u64)
+            .filter(|&a| a < original)
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        if candidates.is_empty() {
+            return None;
+        }
+        let heatmap = Heatmap::build(
+            &self.predictor,
+            "result limit",
+            "-",
+            candidates,
+            vec![0],
+            |limit, _| {
+                let mut probe = stmt.clone();
+                probe.bound = Some(match stmt.bound {
+                    Some(RowBound::Paginate(_)) => RowBound::Paginate(limit),
+                    _ => RowBound::Limit(limit),
+                });
+                self.optimizer
+                    .compile(catalog, &probe)
+                    .expect("smaller bound of a bounded query must compile")
+            },
+        );
+        heatmap.suggest_row_limit(0, self.slo.slo_ms)
+    }
+
+    fn uninstall(&self, name: &str) {
+        self.statements.write().remove(name);
+    }
+
+    fn install(&self, name: &str, sql: &str, prepared: Prepared, admission: Admission) {
+        let statement = Arc::new(RegisteredStatement {
+            name: name.to_string(),
+            sql: sql.to_string(),
+            prepared,
+            admission,
+            executions: AtomicU64::new(0),
+            metrics: Mutex::new(RunMetrics {
+                warmup_us: 0,
+                horizon_us: u64::MAX,
+                ..Default::default()
+            }),
+        });
+        self.statements.write().insert(name.to_string(), statement);
+    }
+
+    pub fn get(&self, name: &str) -> Option<Arc<RegisteredStatement>> {
+        self.statements.read().get(name).cloned()
+    }
+
+    pub fn list(&self) -> Vec<Arc<RegisteredStatement>> {
+        self.statements.read().values().cloned().collect()
+    }
+
+    /// Execute a registered statement, recording wall-clock latency.
+    pub fn execute(
+        &self,
+        session: &mut Session,
+        name: &str,
+        params: &piql_core::plan::params::Params,
+        cursor: Option<&Cursor>,
+    ) -> Result<QueryResult, RegistryError> {
+        let statement = self
+            .get(name)
+            .ok_or_else(|| RegistryError::UnknownStatement(name.to_string()))?;
+        // start timing from *now*, not from the previous round's completion
+        // — otherwise client think-time (and, on a fresh session, the whole
+        // backend uptime) would pollute the latency quantiles
+        self.db.store().sync_session(session);
+        let start = session.begin();
+        let result = self.db.execute_with(
+            session,
+            &statement.prepared,
+            params,
+            ExecStrategy::Parallel,
+            cursor,
+        );
+        match result {
+            Ok(r) => {
+                let latency = session.elapsed_since(start);
+                statement.executions.fetch_add(1, Ordering::Relaxed);
+                statement.metrics.lock().record(start, latency, 0);
+                self.counters.executed.fetch_add(1, Ordering::Relaxed);
+                Ok(r)
+            }
+            Err(e) => {
+                self.counters.exec_errors.fetch_add(1, Ordering::Relaxed);
+                Err(RegistryError::Db(e))
+            }
+        }
+    }
+
+    /// Execute a DML statement (writes are always single-record bounded
+    /// operations, so they need no admission decision).
+    pub fn execute_dml(
+        &self,
+        session: &mut Session,
+        sql: &str,
+        params: &piql_core::plan::params::Params,
+    ) -> Result<(), RegistryError> {
+        self.db
+            .execute_dml(session, sql, params)
+            .map_err(RegistryError::Db)
+    }
+}

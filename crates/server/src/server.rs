@@ -1,0 +1,334 @@
+//! The multi-threaded TCP front-end.
+//!
+//! One OS thread per connection (the protocol is line-oriented and
+//! blocking), one engine [`Session`] per connection. All state a client
+//! needs to resume — registered statement names and pagination cursors —
+//! lives either in the shared registry or in the cursor the client holds,
+//! so reconnecting to the same (or another) server continues cleanly.
+
+use crate::json::Json;
+use crate::protocol::{
+    cursor_to_json, err_response, ok_response, parse_request, row_to_json, Request,
+};
+use crate::registry::{Admission, SloConfig, StatementRegistry};
+use parking_lot::Mutex;
+use piql_core::plan::params::Params;
+use piql_engine::Database;
+use piql_kv::{KvStore, LiveCluster, Session};
+use piql_predict::SloPredictor;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running query service.
+pub struct PiqlServer<S: KvStore + 'static = LiveCluster> {
+    registry: Arc<StatementRegistry<S>>,
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    connections: Arc<AtomicU64>,
+    /// Clones of every accepted stream, so shutdown can close them and
+    /// unblock their handler threads.
+    streams: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl<S: KvStore + 'static> PiqlServer<S> {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving.
+    pub fn start(
+        db: Arc<Database<S>>,
+        predictor: SloPredictor,
+        slo: SloConfig,
+        addr: &str,
+    ) -> io::Result<Self> {
+        let registry = Arc::new(StatementRegistry::new(db, predictor, slo));
+        Self::start_with_registry(registry, addr)
+    }
+
+    /// Start serving an externally built registry (lets callers pre-register
+    /// statements before the first client connects).
+    pub fn start_with_registry(
+        registry: Arc<StatementRegistry<S>>,
+        addr: &str,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(AtomicU64::new(0));
+        let streams: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let registry = registry.clone();
+            let shutdown = shutdown.clone();
+            let connections = connections.clone();
+            let streams = streams.clone();
+            std::thread::Builder::new()
+                .name("piql-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let stream = match stream {
+                            Ok(s) => s,
+                            Err(_) => {
+                                // transient accept failure (e.g. fd
+                                // exhaustion): back off instead of spinning
+                                std::thread::sleep(std::time::Duration::from_millis(20));
+                                continue;
+                            }
+                        };
+                        connections.fetch_add(1, Ordering::Relaxed);
+                        {
+                            let mut held = streams.lock();
+                            // drop entries whose handler already finished
+                            held.retain(|s| s.peer_addr().is_ok());
+                            if let Ok(clone) = stream.try_clone() {
+                                held.push(clone);
+                            }
+                        }
+                        let registry = registry.clone();
+                        let _ =
+                            std::thread::Builder::new()
+                                .name("piql-conn".into())
+                                .spawn(move || {
+                                    let _ = serve_connection(stream, &registry);
+                                });
+                    }
+                })?
+        };
+        Ok(PiqlServer {
+            registry,
+            local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            connections,
+            streams,
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    pub fn registry(&self) -> &Arc<StatementRegistry<S>> {
+        &self.registry
+    }
+
+    /// Connections accepted since start.
+    pub fn connection_count(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+}
+
+impl<S: KvStore + 'static> Drop for PiqlServer<S> {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // poke the listener so `incoming()` returns and observes the flag
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // close every live connection so handler threads blocked in
+        // `lines()` unblock and exit rather than outliving the server
+        for stream in self.streams.lock().drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Serve one client until EOF. Every request gets exactly one response
+/// line; protocol errors are answered (not fatal) so a client bug cannot
+/// wedge the connection out from under its own pipeline.
+fn serve_connection<S: KvStore>(
+    stream: TcpStream,
+    registry: &StatementRegistry<S>,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    let mut session = Session::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(&line, &mut session, registry);
+        writer.write_all(response.to_string().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Dispatch one request line to a response object.
+pub fn handle_line<S: KvStore>(
+    line: &str,
+    session: &mut Session,
+    registry: &StatementRegistry<S>,
+) -> Json {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return err_response(e.to_string()),
+    };
+    handle_request(&request, session, registry)
+}
+
+pub fn handle_request<S: KvStore>(
+    request: &Request,
+    session: &mut Session,
+    registry: &StatementRegistry<S>,
+) -> Json {
+    match request {
+        Request::Prepare { name, sql } => match registry.register(name, sql) {
+            Ok(admission) => {
+                let mut fields = vec![("status", Json::str(admission.verdict()))];
+                match &admission {
+                    Admission::Admitted { predicted_p99_ms } => {
+                        fields.push(("predicted_p99_ms", Json::Float(*predicted_p99_ms)));
+                    }
+                    Admission::Degraded {
+                        predicted_p99_ms,
+                        original_limit,
+                        limit,
+                    } => {
+                        fields.push(("predicted_p99_ms", Json::Float(*predicted_p99_ms)));
+                        fields.push(("original_limit", Json::Int(*original_limit as i64)));
+                        fields.push(("limit", Json::Int(*limit as i64)));
+                    }
+                    Admission::RejectedSlo { predicted_p99_ms } => {
+                        fields.push(("predicted_p99_ms", Json::Float(*predicted_p99_ms)));
+                    }
+                    Admission::RejectedUnbounded { report } => {
+                        fields.push(("report", Json::str(report.clone())));
+                    }
+                }
+                if admission.is_admitted() {
+                    let statement = registry.get(name).expect("admitted statement installed");
+                    fields.push((
+                        "columns",
+                        Json::Arr(
+                            statement
+                                .prepared
+                                .columns
+                                .iter()
+                                .map(|c| Json::str(c.clone()))
+                                .collect(),
+                        ),
+                    ));
+                    let bounds = &statement.prepared.compiled.bounds;
+                    fields.push((
+                        "bounds",
+                        Json::obj([
+                            ("requests", Json::Int(bounds.requests as i64)),
+                            ("rounds", Json::Int(bounds.rounds as i64)),
+                            ("tuples", Json::Int(bounds.tuples as i64)),
+                        ]),
+                    ));
+                }
+                ok_response(fields)
+            }
+            Err(e) => err_response(e.to_string()),
+        },
+        Request::Execute {
+            name,
+            params,
+            cursor,
+        } => run_execute(session, registry, name, params, cursor.as_ref()),
+        Request::CursorNext {
+            name,
+            params,
+            cursor,
+        } => run_execute(session, registry, name, params, Some(cursor)),
+        Request::Dml { sql, params } => {
+            let p = build_params(params);
+            match registry.execute_dml(session, sql, &p) {
+                Ok(()) => ok_response([]),
+                Err(e) => err_response(e.to_string()),
+            }
+        }
+        Request::Stats => stats_response(registry),
+    }
+}
+
+fn build_params(values: &[piql_core::plan::params::ParamValue]) -> Params {
+    let mut p = Params::new();
+    for (i, v) in values.iter().enumerate() {
+        p.set(i, v.clone());
+    }
+    p
+}
+
+fn run_execute<S: KvStore>(
+    session: &mut Session,
+    registry: &StatementRegistry<S>,
+    name: &str,
+    params: &[piql_core::plan::params::ParamValue],
+    cursor: Option<&piql_engine::Cursor>,
+) -> Json {
+    let p = build_params(params);
+    match registry.execute(session, name, &p, cursor) {
+        Ok(result) => ok_response([
+            (
+                "rows",
+                Json::Arr(
+                    result
+                        .rows
+                        .iter()
+                        .map(|t| row_to_json(t.values()))
+                        .collect(),
+                ),
+            ),
+            ("cursor", cursor_to_json(&result.cursor)),
+        ]),
+        Err(e) => err_response(e.to_string()),
+    }
+}
+
+fn stats_response<S: KvStore>(registry: &StatementRegistry<S>) -> Json {
+    let c = &registry.counters;
+    let statements: Vec<Json> = registry
+        .list()
+        .iter()
+        .map(|s| {
+            Json::obj([
+                ("name", Json::str(s.name.clone())),
+                ("status", Json::str(s.admission.verdict())),
+                (
+                    "executions",
+                    Json::Int(s.executions.load(Ordering::Relaxed) as i64),
+                ),
+                ("p50_ms", Json::Float(s.quantile_ms(0.5))),
+                ("p99_ms", Json::Float(s.quantile_ms(0.99))),
+            ])
+        })
+        .collect();
+    ok_response([
+        (
+            "admitted",
+            Json::Int(c.admitted.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "degraded",
+            Json::Int(c.degraded.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "rejected_slo",
+            Json::Int(c.rejected_slo.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "rejected_unbounded",
+            Json::Int(c.rejected_unbounded.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "executed",
+            Json::Int(c.executed.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "exec_errors",
+            Json::Int(c.exec_errors.load(Ordering::Relaxed) as i64),
+        ),
+        ("slo_ms", Json::Float(registry.slo().slo_ms)),
+        ("statements", Json::Arr(statements)),
+    ])
+}

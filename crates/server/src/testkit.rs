@@ -1,0 +1,84 @@
+//! Deterministic model stores for harnesses.
+//!
+//! A real deployment trains the §6.1 operator models by observing its
+//! store (see `piql_predict::train`). Tests, examples, and benches need
+//! something faster and fully predictable, so this module fabricates a
+//! [`ModelStore`] from a linear cost model: an operator touching `r` rows
+//! is recorded as `base_us + per_row_us * r` (with a small spread so the
+//! histograms are not degenerate). The resulting admission decisions are
+//! then exact functions of a query's compiled bounds — which is the
+//! property the success-tolerance tests pin down.
+
+use piql_predict::{ModelStore, OpKind, SloPredictor, ALPHA_GRID, BETA_GRID};
+
+/// α_j values fabricated for SortedIndexJoin keys. A subset of
+/// [`ALPHA_GRID`] so the store's ceil-lookup lands on exact entries.
+const ALPHA_J_GRID: &[u32] = &[1, 5, 10, 25, 50];
+
+/// Build a [`SloPredictor`] whose predicted latency for an operator
+/// touching `r` rows is `base_us + per_row_us * r` microseconds (±25%
+/// histogram spread), identical across `intervals` intervals.
+pub fn linear_predictor(base_us: u64, per_row_us: u64, intervals: usize) -> SloPredictor {
+    SloPredictor::new(linear_model_store(base_us, per_row_us, intervals))
+}
+
+/// The underlying store of [`linear_predictor`].
+pub fn linear_model_store(base_us: u64, per_row_us: u64, intervals: usize) -> ModelStore {
+    let mut store = ModelStore::new(intervals);
+    for interval in 0..intervals {
+        for &beta in BETA_GRID {
+            for &alpha_c in ALPHA_GRID {
+                for (op, alpha_js) in [
+                    (OpKind::IndexScan, &[1u32][..]),
+                    (OpKind::IndexFKJoin, &[1u32][..]),
+                    (OpKind::SortedIndexJoin, ALPHA_J_GRID),
+                ] {
+                    for &alpha_j in alpha_js {
+                        let key = piql_predict::ModelKey {
+                            op,
+                            alpha_c,
+                            alpha_j,
+                            beta,
+                        };
+                        let rows = alpha_c as u64 * alpha_j as u64;
+                        let us = base_us + per_row_us * rows;
+                        store.record(interval, key, us);
+                        store.record(interval, key, us + us / 10);
+                        store.record(interval, key, us + us / 4);
+                    }
+                }
+            }
+        }
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabricated_store_scales_linearly_with_rows() {
+        let store = linear_model_store(200, 100, 2);
+        let h = |alpha_c: u32, alpha_j: u32, op| {
+            store
+                .lookup(
+                    0,
+                    piql_predict::ModelKey {
+                        op,
+                        alpha_c,
+                        alpha_j,
+                        beta: 40,
+                    },
+                )
+                .expect("key present")
+                .to_distribution()
+                .quantile_ms(0.99)
+        };
+        let small = h(10, 1, OpKind::IndexScan);
+        let large = h(100, 1, OpKind::IndexScan);
+        assert!(large > small * 5.0, "{large} vs {small}");
+        let join = h(100, 10, OpKind::SortedIndexJoin);
+        assert!(join > large * 5.0, "{join} vs {large}");
+    }
+}

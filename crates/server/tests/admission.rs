@@ -1,0 +1,250 @@
+//! Admission control: the success-tolerant service boundary.
+//!
+//! Pins the acceptance property: a statement whose predicted p99 exceeds
+//! the SLO is rejected (or degraded) **without issuing a single storage
+//! operation** — `LiveCluster::op_count` must not move on rejection.
+
+use piql_engine::Database;
+use piql_kv::{LiveCluster, LiveConfig, Session};
+use piql_server::testkit::linear_predictor;
+use piql_server::{Admission, SloConfig, StatementRegistry};
+use piql_workloads::scadr::{self, ScadrConfig};
+use std::sync::Arc;
+
+const THOUGHTSTREAM: &str = "SELECT thoughts.* FROM subscriptions s JOIN thoughts \
+     WHERE thoughts.owner = s.target AND s.owner = <u> AND s.approved = true \
+     ORDER BY thoughts.timestamp DESC LIMIT 10";
+
+fn scadr_db(max_subscriptions: u64) -> (Arc<LiveCluster>, Arc<Database<LiveCluster>>) {
+    let cluster = Arc::new(LiveCluster::new(LiveConfig::default()));
+    let db = Arc::new(Database::new(cluster.clone()));
+    let config = ScadrConfig {
+        users_per_node: 30,
+        thoughts_per_user: 12,
+        subscriptions_per_user: 5,
+        max_subscriptions,
+        ..Default::default()
+    };
+    scadr::setup(&db, &config, 2).unwrap();
+    (cluster, db)
+}
+
+/// With a 0.1 ms/row linear model: find_user costs ~0.4ms, the
+/// thoughtstream with a 100-subscription constraint costs ~110ms.
+fn registry(
+    db: Arc<Database<LiveCluster>>,
+    slo_ms: f64,
+    allow_degrade: bool,
+) -> StatementRegistry<LiveCluster> {
+    StatementRegistry::new(
+        db,
+        linear_predictor(200, 100, 3),
+        SloConfig {
+            slo_ms,
+            interval_confidence: 1.0,
+            allow_degrade,
+        },
+    )
+}
+
+#[test]
+fn cheap_statement_is_admitted_and_executes() {
+    let (_cluster, db) = scadr_db(100);
+    let reg = registry(db, 80.0, true);
+    let verdict = reg
+        .register("find_user", "SELECT * FROM users WHERE username = <u>")
+        .unwrap();
+    match verdict {
+        Admission::Admitted { predicted_p99_ms } => {
+            assert!(predicted_p99_ms < 80.0, "{predicted_p99_ms}")
+        }
+        other => panic!("expected admission, got {other:?}"),
+    }
+    let mut session = Session::new();
+    let mut params = piql_core::plan::params::Params::new();
+    params.set(0, piql_core::value::Value::Varchar(scadr::username(3)));
+    let result = reg
+        .execute(&mut session, "find_user", &params, None)
+        .unwrap();
+    assert_eq!(result.rows.len(), 1);
+    assert_eq!(
+        reg.counters
+            .executed
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+}
+
+#[test]
+fn over_slo_statement_is_degraded_via_the_advisor() {
+    let (_cluster, db) = scadr_db(100);
+    let reg = registry(db, 80.0, true);
+    let verdict = reg.register("thoughtstream", THOUGHTSTREAM).unwrap();
+    let limit = match verdict {
+        Admission::Degraded {
+            predicted_p99_ms,
+            original_limit,
+            limit,
+        } => {
+            assert_eq!(original_limit, 10);
+            assert!(limit < 10, "degraded limit must shrink, got {limit}");
+            assert!(
+                predicted_p99_ms <= 80.0,
+                "degraded prediction {predicted_p99_ms} must meet the SLO"
+            );
+            limit
+        }
+        other => panic!("expected degradation, got {other:?}"),
+    };
+    // the degraded bound is enforced at execution
+    let mut session = Session::new();
+    let mut params = piql_core::plan::params::Params::new();
+    params.set(0, piql_core::value::Value::Varchar(scadr::username(1)));
+    let result = reg
+        .execute(&mut session, "thoughtstream", &params, None)
+        .unwrap();
+    assert!(
+        result.rows.len() as u64 <= limit,
+        "{} rows > degraded limit {limit}",
+        result.rows.len()
+    );
+}
+
+#[test]
+fn unbounded_statement_is_rejected_with_zero_storage_operations() {
+    let (cluster, db) = scadr_db(100);
+    let reg = registry(db, 80.0, true);
+    let ops_before = cluster.op_count();
+    let verdict = reg
+        .register("grep_thoughts", "SELECT * FROM thoughts WHERE text = <t>")
+        .unwrap();
+    match &verdict {
+        Admission::RejectedUnbounded { report } => {
+            assert!(
+                report.contains("not scale-independent"),
+                "insight report travels with the rejection: {report}"
+            );
+        }
+        other => panic!("expected unbounded rejection, got {other:?}"),
+    }
+    assert_eq!(
+        cluster.op_count(),
+        ops_before,
+        "rejection must not issue any storage operation"
+    );
+    // and the statement is not executable
+    let mut session = Session::new();
+    let err = reg
+        .execute(
+            &mut session,
+            "grep_thoughts",
+            &piql_core::plan::params::Params::new(),
+            None,
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("unknown statement"));
+}
+
+#[test]
+fn infeasible_slo_rejects_with_zero_storage_operations() {
+    let (cluster, db) = scadr_db(100);
+    // 10ms SLO: even LIMIT 1 costs ~(100 + 100·1) rows ≈ 20ms+
+    let reg = registry(db, 10.0, true);
+    let ops_before = cluster.op_count();
+    let verdict = reg.register("thoughtstream", THOUGHTSTREAM).unwrap();
+    match verdict {
+        Admission::RejectedSlo { predicted_p99_ms } => {
+            assert!(predicted_p99_ms > 10.0, "{predicted_p99_ms}")
+        }
+        other => panic!("expected SLO rejection, got {other:?}"),
+    }
+    assert_eq!(
+        cluster.op_count(),
+        ops_before,
+        "SLO rejection (including the advisor's degradation probes) \
+         must not issue any storage operation"
+    );
+    assert!(reg.get("thoughtstream").is_none());
+}
+
+#[test]
+fn degradation_disabled_rejects_instead() {
+    let (cluster, db) = scadr_db(100);
+    let reg = registry(db, 80.0, false);
+    let ops_before = cluster.op_count();
+    let verdict = reg.register("thoughtstream", THOUGHTSTREAM).unwrap();
+    assert!(
+        matches!(verdict, Admission::RejectedSlo { .. }),
+        "got {verdict:?}"
+    );
+    assert_eq!(cluster.op_count(), ops_before);
+}
+
+#[test]
+fn counters_track_every_verdict() {
+    let (_cluster, db) = scadr_db(100);
+    let reg = registry(db, 80.0, true);
+    reg.register("q1", "SELECT * FROM users WHERE username = <u>")
+        .unwrap();
+    reg.register("q2", THOUGHTSTREAM).unwrap();
+    reg.register("q3", "SELECT * FROM thoughts WHERE text = <t>")
+        .unwrap();
+    let c = &reg.counters;
+    use std::sync::atomic::Ordering::Relaxed;
+    assert_eq!(c.admitted.load(Relaxed), 1);
+    assert_eq!(c.degraded.load(Relaxed), 1);
+    assert_eq!(c.rejected_unbounded.load(Relaxed), 1);
+    assert_eq!(c.rejected_slo.load(Relaxed), 0);
+}
+
+#[test]
+fn rejected_reregistration_unregisters_the_old_statement() {
+    let (_cluster, db) = scadr_db(100);
+    let reg = registry(db, 80.0, true);
+    reg.register("q", "SELECT * FROM users WHERE username = <u>")
+        .unwrap();
+    assert!(reg.get("q").is_some());
+    // re-register the same name with SQL that gets rejected
+    let verdict = reg
+        .register("q", "SELECT * FROM thoughts WHERE text = <t>")
+        .unwrap();
+    assert!(matches!(verdict, Admission::RejectedUnbounded { .. }));
+    assert!(
+        reg.get("q").is_none(),
+        "a rejected re-registration must not leave the stale statement executable"
+    );
+    let mut session = Session::new();
+    let err = reg
+        .execute(
+            &mut session,
+            "q",
+            &piql_core::plan::params::Params::new(),
+            None,
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("unknown statement"));
+}
+
+#[test]
+fn latency_metrics_exclude_backend_uptime_and_client_think_time() {
+    let (_cluster, db) = scadr_db(100);
+    // let the backend age before the first execution
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    let reg = registry(db, 80.0, true);
+    reg.register("find_user", "SELECT * FROM users WHERE username = <u>")
+        .unwrap();
+    let mut session = Session::new();
+    let mut params = piql_core::plan::params::Params::new();
+    params.set(0, piql_core::value::Value::Varchar(scadr::username(3)));
+    reg.execute(&mut session, "find_user", &params, None)
+        .unwrap();
+    // think time between requests must not count as query latency
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    reg.execute(&mut session, "find_user", &params, None)
+        .unwrap();
+    let p_max = reg.get("find_user").unwrap().quantile_ms(1.0);
+    assert!(
+        p_max < 25.0,
+        "recorded max latency {p_max}ms includes uptime or think time"
+    );
+}

@@ -1,0 +1,292 @@
+//! End-to-end TCP protocol tests against a `LiveCluster`-backed server:
+//! pagination cursors surviving reconnects, per-statement stats, and the
+//! acceptance criterion — ≥8 concurrent client threads completing a
+//! TPC-W-style mix with correct results and no deadlocks/panics.
+
+use piql_core::plan::params::ParamValue;
+use piql_core::value::Value;
+use piql_engine::Database;
+use piql_kv::{LiveCluster, LiveConfig};
+use piql_server::testkit::linear_predictor;
+use piql_server::{Client, Json, PiqlServer, SloConfig};
+use piql_workloads::scadr::{self, ScadrConfig};
+use piql_workloads::tpcw::{self, TpcwConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn permissive_slo() -> SloConfig {
+    SloConfig {
+        slo_ms: 1e9,
+        interval_confidence: 1.0,
+        allow_degrade: false,
+    }
+}
+
+fn start_scadr_server() -> (Arc<Database<LiveCluster>>, PiqlServer) {
+    let cluster = Arc::new(LiveCluster::new(LiveConfig::default()));
+    let db = Arc::new(Database::new(cluster));
+    let config = ScadrConfig {
+        users_per_node: 20,
+        thoughts_per_user: 11,
+        subscriptions_per_user: 4,
+        ..Default::default()
+    };
+    scadr::setup(&db, &config, 2).unwrap();
+    let server = PiqlServer::start(
+        db.clone(),
+        linear_predictor(200, 100, 2),
+        permissive_slo(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    (db, server)
+}
+
+fn uname_param(i: usize) -> Vec<ParamValue> {
+    vec![Value::Varchar(scadr::username(i)).into()]
+}
+
+#[test]
+fn cursors_survive_reconnects() {
+    let (db, server) = start_scadr_server();
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).unwrap();
+    let verdict = client
+        .prepare(
+            "stream",
+            "SELECT * FROM thoughts WHERE owner = <u> ORDER BY timestamp DESC PAGINATE 4",
+        )
+        .unwrap();
+    assert_eq!(
+        verdict.get("status").and_then(Json::as_str),
+        Some("admitted")
+    );
+
+    // page 1 on the first connection
+    let page1 = client.execute("stream", &uname_param(7), None).unwrap();
+    assert_eq!(page1.rows.len(), 4);
+    let cursor = page1.cursor.clone().expect("more pages");
+    drop(client);
+
+    // resume on a brand-new connection — the cursor is the only state
+    let mut client2 = Client::connect(addr).unwrap();
+    let mut rows = page1.rows;
+    let mut cursor = Some(cursor);
+    while let Some(c) = cursor {
+        let page = client2.cursor_next("stream", &uname_param(7), c).unwrap();
+        if page.rows.is_empty() {
+            break;
+        }
+        rows.extend(page.rows);
+        cursor = page.cursor;
+    }
+
+    // exactly the full ordered result, once each
+    let direct = {
+        let prepared = db
+            .prepare("SELECT * FROM thoughts WHERE owner = <u> ORDER BY timestamp DESC LIMIT 100")
+            .unwrap();
+        let mut params = piql_core::plan::params::Params::new();
+        params.set(0, Value::Varchar(scadr::username(7)));
+        let mut session = piql_kv::Session::new();
+        db.execute(&mut session, &prepared, &params).unwrap().rows
+    };
+    assert_eq!(rows.len(), 11);
+    assert_eq!(rows, direct);
+}
+
+#[test]
+fn stats_report_counters_and_latency() {
+    let (_db, server) = start_scadr_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .prepare("find_user", "SELECT * FROM users WHERE username = <u>")
+        .unwrap();
+    for i in 0..5 {
+        let page = client.execute("find_user", &uname_param(i), None).unwrap();
+        assert_eq!(page.rows.len(), 1);
+    }
+    // a rejection shows up in the counters too
+    let rejected = client
+        .prepare("grep", "SELECT * FROM thoughts WHERE text = <t>")
+        .unwrap();
+    assert_eq!(
+        rejected.get("status").and_then(Json::as_str),
+        Some("rejected-unbounded")
+    );
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("admitted").and_then(Json::as_i64), Some(1));
+    assert_eq!(
+        stats.get("rejected_unbounded").and_then(Json::as_i64),
+        Some(1)
+    );
+    assert_eq!(stats.get("executed").and_then(Json::as_i64), Some(5));
+    let statements = stats.get("statements").and_then(Json::as_arr).unwrap();
+    assert_eq!(statements.len(), 1);
+    assert_eq!(
+        statements[0].get("executions").and_then(Json::as_i64),
+        Some(5)
+    );
+    assert!(statements[0].get("p99_ms").and_then(Json::as_f64).unwrap() >= 0.0);
+}
+
+#[test]
+fn malformed_lines_get_error_responses_not_disconnects() {
+    let (_db, server) = start_scadr_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for bad in ["not json", "{\"cmd\":\"nope\"}", "{\"cmd\":\"execute\"}"] {
+        use std::io::Write;
+        let mut raw = client.raw_stream().unwrap();
+        raw.write_all(bad.as_bytes()).unwrap();
+        raw.write_all(b"\n").unwrap();
+        raw.flush().unwrap();
+        let response = client.raw_read_line().unwrap();
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "line {bad:?} must produce an error response"
+        );
+    }
+    // the connection still works
+    let stats = client.stats().unwrap();
+    assert!(stats.get("admitted").is_some());
+}
+
+/// The acceptance criterion: ≥8 concurrent client threads against
+/// `LiveCluster` through TCP, TPC-W-style mix, correct results, no
+/// deadlocks/panics.
+#[test]
+fn concurrent_tpcw_mix_over_tcp() {
+    let cluster = Arc::new(LiveCluster::new(LiveConfig::default()));
+    let db = Arc::new(Database::new(cluster));
+    let tpcw_config = TpcwConfig {
+        items: 30,
+        customers_per_node: 25,
+        orders_per_customer: 2,
+        ..Default::default()
+    };
+    let (n_customers, n_items, n_orders) = tpcw::setup(&db, &tpcw_config, 2).unwrap();
+    let server = PiqlServer::start(
+        db,
+        linear_predictor(150, 40, 2),
+        permissive_slo(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // register the statements once, up front
+    {
+        let mut admin = Client::connect(addr).unwrap();
+        for (name, sql) in tpcw::TABLE1_SQL {
+            let verdict = admin.prepare(name, sql).unwrap();
+            assert_eq!(
+                verdict.get("status").and_then(Json::as_str),
+                Some("admitted"),
+                "{name}"
+            );
+        }
+    }
+
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut rng = StdRng::seed_from_u64(0xC0DE + t as u64);
+                for _ in 0..25 {
+                    match rng.gen_range(0..5u32) {
+                        0 => {
+                            let i = rng.gen_range(0..n_customers);
+                            let uname = tpcw::customer_uname(i);
+                            let page = client
+                                .execute("Home WI", &[Value::Varchar(uname.clone()).into()], None)
+                                .unwrap();
+                            assert_eq!(page.rows.len(), 1, "one customer row");
+                            assert_eq!(
+                                page.rows[0].get(0),
+                                Some(&Value::Varchar(uname)),
+                                "right customer came back"
+                            );
+                        }
+                        1 => {
+                            let item = rng.gen_range(0..n_items) as i32;
+                            let page = client
+                                .execute("Product Detail WI", &[Value::Int(item).into()], None)
+                                .unwrap();
+                            assert_eq!(page.rows.len(), 1);
+                            assert_eq!(page.rows[0].get(0), Some(&Value::Int(item)));
+                        }
+                        2 => {
+                            let uname = tpcw::customer_uname(rng.gen_range(0..n_customers));
+                            let page = client
+                                .execute(
+                                    "Order Display WI Get Last Order",
+                                    &[Value::Varchar(uname).into()],
+                                    None,
+                                )
+                                .unwrap();
+                            assert!(page.rows.len() <= 1);
+                        }
+                        3 => {
+                            let surname = tpcw::SURNAMES[rng.gen_range(0..tpcw::SURNAMES.len())];
+                            let page = client
+                                .execute(
+                                    "Search By Author WI",
+                                    &[Value::Varchar(surname.to_string()).into()],
+                                    None,
+                                )
+                                .unwrap();
+                            assert!(page.rows.len() <= 50, "LIMIT respected");
+                        }
+                        _ => {
+                            // the updating interaction: add a cart line, read
+                            // it back through the Buy Request query
+                            let cart = t * 1_000_000 + rng.gen_range(0..900_000);
+                            let item = rng.gen_range(0..n_items) as i32;
+                            client
+                                .dml(
+                                    "INSERT INTO shopping_cart_line \
+                                     (scl_sc_id, scl_i_id, scl_qty) VALUES (<c>, <i>, <q>)",
+                                    &[
+                                        Value::Int(cart).into(),
+                                        Value::Int(item).into(),
+                                        Value::Int(1).into(),
+                                    ],
+                                )
+                                .unwrap();
+                            let page = client
+                                .execute("Buy Request WI", &[Value::Int(cart).into()], None)
+                                .unwrap();
+                            assert_eq!(page.rows.len(), 1, "own write visible");
+                        }
+                    }
+                }
+                // every thread checks the order-line join once with a known id
+                let order = tpcw::initial_order_id((t as usize) % n_orders.max(1), n_orders);
+                let page = client
+                    .execute(
+                        "Order Display WI Get OrderLines",
+                        &[Value::Int(order).into()],
+                        None,
+                    )
+                    .unwrap();
+                assert!(!page.rows.is_empty(), "initial orders have lines");
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("no thread panicked");
+    }
+
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    let executed = stats.get("executed").and_then(Json::as_i64).unwrap();
+    assert!(
+        executed >= 8 * 25,
+        "every interaction completed: {executed}"
+    );
+    assert_eq!(stats.get("exec_errors").and_then(Json::as_i64), Some(0));
+    assert!(server.connection_count() >= 10);
+}

@@ -123,11 +123,7 @@ mod tests {
         ) -> Result<usize, DbError> {
             let mut params = Params::new();
             params.set(0, Value::Int(rng.gen_range(0..100)));
-            db.query(
-                session,
-                "SELECT * FROM kv WHERE k = <k>",
-                &params,
-            )?;
+            db.query(session, "SELECT * FROM kv WHERE k = <k>", &params)?;
             Ok(0)
         }
     }
@@ -141,7 +137,8 @@ mod tests {
             let db = Database::new(cluster);
             db.execute_ddl("CREATE TABLE kv (k INT, v VARCHAR(16), PRIMARY KEY (k))")
                 .unwrap();
-            db.bulk_load("kv", (0..100).map(|i| tuple![i, "x"])).unwrap();
+            db.bulk_load("kv", (0..100).map(|i| tuple![i, "x"]))
+                .unwrap();
             db.cluster().rebalance();
             let cfg = DriverConfig {
                 sessions: 4,

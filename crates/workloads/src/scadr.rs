@@ -11,7 +11,7 @@ use piql_core::plan::params::Params;
 use piql_core::tuple::Tuple;
 use piql_core::value::Value;
 use piql_engine::{Database, DbError, ExecStrategy, Prepared};
-use piql_kv::Session;
+use piql_kv::{KvStore, Session};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -115,7 +115,11 @@ pub fn username(i: usize) -> String {
 
 /// Create schema and load data for an `n_nodes`-node cluster (data per
 /// node constant, §8.4.2).
-pub fn setup(db: &Database, config: &ScadrConfig, n_nodes: usize) -> Result<usize, DbError> {
+pub fn setup<S: KvStore>(
+    db: &Database<S>,
+    config: &ScadrConfig,
+    n_nodes: usize,
+) -> Result<usize, DbError> {
     for stmt in ddl(config) {
         db.execute_ddl(&stmt)?;
     }
@@ -188,7 +192,11 @@ pub const KIND_HOME_PAGE: usize = 0;
 pub const KIND_HOME_WITH_POST: usize = 1;
 
 impl ScadrWorkload {
-    pub fn new(db: &Database, config: &ScadrConfig, n_users: usize) -> Result<Self, DbError> {
+    pub fn new<S: KvStore>(
+        db: &Database<S>,
+        config: &ScadrConfig,
+        n_users: usize,
+    ) -> Result<Self, DbError> {
         let q = queries(config);
         Ok(ScadrWorkload {
             n_users,
@@ -237,7 +245,13 @@ impl Workload for ScadrWorkload {
         let mut p_other = Params::new();
         p_other.set(0, Value::Varchar(other));
 
-        db.execute_with(session, &self.prepared.users_followed, &p_me, strategy, None)?;
+        db.execute_with(
+            session,
+            &self.prepared.users_followed,
+            &p_me,
+            strategy,
+            None,
+        )?;
         db.execute_with(
             session,
             &self.prepared.recent_thoughts,
@@ -251,7 +265,10 @@ impl Workload for ScadrWorkload {
         if rng.gen_bool(self.post_probability) {
             let mut p = Params::new();
             p.set(0, Value::Varchar(me));
-            p.set(1, Value::Timestamp(session.now as i64 + rng.gen_range(0..1000)));
+            p.set(
+                1,
+                Value::Timestamp(session.now as i64 + rng.gen_range(0..1000i64)),
+            );
             p.set(2, Value::Varchar("a fresh thought".into()));
             // ignore pk collisions from the synthetic timestamp
             let _ = db.execute_dml(session, &self.post_sql, &p);

@@ -20,7 +20,7 @@ use piql_core::plan::params::Params;
 use piql_core::tuple::Tuple;
 use piql_core::value::Value;
 use piql_engine::{Database, DbError, ExecStrategy, Prepared};
-use piql_kv::Session;
+use piql_kv::{KvStore, Session};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicI64, Ordering};
@@ -49,27 +49,92 @@ impl Default for TpcwConfig {
     }
 }
 
-const SUBJECTS: [&str; 24] = [
-    "ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS", "COOKING", "HEALTH", "HISTORY",
-    "HOME", "HUMOR", "LITERATURE", "MYSTERY", "NONFICTION", "PARENTING", "POLITICS", "REFERENCE",
-    "RELIGION", "ROMANCE", "SELFHELP", "SCIENCE", "SCIFI", "SPORTS", "TRAVEL", "YOUTH",
+pub const SUBJECTS: [&str; 24] = [
+    "ARTS",
+    "BIOGRAPHIES",
+    "BUSINESS",
+    "CHILDREN",
+    "COMPUTERS",
+    "COOKING",
+    "HEALTH",
+    "HISTORY",
+    "HOME",
+    "HUMOR",
+    "LITERATURE",
+    "MYSTERY",
+    "NONFICTION",
+    "PARENTING",
+    "POLITICS",
+    "REFERENCE",
+    "RELIGION",
+    "ROMANCE",
+    "SELFHELP",
+    "SCIENCE",
+    "SCIFI",
+    "SPORTS",
+    "TRAVEL",
+    "YOUTH",
 ];
 
-const TITLE_WORDS: [&str; 40] = [
+pub const TITLE_WORDS: [&str; 40] = [
     "shadow", "river", "empire", "garden", "winter", "summer", "night", "crystal", "silent",
     "broken", "golden", "hidden", "lost", "ancient", "burning", "frozen", "scarlet", "emerald",
     "iron", "velvet", "thunder", "whisper", "raven", "falcon", "harbor", "meadow", "canyon",
-    "ember", "willow", "stone", "glass", "paper", "copper", "silver", "marble", "cedar",
-    "amber", "ivory", "cobalt", "crimson",
+    "ember", "willow", "stone", "glass", "paper", "copper", "silver", "marble", "cedar", "amber",
+    "ivory", "cobalt", "crimson",
 ];
 
-const SURNAMES: [&str; 50] = [
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
-    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
-    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
-    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
-    "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker", "Hall",
-    "Rivera", "Campbell", "Mitchell", "Carter", "Roberts",
+pub const SURNAMES: [&str; 50] = [
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Perez",
+    "Thompson",
+    "White",
+    "Harris",
+    "Sanchez",
+    "Clark",
+    "Ramirez",
+    "Lewis",
+    "Robinson",
+    "Walker",
+    "Young",
+    "Allen",
+    "King",
+    "Wright",
+    "Scott",
+    "Torres",
+    "Nguyen",
+    "Hill",
+    "Flores",
+    "Green",
+    "Adams",
+    "Nelson",
+    "Baker",
+    "Hall",
+    "Rivera",
+    "Campbell",
+    "Mitchell",
+    "Carter",
+    "Roberts",
 ];
 
 /// TPC-W DDL.
@@ -149,8 +214,8 @@ pub fn spread_id(seq: i64) -> i32 {
 
 /// Create schema and load data for an `n_nodes`-node cluster.
 /// Returns (customers, items, initial orders).
-pub fn setup(
-    db: &Database,
+pub fn setup<S: KvStore>(
+    db: &Database<S>,
     config: &TpcwConfig,
     n_nodes: usize,
 ) -> Result<(usize, usize, usize), DbError> {
@@ -164,12 +229,7 @@ pub fn setup(
 
     db.bulk_load(
         "country",
-        (0..92).map(|i| {
-            Tuple::new(vec![
-                Value::Int(i),
-                Value::Varchar(format!("country {i}")),
-            ])
-        }),
+        (0..92).map(|i| Tuple::new(vec![Value::Int(i), Value::Varchar(format!("country {i}"))])),
     )?;
     db.bulk_load(
         "address",
@@ -290,49 +350,83 @@ pub struct TpcwQueries {
     pub buy_request_cart: Prepared,
 }
 
+/// The Table-1 TPC-W query texts, in the paper's row order. Exposed so
+/// service harnesses can register the same queries through an API that
+/// takes PIQL text (e.g. `piql-server`'s `prepare`).
+pub const TABLE1_SQL: &[(&str, &str)] = &[
+    ("Home WI", "SELECT * FROM customer WHERE c_uname = <uname>"),
+    (
+        "Home WI (promotions)",
+        "SELECT i_id, i_title FROM item WHERE i_id IN [1: promo MAX 5]",
+    ),
+    (
+        "New Products WI",
+        "SELECT i_id, i_title, a_fname, a_lname FROM item, author \
+         WHERE i_a_id = a_id AND i_subject LIKE [1: subject] \
+         ORDER BY i_pub_date DESC LIMIT 50",
+    ),
+    (
+        "Product Detail WI",
+        "SELECT i.*, a.a_fname, a.a_lname FROM item i JOIN author a \
+         WHERE i.i_id = <item> AND a.a_id = i.i_a_id",
+    ),
+    (
+        "Search By Author WI",
+        "SELECT i_title, i_id, a_fname, a_lname FROM author a JOIN item i \
+         WHERE a.a_lname LIKE [1: name] AND i.i_a_id = a.a_id \
+         ORDER BY i_title LIMIT 50",
+    ),
+    (
+        "Search By Title WI",
+        "SELECT I_TITLE, I_ID, A_FNAME, A_LNAME FROM ITEM, AUTHOR \
+         WHERE I_A_ID = A_ID AND I_TITLE LIKE [1: titleWord] \
+         ORDER BY I_TITLE LIMIT 50",
+    ),
+    (
+        "Order Display WI Get Customer",
+        "SELECT c.*, a.addr_street, a.addr_city, co.co_name \
+         FROM customer c JOIN address a JOIN country co \
+         WHERE c.c_uname = <uname> AND a.addr_id = c.c_addr_id \
+           AND co.co_id = a.addr_co_id",
+    ),
+    (
+        "Order Display WI Get Last Order",
+        "SELECT * FROM orders WHERE o_c_uname = <uname> \
+         ORDER BY o_date_time DESC LIMIT 1",
+    ),
+    (
+        "Order Display WI Get OrderLines",
+        "SELECT ol.*, i.i_title FROM order_line ol JOIN item i \
+         WHERE ol.ol_o_id = <order> AND i.i_id = ol.ol_i_id",
+    ),
+    (
+        "Buy Request WI",
+        "SELECT scl.*, i.i_title, i.i_cost FROM shopping_cart_line scl JOIN item i \
+         WHERE scl.scl_sc_id = <cart> AND i.i_id = scl.scl_i_id",
+    ),
+];
+
+fn table1(label: &str) -> &'static str {
+    TABLE1_SQL
+        .iter()
+        .find(|(l, _)| *l == label)
+        .map(|(_, sql)| *sql)
+        .expect("known Table-1 label")
+}
+
 impl TpcwQueries {
-    pub fn prepare(db: &Database) -> Result<Self, DbError> {
+    pub fn prepare<S: KvStore>(db: &Database<S>) -> Result<Self, DbError> {
         Ok(TpcwQueries {
-            home_customer: db.prepare("SELECT * FROM customer WHERE c_uname = <uname>")?,
-            home_promotions: db
-                .prepare("SELECT i_id, i_title FROM item WHERE i_id IN [1: promo MAX 5]")?,
-            new_products: db.prepare(
-                "SELECT i_id, i_title, a_fname, a_lname FROM item, author \
-                 WHERE i_a_id = a_id AND i_subject LIKE [1: subject] \
-                 ORDER BY i_pub_date DESC LIMIT 50",
-            )?,
-            product_detail: db.prepare(
-                "SELECT i.*, a.a_fname, a.a_lname FROM item i JOIN author a \
-                 WHERE i.i_id = <item> AND a.a_id = i.i_a_id",
-            )?,
-            search_by_author: db.prepare(
-                "SELECT i_title, i_id, a_fname, a_lname FROM author a JOIN item i \
-                 WHERE a.a_lname LIKE [1: name] AND i.i_a_id = a.a_id \
-                 ORDER BY i_title LIMIT 50",
-            )?,
-            search_by_title: db.prepare(
-                "SELECT I_TITLE, I_ID, A_FNAME, A_LNAME FROM ITEM, AUTHOR \
-                 WHERE I_A_ID = A_ID AND I_TITLE LIKE [1: titleWord] \
-                 ORDER BY I_TITLE LIMIT 50",
-            )?,
-            order_display_customer: db.prepare(
-                "SELECT c.*, a.addr_street, a.addr_city, co.co_name \
-                 FROM customer c JOIN address a JOIN country co \
-                 WHERE c.c_uname = <uname> AND a.addr_id = c.c_addr_id \
-                   AND co.co_id = a.addr_co_id",
-            )?,
-            order_display_last_order: db.prepare(
-                "SELECT * FROM orders WHERE o_c_uname = <uname> \
-                 ORDER BY o_date_time DESC LIMIT 1",
-            )?,
-            order_display_lines: db.prepare(
-                "SELECT ol.*, i.i_title FROM order_line ol JOIN item i \
-                 WHERE ol.ol_o_id = <order> AND i.i_id = ol.ol_i_id",
-            )?,
-            buy_request_cart: db.prepare(
-                "SELECT scl.*, i.i_title, i.i_cost FROM shopping_cart_line scl JOIN item i \
-                 WHERE scl.scl_sc_id = <cart> AND i.i_id = scl.scl_i_id",
-            )?,
+            home_customer: db.prepare(table1("Home WI"))?,
+            home_promotions: db.prepare(table1("Home WI (promotions)"))?,
+            new_products: db.prepare(table1("New Products WI"))?,
+            product_detail: db.prepare(table1("Product Detail WI"))?,
+            search_by_author: db.prepare(table1("Search By Author WI"))?,
+            search_by_title: db.prepare(table1("Search By Title WI"))?,
+            order_display_customer: db.prepare(table1("Order Display WI Get Customer"))?,
+            order_display_last_order: db.prepare(table1("Order Display WI Get Last Order"))?,
+            order_display_lines: db.prepare(table1("Order Display WI Get OrderLines"))?,
+            buy_request_cart: db.prepare(table1("Buy Request WI"))?,
         })
     }
 
@@ -346,8 +440,14 @@ impl TpcwQueries {
             ("Product Detail WI", &self.product_detail),
             ("Search By Author WI", &self.search_by_author),
             ("Search By Title WI", &self.search_by_title),
-            ("Order Display WI Get Customer", &self.order_display_customer),
-            ("Order Display WI Get Last Order", &self.order_display_last_order),
+            (
+                "Order Display WI Get Customer",
+                &self.order_display_customer,
+            ),
+            (
+                "Order Display WI Get Last Order",
+                &self.order_display_last_order,
+            ),
             ("Order Display WI Get OrderLines", &self.order_display_lines),
             ("Buy Request WI", &self.buy_request_cart),
         ]
@@ -374,8 +474,8 @@ pub struct TpcwWorkload {
 }
 
 impl TpcwWorkload {
-    pub fn new(
-        db: &Database,
+    pub fn new<S: KvStore>(
+        db: &Database<S>,
         n_customers: usize,
         n_items: usize,
         n_orders: usize,
@@ -618,8 +718,7 @@ mod tests {
         setup(&db, &small_config(), 2).unwrap();
         TpcwQueries::prepare(&db).unwrap();
         let catalog = db.catalog();
-        let index_names: Vec<String> =
-            catalog.indexes().map(|i| i.name.clone()).collect();
+        let index_names: Vec<String> = catalog.indexes().map(|i| i.name.clone()).collect();
         // §8.2: the compiler creates 5 indexes beyond primary keys; ours:
         // items by (token(subject), pub_date), items by (token(title), title),
         // items by (a_id, title), orders by (c_uname, date), and the author

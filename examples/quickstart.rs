@@ -73,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "static bound:    ≤{} key/value requests, ≤{} tuples per page",
         inbox.compiled.bounds.requests, inbox.compiled.bounds.tuples
     );
-    println!("physical plan:\n{}", inbox.compiled.physical.display_with(&inbox.compiled.schema));
+    println!(
+        "physical plan:\n{}",
+        inbox.compiled.physical.display_with(&inbox.compiled.schema)
+    );
 
     // Execute page 1, then resume from a serialized cursor — the cursor can
     // be shipped to a browser and back (§4.1); servers stay stateless.
@@ -97,7 +100,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ExecStrategy::Parallel,
         Some(&cursor),
     )?;
-    println!("page 2: {} rows; first row: {}", page2.rows.len(), page2.rows[0]);
+    println!(
+        "page 2: {} rows; first row: {}",
+        page2.rows.len(),
+        page2.rows[0]
+    );
 
     // A query the compiler refuses — with an explanation and a fix.
     let err = db

@@ -36,9 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", prepared.compiled.explain());
     println!(
         "static bounds: ≤{} requests / ≤{} round trips / {}",
-        prepared.compiled.bounds.requests,
-        prepared.compiled.bounds.rounds,
-        prepared.compiled.class,
+        prepared.compiled.bounds.requests, prepared.compiled.bounds.rounds, prepared.compiled.class,
     );
 
     // ---- execute it
@@ -61,9 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Insight Assistant: same query, schema WITHOUT the constraint ===");
     let cluster2 = Arc::new(SimCluster::new(ClusterConfig::instant(2)));
     let db2 = Database::new(cluster2);
-    db2.execute_ddl(
-        "CREATE TABLE users (username VARCHAR(24) NOT NULL, PRIMARY KEY (username))",
-    )?;
+    db2.execute_ddl("CREATE TABLE users (username VARCHAR(24) NOT NULL, PRIMARY KEY (username))")?;
     db2.execute_ddl(
         "CREATE TABLE subscriptions (owner VARCHAR(24) NOT NULL, \
          target VARCHAR(24) NOT NULL, approved BOOL, PRIMARY KEY (owner, target))",

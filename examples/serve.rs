@@ -1,0 +1,146 @@
+//! `piql-server` in five minutes: start the query service on a real-time
+//! store, register the SCADr thoughtstream, and watch success-tolerance at
+//! the API boundary — one registration admitted, one degraded to a
+//! SLO-feasible page size, one refused outright (with the Performance
+//! Insight report) before it can touch storage.
+//!
+//! Run with: `cargo run --example serve`
+
+use piql::engine::Database;
+use piql::kv::{LiveCluster, LiveConfig};
+use piql::Value;
+use piql_server::testkit::linear_predictor;
+use piql_server::{Client, Json, PiqlServer, SloConfig};
+use piql_workloads::scadr::{self, ScadrConfig};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // -- a wall-clock store with the SCADr schema and a little data
+    let cluster = Arc::new(LiveCluster::new(LiveConfig::default()));
+    let db = Arc::new(Database::new(cluster.clone()));
+    let config = ScadrConfig {
+        users_per_node: 100,
+        thoughts_per_user: 15,
+        subscriptions_per_user: 8,
+        max_subscriptions: 100,
+        ..Default::default()
+    };
+    let n_users = scadr::setup(&db, &config, 2)?;
+    println!("loaded SCADr: {n_users} users on a live sharded store\n");
+
+    // -- the service: 80ms p99 SLO, operator costs from a linear model
+    // (a deployment would train these against its own store, §6.1)
+    let server = PiqlServer::start(
+        db,
+        linear_predictor(200, 100, 3),
+        SloConfig {
+            slo_ms: 80.0,
+            interval_confidence: 1.0,
+            allow_degrade: true,
+        },
+        "127.0.0.1:0",
+    )?;
+    println!(
+        "piql-server listening on {} (SLO: p99 ≤ 80ms)\n",
+        server.local_addr()
+    );
+
+    let mut client = Client::connect(server.local_addr())?;
+
+    // -- 1. a cheap point query: admitted as written
+    let verdict = client.prepare("find_user", "SELECT * FROM users WHERE username = <u>")?;
+    print_verdict("find_user", &verdict);
+    let page = client.execute(
+        "find_user",
+        &[Value::Varchar(scadr::username(42)).into()],
+        None,
+    )?;
+    println!(
+        "   → executed: {} row(s), e.g. {}\n",
+        page.rows.len(),
+        page.rows[0]
+    );
+
+    // -- 2. the thoughtstream: over SLO as written (100 subscriptions ×
+    //       10-thought pages), admitted with an advisor-degraded page size
+    let verdict = client.prepare(
+        "thoughtstream",
+        "SELECT thoughts.* FROM subscriptions s JOIN thoughts \
+         WHERE thoughts.owner = s.target AND s.owner = <u> AND s.approved = true \
+         ORDER BY thoughts.timestamp DESC LIMIT 10",
+    )?;
+    print_verdict("thoughtstream", &verdict);
+    let page = client.execute(
+        "thoughtstream",
+        &[Value::Varchar(scadr::username(7)).into()],
+        None,
+    )?;
+    println!(
+        "   → executed: {} row(s) under the degraded bound\n",
+        page.rows.len()
+    );
+
+    // -- 3. an unbounded query: REFUSED before any storage request
+    let ops_before = cluster.op_count();
+    let verdict = client.prepare("grep", "SELECT * FROM thoughts WHERE text = <t>")?;
+    print_verdict("grep", &verdict);
+    println!(
+        "   → storage operations issued while rejecting: {}\n",
+        cluster.op_count() - ops_before
+    );
+
+    // -- service counters
+    let stats = client.stats()?;
+    println!(
+        "stats: admitted={} degraded={} rejected_unbounded={} executed={}",
+        stats.get("admitted").and_then(Json::as_i64).unwrap_or(0),
+        stats.get("degraded").and_then(Json::as_i64).unwrap_or(0),
+        stats
+            .get("rejected_unbounded")
+            .and_then(Json::as_i64)
+            .unwrap_or(0),
+        stats.get("executed").and_then(Json::as_i64).unwrap_or(0),
+    );
+    Ok(())
+}
+
+fn print_verdict(name: &str, verdict: &Json) {
+    let status = verdict.get("status").and_then(Json::as_str).unwrap_or("?");
+    match status {
+        "admitted" => println!(
+            "✓ {name}: ADMITTED (predicted p99 {:.1}ms)",
+            verdict
+                .get("predicted_p99_ms")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+        ),
+        "degraded" => println!(
+            "~ {name}: ADMITTED DEGRADED — LIMIT {} → {} (predicted p99 {:.1}ms)",
+            verdict
+                .get("original_limit")
+                .and_then(Json::as_i64)
+                .unwrap_or(0),
+            verdict.get("limit").and_then(Json::as_i64).unwrap_or(0),
+            verdict
+                .get("predicted_p99_ms")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+        ),
+        "rejected-slo" => println!(
+            "✗ {name}: REJECTED — predicted p99 {:.1}ms exceeds the SLO",
+            verdict
+                .get("predicted_p99_ms")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+        ),
+        "rejected-unbounded" => {
+            println!("✗ {name}: REJECTED — not scale-independent");
+            if let Some(report) = verdict.get("report").and_then(Json::as_str) {
+                for line in report.lines() {
+                    println!("     {line}");
+                }
+            }
+        }
+        other => println!("? {name}: {other}"),
+    }
+}

@@ -50,7 +50,10 @@ fn main() {
         betas: vec![40, 160, 640],
         ..TrainConfig::default()
     };
-    println!("training operator models ({} intervals)...", config.intervals);
+    println!(
+        "training operator models ({} intervals)...",
+        config.intervals
+    );
     let models = train(&cluster, &config);
     println!(
         "trained {} grid points from {} samples\n",
@@ -86,7 +89,11 @@ fn main() {
         println!(
             "  SLO \"99% under {slo:.0} ms per interval\": risk {:.0}% of intervals -> {}",
             pred.violation_risk(slo) * 100.0,
-            if pred.meets_slo(slo, 0.9) { "MEETS (90% confidence)" } else { "AT RISK" }
+            if pred.meets_slo(slo, 0.9) {
+                "MEETS (90% confidence)"
+            } else {
+                "AT RISK"
+            }
         );
     }
 

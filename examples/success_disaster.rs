@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ts.set_avg_group_size("target", 5.0);
     stats.set_table(db.catalog().table("subscriptions").unwrap().id, ts);
     let cost_plan = db.prepare_with(QUERY, &Optimizer::cost_based(stats))?;
-    println!("PIQL plan:     bounded, ≤{} requests — always", piql_plan.compiled.bounds.requests);
+    println!(
+        "PIQL plan:     bounded, ≤{} requests — always",
+        piql_plan.compiled.bounds.requests
+    );
     println!(
         "cost-based:    unbounded scan, ~{} requests *on average today*\n",
         cost_plan.compiled.bounds.requests

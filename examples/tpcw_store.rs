@@ -25,7 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..Default::default()
     };
     let (customers, items, orders) = setup(&db, &config, nodes)?;
-    println!("TPC-W loaded: {customers} customers, {items} items, {orders} orders on {nodes} nodes");
+    println!(
+        "TPC-W loaded: {customers} customers, {items} items, {orders} orders on {nodes} nodes"
+    );
 
     let workload = TpcwWorkload::new(&db, customers, items, orders)?;
     println!("\ncompiled web-interaction queries (all scale-independent):");
@@ -53,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         m.count()
     );
     println!("\nper-interaction p99 (ms):");
-    for (kind, label) in piql_workloads::Workload::kinds(&workload).iter().enumerate() {
+    for (kind, label) in piql_workloads::Workload::kinds(&workload)
+        .iter()
+        .enumerate()
+    {
         let p99 = m.quantile_ms_of(kind, 0.99);
         if p99 > 0.0 {
             println!("  {label:<18} {p99:>6.0}");

@@ -1,0 +1,122 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The workspace vendors this shim so builds need no network access. It
+//! runs each benchmark for a short, fixed wall-clock budget and prints
+//! mean ns/iter — no statistics, plots, or baselines. Set
+//! `CRITERION_QUICK=1` to shrink the budget further (CI smoke runs).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn measure_budget() -> Duration {
+    if std::env::var("CRITERION_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+    {
+        Duration::from_millis(50)
+    } else {
+        Duration::from_millis(400)
+    }
+}
+
+/// Batch sizing hints (accepted, ignored — every batch is size 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+#[derive(Default)]
+pub struct Bencher {
+    /// (iterations, total busy time) recorded by the last `iter*` call.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let budget = measure_budget();
+        // warm-up
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < budget {
+            black_box(routine());
+            iters += 1;
+        }
+        self.result = Some((iters.max(1), start.elapsed()));
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let budget = measure_budget();
+        black_box(routine(setup()));
+        let mut iters = 0u64;
+        let mut busy = Duration::ZERO;
+        let start = Instant::now();
+        while start.elapsed() < budget {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            busy += t0.elapsed();
+            iters += 1;
+        }
+        self.result = Some((iters.max(1), busy));
+    }
+
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), _size);
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        match b.result {
+            Some((iters, busy)) => {
+                let per_iter = busy.as_nanos() as f64 / iters as f64;
+                println!("{name: <45} {per_iter: >12.1} ns/iter   ({iters} iters)");
+            }
+            None => println!("{name: <45} (no measurement recorded)"),
+        }
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,81 @@
+//! `any::<T>()` — default strategies for primitive types.
+//!
+//! Integer generation is edge-biased: roughly 1 in 8 draws picks from
+//! {0, 1, -1, MIN, MAX} so boundary behavior (wrapping, sign flips, empty
+//! strings) gets exercised without real proptest's shrinking machinery.
+
+use crate::strategy::Any;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::marker::PhantomData;
+
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// `wrapping_sub(1)` gives -1 for signed and MAX for unsigned — both are
+// interesting edges, so a single macro covers every integer type.
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                if rng.gen_range(0..8u32) == 0 {
+                    let edges: [$t; 5] = [0, 1, (0 as $t).wrapping_sub(1), <$t>::MIN, <$t>::MAX];
+                    edges[rng.gen_range(0..edges.len())]
+                } else {
+                    rng.gen::<$t>()
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.gen_range(0..8u32) {
+            0 => {
+                let edges = [
+                    0.0,
+                    -0.0,
+                    1.0,
+                    -1.0,
+                    f64::INFINITY,
+                    f64::NEG_INFINITY,
+                    f64::NAN,
+                ];
+                edges[rng.gen_range(0..edges.len())]
+            }
+            // full bit-pattern soup (may be NaN/subnormal)
+            1 => f64::from_bits(rng.gen::<u64>()),
+            _ => (rng.gen::<f64>() - 0.5) * 2e6,
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        if rng.gen_range(0..4u32) == 0 {
+            char::from_u32(rng.gen_range(0..0xD800u32)).unwrap_or('?')
+        } else {
+            rng.gen_range(0x20u32..0x7F) as u8 as char
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! `sample::Index` — a length-agnostic index, resolved against a collection
+//! size at use time.
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Debug, Clone, Copy)]
+pub struct Index(u64);
+
+impl Index {
+    /// An index uniformly distributed in `0..len` (panics on `len == 0`,
+    /// matching real proptest).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.gen::<u64>())
+    }
+}

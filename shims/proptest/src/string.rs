@@ -1,0 +1,196 @@
+//! String generation from a small regex subset.
+//!
+//! Supported: literal chars, `.` (any printable char, occasionally
+//! multi-byte), character classes `[a-z0-9\x00]` with ranges and `\xNN` /
+//! `\n` / `\t` escapes, and the quantifiers `{m,n}`, `{n}`, `*`, `+`, `?`.
+//! This covers the patterns the repo's property tests use; anything the
+//! parser does not understand panics loudly rather than silently producing
+//! wrong data.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+const UNQUANTIFIED_MAX: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Any printable char (what `.` means here).
+    Dot,
+    /// One of an explicit set of chars.
+    Class(Vec<char>),
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let n = rng.gen_range(piece.min..=piece.max);
+        for _ in 0..n {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(set) => set[rng.gen_range(0..set.len())],
+        Atom::Dot => {
+            // mostly ASCII printable; sometimes multi-byte to exercise UTF-8
+            if rng.gen_range(0..8u32) == 0 {
+                const WIDE: [char; 6] = ['é', 'Ω', '→', '€', '語', '🦀'];
+                WIDE[rng.gen_range(0..WIDE.len())]
+            } else {
+                rng.gen_range(0x20u32..0x7F) as u8 as char
+            }
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Dot
+            }
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                Atom::Class(set)
+            }
+            '\\' => {
+                let (c, next) = parse_escape(&chars, i + 1, pattern);
+                i = next;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, i, pattern);
+        i = next;
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            let (c, next) = parse_escape(chars, i + 1, pattern);
+            i = next;
+            c
+        } else {
+            let c = chars[i];
+            i += 1;
+            c
+        };
+        // range like a-z (a literal '-' before ']' falls through)
+        if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+            let hi = chars[i + 1];
+            i += 2;
+            let (lo, hi) = (c as u32, hi as u32);
+            assert!(lo <= hi, "bad class range in pattern '{pattern}'");
+            for v in lo..=hi {
+                if let Some(c) = char::from_u32(v) {
+                    set.push(c);
+                }
+            }
+        } else {
+            set.push(c);
+        }
+    }
+    assert!(
+        i < chars.len(),
+        "unterminated character class in pattern '{pattern}'"
+    );
+    assert!(
+        !set.is_empty(),
+        "empty character class in pattern '{pattern}'"
+    );
+    (set, i + 1)
+}
+
+fn parse_escape(chars: &[char], i: usize, pattern: &str) -> (char, usize) {
+    match chars.get(i) {
+        Some('x') => {
+            let hex: String = chars[i + 1..].iter().take(2).collect();
+            assert_eq!(hex.len(), 2, "bad \\x escape in pattern '{pattern}'");
+            let v = u32::from_str_radix(&hex, 16)
+                .unwrap_or_else(|_| panic!("bad \\x escape in pattern '{pattern}'"));
+            (char::from_u32(v).expect("valid \\x escape"), i + 3)
+        }
+        Some('n') => ('\n', i + 1),
+        Some('t') => ('\t', i + 1),
+        Some('r') => ('\r', i + 1),
+        Some('0') => ('\0', i + 1),
+        Some(&c) => (c, i + 1),
+        None => panic!("dangling backslash in pattern '{pattern}'"),
+    }
+}
+
+fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in pattern '{pattern}'"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("quantifier min"),
+                    hi.parse().expect("quantifier max"),
+                ),
+                None => {
+                    let n = body.parse().expect("quantifier count");
+                    (n, n)
+                }
+            };
+            assert!(min <= max, "bad quantifier in pattern '{pattern}'");
+            (min, max, close + 1)
+        }
+        Some('*') => (0, UNQUANTIFIED_MAX, i + 1),
+        Some('+') => (1, UNQUANTIFIED_MAX, i + 1),
+        Some('?') => (0, 1, i + 1),
+        _ => (1, 1, i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_generate_within_spec() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z0-9\\x00]{0,12}", &mut rng);
+            assert!(s.chars().count() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '\0'));
+            let t = generate_from_pattern(".{0,40}", &mut rng);
+            assert!(t.chars().count() <= 40);
+            let u = generate_from_pattern("u[0-9]{3}", &mut rng);
+            assert_eq!(u.len(), 4);
+            assert!(u.starts_with('u'));
+        }
+    }
+}

@@ -16,7 +16,10 @@
 //! * [`engine`] — the execution engine, pagination cursors, and write path,
 //! * [`predict`] — the SLO compliance prediction framework,
 //! * [`workloads`] — the TPC-W and SCADr benchmarks with a closed-loop
-//!   driver.
+//!   driver,
+//! * [`server`] — the success-tolerant query service: SLO admission
+//!   control, a JSON-over-TCP front-end, and the real-time `LiveCluster`
+//!   backend it serves from.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -24,10 +27,11 @@ pub use piql_core as core;
 pub use piql_engine as engine;
 pub use piql_kv as kv;
 pub use piql_predict as predict;
+pub use piql_server as server;
 pub use piql_workloads as workloads;
 
 pub use piql_core::opt::{Compiled, Objective, OptError, Optimizer, QueryClass};
 pub use piql_core::plan::params::{ParamValue, Params};
 pub use piql_core::value::{DataType, Value};
 pub use piql_engine::{Cursor, Database, DbError, ExecStrategy, Prepared, QueryResult};
-pub use piql_kv::{ClusterConfig, Session, SimCluster};
+pub use piql_kv::{ClusterConfig, LiveCluster, LiveConfig, Session, SimCluster};

@@ -11,10 +11,8 @@ use std::sync::Arc;
 
 fn db_with_token_index() -> Database {
     let db = Database::new(Arc::new(SimCluster::new(ClusterConfig::instant(3))));
-    db.execute_ddl(
-        "CREATE TABLE notes (id INT NOT NULL, body VARCHAR(60), PRIMARY KEY (id))",
-    )
-    .unwrap();
+    db.execute_ddl("CREATE TABLE notes (id INT NOT NULL, body VARCHAR(60), PRIMARY KEY (id))")
+        .unwrap();
     db.bulk_load(
         "notes",
         (0..20).map(|i| {
@@ -46,9 +44,7 @@ fn inject_dangling(db: &Database) {
         Value::Int(9_999),
         Value::Varchar("common ghost".into()),
     ]);
-    let ns = db
-        .cluster()
-        .namespace(&Catalog::index_namespace(&idx));
+    let ns = db.cluster().namespace(&Catalog::index_namespace(&idx));
     for key in piql_engine::keys::index_entry_keys(&table, &idx, &ghost).unwrap() {
         db.cluster().bulk_put(ns, key, Vec::new());
     }
@@ -94,9 +90,7 @@ fn gc_removes_outdated_entries_after_manual_record_overwrite() {
     // stale index entries: overwrite the record bytes directly
     let catalog = db.catalog();
     let table = catalog.table("notes").unwrap().clone();
-    let ns = db
-        .cluster()
-        .namespace(&Catalog::table_namespace(&table));
+    let ns = db.cluster().namespace(&Catalog::table_namespace(&table));
     let new_row = Tuple::new(vec![
         Value::Int(3),
         Value::Varchar("renamed entirely".into()),
@@ -137,10 +131,11 @@ fn lagged_replicas_serve_stale_then_converge() {
     db.execute_ddl("CREATE TABLE kv (k INT NOT NULL, v VARCHAR(16), PRIMARY KEY (k))")
         .unwrap();
     let mut session = Session::new();
-    db.insert_row(&mut session, "kv", Tuple::new(vec![
-        Value::Int(1),
-        Value::Varchar("v1".into()),
-    ]))
+    db.insert_row(
+        &mut session,
+        "kv",
+        Tuple::new(vec![Value::Int(1), Value::Varchar("v1".into())]),
+    )
     .unwrap();
 
     // reads immediately after the write may see nothing (non-primary
@@ -169,18 +164,27 @@ fn tombstone_compaction_keeps_results_correct() {
     let db = db_with_token_index();
     let mut session = Session::new();
     for i in 0..10 {
-        db.delete_row(&mut session, "notes", &[Value::Int(i)]).unwrap();
+        db.delete_row(&mut session, "notes", &[Value::Int(i)])
+            .unwrap();
     }
     let mut params = Params::new();
     params.set(0, Value::Varchar("common".into()));
     let before = db
-        .query(&mut session, "SELECT * FROM notes WHERE body LIKE <w> LIMIT 50", &params)
+        .query(
+            &mut session,
+            "SELECT * FROM notes WHERE body LIKE <w> LIMIT 50",
+            &params,
+        )
         .unwrap();
     assert_eq!(before.rows.len(), 10);
     // compact away tombstones and old versions, results unchanged
     db.cluster().compact(session.now + 1);
     let after = db
-        .query(&mut session, "SELECT * FROM notes WHERE body LIKE <w> LIMIT 50", &params)
+        .query(
+            &mut session,
+            "SELECT * FROM notes WHERE body LIKE <w> LIMIT 50",
+            &params,
+        )
         .unwrap();
     assert_eq!(after.rows, before.rows);
 }
@@ -189,9 +193,12 @@ fn tombstone_compaction_keeps_results_correct() {
 fn raw_store_ops_respect_namespace_isolation() {
     // sanity: two tables never bleed into each other's namespaces
     let db = Database::new(Arc::new(SimCluster::new(ClusterConfig::instant(2))));
-    db.execute_ddl("CREATE TABLE a (k INT NOT NULL, PRIMARY KEY (k))").unwrap();
-    db.execute_ddl("CREATE TABLE b (k INT NOT NULL, PRIMARY KEY (k))").unwrap();
-    db.bulk_load("a", (0..5).map(|i| Tuple::new(vec![Value::Int(i)]))).unwrap();
+    db.execute_ddl("CREATE TABLE a (k INT NOT NULL, PRIMARY KEY (k))")
+        .unwrap();
+    db.execute_ddl("CREATE TABLE b (k INT NOT NULL, PRIMARY KEY (k))")
+        .unwrap();
+    db.bulk_load("a", (0..5).map(|i| Tuple::new(vec![Value::Int(i)])))
+        .unwrap();
     let cluster = db.cluster();
     let ns_b = cluster.namespace("t/b");
     let mut s = Session::new();

@@ -63,9 +63,7 @@ fn query_family(limit: u64) -> Vec<String> {
         // bounded scan with residual predicate
         format!("SELECT * FROM posts WHERE author = <a> AND score > 10 LIMIT {limit}"),
         // reverse ordered scan
-        format!(
-            "SELECT * FROM posts WHERE author = <a> ORDER BY seq DESC LIMIT {limit}"
-        ),
+        format!("SELECT * FROM posts WHERE author = <a> ORDER BY seq DESC LIMIT {limit}"),
         // range + order
         format!(
             "SELECT * FROM posts WHERE author = <a> AND seq >= 3 AND seq < 20 \

@@ -8,10 +8,8 @@ use std::sync::Arc;
 #[test]
 fn figure3_stages_for_the_thoughtstream_query() {
     let db = Database::new(Arc::new(SimCluster::new(ClusterConfig::instant(2))));
-    db.execute_ddl(
-        "CREATE TABLE users (username VARCHAR(24) NOT NULL, PRIMARY KEY (username))",
-    )
-    .unwrap();
+    db.execute_ddl("CREATE TABLE users (username VARCHAR(24) NOT NULL, PRIMARY KEY (username))")
+        .unwrap();
     db.execute_ddl(
         "CREATE TABLE subscriptions (owner VARCHAR(24) NOT NULL, \
          target VARCHAR(24) NOT NULL, approved BOOL, \
@@ -39,7 +37,10 @@ fn figure3_stages_for_the_thoughtstream_query() {
     // condition on the join, Stop(LIMIT) above Sort
     let naive = format!(
         "{}",
-        prepared.compiled.naive.display_with(&prepared.compiled.schema)
+        prepared
+            .compiled
+            .naive
+            .display_with(&prepared.compiled.schema)
     );
     assert!(naive.contains("Stop(10, from LIMIT 10)"), "{naive}");
     assert!(naive.contains("Sort(thoughts.timestamp DESC)"), "{naive}");
@@ -86,8 +87,14 @@ fn figure3_stages_for_the_thoughtstream_query() {
         physical.contains("limitHint=100 [CARDINALITY LIMIT 100 (owner)]"),
         "{physical}"
     );
-    assert!(physical.contains("LocalSelection(s.approved = true)"), "{physical}");
+    assert!(
+        physical.contains("LocalSelection(s.approved = true)"),
+        "{physical}"
+    );
     assert!(physical.contains("SortedIndexJoin"), "{physical}");
     assert!(physical.contains("perKey=10"), "{physical}");
-    assert!(physical.contains("descending") || physical.contains("DESC"), "{physical}");
+    assert!(
+        physical.contains("descending") || physical.contains("DESC"),
+        "{physical}"
+    );
 }

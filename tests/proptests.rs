@@ -31,10 +31,7 @@ fn key_tuple(len: usize) -> impl Strategy<Value = Vec<(DataType, Value, Dir)>> {
 }
 
 /// Compare two equal-shape tuples in value space with per-component dirs.
-fn tuple_cmp(
-    a: &[(DataType, Value, Dir)],
-    b: &[(DataType, Value, Dir)],
-) -> std::cmp::Ordering {
+fn tuple_cmp(a: &[(DataType, Value, Dir)], b: &[(DataType, Value, Dir)]) -> std::cmp::Ordering {
     for ((_, va, d), (_, vb, _)) in a.iter().zip(b) {
         let ord = va.total_cmp(vb);
         let ord = if *d == Dir::Desc { ord.reverse() } else { ord };

@@ -18,10 +18,8 @@ fn build_db(n_users: usize) -> Database {
     let mut cfg = ClusterConfig::default().with_nodes(6).with_seed(0xABCD);
     cfg.interference = piql_kv::InterferenceConfig::none();
     let db = Database::new(Arc::new(SimCluster::new(cfg)));
-    db.execute_ddl(
-        "CREATE TABLE users (username VARCHAR(24) NOT NULL, PRIMARY KEY (username))",
-    )
-    .unwrap();
+    db.execute_ddl("CREATE TABLE users (username VARCHAR(24) NOT NULL, PRIMARY KEY (username))")
+        .unwrap();
     db.execute_ddl(
         "CREATE TABLE subscriptions (owner VARCHAR(24) NOT NULL, \
          target VARCHAR(24) NOT NULL, approved BOOL, PRIMARY KEY (owner, target), \
@@ -133,8 +131,14 @@ fn unbounded_plan_degrades_with_growth() {
         assert!(!prepared.compiled.bounds.guaranteed);
         let mut s = Session::new();
         let t0 = s.begin();
-        db.execute_with(&mut s, &prepared, &Params::new(), ExecStrategy::Parallel, None)
-            .unwrap();
+        db.execute_with(
+            &mut s,
+            &prepared,
+            &Params::new(),
+            ExecStrategy::Parallel,
+            None,
+        )
+        .unwrap();
         lat.push(s.elapsed_since(t0));
     }
     assert!(
