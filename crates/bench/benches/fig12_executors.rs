@@ -6,7 +6,7 @@
 
 use piql_bench::{bench_cluster, header, row, scaled};
 use piql_engine::{Database, ExecStrategy};
-use piql_kv::SECONDS;
+use piql_kv::{KvRequest, KvStore, LiveCluster, LiveConfig, RequestRound, Session, SECONDS};
 use piql_workloads::driver::{run_closed_loop, DriverConfig};
 use piql_workloads::tpcw::{setup, TpcwConfig, TpcwWorkload};
 
@@ -65,5 +65,60 @@ fn main() {
         } else {
             "VIOLATED"
         }
+    );
+
+    live_round_fanout();
+}
+
+/// The same §8.5 story on the *real* backend: a 10-request `LiveCluster`
+/// round with injected per-request service time, executed sequentially
+/// (pool disabled — the pre-fan-out behavior) vs scattered over the
+/// shared worker pool. Fanned rounds complete at ~max of the per-request
+/// latencies, sequential at ~sum.
+fn live_round_fanout() {
+    println!();
+    header(
+        "fig12-live",
+        "Figure 12 (§8.5), live backend",
+        "mean 10-request round latency on LiveCluster, sequential vs fanned-out",
+    );
+    let delay_us: u64 = if piql_bench::quick() { 2_000 } else { 5_000 };
+    let rounds = scaled(50, 10);
+    println!("mode\tround_ms\tspeedup");
+    let mut sequential_ms = 0.0f64;
+    for (mode, pool_threads) in [("sequential", 0usize), ("fanned", 16)] {
+        let cluster = LiveCluster::new(LiveConfig {
+            shards_per_namespace: 16,
+            pool_threads,
+            request_delay_us: delay_us,
+        });
+        let ns = cluster.namespace("fig12/live");
+        for i in 0..10u8 {
+            cluster.bulk_put(ns, vec![i], vec![i; 64]);
+        }
+        let mut session = Session::new();
+        let t0 = std::time::Instant::now();
+        for _ in 0..rounds {
+            let round: RequestRound = (0..10u8)
+                .map(|i| KvRequest::Get { ns, key: vec![i] })
+                .collect();
+            cluster.execute_round(&mut session, round);
+        }
+        let round_ms = t0.elapsed().as_secs_f64() * 1e3 / rounds as f64;
+        let speedup = if mode == "sequential" {
+            sequential_ms = round_ms;
+            1.0
+        } else {
+            sequential_ms / round_ms
+        };
+        row(&[
+            ("mode", mode.to_string()),
+            ("round_ms", format!("{round_ms:.2}")),
+            ("speedup", format!("{speedup:.1}x")),
+        ]);
+    }
+    println!(
+        "# expected: fanned ≈ one service time ({:.0} ms), sequential ≈ ten",
+        delay_us as f64 / 1e3
     );
 }

@@ -10,6 +10,12 @@
 //!   request per round (no intra-operator parallelism);
 //! * **Parallel** — batched requests, and every request of an operator
 //!   issued in the same parallel round.
+//!
+//! A round is executed by the backend at the *slowest* request, not the
+//! sum (see the [`KvStore::execute_round`] contract): `SimCluster` models
+//! that in virtual time, and `LiveCluster` fans the round out over its
+//! shared worker pool — so `Parallel`'s speedup is real wall-clock
+//! overlap on the live path, not just round batching.
 
 use crate::cursor::{Cursor, CursorState};
 use crate::keys;
@@ -25,7 +31,7 @@ use piql_core::plan::physical::{
 use piql_core::plan::{BoundPredicate, Operand};
 use piql_core::tuple::Tuple;
 use piql_core::value::Value;
-use piql_kv::{KvRequest, KvResponse, KvStore, NsId, Session};
+use piql_kv::{KvRequest, KvResponse, KvStore, NsId, ResponseMismatch, Session};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -85,6 +91,12 @@ impl From<ParamError> for ExecError {
 impl From<keys::KeyError> for ExecError {
     fn from(e: keys::KeyError) -> Self {
         ExecError::Key(e)
+    }
+}
+
+impl From<ResponseMismatch> for ExecError {
+    fn from(e: ResponseMismatch) -> Self {
+        ExecError::Internal(e.to_string())
     }
 }
 
@@ -247,7 +259,7 @@ impl<'a> ExecCtx<'a> {
                         limit: Some(1),
                         reverse: spec.reverse,
                     });
-                    let batch = resp.expect_entries().to_vec();
+                    let batch = resp.into_entries()?;
                     match batch.into_iter().next() {
                         Some((k, v)) => {
                             advance_bounds(&mut start, &mut end, &k, spec.reverse);
@@ -266,7 +278,7 @@ impl<'a> ExecCtx<'a> {
                     limit: Some(*count),
                     reverse: spec.reverse,
                 });
-                entries = resp.expect_entries().to_vec();
+                entries = resp.into_entries()?;
             }
             (ScanLimit::Unbounded { .. }, strategy) => {
                 // cost-based plans page until exhausted
@@ -282,7 +294,7 @@ impl<'a> ExecCtx<'a> {
                         limit: Some(batch),
                         reverse: spec.reverse,
                     });
-                    let chunk = resp.expect_entries().to_vec();
+                    let chunk = resp.into_entries()?;
                     let n = chunk.len() as u64;
                     if let Some((k, _)) = chunk.last() {
                         advance_bounds(&mut start, &mut end, k, spec.reverse);
@@ -418,13 +430,13 @@ impl<'a> ExecCtx<'a> {
             ExecStrategy::Parallel => {
                 let responses = self.round(requests);
                 for resp in responses {
-                    per_child_entries.push(resp.expect_entries().to_vec());
+                    per_child_entries.push(resp.into_entries()?);
                 }
             }
             ExecStrategy::Simple => {
                 for req in requests {
                     let resp = self.round_one(req);
-                    per_child_entries.push(resp.expect_entries().to_vec());
+                    per_child_entries.push(resp.into_entries()?);
                 }
             }
             ExecStrategy::Lazy => {
@@ -449,7 +461,7 @@ impl<'a> ExecCtx<'a> {
                             limit: Some(1),
                             reverse,
                         });
-                        let batch = resp.expect_entries().to_vec();
+                        let batch = resp.into_entries()?;
                         match batch.into_iter().next() {
                             Some((k, v)) => {
                                 advance_bounds(&mut start, &mut end, &k, reverse);

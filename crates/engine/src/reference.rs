@@ -59,7 +59,13 @@ impl<'a> ReferenceExecutor<'a> {
                     reverse: false,
                 }],
             );
-            let entries = resp[0].expect_entries().to_vec();
+            let entries = resp
+                .first()
+                .ok_or_else(|| {
+                    ExecError::Internal("malformed round: backend returned no responses".into())
+                })?
+                .entries()?
+                .to_vec();
             let n = entries.len();
             for (k, v) in entries {
                 rows.push(keys::decode_row(table, &v)?);

@@ -76,6 +76,17 @@ impl From<ExecError> for WriteError {
     }
 }
 
+/// First response of a round, or a malformed-round error when the backend
+/// answered with the wrong arity.
+fn take_first(resp: &mut Vec<piql_kv::KvResponse>) -> Result<piql_kv::KvResponse, WriteError> {
+    if resp.is_empty() {
+        return Err(WriteError::Exec(
+            "malformed round: backend returned no responses".into(),
+        ));
+    }
+    Ok(resp.remove(0))
+}
+
 /// The write-path engine.
 pub struct Writer<'a> {
     pub store: &'a dyn KvStore,
@@ -376,7 +387,7 @@ impl<'a> Writer<'a> {
             let ns = self.index_ns(&idx);
             let mut start: Vec<u8> = Vec::new();
             loop {
-                let resp = self.store.execute_round(
+                let mut resp = self.store.execute_round(
                     session,
                     vec![KvRequest::GetRange {
                         ns,
@@ -386,7 +397,9 @@ impl<'a> Writer<'a> {
                         reverse: false,
                     }],
                 );
-                let entries = resp[0].expect_entries().to_vec();
+                let entries = take_first(&mut resp)?
+                    .into_entries()
+                    .map_err(|e| WriteError::Exec(e.to_string()))?;
                 let len = entries.len();
                 if len == 0 {
                     break;
@@ -445,7 +458,7 @@ impl<'a> Writer<'a> {
         let mut start: Vec<u8> = Vec::new();
         let mut n = 0;
         loop {
-            let resp = self.store.execute_round(
+            let mut resp = self.store.execute_round(
                 &mut session,
                 vec![KvRequest::GetRange {
                     ns: primary,
@@ -455,7 +468,9 @@ impl<'a> Writer<'a> {
                     reverse: false,
                 }],
             );
-            let entries = resp[0].expect_entries().to_vec();
+            let entries = take_first(&mut resp)?
+                .into_entries()
+                .map_err(|e| WriteError::Exec(e.to_string()))?;
             let len = entries.len();
             for (k, v) in &entries {
                 let row = keys::decode_row(table, v)?;
@@ -548,7 +563,11 @@ impl<'a> Writer<'a> {
                 })
                 .collect();
             let resps = self.store.execute_round(session, counts);
-            return Ok(resps.iter().map(|r| r.expect_count()).max().unwrap_or(0));
+            let mut worst = 0;
+            for r in &resps {
+                worst = worst.max(r.count().map_err(|e| WriteError::Exec(e.to_string()))?);
+            }
+            return Ok(worst);
         }
 
         let vals: Vec<Value> = cc
@@ -598,7 +617,7 @@ impl<'a> Writer<'a> {
             (self.index_ns(&idx), p)
         };
         let end = prefix_upper_bound(&prefix);
-        let resp = self.store.execute_round(
+        let mut resp = self.store.execute_round(
             session,
             vec![KvRequest::CountRange {
                 ns,
@@ -606,6 +625,8 @@ impl<'a> Writer<'a> {
                 end,
             }],
         );
-        Ok(resp[0].expect_count())
+        take_first(&mut resp)?
+            .count()
+            .map_err(|e| WriteError::Exec(e.to_string()))
     }
 }

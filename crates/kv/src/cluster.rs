@@ -89,8 +89,26 @@ impl ClusterConfig {
 pub trait KvStore: Send + Sync {
     /// Resolve (creating if needed) a namespace.
     fn namespace(&self, name: &str) -> NsId;
-    /// Issue one parallel round; the session clock advances to the round's
-    /// completion.
+    /// Issue one parallel round.
+    ///
+    /// Round contract (what the paper's latency model, the compiler's
+    /// round bounds, and both backends agree on):
+    ///
+    /// * All requests of a round are **logically issued at the same
+    ///   instant** and execute concurrently; the round completes — and the
+    ///   session clock advances to — the *slowest* request's completion,
+    ///   not the sum. `SimCluster` models this in virtual time;
+    ///   `LiveCluster` fans the round out over a shared worker pool.
+    /// * Responses are **positional**: `responses[i]` answers `round[i]`,
+    ///   regardless of completion order.
+    /// * Requests within one round must be **mutually independent**: the
+    ///   store may execute them in any order or interleaving, so a read of
+    ///   a key written in the same round sees an unspecified value. The
+    ///   engine never issues dependent requests in one round (dependent
+    ///   writes go in successive rounds — see the §7.2 write ordering).
+    /// * Accounting: one round adds `round.len()` logical requests and at
+    ///   least that many physical requests (replica fan-out and partition
+    ///   or shard visits inflate the physical count) to the session stats.
     fn execute_round(&self, session: &mut Session, round: RequestRound) -> Vec<KvResponse>;
     /// Write directly, bypassing timing and accounting (bulk load before an
     /// experiment or to seed a serving store).

@@ -17,6 +17,7 @@ pub mod live;
 pub mod node;
 pub mod op;
 pub mod partition;
+pub mod pool;
 pub mod session;
 pub mod stats;
 pub mod store;
@@ -25,6 +26,7 @@ pub mod time;
 pub use cluster::{ClusterConfig, KvStore, SimCluster};
 pub use latency::{InterferenceConfig, LatencyConfig};
 pub use live::{LiveCluster, LiveConfig, LiveStatsSnapshot};
-pub use op::{KvRequest, KvResponse, NsId, RequestRound};
+pub use op::{KvEntry, KvRequest, KvResponse, NsId, RequestRound, ResponseMismatch};
+pub use pool::{PoolStats, RoundPool};
 pub use session::{Session, SessionStats};
 pub use time::{as_millis_f64, Micros, MILLIS, SECONDS};

@@ -15,6 +15,12 @@
 //!   range scans walk the overlapping shards in key order, so lock
 //!   contention is striped while scan semantics stay identical to a single
 //!   ordered map.
+//! * A round's requests **fan out over a shared worker pool**
+//!   ([`RoundPool`]) and the round completes at the slowest request — the
+//!   same round semantics `SimCluster` models in virtual time (§4, Fig.
+//!   12). Responses stay positional. Within one round, requests must be
+//!   independent (the engine's rounds always are); the store may execute
+//!   them in any order or interleaving.
 //! * Sessions carry wall-clock time: `Session::now` is set to the cluster's
 //!   monotonic epoch offset when a round completes, so
 //!   `Session::elapsed_since` measures real latency with the same API the
@@ -26,7 +32,8 @@
 //!   issue **zero** storage requests.
 
 use crate::cluster::KvStore;
-use crate::op::{KvRequest, KvResponse, NsId, RequestRound};
+use crate::op::{KvEntry, KvRequest, KvResponse, NsId, RequestRound};
+use crate::pool::{default_pool_threads, RoundPool};
 use crate::session::Session;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -40,12 +47,23 @@ use std::time::Instant;
 pub struct LiveConfig {
     /// Lock-striping factor: contiguous key-range shards per namespace.
     pub shards_per_namespace: usize,
+    /// Workers in the round fan-out pool. `0` executes every round
+    /// sequentially on the calling thread (the pre-pool behavior — useful
+    /// as a baseline and for single-threaded determinism).
+    pub pool_threads: usize,
+    /// Injected service time per storage request, µs. Zero in production;
+    /// tests and benches set it to make round timing observable (an
+    /// in-memory map serves requests in nanoseconds, so parallel-vs-serial
+    /// differences would otherwise drown in noise).
+    pub request_delay_us: u64,
 }
 
 impl Default for LiveConfig {
     fn default() -> Self {
         LiveConfig {
             shards_per_namespace: 16,
+            pool_threads: default_pool_threads(),
+            request_delay_us: 0,
         }
     }
 }
@@ -53,7 +71,12 @@ impl Default for LiveConfig {
 /// Monotonic operation counters (all `Relaxed`; read for reporting only).
 #[derive(Debug, Default)]
 pub struct LiveStats {
+    /// Logical storage requests served (one per round entry + bulk loads).
     pub ops: AtomicU64,
+    /// Per-shard operations: a range request overlapping k shards counts
+    /// k here and 1 in `ops` — mirroring `SimCluster`'s logical-vs-physical
+    /// (replica/partition visit) accounting.
+    pub physical_ops: AtomicU64,
     pub reads: AtomicU64,
     pub writes: AtomicU64,
     pub rounds: AtomicU64,
@@ -66,6 +89,7 @@ pub struct LiveStats {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LiveStatsSnapshot {
     pub ops: u64,
+    pub physical_ops: u64,
     pub reads: u64,
     pub writes: u64,
     pub rounds: u64,
@@ -149,22 +173,27 @@ impl LiveNamespace {
         (true, value)
     }
 
+    /// Scan `[start, end)`; also reports the number of shards visited (each
+    /// visit is one physical operation, like a partition visit in
+    /// `SimCluster`).
     fn range(
         &self,
         start: &[u8],
         end: Option<&[u8]>,
         limit: Option<u64>,
         reverse: bool,
-    ) -> Vec<(Vec<u8>, Vec<u8>)> {
+    ) -> (Vec<KvEntry>, u64) {
         let want = limit.unwrap_or(u64::MAX) as usize;
         let lo = Bound::Included(start.to_vec());
         let hi = match end {
             Some(e) => Bound::Excluded(e.to_vec()),
             None => Bound::Unbounded,
         };
-        let mut out: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut out: Vec<KvEntry> = Vec::new();
+        let mut visited = 0u64;
         let shards = self.shards_for_range(start, end);
-        let visit = |out: &mut Vec<(Vec<u8>, Vec<u8>)>, idx: usize| {
+        let mut visit = |out: &mut Vec<KvEntry>, idx: usize| {
+            visited += 1;
             let shard = self.shards[idx].read();
             let iter = shard.range::<Vec<u8>, _>((lo.clone(), hi.clone()));
             if reverse {
@@ -198,23 +227,28 @@ impl LiveNamespace {
                 visit(&mut out, idx);
             }
         }
-        out
+        (out, visited)
     }
 
-    fn count_range(&self, start: &[u8], end: Option<&[u8]>) -> u64 {
+    /// Count `[start, end)`; also reports shards visited.
+    fn count_range(&self, start: &[u8], end: Option<&[u8]>) -> (u64, u64) {
         let lo = Bound::Included(start.to_vec());
         let hi = match end {
             Some(e) => Bound::Excluded(e.to_vec()),
             None => Bound::Unbounded,
         };
-        self.shards_for_range(start, end)
+        let mut visited = 0u64;
+        let total = self
+            .shards_for_range(start, end)
             .map(|idx| {
+                visited += 1;
                 self.shards[idx]
                     .read()
                     .range::<Vec<u8>, _>((lo.clone(), hi.clone()))
                     .count() as u64
             })
-            .sum()
+            .sum();
+        (total, visited)
     }
 
     fn len(&self) -> usize {
@@ -228,7 +262,11 @@ pub struct LiveCluster {
     namespaces: RwLock<Vec<Arc<LiveNamespace>>>,
     names: RwLock<BTreeMap<String, NsId>>,
     epoch: Instant,
-    pub stats: LiveStats,
+    /// The fan-out pool. Shared by every session of this cluster; may also
+    /// be shared across clusters via [`LiveCluster::with_pool`], so one
+    /// process never runs more storage workers than it asked for.
+    pool: Arc<RoundPool>,
+    pub stats: Arc<LiveStats>,
 }
 
 impl Default for LiveCluster {
@@ -239,13 +277,28 @@ impl Default for LiveCluster {
 
 impl LiveCluster {
     pub fn new(config: LiveConfig) -> Self {
+        let pool = Arc::new(RoundPool::new(config.pool_threads));
+        Self::with_pool(config, pool)
+    }
+
+    /// Build a cluster executing its rounds on an externally owned pool —
+    /// the hook for co-hosting several clusters (or other round sources)
+    /// behind one bounded set of storage workers.
+    pub fn with_pool(config: LiveConfig, pool: Arc<RoundPool>) -> Self {
         LiveCluster {
             config,
             namespaces: RwLock::new(Vec::new()),
             names: RwLock::new(BTreeMap::new()),
             epoch: Instant::now(),
-            stats: LiveStats::default(),
+            pool,
+            stats: Arc::new(LiveStats::default()),
         }
+    }
+
+    /// The round fan-out pool (for sharing via [`LiveCluster::with_pool`]
+    /// and for observability).
+    pub fn pool(&self) -> &Arc<RoundPool> {
+        &self.pool
     }
 
     fn ns_data(&self, ns: NsId) -> Arc<LiveNamespace> {
@@ -271,6 +324,7 @@ impl LiveCluster {
     pub fn stats_snapshot(&self) -> LiveStatsSnapshot {
         LiveStatsSnapshot {
             ops: self.stats.ops.load(Ordering::Relaxed),
+            physical_ops: self.stats.physical_ops.load(Ordering::Relaxed),
             reads: self.stats.reads.load(Ordering::Relaxed),
             writes: self.stats.writes.load(Ordering::Relaxed),
             rounds: self.stats.rounds.load(Ordering::Relaxed),
@@ -279,67 +333,80 @@ impl LiveCluster {
             bytes_written: self.stats.bytes_written.load(Ordering::Relaxed),
         }
     }
+}
 
-    fn execute_one(&self, req: &KvRequest, session: &mut Session) -> KvResponse {
-        let data = self.ns_data(req.ns());
-        self.stats.ops.fetch_add(1, Ordering::Relaxed);
-        match req {
-            KvRequest::Get { key, .. } => {
-                let value = data.get(key);
-                self.stats.reads.fetch_add(1, Ordering::Relaxed);
-                self.stats.bytes_read.fetch_add(
-                    value.as_ref().map_or(0, |v| v.len() as u64),
-                    Ordering::Relaxed,
-                );
-                KvResponse::Value(value)
-            }
-            KvRequest::Put { key, value, .. } => {
-                self.stats.writes.fetch_add(1, Ordering::Relaxed);
-                self.stats
-                    .bytes_written
-                    .fetch_add(value.len() as u64, Ordering::Relaxed);
-                data.put(key.clone(), Some(value.clone()));
-                KvResponse::Done
-            }
-            KvRequest::Delete { key, .. } => {
-                self.stats.writes.fetch_add(1, Ordering::Relaxed);
-                data.put(key.clone(), None);
-                KvResponse::Done
-            }
-            KvRequest::TestAndSet {
-                key, expect, value, ..
-            } => {
-                self.stats.writes.fetch_add(1, Ordering::Relaxed);
-                let (success, current) = data.test_and_set(key, expect.as_deref(), value.clone());
-                KvResponse::TasResult { success, current }
-            }
-            KvRequest::GetRange {
-                start,
-                end,
-                limit,
-                reverse,
-                ..
-            } => {
-                let entries = data.range(start, end.as_deref(), *limit, *reverse);
-                let bytes: u64 = entries
-                    .iter()
-                    .map(|(k, v)| (k.len() + v.len()) as u64)
-                    .sum();
-                self.stats.reads.fetch_add(1, Ordering::Relaxed);
-                self.stats.bytes_read.fetch_add(bytes, Ordering::Relaxed);
-                self.stats
-                    .entries_returned
-                    .fetch_add(entries.len() as u64, Ordering::Relaxed);
-                session.stats.entries += entries.len() as u64;
-                session.stats.bytes += bytes;
-                KvResponse::Entries(entries)
-            }
-            KvRequest::CountRange { start, end, .. } => {
-                self.stats.reads.fetch_add(1, Ordering::Relaxed);
-                KvResponse::Count(data.count_range(start, end.as_deref()))
-            }
-        }
+/// Serve one request against its namespace. Free-standing (not `&self`) so
+/// rounds can scatter it across pool threads; returns the response, the
+/// physical (per-shard) operation count, and the payload bytes of any
+/// entries shipped back (so the round join can update session stats
+/// without re-walking the entries).
+fn execute_request(
+    data: &LiveNamespace,
+    stats: &LiveStats,
+    req: &KvRequest,
+    delay_us: u64,
+) -> (KvResponse, u64, u64) {
+    if delay_us > 0 {
+        std::thread::sleep(std::time::Duration::from_micros(delay_us));
     }
+    stats.ops.fetch_add(1, Ordering::Relaxed);
+    let (response, physical, entry_bytes) = match req {
+        KvRequest::Get { key, .. } => {
+            let value = data.get(key);
+            stats.reads.fetch_add(1, Ordering::Relaxed);
+            stats.bytes_read.fetch_add(
+                value.as_ref().map_or(0, |v| v.len() as u64),
+                Ordering::Relaxed,
+            );
+            (KvResponse::Value(value), 1, 0)
+        }
+        KvRequest::Put { key, value, .. } => {
+            stats.writes.fetch_add(1, Ordering::Relaxed);
+            stats
+                .bytes_written
+                .fetch_add(value.len() as u64, Ordering::Relaxed);
+            data.put(key.clone(), Some(value.clone()));
+            (KvResponse::Done, 1, 0)
+        }
+        KvRequest::Delete { key, .. } => {
+            stats.writes.fetch_add(1, Ordering::Relaxed);
+            data.put(key.clone(), None);
+            (KvResponse::Done, 1, 0)
+        }
+        KvRequest::TestAndSet {
+            key, expect, value, ..
+        } => {
+            stats.writes.fetch_add(1, Ordering::Relaxed);
+            let (success, current) = data.test_and_set(key, expect.as_deref(), value.clone());
+            (KvResponse::TasResult { success, current }, 1, 0)
+        }
+        KvRequest::GetRange {
+            start,
+            end,
+            limit,
+            reverse,
+            ..
+        } => {
+            let (entries, visited) = data.range(start, end.as_deref(), *limit, *reverse);
+            let bytes: u64 = entries
+                .iter()
+                .map(|(k, v)| (k.len() + v.len()) as u64)
+                .sum();
+            stats.reads.fetch_add(1, Ordering::Relaxed);
+            stats.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+            stats
+                .entries_returned
+                .fetch_add(entries.len() as u64, Ordering::Relaxed);
+            (KvResponse::Entries(entries), visited.max(1), bytes)
+        }
+        KvRequest::CountRange { start, end, .. } => {
+            stats.reads.fetch_add(1, Ordering::Relaxed);
+            let (total, visited) = data.count_range(start, end.as_deref());
+            (KvResponse::Count(total), visited.max(1), 0)
+        }
+    };
+    stats.physical_ops.fetch_add(physical, Ordering::Relaxed);
+    (response, physical, entry_bytes)
 }
 
 impl KvStore for LiveCluster {
@@ -360,26 +427,59 @@ impl KvStore for LiveCluster {
         id
     }
 
+    /// Issue one parallel round. All requests fan out over the shared
+    /// worker pool and the round completes at the *slowest* request — the
+    /// semantics the paper's latency model and `SimCluster` assume — with
+    /// responses joined back in request order.
     fn execute_round(&self, session: &mut Session, round: RequestRound) -> Vec<KvResponse> {
         if round.is_empty() {
             return Vec::new();
         }
-        let responses: Vec<KvResponse> = round
-            .iter()
-            .map(|req| self.execute_one(req, session))
-            .collect();
+        let logical = round.len() as u64;
+        let delay_us = self.config.request_delay_us;
+        let results: Vec<(KvResponse, u64, u64)> = if round.len() >= 2
+            && self.pool.worker_count() > 0
+        {
+            // resolve namespaces on the calling thread (cheap; keeps tasks
+            // 'static), then scatter
+            let tasks: Vec<_> = round
+                .into_iter()
+                .map(|req| {
+                    let data = self.ns_data(req.ns());
+                    let stats = self.stats.clone();
+                    move || execute_request(&data, &stats, &req, delay_us)
+                })
+                .collect();
+            self.pool.scatter(tasks)
+        } else {
+            round
+                .into_iter()
+                .map(|req| execute_request(&self.ns_data(req.ns()), &self.stats, &req, delay_us))
+                .collect()
+        };
+        let mut physical = 0u64;
+        let mut responses = Vec::with_capacity(results.len());
+        for (response, phys, entry_bytes) in results {
+            physical += phys;
+            if let KvResponse::Entries(e) = &response {
+                session.stats.entries += e.len() as u64;
+                session.stats.bytes += entry_bytes;
+            }
+            responses.push(response);
+        }
         // advance to wall-clock completion (monotonic per session even if
         // the session was created before this cluster's epoch)
         session.now = session.now.max(self.now_micros());
         session.stats.rounds += 1;
-        session.stats.logical_requests += round.len() as u64;
-        session.stats.physical_requests += round.len() as u64;
+        session.stats.logical_requests += logical;
+        session.stats.physical_requests += physical;
         self.stats.rounds.fetch_add(1, Ordering::Relaxed);
         responses
     }
 
     fn bulk_put(&self, ns: NsId, key: Vec<u8>, value: Vec<u8>) {
         self.stats.ops.fetch_add(1, Ordering::Relaxed);
+        self.stats.physical_ops.fetch_add(1, Ordering::Relaxed);
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
         self.stats
             .bytes_written
@@ -399,6 +499,7 @@ mod tests {
     fn small() -> LiveCluster {
         LiveCluster::new(LiveConfig {
             shards_per_namespace: 4,
+            ..Default::default()
         })
     }
 
@@ -517,6 +618,94 @@ mod tests {
             .filter(|&won| won)
             .count();
         assert_eq!(wins, 1, "exactly one TAS may claim an absent key");
+    }
+
+    #[test]
+    fn multi_shard_scans_count_per_shard_physical_ops() {
+        let c = small();
+        let ns = c.namespace("phys");
+        for i in 0..=255u8 {
+            c.bulk_put(ns, vec![i], vec![i]);
+        }
+        let before = c.stats_snapshot();
+        let mut s = Session::new();
+        // full-keyspace scan touches all 4 shards: 1 logical, 4 physical
+        c.execute_round(
+            &mut s,
+            vec![KvRequest::GetRange {
+                ns,
+                start: vec![],
+                end: None,
+                limit: None,
+                reverse: false,
+            }],
+        );
+        assert_eq!(s.stats.logical_requests, 1);
+        assert_eq!(s.stats.physical_requests, 4, "one op per shard visited");
+        let after = c.stats_snapshot();
+        assert_eq!(after.ops - before.ops, 1);
+        assert_eq!(after.physical_ops - before.physical_ops, 4);
+
+        // a limited scan that fills from the first shard visits just one
+        let mut s2 = Session::new();
+        c.execute_round(
+            &mut s2,
+            vec![KvRequest::CountRange {
+                ns,
+                start: vec![10],
+                end: Some(vec![20]),
+            }],
+        );
+        assert_eq!(s2.stats.physical_requests, 1, "count within one shard");
+    }
+
+    #[test]
+    fn delayed_round_completes_at_slowest_not_sum() {
+        let c = LiveCluster::new(LiveConfig {
+            shards_per_namespace: 4,
+            pool_threads: 8,
+            request_delay_us: 10_000, // 10 ms per request
+        });
+        let ns = c.namespace("slow");
+        let mut s = Session::new();
+        let t0 = Instant::now();
+        let round: RequestRound = (0..8u8)
+            .map(|i| KvRequest::Get { ns, key: vec![i] })
+            .collect();
+        c.execute_round(&mut s, round);
+        let elapsed = t0.elapsed();
+        // 8 × 10 ms sequentially is 80 ms; fanned out it is ~10 ms
+        assert!(
+            elapsed < std::time::Duration::from_millis(40),
+            "round should complete at ~max request latency, took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn zero_thread_pool_still_conforms_sequentially() {
+        let c = LiveCluster::new(LiveConfig {
+            shards_per_namespace: 4,
+            pool_threads: 0,
+            request_delay_us: 0,
+        });
+        let ns = c.namespace("seq");
+        let mut s = Session::new();
+        let responses = c.execute_round(
+            &mut s,
+            vec![
+                KvRequest::Put {
+                    ns,
+                    key: b"a".to_vec(),
+                    value: b"1".to_vec(),
+                },
+                KvRequest::Get {
+                    ns,
+                    key: b"a".to_vec(),
+                },
+            ],
+        );
+        assert_eq!(responses.len(), 2);
+        assert_eq!(c.pool().worker_count(), 0);
     }
 
     #[test]

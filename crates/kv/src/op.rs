@@ -73,6 +73,9 @@ impl KvRequest {
     }
 }
 
+/// One `(key, value)` entry shipped back by a range scan.
+pub type KvEntry = (Vec<u8>, Vec<u8>);
+
 /// One response, positionally matching the request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum KvResponse {
@@ -91,29 +94,156 @@ pub enum KvResponse {
     Done,
 }
 
+/// A response of the wrong variant for its positional request — a malformed
+/// round (engine bug or misbehaving backend). Engine call sites surface
+/// this as a query error instead of panicking mid-connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseMismatch {
+    /// Variant the caller needed.
+    pub expected: &'static str,
+    /// Variant actually received.
+    pub got: &'static str,
+}
+
+impl std::fmt::Display for ResponseMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "malformed round: expected {} response, got {}",
+            self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for ResponseMismatch {}
+
 impl KvResponse {
+    fn variant_name(&self) -> &'static str {
+        match self {
+            KvResponse::Value(_) => "Value",
+            KvResponse::Entries(_) => "Entries",
+            KvResponse::Count(_) => "Count",
+            KvResponse::TasResult { .. } => "TasResult",
+            KvResponse::Done => "Done",
+        }
+    }
+
+    fn mismatch(&self, expected: &'static str) -> ResponseMismatch {
+        ResponseMismatch {
+            expected,
+            got: self.variant_name(),
+        }
+    }
+
+    /// Get: the value, if the key was present.
+    pub fn value(&self) -> Result<Option<&[u8]>, ResponseMismatch> {
+        match self {
+            KvResponse::Value(v) => Ok(v.as_deref()),
+            other => Err(other.mismatch("Value")),
+        }
+    }
+
+    /// Consuming form of [`KvResponse::value`].
+    pub fn into_value(self) -> Result<Option<Vec<u8>>, ResponseMismatch> {
+        match self {
+            KvResponse::Value(v) => Ok(v),
+            other => Err(other.mismatch("Value")),
+        }
+    }
+
+    /// GetRange: the entries.
+    pub fn entries(&self) -> Result<&[KvEntry], ResponseMismatch> {
+        match self {
+            KvResponse::Entries(e) => Ok(e),
+            other => Err(other.mismatch("Entries")),
+        }
+    }
+
+    /// Consuming form of [`KvResponse::entries`].
+    pub fn into_entries(self) -> Result<Vec<KvEntry>, ResponseMismatch> {
+        match self {
+            KvResponse::Entries(e) => Ok(e),
+            other => Err(other.mismatch("Entries")),
+        }
+    }
+
+    /// CountRange: the count.
+    pub fn count(&self) -> Result<u64, ResponseMismatch> {
+        match self {
+            KvResponse::Count(c) => Ok(*c),
+            other => Err(other.mismatch("Count")),
+        }
+    }
+
+    /// TestAndSet: (applied?, value now stored).
+    pub fn tas(&self) -> Result<(bool, Option<&[u8]>), ResponseMismatch> {
+        match self {
+            KvResponse::TasResult { success, current } => Ok((*success, current.as_deref())),
+            other => Err(other.mismatch("TasResult")),
+        }
+    }
+
+    /// Panicking convenience for tests and benches; production call sites
+    /// use the `Result`-returning accessors above.
     pub fn expect_value(&self) -> Option<&[u8]> {
-        match self {
-            KvResponse::Value(v) => v.as_deref(),
-            other => panic!("expected Value response, got {other:?}"),
-        }
+        self.value().unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// See [`KvResponse::expect_value`].
     pub fn expect_entries(&self) -> &[(Vec<u8>, Vec<u8>)] {
-        match self {
-            KvResponse::Entries(e) => e,
-            other => panic!("expected Entries response, got {other:?}"),
-        }
+        self.entries().unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// See [`KvResponse::expect_value`].
     pub fn expect_count(&self) -> u64 {
-        match self {
-            KvResponse::Count(c) => *c,
-            other => panic!("expected Count response, got {other:?}"),
-        }
+        self.count().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
 /// A set of requests issued in parallel; the session clock advances to the
 /// latest completion in the round.
 pub type RequestRound = Vec<KvRequest>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_return_mismatch_instead_of_panicking() {
+        let value = KvResponse::Value(Some(b"v".to_vec()));
+        assert_eq!(value.value().unwrap(), Some(b"v".as_slice()));
+        assert_eq!(
+            value.entries().unwrap_err(),
+            ResponseMismatch {
+                expected: "Entries",
+                got: "Value"
+            }
+        );
+        assert_eq!(
+            KvResponse::Done.count().unwrap_err().to_string(),
+            "malformed round: expected Count response, got Done"
+        );
+        let tas = KvResponse::TasResult {
+            success: true,
+            current: None,
+        };
+        assert_eq!(tas.tas().unwrap(), (true, None));
+        assert!(tas.value().is_err());
+        assert_eq!(
+            KvResponse::Entries(vec![(vec![1], vec![2])])
+                .into_entries()
+                .unwrap(),
+            vec![(vec![1], vec![2])]
+        );
+        assert_eq!(
+            KvResponse::Value(None).into_value().unwrap(),
+            None::<Vec<u8>>
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Value response")]
+    fn expect_helpers_still_panic_for_tests() {
+        KvResponse::Done.expect_value();
+    }
+}

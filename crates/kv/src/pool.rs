@@ -1,0 +1,323 @@
+//! A shared worker pool for executing the requests of one round in
+//! parallel.
+//!
+//! The paper's latency model (§4, Fig. 12) assumes all requests of a round
+//! fan out together and the round completes at the *slowest* request.
+//! [`SimCluster`](crate::SimCluster) models that in virtual time;
+//! [`LiveCluster`](crate::LiveCluster) achieves it on the wall clock by
+//! scattering a round over this pool.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **No oversubscription.** One process hosts many concurrent sessions
+//!    (one per TCP connection in `piql-server`); if each round spawned its
+//!    own threads, N sessions × K requests would stampede the scheduler.
+//!    All sessions of a cluster share one fixed pool.
+//! 2. **No deadlock under saturation.** The caller *participates*: it
+//!    drains its own round's task queue alongside the workers, so a round
+//!    always completes even if every worker is busy with other rounds (or
+//!    the pool has zero threads — then execution is simply sequential on
+//!    the calling thread).
+//! 3. **Positional results.** Responses are joined back in request order,
+//!    whatever order tasks finished in.
+//! 4. **Panic containment.** A panicking task is caught on whichever
+//!    thread ran it and re-raised on the round's calling thread at join,
+//!    so workers survive and unrelated sessions are unaffected.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// Monotonic pool counters (reporting only).
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    /// Rounds that were fanned out (≥ 2 tasks and at least one worker).
+    pub fanned_rounds: AtomicU64,
+    /// Tasks executed by pool workers (as opposed to the calling thread).
+    pub worker_tasks: AtomicU64,
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Task>>,
+    task_ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A fixed-size worker pool scattering rounds of closures.
+pub struct RoundPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+    pub stats: PoolStats,
+}
+
+impl RoundPool {
+    /// A pool with `threads` workers. `threads = 0` is valid: every round
+    /// runs sequentially on its calling thread.
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            task_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("piql-kv-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        RoundPool {
+            shared,
+            workers,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// A pool sized to the machine: one worker per available core, with a
+    /// floor of 4 (round tasks mostly *wait* — on shard locks or storage
+    /// I/O — so overlap pays even on small hosts) and a cap of 16 (rounds
+    /// are short; more threads only add contention).
+    pub fn default_for_host() -> Self {
+        Self::new(default_pool_threads())
+    }
+
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn submit(&self, task: Task) {
+        self.shared.queue.lock().unwrap().push_back(task);
+        self.shared.task_ready.notify_one();
+    }
+
+    /// Run every closure, in parallel where workers allow, and return the
+    /// results in input order. Completes when the slowest closure does.
+    ///
+    /// The calling thread executes tasks too, so this never deadlocks and
+    /// degrades gracefully to sequential execution under saturation. If any
+    /// task panicked, the panic is re-raised here after the round settles.
+    pub fn scatter<T, F>(&self, fns: Vec<F>) -> Vec<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let n = fns.len();
+        if n <= 1 || self.workers.is_empty() {
+            return fns.into_iter().map(|f| f()).collect();
+        }
+        self.stats.fanned_rounds.fetch_add(1, Ordering::Relaxed);
+        let state = Arc::new(RoundState::new(fns));
+        // One helper per task beyond the caller's own, capped at the pool
+        // width; a helper that arrives after the round drained just returns.
+        let helpers = (n - 1).min(self.workers.len());
+        for _ in 0..helpers {
+            let state = state.clone();
+            self.submit(Box::new(move || state.drain(true)));
+        }
+        state.drain(false);
+        let (results, worker_tasks) = state.join();
+        self.stats
+            .worker_tasks
+            .fetch_add(worker_tasks, Ordering::Relaxed);
+        results
+    }
+}
+
+/// The default worker count for host-sized pools (see
+/// [`RoundPool::default_for_host`]).
+pub fn default_pool_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(4, 16)
+}
+
+impl Drop for RoundPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.task_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(task) = queue.pop_front() {
+                    break task;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.task_ready.wait(queue).unwrap();
+            }
+        };
+        task();
+    }
+}
+
+/// Shared state of one in-flight round.
+struct RoundState<T, F> {
+    /// Unclaimed tasks, tagged with their result slot.
+    pending: Mutex<VecDeque<(usize, F)>>,
+    inner: Mutex<RoundInner<T>>,
+    done: Condvar,
+}
+
+struct RoundInner<T> {
+    slots: Vec<Option<T>>,
+    remaining: usize,
+    worker_tasks: u64,
+    panic: Option<PanicPayload>,
+}
+
+impl<T, F> RoundState<T, F>
+where
+    F: FnOnce() -> T,
+{
+    fn new(fns: Vec<F>) -> Self {
+        let n = fns.len();
+        RoundState {
+            pending: Mutex::new(fns.into_iter().enumerate().collect()),
+            inner: Mutex::new(RoundInner {
+                slots: (0..n).map(|_| None).collect(),
+                remaining: n,
+                worker_tasks: 0,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Claim and run unstarted tasks until none remain.
+    fn drain(&self, as_worker: bool) {
+        loop {
+            let claimed = self.pending.lock().unwrap().pop_front();
+            let Some((slot, f)) = claimed else { return };
+            let result = catch_unwind(AssertUnwindSafe(f));
+            let mut inner = self.inner.lock().unwrap();
+            match result {
+                Ok(value) => inner.slots[slot] = Some(value),
+                Err(payload) => inner.panic = Some(payload),
+            }
+            inner.remaining -= 1;
+            if as_worker {
+                inner.worker_tasks += 1;
+            }
+            if inner.remaining == 0 {
+                self.done.notify_all();
+            }
+        }
+    }
+
+    /// Wait for every task (including ones claimed by workers) and take the
+    /// ordered results; re-raises a task panic on this thread.
+    fn join(&self) -> (Vec<T>, u64) {
+        let mut inner = self.inner.lock().unwrap();
+        while inner.remaining > 0 {
+            inner = self.done.wait(inner).unwrap();
+        }
+        if let Some(payload) = inner.panic.take() {
+            drop(inner);
+            resume_unwind(payload);
+        }
+        let worker_tasks = inner.worker_tasks;
+        let out = inner
+            .slots
+            .iter_mut()
+            .map(|slot| slot.take().expect("every slot filled"))
+            .collect();
+        (out, worker_tasks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn results_are_positional() {
+        let pool = RoundPool::new(4);
+        for _ in 0..50 {
+            let fns: Vec<_> = (0..16).map(|i| move || i * 10).collect();
+            let out = pool.scatter(fns);
+            assert_eq!(out, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = RoundPool::new(0);
+        let out = pool.scatter(vec![|| 1, || 2]);
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(pool.stats.fanned_rounds.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn sleepy_tasks_overlap() {
+        let pool = RoundPool::new(8);
+        let t0 = Instant::now();
+        let fns: Vec<_> = (0..8)
+            .map(|i| {
+                move || {
+                    std::thread::sleep(Duration::from_millis(20));
+                    i
+                }
+            })
+            .collect();
+        let out = pool.scatter(fns);
+        let elapsed = t0.elapsed();
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        // 8 × 20 ms sequential would be 160 ms; parallel is ~20 ms. Allow
+        // generous scheduler slack while still ruling out the sum.
+        assert!(elapsed < Duration::from_millis(120), "{elapsed:?}");
+    }
+
+    #[test]
+    fn concurrent_rounds_share_the_pool() {
+        let pool = Arc::new(RoundPool::new(4));
+        let handles: Vec<_> = (0..6)
+            .map(|t| {
+                let pool = pool.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..20 {
+                        let fns: Vec<_> = (0..10).map(|i| move || t * 100 + i).collect();
+                        let out = pool.scatter(fns);
+                        assert_eq!(out, (0..10).map(|i| t * 100 + i).collect::<Vec<_>>());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn task_panic_propagates_to_caller_and_pool_survives() {
+        let pool = Arc::new(RoundPool::new(2));
+        let p = pool.clone();
+        let caller = std::thread::spawn(move || {
+            let fns: Vec<Box<dyn FnOnce() -> i32 + Send>> =
+                vec![Box::new(|| panic!("boom")), Box::new(|| 2), Box::new(|| 3)];
+            p.scatter(fns);
+        });
+        assert!(caller.join().is_err(), "panic re-raised on the caller");
+        // workers caught the panic and keep serving fresh rounds
+        let out = pool.scatter(vec![|| 1, || 2, || 3]);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(pool.worker_count(), 2);
+    }
+}

@@ -19,9 +19,30 @@ fn backends() -> Vec<(&'static str, Box<dyn KvStore>)> {
             "LiveCluster",
             Box::new(LiveCluster::new(LiveConfig {
                 shards_per_namespace: 4,
+                ..Default::default()
+            })),
+        ),
+        (
+            "LiveCluster(sequential)",
+            Box::new(LiveCluster::new(LiveConfig {
+                shards_per_namespace: 4,
+                pool_threads: 0,
+                request_delay_us: 0,
             })),
         ),
     ]
+}
+
+/// A `LiveCluster` doubling as the suite's *slow store*: every request is
+/// injected with `delay_us` of service time, which makes round timing
+/// observable on the wall clock (an in-memory map answers in nanoseconds
+/// otherwise).
+fn slow_store(delay_us: u64, pool_threads: usize) -> LiveCluster {
+    LiveCluster::new(LiveConfig {
+        shards_per_namespace: 4,
+        pool_threads,
+        request_delay_us: delay_us,
+    })
 }
 
 fn one(store: &dyn KvStore, s: &mut Session, req: KvRequest) -> KvResponse {
@@ -384,6 +405,100 @@ fn rounds_answer_positionally_and_advance_the_clock() {
         assert_eq!(s.stats.logical_requests, 3, "{name}");
         assert!(s.stats.physical_requests >= 3, "{name}");
         assert!(s.now >= t0, "{name}: the clock never goes backwards");
+    }
+}
+
+/// The paper's round-latency model, on the wall clock: a 10-request round
+/// against a store serving each request in ~20 ms must complete in ~max
+/// (one service time), not ~sum (ten service times).
+#[test]
+fn slow_store_round_completes_at_max_not_sum() {
+    const DELAY_US: u64 = 20_000;
+    let store = slow_store(DELAY_US, 10);
+    let ns = store.namespace("slow");
+    for i in 0..10u8 {
+        store.bulk_put(ns, vec![i], vec![i]);
+    }
+    let round: Vec<KvRequest> = (0..10u8)
+        .map(|i| KvRequest::Get { ns, key: vec![i] })
+        .collect();
+    let mut s = Session::new();
+    let t0 = std::time::Instant::now();
+    let responses = store.execute_round(&mut s, round);
+    let elapsed = t0.elapsed();
+    assert_eq!(responses.len(), 10);
+    for (i, r) in responses.iter().enumerate() {
+        assert_eq!(
+            r.expect_value(),
+            Some([i as u8].as_slice()),
+            "responses stay positional under fan-out"
+        );
+    }
+    // acceptance: ≤ 2× the slowest request's latency, nowhere near the sum
+    assert!(
+        elapsed <= std::time::Duration::from_micros(2 * DELAY_US),
+        "10-request round took {elapsed:?}, want ≤ {:?}",
+        std::time::Duration::from_micros(2 * DELAY_US)
+    );
+    // the session clock observed the same wall-clock completion
+    assert!(
+        s.now >= DELAY_US,
+        "session clock advanced by ≥ one service time"
+    );
+}
+
+/// Sequential baseline: with the pool disabled the same round accumulates
+/// per-request latencies — the behavior the fan-out exists to remove.
+#[test]
+fn sequential_store_round_accumulates_latencies() {
+    const DELAY_US: u64 = 5_000;
+    let store = slow_store(DELAY_US, 0);
+    let ns = store.namespace("slow-seq");
+    let round: Vec<KvRequest> = (0..10u8)
+        .map(|i| KvRequest::Get { ns, key: vec![i] })
+        .collect();
+    let mut s = Session::new();
+    let t0 = std::time::Instant::now();
+    store.execute_round(&mut s, round);
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed >= std::time::Duration::from_micros(9 * DELAY_US),
+        "sequential round should be ~sum of latencies, took {elapsed:?}"
+    );
+}
+
+/// Concurrent sessions share one pool and still get positional, correct
+/// responses — rounds from different threads never interleave answers.
+#[test]
+fn concurrent_sessions_fan_out_without_cross_talk() {
+    let store = std::sync::Arc::new(slow_store(0, 4));
+    let ns = store.namespace("mt");
+    for i in 0..=255u8 {
+        store.bulk_put(ns, vec![i], vec![i]);
+    }
+    let handles: Vec<_> = (0..8u8)
+        .map(|t| {
+            let store = store.clone();
+            std::thread::spawn(move || {
+                let mut s = Session::new();
+                for _ in 0..50 {
+                    let round: Vec<KvRequest> = (0..16u8)
+                        .map(|i| KvRequest::Get {
+                            ns,
+                            key: vec![t.wrapping_mul(16).wrapping_add(i)],
+                        })
+                        .collect();
+                    let responses = store.execute_round(&mut s, round);
+                    for (i, r) in responses.iter().enumerate() {
+                        let expect = t.wrapping_mul(16).wrapping_add(i as u8);
+                        assert_eq!(r.expect_value(), Some([expect].as_slice()));
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
     }
 }
 

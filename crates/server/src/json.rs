@@ -195,7 +195,12 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
 }
 
 fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<(), JsonError> {
-    if bytes[*pos..].starts_with(token.as_bytes()) {
+    // `get` (not slicing) so a truncated input can never panic, wherever
+    // the cursor ended up
+    if bytes
+        .get(*pos..)
+        .is_some_and(|rest| rest.starts_with(token.as_bytes()))
+    {
         *pos += token.len();
         Ok(())
     } else {
@@ -320,10 +325,16 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 *pos += 1;
             }
             Some(_) => {
-                // consume one UTF-8 scalar
-                let rest =
-                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| err(*pos, "invalid utf-8"))?;
-                let c = rest.chars().next().unwrap();
+                // consume one UTF-8 scalar; every exit is an error, never a
+                // panic, even on truncated or invalid input
+                let rest = bytes
+                    .get(*pos..)
+                    .and_then(|b| std::str::from_utf8(b).ok())
+                    .ok_or_else(|| err(*pos, "invalid utf-8"))?;
+                let c = rest
+                    .chars()
+                    .next()
+                    .ok_or_else(|| err(*pos, "unterminated string"))?;
                 out.push(c);
                 *pos += c.len_utf8();
             }
@@ -347,7 +358,7 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
             _ => break,
         }
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).unwrap();
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| err(start, "bad number"))?;
     if text.is_empty() || text == "-" {
         return Err(err(start, "expected value"));
     }
@@ -405,5 +416,30 @@ mod tests {
         assert!(parse("{").is_err());
         assert!(parse("[1,]").is_err());
         assert!(parse("12 34").is_err());
+    }
+
+    #[test]
+    fn malformed_escapes_error_instead_of_panicking() {
+        // regression: truncated/invalid escapes at end-of-input must
+        // return `JsonError`, never panic the connection handler
+        for case in [
+            "\"\\",           // escape introducer at EOF
+            "\"\\u",          // \u at EOF
+            "\"\\u12",        // truncated hex
+            "\"\\u123",       // still truncated
+            "\"\\uZZZZ\"",    // bad hex digits
+            "\"\\x\"",        // unknown escape
+            "\"abc",          // unterminated string
+            "\"\\ud800\\u\"", // high surrogate then truncated escape
+            "\"\\ud800\\u12", // high surrogate then truncated hex
+            "{\"k\":",        // value cut off
+            "{\"k\"",         // colon cut off
+            "[\"\\u",         // nested truncation
+        ] {
+            assert!(parse(case).is_err(), "{case:?} should be an error");
+        }
+        // surrogate pairs decode; a lone surrogate degrades to U+FFFD
+        assert_eq!(parse("\"\\ud83d\\ude00\"").unwrap(), Json::Str("😀".into()));
+        assert_eq!(parse("\"\\ud800\"").unwrap(), Json::Str("\u{FFFD}".into()));
     }
 }

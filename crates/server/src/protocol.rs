@@ -91,8 +91,14 @@ pub fn value_from_json(j: &Json) -> Result<Value, ProtoError> {
     let malformed = || ProtoError::Malformed(format!("bad value: {}", j));
     match j {
         Json::Null => Ok(Value::Null),
-        Json::Obj(m) if m.len() == 1 => {
-            let (tag, inner) = m.iter().next().unwrap();
+        Json::Obj(m) => {
+            // exactly one tag field; `{}` and multi-key objects are
+            // malformed values, not panics (a hostile line must never kill
+            // the connection handler)
+            let mut fields = m.iter();
+            let (Some((tag, inner)), None) = (fields.next(), fields.next()) else {
+                return Err(malformed());
+            };
             match (tag.as_str(), inner) {
                 ("int", Json::Int(i)) => i32::try_from(*i).map(Value::Int).map_err(|_| malformed()),
                 ("big", Json::Int(i)) => Ok(Value::BigInt(*i)),
@@ -354,6 +360,32 @@ mod tests {
         ];
         for r in &reqs {
             assert_eq!(&parse_request(&request_to_line(r)).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn empty_and_multikey_objects_are_errors_not_panics() {
+        // `{}` as a request line must produce a protocol error; pins the
+        // unwrap-free field handling so no refactor can make a hostile
+        // line panic the connection handler
+        assert!(matches!(parse_request("{}"), Err(ProtoError::Malformed(_))));
+        // `{}` and multi-tag objects as *values* are malformed too
+        for line in [
+            r#"{"cmd":"execute","name":"q","params":[{}]}"#,
+            r#"{"cmd":"execute","name":"q","params":[{"int":1,"str":"x"}]}"#,
+            r#"{"cmd":"execute","name":"q","params":[{"nope":1}]}"#,
+        ] {
+            assert!(
+                matches!(parse_request(line), Err(ProtoError::Malformed(_))),
+                "{line}"
+            );
+        }
+        // truncated escapes surface as JSON errors, not panics
+        for line in ["{\"cmd\":\"stats\"", r#"{"cmd":"stats","x":"\u12"#, "\"\\"] {
+            assert!(
+                matches!(parse_request(line), Err(ProtoError::Json(_))),
+                "{line}"
+            );
         }
     }
 

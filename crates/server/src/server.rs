@@ -5,6 +5,13 @@
 //! needs to resume — registered statement names and pagination cursors —
 //! lives either in the shared registry or in the cursor the client holds,
 //! so reconnecting to the same (or another) server continues cleanly.
+//!
+//! Connection threads only *block*; storage parallelism comes from the
+//! backing cluster. On a `LiveCluster`, every session's request rounds
+//! fan out over the cluster's one shared `RoundPool` (sized by
+//! `LiveConfig::pool_threads`), so N concurrent connections never run
+//! more than the configured number of storage workers — connections add
+//! queueing, not thread stampede.
 
 use crate::json::Json;
 use crate::protocol::{

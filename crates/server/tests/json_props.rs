@@ -1,0 +1,97 @@
+//! Property tests for the hand-rolled protocol JSON: document round
+//! trips (strings that need escaping included), and the no-panic
+//! guarantee on truncated / mangled inputs — a hostile or cut-off line
+//! must surface `JsonError`, never kill a connection handler.
+
+use piql_server::json::{parse, Json};
+use proptest::prelude::*;
+
+/// Strings mixing ASCII, escapes-required chars, control chars, wide BMP
+/// chars, and (sometimes) an astral char that needs a surrogate pair in
+/// `\u` form.
+fn string_content() -> impl Strategy<Value = String> {
+    (
+        prop::collection::vec(any::<char>(), 0..16),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(chars, quoteish, astral)| {
+            let mut s: String = chars.into_iter().collect();
+            if quoteish {
+                s.push('"');
+                s.push('\\');
+                s.push('\n');
+                s.push('\u{0007}');
+            }
+            if astral {
+                s.push('😀');
+                s.push('🦀');
+            }
+            s
+        })
+}
+
+/// A scalar JSON value whose serialization round-trips exactly.
+fn scalar() -> impl Strategy<Value = Json> {
+    prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        any::<i64>().prop_map(Json::Int),
+        any::<f64>().prop_map(|f| Json::Float(if f.is_finite() { f } else { 0.0 })),
+        string_content().prop_map(Json::Str),
+    ]
+}
+
+/// A bounded-depth document: scalars, arrays of scalars, and objects of
+/// scalars/arrays (the shapes the wire protocol actually produces).
+fn document() -> impl Strategy<Value = Json> {
+    prop_oneof![
+        scalar(),
+        prop::collection::vec(scalar(), 0..6).prop_map(Json::Arr),
+        prop::collection::btree_map(string_content(), scalar(), 0..6).prop_map(Json::Obj),
+        (
+            prop::collection::vec(scalar(), 0..4),
+            prop::collection::btree_map(string_content(), scalar(), 0..4),
+        )
+            .prop_map(|(arr, obj)| { Json::Arr(vec![Json::Arr(arr), Json::Obj(obj), Json::Null]) }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// serialize → parse is the identity for every document shape the
+    /// protocol emits.
+    #[test]
+    fn documents_roundtrip(doc in document()) {
+        let text = doc.to_string();
+        let reparsed = parse(&text);
+        prop_assert_eq!(reparsed.as_ref(), Ok(&doc), "text: {}", text);
+    }
+
+    /// Every prefix of a valid document either parses or returns a
+    /// `JsonError` — truncation can never panic. (The `parse` call itself
+    /// is the assertion: a panic fails the test.)
+    #[test]
+    fn truncated_documents_never_panic(doc in document(), cut in any::<prop::sample::Index>()) {
+        let text = doc.to_string();
+        let boundaries: Vec<usize> = text.char_indices().map(|(i, _)| i).collect();
+        if !boundaries.is_empty() {
+            let at = boundaries[cut.index(boundaries.len())];
+            let _ = parse(&text[..at]);
+        }
+        // and with a trailing escape introducer, the classic cut-off point
+        let _ = parse(&format!("{}\\", text));
+        let _ = parse(&format!("\"{}", text));
+        prop_assert!(true);
+    }
+
+    /// Strings with every kind of awkward content survive the escape
+    /// writer and parser exactly.
+    #[test]
+    fn string_escapes_roundtrip(s in string_content()) {
+        let j = Json::Str(s.clone());
+        let reparsed = parse(&j.to_string());
+        prop_assert_eq!(reparsed, Ok(j));
+    }
+}

@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..Default::default()
     };
     let n_users = scadr::setup(&db, &config, 2)?;
-    println!("loaded SCADr: {n_users} users on a live sharded store\n");
+    println!(
+        "loaded SCADr: {n_users} users on a live sharded store \
+         ({} round fan-out workers shared by all sessions)\n",
+        cluster.pool().worker_count()
+    );
 
     // -- the service: 80ms p99 SLO, operator costs from a linear model
     // (a deployment would train these against its own store, §6.1)
