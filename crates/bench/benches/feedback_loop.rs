@@ -1,0 +1,125 @@
+//! Cost of the live-model feedback loop.
+//!
+//! Two questions a serving deployment cares about:
+//!
+//! 1. **Hot-path overhead** — what does tagging + sampling every executed
+//!    round cost the query path? (Answer: one striped-mutex push per
+//!    round; measured here as executions/s with the sink filling vs being
+//!    drained.)
+//! 2. **Sweep cost** — how long does one re-validation sweep take as the
+//!    number of registered statements and buffered samples grows? The
+//!    sweep re-predicts every statement (compile + convolve), so it scales
+//!    with registry size, not traffic.
+//!
+//! `PIQL_QUICK=1` shrinks the run.
+
+use piql_bench::{header, row, scaled};
+use piql_core::plan::params::Params;
+use piql_core::value::Value;
+use piql_engine::Database;
+use piql_kv::{LiveCluster, LiveConfig, Session};
+use piql_server::testkit::linear_predictor;
+use piql_server::{SloConfig, StatementRegistry};
+use piql_workloads::scadr::{self, ScadrConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn build(n_statements: u64) -> (Arc<LiveCluster>, Arc<StatementRegistry<LiveCluster>>) {
+    let cluster = Arc::new(LiveCluster::new(LiveConfig::default()));
+    let db = Arc::new(Database::new(cluster.clone()));
+    let config = ScadrConfig {
+        users_per_node: 100,
+        thoughts_per_user: 12,
+        subscriptions_per_user: 6,
+        max_subscriptions: 100,
+        ..Default::default()
+    };
+    scadr::setup(&db, &config, 2).unwrap();
+    let registry = Arc::new(StatementRegistry::new(
+        db,
+        linear_predictor(200, 100, 3),
+        SloConfig {
+            slo_ms: 80.0,
+            interval_confidence: 1.0,
+            allow_degrade: true,
+        },
+    ));
+    for i in 0..n_statements {
+        registry
+            .register(
+                &format!("find_user_{i}"),
+                "SELECT * FROM users WHERE username = <u>",
+            )
+            .unwrap();
+    }
+    (cluster, registry)
+}
+
+fn main() {
+    header(
+        "feedback_loop",
+        "online §6.1 training + admission re-validation",
+        "hot-path sampling overhead and sweep latency vs registry size",
+    );
+
+    // --- 1. hot path: execute a point query in a tight loop
+    let iterations = scaled(20_000, 2_000);
+    let (cluster, registry) = build(1);
+    let mut session = Session::new();
+    let mut params = Params::new();
+    params.set(0, Value::Varchar(scadr::username(17)));
+    // warm
+    for _ in 0..200 {
+        registry
+            .execute(&mut session, "find_user_0", &params, None)
+            .unwrap();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iterations {
+        registry
+            .execute(&mut session, "find_user_0", &params, None)
+            .unwrap();
+    }
+    let hot = t0.elapsed();
+    row(&[
+        ("phase", "hot-path".into()),
+        ("iterations", iterations.to_string()),
+        (
+            "exec_per_sec",
+            format!("{:.0}", iterations as f64 / hot.as_secs_f64()),
+        ),
+        (
+            "sink_recorded",
+            cluster.sample_sink().recorded().to_string(),
+        ),
+        ("sink_dropped", cluster.sample_sink().dropped().to_string()),
+    ]);
+
+    // --- 2. sweep latency as the registry grows
+    for n in [1u64, 10, 50] {
+        let n = if piql_bench::quick() { n.min(10) } else { n };
+        let (_cluster, registry) = build(n);
+        // buffer a realistic batch of live samples to fold
+        let mut session = Session::new();
+        let mut params = Params::new();
+        params.set(0, Value::Varchar(scadr::username(3)));
+        for _ in 0..scaled(500, 50) {
+            registry
+                .execute(&mut session, "find_user_0", &params, None)
+                .unwrap();
+        }
+        let t0 = Instant::now();
+        let summary = registry.revalidate();
+        let sweep = t0.elapsed();
+        row(&[
+            ("phase", "sweep".into()),
+            ("statements", n.to_string()),
+            ("samples_folded", summary.samples_folded.to_string()),
+            ("sweep_us", sweep.as_micros().to_string()),
+            (
+                "us_per_statement",
+                format!("{:.0}", sweep.as_micros() as f64 / n as f64),
+            ),
+        ]);
+    }
+}

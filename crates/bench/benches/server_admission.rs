@@ -168,7 +168,7 @@ fn main() {
     let bound = registry
         .get("thoughtstream")
         .unwrap()
-        .prepared
+        .prepared()
         .compiled
         .bounds
         .requests;

@@ -273,7 +273,11 @@ impl<S: KvStore> Database<S> {
         let mut ctx = ExecCtx::new(self.store(), session, &catalog, params, strategy);
         ctx.produce_cursor = prepared.compiled.page_size.is_some();
         ctx.resume = cursor.map(|c| c.state.clone());
-        let rows = ctx.eval(&prepared.compiled.physical)?;
+        let rows = ctx.eval(&prepared.compiled.physical);
+        // never leak an operator tag past this query (an error return mid-
+        // operator would otherwise mis-attribute the session's next rounds)
+        ctx.session.op_tag = None;
+        let rows = rows?;
         let next = ctx.next_cursor.take();
         Ok(QueryResult {
             rows,

@@ -31,7 +31,7 @@ use piql_core::plan::physical::{
 use piql_core::plan::{BoundPredicate, Operand};
 use piql_core::tuple::Tuple;
 use piql_core::value::Value;
-use piql_kv::{KvRequest, KvResponse, KvStore, NsId, ResponseMismatch, Session};
+use piql_kv::{KvRequest, KvResponse, KvStore, LiveOpKind, NsId, OpTag, ResponseMismatch, Session};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -164,6 +164,22 @@ impl<'a> ExecCtx<'a> {
         Ok(op.resolve(self.params)?.clone())
     }
 
+    /// Tag the session with the remote operator about to issue rounds, so
+    /// wall-clock backends can attribute round latencies to the §6.1 model
+    /// key (op kind, α_c, α_j, β) for online training.
+    fn tag_op(&mut self, op: LiveOpKind, alpha_c: u64, alpha_j: u64, beta: u64) {
+        self.session.op_tag = Some(OpTag {
+            op,
+            alpha_c: alpha_c.min(u32::MAX as u64) as u32,
+            alpha_j: alpha_j.min(u32::MAX as u64) as u32,
+            beta: beta.min(u32::MAX as u64) as u32,
+        });
+    }
+
+    fn clear_op_tag(&mut self) {
+        self.session.op_tag = None;
+    }
+
     /// Evaluate a plan to completion.
     pub fn eval(&mut self, plan: &PhysicalPlan) -> Result<Vec<Tuple>, ExecError> {
         match plan {
@@ -175,10 +191,14 @@ impl<'a> ExecCtx<'a> {
             }
             PhysicalPlan::IndexScan { spec, .. } => self.eval_scan(spec),
             PhysicalPlan::IndexFKJoin {
-                child, key, table, ..
+                child,
+                key,
+                table,
+                row_bytes,
+                ..
             } => {
                 let children = self.eval(child)?;
-                self.eval_fk_join(children, *table, key)
+                self.eval_fk_join(children, *table, key, *row_bytes)
             }
             PhysicalPlan::SortedIndexJoin { child, spec, .. } => {
                 let children = self.eval(child)?;
@@ -247,6 +267,11 @@ impl<'a> ExecCtx<'a> {
             }
         }
 
+        let scan_alpha = match &spec.limit {
+            ScanLimit::Bounded { count, .. } => *count,
+            ScanLimit::Unbounded { estimate } => *estimate,
+        };
+        self.tag_op(LiveOpKind::IndexScan, scan_alpha, 1, spec.row_bytes);
         let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
         match (&spec.limit, self.strategy) {
             (ScanLimit::Bounded { count, .. }, ExecStrategy::Lazy) => {
@@ -307,6 +332,8 @@ impl<'a> ExecCtx<'a> {
             }
         }
 
+        self.clear_op_tag();
+
         // cursor for the next page
         if self.resume.is_some() || self.next_cursor_wanted() {
             self.next_cursor = entries.last().map(|(k, _)| CursorState::ScanAfter {
@@ -314,7 +341,7 @@ impl<'a> ExecCtx<'a> {
             });
         }
 
-        self.materialize(&table, &spec.index, entries, spec.deref)
+        self.materialize(&table, &spec.index, entries, spec.deref, spec.row_bytes)
             .map(|rows| rows.into_iter().map(|(_, t)| t).collect())
     }
 
@@ -330,6 +357,7 @@ impl<'a> ExecCtx<'a> {
         children: Vec<Tuple>,
         table_id: piql_core::catalog::TableId,
         key: &[KeySource],
+        row_bytes: u64,
     ) -> Result<Vec<Tuple>, ExecError> {
         let table = self.catalog.table_by_id(table_id).clone();
         let ns = self.primary_ns(&table);
@@ -344,7 +372,14 @@ impl<'a> ExecCtx<'a> {
                 .collect::<Result<_, _>>()?;
             probe_keys.push(keys::primary_key_from_values(&vals)?);
         }
+        self.tag_op(
+            LiveOpKind::IndexFKJoin,
+            probe_keys.len() as u64,
+            1,
+            row_bytes,
+        );
         let responses = self.issue_gets(ns, probe_keys)?;
+        self.clear_op_tag();
         let mut out = Vec::with_capacity(children.len());
         for (child, resp) in children.into_iter().zip(responses) {
             if let KvResponse::Value(Some(bytes)) = resp {
@@ -426,6 +461,12 @@ impl<'a> ExecCtx<'a> {
                 }
             })
             .collect();
+        self.tag_op(
+            LiveOpKind::SortedIndexJoin,
+            prefixes.len() as u64,
+            spec.per_key,
+            spec.row_bytes,
+        );
         match self.strategy {
             ExecStrategy::Parallel => {
                 let responses = self.round(requests);
@@ -475,6 +516,7 @@ impl<'a> ExecCtx<'a> {
                 }
             }
         }
+        self.clear_op_tag();
 
         // merge: tag entries with (suffix, full key) and k-way merge
         struct Item {
@@ -531,7 +573,7 @@ impl<'a> ExecCtx<'a> {
             .iter()
             .map(|it| (it.key.clone(), it.value.clone()))
             .collect();
-        let rows = self.materialize(&table, &spec.index, entries, spec.deref)?;
+        let rows = self.materialize(&table, &spec.index, entries, spec.deref, spec.row_bytes)?;
         let mut out = Vec::with_capacity(rows.len());
         for (it, (_, right)) in items.iter().zip(rows) {
             out.push(children[it.child_idx].concat(&right));
@@ -601,6 +643,7 @@ impl<'a> ExecCtx<'a> {
         index: &IndexRef,
         entries: Vec<(Vec<u8>, Vec<u8>)>,
         deref: bool,
+        row_bytes: u64,
     ) -> Result<Vec<(Vec<u8>, Tuple)>, ExecError> {
         match &index.secondary {
             None => entries
@@ -621,7 +664,12 @@ impl<'a> ExecCtx<'a> {
                     let pk_vals = keys::pk_values_from_index_key(table, idx, k)?;
                     pk_keys.push(keys::primary_key_from_values(&pk_vals)?);
                 }
+                // non-covering index dereference: modeled (and therefore
+                // sampled) as an IndexFKJoin of the fetched entries — the
+                // same shape `plan_thetas` predicts for it
+                self.tag_op(LiveOpKind::IndexFKJoin, pk_keys.len() as u64, 1, row_bytes);
                 let responses = self.issue_gets(primary, pk_keys)?;
+                self.clear_op_tag();
                 let mut out = Vec::with_capacity(entries.len());
                 for ((k, _), resp) in entries.into_iter().zip(responses) {
                     if let KvResponse::Value(Some(bytes)) = resp {

@@ -124,6 +124,13 @@ pub trait KvStore: Send + Sync {
     fn sync_session(&self, session: &mut Session) {
         let _ = session;
     }
+    /// Take every buffered live latency sample (see
+    /// [`crate::sample::LiveSampleSink`]). Wall-clock backends that observe
+    /// real operator latencies override this; virtual-time backends have
+    /// nothing to report (their models come from the §6.1 trainer).
+    fn drain_samples(&self) -> Vec<crate::sample::OpSample> {
+        Vec::new()
+    }
 }
 
 /// The simulated cluster.

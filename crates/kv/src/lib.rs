@@ -18,6 +18,7 @@ pub mod node;
 pub mod op;
 pub mod partition;
 pub mod pool;
+pub mod sample;
 pub mod session;
 pub mod stats;
 pub mod store;
@@ -28,5 +29,6 @@ pub use latency::{InterferenceConfig, LatencyConfig};
 pub use live::{LiveCluster, LiveConfig, LiveStatsSnapshot};
 pub use op::{KvEntry, KvRequest, KvResponse, NsId, RequestRound, ResponseMismatch};
 pub use pool::{PoolStats, RoundPool};
+pub use sample::{LiveOpKind, LiveSampleSink, OpSample, OpTag};
 pub use session::{Session, SessionStats};
 pub use time::{as_millis_f64, Micros, MILLIS, SECONDS};

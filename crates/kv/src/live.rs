@@ -34,6 +34,7 @@
 use crate::cluster::KvStore;
 use crate::op::{KvEntry, KvRequest, KvResponse, NsId, RequestRound};
 use crate::pool::{default_pool_threads, RoundPool};
+use crate::sample::{LiveSampleSink, OpSample};
 use crate::session::Session;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -54,7 +55,9 @@ pub struct LiveConfig {
     /// Injected service time per storage request, µs. Zero in production;
     /// tests and benches set it to make round timing observable (an
     /// in-memory map serves requests in nanoseconds, so parallel-vs-serial
-    /// differences would otherwise drown in noise).
+    /// differences would otherwise drown in noise). Adjustable at runtime
+    /// via [`LiveCluster::set_request_delay_us`] — the drift tests slow a
+    /// *running* store down without restarting anything.
     pub request_delay_us: u64,
 }
 
@@ -266,6 +269,10 @@ pub struct LiveCluster {
     /// be shared across clusters via [`LiveCluster::with_pool`], so one
     /// process never runs more storage workers than it asked for.
     pool: Arc<RoundPool>,
+    /// Runtime-adjustable copy of `config.request_delay_us`.
+    request_delay_us: AtomicU64,
+    /// Observed operator latencies awaiting the online-training consumer.
+    sink: LiveSampleSink,
     pub stats: Arc<LiveStats>,
 }
 
@@ -286,13 +293,33 @@ impl LiveCluster {
     /// behind one bounded set of storage workers.
     pub fn with_pool(config: LiveConfig, pool: Arc<RoundPool>) -> Self {
         LiveCluster {
+            request_delay_us: AtomicU64::new(config.request_delay_us),
             config,
             namespaces: RwLock::new(Vec::new()),
             names: RwLock::new(BTreeMap::new()),
             epoch: Instant::now(),
             pool,
+            sink: LiveSampleSink::default(),
             stats: Arc::new(LiveStats::default()),
         }
+    }
+
+    /// Change the injected per-request service time of a *running* cluster.
+    /// Tests use this to make a fast store drift slow (or recover) under a
+    /// live server, exercising admission re-validation without a restart.
+    pub fn set_request_delay_us(&self, us: u64) {
+        self.request_delay_us.store(us, Ordering::Relaxed);
+    }
+
+    /// The current injected per-request service time, µs.
+    pub fn request_delay_us(&self) -> u64 {
+        self.request_delay_us.load(Ordering::Relaxed)
+    }
+
+    /// The live sample sink (observability; consumers normally drain via
+    /// [`KvStore::drain_samples`]).
+    pub fn sample_sink(&self) -> &LiveSampleSink {
+        &self.sink
     }
 
     /// The round fan-out pool (for sharing via [`LiveCluster::with_pool`]
@@ -436,7 +463,8 @@ impl KvStore for LiveCluster {
             return Vec::new();
         }
         let logical = round.len() as u64;
-        let delay_us = self.config.request_delay_us;
+        let started = self.now_micros();
+        let delay_us = self.request_delay_us.load(Ordering::Relaxed);
         let results: Vec<(KvResponse, u64, u64)> = if round.len() >= 2
             && self.pool.worker_count() > 0
         {
@@ -469,7 +497,18 @@ impl KvStore for LiveCluster {
         }
         // advance to wall-clock completion (monotonic per session even if
         // the session was created before this cluster's epoch)
-        session.now = session.now.max(self.now_micros());
+        let completed = self.now_micros();
+        // tagged rounds feed the online-training sink: one sample per
+        // round, at the round's wall-clock latency — fan-out included,
+        // which is exactly the operator random variable Θ the §6.1 models
+        // are histograms of
+        if let Some(tag) = session.op_tag {
+            self.sink.record(OpSample {
+                tag,
+                micros: completed.saturating_sub(started),
+            });
+        }
+        session.now = session.now.max(completed);
         session.stats.rounds += 1;
         session.stats.logical_requests += logical;
         session.stats.physical_requests += physical;
@@ -489,6 +528,10 @@ impl KvStore for LiveCluster {
 
     fn sync_session(&self, session: &mut Session) {
         session.now = session.now.max(self.now_micros());
+    }
+
+    fn drain_samples(&self) -> Vec<OpSample> {
+        self.sink.drain()
     }
 }
 

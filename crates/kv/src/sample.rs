@@ -1,0 +1,210 @@
+//! Live operator latency samples — the raw material of online model
+//! training (§6.1 applied to the serving store instead of a training
+//! cluster).
+//!
+//! The execution engine tags its session with an [`OpTag`] describing the
+//! remote operator it is currently running (kind plus the model's
+//! cardinality parameters); [`LiveCluster`](crate::LiveCluster) measures
+//! every tagged round on the wall clock and pushes one [`OpSample`] per
+//! round into its [`LiveSampleSink`]. A periodic consumer (the server's
+//! `Revalidator`) drains the sink and folds the samples into the SLO
+//! prediction models, closing the loop between the store the service
+//! actually runs on and the admission decisions made against it.
+//!
+//! The sink is deliberately cheap on the hot path: samples are striped over
+//! a handful of short-critical-section buffers, capacity is bounded (a
+//! slow or absent consumer costs a counter bump, never memory), and
+//! draining swaps the buffers out wholesale.
+
+use crate::time::Micros;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Remote-operator kinds as the storage layer sees them — the same
+/// vocabulary as the paper's three modeled operators (§6.1). The predictor
+/// maps these onto its `OpKind`; the engine picks the tag from the plan
+/// node it is executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LiveOpKind {
+    /// One bounded range read of α entries.
+    IndexScan,
+    /// α_c parallel primary-key gets.
+    IndexFKJoin,
+    /// α_c parallel bounded range reads of α_j entries each.
+    SortedIndexJoin,
+}
+
+impl LiveOpKind {
+    /// Stable index (also the `RunMetrics` interaction-kind label index
+    /// the server records per statement).
+    pub fn index(self) -> usize {
+        match self {
+            LiveOpKind::IndexScan => 0,
+            LiveOpKind::IndexFKJoin => 1,
+            LiveOpKind::SortedIndexJoin => 2,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            LiveOpKind::IndexScan => "IndexScan",
+            LiveOpKind::IndexFKJoin => "IndexFKJoin",
+            LiveOpKind::SortedIndexJoin => "SortedIndexJoin",
+        }
+    }
+}
+
+/// The operator context a session carries while one remote operator's
+/// rounds execute: the operator kind and the model parameters Θ is indexed
+/// by (child cardinality α_c, per-key fan-out α_j, tuple bytes β).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpTag {
+    pub op: LiveOpKind,
+    pub alpha_c: u32,
+    pub alpha_j: u32,
+    pub beta: u32,
+}
+
+/// One observed operator execution: the tag (op kind + cardinality bucket
+/// parameters) and the round's wall-clock latency in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpSample {
+    pub tag: OpTag,
+    pub micros: Micros,
+}
+
+/// Number of stripe buffers. A small power of two: enough that concurrent
+/// sessions rarely contend on the same stripe, small enough that draining
+/// stays trivial.
+const SINK_STRIPES: usize = 8;
+
+/// Default bound on buffered samples (across all stripes). At ~32 bytes a
+/// sample this caps an undrained sink near 2 MiB.
+pub const DEFAULT_SINK_CAPACITY: usize = 65_536;
+
+/// A bounded, striped buffer of [`OpSample`]s.
+pub struct LiveSampleSink {
+    stripes: Vec<Mutex<Vec<OpSample>>>,
+    per_stripe_capacity: usize,
+    /// Round-robin stripe selector (`Relaxed`: distribution, not ordering).
+    cursor: AtomicUsize,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Default for LiveSampleSink {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_SINK_CAPACITY)
+    }
+}
+
+impl LiveSampleSink {
+    pub fn with_capacity(capacity: usize) -> Self {
+        LiveSampleSink {
+            stripes: (0..SINK_STRIPES).map(|_| Mutex::new(Vec::new())).collect(),
+            per_stripe_capacity: capacity.div_ceil(SINK_STRIPES).max(1),
+            cursor: AtomicUsize::new(0),
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample. Bounded: when the chosen stripe is full the
+    /// sample is dropped and counted, so a consumerless sink can never
+    /// grow without limit.
+    pub fn record(&self, sample: OpSample) {
+        let idx = self.cursor.fetch_add(1, Ordering::Relaxed) % self.stripes.len();
+        let mut stripe = self.stripes[idx].lock();
+        if stripe.len() >= self.per_stripe_capacity {
+            drop(stripe);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        stripe.push(sample);
+        drop(stripe);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Take every buffered sample, leaving the sink empty.
+    pub fn drain(&self) -> Vec<OpSample> {
+        let mut out = Vec::new();
+        for stripe in &self.stripes {
+            out.append(&mut stripe.lock());
+        }
+        out
+    }
+
+    /// Samples accepted since creation (drained or still buffered).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Samples rejected because the sink was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(us: Micros) -> OpSample {
+        OpSample {
+            tag: OpTag {
+                op: LiveOpKind::IndexScan,
+                alpha_c: 10,
+                alpha_j: 1,
+                beta: 40,
+            },
+            micros: us,
+        }
+    }
+
+    #[test]
+    fn record_and_drain_roundtrip() {
+        let sink = LiveSampleSink::default();
+        for i in 0..100 {
+            sink.record(sample(i));
+        }
+        assert_eq!(sink.recorded(), 100);
+        let mut drained = sink.drain();
+        assert_eq!(drained.len(), 100);
+        drained.sort_by_key(|s| s.micros);
+        assert_eq!(drained[99].micros, 99);
+        assert!(sink.drain().is_empty(), "drain leaves the sink empty");
+    }
+
+    #[test]
+    fn sink_is_bounded_and_counts_drops() {
+        let sink = LiveSampleSink::with_capacity(16);
+        for i in 0..1000 {
+            sink.record(sample(i));
+        }
+        let buffered = sink.drain().len();
+        assert!(buffered <= 16 + SINK_STRIPES, "buffered {buffered}");
+        assert_eq!(sink.recorded() + sink.dropped(), 1000);
+        assert!(sink.dropped() > 0);
+        // after a drain the sink accepts samples again
+        sink.record(sample(7));
+        assert_eq!(sink.drain().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing_under_capacity() {
+        let sink = std::sync::Arc::new(LiveSampleSink::default());
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let sink = sink.clone();
+                scope.spawn(move || {
+                    for i in 0..500 {
+                        sink.record(sample(t * 1000 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.recorded(), 4000);
+        assert_eq!(sink.dropped(), 0);
+        assert_eq!(sink.drain().len(), 4000);
+    }
+}

@@ -1,5 +1,6 @@
 //! Client sessions: the virtual clock plus per-session accounting.
 
+use crate::sample::OpTag;
 use crate::time::Micros;
 
 /// Per-session operation counters.
@@ -25,6 +26,11 @@ pub struct SessionStats {
 pub struct Session {
     pub now: Micros,
     pub stats: SessionStats,
+    /// The remote operator this session is currently executing, set by the
+    /// engine around an operator's rounds. Wall-clock backends use it to
+    /// tag latency samples for online model training; `None` (writes, bulk
+    /// work, untagged callers) records nothing.
+    pub op_tag: Option<OpTag>,
 }
 
 impl Session {
@@ -36,6 +42,7 @@ impl Session {
         Session {
             now,
             stats: SessionStats::default(),
+            op_tag: None,
         }
     }
 

@@ -44,6 +44,17 @@ impl LatencyHistogram {
         self.count
     }
 
+    /// Fold `other`'s mass into this histogram (used when rotating live
+    /// intervals into an aggregate). Bins beyond this histogram's range
+    /// land in its overflow bin, preserving the conservative tail.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        let last = self.bins.len() - 1;
+        for (i, &c) in other.bins.iter().enumerate() {
+            self.bins[i.min(last)] += c;
+        }
+        self.count += other.count;
+    }
+
     pub fn is_empty(&self) -> bool {
         self.count == 0
     }

@@ -11,10 +11,12 @@ pub mod advisor;
 pub mod histogram;
 pub mod model;
 pub mod predict;
+pub mod shared;
 pub mod train;
 
 pub use advisor::Heatmap;
 pub use histogram::{Distribution, LatencyHistogram};
 pub use model::{ModelKey, ModelStore, OpKind, ALPHA_GRID, BETA_GRID};
 pub use predict::{plan_thetas, OpTheta, QueryPrediction, SloPredictor};
+pub use shared::SharedModelStore;
 pub use train::{train, TrainConfig};

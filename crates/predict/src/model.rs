@@ -25,6 +25,15 @@ impl OpKind {
             OpKind::SortedIndexJoin => "SortedIndexJoin",
         }
     }
+
+    /// Map the storage layer's live-sample vocabulary onto the model's.
+    pub fn from_live(op: piql_kv::LiveOpKind) -> OpKind {
+        match op {
+            piql_kv::LiveOpKind::IndexScan => OpKind::IndexScan,
+            piql_kv::LiveOpKind::IndexFKJoin => OpKind::IndexFKJoin,
+            piql_kv::LiveOpKind::SortedIndexJoin => OpKind::SortedIndexJoin,
+        }
+    }
 }
 
 /// A model grid point.
@@ -55,6 +64,31 @@ pub fn grid_ceil(grid: &[u32], x: u64) -> u32 {
         }
     }
     *grid.last().expect("nonempty grid")
+}
+
+impl ModelKey {
+    /// Snap to the training lattice (ceil in every parameter — the same
+    /// rounding lookups use, so recorded live samples and later lookups
+    /// meet at the same grid point).
+    pub fn snapped(self) -> ModelKey {
+        ModelKey {
+            op: self.op,
+            alpha_c: grid_ceil(ALPHA_GRID, self.alpha_c as u64),
+            alpha_j: grid_ceil(ALPHA_GRID, self.alpha_j as u64),
+            beta: grid_ceil(BETA_GRID, self.beta as u64),
+        }
+    }
+
+    /// The grid point a live operator sample belongs to.
+    pub fn from_tag(tag: &piql_kv::OpTag) -> ModelKey {
+        ModelKey {
+            op: OpKind::from_live(tag.op),
+            alpha_c: tag.alpha_c,
+            alpha_j: tag.alpha_j,
+            beta: tag.beta,
+        }
+        .snapped()
+    }
 }
 
 /// The trained model store: per interval, per key, one histogram.
@@ -107,12 +141,7 @@ impl ModelStore {
         map: &BTreeMap<ModelKey, LatencyHistogram>,
         key: ModelKey,
     ) -> Option<&LatencyHistogram> {
-        let snapped = ModelKey {
-            op: key.op,
-            alpha_c: grid_ceil(ALPHA_GRID, key.alpha_c as u64),
-            alpha_j: grid_ceil(ALPHA_GRID, key.alpha_j as u64),
-            beta: grid_ceil(BETA_GRID, key.beta as u64),
-        };
+        let snapped = key.snapped();
         if let Some(h) = map.get(&snapped) {
             return Some(h);
         }
@@ -125,6 +154,32 @@ impl ModelStore {
             })
             .map(|(_, h)| h)
             .or_else(|| map.iter().find(|(k, _)| k.op == key.op).map(|(_, h)| h))
+    }
+
+    /// A copy of this store with `newest` appended as the most recent
+    /// interval. The interval count stays fixed: the oldest interval is
+    /// rotated out (a ring over time), so after enough rotations the
+    /// store reflects only live observations. The aggregate is recomputed
+    /// from the surviving intervals so rotated-out history stops
+    /// influencing pooled predictions too.
+    pub fn rotated(&self, newest: BTreeMap<ModelKey, LatencyHistogram>) -> ModelStore {
+        let mut intervals: Vec<BTreeMap<ModelKey, LatencyHistogram>> = self
+            .intervals
+            .iter()
+            .skip(usize::from(!self.intervals.is_empty()))
+            .cloned()
+            .collect();
+        intervals.push(newest);
+        let mut overall: BTreeMap<ModelKey, LatencyHistogram> = BTreeMap::new();
+        for interval in &intervals {
+            for (key, hist) in interval {
+                overall
+                    .entry(*key)
+                    .or_insert_with(LatencyHistogram::standard)
+                    .merge(hist);
+            }
+        }
+        ModelStore { intervals, overall }
     }
 
     /// Total recorded samples (sanity checks / reporting).

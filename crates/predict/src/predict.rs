@@ -138,13 +138,23 @@ impl QueryPrediction {
 }
 
 /// The predictor: a trained model store applied to compiled plans.
+///
+/// Holds an immutable **snapshot** (`Arc`) of the models: predictions over
+/// one predictor instance are internally consistent even while a
+/// [`SharedModelStore`](crate::SharedModelStore) concurrently ingests live
+/// samples and publishes newer snapshots. Cloning a predictor is cheap.
 #[derive(Debug, Clone)]
 pub struct SloPredictor {
-    pub models: ModelStore,
+    pub models: std::sync::Arc<ModelStore>,
 }
 
 impl SloPredictor {
     pub fn new(models: ModelStore) -> Self {
+        Self::from_snapshot(std::sync::Arc::new(models))
+    }
+
+    /// Wrap an already-shared snapshot (no copy).
+    pub fn from_snapshot(models: std::sync::Arc<ModelStore>) -> Self {
         SloPredictor { models }
     }
 

@@ -152,6 +152,12 @@ impl Client {
         self.request(&Request::Stats)
     }
 
+    /// Force one admission re-validation sweep; returns the sweep summary
+    /// (`sweep`, `samples_folded`, `redegraded`, `flagged`, ...).
+    pub fn revalidate(&mut self) -> Result<Json, ClientError> {
+        self.request(&Request::Revalidate)
+    }
+
     /// Testing hook: a clone of the underlying stream, for writing raw
     /// (possibly malformed) lines past the typed API.
     pub fn raw_stream(&self) -> io::Result<TcpStream> {

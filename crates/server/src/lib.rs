@@ -16,9 +16,14 @@
 //!   issue storage requests.
 //! * [`PiqlServer`] — a multi-threaded TCP front-end speaking a
 //!   newline-delimited JSON protocol (`prepare` / `execute` /
-//!   `cursor-next` / `dml` / `stats`) with per-connection sessions and
-//!   serialized pagination cursors that survive reconnects.
+//!   `cursor-next` / `dml` / `stats` / `revalidate`) with per-connection
+//!   sessions and serialized pagination cursors that survive reconnects.
 //! * [`Client`] — a small blocking client for that protocol.
+//! * [`Revalidator`] — the live-model feedback loop: observed operator
+//!   latencies drain from the backend into the shared §6.1 models, and a
+//!   periodic sweep re-predicts every registered statement, re-degrading
+//!   or flagging those whose refreshed p99 drifted over the SLO (and
+//!   relaxing/recovering them when the store speeds back up).
 //! * The real-time backend itself lives in `piql_kv::LiveCluster`
 //!   (re-exported here) so the engine stack runs on wall-clock storage.
 
@@ -33,7 +38,8 @@ pub use client::{Client, ClientError, Page};
 pub use json::{Json, JsonError};
 pub use protocol::{ProtoError, Request};
 pub use registry::{
-    Admission, RegisteredStatement, RegistryCounters, RegistryError, SloConfig, StatementRegistry,
+    Admission, DriftAction, DriftEvent, RegisteredStatement, RegistryCounters, RegistryError,
+    RevalidationSummary, Revalidator, SloConfig, StatementRegistry,
 };
 pub use server::PiqlServer;
 

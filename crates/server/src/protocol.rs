@@ -8,7 +8,8 @@
 //! | `execute`     | `name`, `params`, optional `cursor`   | `rows` + optional `cursor` |
 //! | `cursor-next` | `name`, `params`, required `cursor`   | same as `execute` |
 //! | `dml`         | `sql`, `params`                       | `ok` |
-//! | `stats`       | —                                     | service counters + per-statement latency |
+//! | `stats`       | —                                     | service counters + per-statement latency, refreshed predictions, drift history |
+//! | `revalidate`  | —                                     | forces one re-validation sweep; returns the sweep summary |
 //!
 //! Values are tagged one-field objects (`{"int":5}`, `{"ts":1699...}`,
 //! `{"str":"x"}`, …) so every [`Value`] round-trips exactly — including
@@ -71,6 +72,11 @@ pub enum Request {
         params: Vec<ParamValue>,
     },
     Stats,
+    /// Force one admission re-validation sweep (drain live samples, refresh
+    /// the models, re-predict every registered statement). The sweep also
+    /// runs periodically server-side; this verb makes drift handling
+    /// deterministic for tests and operators.
+    Revalidate,
 }
 
 /// Encode one [`Value`] as a tagged object.
@@ -236,6 +242,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             params: params_from_json(j.get("params"))?,
         }),
         "stats" => Ok(Request::Stats),
+        "revalidate" => Ok(Request::Revalidate),
         other => Err(ProtoError::Malformed(format!("unknown cmd '{other}'"))),
     }
 }
@@ -283,6 +290,7 @@ pub fn request_to_line(req: &Request) -> String {
             ),
         ]),
         Request::Stats => Json::obj([("cmd", Json::str("stats"))]),
+        Request::Revalidate => Json::obj([("cmd", Json::str("revalidate"))]),
     };
     j.to_string()
 }
@@ -357,6 +365,7 @@ mod tests {
                 ],
             },
             Request::Stats,
+            Request::Revalidate,
         ];
         for r in &reqs {
             assert_eq!(&parse_request(&request_to_line(r)).unwrap(), r);

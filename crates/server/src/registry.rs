@@ -1,7 +1,7 @@
 //! The prepared-statement registry with SLO admission control.
 //!
 //! This is the paper's success-tolerance enforced at the API boundary
-//! (§6, §10): a statement is compiled **once**, at registration, and the
+//! (§6, §10): a statement is compiled at registration, and the
 //! compile-time p99 prediction decides its fate *before any storage
 //! request is issued*:
 //!
@@ -17,17 +17,33 @@
 //! namespace creation, no index backfill, no KV round. Only an admitted
 //! statement is fully prepared (which may provision plan-derived indexes)
 //! and stored. The tests assert the zero-storage-ops property directly.
+//!
+//! **The prediction loop stays closed after registration.** The backend
+//! tags every executed round with its operator context and buffers the
+//! observed latency (see `piql_kv::sample`); [`StatementRegistry::revalidate`]
+//! — driven periodically by a [`Revalidator`] thread or on demand via the
+//! protocol's `revalidate` verb — drains those samples into the shared
+//! [`SharedModelStore`], then re-predicts every registered statement
+//! against the refreshed models and updates its [`Admission`] in place:
+//! statements that drifted over the SLO are **re-degraded** to a tighter
+//! advisor-chosen bound or **flagged** (kept executable — yanking running
+//! statements would turn drift into an outage — but marked, with the drift
+//! history exposed over `stats`); statements whose store got faster are
+//! relaxed back toward their original bound. Admission therefore tracks
+//! the store the service actually runs on, interval by interval.
 
 use parking_lot::{Mutex, RwLock};
 use piql_core::ast::{RowBound, SelectStmt};
 use piql_core::opt::{OptError, Optimizer};
+use piql_core::plan::physical::PhysicalPlan;
 use piql_engine::{Cursor, Database, DbError, ExecStrategy, Prepared, QueryResult};
-use piql_kv::{KvStore, LiveCluster, Session};
-use piql_predict::{Heatmap, SloPredictor, ALPHA_GRID};
+use piql_kv::{KvStore, LiveCluster, LiveOpKind, Session};
+use piql_predict::{Heatmap, SharedModelStore, SloPredictor, ALPHA_GRID};
 use piql_workloads::RunMetrics;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// The service-level objective statements are admitted against.
 #[derive(Debug, Clone)]
@@ -51,7 +67,8 @@ impl Default for SloConfig {
     }
 }
 
-/// The registration verdict.
+/// The admission verdict (registration-time, and kept current by
+/// re-validation sweeps afterwards).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Admission {
     /// Within SLO as written.
@@ -67,13 +84,19 @@ pub enum Admission {
     /// The optimizer found no scale-independent plan; `report` is the
     /// Performance Insight Assistant's diagnosis.
     RejectedUnbounded { report: String },
+    /// Admitted earlier, but a re-validation sweep found the refreshed
+    /// prediction over the SLO with no feasible tighter bound. The
+    /// statement stays executable (revoking running statements would turn
+    /// model drift into an outage); the flag — and the drift history — is
+    /// the Performance Insight signal to act on.
+    Flagged { predicted_p99_ms: f64 },
 }
 
 impl Admission {
     pub fn is_admitted(&self) -> bool {
         matches!(
             self,
-            Admission::Admitted { .. } | Admission::Degraded { .. }
+            Admission::Admitted { .. } | Admission::Degraded { .. } | Admission::Flagged { .. }
         )
     }
 
@@ -83,25 +106,132 @@ impl Admission {
             Admission::Degraded { .. } => "degraded",
             Admission::RejectedSlo { .. } => "rejected-slo",
             Admission::RejectedUnbounded { .. } => "rejected-unbounded",
+            Admission::Flagged { .. } => "flagged",
         }
     }
+
+    /// The prediction this verdict was made on (unbounded rejections have
+    /// none).
+    pub fn predicted_p99_ms(&self) -> Option<f64> {
+        match self {
+            Admission::Admitted { predicted_p99_ms }
+            | Admission::Degraded {
+                predicted_p99_ms, ..
+            }
+            | Admission::RejectedSlo { predicted_p99_ms }
+            | Admission::Flagged { predicted_p99_ms } => Some(*predicted_p99_ms),
+            Admission::RejectedUnbounded { .. } => None,
+        }
+    }
+}
+
+/// What one re-validation sweep did to one statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftAction {
+    /// Refreshed prediction still supports the current verdict.
+    Steady,
+    /// Tightened to a smaller advisor-chosen bound.
+    Redegraded,
+    /// Models got faster: bound restored toward the original.
+    Relaxed,
+    /// Over SLO with no feasible tighter bound; statement marked.
+    Flagged,
+    /// A previously flagged statement meets the SLO again.
+    Recovered,
+}
+
+impl DriftAction {
+    pub fn name(self) -> &'static str {
+        match self {
+            DriftAction::Steady => "steady",
+            DriftAction::Redegraded => "redegraded",
+            DriftAction::Relaxed => "relaxed",
+            DriftAction::Flagged => "flagged",
+            DriftAction::Recovered => "recovered",
+        }
+    }
+}
+
+/// One entry of a statement's drift history.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftEvent {
+    /// Which sweep produced it (monotonic, service-wide).
+    pub sweep: u64,
+    /// The refreshed prediction for the then-current plan, ms.
+    pub predicted_p99_ms: f64,
+    pub action: DriftAction,
+}
+
+/// Drift events retained per statement.
+const DRIFT_HISTORY: usize = 32;
+
+/// Recent latency samples retained per statement (ring; see
+/// [`RunMetrics::bounded`]). Roughly: enough for stable p99s, bounded for
+/// a server that executes forever.
+const METRICS_CAPACITY: usize = 4_096;
+
+/// The mutable half of a registered statement, swapped under one lock so
+/// executors always see a (plan, admission) pair that belongs together.
+#[derive(Debug)]
+struct StatementState {
+    prepared: Arc<Prepared>,
+    admission: Admission,
+    /// Row bound the current plan enforces (`None`: no bound to degrade).
+    limit: Option<u64>,
+    /// Latest re-validated prediction for the current plan, ms.
+    last_predicted_p99_ms: f64,
+    drift: Vec<DriftEvent>,
 }
 
 /// One admitted statement with its runtime accounting.
 pub struct RegisteredStatement {
     pub name: String,
     pub sql: String,
-    pub prepared: Prepared,
-    pub admission: Admission,
+    /// The statement as registered (re-validation re-degrades/relaxes by
+    /// re-binding this AST, never by re-parsing client text).
+    stmt: SelectStmt,
+    /// Interaction kind recorded per sample (the root remote operator),
+    /// so per-kind quantiles over `stats` mean what
+    /// `RunMetrics::quantile_ms_of` promises. Samples carry
+    /// [`LiveOpKind::index`], stats print [`LiveOpKind::name`].
+    pub kind: LiveOpKind,
+    state: RwLock<StatementState>,
     pub executions: AtomicU64,
     /// Wall-clock latency samples (reuses the experiment metrics type, so
-    /// the stats endpoint reports the same quantiles the benchmarks do).
+    /// the stats endpoint reports the same quantiles the benchmarks do);
+    /// bounded to the most recent [`METRICS_CAPACITY`] samples.
     pub metrics: Mutex<RunMetrics>,
 }
 
 impl RegisteredStatement {
     pub fn quantile_ms(&self, q: f64) -> f64 {
         self.metrics.lock().quantile_ms(q)
+    }
+
+    /// The current execution plan (atomic with the admission it belongs to).
+    pub fn prepared(&self) -> Arc<Prepared> {
+        self.state.read().prepared.clone()
+    }
+
+    /// The current admission verdict.
+    pub fn admission(&self) -> Admission {
+        self.state.read().admission.clone()
+    }
+
+    /// Latest re-validated prediction for the current plan, ms (the
+    /// registration-time prediction until the first sweep).
+    pub fn last_predicted_p99_ms(&self) -> f64 {
+        self.state.read().last_predicted_p99_ms
+    }
+
+    /// Recent drift history, oldest first.
+    pub fn drift_history(&self) -> Vec<DriftEvent> {
+        self.state.read().drift.clone()
+    }
+
+    /// The root remote operator's name (the `kind` label in words).
+    pub fn kind_name(&self) -> &'static str {
+        self.kind.name()
     }
 }
 
@@ -114,6 +244,31 @@ pub struct RegistryCounters {
     pub rejected_unbounded: AtomicU64,
     pub executed: AtomicU64,
     pub exec_errors: AtomicU64,
+    /// Re-validation sweeps completed.
+    pub revalidations: AtomicU64,
+    /// Live samples folded into the models by sweeps.
+    pub samples_folded: AtomicU64,
+    /// Statements tightened / restored / flagged / recovered by sweeps.
+    pub drift_redegraded: AtomicU64,
+    pub drift_relaxed: AtomicU64,
+    pub drift_flagged: AtomicU64,
+    pub drift_recovered: AtomicU64,
+}
+
+/// What one [`StatementRegistry::revalidate`] sweep did.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RevalidationSummary {
+    pub sweep: u64,
+    /// Live samples drained from the store and folded into the models.
+    pub samples_folded: u64,
+    /// Whether the sweep published a refreshed model snapshot.
+    pub models_rotated: bool,
+    pub statements: u64,
+    pub steady: u64,
+    pub redegraded: u64,
+    pub relaxed: u64,
+    pub flagged: u64,
+    pub recovered: u64,
 }
 
 /// Errors surfaced to protocol clients.
@@ -147,21 +302,44 @@ impl From<DbError> for RegistryError {
 /// virtual-time simulator.
 pub struct StatementRegistry<S: KvStore = LiveCluster> {
     db: Arc<Database<S>>,
-    predictor: SloPredictor,
+    /// The §6.1 models, shared between admission (reads snapshots) and the
+    /// re-validation sweeps (ingest + rotate).
+    models: Arc<SharedModelStore>,
     slo: SloConfig,
     optimizer: Optimizer,
     statements: RwLock<BTreeMap<String, Arc<RegisteredStatement>>>,
+    sweeps: AtomicU64,
+    /// Serializes [`StatementRegistry::revalidate`]: the background
+    /// `Revalidator` tick and client-forced `revalidate` verbs must not
+    /// interleave their drain/rotate/apply phases.
+    sweep_lock: Mutex<()>,
     pub counters: RegistryCounters,
 }
 
 impl<S: KvStore> StatementRegistry<S> {
     pub fn new(db: Arc<Database<S>>, predictor: SloPredictor, slo: SloConfig) -> Self {
+        Self::with_models(
+            db,
+            Arc::new(SharedModelStore::from_snapshot(predictor.models)),
+            slo,
+        )
+    }
+
+    /// Build over an externally owned model store (e.g. shared with other
+    /// services or pre-warmed by an offline trainer).
+    pub fn with_models(
+        db: Arc<Database<S>>,
+        models: Arc<SharedModelStore>,
+        slo: SloConfig,
+    ) -> Self {
         StatementRegistry {
             db,
-            predictor,
+            models,
             slo,
             optimizer: Optimizer::scale_independent(),
             statements: RwLock::new(BTreeMap::new()),
+            sweeps: AtomicU64::new(0),
+            sweep_lock: Mutex::new(()),
             counters: RegistryCounters::default(),
         }
     }
@@ -174,6 +352,11 @@ impl<S: KvStore> StatementRegistry<S> {
         &self.slo
     }
 
+    /// The shared model store admission predicts against.
+    pub fn models(&self) -> &Arc<SharedModelStore> {
+        &self.models
+    }
+
     /// Register `sql` under `name`. Returns the admission verdict; only
     /// admitted/degraded statements become executable. Re-registering a
     /// name replaces it — a rejected re-registration *unregisters* the
@@ -183,6 +366,7 @@ impl<S: KvStore> StatementRegistry<S> {
         let stmt = piql_core::parser::parse_select(sql)
             .map_err(|e| RegistryError::Db(DbError::Parse(e)))?;
         let catalog = self.db.catalog();
+        let predictor = self.models.predictor();
 
         // Phase 1 — pure compile: no namespaces, no backfill, no KV rounds.
         let compiled = match self.optimizer.compile(&catalog, &stmt) {
@@ -200,17 +384,21 @@ impl<S: KvStore> StatementRegistry<S> {
         };
 
         // Phase 2 — SLO prediction (§6.2/6.3) on the compiled plan.
-        let prediction = self.predictor.predict(&compiled);
+        let prediction = predictor.predict(&compiled);
         let p99 = prediction.max_p99_ms;
         if prediction.meets_slo(self.slo.slo_ms, self.slo.interval_confidence) {
+            let kind = root_remote_kind(&compiled.physical);
             let prepared = self.db.prepare_stmt(&stmt)?;
             self.install(
                 name,
                 sql,
+                stmt.clone(),
+                kind,
                 prepared,
                 Admission::Admitted {
                     predicted_p99_ms: p99,
                 },
+                stmt.bound.map(|b| b.count()),
             );
             self.counters.admitted.fetch_add(1, Ordering::Relaxed);
             return Ok(Admission::Admitted {
@@ -222,19 +410,26 @@ impl<S: KvStore> StatementRegistry<S> {
         // LIMIT/PAGINATE whose prediction still meets the SLO.
         if self.slo.allow_degrade {
             if let Some(bound) = stmt.bound {
-                if let Some(limit) = self.suggest_degraded_limit(&catalog, &stmt, bound.count()) {
-                    let mut degraded = stmt.clone();
-                    degraded.bound = Some(match bound {
-                        RowBound::Limit(_) => RowBound::Limit(limit),
-                        RowBound::Paginate(_) => RowBound::Paginate(limit),
-                    });
+                if let Some(limit) =
+                    self.suggest_degraded_limit(&predictor, &catalog, &stmt, bound.count())
+                {
+                    let degraded = rebound(&stmt, limit);
                     let prepared = self.db.prepare_stmt(&degraded)?;
+                    let kind = root_remote_kind(&prepared.compiled.physical);
                     let admission = Admission::Degraded {
-                        predicted_p99_ms: self.predictor.predict(&prepared.compiled).max_p99_ms,
+                        predicted_p99_ms: predictor.predict(&prepared.compiled).max_p99_ms,
                         original_limit: bound.count(),
                         limit,
                     };
-                    self.install(name, sql, prepared, admission.clone());
+                    self.install(
+                        name,
+                        sql,
+                        stmt.clone(),
+                        kind,
+                        prepared,
+                        admission.clone(),
+                        Some(limit),
+                    );
                     self.counters.degraded.fetch_add(1, Ordering::Relaxed);
                     return Ok(admission);
                 }
@@ -252,14 +447,15 @@ impl<S: KvStore> StatementRegistry<S> {
     /// only — still zero storage operations.
     fn suggest_degraded_limit(
         &self,
+        predictor: &SloPredictor,
         catalog: &piql_core::catalog::Catalog,
         stmt: &SelectStmt,
-        original: u64,
+        below: u64,
     ) -> Option<u64> {
         let mut candidates: Vec<u64> = ALPHA_GRID
             .iter()
             .map(|&a| a as u64)
-            .filter(|&a| a < original)
+            .filter(|&a| a < below)
             .collect();
         candidates.sort_unstable();
         candidates.dedup();
@@ -267,17 +463,13 @@ impl<S: KvStore> StatementRegistry<S> {
             return None;
         }
         let heatmap = Heatmap::build(
-            &self.predictor,
+            predictor,
             "result limit",
             "-",
             candidates,
             vec![0],
             |limit, _| {
-                let mut probe = stmt.clone();
-                probe.bound = Some(match stmt.bound {
-                    Some(RowBound::Paginate(_)) => RowBound::Paginate(limit),
-                    _ => RowBound::Limit(limit),
-                });
+                let probe = rebound(stmt, limit);
                 self.optimizer
                     .compile(catalog, &probe)
                     .expect("smaller bound of a bounded query must compile")
@@ -290,18 +482,32 @@ impl<S: KvStore> StatementRegistry<S> {
         self.statements.write().remove(name);
     }
 
-    fn install(&self, name: &str, sql: &str, prepared: Prepared, admission: Admission) {
+    #[allow(clippy::too_many_arguments)]
+    fn install(
+        &self,
+        name: &str,
+        sql: &str,
+        stmt: SelectStmt,
+        kind: LiveOpKind,
+        prepared: Prepared,
+        admission: Admission,
+        limit: Option<u64>,
+    ) {
+        let last_predicted_p99_ms = admission.predicted_p99_ms().unwrap_or(0.0);
         let statement = Arc::new(RegisteredStatement {
             name: name.to_string(),
             sql: sql.to_string(),
-            prepared,
-            admission,
-            executions: AtomicU64::new(0),
-            metrics: Mutex::new(RunMetrics {
-                warmup_us: 0,
-                horizon_us: u64::MAX,
-                ..Default::default()
+            stmt,
+            kind,
+            state: RwLock::new(StatementState {
+                prepared: Arc::new(prepared),
+                admission,
+                limit,
+                last_predicted_p99_ms,
+                drift: Vec::new(),
             }),
+            executions: AtomicU64::new(0),
+            metrics: Mutex::new(RunMetrics::bounded(METRICS_CAPACITY)),
         });
         self.statements.write().insert(name.to_string(), statement);
     }
@@ -314,7 +520,8 @@ impl<S: KvStore> StatementRegistry<S> {
         self.statements.read().values().cloned().collect()
     }
 
-    /// Execute a registered statement, recording wall-clock latency.
+    /// Execute a registered statement, recording wall-clock latency under
+    /// the statement's interaction kind.
     pub fn execute(
         &self,
         session: &mut Session,
@@ -325,23 +532,23 @@ impl<S: KvStore> StatementRegistry<S> {
         let statement = self
             .get(name)
             .ok_or_else(|| RegistryError::UnknownStatement(name.to_string()))?;
+        let prepared = statement.prepared();
         // start timing from *now*, not from the previous round's completion
         // — otherwise client think-time (and, on a fresh session, the whole
         // backend uptime) would pollute the latency quantiles
         self.db.store().sync_session(session);
         let start = session.begin();
-        let result = self.db.execute_with(
-            session,
-            &statement.prepared,
-            params,
-            ExecStrategy::Parallel,
-            cursor,
-        );
+        let result =
+            self.db
+                .execute_with(session, &prepared, params, ExecStrategy::Parallel, cursor);
         match result {
             Ok(r) => {
                 let latency = session.elapsed_since(start);
                 statement.executions.fetch_add(1, Ordering::Relaxed);
-                statement.metrics.lock().record(start, latency, 0);
+                statement
+                    .metrics
+                    .lock()
+                    .record(start, latency, statement.kind.index());
                 self.counters.executed.fetch_add(1, Ordering::Relaxed);
                 Ok(r)
             }
@@ -363,5 +570,297 @@ impl<S: KvStore> StatementRegistry<S> {
         self.db
             .execute_dml(session, sql, params)
             .map_err(RegistryError::Db)
+    }
+
+    // ------------------------------------------------- the feedback loop
+
+    /// One re-validation sweep: drain live latency samples from the
+    /// backend, fold them into the shared models (each sweep closes one
+    /// observation interval), then re-predict every registered statement
+    /// against the refreshed snapshot and update its admission in place.
+    pub fn revalidate(&self) -> RevalidationSummary {
+        // one sweep at a time: a client-forced `revalidate` verb must not
+        // interleave with the background Revalidator's tick (both would
+        // drain/rotate and double-apply drift actions)
+        let _sweeping = self.sweep_lock.lock();
+        let sweep = self.sweeps.fetch_add(1, Ordering::Relaxed) + 1;
+        let samples = self.db.store().drain_samples();
+        self.models.ingest(&samples);
+        let folded = self.models.rotate();
+        let predictor = self.models.predictor();
+
+        let mut summary = RevalidationSummary {
+            sweep,
+            samples_folded: folded,
+            models_rotated: folded > 0,
+            ..Default::default()
+        };
+        for statement in self.list() {
+            let action = self.revalidate_statement(&statement, &predictor, sweep);
+            summary.statements += 1;
+            match action {
+                DriftAction::Steady => summary.steady += 1,
+                DriftAction::Redegraded => summary.redegraded += 1,
+                DriftAction::Relaxed => summary.relaxed += 1,
+                DriftAction::Flagged => summary.flagged += 1,
+                DriftAction::Recovered => summary.recovered += 1,
+            }
+        }
+        let c = &self.counters;
+        c.revalidations.fetch_add(1, Ordering::Relaxed);
+        c.samples_folded.fetch_add(folded, Ordering::Relaxed);
+        c.drift_redegraded
+            .fetch_add(summary.redegraded, Ordering::Relaxed);
+        c.drift_relaxed
+            .fetch_add(summary.relaxed, Ordering::Relaxed);
+        c.drift_flagged
+            .fetch_add(summary.flagged, Ordering::Relaxed);
+        c.drift_recovered
+            .fetch_add(summary.recovered, Ordering::Relaxed);
+        summary
+    }
+
+    /// Sweeps completed so far.
+    pub fn sweep_count(&self) -> u64 {
+        self.sweeps.load(Ordering::Relaxed)
+    }
+
+    fn revalidate_statement(
+        &self,
+        statement: &Arc<RegisteredStatement>,
+        predictor: &SloPredictor,
+        sweep: u64,
+    ) -> DriftAction {
+        let catalog = self.db.catalog();
+        // Decide first, apply later: compiles and the advisor grid search
+        // are the expensive part, and they must not run under the state
+        // write lock or every sweep would stall this statement's executors
+        // (which read-lock the state to clone the plan). Sweeps are
+        // serialized by `sweep_lock`, so no other writer races the apply.
+        let (prepared, admission, limit) = {
+            let state = statement.state.read();
+            (state.prepared.clone(), state.admission.clone(), state.limit)
+        };
+        let prediction = predictor.predict(&prepared.compiled);
+        let p99 = prediction.max_p99_ms;
+        let meets = prediction.meets_slo(self.slo.slo_ms, self.slo.interval_confidence);
+        let original_limit = statement.stmt.bound.map(|b| b.count());
+        let was_flagged = matches!(admission, Admission::Flagged { .. });
+        let was_degraded = matches!(admission, Admission::Degraded { .. });
+
+        // (action, new admission, plan swap) — the swap carries the newly
+        // prepared plan, its bound, and its prediction
+        type Swap = Option<(Arc<Prepared>, Option<u64>, f64)>;
+        let (action, new_admission, swap): (DriftAction, Admission, Swap) = if meets {
+            if was_flagged {
+                // a flagged statement meets the SLO again: restore the
+                // verdict its current plan shape implies
+                let restored = match (limit, original_limit) {
+                    (Some(l), Some(o)) if l < o => Admission::Degraded {
+                        predicted_p99_ms: p99,
+                        original_limit: o,
+                        limit: l,
+                    },
+                    _ => Admission::Admitted {
+                        predicted_p99_ms: p99,
+                    },
+                };
+                (DriftAction::Recovered, restored, None)
+            } else if let (true, Some(l), Some(o)) = (was_degraded, limit, original_limit) {
+                if l < o {
+                    // a degraded statement under a faster store: try
+                    // restoring the original bound (pure compile + predict)
+                    match self.try_relax(&catalog, statement, predictor) {
+                        Some((restored, restored_p99)) => (
+                            DriftAction::Relaxed,
+                            Admission::Admitted {
+                                predicted_p99_ms: restored_p99,
+                            },
+                            Some((Arc::new(restored), Some(o), restored_p99)),
+                        ),
+                        None => (
+                            DriftAction::Steady,
+                            Admission::Degraded {
+                                predicted_p99_ms: p99,
+                                original_limit: o,
+                                limit: l,
+                            },
+                            None,
+                        ),
+                    }
+                } else {
+                    (
+                        DriftAction::Steady,
+                        Admission::Admitted {
+                            predicted_p99_ms: p99,
+                        },
+                        None,
+                    )
+                }
+            } else {
+                (
+                    DriftAction::Steady,
+                    Admission::Admitted {
+                        predicted_p99_ms: p99,
+                    },
+                    None,
+                )
+            }
+        } else {
+            // the current plan drifted over the SLO: tighten if the advisor
+            // finds a feasible smaller bound, otherwise flag
+            let tighter = if self.slo.allow_degrade {
+                limit.and_then(|current| {
+                    self.suggest_degraded_limit(predictor, &catalog, &statement.stmt, current)
+                })
+            } else {
+                None
+            };
+            let flagged = Admission::Flagged {
+                predicted_p99_ms: p99,
+            };
+            match (tighter, original_limit) {
+                (Some(l), Some(o)) => match self.db.prepare_stmt(&rebound(&statement.stmt, l)) {
+                    Ok(tightened) => {
+                        let new_p99 = predictor.predict(&tightened.compiled).max_p99_ms;
+                        (
+                            DriftAction::Redegraded,
+                            Admission::Degraded {
+                                predicted_p99_ms: new_p99,
+                                original_limit: o,
+                                limit: l,
+                            },
+                            Some((Arc::new(tightened), Some(l), new_p99)),
+                        )
+                    }
+                    Err(_) => (DriftAction::Flagged, flagged, None),
+                },
+                _ => {
+                    let action = if was_flagged {
+                        DriftAction::Steady
+                    } else {
+                        DriftAction::Flagged
+                    };
+                    (action, flagged, None)
+                }
+            }
+        };
+
+        // apply: brief write lock, no compiles inside
+        let mut state = statement.state.write();
+        state.admission = new_admission;
+        state.last_predicted_p99_ms = p99;
+        if let Some((new_prepared, new_limit, new_p99)) = swap {
+            state.prepared = new_prepared;
+            state.limit = new_limit;
+            state.last_predicted_p99_ms = new_p99;
+        }
+        let recorded_p99 = state.last_predicted_p99_ms;
+        state.drift.push(DriftEvent {
+            sweep,
+            predicted_p99_ms: recorded_p99,
+            action,
+        });
+        if state.drift.len() > DRIFT_HISTORY {
+            let excess = state.drift.len() - DRIFT_HISTORY;
+            state.drift.drain(..excess);
+        }
+        action
+    }
+
+    /// Compile + predict the statement at its original bound; `Some` iff
+    /// that meets the SLO (pure compile — zero storage operations unless
+    /// the plan's indexes vanished, which `prepare_stmt` would recreate).
+    fn try_relax(
+        &self,
+        catalog: &piql_core::catalog::Catalog,
+        statement: &RegisteredStatement,
+        predictor: &SloPredictor,
+    ) -> Option<(Prepared, f64)> {
+        let compiled = self.optimizer.compile(catalog, &statement.stmt).ok()?;
+        let prediction = predictor.predict(&compiled);
+        if !prediction.meets_slo(self.slo.slo_ms, self.slo.interval_confidence) {
+            return None;
+        }
+        let prepared = self.db.prepare_stmt(&statement.stmt).ok()?;
+        Some((prepared, prediction.max_p99_ms))
+    }
+}
+
+/// `stmt` with its row bound replaced by `limit` (kind-preserving).
+fn rebound(stmt: &SelectStmt, limit: u64) -> SelectStmt {
+    let mut out = stmt.clone();
+    out.bound = Some(match stmt.bound {
+        Some(RowBound::Paginate(_)) => RowBound::Paginate(limit),
+        _ => RowBound::Limit(limit),
+    });
+    out
+}
+
+/// The root-most remote operator — the statement's interaction kind for
+/// per-kind latency reporting.
+fn root_remote_kind(plan: &PhysicalPlan) -> LiveOpKind {
+    fn walk(plan: &PhysicalPlan) -> Option<LiveOpKind> {
+        match plan {
+            PhysicalPlan::IndexScan { .. } => Some(LiveOpKind::IndexScan),
+            PhysicalPlan::IndexFKJoin { .. } => Some(LiveOpKind::IndexFKJoin),
+            PhysicalPlan::SortedIndexJoin { .. } => Some(LiveOpKind::SortedIndexJoin),
+            other => other.child().and_then(walk),
+        }
+    }
+    walk(plan).unwrap_or(LiveOpKind::IndexScan)
+}
+
+/// A background thread that runs [`StatementRegistry::revalidate`] every
+/// `period` — the always-on half of the feedback loop. Dropping it stops
+/// the sweeps (joining the thread).
+pub struct Revalidator {
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Revalidator {
+    pub fn spawn<S: KvStore + 'static>(
+        registry: Arc<StatementRegistry<S>>,
+        period: Duration,
+    ) -> Revalidator {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let shutdown = shutdown.clone();
+            std::thread::Builder::new()
+                .name("piql-revalidate".into())
+                .spawn(move || {
+                    // sleep in short ticks so shutdown never waits a period
+                    let tick = period
+                        .min(Duration::from_millis(20))
+                        .max(Duration::from_millis(1));
+                    let mut slept = Duration::ZERO;
+                    loop {
+                        std::thread::sleep(tick);
+                        if shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        slept += tick;
+                        if slept >= period {
+                            slept = Duration::ZERO;
+                            registry.revalidate();
+                        }
+                    }
+                })
+                .expect("spawn revalidator thread")
+        };
+        Revalidator {
+            shutdown,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Revalidator {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
     }
 }

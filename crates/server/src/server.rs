@@ -17,7 +17,7 @@ use crate::json::Json;
 use crate::protocol::{
     cursor_to_json, err_response, ok_response, parse_request, row_to_json, Request,
 };
-use crate::registry::{Admission, SloConfig, StatementRegistry};
+use crate::registry::{Admission, Revalidator, SloConfig, StatementRegistry};
 use parking_lot::Mutex;
 use piql_core::plan::params::Params;
 use piql_engine::Database;
@@ -39,6 +39,9 @@ pub struct PiqlServer<S: KvStore + 'static = LiveCluster> {
     /// Clones of every accepted stream, so shutdown can close them and
     /// unblock their handler threads.
     streams: Arc<Mutex<Vec<TcpStream>>>,
+    /// Periodic admission re-validation (see
+    /// [`PiqlServer::enable_revalidation`]); stopped when the server drops.
+    revalidator: Option<Revalidator>,
 }
 
 impl<S: KvStore + 'static> PiqlServer<S> {
@@ -111,7 +114,16 @@ impl<S: KvStore + 'static> PiqlServer<S> {
             accept_thread: Some(accept_thread),
             connections,
             streams,
+            revalidator: None,
         })
+    }
+
+    /// Start the background [`Revalidator`]: every `period` the registry
+    /// folds drained live samples into the models and re-predicts every
+    /// registered statement (clients can also force a sweep with the
+    /// `revalidate` verb). Idempotent: a second call replaces the period.
+    pub fn enable_revalidation(&mut self, period: std::time::Duration) {
+        self.revalidator = Some(Revalidator::spawn(self.registry.clone(), period));
     }
 
     pub fn local_addr(&self) -> SocketAddr {
@@ -130,6 +142,8 @@ impl<S: KvStore + 'static> PiqlServer<S> {
 
 impl<S: KvStore + 'static> Drop for PiqlServer<S> {
     fn drop(&mut self) {
+        // stop the sweep thread first so no re-validation runs mid-teardown
+        self.revalidator = None;
         self.shutdown.store(true, Ordering::SeqCst);
         // poke the listener so `incoming()` returns and observes the flag
         let _ = TcpStream::connect(self.local_addr);
@@ -209,21 +223,25 @@ pub fn handle_request<S: KvStore>(
                     Admission::RejectedUnbounded { report } => {
                         fields.push(("report", Json::str(report.clone())));
                     }
+                    // registration never flags (flags come from sweeps)
+                    Admission::Flagged { predicted_p99_ms } => {
+                        fields.push(("predicted_p99_ms", Json::Float(*predicted_p99_ms)));
+                    }
                 }
                 if admission.is_admitted() {
                     let statement = registry.get(name).expect("admitted statement installed");
+                    let prepared = statement.prepared();
                     fields.push((
                         "columns",
                         Json::Arr(
-                            statement
-                                .prepared
+                            prepared
                                 .columns
                                 .iter()
                                 .map(|c| Json::str(c.clone()))
                                 .collect(),
                         ),
                     ));
-                    let bounds = &statement.prepared.compiled.bounds;
+                    let bounds = &prepared.compiled.bounds;
                     fields.push((
                         "bounds",
                         Json::obj([
@@ -255,6 +273,20 @@ pub fn handle_request<S: KvStore>(
             }
         }
         Request::Stats => stats_response(registry),
+        Request::Revalidate => {
+            let summary = registry.revalidate();
+            ok_response([
+                ("sweep", Json::Int(summary.sweep as i64)),
+                ("samples_folded", Json::Int(summary.samples_folded as i64)),
+                ("models_rotated", Json::Bool(summary.models_rotated)),
+                ("statements", Json::Int(summary.statements as i64)),
+                ("steady", Json::Int(summary.steady as i64)),
+                ("redegraded", Json::Int(summary.redegraded as i64)),
+                ("relaxed", Json::Int(summary.relaxed as i64)),
+                ("flagged", Json::Int(summary.flagged as i64)),
+                ("recovered", Json::Int(summary.recovered as i64)),
+            ])
+        }
     }
 }
 
@@ -298,16 +330,49 @@ fn stats_response<S: KvStore>(registry: &StatementRegistry<S>) -> Json {
         .list()
         .iter()
         .map(|s| {
-            Json::obj([
+            let admission = s.admission();
+            let mut fields = vec![
                 ("name", Json::str(s.name.clone())),
-                ("status", Json::str(s.admission.verdict())),
+                ("status", Json::str(admission.verdict())),
+                ("kind", Json::str(s.kind_name())),
                 (
                     "executions",
                     Json::Int(s.executions.load(Ordering::Relaxed) as i64),
                 ),
+                // observed quantiles next to the refreshed prediction: the
+                // pair the feedback loop exists to keep honest
                 ("p50_ms", Json::Float(s.quantile_ms(0.5))),
                 ("p99_ms", Json::Float(s.quantile_ms(0.99))),
-            ])
+                ("predicted_p99_ms", Json::Float(s.last_predicted_p99_ms())),
+            ];
+            if let Admission::Degraded {
+                original_limit,
+                limit,
+                ..
+            } = &admission
+            {
+                fields.push(("original_limit", Json::Int(*original_limit as i64)));
+                fields.push(("limit", Json::Int(*limit as i64)));
+            }
+            let drift = s.drift_history();
+            if !drift.is_empty() {
+                fields.push((
+                    "drift",
+                    Json::Arr(
+                        drift
+                            .iter()
+                            .map(|d| {
+                                Json::obj([
+                                    ("sweep", Json::Int(d.sweep as i64)),
+                                    ("predicted_p99_ms", Json::Float(d.predicted_p99_ms)),
+                                    ("action", Json::str(d.action.name())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            Json::obj(fields)
         })
         .collect();
     ok_response([
@@ -334,6 +399,30 @@ fn stats_response<S: KvStore>(registry: &StatementRegistry<S>) -> Json {
         (
             "exec_errors",
             Json::Int(c.exec_errors.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "revalidations",
+            Json::Int(c.revalidations.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "samples_folded",
+            Json::Int(c.samples_folded.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "drift_redegraded",
+            Json::Int(c.drift_redegraded.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "drift_relaxed",
+            Json::Int(c.drift_relaxed.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "drift_flagged",
+            Json::Int(c.drift_flagged.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "drift_recovered",
+            Json::Int(c.drift_recovered.load(Ordering::Relaxed) as i64),
         ),
         ("slo_ms", Json::Float(registry.slo().slo_ms)),
         ("statements", Json::Arr(statements)),

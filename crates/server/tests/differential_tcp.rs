@@ -140,7 +140,7 @@ fn table1_queries_differential_tcp_vs_direct() {
             p.set(i, v.clone());
         }
         let mut session = Session::new();
-        let direct = db.execute(&mut session, &statement.prepared, &p).unwrap();
+        let direct = db.execute(&mut session, &statement.prepared(), &p).unwrap();
         let direct_rows_json = Json::Arr(
             direct
                 .rows

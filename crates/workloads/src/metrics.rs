@@ -15,6 +15,14 @@ pub struct Sample {
 }
 
 /// A run's collected samples.
+///
+/// By default every sample is retained (experiment runs have a bounded
+/// horizon). Long-running consumers — the server keeps one `RunMetrics`
+/// per registered statement for its entire uptime — set
+/// [`RunMetrics::capacity`] (or use [`RunMetrics::bounded`]): once full,
+/// `record` overwrites the **oldest** retained sample, so memory stays
+/// fixed and every report reflects the most recent `capacity`
+/// observations.
 #[derive(Debug, Clone, Default)]
 pub struct RunMetrics {
     pub samples: Vec<Sample>,
@@ -23,15 +31,41 @@ pub struct RunMetrics {
     pub warmup_us: Micros,
     /// End of the measurement window.
     pub horizon_us: Micros,
+    /// Maximum retained samples; `0` = unbounded.
+    pub capacity: usize,
+    /// Samples ever recorded, including ones the ring has overwritten.
+    pub recorded: u64,
 }
 
 impl RunMetrics {
+    /// A ring-buffered collector for open-ended measurement: at most
+    /// `capacity` recent samples, full time window (no warm-up cutoff).
+    pub fn bounded(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RunMetrics {
+            samples: Vec::with_capacity(capacity),
+            warmup_us: 0,
+            horizon_us: u64::MAX,
+            capacity,
+            ..Default::default()
+        }
+    }
+
     pub fn record(&mut self, start: Micros, latency: Micros, kind: usize) {
-        self.samples.push(Sample {
+        let sample = Sample {
             start,
             latency,
             kind,
-        });
+        };
+        if self.capacity == 0 || self.samples.len() < self.capacity {
+            self.samples.push(sample);
+        } else {
+            // ring: `recorded` counts all prior records, so modulo the
+            // capacity it walks the slots oldest-first
+            let slot = (self.recorded % self.capacity as u64) as usize;
+            self.samples[slot] = sample;
+        }
+        self.recorded += 1;
     }
 
     fn measured(&self) -> impl Iterator<Item = &Sample> {
@@ -78,6 +112,12 @@ impl RunMetrics {
     }
 
     /// Per-interval quantiles over the measurement window (Figure 5(c)).
+    ///
+    /// The series is **dense and index-aligned**: element `i` is interval
+    /// `i` counted from the warm-up cutoff, and an interval with zero
+    /// samples reports `0.0` (the empty-set quantile convention used
+    /// throughout) instead of being silently skipped — so plotting the
+    /// series against interval numbers never misaligns the x-axis.
     pub fn interval_quantiles_ms(&self, interval_us: Micros, q: f64) -> Vec<f64> {
         if interval_us == 0 {
             return Vec::new();
@@ -89,12 +129,17 @@ impl RunMetrics {
                 .or_default()
                 .push(s.latency);
         }
-        buckets
-            .into_values()
-            .map(|mut lat| {
-                lat.sort_unstable();
-                let idx = ((q * lat.len() as f64).ceil() as usize).clamp(1, lat.len()) - 1;
-                lat[idx] as f64 / 1_000.0
+        let Some((&last, _)) = buckets.last_key_value() else {
+            return Vec::new();
+        };
+        (0..=last)
+            .map(|i| match buckets.get_mut(&i) {
+                Some(lat) => {
+                    lat.sort_unstable();
+                    let idx = ((q * lat.len() as f64).ceil() as usize).clamp(1, lat.len()) - 1;
+                    lat[idx] as f64 / 1_000.0
+                }
+                None => 0.0,
             })
             .collect()
     }
@@ -163,6 +208,67 @@ mod tests {
         assert_eq!(m.quantile_ms(1.0), 100.0);
         // kind 0 has even latencies 1,3,..,99
         assert_eq!(m.quantile_ms_of(0, 1.0), 99.0);
+    }
+
+    #[test]
+    fn bounded_metrics_hold_recent_samples_in_fixed_memory() {
+        let mut m = RunMetrics::bounded(100);
+        // 350 samples with monotonically increasing latency: after the ring
+        // wraps, only the most recent 100 (latencies 251..=350 ms) remain
+        for i in 0..350u64 {
+            m.record(i * 1_000, (i + 1) * 1_000, 0);
+        }
+        assert_eq!(m.samples.len(), 100, "memory stays at capacity");
+        assert_eq!(m.samples.capacity(), 100);
+        assert_eq!(m.recorded, 350);
+        assert_eq!(m.count(), 100);
+        assert_eq!(m.quantile_ms(0.0), 251.0, "oldest retained is recent");
+        assert_eq!(m.quantile_ms(0.5), 300.0);
+        assert_eq!(m.quantile_ms(1.0), 350.0);
+        // per-kind reports work over the retained window too
+        let mut k = RunMetrics::bounded(10);
+        for i in 0..25u64 {
+            k.record(0, (i + 1) * 1_000, (i % 2) as usize);
+        }
+        assert_eq!(k.quantile_ms_of(0, 1.0), 25.0);
+        assert_eq!(k.quantile_ms_of(1, 1.0), 24.0);
+    }
+
+    #[test]
+    fn unbounded_default_retains_everything() {
+        let mut m = RunMetrics {
+            horizon_us: u64::MAX,
+            ..Default::default()
+        };
+        for i in 0..1000u64 {
+            m.record(i, 1_000, 0);
+        }
+        assert_eq!(m.samples.len(), 1000);
+        assert_eq!(m.recorded, 1000);
+    }
+
+    #[test]
+    fn interval_series_is_dense_across_empty_intervals() {
+        let mut m = RunMetrics {
+            warmup_us: 0,
+            horizon_us: 100_000_000,
+            ..Default::default()
+        };
+        // samples only in intervals 0 and 3 (1 s intervals); 1 and 2 are a
+        // deliberate gap that must appear as explicit zeros, not vanish
+        m.record(100_000, 5_000, 0);
+        m.record(200_000, 7_000, 0);
+        m.record(3_500_000, 50_000, 0);
+        let qs = m.interval_quantiles_ms(1_000_000, 1.0);
+        assert_eq!(qs.len(), 4, "index-aligned: intervals 0..=3");
+        assert_eq!(qs[0], 7.0);
+        assert_eq!(qs[1], 0.0, "empty interval is an explicit gap");
+        assert_eq!(qs[2], 0.0);
+        assert_eq!(qs[3], 50.0);
+        assert_eq!(m.max_interval_quantile_ms(1_000_000, 1.0), 50.0);
+        // no samples at all: empty series
+        let empty = RunMetrics::default();
+        assert!(empty.interval_quantiles_ms(1_000_000, 1.0).is_empty());
     }
 
     #[test]

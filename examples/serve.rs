@@ -2,7 +2,10 @@
 //! store, register the SCADr thoughtstream, and watch success-tolerance at
 //! the API boundary — one registration admitted, one degraded to a
 //! SLO-feasible page size, one refused outright (with the Performance
-//! Insight report) before it can touch storage.
+//! Insight report) before it can touch storage. Then the feedback loop:
+//! the store drifts slow, a re-validation sweep folds the observed
+//! latencies back into the models, and the admitted statement is flagged
+//! — same process, no restart.
 //!
 //! Run with: `cargo run --example serve`
 
@@ -34,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // -- the service: 80ms p99 SLO, operator costs from a linear model
     // (a deployment would train these against its own store, §6.1)
-    let server = PiqlServer::start(
+    let mut server = PiqlServer::start(
         db,
         linear_predictor(200, 100, 3),
         SloConfig {
@@ -44,8 +47,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         "127.0.0.1:0",
     )?;
+    // live samples fold back into the models periodically; the period is
+    // long so this demo's forced `revalidate` below owns the scripted
+    // sweep (a background tick landing mid-script would drain the samples
+    // first and make the printed summary a no-op)
+    server.enable_revalidation(std::time::Duration::from_secs(60));
     println!(
-        "piql-server listening on {} (SLO: p99 ≤ 80ms)\n",
+        "piql-server listening on {} (SLO: p99 ≤ 80ms, periodic re-validation on)\n",
         server.local_addr()
     );
 
@@ -93,10 +101,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cluster.op_count() - ops_before
     );
 
+    // -- 4. the feedback loop: the store drifts slow, live samples fold
+    //       back into the models, and a sweep flags the admitted statement
+    println!("injecting 120ms/request latency drift into the running store...");
+    cluster.set_request_delay_us(120_000);
+    for _ in 0..3 {
+        client.execute(
+            "find_user",
+            &[Value::Varchar(scadr::username(42)).into()],
+            None,
+        )?;
+    }
+    let sweep = client.revalidate()?;
+    println!(
+        "revalidate: folded {} live samples, flagged {} statement(s)",
+        sweep
+            .get("samples_folded")
+            .and_then(Json::as_i64)
+            .unwrap_or(0),
+        sweep.get("flagged").and_then(Json::as_i64).unwrap_or(0),
+    );
+    if let Some(statements) = client.stats()?.get("statements").and_then(Json::as_arr) {
+        for s in statements {
+            if s.get("name").and_then(Json::as_str) == Some("find_user") {
+                println!(
+                    "! find_user is now {} — refreshed p99 prediction {:.1}ms \
+                     vs observed p99 {:.1}ms\n",
+                    s.get("status").and_then(Json::as_str).unwrap_or("?"),
+                    s.get("predicted_p99_ms")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(0.0),
+                    s.get("p99_ms").and_then(Json::as_f64).unwrap_or(0.0),
+                );
+            }
+        }
+    }
+    cluster.set_request_delay_us(0);
+
     // -- service counters
     let stats = client.stats()?;
     println!(
-        "stats: admitted={} degraded={} rejected_unbounded={} executed={}",
+        "stats: admitted={} degraded={} rejected_unbounded={} executed={} revalidations={}",
         stats.get("admitted").and_then(Json::as_i64).unwrap_or(0),
         stats.get("degraded").and_then(Json::as_i64).unwrap_or(0),
         stats
@@ -104,6 +149,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .and_then(Json::as_i64)
             .unwrap_or(0),
         stats.get("executed").and_then(Json::as_i64).unwrap_or(0),
+        stats
+            .get("revalidations")
+            .and_then(Json::as_i64)
+            .unwrap_or(0),
     );
     Ok(())
 }
