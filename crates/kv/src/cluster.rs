@@ -85,6 +85,48 @@ impl ClusterConfig {
     }
 }
 
+/// Physical balance of one namespace's shards (or partitions): how many
+/// entries each holds and how many storage operations each has served.
+/// This is the observability feed for skew detection — a rebalance exists
+/// to drive `max_entry_share` back toward `1/shards`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NsBalance {
+    pub name: String,
+    /// Shards in the namespace's current layout.
+    pub shards: usize,
+    /// Entries per shard, in key order.
+    pub entries: Vec<u64>,
+    /// Storage operations served per shard since its layout was installed
+    /// (a rebalance starts the new layout's counters at zero).
+    pub ops: Vec<u64>,
+}
+
+impl NsBalance {
+    pub fn total_entries(&self) -> u64 {
+        self.entries.iter().sum()
+    }
+
+    /// The largest single shard's fraction of entries — `1/shards` is
+    /// perfectly even, `1.0` is everything piled on one shard. `0.0` when
+    /// the namespace is empty.
+    pub fn max_entry_share(&self) -> f64 {
+        share(&self.entries)
+    }
+
+    /// The largest single shard's fraction of operations served.
+    pub fn max_op_share(&self) -> f64 {
+        share(&self.ops)
+    }
+}
+
+fn share(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    counts.iter().copied().max().unwrap_or(0) as f64 / total as f64
+}
+
 /// The store abstraction the engine programs against.
 pub trait KvStore: Send + Sync {
     /// Resolve (creating if needed) a namespace.
@@ -116,6 +158,12 @@ pub trait KvStore: Send + Sync {
     /// Recompute data placement from current contents. Backends without a
     /// placement concept treat this as a no-op.
     fn rebalance(&self) {}
+    /// Per-namespace physical shard balance, for backends that track data
+    /// placement explicitly (see [`NsBalance`]). Default: nothing to
+    /// report.
+    fn balance(&self) -> Vec<NsBalance> {
+        Vec::new()
+    }
     /// Advance the session clock to the backend's current time, so a
     /// latency measured as `begin()..now` starts *now* rather than at the
     /// previous round's completion. Wall-clock backends override this;

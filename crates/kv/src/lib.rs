@@ -24,7 +24,7 @@ pub mod stats;
 pub mod store;
 pub mod time;
 
-pub use cluster::{ClusterConfig, KvStore, SimCluster};
+pub use cluster::{ClusterConfig, KvStore, NsBalance, SimCluster};
 pub use latency::{InterferenceConfig, LatencyConfig};
 pub use live::{LiveCluster, LiveConfig, LiveStatsSnapshot};
 pub use op::{KvEntry, KvRequest, KvResponse, NsId, RequestRound, ResponseMismatch};

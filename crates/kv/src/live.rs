@@ -9,12 +9,19 @@
 //!
 //! Design:
 //!
-//! * Each namespace is split into `shards_per_namespace` **contiguous
-//!   key-range shards** (striped by leading key byte), each an ordered map
-//!   under its own `RwLock`. Point operations touch exactly one shard;
-//!   range scans walk the overlapping shards in key order, so lock
+//! * Each namespace is split into **contiguous key-range shards** at
+//!   explicit split points (initially `shards_per_namespace` leading-byte
+//!   stripes), each an ordered map under its own `RwLock`. Point
+//!   operations binary-search the split points and touch exactly one
+//!   shard; range scans walk the overlapping shards in key order, so lock
 //!   contention is striped while scan semantics stay identical to a single
 //!   ordered map.
+//! * [`LiveCluster::rebalance`] re-learns each namespace's split points at
+//!   quantiles of its observed keys — the live-path analog of the SCADS
+//!   Director the simulator models — and atomically swaps the re-sharded
+//!   namespace in behind an `Arc`'d routing table. Readers route through
+//!   the snapshot they loaded; writers briefly serialize on the swap;
+//!   concurrent sessions never observe a missing key.
 //! * A round's requests **fan out over a shared worker pool**
 //!   ([`RoundPool`]) and the round completes at the slowest request — the
 //!   same round semantics `SimCluster` models in virtual time (§4, Fig.
@@ -31,7 +38,7 @@
 //!   hook the admission-control tests use to prove rejected statements
 //!   issue **zero** storage requests.
 
-use crate::cluster::KvStore;
+use crate::cluster::{KvStore, NsBalance};
 use crate::op::{KvEntry, KvRequest, KvResponse, NsId, RequestRound};
 use crate::pool::{default_pool_threads, RoundPool};
 use crate::sample::{LiveSampleSink, OpSample};
@@ -86,6 +93,9 @@ pub struct LiveStats {
     pub entries_returned: AtomicU64,
     pub bytes_read: AtomicU64,
     pub bytes_written: AtomicU64,
+    /// Completed [`LiveCluster::rebalance`] calls (each re-splits every
+    /// namespace).
+    pub rebalances: AtomicU64,
 }
 
 /// A point-in-time copy of [`LiveStats`].
@@ -99,31 +109,84 @@ pub struct LiveStatsSnapshot {
     pub entries_returned: u64,
     pub bytes_read: u64,
     pub bytes_written: u64,
+    pub rebalances: u64,
 }
 
-struct LiveNamespace {
+/// Keys sampled per namespace to learn split points (a stride keeps the
+/// sample representative when the namespace is large).
+const SPLIT_SAMPLE_CAP: usize = 8_192;
+
+/// One immutable routing generation of a namespace: explicit split points
+/// and the shard maps they route to. Shard `i` covers
+/// `[splits[i-1], splits[i])` with sentinel bounds at the ends — the same
+/// convention as the simulator's [`crate::partition::NsPlacement`], so a
+/// key routes by binary search instead of leading-byte arithmetic.
+///
+/// A generation's *layout* never changes; [`LiveNamespace::rebalance`]
+/// builds a fresh generation off to the side and atomically publishes it.
+/// Shard *contents* do change (writers mutate the current generation), so
+/// a retired generation still holds every key it held at swap time —
+/// readers that loaded it mid-swap never observe a missing key.
+struct ShardSet {
+    /// Ascending split keys; `shards.len() == splits.len() + 1`.
+    splits: Vec<Vec<u8>>,
     shards: Vec<RwLock<BTreeMap<Vec<u8>, Vec<u8>>>>,
+    /// Storage operations served per shard by this generation — the skew
+    /// signal [`NsBalance`] reports; starts at zero when a rebalance
+    /// installs the generation.
+    ops: Vec<AtomicU64>,
 }
 
-impl LiveNamespace {
-    fn new(shards: usize) -> Self {
-        LiveNamespace {
-            shards: (0..shards.max(1))
-                .map(|_| RwLock::new(BTreeMap::new()))
-                .collect(),
+impl ShardSet {
+    fn from_maps(splits: Vec<Vec<u8>>, maps: Vec<BTreeMap<Vec<u8>, Vec<u8>>>) -> Self {
+        debug_assert_eq!(maps.len(), splits.len() + 1);
+        let ops = (0..maps.len()).map(|_| AtomicU64::new(0)).collect();
+        ShardSet {
+            splits,
+            shards: maps.into_iter().map(RwLock::new).collect(),
+            ops,
         }
     }
 
-    /// The shard owning `key`: stripe `i` covers leading bytes
-    /// `[i * 256/n, (i+1) * 256/n)`; the empty key lands in stripe 0.
+    /// The pre-rebalance default: contiguous leading-byte stripes,
+    /// expressed as explicit split points (`n = 4` → splits at `[64]`,
+    /// `[128]`, `[192]`).
+    fn striped(shards: usize) -> Self {
+        let n = shards.max(1);
+        let mut splits: Vec<Vec<u8>> = (1..n)
+            .map(|i| vec![((i * 256).div_ceil(n)).min(255) as u8])
+            .collect();
+        // > 256 stripes would repeat boundary bytes; collapse the
+        // permanently empty shards between duplicates
+        splits.dedup();
+        let maps = (0..splits.len() + 1).map(|_| BTreeMap::new()).collect();
+        ShardSet::from_maps(splits, maps)
+    }
+
+    /// A new generation with the given split points, holding a copy of
+    /// `source`'s entries routed by the *new* splits. Caller must hold the
+    /// namespace's table write lock so `source` is frozen.
+    fn resharded(splits: Vec<Vec<u8>>, source: &ShardSet) -> Self {
+        let mut maps: Vec<BTreeMap<Vec<u8>, Vec<u8>>> =
+            (0..splits.len() + 1).map(|_| BTreeMap::new()).collect();
+        for shard in &source.shards {
+            for (k, v) in shard.read().iter() {
+                let idx = splits.partition_point(|s| s.as_slice() <= k.as_slice());
+                maps[idx].insert(k.clone(), v.clone());
+            }
+        }
+        ShardSet::from_maps(splits, maps)
+    }
+
+    /// The shard owning `key` (split keys belong to the right shard, like
+    /// `NsPlacement::partition_of`).
     fn shard_of(&self, key: &[u8]) -> usize {
-        match key.first() {
-            Some(&b) => (b as usize * self.shards.len()) / 256,
-            None => 0,
-        }
+        self.splits.partition_point(|s| s.as_slice() <= key)
     }
 
-    /// Shard indices overlapping `[start, end)`, ascending.
+    /// Shard indices overlapping `[start, end)`, ascending. An exclusive
+    /// `end` that equals a split point does *not* visit the shard to its
+    /// right — no key `< end` can live there.
     fn shards_for_range(
         &self,
         start: &[u8],
@@ -131,19 +194,26 @@ impl LiveNamespace {
     ) -> std::ops::RangeInclusive<usize> {
         let lo = self.shard_of(start);
         let hi = match end {
-            // exclusive bound: the end key's shard still may hold smaller keys
-            Some(e) => self.shard_of(e),
+            Some(e) => self.splits.partition_point(|s| s.as_slice() < e),
             None => self.shards.len() - 1,
         };
         lo..=hi.max(lo)
     }
 
+    fn touch(&self, idx: usize) {
+        self.ops[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
     fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
-        self.shards[self.shard_of(key)].read().get(key).cloned()
+        let idx = self.shard_of(key);
+        self.touch(idx);
+        self.shards[idx].read().get(key).cloned()
     }
 
     fn put(&self, key: Vec<u8>, value: Option<Vec<u8>>) {
-        let mut shard = self.shards[self.shard_of(&key)].write();
+        let idx = self.shard_of(&key);
+        self.touch(idx);
+        let mut shard = self.shards[idx].write();
         match value {
             Some(v) => {
                 shard.insert(key, v);
@@ -160,7 +230,9 @@ impl LiveNamespace {
         expect: Option<&[u8]>,
         value: Option<Vec<u8>>,
     ) -> (bool, Option<Vec<u8>>) {
-        let mut shard = self.shards[self.shard_of(key)].write();
+        let idx = self.shard_of(key);
+        self.touch(idx);
+        let mut shard = self.shards[idx].write();
         let current = shard.get(key).cloned();
         if current.as_deref() != expect {
             return (false, current);
@@ -197,6 +269,7 @@ impl LiveNamespace {
         let shards = self.shards_for_range(start, end);
         let mut visit = |out: &mut Vec<KvEntry>, idx: usize| {
             visited += 1;
+            self.touch(idx);
             let shard = self.shards[idx].read();
             let iter = shard.range::<Vec<u8>, _>((lo.clone(), hi.clone()));
             if reverse {
@@ -245,6 +318,7 @@ impl LiveNamespace {
             .shards_for_range(start, end)
             .map(|idx| {
                 visited += 1;
+                self.touch(idx);
                 self.shards[idx]
                     .read()
                     .range::<Vec<u8>, _>((lo.clone(), hi.clone()))
@@ -256,6 +330,142 @@ impl LiveNamespace {
 
     fn len(&self) -> usize {
         self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    fn entries_per_shard(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.read().len() as u64).collect()
+    }
+
+    fn ops_per_shard(&self) -> Vec<u64> {
+        self.ops.iter().map(|o| o.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Split points at key-distribution quantiles — the same job the
+    /// simulator's Director does via `Namespace::quantile_keys`, over a
+    /// strided sample when the namespace is large. Shards are contiguous
+    /// ranges, so visiting them in index order yields globally sorted keys.
+    fn quantile_splits(&self, parts: usize) -> Vec<Vec<u8>> {
+        if parts <= 1 {
+            return Vec::new();
+        }
+        let total = self.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let stride = total.div_ceil(SPLIT_SAMPLE_CAP).max(1);
+        let mut sample: Vec<Vec<u8>> = Vec::with_capacity(total.div_ceil(stride));
+        let mut i = 0usize;
+        for shard in &self.shards {
+            for k in shard.read().keys() {
+                if i.is_multiple_of(stride) {
+                    sample.push(k.clone());
+                }
+                i += 1;
+            }
+        }
+        let step = sample.len() / parts;
+        if step == 0 {
+            return Vec::new();
+        }
+        let mut splits = Vec::with_capacity(parts - 1);
+        for (j, k) in sample.into_iter().enumerate() {
+            if j > 0 && j.is_multiple_of(step) && splits.len() < parts - 1 {
+                splits.push(k);
+            }
+        }
+        splits
+    }
+}
+
+/// One namespace: an `Arc`-swapped routing table over the current
+/// [`ShardSet`] generation.
+///
+/// Concurrency protocol (what makes a rebalance invisible to sessions):
+///
+/// * **Readers** clone the `Arc` under a momentary table read lock and
+///   route through the snapshot they loaded — long scans never block a
+///   swap, and a retired generation keeps its data until the last reader
+///   drops it.
+/// * **Writers** hold the table read lock *across* their shard mutation,
+///   so the swap (which takes the write lock) serializes with in-flight
+///   writes: no write can land in a generation after it has been copied.
+struct LiveNamespace {
+    table: RwLock<Arc<ShardSet>>,
+}
+
+impl LiveNamespace {
+    fn new(shards: usize) -> Self {
+        LiveNamespace {
+            table: RwLock::new(Arc::new(ShardSet::striped(shards))),
+        }
+    }
+
+    /// The current generation, for lock-free reading.
+    fn load(&self) -> Arc<ShardSet> {
+        self.table.read().clone()
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.load().get(key)
+    }
+
+    fn put(&self, key: Vec<u8>, value: Option<Vec<u8>>) {
+        // hold the table read lock across the mutation (see the struct doc)
+        let table = self.table.read();
+        table.put(key, value);
+    }
+
+    fn test_and_set(
+        &self,
+        key: &[u8],
+        expect: Option<&[u8]>,
+        value: Option<Vec<u8>>,
+    ) -> (bool, Option<Vec<u8>>) {
+        let table = self.table.read();
+        table.test_and_set(key, expect, value)
+    }
+
+    fn range(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: Option<u64>,
+        reverse: bool,
+    ) -> (Vec<KvEntry>, u64) {
+        self.load().range(start, end, limit, reverse)
+    }
+
+    fn count_range(&self, start: &[u8], end: Option<&[u8]>) -> (u64, u64) {
+        self.load().count_range(start, end)
+    }
+
+    fn len(&self) -> usize {
+        self.load().len()
+    }
+
+    fn balance(&self, name: String) -> NsBalance {
+        let set = self.load();
+        NsBalance {
+            name,
+            shards: set.shards.len(),
+            entries: set.entries_per_shard(),
+            ops: set.ops_per_shard(),
+        }
+    }
+
+    /// Re-split this namespace at learned quantiles of its current keys
+    /// and atomically publish the re-sharded generation.
+    fn rebalance(&self, parts: usize) {
+        // sample split points from the published snapshot — no lock held
+        let splits = self.load().quantile_splits(parts.max(1));
+        // Build the new generation off to the side, then publish. Taking
+        // the table write lock first (a) waits out every in-flight writer
+        // and (b) blocks new ones, so the copy sees a frozen store and no
+        // write can land in the retired generation after it was copied.
+        // Readers are unaffected: they route through whichever generation
+        // they loaded.
+        let mut table = self.table.write();
+        *table = Arc::new(ShardSet::resharded(splits, &table));
     }
 }
 
@@ -358,7 +568,37 @@ impl LiveCluster {
             entries_returned: self.stats.entries_returned.load(Ordering::Relaxed),
             bytes_read: self.stats.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.stats.bytes_written.load(Ordering::Relaxed),
+            rebalances: self.stats.rebalances.load(Ordering::Relaxed),
         }
+    }
+
+    /// Re-learn every namespace's split points from the keys it currently
+    /// holds and atomically publish the re-sharded namespaces — the
+    /// Director's job (quantile split points, exactly like
+    /// [`SimCluster::rebalance`](crate::SimCluster::rebalance)), performed
+    /// online: concurrent sessions keep reading and writing throughout.
+    pub fn rebalance(&self) {
+        let namespaces: Vec<Arc<LiveNamespace>> = self.namespaces.read().clone();
+        for ns in &namespaces {
+            ns.rebalance(self.config.shards_per_namespace);
+        }
+        self.stats.rebalances.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Per-namespace shard balance (entry and op distribution over the
+    /// current layout) — the skew signal that tells an operator (or a
+    /// future auto-trigger) a rebalance is due.
+    pub fn balance(&self) -> Vec<NsBalance> {
+        let names: Vec<(String, NsId)> = self
+            .names
+            .read()
+            .iter()
+            .map(|(n, id)| (n.clone(), *id))
+            .collect();
+        names
+            .into_iter()
+            .map(|(name, id)| self.ns_data(id).balance(name))
+            .collect()
     }
 }
 
@@ -524,6 +764,14 @@ impl KvStore for LiveCluster {
             .bytes_written
             .fetch_add(value.len() as u64, Ordering::Relaxed);
         self.ns_data(ns).put(key, Some(value));
+    }
+
+    fn rebalance(&self) {
+        LiveCluster::rebalance(self);
+    }
+
+    fn balance(&self) -> Vec<NsBalance> {
+        LiveCluster::balance(self)
     }
 
     fn sync_session(&self, session: &mut Session) {
@@ -749,6 +997,130 @@ mod tests {
         );
         assert_eq!(responses.len(), 2);
         assert_eq!(c.pool().worker_count(), 0);
+    }
+
+    #[test]
+    fn exclusive_end_on_shard_boundary_stays_left() {
+        // 4 stripes → splits at [64], [128], [192]; an exclusive end
+        // exactly on a boundary must not visit the shard to its right
+        let c = small();
+        let ns = c.namespace("edge");
+        for i in 0..=255u8 {
+            c.bulk_put(ns, vec![i], vec![i]);
+        }
+        let mut s = Session::new();
+        let r = c.execute_round(
+            &mut s,
+            vec![KvRequest::CountRange {
+                ns,
+                start: vec![0],
+                end: Some(vec![64]),
+            }],
+        );
+        assert_eq!(r[0].expect_count(), 64);
+        assert_eq!(s.stats.physical_requests, 1, "[0, [64]) lives in shard 0");
+        let mut s2 = Session::new();
+        let r = c.execute_round(
+            &mut s2,
+            vec![KvRequest::GetRange {
+                ns,
+                start: vec![64],
+                end: Some(vec![128]),
+                limit: None,
+                reverse: false,
+            }],
+        );
+        assert_eq!(r[0].expect_entries().len(), 64);
+        assert_eq!(s2.stats.physical_requests, 1, "one full stripe, one shard");
+        // an end past the boundary still visits the next shard
+        let mut s3 = Session::new();
+        c.execute_round(
+            &mut s3,
+            vec![KvRequest::CountRange {
+                ns,
+                start: vec![0],
+                end: Some(vec![64, 0]),
+            }],
+        );
+        assert_eq!(s3.stats.physical_requests, 2);
+    }
+
+    #[test]
+    fn rebalance_learns_quantile_splits_and_keeps_results() {
+        let c = small();
+        let ns = c.namespace("skew");
+        // 90% of keys under leading byte 0xAA — all piled on one stripe
+        let mut expected: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for i in 0..400u16 {
+            let mut key = if i % 10 != 0 {
+                vec![0xAA, 0xAA]
+            } else {
+                vec![(i % 251) as u8]
+            };
+            key.extend_from_slice(&i.to_be_bytes());
+            expected.push((key.clone(), i.to_be_bytes().to_vec()));
+            c.bulk_put(ns, key, i.to_be_bytes().to_vec());
+        }
+        expected.sort();
+        let before = c.balance();
+        let skewed = &before[0];
+        assert!(
+            skewed.max_entry_share() >= 0.9,
+            "stripes pile the skewed prefix onto one shard: {:?}",
+            skewed.entries
+        );
+
+        c.rebalance();
+
+        let after = c.balance();
+        let even = &after[0];
+        assert_eq!(even.name, "skew");
+        assert!(
+            even.max_entry_share() <= 2.0 / even.shards as f64,
+            "quantile splits even the shards out: {:?}",
+            even.entries
+        );
+        assert_eq!(c.stats_snapshot().rebalances, 1);
+        assert_eq!(even.ops.iter().sum::<u64>(), 0, "new layout, fresh ops");
+
+        // results are bitwise identical to the pre-rebalance contents
+        let mut s = Session::new();
+        let r = c.execute_round(
+            &mut s,
+            vec![KvRequest::GetRange {
+                ns,
+                start: vec![],
+                end: None,
+                limit: None,
+                reverse: false,
+            }],
+        );
+        assert_eq!(r[0].expect_entries(), expected.as_slice());
+    }
+
+    #[test]
+    fn rebalance_of_empty_namespace_is_harmless() {
+        let c = small();
+        let ns = c.namespace("empty");
+        c.rebalance();
+        let mut s = Session::new();
+        let r = c.execute_round(
+            &mut s,
+            vec![KvRequest::Get {
+                ns,
+                key: b"k".to_vec(),
+            }],
+        );
+        assert_eq!(r[0].expect_value(), None);
+        c.execute_round(
+            &mut s,
+            vec![KvRequest::Put {
+                ns,
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            }],
+        );
+        assert_eq!(c.ns_len(ns), 1);
     }
 
     #[test]

@@ -502,6 +502,186 @@ fn concurrent_sessions_fan_out_without_cross_talk() {
     }
 }
 
+/// The key successor — the exclusive-start continuation a pagination
+/// cursor uses (`ScanAfter` resumes strictly after the last key shipped).
+fn successor(key: &[u8]) -> Vec<u8> {
+    let mut next = key.to_vec();
+    next.push(0);
+    next
+}
+
+/// Rebalancing must be invisible to queries: on a skewed load (≥ 90% of
+/// keys under one leading byte), every backend returns bitwise-identical
+/// results before and after `rebalance()`, and a pagination sequence that
+/// straddles the rebalance shipping pages before *and* after sees exactly
+/// the same rows as an uninterrupted scan.
+#[test]
+fn rebalance_preserves_results_and_cursor_pages_on_skewed_data() {
+    for (name, store) in backends() {
+        let ns = store.namespace("skew");
+        let mut s = Session::new();
+        for i in 0..500u16 {
+            // 90% of keys under the 0x61 prefix, the rest spread out;
+            // the big-endian counter suffix keeps every key unique
+            let mut key = if i % 10 != 0 {
+                vec![0x61, 0x61]
+            } else {
+                vec![(i % 251) as u8, 0xFF]
+            };
+            key.extend_from_slice(&i.to_be_bytes());
+            store.bulk_put(ns, key, i.to_be_bytes().to_vec());
+        }
+
+        let queries: Vec<KvRequest> = vec![
+            KvRequest::GetRange {
+                ns,
+                start: vec![],
+                end: None,
+                limit: None,
+                reverse: false,
+            },
+            KvRequest::GetRange {
+                ns,
+                start: vec![0x61],
+                end: Some(vec![0x62]),
+                limit: None,
+                reverse: false,
+            },
+            KvRequest::GetRange {
+                ns,
+                start: vec![0x20],
+                end: None,
+                limit: Some(17),
+                reverse: true,
+            },
+            KvRequest::CountRange {
+                ns,
+                start: vec![0x61],
+                end: Some(vec![0x62]),
+            },
+        ];
+        let before: Vec<KvResponse> = store.execute_round(&mut s, queries.clone());
+
+        // pagination started against the old layout...
+        let page_one = one(
+            store.as_ref(),
+            &mut s,
+            KvRequest::GetRange {
+                ns,
+                start: vec![],
+                end: None,
+                limit: Some(100),
+                reverse: false,
+            },
+        )
+        .expect_entries()
+        .to_vec();
+
+        store.rebalance();
+
+        // ...resumes against the new one, with no gap and no duplicate
+        let mut paged = page_one.clone();
+        loop {
+            let next = one(
+                store.as_ref(),
+                &mut s,
+                KvRequest::GetRange {
+                    ns,
+                    start: successor(&paged.last().unwrap().0),
+                    end: None,
+                    limit: Some(100),
+                    reverse: false,
+                },
+            )
+            .expect_entries()
+            .to_vec();
+            if next.is_empty() {
+                break;
+            }
+            paged.extend(next);
+        }
+        assert_eq!(
+            paged,
+            before[0].expect_entries().to_vec(),
+            "{name}: pages straddling the rebalance equal the full scan"
+        );
+
+        let after = store.execute_round(&mut s, queries);
+        assert_eq!(
+            after, before,
+            "{name}: results bitwise-identical across rebalance"
+        );
+
+        // backends that report balance must have evened the shards out
+        let balance = store.balance();
+        if let Some(b) = balance.iter().find(|b| b.name == "skew") {
+            assert!(
+                b.max_entry_share() <= 2.0 / b.shards as f64,
+                "{name}: max shard share {:.3} of {} shards after rebalance",
+                b.max_entry_share(),
+                b.shards
+            );
+        }
+    }
+}
+
+/// Physical-op accounting regression: an exclusive range end that falls
+/// exactly on a learned split point must cost the same number of
+/// partition/shard visits on both backends. (The live store used to visit
+/// the end key's shard even though no key `< end` can live there,
+/// inflating `physical_requests` relative to `SimCluster`.)
+#[test]
+fn boundary_aligned_range_costs_equal_physical_ops_on_sim_and_live() {
+    let sim = SimCluster::new(ClusterConfig::instant(4));
+    let live = LiveCluster::new(LiveConfig {
+        shards_per_namespace: 4,
+        ..Default::default()
+    });
+    let stores: [&dyn KvStore; 2] = [&sim, &live];
+    for store in stores {
+        let ns = store.namespace("edge");
+        for i in 0..=255u8 {
+            store.bulk_put(ns, vec![i], vec![i]);
+        }
+        // 256 uniform keys over 4 partitions/shards: both backends learn
+        // the same quantile split points ([64], [128], [192])
+        store.rebalance();
+    }
+    let mut per_store_phys = Vec::new();
+    for store in stores {
+        let ns = store.namespace("edge");
+        let mut s = Session::new();
+        let r = store.execute_round(
+            &mut s,
+            vec![
+                KvRequest::GetRange {
+                    ns,
+                    start: vec![0],
+                    end: Some(vec![128]), // exclusive end exactly on a split
+                    limit: None,
+                    reverse: false,
+                },
+                KvRequest::CountRange {
+                    ns,
+                    start: vec![64],
+                    end: Some(vec![192]),
+                },
+            ],
+        );
+        assert_eq!(r[0].expect_entries().len(), 128);
+        assert_eq!(r[1].expect_count(), 128);
+        per_store_phys.push(s.stats.physical_requests);
+    }
+    assert_eq!(
+        per_store_phys[0], per_store_phys[1],
+        "Sim and Live agree on partition-visit accounting"
+    );
+    assert_eq!(
+        per_store_phys[1], 4,
+        "two visits per boundary-aligned two-shard range"
+    );
+}
+
 #[test]
 fn empty_rounds_are_free() {
     for (name, store) in backends() {

@@ -158,6 +158,13 @@ impl Client {
         self.request(&Request::Revalidate)
     }
 
+    /// Recompute the store's data placement from its current contents
+    /// (quantile split points per namespace); returns the post-rebalance
+    /// `shard_balance` report.
+    pub fn rebalance(&mut self) -> Result<Json, ClientError> {
+        self.request(&Request::Rebalance)
+    }
+
     /// Testing hook: a clone of the underlying stream, for writing raw
     /// (possibly malformed) lines past the typed API.
     pub fn raw_stream(&self) -> io::Result<TcpStream> {

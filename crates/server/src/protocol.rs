@@ -8,8 +8,9 @@
 //! | `execute`     | `name`, `params`, optional `cursor`   | `rows` + optional `cursor` |
 //! | `cursor-next` | `name`, `params`, required `cursor`   | same as `execute` |
 //! | `dml`         | `sql`, `params`                       | `ok` |
-//! | `stats`       | —                                     | service counters + per-statement latency, refreshed predictions, drift history |
+//! | `stats`       | —                                     | service counters + per-statement latency, refreshed predictions, drift history, shard balance |
 //! | `revalidate`  | —                                     | forces one re-validation sweep; returns the sweep summary |
+//! | `rebalance`   | —                                     | recomputes the store's data placement (quantile split points); returns the post-rebalance shard balance |
 //!
 //! Values are tagged one-field objects (`{"int":5}`, `{"ts":1699...}`,
 //! `{"str":"x"}`, …) so every [`Value`] round-trips exactly — including
@@ -77,6 +78,11 @@ pub enum Request {
     /// runs periodically server-side; this verb makes drift handling
     /// deterministic for tests and operators.
     Revalidate,
+    /// Recompute the backend's data placement from its current contents —
+    /// re-split every namespace at learned key-distribution quantiles (the
+    /// Director's job, §3). Sessions keep executing throughout; the reply
+    /// carries the post-rebalance shard balance.
+    Rebalance,
 }
 
 /// Encode one [`Value`] as a tagged object.
@@ -243,6 +249,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         }),
         "stats" => Ok(Request::Stats),
         "revalidate" => Ok(Request::Revalidate),
+        "rebalance" => Ok(Request::Rebalance),
         other => Err(ProtoError::Malformed(format!("unknown cmd '{other}'"))),
     }
 }
@@ -291,6 +298,7 @@ pub fn request_to_line(req: &Request) -> String {
         ]),
         Request::Stats => Json::obj([("cmd", Json::str("stats"))]),
         Request::Revalidate => Json::obj([("cmd", Json::str("revalidate"))]),
+        Request::Rebalance => Json::obj([("cmd", Json::str("rebalance"))]),
     };
     j.to_string()
 }
@@ -366,6 +374,7 @@ mod tests {
             },
             Request::Stats,
             Request::Revalidate,
+            Request::Rebalance,
         ];
         for r in &reqs {
             assert_eq!(&parse_request(&request_to_line(r)).unwrap(), r);

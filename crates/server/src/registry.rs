@@ -244,6 +244,8 @@ pub struct RegistryCounters {
     pub rejected_unbounded: AtomicU64,
     pub executed: AtomicU64,
     pub exec_errors: AtomicU64,
+    /// Data-placement rebalances performed via the `rebalance` verb.
+    pub rebalances: AtomicU64,
     /// Re-validation sweeps completed.
     pub revalidations: AtomicU64,
     /// Live samples folded into the models by sweeps.
@@ -570,6 +572,17 @@ impl<S: KvStore> StatementRegistry<S> {
         self.db
             .execute_dml(session, sql, params)
             .map_err(RegistryError::Db)
+    }
+
+    /// Recompute the backend's data placement from current contents (the
+    /// protocol's `rebalance` verb): every namespace is re-split at
+    /// learned key-distribution quantiles while sessions keep executing.
+    /// Returns the post-rebalance shard balance of backends that track
+    /// one.
+    pub fn rebalance(&self) -> Vec<piql_kv::NsBalance> {
+        self.db.cluster().rebalance();
+        self.counters.rebalances.fetch_add(1, Ordering::Relaxed);
+        self.db.cluster().balance()
     }
 
     // ------------------------------------------------- the feedback loop

@@ -21,10 +21,10 @@ use crate::registry::{Admission, Revalidator, SloConfig, StatementRegistry};
 use parking_lot::Mutex;
 use piql_core::plan::params::Params;
 use piql_engine::Database;
-use piql_kv::{KvStore, LiveCluster, Session};
+use piql_kv::{KvStore, LiveCluster, NsBalance, Session};
 use piql_predict::SloPredictor;
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -145,8 +145,21 @@ impl<S: KvStore + 'static> Drop for PiqlServer<S> {
         // stop the sweep thread first so no re-validation runs mid-teardown
         self.revalidator = None;
         self.shutdown.store(true, Ordering::SeqCst);
-        // poke the listener so `incoming()` returns and observes the flag
-        let _ = TcpStream::connect(self.local_addr);
+        // Poke the listener so `incoming()` returns and observes the flag.
+        // A server bound to an unspecified address (0.0.0.0 / [::]) is not
+        // connectable *at* that address, so aim the poke at loopback on
+        // the bound port — otherwise the accept thread would only exit on
+        // the next real client.
+        let poke = if self.local_addr.ip().is_unspecified() {
+            let loopback: IpAddr = match self.local_addr.ip() {
+                IpAddr::V4(_) => Ipv4Addr::LOCALHOST.into(),
+                IpAddr::V6(_) => Ipv6Addr::LOCALHOST.into(),
+            };
+            SocketAddr::new(loopback, self.local_addr.port())
+        } else {
+            self.local_addr
+        };
+        let _ = TcpStream::connect(poke);
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
@@ -287,7 +300,36 @@ pub fn handle_request<S: KvStore>(
                 ("recovered", Json::Int(summary.recovered as i64)),
             ])
         }
+        Request::Rebalance => {
+            let balance = registry.rebalance();
+            ok_response([
+                (
+                    "rebalances",
+                    Json::Int(registry.counters.rebalances.load(Ordering::Relaxed) as i64),
+                ),
+                ("shard_balance", balance_to_json(&balance)),
+            ])
+        }
     }
+}
+
+/// Per-namespace shard balance as the wire object (`stats` and the
+/// `rebalance` verb both ship it).
+fn balance_to_json(balance: &[NsBalance]) -> Json {
+    Json::Arr(
+        balance
+            .iter()
+            .map(|b| {
+                Json::obj([
+                    ("namespace", Json::str(b.name.clone())),
+                    ("shards", Json::Int(b.shards as i64)),
+                    ("entries", Json::Int(b.total_entries() as i64)),
+                    ("max_entry_share", Json::Float(b.max_entry_share())),
+                    ("max_op_share", Json::Float(b.max_op_share())),
+                ])
+            })
+            .collect(),
+    )
 }
 
 fn build_params(values: &[piql_core::plan::params::ParamValue]) -> Params {
@@ -423,6 +465,14 @@ fn stats_response<S: KvStore>(registry: &StatementRegistry<S>) -> Json {
         (
             "drift_recovered",
             Json::Int(c.drift_recovered.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "rebalances",
+            Json::Int(c.rebalances.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "shard_balance",
+            balance_to_json(&registry.db().cluster().balance()),
         ),
         ("slo_ms", Json::Float(registry.slo().slo_ms)),
         ("statements", Json::Arr(statements)),

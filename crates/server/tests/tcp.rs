@@ -290,3 +290,111 @@ fn concurrent_tpcw_mix_over_tcp() {
     assert_eq!(stats.get("exec_errors").and_then(Json::as_i64), Some(0));
     assert!(server.connection_count() >= 10);
 }
+
+/// The `rebalance` verb re-splits the live store's namespaces at learned
+/// quantiles while the service keeps answering: a pagination sequence
+/// that straddles the rebalance returns exactly the rows an uninterrupted
+/// run does, and the post-rebalance balance report shows the (uniformly
+/// prefixed, hence maximally skewed) SCADr keyspaces spread evenly.
+#[test]
+fn rebalance_verb_resplits_the_live_store_mid_pagination() {
+    let (_db, server) = start_scadr_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .prepare(
+            "stream",
+            "SELECT * FROM thoughts WHERE owner = <u> ORDER BY timestamp DESC PAGINATE 4",
+        )
+        .unwrap();
+
+    // the uninterrupted run, for comparison
+    let mut uninterrupted = Vec::new();
+    let mut cursor = None;
+    loop {
+        let page = match cursor.take() {
+            None => client.execute("stream", &uname_param(3), None).unwrap(),
+            Some(c) => client.cursor_next("stream", &uname_param(3), c).unwrap(),
+        };
+        if page.rows.is_empty() {
+            break;
+        }
+        uninterrupted.extend(page.rows);
+        match page.cursor {
+            Some(c) => cursor = Some(c),
+            None => break,
+        }
+    }
+    assert_eq!(uninterrupted.len(), 11);
+
+    // page 1 against the striped layout ...
+    let page1 = client.execute("stream", &uname_param(3), None).unwrap();
+    let mut rows = page1.rows;
+    let mut cursor = page1.cursor;
+
+    // ... rebalance in the middle of the pagination ...
+    let report = client.rebalance().unwrap();
+    assert_eq!(report.get("rebalances").and_then(Json::as_i64), Some(1));
+    let balance = report.get("shard_balance").and_then(Json::as_arr).unwrap();
+    assert!(!balance.is_empty());
+    for ns in balance {
+        let entries = ns.get("entries").and_then(Json::as_i64).unwrap();
+        let shards = ns.get("shards").and_then(Json::as_i64).unwrap();
+        let share = ns.get("max_entry_share").and_then(Json::as_f64).unwrap();
+        if entries >= 64 {
+            let threshold = (2.0 / shards as f64) * 1.5;
+            assert!(
+                share <= threshold,
+                "{}: max entry share {share:.3} over {shards} shards exceeds {threshold:.3}",
+                ns.get("namespace").and_then(Json::as_str).unwrap_or("?")
+            );
+        }
+    }
+
+    // ... and the cursor resumes against the new layout, no gap, no dup
+    while let Some(c) = cursor.take() {
+        let page = client.cursor_next("stream", &uname_param(3), c).unwrap();
+        if page.rows.is_empty() {
+            break;
+        }
+        rows.extend(page.rows);
+        cursor = page.cursor;
+    }
+    assert_eq!(rows, uninterrupted);
+
+    // stats carries the counter and the balance report for operators
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("rebalances").and_then(Json::as_i64), Some(1));
+    assert!(stats.get("shard_balance").and_then(Json::as_arr).is_some());
+}
+
+/// Shutdown regression: a server bound to the unspecified address
+/// (`0.0.0.0`) used to poke its acceptor by connecting to that exact
+/// address — which fails — leaving the accept thread blocked until the
+/// next real client. Dropping such a server must return promptly.
+#[test]
+fn dropping_a_server_bound_to_unspecified_unblocks_the_acceptor() {
+    let cluster = Arc::new(LiveCluster::new(LiveConfig::default()));
+    let db = Arc::new(Database::new(cluster));
+    let server = PiqlServer::start(
+        db,
+        linear_predictor(200, 100, 2),
+        permissive_slo(),
+        "0.0.0.0:0",
+    )
+    .unwrap();
+    let port = server.local_addr().port();
+
+    // reachable via loopback even though bound to 0.0.0.0
+    let mut client = Client::connect(("127.0.0.1", port)).unwrap();
+    assert!(client.stats().unwrap().get("ok").is_some());
+    drop(client);
+
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        drop(server);
+        done_tx.send(()).ok();
+    });
+    done_rx
+        .recv_timeout(std::time::Duration::from_secs(10))
+        .expect("drop must unblock the accept thread without a real client connecting");
+}
