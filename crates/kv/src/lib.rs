@@ -1,15 +1,31 @@
 //! # piql-kv
 //!
-//! A deterministic virtual-time simulation of a distributed, ordered,
-//! replicated key/value store — the substrate PIQL runs on (§3 of the
-//! paper; SCADS on EC2 in the original evaluation).
+//! The distributed, ordered key/value substrate PIQL runs on (§3 of the
+//! paper; SCADS on EC2 in the original evaluation) — two backends behind
+//! one [`KvStore`] trait, kept interchangeable by a shared conformance
+//! suite:
 //!
-//! The simulation holds data once and models *placement and timing*
-//! separately: range-partitioned namespaces with replica sets, per-node
-//! bounded concurrency with FIFO queueing, heavy-tailed (lognormal) service
-//! times, multi-tenant interference intervals, and eventual-consistency
-//! visibility lag on non-primary replicas. Everything is seeded and
-//! reproducible; no wall-clock time is consumed by simulated latency.
+//! * [`SimCluster`] — a deterministic **virtual-time simulation**: the
+//!   data is held once while *placement and timing* are modeled
+//!   separately — range-partitioned namespaces with replica sets,
+//!   per-node bounded concurrency with FIFO queueing, heavy-tailed
+//!   (lognormal) service times, multi-tenant interference intervals, and
+//!   eventual-consistency visibility lag on non-primary replicas.
+//!   Everything is seeded and reproducible; no wall-clock time is
+//!   consumed by simulated latency.
+//! * [`LiveCluster`] — a **real-time sharded store** serving wall-clock
+//!   [`Session`]s: namespaces routed by explicit split points behind
+//!   `Arc`-swapped layout generations, data-driven quantile rebalancing,
+//!   per-round latency sampling ([`OpSample`]/[`LiveSampleSink`]) for
+//!   online model training, and runtime latency injection for drift
+//!   tests.
+//!
+//! Request rounds fan out over a shared [`RoundPool`] — a fixed-width
+//! worker pool whose callers participate in their own round's queue (so
+//! saturation degrades to sequential execution, never deadlock) and
+//! which doubles as a fire-and-forget dispatch executor
+//! ([`RoundPool::spawn`]) for `piql-server`'s pipelined request
+//! handling.
 
 pub mod cluster;
 pub mod latency;

@@ -97,6 +97,24 @@ impl RoundPool {
         self.shared.task_ready.notify_one();
     }
 
+    /// Fire-and-forget: run `task` on some pool worker, without the round
+    /// join of [`RoundPool::scatter`]. This is what lets the pool double
+    /// as a plain dispatch executor (`piql-server` scatters pipelined
+    /// request handling over one). On a zero-worker pool the task runs
+    /// inline on the caller — degraded but never lost. A panicking task
+    /// is caught and swallowed (there is no joiner to re-raise it at):
+    /// the worker must survive, or one bad task would shrink the pool
+    /// forever while `spawn` kept queueing onto the dead workers.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
+        if self.workers.is_empty() {
+            let _ = catch_unwind(AssertUnwindSafe(task));
+        } else {
+            self.submit(Box::new(move || {
+                let _ = catch_unwind(AssertUnwindSafe(task));
+            }));
+        }
+    }
+
     /// Run every closure, in parallel where workers allow, and return the
     /// results in input order. Completes when the slowest closure does.
     ///
@@ -155,6 +173,14 @@ fn worker_loop(shared: &PoolShared) {
             let mut queue = shared.queue.lock().unwrap();
             loop {
                 if let Some(task) = queue.pop_front() {
+                    // Baton-pass before running: two rapid notify_one calls
+                    // can be consumed by a single waiter (condvar signal
+                    // stealing), which would serialize independent tasks
+                    // behind this one. If work remains queued, wake another
+                    // worker now.
+                    if !queue.is_empty() {
+                        shared.task_ready.notify_one();
+                    }
                     break task;
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -303,6 +329,43 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn spawned_tasks_run_with_and_without_workers() {
+        use std::sync::mpsc;
+        let pool = RoundPool::new(2);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..8 {
+            let tx = tx.clone();
+            pool.spawn(move || tx.send(i).unwrap());
+        }
+        let mut got: Vec<i32> = (0..8).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+        // zero workers: inline on the caller, still executed
+        let inline = RoundPool::new(0);
+        let (tx, rx) = mpsc::channel();
+        inline.spawn(move || tx.send(42).unwrap());
+        assert_eq!(rx.try_recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn spawned_panics_do_not_kill_workers() {
+        use std::sync::mpsc;
+        let pool = RoundPool::new(1);
+        // a panicking fire-and-forget task on the single worker...
+        pool.spawn(|| panic!("boom"));
+        // ...must not take the worker down: later spawns still run
+        let (tx, rx) = mpsc::channel();
+        pool.spawn(move || tx.send(7).unwrap());
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap(),
+            7
+        );
+        // and the inline (zero-worker) path swallows panics too
+        let inline = RoundPool::new(0);
+        inline.spawn(|| panic!("inline boom"));
     }
 
     #[test]

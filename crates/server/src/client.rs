@@ -1,8 +1,19 @@
 //! A small blocking client for the line protocol — what the examples,
 //! benches, and differential tests drive the server with.
+//!
+//! Two ways to amortize round trips (PROTOCOL.md §5–6): a [`Pipeline`]
+//! queues many independent requests and flushes them as one write (the
+//! server answers in completion order; the pipeline reassembles
+//! positionally by id), and [`Client::execute_batch`] ships many
+//! sub-requests on a single line answered by a single response (the
+//! server runs them sequentially on one session, so a write is visible
+//! to the read after it).
 
 use crate::json::Json;
-use crate::protocol::{hex_decode, request_to_line, value_from_json, ProtoError, Request};
+use crate::protocol::{
+    envelope_to_line, hex_decode, request_to_line, value_from_json, Envelope, ProtoError, Request,
+    RequestId,
+};
 use piql_core::plan::params::ParamValue;
 use piql_core::tuple::Tuple;
 use piql_core::value::Value;
@@ -55,6 +66,9 @@ pub struct Page {
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    /// Monotonic source of pipeline request ids (unique per connection,
+    /// which is all the protocol requires).
+    next_id: i64,
 }
 
 impl Client {
@@ -65,6 +79,7 @@ impl Client {
         Ok(Client {
             writer,
             reader: BufReader::new(stream),
+            next_id: 1,
         })
     }
 
@@ -165,6 +180,32 @@ impl Client {
         self.request(&Request::Rebalance)
     }
 
+    /// Start a [`Pipeline`]: queue any number of requests, then
+    /// [`Pipeline::flush`] them as one write and collect the responses
+    /// positionally — N statements, ~1 round trip.
+    pub fn pipeline(&mut self) -> Pipeline<'_> {
+        Pipeline {
+            client: self,
+            buffer: String::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Ship `requests` as one `batch` line and return the per-sub-request
+    /// response envelopes, positionally. The protocol exchange succeeding
+    /// does not mean every sub-request did — inspect each entry's `ok`
+    /// (a failing sub-request does not abort the ones after it).
+    pub fn execute_batch(&mut self, requests: &[Request]) -> Result<Vec<Json>, ClientError> {
+        let response = self.request(&Request::Batch {
+            requests: requests.to_vec(),
+        })?;
+        let results = response
+            .get("results")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ClientError::Proto(ProtoError::Malformed("missing results".into())))?;
+        Ok(results.to_vec())
+    }
+
     /// Testing hook: a clone of the underlying stream, for writing raw
     /// (possibly malformed) lines past the typed API.
     pub fn raw_stream(&self) -> io::Result<TcpStream> {
@@ -185,7 +226,100 @@ impl Client {
     }
 }
 
-fn decode_page(response: &Json) -> Result<Page, ClientError> {
+/// A handle over a [`Client`] that queues requests locally and ships them
+/// all in one write. Each queued request gets a client-assigned id, so
+/// the server may answer in completion order; [`Pipeline::flush`] matches
+/// responses back to queue positions. Dropping an unflushed pipeline
+/// transmits nothing.
+pub struct Pipeline<'a> {
+    client: &'a mut Client,
+    /// Encoded-but-untransmitted request lines.
+    buffer: String,
+    /// Ids of queued requests, in queue order.
+    pending: Vec<RequestId>,
+}
+
+impl Pipeline<'_> {
+    /// Queue one request; returns its position among this pipeline's
+    /// results. Nothing is transmitted until [`Pipeline::flush`].
+    pub fn queue(&mut self, request: &Request) -> usize {
+        let id = RequestId::Int(self.client.next_id);
+        self.client.next_id += 1;
+        self.buffer.push_str(&envelope_to_line(&Envelope {
+            id: Some(id.clone()),
+            request: request.clone(),
+        }));
+        self.buffer.push('\n');
+        self.pending.push(id);
+        self.pending.len() - 1
+    }
+
+    /// Convenience: queue an `execute` of a registered statement.
+    pub fn queue_execute(&mut self, name: &str, params: &[ParamValue]) -> usize {
+        self.queue(&Request::Execute {
+            name: name.to_string(),
+            params: params.to_vec(),
+            cursor: None,
+        })
+    }
+
+    /// Queued requests not yet flushed.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Send every queued request in one write and collect the raw
+    /// response envelopes, positionally, whatever order the server
+    /// completed them in. Per-request failures ride in their envelope
+    /// (`ok:false`); `Err` here means the exchange itself broke. The
+    /// pipeline is empty again afterwards and can be reused.
+    pub fn flush(&mut self) -> Result<Vec<Json>, ClientError> {
+        if self.pending.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.client.writer.write_all(self.buffer.as_bytes())?;
+        self.client.writer.flush()?;
+        self.buffer.clear();
+        let mut slots: Vec<Option<Json>> = self.pending.iter().map(|_| None).collect();
+        for _ in 0..slots.len() {
+            let response = self.client.raw_read_line()?;
+            let id = response
+                .get("id")
+                .map(RequestId::from_json)
+                .transpose()
+                .map_err(ClientError::Proto)?
+                .ok_or_else(|| {
+                    ClientError::Proto(ProtoError::Malformed(
+                        "pipelined response carries no id".into(),
+                    ))
+                })?;
+            let slot = self
+                .pending
+                .iter()
+                .position(|p| *p == id)
+                .filter(|&i| slots[i].is_none())
+                .ok_or_else(|| {
+                    ClientError::Proto(ProtoError::Malformed(format!(
+                        "response for unknown or duplicate id '{id}'"
+                    )))
+                })?;
+            slots[slot] = Some(response);
+        }
+        self.pending.clear();
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect())
+    }
+}
+
+/// Decode an `execute`/`cursor-next` response envelope into a [`Page`]
+/// (public so pipeline and batch callers can decode positional results).
+pub fn decode_page(response: &Json) -> Result<Page, ClientError> {
     let rows = response
         .get("rows")
         .and_then(Json::as_arr)

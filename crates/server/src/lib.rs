@@ -14,11 +14,18 @@
 //!   Performance Insight report, over-SLO queries are rejected or admitted
 //!   with an advisor-degraded LIMIT, and only admitted statements ever
 //!   issue storage requests.
-//! * [`PiqlServer`] — a multi-threaded TCP front-end speaking a
-//!   newline-delimited JSON protocol (`prepare` / `execute` /
-//!   `cursor-next` / `dml` / `stats` / `revalidate`) with per-connection
-//!   sessions and serialized pagination cursors that survive reconnects.
-//! * [`Client`] — a small blocking client for that protocol.
+//! * [`PiqlServer`] — a multi-threaded TCP front-end speaking the
+//!   newline-delimited JSON protocol specified in `PROTOCOL.md`
+//!   (`prepare` / `execute` / `cursor-next` / `dml` / `batch` / `stats` /
+//!   `revalidate` / `rebalance`), **pipelined**: each connection is a
+//!   reader that decodes lines continuously plus a writer that streams
+//!   completed responses back, with `id`-tagged requests handled
+//!   concurrently on a dispatch pool and answered in completion order
+//!   (id-less requests keep strict one-at-a-time ordering). Pagination
+//!   cursors are serialized, client-held state that survives reconnects.
+//! * [`Client`] — a small blocking client for that protocol, with a
+//!   [`Pipeline`] handle and [`Client::execute_batch`] for amortizing a
+//!   page-view's N statements into ~1 round trip.
 //! * [`Revalidator`] — the live-model feedback loop: observed operator
 //!   latencies drain from the backend into the shared §6.1 models, and a
 //!   periodic sweep re-predicts every registered statement, re-degrading
@@ -34,9 +41,9 @@ pub mod registry;
 pub mod server;
 pub mod testkit;
 
-pub use client::{Client, ClientError, Page};
+pub use client::{decode_page, Client, ClientError, Page, Pipeline};
 pub use json::{Json, JsonError};
-pub use protocol::{ProtoError, Request};
+pub use protocol::{Envelope, ProtoError, Request, RequestId};
 pub use registry::{
     Admission, DriftAction, DriftEvent, RegisteredStatement, RegistryCounters, RegistryError,
     RevalidationSummary, Revalidator, SloConfig, StatementRegistry,

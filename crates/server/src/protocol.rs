@@ -1,6 +1,9 @@
 //! The newline-delimited JSON wire protocol.
 //!
-//! One request object per line, one response object per line. Commands:
+//! **The normative spec is `PROTOCOL.md` at the repository root** —
+//! framing, every verb's request/response shape, error objects, and the
+//! pipelining/ordering guarantees. This module is the reference codec for
+//! that spec. Commands, in brief:
 //!
 //! | cmd           | fields                                | response |
 //! |---------------|---------------------------------------|----------|
@@ -8,9 +11,17 @@
 //! | `execute`     | `name`, `params`, optional `cursor`   | `rows` + optional `cursor` |
 //! | `cursor-next` | `name`, `params`, required `cursor`   | same as `execute` |
 //! | `dml`         | `sql`, `params`                       | `ok` |
+//! | `batch`       | `requests` (array of sub-requests)    | `results`: one response envelope per sub-request, positional |
 //! | `stats`       | —                                     | service counters + per-statement latency, refreshed predictions, drift history, shard balance |
 //! | `revalidate`  | —                                     | forces one re-validation sweep; returns the sweep summary |
 //! | `rebalance`   | —                                     | recomputes the store's data placement (quantile split points); returns the post-rebalance shard balance |
+//!
+//! Every request may additionally carry a client-assigned `id` (integer
+//! or string), echoed verbatim on its response. An `id` opts the request
+//! into *pipelined* handling: the server may answer it out of order, in
+//! completion order, so a slow `execute` never head-of-line-blocks a
+//! cheap `stats`. Requests without an `id` keep the original strict
+//! one-in-one-out ordering (see [`Envelope`] and PROTOCOL.md §5).
 //!
 //! Values are tagged one-field objects (`{"int":5}`, `{"ts":1699...}`,
 //! `{"str":"x"}`, …) so every [`Value`] round-trips exactly — including
@@ -50,6 +61,71 @@ impl From<JsonError> for ProtoError {
     }
 }
 
+/// A client-assigned request identifier: a JSON integer or string,
+/// echoed verbatim on the response it answers. Presence of an id opts
+/// the request into completion-order (pipelined) handling; see the
+/// module docs and PROTOCOL.md §5.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RequestId {
+    /// A numeric id (`"id":7`).
+    Int(i64),
+    /// A string id (`"id":"page-3"`).
+    Str(String),
+}
+
+impl RequestId {
+    /// The wire form of the id (what gets echoed).
+    pub fn to_json(&self) -> Json {
+        match self {
+            RequestId::Int(i) => Json::Int(*i),
+            RequestId::Str(s) => Json::str(s.clone()),
+        }
+    }
+
+    /// Decode an `id` field. Only integers and strings are valid ids —
+    /// floats, booleans, and structured values are malformed (a float id
+    /// would not round-trip byte-exactly through every client).
+    pub fn from_json(j: &Json) -> Result<RequestId, ProtoError> {
+        match j {
+            Json::Int(i) => Ok(RequestId::Int(*i)),
+            Json::Str(s) => Ok(RequestId::Str(s.clone())),
+            other => Err(ProtoError::Malformed(format!(
+                "'id' must be an integer or string, got {other}"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestId::Int(i) => write!(f, "{i}"),
+            RequestId::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for RequestId {
+    fn from(i: i64) -> Self {
+        RequestId::Int(i)
+    }
+}
+
+impl From<&str> for RequestId {
+    fn from(s: &str) -> Self {
+        RequestId::Str(s.to_string())
+    }
+}
+
+/// One request line as received: the command plus the optional
+/// client-assigned [`RequestId`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// `None` for legacy (strictly ordered) requests.
+    pub id: Option<RequestId>,
+    pub request: Request,
+}
+
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -83,6 +159,18 @@ pub enum Request {
     /// Director's job, §3). Sessions keep executing throughout; the reply
     /// carries the post-rebalance shard balance.
     Rebalance,
+    /// Many sub-requests on one line, answered by one response whose
+    /// `results` array carries one response envelope per sub-request,
+    /// positionally. Sub-requests run **sequentially on one session** (a
+    /// `dml` is visible to the `execute` after it), and a failing
+    /// sub-request yields an `{"ok":false,...}` entry without aborting
+    /// the rest — this is how a high-fan-out application server turns an
+    /// N-statement page-view into one round trip (PAPER.md §2, Fig. 1).
+    /// Batches cannot nest, and sub-requests carry no `id` (their
+    /// position in `results` is their identity).
+    Batch {
+        requests: Vec<Request>,
+    },
 }
 
 /// Encode one [`Value`] as a tagged object.
@@ -203,9 +291,36 @@ pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
         .collect()
 }
 
-/// Parse one request line.
-pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+/// Parse one request line, id included.
+pub fn parse_envelope(line: &str) -> Result<Envelope, ProtoError> {
     let j = crate::json::parse(line.trim())?;
+    let id = match j.get("id") {
+        None | Some(Json::Null) => None,
+        Some(other) => Some(RequestId::from_json(other)?),
+    };
+    Ok(Envelope {
+        id,
+        request: request_from_json(&j, false)?,
+    })
+}
+
+/// Parse one request line, ignoring any `id` field (kept for codec tests
+/// and embedders that do their own correlation).
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    parse_envelope(line).map(|e| e.request)
+}
+
+/// Best-effort `id` recovery from a line that failed [`parse_envelope`]:
+/// if the line is valid JSON carrying a valid `id`, the error response
+/// can still echo it so a pipelining client can correlate the failure.
+pub fn extract_id(line: &str) -> Option<RequestId> {
+    let j = crate::json::parse(line.trim()).ok()?;
+    RequestId::from_json(j.get("id")?).ok()
+}
+
+/// Decode one request object. `nested` is true inside a `batch`, where
+/// further batches (and per-sub-request ids) are malformed.
+fn request_from_json(j: &Json, nested: bool) -> Result<Request, ProtoError> {
     let cmd = j
         .get("cmd")
         .and_then(Json::as_str)
@@ -218,7 +333,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     };
     match cmd {
         "prepare" => Ok(Request::Prepare {
-            name: name(&j)?,
+            name: name(j)?,
             sql: j
                 .get("sql")
                 .and_then(Json::as_str)
@@ -226,7 +341,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 .to_string(),
         }),
         "execute" => Ok(Request::Execute {
-            name: name(&j)?,
+            name: name(j)?,
             params: params_from_json(j.get("params"))?,
             cursor: cursor_from_json(j.get("cursor"))?,
         }),
@@ -234,7 +349,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             let cursor = cursor_from_json(j.get("cursor"))?
                 .ok_or_else(|| ProtoError::Malformed("cursor-next requires a 'cursor'".into()))?;
             Ok(Request::CursorNext {
-                name: name(&j)?,
+                name: name(j)?,
                 params: params_from_json(j.get("params"))?,
                 cursor,
             })
@@ -250,13 +365,35 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         "stats" => Ok(Request::Stats),
         "revalidate" => Ok(Request::Revalidate),
         "rebalance" => Ok(Request::Rebalance),
+        "batch" => {
+            if nested {
+                return Err(ProtoError::Malformed("batch cannot contain a batch".into()));
+            }
+            let items = j
+                .get("requests")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| ProtoError::Malformed("batch requires a 'requests' array".into()))?;
+            let requests = items
+                .iter()
+                .map(|sub| {
+                    // mirror the envelope rule: `"id":null` means absent
+                    if sub.get("id").is_some_and(|j| *j != Json::Null) {
+                        return Err(ProtoError::Malformed(
+                            "batch sub-requests are positional and must not carry 'id'".into(),
+                        ));
+                    }
+                    request_from_json(sub, true)
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Request::Batch { requests })
+        }
         other => Err(ProtoError::Malformed(format!("unknown cmd '{other}'"))),
     }
 }
 
-/// Serialize a request (what clients send).
-pub fn request_to_line(req: &Request) -> String {
-    let j = match req {
+/// Serialize a request as its wire object (no id).
+pub fn request_to_json(req: &Request) -> Json {
+    match req {
         Request::Prepare { name, sql } => Json::obj([
             ("cmd", Json::str("prepare")),
             ("name", Json::str(name.clone())),
@@ -299,8 +436,36 @@ pub fn request_to_line(req: &Request) -> String {
         Request::Stats => Json::obj([("cmd", Json::str("stats"))]),
         Request::Revalidate => Json::obj([("cmd", Json::str("revalidate"))]),
         Request::Rebalance => Json::obj([("cmd", Json::str("rebalance"))]),
-    };
+        Request::Batch { requests } => Json::obj([
+            ("cmd", Json::str("batch")),
+            (
+                "requests",
+                Json::Arr(requests.iter().map(request_to_json).collect()),
+            ),
+        ]),
+    }
+}
+
+/// Serialize a request (what id-less clients send).
+pub fn request_to_line(req: &Request) -> String {
+    request_to_json(req).to_string()
+}
+
+/// Serialize a request with its optional id (what pipelining clients send).
+pub fn envelope_to_line(env: &Envelope) -> String {
+    let mut j = request_to_json(&env.request);
+    if let (Json::Obj(m), Some(id)) = (&mut j, &env.id) {
+        m.insert("id".into(), id.to_json());
+    }
     j.to_string()
+}
+
+/// Echo `id` onto a response envelope (a no-op on non-objects, which the
+/// server never produces).
+pub fn attach_id(response: &mut Json, id: &RequestId) {
+    if let Json::Obj(m) = response {
+        m.insert("id".into(), id.to_json());
+    }
 }
 
 /// Build a success response envelope.
@@ -375,10 +540,95 @@ mod tests {
             Request::Stats,
             Request::Revalidate,
             Request::Rebalance,
+            Request::Batch {
+                requests: vec![
+                    Request::Dml {
+                        sql: "INSERT INTO t VALUES (<a>)".into(),
+                        params: vec![Value::Int(9).into()],
+                    },
+                    Request::Execute {
+                        name: "q1".into(),
+                        params: vec![],
+                        cursor: None,
+                    },
+                    Request::Stats,
+                ],
+            },
         ];
         for r in &reqs {
             assert_eq!(&parse_request(&request_to_line(r)).unwrap(), r);
+            // and with each id flavor wrapped around it
+            for id in [
+                None,
+                Some(RequestId::Int(-7)),
+                Some(RequestId::Str("page-3\n\"x\"".into())),
+            ] {
+                let env = Envelope {
+                    id,
+                    request: r.clone(),
+                };
+                assert_eq!(parse_envelope(&envelope_to_line(&env)).unwrap(), env);
+            }
         }
+    }
+
+    #[test]
+    fn id_rules() {
+        // null id == absent id (legacy)
+        let env = parse_envelope(r#"{"cmd":"stats","id":null}"#).unwrap();
+        assert_eq!(env.id, None);
+        // float / bool / structured ids are malformed
+        for bad in [
+            r#"{"cmd":"stats","id":1.5}"#,
+            r#"{"cmd":"stats","id":true}"#,
+            r#"{"cmd":"stats","id":[1]}"#,
+        ] {
+            assert!(matches!(parse_envelope(bad), Err(ProtoError::Malformed(_))));
+        }
+        // best-effort id recovery from otherwise-malformed lines
+        assert_eq!(
+            extract_id(r#"{"cmd":"nope","id":3}"#),
+            Some(RequestId::Int(3))
+        );
+        assert_eq!(extract_id(r#"{"cmd":"nope"}"#), None);
+        assert_eq!(extract_id("not json"), None);
+        // echo helper sticks the id into the envelope
+        let mut resp = ok_response([]);
+        attach_id(&mut resp, &RequestId::Str("a".into()));
+        assert_eq!(resp.get("id").and_then(Json::as_str), Some("a"));
+    }
+
+    #[test]
+    fn batch_structural_rules() {
+        // nesting is malformed
+        assert!(matches!(
+            parse_request(r#"{"cmd":"batch","requests":[{"cmd":"batch","requests":[]}]}"#),
+            Err(ProtoError::Malformed(_))
+        ));
+        // sub-requests must not carry ids
+        assert!(matches!(
+            parse_request(r#"{"cmd":"batch","requests":[{"cmd":"stats","id":1}]}"#),
+            Err(ProtoError::Malformed(_))
+        ));
+        // 'requests' must be present and an array
+        for bad in [
+            r#"{"cmd":"batch"}"#,
+            r#"{"cmd":"batch","requests":{"cmd":"stats"}}"#,
+        ] {
+            assert!(matches!(parse_request(bad), Err(ProtoError::Malformed(_))));
+        }
+        // the empty batch is legal (answers with empty results)
+        assert_eq!(
+            parse_request(r#"{"cmd":"batch","requests":[]}"#).unwrap(),
+            Request::Batch { requests: vec![] }
+        );
+        // `"id":null` on a sub-request means absent, like the envelope rule
+        assert_eq!(
+            parse_request(r#"{"cmd":"batch","requests":[{"cmd":"stats","id":null}]}"#).unwrap(),
+            Request::Batch {
+                requests: vec![Request::Stats]
+            }
+        );
     }
 
     #[test]

@@ -199,7 +199,7 @@ pub struct RegisteredStatement {
     pub executions: AtomicU64,
     /// Wall-clock latency samples (reuses the experiment metrics type, so
     /// the stats endpoint reports the same quantiles the benchmarks do);
-    /// bounded to the most recent [`METRICS_CAPACITY`] samples.
+    /// bounded to the most recent `METRICS_CAPACITY` (4096) samples.
     pub metrics: Mutex<RunMetrics>,
 }
 

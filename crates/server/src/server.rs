@@ -1,32 +1,55 @@
-//! The multi-threaded TCP front-end.
+//! The multi-threaded, pipelined TCP front-end.
 //!
-//! One OS thread per connection (the protocol is line-oriented and
-//! blocking), one engine [`Session`] per connection. All state a client
-//! needs to resume — registered statement names and pagination cursors —
-//! lives either in the shared registry or in the cursor the client holds,
-//! so reconnecting to the same (or another) server continues cleanly.
+//! Each connection is split into two halves (the wire contract they
+//! implement is PROTOCOL.md §5):
 //!
-//! Connection threads only *block*; storage parallelism comes from the
-//! backing cluster. On a `LiveCluster`, every session's request rounds
-//! fan out over the cluster's one shared `RoundPool` (sized by
-//! `LiveConfig::pool_threads`), so N concurrent connections never run
-//! more than the configured number of storage workers — connections add
-//! queueing, not thread stampede.
+//! * a **reader** (the connection's own thread) that decodes request
+//!   lines continuously — it never executes anything, so a slow query
+//!   can't stop later lines from being decoded and dispatched, and
+//! * a **writer** thread that serializes completed responses back,
+//!   flushing only when no further response is immediately ready, so a
+//!   pipelined burst coalesces into few syscalls instead of one
+//!   flush-per-response.
+//!
+//! Between them, request handling runs on a server-wide dispatch
+//! [`RoundPool`] in two lanes:
+//!
+//! * requests carrying an `id` are handled **concurrently** and answered
+//!   in *completion order* (the id is how the client correlates); each
+//!   in-flight request borrows a [`Session`] from the connection's idle
+//!   pool;
+//! * requests without an `id` run **one at a time, in arrival order, on
+//!   the connection's primary session** — byte-for-byte the pre-pipelining
+//!   behavior, so legacy clients observe nothing new.
+//!
+//! All state a client needs to resume — registered statement names and
+//! pagination cursors — lives either in the shared registry or in the
+//! cursor the client holds, so reconnecting to the same (or another)
+//! server continues cleanly.
+//!
+//! Threads only *block*; storage parallelism comes from the backing
+//! cluster. On a `LiveCluster`, every session's request rounds fan out
+//! over the cluster's one shared `RoundPool` (sized by
+//! `LiveConfig::pool_threads`), and request handling shares the one
+//! dispatch pool — N concurrent connections add queueing, not thread
+//! stampede.
 
 use crate::json::Json;
 use crate::protocol::{
-    cursor_to_json, err_response, ok_response, parse_request, row_to_json, Request,
+    attach_id, cursor_to_json, err_response, extract_id, ok_response, parse_envelope,
+    parse_request, row_to_json, Envelope, Request, RequestId,
 };
 use crate::registry::{Admission, Revalidator, SloConfig, StatementRegistry};
 use parking_lot::Mutex;
 use piql_core::plan::params::Params;
 use piql_engine::Database;
-use piql_kv::{KvStore, LiveCluster, NsBalance, Session};
+use piql_kv::{KvStore, LiveCluster, NsBalance, RoundPool, Session};
 use piql_predict::SloPredictor;
-use std::io::{self, BufRead, BufReader, Write};
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
 /// A running query service.
@@ -42,6 +65,10 @@ pub struct PiqlServer<S: KvStore + 'static = LiveCluster> {
     /// Periodic admission re-validation (see
     /// [`PiqlServer::enable_revalidation`]); stopped when the server drops.
     revalidator: Option<Revalidator>,
+    /// The server-wide request-handling pool: pipelined (`id`-carrying)
+    /// requests and the per-connection strictly ordered lanes all run on
+    /// these workers.
+    dispatch: Arc<RoundPool>,
 }
 
 impl<S: KvStore + 'static> PiqlServer<S> {
@@ -57,11 +84,25 @@ impl<S: KvStore + 'static> PiqlServer<S> {
     }
 
     /// Start serving an externally built registry (lets callers pre-register
-    /// statements before the first client connects).
+    /// statements before the first client connects). The dispatch pool is
+    /// sized for the host, like `LiveConfig::pool_threads`.
     pub fn start_with_registry(
         registry: Arc<StatementRegistry<S>>,
         addr: &str,
     ) -> io::Result<Self> {
+        Self::start_with_dispatch(registry, addr, piql_kv::pool::default_pool_threads())
+    }
+
+    /// [`PiqlServer::start_with_registry`] with an explicit dispatch-pool
+    /// width — the number of requests the whole server handles
+    /// concurrently. `0` degrades every connection to inline (strictly
+    /// sequential) handling.
+    pub fn start_with_dispatch(
+        registry: Arc<StatementRegistry<S>>,
+        addr: &str,
+        dispatch_threads: usize,
+    ) -> io::Result<Self> {
+        let dispatch = Arc::new(RoundPool::new(dispatch_threads));
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -69,6 +110,7 @@ impl<S: KvStore + 'static> PiqlServer<S> {
         let streams: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
         let accept_thread = {
             let registry = registry.clone();
+            let dispatch = dispatch.clone();
             let shutdown = shutdown.clone();
             let connections = connections.clone();
             let streams = streams.clone();
@@ -98,11 +140,12 @@ impl<S: KvStore + 'static> PiqlServer<S> {
                             }
                         }
                         let registry = registry.clone();
+                        let dispatch = dispatch.clone();
                         let _ =
                             std::thread::Builder::new()
                                 .name("piql-conn".into())
                                 .spawn(move || {
-                                    let _ = serve_connection(stream, &registry);
+                                    let _ = serve_connection(stream, registry, dispatch);
                                 });
                     }
                 })?
@@ -115,6 +158,7 @@ impl<S: KvStore + 'static> PiqlServer<S> {
             connections,
             streams,
             revalidator: None,
+            dispatch,
         })
     }
 
@@ -137,6 +181,12 @@ impl<S: KvStore + 'static> PiqlServer<S> {
     /// Connections accepted since start.
     pub fn connection_count(&self) -> u64 {
         self.connections.load(Ordering::Relaxed)
+    }
+
+    /// The request-handling dispatch pool (for observability; its
+    /// `PoolStats` are reporting-only).
+    pub fn dispatch_pool(&self) -> &Arc<RoundPool> {
+        &self.dispatch
     }
 }
 
@@ -171,31 +221,237 @@ impl<S: KvStore + 'static> Drop for PiqlServer<S> {
     }
 }
 
-/// Serve one client until EOF. Every request gets exactly one response
-/// line; protocol errors are answered (not fatal) so a client bug cannot
-/// wedge the connection out from under its own pipeline.
-fn serve_connection<S: KvStore>(
-    stream: TcpStream,
-    registry: &StatementRegistry<S>,
-) -> io::Result<()> {
-    stream.set_nodelay(true).ok();
-    let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    let mut session = Session::new();
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = handle_line(&line, &mut session, registry);
-        writer.write_all(response.to_string().as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-    }
-    Ok(())
+/// Shared state of one connection's in-flight requests (the reader, the
+/// writer, and every dispatched handler task hold an `Arc` of this).
+struct ConnState<S: KvStore> {
+    registry: Arc<StatementRegistry<S>>,
+    dispatch: Arc<RoundPool>,
+    /// Completed responses travel to the writer half over this channel;
+    /// the writer exits once every holder of this state is done.
+    tx: mpsc::Sender<Json>,
+    serial: Mutex<SerialLane>,
+    /// Sessions for concurrently handled (`id`-carrying) requests: popped
+    /// per request, pushed back after, created on demand. Bounded by the
+    /// dispatch pool width — a session is only out while its request runs.
+    idle_sessions: Mutex<Vec<Session>>,
 }
 
-/// Dispatch one request line to a response object.
+/// Ordered-lane jobs one drainer task runs before re-queueing itself at
+/// the back of the dispatch pool — keeps a flooding id-less connection
+/// from pinning a server-wide worker indefinitely and starving every
+/// other connection.
+const SERIAL_DRAIN_BATCH: usize = 32;
+
+/// The id-less lane: jobs run one at a time, in arrival order, on the
+/// connection's primary session — exactly the pre-pipelining semantics
+/// legacy clients rely on.
+struct SerialLane {
+    queue: VecDeque<SerialJob>,
+    /// Whether a drainer task currently owns the lane.
+    draining: bool,
+    /// The primary session, taken by the active drainer while it runs a
+    /// job so enqueueing never blocks behind an executing query.
+    session: Option<Session>,
+}
+
+enum SerialJob {
+    /// Answer verbatim (parse errors keep their slot in the order).
+    Respond(Json),
+    Handle(Request),
+}
+
+impl<S: KvStore + 'static> ConnState<S> {
+    /// Append to the ordered lane, waking a drainer if none owns it.
+    fn enqueue_serial(self: &Arc<Self>, job: SerialJob) {
+        let start_drainer = {
+            let mut lane = self.serial.lock();
+            lane.queue.push_back(job);
+            if lane.draining {
+                false
+            } else {
+                lane.draining = true;
+                true
+            }
+        };
+        if start_drainer {
+            let state = self.clone();
+            self.dispatch.spawn(move || state.drain_serial());
+        }
+    }
+
+    /// Run ordered-lane jobs FIFO. At most one drainer owns the lane at a
+    /// time (the `draining` flag), so responses are produced — and
+    /// therefore written — in arrival order. After [`SERIAL_DRAIN_BATCH`]
+    /// jobs the drainer re-queues itself behind other connections' work
+    /// instead of pinning its worker until the queue goes empty.
+    fn drain_serial(self: &Arc<Self>) {
+        for _ in 0..SERIAL_DRAIN_BATCH {
+            let (job, mut session) = {
+                let mut lane = self.serial.lock();
+                match lane.queue.pop_front() {
+                    Some(job) => {
+                        let session = lane
+                            .session
+                            .take()
+                            .expect("primary session held only by the single drainer");
+                        (job, session)
+                    }
+                    None => {
+                        lane.draining = false;
+                        return;
+                    }
+                }
+            };
+            let response = match job {
+                SerialJob::Respond(json) => json,
+                SerialJob::Handle(request) => run_handler(&request, &mut session, &self.registry),
+            };
+            self.serial.lock().session = Some(session);
+            // a send error means the client hung up; keep draining so the
+            // lane empties and the state can drop
+            let _ = self.tx.send(response);
+        }
+        // batch exhausted with work (possibly) remaining: yield the worker
+        // and continue at the back of the dispatch queue. `draining` stays
+        // true — this continuation still owns the lane.
+        let state = self.clone();
+        self.dispatch.spawn(move || state.drain_serial());
+    }
+
+    /// Hand an `id`-carrying request to the dispatch pool; its response is
+    /// sent whenever it completes, id attached.
+    fn dispatch_tagged(self: &Arc<Self>, id: RequestId, request: Request) {
+        let state = self.clone();
+        self.dispatch.spawn(move || {
+            let mut session = state.idle_sessions.lock().pop().unwrap_or_default();
+            let mut response = run_handler(&request, &mut session, &state.registry);
+            state.idle_sessions.lock().push(session);
+            attach_id(&mut response, &id);
+            let _ = state.tx.send(response);
+        });
+    }
+}
+
+/// [`handle_request`] with panic containment: a handler panic (an engine
+/// bug, not client-reachable input — those answer errors) becomes an
+/// error response instead of wedging the connection's lane or killing a
+/// pool worker.
+fn run_handler<S: KvStore>(
+    request: &Request,
+    session: &mut Session,
+    registry: &StatementRegistry<S>,
+) -> Json {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        handle_request(request, session, registry)
+    }))
+    .unwrap_or_else(|_| err_response("internal error: request handler panicked"))
+}
+
+/// Serve one client until EOF. Every request line gets exactly one
+/// response line; protocol errors are answered (not fatal) so a client
+/// bug cannot wedge the connection out from under its own pipeline. This
+/// thread is the *reader*: it only decodes and dispatches (see the module
+/// docs for the lane semantics), then joins the writer — which drains
+/// every in-flight response — before returning.
+fn serve_connection<S: KvStore + 'static>(
+    stream: TcpStream,
+    registry: Arc<StatementRegistry<S>>,
+    dispatch: Arc<RoundPool>,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let write_half = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    let (tx, rx) = mpsc::channel::<Json>();
+    let alive = Arc::new(AtomicBool::new(true));
+    let writer_thread = {
+        let alive = alive.clone();
+        std::thread::Builder::new()
+            .name("piql-conn-writer".into())
+            .spawn(move || write_loop(write_half, rx, &alive))?
+    };
+    let state = Arc::new(ConnState {
+        registry,
+        dispatch,
+        tx,
+        serial: Mutex::new(SerialLane {
+            queue: VecDeque::new(),
+            draining: false,
+            session: Some(Session::new()),
+        }),
+        idle_sessions: Mutex::new(Vec::new()),
+    });
+    let read_result: io::Result<()> = (|| {
+        for line in reader.lines() {
+            let line = line?;
+            // the writer hit a socket error: responses can no longer be
+            // delivered, so stop decoding (and executing) requests
+            if !alive.load(Ordering::Relaxed) {
+                break;
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_envelope(&line) {
+                Ok(Envelope {
+                    id: Some(id),
+                    request,
+                }) => state.dispatch_tagged(id, request),
+                Ok(Envelope { id: None, request }) => {
+                    state.enqueue_serial(SerialJob::Handle(request))
+                }
+                Err(e) => {
+                    let mut response = err_response(e.to_string());
+                    match extract_id(&line) {
+                        // a correlatable error answers like any tagged
+                        // completion; uncorrelatable ones keep their slot
+                        // in the ordered lane
+                        Some(id) => {
+                            attach_id(&mut response, &id);
+                            let _ = state.tx.send(response);
+                        }
+                        None => state.enqueue_serial(SerialJob::Respond(response)),
+                    }
+                }
+            }
+        }
+        Ok(())
+    })();
+    // the writer exits once the last sender drops — i.e. after every
+    // dispatched task for this connection has completed and answered
+    drop(state);
+    let _ = writer_thread.join();
+    read_result
+}
+
+/// The writer half: serialize responses in the order they complete,
+/// flushing only when nothing further is immediately ready — a pipelined
+/// burst coalesces into few flush syscalls instead of one per response.
+/// A socket error clears `alive` so the reader stops accepting work whose
+/// results would be discarded.
+fn write_loop(stream: TcpStream, rx: mpsc::Receiver<Json>, alive: &AtomicBool) {
+    let mut writer = BufWriter::new(stream);
+    while let Ok(response) = rx.recv() {
+        let mut io = write_line(&mut writer, &response);
+        while io.is_ok() {
+            match rx.try_recv() {
+                Ok(next) => io = write_line(&mut writer, &next),
+                Err(_) => break,
+            }
+        }
+        if io.and_then(|()| writer.flush()).is_err() {
+            alive.store(false, Ordering::Relaxed);
+            return;
+        }
+    }
+}
+
+fn write_line(writer: &mut BufWriter<TcpStream>, response: &Json) -> io::Result<()> {
+    writer.write_all(response.to_string().as_bytes())?;
+    writer.write_all(b"\n")
+}
+
+/// Dispatch one request line to a response object (ignoring any `id` —
+/// embedders doing their own transport handle correlation themselves).
 pub fn handle_line<S: KvStore>(
     line: &str,
     session: &mut Session,
@@ -208,6 +464,10 @@ pub fn handle_line<S: KvStore>(
     handle_request(&request, session, registry)
 }
 
+/// Answer one parsed [`Request`] on `session`. Batches recurse: each
+/// sub-request is answered in place, sequentially on the same session
+/// (so a `dml` is visible to the `execute` after it), and a sub-error
+/// becomes an `{"ok":false,...}` entry instead of aborting the rest.
 pub fn handle_request<S: KvStore>(
     request: &Request,
     session: &mut Session,
@@ -309,6 +569,13 @@ pub fn handle_request<S: KvStore>(
                 ),
                 ("shard_balance", balance_to_json(&balance)),
             ])
+        }
+        Request::Batch { requests } => {
+            let results: Vec<Json> = requests
+                .iter()
+                .map(|sub| handle_request(sub, session, registry))
+                .collect();
+            ok_response([("results", Json::Arr(results))])
         }
     }
 }

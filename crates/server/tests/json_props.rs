@@ -1,9 +1,15 @@
 //! Property tests for the hand-rolled protocol JSON: document round
-//! trips (strings that need escaping included), and the no-panic
-//! guarantee on truncated / mangled inputs — a hostile or cut-off line
-//! must surface `JsonError`, never kill a connection handler.
+//! trips (strings that need escaping included), the no-panic guarantee
+//! on truncated / mangled inputs — a hostile or cut-off line must
+//! surface `JsonError`, never kill a connection handler — and the
+//! request-envelope layer: arbitrary ids echo through serialize→parse,
+//! and batches of arbitrary requests round-trip positionally.
 
+use piql_core::plan::params::ParamValue;
+use piql_core::value::Value;
 use piql_server::json::{parse, Json};
+use piql_server::protocol::{attach_id, envelope_to_line, ok_response, parse_envelope};
+use piql_server::{Envelope, Request, RequestId};
 use proptest::prelude::*;
 
 /// Strings mixing ASCII, escapes-required chars, control chars, wide BMP
@@ -57,6 +63,54 @@ fn document() -> impl Strategy<Value = Json> {
     ]
 }
 
+/// An arbitrary client-assigned request id (both flavors, awkward
+/// strings included).
+fn request_id() -> impl Strategy<Value = RequestId> {
+    prop_oneof![
+        any::<i64>().prop_map(RequestId::Int),
+        string_content().prop_map(RequestId::Str),
+    ]
+}
+
+/// An arbitrary scalar wire value.
+fn scalar_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i32>().prop_map(Value::Int),
+        any::<i64>().prop_map(Value::BigInt),
+        string_content().prop_map(Value::Varchar),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Timestamp),
+    ]
+}
+
+/// An arbitrary wire value parameter (scalar or IN-collection).
+fn param() -> impl Strategy<Value = ParamValue> {
+    prop_oneof![
+        scalar_value().prop_map(ParamValue::Scalar),
+        prop::collection::vec(scalar_value(), 0..4).prop_map(ParamValue::Collection),
+    ]
+}
+
+/// An arbitrary non-batch request (what a batch may carry).
+fn sub_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (string_content(), string_content()).prop_map(|(name, sql)| Request::Prepare { name, sql }),
+        (string_content(), prop::collection::vec(param(), 0..4)).prop_map(|(name, params)| {
+            Request::Execute {
+                name,
+                params,
+                cursor: None,
+            }
+        }),
+        (string_content(), prop::collection::vec(param(), 0..4))
+            .prop_map(|(sql, params)| Request::Dml { sql, params }),
+        Just(Request::Stats),
+        Just(Request::Revalidate),
+        Just(Request::Rebalance),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -93,5 +147,41 @@ proptest! {
         let j = Json::Str(s.clone());
         let reparsed = parse(&j.to_string());
         prop_assert_eq!(reparsed, Ok(j));
+    }
+
+    /// Any request under any id (or none) survives envelope
+    /// serialize→parse exactly — the id-echo contract's client half.
+    #[test]
+    fn envelopes_roundtrip(
+        tagged in any::<bool>(),
+        id in request_id(),
+        request in sub_request(),
+    ) {
+        let env = Envelope { id: tagged.then_some(id), request };
+        let line = envelope_to_line(&env);
+        prop_assert_eq!(parse_envelope(&line), Ok(env), "line: {}", line);
+    }
+
+    /// The id a server echoes via `attach_id` decodes back to the id the
+    /// client assigned — the response half of the echo contract.
+    #[test]
+    fn attached_ids_echo_exactly(id in request_id()) {
+        let mut response = ok_response([]);
+        attach_id(&mut response, &id);
+        let reparsed = parse(&response.to_string()).unwrap();
+        let echoed = RequestId::from_json(reparsed.get("id").unwrap()).unwrap();
+        prop_assert_eq!(echoed, id);
+    }
+
+    /// A batch of arbitrary sub-requests round-trips with order and
+    /// count preserved (positional identity is the whole batch contract).
+    #[test]
+    fn batches_roundtrip(requests in prop::collection::vec(sub_request(), 0..6)) {
+        let env = Envelope {
+            id: Some(RequestId::Int(7)),
+            request: Request::Batch { requests },
+        };
+        let line = envelope_to_line(&env);
+        prop_assert_eq!(parse_envelope(&line), Ok(env), "line: {}", line);
     }
 }

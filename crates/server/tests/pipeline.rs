@@ -1,0 +1,373 @@
+//! End-to-end tests for the pipelined & batched wire protocol
+//! (PROTOCOL.md §5–6): id echo, completion-order responses for tagged
+//! requests (a slow `execute` must not head-of-line-block a cheap
+//! `stats`), strict arrival-order for legacy id-less requests on the
+//! same rebuilt server, batch positional results with mid-batch errors,
+//! and the client `Pipeline` / `execute_batch` APIs.
+
+use piql_core::plan::params::ParamValue;
+use piql_core::value::Value;
+use piql_engine::Database;
+use piql_kv::{LiveCluster, LiveConfig, Session};
+use piql_server::protocol::{envelope_to_line, request_to_line};
+use piql_server::testkit::linear_predictor;
+use piql_server::{
+    decode_page, Client, Envelope, Json, PiqlServer, Request, RequestId, SloConfig,
+    StatementRegistry,
+};
+use piql_workloads::scadr::{self, ScadrConfig};
+use std::io::Write;
+use std::sync::Arc;
+
+fn permissive_slo() -> SloConfig {
+    SloConfig {
+        slo_ms: 1e9,
+        interval_confidence: 1.0,
+        allow_degrade: false,
+    }
+}
+
+fn start_server() -> (Arc<LiveCluster>, PiqlServer) {
+    let cluster = Arc::new(LiveCluster::new(LiveConfig::default()));
+    let db = Arc::new(Database::new(cluster.clone()));
+    let config = ScadrConfig {
+        users_per_node: 20,
+        thoughts_per_user: 7,
+        subscriptions_per_user: 4,
+        ..Default::default()
+    };
+    scadr::setup(&db, &config, 2).unwrap();
+    let registry = Arc::new(StatementRegistry::new(
+        db,
+        linear_predictor(200, 100, 2),
+        permissive_slo(),
+    ));
+    let server = PiqlServer::start_with_dispatch(registry, "127.0.0.1:0", 8).unwrap();
+    (cluster, server)
+}
+
+fn uname_param(i: usize) -> Vec<ParamValue> {
+    vec![Value::Varchar(scadr::username(i)).into()]
+}
+
+fn execute_req(name: &str, i: usize) -> Request {
+    Request::Execute {
+        name: name.into(),
+        params: uname_param(i),
+        cursor: None,
+    }
+}
+
+/// Tagged requests are answered in completion order: a slow `execute`
+/// (50 ms injected per storage request) pipelined *before* a cheap
+/// `stats` must be answered *after* it.
+#[test]
+fn tagged_requests_complete_out_of_order() {
+    let (cluster, server) = start_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .prepare("find", "SELECT * FROM users WHERE username = <u>")
+        .unwrap();
+
+    cluster.set_request_delay_us(50_000);
+    let mut raw = client.raw_stream().unwrap();
+    let slow = envelope_to_line(&Envelope {
+        id: Some(RequestId::Str("slow-execute".into())),
+        request: execute_req("find", 3),
+    });
+    let fast = envelope_to_line(&Envelope {
+        id: Some(RequestId::Int(2)),
+        request: Request::Stats,
+    });
+    raw.write_all(format!("{slow}\n{fast}\n").as_bytes())
+        .unwrap();
+    raw.flush().unwrap();
+
+    // first response on the wire is the stats call — the slow execute is
+    // still sleeping in the store when it completes
+    let first = client.raw_read_line().unwrap();
+    assert_eq!(first.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(first.get("id").and_then(Json::as_i64), Some(2));
+    assert!(first.get("statements").is_some(), "stats answered first");
+
+    let second = client.raw_read_line().unwrap();
+    assert_eq!(second.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        second.get("id").and_then(Json::as_str),
+        Some("slow-execute"),
+        "the id is echoed verbatim"
+    );
+    let page = decode_page(&second).unwrap();
+    assert_eq!(page.rows.len(), 1);
+    cluster.set_request_delay_us(0);
+}
+
+/// The same shape without ids must keep today's strict ordering: the
+/// slow execute is answered first even though stats completed long ago.
+#[test]
+fn untagged_requests_stay_in_arrival_order() {
+    let (cluster, server) = start_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .prepare("find", "SELECT * FROM users WHERE username = <u>")
+        .unwrap();
+
+    cluster.set_request_delay_us(30_000);
+    let mut raw = client.raw_stream().unwrap();
+    let slow = request_to_line(&execute_req("find", 3));
+    let fast = request_to_line(&Request::Stats);
+    raw.write_all(format!("{slow}\n{fast}\n").as_bytes())
+        .unwrap();
+    raw.flush().unwrap();
+
+    let first = client.raw_read_line().unwrap();
+    assert!(
+        first.get("rows").is_some(),
+        "legacy ordering: the execute answers first"
+    );
+    assert!(first.get("id").is_none(), "id-less requests echo no id");
+    let second = client.raw_read_line().unwrap();
+    assert!(second.get("statements").is_some());
+    cluster.set_request_delay_us(0);
+}
+
+/// A batch runs its sub-requests sequentially on one session — a `dml`
+/// is visible to the `execute` after it — and a failing sub-request
+/// yields an error entry in place without aborting the rest.
+#[test]
+fn batch_mid_error_answers_in_place_and_continues() {
+    let (_cluster, server) = start_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .prepare(
+            "mine",
+            "SELECT * FROM thoughts WHERE owner = <u> ORDER BY timestamp DESC LIMIT 100",
+        )
+        .unwrap();
+
+    let results = client
+        .execute_batch(&[
+            Request::Dml {
+                sql: "INSERT INTO thoughts (owner, timestamp, text) VALUES (<u>, <ts>, <txt>)"
+                    .into(),
+                params: vec![
+                    Value::Varchar(scadr::username(0)).into(),
+                    Value::Timestamp(9_999_999_999_999_999).into(),
+                    Value::Varchar("batched".into()).into(),
+                ],
+            },
+            execute_req("no-such-statement", 0),
+            execute_req("mine", 0),
+        ])
+        .unwrap();
+    assert_eq!(results.len(), 3);
+    assert_eq!(results[0].get("ok").and_then(Json::as_bool), Some(true));
+    // the mid-batch failure answers in place...
+    assert_eq!(results[1].get("ok").and_then(Json::as_bool), Some(false));
+    assert!(results[1]
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("unknown statement"));
+    // ...and the read after it still ran, seeing the batch's own write
+    let page = decode_page(&results[2]).unwrap();
+    assert_eq!(
+        page.rows[0].get(1),
+        Some(&Value::Timestamp(9_999_999_999_999_999)),
+        "newest thought is the one this batch inserted"
+    );
+
+    // the connection is still perfectly usable, and the unknown-statement
+    // miss never reached an executor (exec_errors counts execution
+    // failures, not registry misses)
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("exec_errors").and_then(Json::as_i64), Some(0));
+    assert_eq!(stats.get("executed").and_then(Json::as_i64), Some(1));
+}
+
+/// `Pipeline`: N statements queued locally, one write, positional
+/// results identical to N sequential round trips.
+#[test]
+fn pipeline_returns_positional_results() {
+    let (_cluster, server) = start_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .prepare("find", "SELECT * FROM users WHERE username = <u>")
+        .unwrap();
+
+    // sequential reference
+    let expected: Vec<_> = (0..12)
+        .map(|i| client.execute("find", &uname_param(i), None).unwrap())
+        .collect();
+
+    let mut pipeline = client.pipeline();
+    for i in 0..12 {
+        assert_eq!(pipeline.queue_execute("find", &uname_param(i)), i);
+    }
+    assert_eq!(pipeline.len(), 12);
+    let responses = pipeline.flush().unwrap();
+    assert!(pipeline.is_empty(), "flushed pipeline is reusable");
+    let pages: Vec<_> = responses.iter().map(|r| decode_page(r).unwrap()).collect();
+    assert_eq!(pages, expected, "positional results match sequential runs");
+
+    // a reused pipeline keeps working (ids keep incrementing)
+    let mut pipeline = client.pipeline();
+    pipeline.queue(&Request::Stats);
+    pipeline.queue_execute("find", &uname_param(5));
+    let responses = pipeline.flush().unwrap();
+    assert!(responses[0].get("statements").is_some());
+    assert_eq!(decode_page(&responses[1]).unwrap(), expected[5]);
+}
+
+/// A pipeline whose middle request fails still returns every response,
+/// the failure in its own slot.
+#[test]
+fn pipeline_carries_per_request_errors_positionally() {
+    let (_cluster, server) = start_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .prepare("find", "SELECT * FROM users WHERE username = <u>")
+        .unwrap();
+
+    let mut pipeline = client.pipeline();
+    pipeline.queue_execute("find", &uname_param(1));
+    pipeline.queue_execute("missing", &uname_param(1));
+    pipeline.queue_execute("find", &uname_param(2));
+    let responses = pipeline.flush().unwrap();
+    assert_eq!(responses[0].get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(responses[1].get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(responses[2].get("ok").and_then(Json::as_bool), Some(true));
+}
+
+/// A malformed line that still carries a parseable id gets its error
+/// echoed with that id, so a pipelining client can correlate it.
+#[test]
+fn malformed_tagged_line_echoes_the_id() {
+    let (_cluster, server) = start_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut raw = client.raw_stream().unwrap();
+    raw.write_all(b"{\"cmd\":\"nope\",\"id\":77}\n").unwrap();
+    raw.flush().unwrap();
+    let response = client.raw_read_line().unwrap();
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(response.get("id").and_then(Json::as_i64), Some(77));
+}
+
+/// Tagged and untagged requests interleaved on one connection: the
+/// untagged ones preserve their relative order among themselves, and
+/// every response arrives exactly once.
+#[test]
+fn mixed_lanes_answer_every_request_once() {
+    let (_cluster, server) = start_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .prepare("find", "SELECT * FROM users WHERE username = <u>")
+        .unwrap();
+
+    let mut raw = client.raw_stream().unwrap();
+    let mut wire = String::new();
+    // 10 untagged (ordered lane) interleaved with 10 tagged
+    for i in 0..10 {
+        wire.push_str(&request_to_line(&execute_req("find", i)));
+        wire.push('\n');
+        wire.push_str(&envelope_to_line(&Envelope {
+            id: Some(RequestId::Int(100 + i as i64)),
+            request: execute_req("find", 20 + i),
+        }));
+        wire.push('\n');
+    }
+    raw.write_all(wire.as_bytes()).unwrap();
+    raw.flush().unwrap();
+
+    let mut untagged_seen = Vec::new();
+    let mut tagged_seen = Vec::new();
+    for _ in 0..20 {
+        let response = client.raw_read_line().unwrap();
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+        let page = decode_page(&response).unwrap();
+        let uname = match page.rows[0].get(0) {
+            Some(Value::Varchar(s)) => s.clone(),
+            other => panic!("unexpected first column {other:?}"),
+        };
+        match response.get("id").and_then(Json::as_i64) {
+            Some(id) => tagged_seen.push((id, uname)),
+            None => untagged_seen.push(uname),
+        }
+    }
+    // untagged responses came back in arrival order...
+    let expected_untagged: Vec<String> = (0..10).map(scadr::username).collect();
+    assert_eq!(untagged_seen, expected_untagged);
+    // ...and every tagged request was answered exactly once, correctly
+    tagged_seen.sort();
+    let expected_tagged: Vec<(i64, String)> = (0..10)
+        .map(|i| (100 + i as i64, scadr::username(20 + i as usize)))
+        .collect();
+    assert_eq!(tagged_seen, expected_tagged);
+}
+
+/// 100 id-less requests pipelined at once cross the serial drainer's
+/// re-queue boundary (32 jobs per batch) several times — order must hold
+/// across drainer continuations.
+#[test]
+fn long_untagged_pipelines_stay_ordered_across_drain_batches() {
+    let (_cluster, server) = start_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .prepare("find", "SELECT * FROM users WHERE username = <u>")
+        .unwrap();
+
+    let mut raw = client.raw_stream().unwrap();
+    let mut wire = String::new();
+    let order: Vec<usize> = (0..100).map(|k| (k * 7) % 40).collect();
+    for &i in &order {
+        wire.push_str(&request_to_line(&execute_req("find", i)));
+        wire.push('\n');
+    }
+    raw.write_all(wire.as_bytes()).unwrap();
+    raw.flush().unwrap();
+
+    for &i in &order {
+        let response = client.raw_read_line().unwrap();
+        let page = decode_page(&response).unwrap();
+        assert_eq!(
+            page.rows[0].get(0),
+            Some(&Value::Varchar(scadr::username(i))),
+            "in-order across drainer re-queues"
+        );
+    }
+}
+
+/// `handle_line`/`handle_request` (the embedder API) answer batches too.
+#[test]
+fn embedder_handle_line_supports_batch() {
+    let cluster = Arc::new(LiveCluster::new(LiveConfig::default()));
+    let db = Arc::new(Database::new(cluster));
+    scadr::setup(
+        &db,
+        &ScadrConfig {
+            users_per_node: 4,
+            thoughts_per_user: 2,
+            subscriptions_per_user: 1,
+            ..Default::default()
+        },
+        1,
+    )
+    .unwrap();
+    let registry = StatementRegistry::new(db, linear_predictor(200, 100, 2), permissive_slo());
+    registry
+        .register("find", "SELECT * FROM users WHERE username = <u>")
+        .unwrap();
+    let mut session = Session::new();
+    let response = piql_server::server::handle_line(
+        &request_to_line(&Request::Batch {
+            requests: vec![execute_req("find", 0), Request::Stats],
+        }),
+        &mut session,
+        &registry,
+    );
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+    let results = response.get("results").and_then(Json::as_arr).unwrap();
+    assert_eq!(results.len(), 2);
+    assert!(results[0].get("rows").is_some());
+    assert!(results[1].get("statements").is_some());
+}

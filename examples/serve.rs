@@ -13,9 +13,10 @@ use piql::engine::Database;
 use piql::kv::{LiveCluster, LiveConfig};
 use piql::Value;
 use piql_server::testkit::linear_predictor;
-use piql_server::{Client, Json, PiqlServer, SloConfig};
+use piql_server::{decode_page, Client, Json, PiqlServer, Request, SloConfig};
 use piql_workloads::scadr::{self, ScadrConfig};
 use std::sync::Arc;
+use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // -- a wall-clock store with the SCADr schema and a little data
@@ -101,7 +102,77 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cluster.op_count() - ops_before
     );
 
-    // -- 4. the feedback loop: the store drifts slow, live samples fold
+    // -- 4. the page-view, amortized (PROTOCOL.md §5–6): a fan-out app
+    //       server pipelines N statements into ~1 round trip instead of N
+    let t0 = Instant::now();
+    let mut sequential_rows = 0;
+    for i in 0..10 {
+        sequential_rows += client
+            .execute(
+                "find_user",
+                &[Value::Varchar(scadr::username(i)).into()],
+                None,
+            )?
+            .rows
+            .len();
+    }
+    let sequential = t0.elapsed();
+    let t0 = Instant::now();
+    let mut pipeline = client.pipeline();
+    for i in 0..10 {
+        pipeline.queue_execute("find_user", &[Value::Varchar(scadr::username(i)).into()]);
+    }
+    let pipelined_rows: usize = pipeline
+        .flush()?
+        .iter()
+        .map(|r| decode_page(r).map(|p| p.rows.len()))
+        .sum::<Result<usize, _>>()?;
+    let pipelined = t0.elapsed();
+    assert_eq!(pipelined_rows, sequential_rows);
+    println!(
+        "page-view of 10 statements: {sequential_rows} rows — sequential {:.2}ms, \
+         pipelined {:.2}ms (one write, answers in completion order)",
+        sequential.as_secs_f64() * 1e3,
+        pipelined.as_secs_f64() * 1e3,
+    );
+    // a batch is one *line*: sub-requests share a session sequentially,
+    // so the INSERT is visible to the read right behind it (and a
+    // mid-batch error would answer in place without aborting the rest)
+    let results = client.execute_batch(&[
+        Request::Prepare {
+            name: "my_thoughts".into(),
+            sql: "SELECT * FROM thoughts WHERE owner = <u> ORDER BY timestamp DESC LIMIT 3".into(),
+        },
+        Request::Dml {
+            sql: "INSERT INTO thoughts (owner, timestamp, text) VALUES (<u>, <ts>, <txt>)".into(),
+            params: vec![
+                Value::Varchar(scadr::username(42)).into(),
+                Value::Timestamp(9_000_000_000_000_000).into(),
+                Value::Varchar("posted and read back in one round trip".into()).into(),
+            ],
+        },
+        Request::Execute {
+            name: "my_thoughts".into(),
+            params: vec![Value::Varchar(scadr::username(42)).into()],
+            cursor: None,
+        },
+    ])?;
+    let read_back = decode_page(&results[2])?;
+    println!(
+        "batch of [prepare, post thought, read own stream]: one round trip — \
+         prepare {}, write ok={}, newest row: {}\n",
+        results[0]
+            .get("status")
+            .and_then(Json::as_str)
+            .unwrap_or("?"),
+        results[1]
+            .get("ok")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+        read_back.rows[0],
+    );
+
+    // -- 5. the feedback loop: the store drifts slow, live samples fold
     //       back into the models, and a sweep flags the admitted statement
     println!("injecting 120ms/request latency drift into the running store...");
     cluster.set_request_delay_us(120_000);
