@@ -1,0 +1,201 @@
+//! Durability cost and recovery speed on `LiveCluster`.
+//!
+//! Point-write throughput at 8 concurrent writers under three policies —
+//! no WAL, group commit, fsync-per-write — both raw (in-memory store
+//! speed, where every fsync is glaring) and with the modeled per-request
+//! store delay the latency experiments use (where group commit must stay
+//! within 3x of the in-memory path: the acceptance criterion this harness
+//! pins). Then recovery time as a function of log size.
+//!
+//! Besides the printed table, publishes machine-readable baselines to
+//! `BENCH_durability.json` at the workspace root.
+
+use piql_bench::{header, quick, row, scaled};
+use piql_durability::{Durability, DurabilityConfig, SyncPolicy};
+use piql_kv::{KvRequest, KvStore, LiveCluster, LiveConfig, Session, WalSink};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+const WRITERS: usize = 8;
+
+fn bench_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("piql-bench-dur-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(dir: &Path, policy: SyncPolicy) -> Arc<Durability> {
+    let (_, durability) = Durability::open(DurabilityConfig {
+        dir: dir.to_path_buf(),
+        policy,
+        snapshot_wal_bytes: u64::MAX, // never auto-compact under the bench
+    })
+    .expect("open durability");
+    durability
+}
+
+/// `WRITERS` threads each issue `ops_per_writer` durable point puts;
+/// returns aggregate ops/sec.
+fn write_throughput(
+    policy: Option<SyncPolicy>,
+    delay_us: u64,
+    ops_per_writer: u64,
+) -> (f64, PathBuf) {
+    let label = match policy {
+        None => "off",
+        Some(SyncPolicy::GroupCommit) => "group-commit",
+        Some(SyncPolicy::SyncEach) => "sync-each",
+    };
+    let dir = bench_dir(&format!("tput-{label}-{delay_us}"));
+    let cluster = Arc::new(LiveCluster::new(LiveConfig::default()));
+    cluster.set_request_delay_us(delay_us);
+    let ns = cluster.namespace("bench/points");
+    let durability = policy.map(|p| {
+        let d = open(&dir, p);
+        cluster.attach_wal(d.clone());
+        d
+    });
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let cluster = cluster.clone();
+            std::thread::spawn(move || {
+                let mut session = Session::new();
+                for i in 0..ops_per_writer {
+                    let key = format!("w{w}-{i:08}").into_bytes();
+                    cluster.execute_round(
+                        &mut session,
+                        vec![KvRequest::Put {
+                            ns,
+                            key,
+                            value: vec![7u8; 64],
+                        }],
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    if let Some(d) = durability {
+        cluster.detach_wal();
+        d.close();
+    }
+    let total = (WRITERS as u64 * ops_per_writer) as f64;
+    (total / secs, dir)
+}
+
+/// Append `records` puts to a fresh log, then measure a cold open.
+fn recovery_time(records: u64) -> (u64, f64) {
+    let dir = bench_dir(&format!("recover-{records}"));
+    let durability = open(&dir, SyncPolicy::GroupCommit);
+    let ns = piql_kv::NsId(0);
+    durability.append_ns(ns, "bench/points");
+    for i in 0..records {
+        durability.append_put(
+            ns,
+            format!("k{i:010}").as_bytes(),
+            format!("v{i:04}").repeat(8).as_bytes(),
+        );
+    }
+    durability.commit();
+    let wal_bytes = durability.wal_counters().segment_bytes;
+    durability.close();
+
+    let t0 = Instant::now();
+    let (recovered, reopened) = Durability::open(DurabilityConfig {
+        dir: dir.clone(),
+        policy: SyncPolicy::GroupCommit,
+        snapshot_wal_bytes: u64::MAX,
+    })
+    .expect("reopen");
+    let cluster = LiveCluster::new(LiveConfig::default());
+    cluster.namespace("bench/points");
+    recovered.apply_kv(&cluster).expect("replay");
+    let ms = t0.elapsed().as_secs_f64() * 1_000.0;
+    reopened.close();
+    let _ = std::fs::remove_dir_all(&dir);
+    (wal_bytes, ms)
+}
+
+fn main() {
+    header(
+        "durability",
+        "WAL group commit & recovery",
+        "durable point-write throughput (8 writers) under off/group-commit/sync-each, raw and with modeled store delay; recovery time vs log size",
+    );
+
+    let ops = scaled(4_000, 500);
+    let mut tput_rows: Vec<String> = Vec::new();
+    let mut ratio_pinned = f64::NAN;
+    println!("policy\tdelay_us\twriters\tops_per_sec\tvs_off");
+    for delay_us in [0u64, 150] {
+        let (off, _) = write_throughput(None, delay_us, ops);
+        for (policy, label) in [
+            (None, "off"),
+            (Some(SyncPolicy::GroupCommit), "group-commit"),
+            (Some(SyncPolicy::SyncEach), "sync-each"),
+        ] {
+            let (tput, dir) = write_throughput(policy, delay_us, ops);
+            let ratio = off / tput;
+            row(&[
+                ("policy", label.to_string()),
+                ("delay_us", delay_us.to_string()),
+                ("writers", WRITERS.to_string()),
+                ("ops_per_sec", format!("{tput:.0}")),
+                ("vs_off", format!("{ratio:.2}x")),
+            ]);
+            tput_rows.push(format!(
+                "{{\"policy\":\"{label}\",\"delay_us\":{delay_us},\"writers\":{WRITERS},\"ops_per_sec\":{tput:.1},\"slowdown_vs_off\":{ratio:.3}}}"
+            ));
+            if label == "group-commit" && delay_us > 0 {
+                ratio_pinned = ratio;
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    println!("records\twal_bytes\trecovery_ms");
+    let mut recovery_rows: Vec<String> = Vec::new();
+    for records in [
+        scaled(10_000, 1_000),
+        scaled(50_000, 5_000),
+        scaled(200_000, 20_000),
+    ] {
+        let (wal_bytes, ms) = recovery_time(records);
+        row(&[
+            ("records", records.to_string()),
+            ("wal_bytes", wal_bytes.to_string()),
+            ("recovery_ms", format!("{ms:.1}")),
+        ]);
+        recovery_rows.push(format!(
+            "{{\"records\":{records},\"wal_bytes\":{wal_bytes},\"recovery_ms\":{ms:.2}}}"
+        ));
+    }
+
+    // the acceptance pin: with the modeled store delay, group commit stays
+    // within 3x of the in-memory path at 8 concurrent writers
+    row(&[(
+        "group_commit_slowdown_at_modeled_delay",
+        format!("{ratio_pinned:.2}x (limit 3x)"),
+    )]);
+    assert!(
+        ratio_pinned <= 3.0,
+        "group commit slowdown {ratio_pinned:.2}x exceeds the 3x acceptance bound"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"durability\",\n  \"mode\": \"{}\",\n  \"writers\": {WRITERS},\n  \"write_throughput\": [\n    {}\n  ],\n  \"recovery\": [\n    {}\n  ],\n  \"group_commit_slowdown_at_modeled_delay\": {:.3},\n  \"acceptance_bound\": 3.0\n}}\n",
+        if quick() { "quick" } else { "full" },
+        tput_rows.join(",\n    "),
+        recovery_rows.join(",\n    "),
+        ratio_pinned
+    );
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_durability.json");
+    std::fs::write(&out, json).expect("write BENCH_durability.json");
+    println!("# wrote {}", out.display());
+}

@@ -1,0 +1,400 @@
+//! The WAL record vocabulary and its wire encoding.
+//!
+//! Every record is framed as `[len: u32 LE][crc: u32 LE][payload]` where
+//! `len` is the payload length and `crc` is CRC-32 (IEEE) of the payload.
+//! The payload's first byte is the record tag; the rest is the record
+//! body in fixed little-endian encoding with `u32`-length-prefixed byte
+//! strings. Hand-rolled (no serde in the tree) and deliberately boring:
+//! the reader must be able to decide, for any byte prefix of a log file,
+//! exactly where the last intact record ends.
+
+use piql_predict::{LatencyHistogram, ModelKey, OpKind};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One sparse histogram: a model grid point plus its nonzero 1 ms bins.
+pub type SparseHistogram = (ModelKey, Vec<(u32, u64)>);
+
+/// Everything the durable state machine can be told. KV records replay
+/// into `LiveCluster`; the rest rebuild the serving layer (catalog, the
+/// statement registry, the live-trained model intervals).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// Namespace `name` exists and was assigned id `ns`.
+    NsCreate { ns: u32, name: String },
+    /// `key` in namespace `ns` maps to `value`.
+    Put {
+        ns: u32,
+        key: Vec<u8>,
+        value: Vec<u8>,
+    },
+    /// `key` in namespace `ns` is absent.
+    Delete { ns: u32, key: Vec<u8> },
+    /// A DDL statement executed through the durable stack.
+    Ddl { sql: String },
+    /// A prepared statement was installed (or re-installed) as `name`.
+    StatementUpsert { name: String, sql: String },
+    /// The prepared statement `name` was removed.
+    StatementDrop { name: String },
+    /// One rotated model interval: the histograms drained from the live
+    /// accumulator. `seq` counts rotations over the store's durable
+    /// lifetime (across restarts); a snapshot checkpoint records the seq
+    /// it includes, so replay skips intervals already folded into it even
+    /// when a rotation raced the snapshot export.
+    ModelInterval {
+        seq: u64,
+        interval: Vec<SparseHistogram>,
+    },
+}
+
+const TAG_NS_CREATE: u8 = 1;
+const TAG_PUT: u8 = 2;
+const TAG_DELETE: u8 = 3;
+const TAG_DDL: u8 = 4;
+const TAG_STMT_UPSERT: u8 = 5;
+const TAG_STMT_DROP: u8 = 6;
+const TAG_MODEL_INTERVAL: u8 = 7;
+
+/// Why a payload failed to decode (distinct from a frame-level CRC or
+/// truncation failure, which the WAL reader detects before decoding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordError {
+    Truncated,
+    UnknownTag(u8),
+    BadString,
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::Truncated => write!(f, "payload shorter than its fields"),
+            RecordError::UnknownTag(t) => write!(f, "unknown record tag {t}"),
+            RecordError::BadString => write!(f, "string field is not UTF-8"),
+        }
+    }
+}
+
+// -- primitive encoders ---------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RecordError> {
+        if self.buf.len() - self.at < n {
+            return Err(RecordError::Truncated);
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, RecordError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, RecordError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, RecordError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, RecordError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, RecordError> {
+        String::from_utf8(self.bytes()?).map_err(|_| RecordError::BadString)
+    }
+
+    fn done(&self) -> bool {
+        self.at == self.buf.len()
+    }
+}
+
+fn op_tag(op: OpKind) -> u8 {
+    match op {
+        OpKind::IndexScan => 0,
+        OpKind::IndexFKJoin => 1,
+        OpKind::SortedIndexJoin => 2,
+    }
+}
+
+fn op_from_tag(t: u8) -> Result<OpKind, RecordError> {
+    match t {
+        0 => Ok(OpKind::IndexScan),
+        1 => Ok(OpKind::IndexFKJoin),
+        2 => Ok(OpKind::SortedIndexJoin),
+        other => Err(RecordError::UnknownTag(other)),
+    }
+}
+
+impl WalRecord {
+    /// Encode the payload (tag byte + body) — framing is the WAL's job.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            WalRecord::NsCreate { ns, name } => {
+                out.push(TAG_NS_CREATE);
+                put_u32(&mut out, *ns);
+                put_bytes(&mut out, name.as_bytes());
+            }
+            WalRecord::Put { ns, key, value } => {
+                out.push(TAG_PUT);
+                put_u32(&mut out, *ns);
+                put_bytes(&mut out, key);
+                put_bytes(&mut out, value);
+            }
+            WalRecord::Delete { ns, key } => {
+                out.push(TAG_DELETE);
+                put_u32(&mut out, *ns);
+                put_bytes(&mut out, key);
+            }
+            WalRecord::Ddl { sql } => {
+                out.push(TAG_DDL);
+                put_bytes(&mut out, sql.as_bytes());
+            }
+            WalRecord::StatementUpsert { name, sql } => {
+                out.push(TAG_STMT_UPSERT);
+                put_bytes(&mut out, name.as_bytes());
+                put_bytes(&mut out, sql.as_bytes());
+            }
+            WalRecord::StatementDrop { name } => {
+                out.push(TAG_STMT_DROP);
+                put_bytes(&mut out, name.as_bytes());
+            }
+            WalRecord::ModelInterval { seq, interval } => {
+                out.push(TAG_MODEL_INTERVAL);
+                put_u64(&mut out, *seq);
+                put_u32(&mut out, interval.len() as u32);
+                for (key, bins) in interval {
+                    out.push(op_tag(key.op));
+                    put_u32(&mut out, key.alpha_c);
+                    put_u32(&mut out, key.alpha_j);
+                    put_u32(&mut out, key.beta);
+                    put_u32(&mut out, bins.len() as u32);
+                    for (bin, count) in bins {
+                        put_u32(&mut out, *bin);
+                        put_u64(&mut out, *count);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode a payload produced by [`WalRecord::encode`]. Trailing bytes
+    /// are an error: a frame holds exactly one record.
+    pub fn decode(payload: &[u8]) -> Result<WalRecord, RecordError> {
+        let mut c = Cursor {
+            buf: payload,
+            at: 0,
+        };
+        let rec = match c.u8()? {
+            TAG_NS_CREATE => WalRecord::NsCreate {
+                ns: c.u32()?,
+                name: c.string()?,
+            },
+            TAG_PUT => WalRecord::Put {
+                ns: c.u32()?,
+                key: c.bytes()?,
+                value: c.bytes()?,
+            },
+            TAG_DELETE => WalRecord::Delete {
+                ns: c.u32()?,
+                key: c.bytes()?,
+            },
+            TAG_DDL => WalRecord::Ddl { sql: c.string()? },
+            TAG_STMT_UPSERT => WalRecord::StatementUpsert {
+                name: c.string()?,
+                sql: c.string()?,
+            },
+            TAG_STMT_DROP => WalRecord::StatementDrop { name: c.string()? },
+            TAG_MODEL_INTERVAL => {
+                let seq = c.u64()?;
+                let n = c.u32()? as usize;
+                let mut interval = Vec::with_capacity(n.min(4_096));
+                for _ in 0..n {
+                    let op = op_from_tag(c.u8()?)?;
+                    let key = ModelKey {
+                        op,
+                        alpha_c: c.u32()?,
+                        alpha_j: c.u32()?,
+                        beta: c.u32()?,
+                    };
+                    let n_bins = c.u32()? as usize;
+                    let mut bins = Vec::with_capacity(n_bins.min(8_192));
+                    for _ in 0..n_bins {
+                        bins.push((c.u32()?, c.u64()?));
+                    }
+                    interval.push((key, bins));
+                }
+                WalRecord::ModelInterval { seq, interval }
+            }
+            other => return Err(RecordError::UnknownTag(other)),
+        };
+        if !c.done() {
+            return Err(RecordError::Truncated);
+        }
+        Ok(rec)
+    }
+}
+
+/// Drained-interval map → sparse wire form (sorted: `BTreeMap` order).
+pub fn encode_interval(map: &BTreeMap<ModelKey, LatencyHistogram>) -> Vec<SparseHistogram> {
+    map.iter().map(|(k, h)| (*k, h.nonzero_bins())).collect()
+}
+
+/// Sparse wire form → interval map, for [`piql_predict::ModelStore`]
+/// rotation or reconstruction.
+pub fn decode_interval(enc: &[SparseHistogram]) -> BTreeMap<ModelKey, LatencyHistogram> {
+    enc.iter()
+        .map(|(k, bins)| (*k, LatencyHistogram::from_sparse(bins.iter().copied())))
+        .collect()
+}
+
+// -- CRC-32 (IEEE 802.3), table-driven ------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE) of `data` — the frame checksum.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // standard check value for "123456789"
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let records = vec![
+            WalRecord::NsCreate {
+                ns: 3,
+                name: "t:users".into(),
+            },
+            WalRecord::Put {
+                ns: 3,
+                key: vec![0, 1, 255],
+                value: vec![],
+            },
+            WalRecord::Delete {
+                ns: 0,
+                key: b"k".to_vec(),
+            },
+            WalRecord::Ddl {
+                sql: "CREATE TABLE t (id INT PRIMARY KEY)".into(),
+            },
+            WalRecord::StatementUpsert {
+                name: "q".into(),
+                sql: "SELECT * FROM t WHERE id = <i>".into(),
+            },
+            WalRecord::StatementDrop { name: "q".into() },
+            WalRecord::ModelInterval {
+                seq: 42,
+                interval: vec![(
+                    ModelKey {
+                        op: OpKind::SortedIndexJoin,
+                        alpha_c: 10,
+                        alpha_j: 5,
+                        beta: 160,
+                    },
+                    vec![(0, 3), (17, 1), (4_000, 9)],
+                )],
+            },
+        ];
+        for rec in records {
+            let payload = rec.encode();
+            assert_eq!(WalRecord::decode(&payload).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(WalRecord::decode(&[]), Err(RecordError::Truncated));
+        assert_eq!(WalRecord::decode(&[99]), Err(RecordError::UnknownTag(99)));
+        // a Put missing its value length
+        let mut p = WalRecord::Put {
+            ns: 1,
+            key: b"k".to_vec(),
+            value: b"v".to_vec(),
+        }
+        .encode();
+        p.truncate(p.len() - 3);
+        assert_eq!(WalRecord::decode(&p), Err(RecordError::Truncated));
+        // trailing junk after a complete record
+        let mut d = WalRecord::StatementDrop { name: "x".into() }.encode();
+        d.push(0);
+        assert_eq!(WalRecord::decode(&d), Err(RecordError::Truncated));
+    }
+
+    #[test]
+    fn interval_roundtrips_through_sparse_form() {
+        use piql_kv::MILLIS;
+        let mut map = BTreeMap::new();
+        let mut h = LatencyHistogram::standard();
+        for ms in [1u64, 1, 5, 90] {
+            h.record(ms * MILLIS);
+        }
+        map.insert(
+            ModelKey {
+                op: OpKind::IndexScan,
+                alpha_c: 10,
+                alpha_j: 1,
+                beta: 40,
+            },
+            h,
+        );
+        let back = decode_interval(&encode_interval(&map));
+        assert_eq!(back, map);
+    }
+}

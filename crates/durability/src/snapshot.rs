@@ -1,0 +1,332 @@
+//! Snapshot files: one checkpoint of the whole durable state.
+//!
+//! Layout: an 8-byte magic (`PIQLSNP1`), a body encoded with the same
+//! primitives as WAL records, and a trailing CRC-32 of the body. Written
+//! to a temp file, fsynced, then renamed into place — a crash mid-write
+//! leaves the previous generation's snapshot untouched and the manifest
+//! still pointing at it.
+
+use crate::record::{crc32, SparseHistogram};
+use piql_kv::KvEntry;
+use piql_predict::{ModelKey, OpKind};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"PIQLSNP1";
+
+/// The full durable state at a checkpoint.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SnapshotState {
+    /// Namespaces in id order: name and every entry.
+    pub namespaces: Vec<(String, Vec<KvEntry>)>,
+    /// DDL statements executed through the durable stack, in order.
+    pub ddl: Vec<String>,
+    /// Registered statements: `(name, sql)`.
+    pub statements: Vec<(String, String)>,
+    /// Model checkpoint, or `None` when no model store is wired in
+    /// (recovery then keeps whatever seed the embedder provides).
+    pub models: Option<ModelCheckpoint>,
+}
+
+/// The model-store section of a snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ModelCheckpoint {
+    /// Rotations folded into these intervals over the store's durable
+    /// lifetime; replay skips `ModelInterval` WAL records with
+    /// `seq <=` this.
+    pub seq: u64,
+    /// Interval maps, oldest first, sparse histograms per grid point.
+    pub intervals: Vec<Vec<SparseHistogram>>,
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+fn op_tag(op: OpKind) -> u8 {
+    match op {
+        OpKind::IndexScan => 0,
+        OpKind::IndexFKJoin => 1,
+        OpKind::SortedIndexJoin => 2,
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.buf.len() - self.at < n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "snapshot body shorter than its fields",
+            ));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> io::Result<Vec<u8>> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn string(&mut self) -> io::Result<String> {
+        String::from_utf8(self.bytes()?)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "snapshot string not UTF-8"))
+    }
+}
+
+fn op_from_tag(t: u8) -> io::Result<OpKind> {
+    match t {
+        0 => Ok(OpKind::IndexScan),
+        1 => Ok(OpKind::IndexFKJoin),
+        2 => Ok(OpKind::SortedIndexJoin),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "snapshot op tag out of range",
+        )),
+    }
+}
+
+fn encode_body(state: &SnapshotState) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, state.namespaces.len() as u32);
+    for (name, entries) in &state.namespaces {
+        put_bytes(&mut out, name.as_bytes());
+        put_u64(&mut out, entries.len() as u64);
+        for (k, v) in entries {
+            put_bytes(&mut out, k);
+            put_bytes(&mut out, v);
+        }
+    }
+    put_u32(&mut out, state.ddl.len() as u32);
+    for sql in &state.ddl {
+        put_bytes(&mut out, sql.as_bytes());
+    }
+    put_u32(&mut out, state.statements.len() as u32);
+    for (name, sql) in &state.statements {
+        put_bytes(&mut out, name.as_bytes());
+        put_bytes(&mut out, sql.as_bytes());
+    }
+    match &state.models {
+        None => out.push(0),
+        Some(checkpoint) => {
+            out.push(1);
+            put_u64(&mut out, checkpoint.seq);
+            put_u32(&mut out, checkpoint.intervals.len() as u32);
+            for interval in &checkpoint.intervals {
+                put_u32(&mut out, interval.len() as u32);
+                for (key, bins) in interval {
+                    out.push(op_tag(key.op));
+                    put_u32(&mut out, key.alpha_c);
+                    put_u32(&mut out, key.alpha_j);
+                    put_u32(&mut out, key.beta);
+                    put_u32(&mut out, bins.len() as u32);
+                    for (bin, count) in bins {
+                        put_u32(&mut out, *bin);
+                        put_u64(&mut out, *count);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn decode_body(body: &[u8]) -> io::Result<SnapshotState> {
+    let mut c = Cursor { buf: body, at: 0 };
+    let n_ns = c.u32()? as usize;
+    let mut namespaces = Vec::with_capacity(n_ns.min(1 << 16));
+    for _ in 0..n_ns {
+        let name = c.string()?;
+        let n = c.u64()? as usize;
+        let mut entries = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let k = c.bytes()?;
+            let v = c.bytes()?;
+            entries.push((k, v));
+        }
+        namespaces.push((name, entries));
+    }
+    let n_ddl = c.u32()? as usize;
+    let mut ddl = Vec::with_capacity(n_ddl.min(1 << 16));
+    for _ in 0..n_ddl {
+        ddl.push(c.string()?);
+    }
+    let n_stmt = c.u32()? as usize;
+    let mut statements = Vec::with_capacity(n_stmt.min(1 << 16));
+    for _ in 0..n_stmt {
+        let name = c.string()?;
+        let sql = c.string()?;
+        statements.push((name, sql));
+    }
+    let models = match c.u8()? {
+        0 => None,
+        _ => {
+            let seq = c.u64()?;
+            let n_intervals = c.u32()? as usize;
+            let mut intervals = Vec::with_capacity(n_intervals.min(1 << 10));
+            for _ in 0..n_intervals {
+                let n_keys = c.u32()? as usize;
+                let mut interval: Vec<SparseHistogram> = Vec::with_capacity(n_keys.min(1 << 16));
+                for _ in 0..n_keys {
+                    let op = op_from_tag(c.u8()?)?;
+                    let key = ModelKey {
+                        op,
+                        alpha_c: c.u32()?,
+                        alpha_j: c.u32()?,
+                        beta: c.u32()?,
+                    };
+                    let n_bins = c.u32()? as usize;
+                    let mut bins = Vec::with_capacity(n_bins.min(1 << 13));
+                    for _ in 0..n_bins {
+                        bins.push((c.u32()?, c.u64()?));
+                    }
+                    interval.push((key, bins));
+                }
+                intervals.push(interval);
+            }
+            Some(ModelCheckpoint { seq, intervals })
+        }
+    };
+    if c.at != body.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "snapshot body has trailing bytes",
+        ));
+    }
+    Ok(SnapshotState {
+        namespaces,
+        ddl,
+        statements,
+        models,
+    })
+}
+
+/// Write `state` to `path` atomically (temp + fsync + rename + dir sync).
+/// Returns the file size in bytes.
+pub fn write_snapshot(path: &Path, state: &SnapshotState) -> io::Result<u64> {
+    let body = encode_body(state);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(MAGIC)?;
+        f.write_all(&body)?;
+        f.write_all(&crc32(&body).to_le_bytes())?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        File::open(dir)?.sync_all()?;
+    }
+    Ok((MAGIC.len() + body.len() + 4) as u64)
+}
+
+/// Read and verify a snapshot written by [`write_snapshot`].
+pub fn read_snapshot(path: &Path) -> io::Result<SnapshotState> {
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    if data.len() < MAGIC.len() + 4 || &data[..MAGIC.len()] != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a piql snapshot file",
+        ));
+    }
+    let body = &data[MAGIC.len()..data.len() - 4];
+    let stored = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
+    if crc32(body) != stored {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "snapshot checksum mismatch",
+        ));
+    }
+    decode_body(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SnapshotState {
+        SnapshotState {
+            namespaces: vec![
+                ("t:users".into(), vec![(b"k1".to_vec(), b"v1".to_vec())]),
+                ("i:users:name".into(), vec![]),
+            ],
+            ddl: vec!["CREATE TABLE users (id INT PRIMARY KEY)".into()],
+            statements: vec![("q".into(), "SELECT * FROM users WHERE id = <i>".into())],
+            models: Some(ModelCheckpoint {
+                seq: 7,
+                intervals: vec![vec![(
+                    ModelKey {
+                        op: OpKind::IndexFKJoin,
+                        alpha_c: 25,
+                        alpha_j: 1,
+                        beta: 160,
+                    },
+                    vec![(2, 10), (40, 2)],
+                )]],
+            }),
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("piql-snap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot-1.snap");
+        let state = sample();
+        let bytes = write_snapshot(&path, &state).unwrap();
+        assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+        assert_eq!(read_snapshot(&path).unwrap(), state);
+        // no temp file left behind
+        assert!(!path.with_extension("tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_snapshot_is_refused() {
+        let dir = std::env::temp_dir().join(format!("piql-snapbad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot-1.snap");
+        write_snapshot(&path, &sample()).unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        assert!(read_snapshot(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -39,6 +39,7 @@ pub mod session;
 pub mod stats;
 pub mod store;
 pub mod time;
+pub mod wal;
 
 pub use cluster::{ClusterConfig, KvStore, NsBalance, SimCluster};
 pub use latency::{InterferenceConfig, LatencyConfig};
@@ -48,3 +49,4 @@ pub use pool::{PoolStats, RoundPool};
 pub use sample::{LiveOpKind, LiveSampleSink, OpSample, OpTag};
 pub use session::{Session, SessionStats};
 pub use time::{as_millis_f64, Micros, MILLIS, SECONDS};
+pub use wal::WalSink;

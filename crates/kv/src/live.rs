@@ -43,6 +43,7 @@ use crate::op::{KvEntry, KvRequest, KvResponse, NsId, RequestRound};
 use crate::pool::{default_pool_threads, RoundPool};
 use crate::sample::{LiveSampleSink, OpSample};
 use crate::session::Session;
+use crate::wal::WalSink;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::ops::Bound;
@@ -115,6 +116,24 @@ pub struct LiveStatsSnapshot {
 /// Keys sampled per namespace to learn split points (a stride keeps the
 /// sample representative when the namespace is large).
 const SPLIT_SAMPLE_CAP: usize = 8_192;
+
+/// A namespace's connection to the attached [`WalSink`]: the sink plus the
+/// namespace id to stamp on records. Cloned into each `LiveNamespace` at
+/// attach time so the write path never consults cluster-level state.
+#[derive(Clone)]
+struct WalHook {
+    ns: NsId,
+    sink: Arc<dyn WalSink>,
+}
+
+impl WalHook {
+    fn log(&self, key: &[u8], value: Option<&[u8]>) {
+        match value {
+            Some(v) => self.sink.append_put(self.ns, key, v),
+            None => self.sink.append_delete(self.ns, key),
+        }
+    }
+}
 
 /// One immutable routing generation of a namespace: explicit split points
 /// and the shard maps they route to. Shard `i` covers
@@ -210,10 +229,15 @@ impl ShardSet {
         self.shards[idx].read().get(key).cloned()
     }
 
-    fn put(&self, key: Vec<u8>, value: Option<Vec<u8>>) {
+    fn put(&self, key: Vec<u8>, value: Option<Vec<u8>>, wal: Option<&WalHook>) {
         let idx = self.shard_of(&key);
         self.touch(idx);
         let mut shard = self.shards[idx].write();
+        // append while holding the shard lock so the log observes per-key
+        // effects in memory order (see crate::wal); the sink only buffers
+        if let Some(hook) = wal {
+            hook.log(&key, value.as_deref());
+        }
         match value {
             Some(v) => {
                 shard.insert(key, v);
@@ -229,6 +253,7 @@ impl ShardSet {
         key: &[u8],
         expect: Option<&[u8]>,
         value: Option<Vec<u8>>,
+        wal: Option<&WalHook>,
     ) -> (bool, Option<Vec<u8>>) {
         let idx = self.shard_of(key);
         self.touch(idx);
@@ -236,6 +261,11 @@ impl ShardSet {
         let current = shard.get(key).cloned();
         if current.as_deref() != expect {
             return (false, current);
+        }
+        // only the *effect* of a successful TAS is logged — replay applies
+        // it as a plain put/delete without re-checking the expectation
+        if let Some(hook) = wal {
+            hook.log(key, value.as_deref());
         }
         match value.clone() {
             Some(v) => {
@@ -340,6 +370,20 @@ impl ShardSet {
         self.ops.iter().map(|o| o.load(Ordering::Relaxed)).collect()
     }
 
+    /// Every entry in global key order (shards are contiguous ranges, so
+    /// index order is key order). Fuzzy under concurrent writers: each
+    /// shard is a consistent point-in-time copy, and any write racing the
+    /// export is in the WAL segment opened before the export began.
+    fn export(&self) -> Vec<KvEntry> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for (k, v) in shard.read().iter() {
+                out.push((k.clone(), v.clone()));
+            }
+        }
+        out
+    }
+
     /// Split points at key-distribution quantiles — the same job the
     /// simulator's Director does via `Namespace::quantile_keys`, over a
     /// strided sample when the namespace is large. Shards are contiguous
@@ -391,13 +435,21 @@ impl ShardSet {
 ///   writes: no write can land in a generation after it has been copied.
 struct LiveNamespace {
     table: RwLock<Arc<ShardSet>>,
+    /// Attached WAL hook, if the cluster is durable. Read on every write
+    /// (one uncontended `RwLock` read when no sink is attached).
+    wal: RwLock<Option<WalHook>>,
 }
 
 impl LiveNamespace {
     fn new(shards: usize) -> Self {
         LiveNamespace {
             table: RwLock::new(Arc::new(ShardSet::striped(shards))),
+            wal: RwLock::new(None),
         }
+    }
+
+    fn set_wal(&self, hook: Option<WalHook>) {
+        *self.wal.write() = hook;
     }
 
     /// The current generation, for lock-free reading.
@@ -410,9 +462,10 @@ impl LiveNamespace {
     }
 
     fn put(&self, key: Vec<u8>, value: Option<Vec<u8>>) {
+        let wal = self.wal.read();
         // hold the table read lock across the mutation (see the struct doc)
         let table = self.table.read();
-        table.put(key, value);
+        table.put(key, value, wal.as_ref());
     }
 
     fn test_and_set(
@@ -421,8 +474,9 @@ impl LiveNamespace {
         expect: Option<&[u8]>,
         value: Option<Vec<u8>>,
     ) -> (bool, Option<Vec<u8>>) {
+        let wal = self.wal.read();
         let table = self.table.read();
-        table.test_and_set(key, expect, value)
+        table.test_and_set(key, expect, value, wal.as_ref())
     }
 
     fn range(
@@ -483,6 +537,8 @@ pub struct LiveCluster {
     request_delay_us: AtomicU64,
     /// Observed operator latencies awaiting the online-training consumer.
     sink: LiveSampleSink,
+    /// Attached write-ahead sink, if any (see [`LiveCluster::attach_wal`]).
+    wal: RwLock<Option<Arc<dyn WalSink>>>,
     pub stats: Arc<LiveStats>,
 }
 
@@ -510,8 +566,41 @@ impl LiveCluster {
             epoch: Instant::now(),
             pool,
             sink: LiveSampleSink::default(),
+            wal: RwLock::new(None),
             stats: Arc::new(LiveStats::default()),
         }
+    }
+
+    /// Attach a write-ahead sink: every namespace creation, put, delete,
+    /// and successful test-and-set from now on is appended to `sink`, and
+    /// each write round blocks on `sink.commit()` before acknowledging.
+    ///
+    /// Every namespace that already exists is announced to the sink
+    /// (`append_ns`, in id order) so a log replayed after the same
+    /// bootstrap sequence reproduces the same id assignment. Serialized
+    /// against concurrent namespace creation by the names write lock.
+    pub fn attach_wal(&self, sink: Arc<dyn WalSink>) {
+        let names = self.names.write();
+        let mut by_id: Vec<(&String, NsId)> = names.iter().map(|(n, id)| (n, *id)).collect();
+        by_id.sort_by_key(|(_, id)| id.0);
+        for (name, id) in by_id {
+            sink.append_ns(id, name);
+            self.ns_data(id).set_wal(Some(WalHook {
+                ns: id,
+                sink: sink.clone(),
+            }));
+        }
+        *self.wal.write() = Some(sink);
+    }
+
+    /// Detach the write-ahead sink (crash simulation and shutdown): later
+    /// writes are memory-only again.
+    pub fn detach_wal(&self) {
+        let names = self.names.write();
+        for id in names.values() {
+            self.ns_data(*id).set_wal(None);
+        }
+        *self.wal.write() = None;
     }
 
     /// Change the injected per-request service time of a *running* cluster.
@@ -600,6 +689,44 @@ impl LiveCluster {
             .map(|(name, id)| self.ns_data(id).balance(name))
             .collect()
     }
+
+    /// Name and contents of every namespace, ordered by namespace id —
+    /// the snapshot export. Fuzzy under concurrent writers (each shard is
+    /// copied at a consistent instant); safe to pair with a WAL segment
+    /// rotated *before* the export, because replaying that segment's
+    /// puts/deletes over the copy is idempotent.
+    pub fn export_namespaces(&self) -> Vec<(String, Vec<KvEntry>)> {
+        let mut by_id: Vec<(String, NsId)> = self
+            .names
+            .read()
+            .iter()
+            .map(|(n, id)| (n.clone(), *id))
+            .collect();
+        by_id.sort_by_key(|(_, id)| id.0);
+        by_id
+            .into_iter()
+            .map(|(name, id)| (name, self.ns_data(id).load().export()))
+            .collect()
+    }
+
+    /// Remove `key` outside any timed session — the replay-side mirror of
+    /// [`KvStore::bulk_put`], used by recovery to apply logged deletes.
+    pub fn bulk_delete(&self, ns: NsId, key: &[u8]) {
+        self.stats.ops.fetch_add(1, Ordering::Relaxed);
+        self.stats.physical_ops.fetch_add(1, Ordering::Relaxed);
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.ns_data(ns).put(key.to_vec(), None);
+    }
+
+    /// Drop every entry in `ns`, restoring the initial striped layout.
+    /// Recovery calls this before loading a snapshot so rows that were
+    /// deleted pre-snapshot (and so appear in neither snapshot nor WAL)
+    /// cannot be resurrected by an embedder's boot-time seed data.
+    pub fn reset_namespace(&self, ns: NsId) {
+        let data = self.ns_data(ns);
+        let mut table = data.table.write();
+        *table = Arc::new(ShardSet::striped(self.config.shards_per_namespace));
+    }
 }
 
 /// Serve one request against its namespace. Free-standing (not `&self`) so
@@ -687,9 +814,15 @@ impl KvStore for LiveCluster {
         }
         let mut data = self.namespaces.write();
         let id = NsId(data.len() as u32);
-        data.push(Arc::new(LiveNamespace::new(
-            self.config.shards_per_namespace,
-        )));
+        let ns = Arc::new(LiveNamespace::new(self.config.shards_per_namespace));
+        if let Some(sink) = self.wal.read().as_ref() {
+            sink.append_ns(id, name);
+            ns.set_wal(Some(WalHook {
+                ns: id,
+                sink: sink.clone(),
+            }));
+        }
+        data.push(ns);
         names.insert(name.to_string(), id);
         id
     }
@@ -703,6 +836,7 @@ impl KvStore for LiveCluster {
             return Vec::new();
         }
         let logical = round.len() as u64;
+        let has_write = round.iter().any(KvRequest::is_write);
         let started = self.now_micros();
         let delay_us = self.request_delay_us.load(Ordering::Relaxed);
         let results: Vec<(KvResponse, u64, u64)> = if round.len() >= 2
@@ -734,6 +868,16 @@ impl KvStore for LiveCluster {
                 session.stats.bytes += entry_bytes;
             }
             responses.push(response);
+        }
+        // durability barrier: a round containing writes is only
+        // acknowledged once its appended records are on stable storage.
+        // Inside the timed window on purpose — commit latency is real
+        // write latency and must show up in the sampled round time.
+        if has_write {
+            let sink = self.wal.read().clone();
+            if let Some(sink) = sink {
+                sink.commit();
+            }
         }
         // advance to wall-clock completion (monotonic per session even if
         // the session was created before this cluster's epoch)

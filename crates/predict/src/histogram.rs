@@ -88,6 +88,30 @@ impl LatencyHistogram {
         sum / self.count as f64
     }
 
+    /// Sparse export for durability: ascending `(bin, count)` pairs for
+    /// every nonzero bin. Round-trips through [`Self::from_sparse`].
+    pub fn nonzero_bins(&self) -> Vec<(u32, u64)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect()
+    }
+
+    /// Rebuild a standard-range histogram from [`Self::nonzero_bins`]
+    /// output. Bins beyond the standard range fold into the overflow bin
+    /// (same conservative tail as [`Self::merge`]).
+    pub fn from_sparse(bins: impl IntoIterator<Item = (u32, u64)>) -> Self {
+        let mut h = Self::standard();
+        let last = h.bins.len() - 1;
+        for (bin, count) in bins {
+            h.bins[(bin as usize).min(last)] += count;
+            h.count += count;
+        }
+        h
+    }
+
     /// Probability mass function over bins (sparse: only nonzero entries).
     fn pmf(&self) -> Vec<(usize, f64)> {
         if self.count == 0 {

@@ -18,5 +18,5 @@ pub use advisor::Heatmap;
 pub use histogram::{Distribution, LatencyHistogram};
 pub use model::{ModelKey, ModelStore, OpKind, ALPHA_GRID, BETA_GRID};
 pub use predict::{plan_thetas, OpTheta, QueryPrediction, SloPredictor};
-pub use shared::SharedModelStore;
+pub use shared::{RotationObserver, SharedModelStore};
 pub use train::{train, TrainConfig};

@@ -182,6 +182,29 @@ impl ModelStore {
         ModelStore { intervals, overall }
     }
 
+    /// The per-interval histogram maps, oldest first — the durable form of
+    /// the store (the aggregate is derived, so it is not exported).
+    pub fn interval_maps(&self) -> &[BTreeMap<ModelKey, LatencyHistogram>] {
+        &self.intervals
+    }
+
+    /// Rebuild a store from exported interval maps (recovery). The
+    /// aggregate is recomputed, so
+    /// `ModelStore::from_intervals(s.interval_maps().to_vec())` predicts
+    /// identically to `s`.
+    pub fn from_intervals(intervals: Vec<BTreeMap<ModelKey, LatencyHistogram>>) -> ModelStore {
+        let mut overall: BTreeMap<ModelKey, LatencyHistogram> = BTreeMap::new();
+        for interval in &intervals {
+            for (key, hist) in interval {
+                overall
+                    .entry(*key)
+                    .or_insert_with(LatencyHistogram::standard)
+                    .merge(hist);
+            }
+        }
+        ModelStore { intervals, overall }
+    }
+
     /// Total recorded samples (sanity checks / reporting).
     pub fn total_samples(&self) -> u64 {
         self.overall.values().map(|h| h.count()).sum()

@@ -34,6 +34,10 @@ struct LiveInterval {
     samples: u64,
 }
 
+/// Callback invoked under the rotation lock with each drained interval —
+/// the journaling hook durability uses to persist rotations in order.
+pub type RotationObserver = Box<dyn Fn(&BTreeMap<ModelKey, LatencyHistogram>) + Send + Sync>;
+
 /// A [`ModelStore`] that can be read consistently while being appended to.
 pub struct SharedModelStore {
     published: RwLock<Arc<ModelStore>>,
@@ -42,6 +46,10 @@ pub struct SharedModelStore {
     /// both build from the same snapshot and the losing swap would silently
     /// discard the winner's drained interval.
     rotate_lock: Mutex<()>,
+    /// Observer for drained intervals (see [`RotationObserver`]). Called
+    /// with the rotation lock held, so observed intervals arrive in
+    /// exactly the order they were folded into the published store.
+    observer: RwLock<Option<RotationObserver>>,
     rotations: std::sync::atomic::AtomicU64,
 }
 
@@ -57,13 +65,34 @@ impl SharedModelStore {
             published: RwLock::new(seed),
             live: Mutex::new(LiveInterval::default()),
             rotate_lock: Mutex::new(()),
+            observer: RwLock::new(None),
             rotations: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Install (or clear) the rotation observer. Durability uses this to
+    /// append each drained interval to the write-ahead log; a restarted
+    /// process replays them with [`ModelStore::rotated`] and arrives at
+    /// the same published models.
+    pub fn set_rotation_observer(&self, observer: Option<RotationObserver>) {
+        *self.observer.write() = observer;
     }
 
     /// The currently published snapshot.
     pub fn snapshot(&self) -> Arc<ModelStore> {
         self.published.read().clone()
+    }
+
+    /// The published snapshot paired with the number of rotations that
+    /// produced it, read atomically (takes the rotation lock, so no
+    /// rotation is mid-flight between the two reads). Durability uses the
+    /// pair to checkpoint models with an exact rotation sequence number.
+    pub fn snapshot_with_rotations(&self) -> (Arc<ModelStore>, u64) {
+        let _rotating = self.rotate_lock.lock();
+        (
+            self.snapshot(),
+            self.rotations.load(std::sync::atomic::Ordering::Relaxed),
+        )
     }
 
     /// A predictor over the current snapshot. Successive calls may see
@@ -130,8 +159,13 @@ impl SharedModelStore {
         // Build the new store outside any lock the readers or writers
         // need: `published` is only write-locked for the Arc swap.
         let current = self.snapshot();
-        let next = Arc::new(current.rotated(interval.histograms));
+        let next = Arc::new(current.rotated(interval.histograms.clone()));
         *self.published.write() = next;
+        // journal the drained interval while still holding the rotation
+        // lock: log order == fold order, so replay converges
+        if let Some(observer) = self.observer.read().as_ref() {
+            observer(&interval.histograms);
+        }
         self.rotations
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         interval.samples

@@ -180,6 +180,13 @@ impl Client {
         self.request(&Request::Rebalance)
     }
 
+    /// Checkpoint the server's durable state now (rotates the WAL and
+    /// compacts it behind the snapshot); returns the snapshot summary.
+    /// Errors on servers running without durability.
+    pub fn snapshot(&mut self) -> Result<Json, ClientError> {
+        self.request(&Request::Snapshot)
+    }
+
     /// Start a [`Pipeline`]: queue any number of requests, then
     /// [`Pipeline::flush`] them as one write and collect the responses
     /// positionally — N statements, ~1 round trip.

@@ -31,10 +31,16 @@
 //!   periodic sweep re-predicts every registered statement, re-degrading
 //!   or flagging those whose refreshed p99 drifted over the SLO (and
 //!   relaxing/recovering them when the store speeds back up).
+//! * [`open_durable`] — the durable flavor of the stack: the same
+//!   cluster/registry pair backed by `piql_durability` (write-ahead log
+//!   with group commit, periodic snapshots, full-state crash recovery),
+//!   so data, prepared statements, and live-trained models survive a
+//!   `kill -9` and admission is re-validated at boot.
 //! * The real-time backend itself lives in `piql_kv::LiveCluster`
 //!   (re-exported here) so the engine stack runs on wall-clock storage.
 
 pub mod client;
+pub mod durable;
 pub mod json;
 pub mod protocol;
 pub mod registry;
@@ -42,11 +48,13 @@ pub mod server;
 pub mod testkit;
 
 pub use client::{decode_page, Client, ClientError, Page, Pipeline};
+pub use durable::{open_durable, DurableOptions, DurableStack, Readmission, SnapshotDaemon};
 pub use json::{Json, JsonError};
 pub use protocol::{Envelope, ProtoError, Request, RequestId};
 pub use registry::{
-    Admission, DriftAction, DriftEvent, RegisteredStatement, RegistryCounters, RegistryError,
-    RevalidationSummary, Revalidator, SloConfig, StatementRegistry,
+    Admission, DriftAction, DriftEvent, DurabilityControl, RegisteredStatement, RegistryCounters,
+    RegistryError, RevalidationSummary, Revalidator, SloConfig, StatementJournal,
+    StatementRegistry,
 };
 pub use server::PiqlServer;
 

@@ -15,6 +15,7 @@
 //! | `stats`       | —                                     | service counters + per-statement latency, refreshed predictions, drift history, shard balance |
 //! | `revalidate`  | —                                     | forces one re-validation sweep; returns the sweep summary |
 //! | `rebalance`   | —                                     | recomputes the store's data placement (quantile split points); returns the post-rebalance shard balance |
+//! | `snapshot`    | —                                     | checkpoints the durable state and compacts the WAL behind it; errors when the server runs without durability |
 //!
 //! Every request may additionally carry a client-assigned `id` (integer
 //! or string), echoed verbatim on its response. An `id` opts the request
@@ -159,6 +160,11 @@ pub enum Request {
     /// Director's job, §3). Sessions keep executing throughout; the reply
     /// carries the post-rebalance shard balance.
     Rebalance,
+    /// Checkpoint the durable state now: rotate the write-ahead log, write
+    /// a snapshot of the full state (data, DDL, statements, models), and
+    /// delete the log segments behind it. Servers running without
+    /// durability answer an error.
+    Snapshot,
     /// Many sub-requests on one line, answered by one response whose
     /// `results` array carries one response envelope per sub-request,
     /// positionally. Sub-requests run **sequentially on one session** (a
@@ -365,6 +371,7 @@ fn request_from_json(j: &Json, nested: bool) -> Result<Request, ProtoError> {
         "stats" => Ok(Request::Stats),
         "revalidate" => Ok(Request::Revalidate),
         "rebalance" => Ok(Request::Rebalance),
+        "snapshot" => Ok(Request::Snapshot),
         "batch" => {
             if nested {
                 return Err(ProtoError::Malformed("batch cannot contain a batch".into()));
@@ -436,6 +443,7 @@ pub fn request_to_json(req: &Request) -> Json {
         Request::Stats => Json::obj([("cmd", Json::str("stats"))]),
         Request::Revalidate => Json::obj([("cmd", Json::str("revalidate"))]),
         Request::Rebalance => Json::obj([("cmd", Json::str("rebalance"))]),
+        Request::Snapshot => Json::obj([("cmd", Json::str("snapshot"))]),
         Request::Batch { requests } => Json::obj([
             ("cmd", Json::str("batch")),
             (
@@ -540,6 +548,7 @@ mod tests {
             Request::Stats,
             Request::Revalidate,
             Request::Rebalance,
+            Request::Snapshot,
             Request::Batch {
                 requests: vec![
                     Request::Dml {

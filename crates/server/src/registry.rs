@@ -273,6 +273,25 @@ pub struct RevalidationSummary {
     pub recovered: u64,
 }
 
+/// Journal for durable statement registration. The registry calls
+/// [`StatementJournal::upserted`] whenever a name becomes (or replaces an)
+/// executable statement and [`StatementJournal::dropped`] whenever a name
+/// stops being executable (a rejected re-registration unregisters it) — a
+/// restarted server replays the journal and re-validates each surviving
+/// statement against its recovered models, so clients never re-prepare.
+pub trait StatementJournal: Send + Sync {
+    fn upserted(&self, name: &str, sql: &str);
+    fn dropped(&self, name: &str);
+}
+
+/// Handle to the durability subsystem, when one is wired in (see
+/// `crate::durable`). The `stats` verb reports [`DurabilityControl::health`]
+/// and the `snapshot` verb drives [`DurabilityControl::checkpoint`].
+pub trait DurabilityControl: Send + Sync {
+    fn health(&self) -> piql_durability::DurabilityHealth;
+    fn checkpoint(&self) -> std::io::Result<piql_durability::SnapshotSummary>;
+}
+
 /// Errors surfaced to protocol clients.
 #[derive(Debug)]
 pub enum RegistryError {
@@ -315,6 +334,11 @@ pub struct StatementRegistry<S: KvStore = LiveCluster> {
     /// `Revalidator` tick and client-forced `revalidate` verbs must not
     /// interleave their drain/rotate/apply phases.
     sweep_lock: Mutex<()>,
+    /// Durable journal for registration changes (see [`StatementJournal`]).
+    journal: RwLock<Option<Arc<dyn StatementJournal>>>,
+    /// The durability subsystem, when the stack is durable (`stats` and
+    /// `snapshot` reach it through here).
+    durability: RwLock<Option<Arc<dyn DurabilityControl>>>,
     pub counters: RegistryCounters,
 }
 
@@ -342,8 +366,27 @@ impl<S: KvStore> StatementRegistry<S> {
             statements: RwLock::new(BTreeMap::new()),
             sweeps: AtomicU64::new(0),
             sweep_lock: Mutex::new(()),
+            journal: RwLock::new(None),
+            durability: RwLock::new(None),
             counters: RegistryCounters::default(),
         }
+    }
+
+    /// Install (or clear) the registration journal. Install it *after*
+    /// replaying recovered statements, or the replay itself would be
+    /// journaled again.
+    pub fn set_journal(&self, journal: Option<Arc<dyn StatementJournal>>) {
+        *self.journal.write() = journal;
+    }
+
+    /// Wire in the durability subsystem (surfaced via `stats`/`snapshot`).
+    pub fn set_durability(&self, control: Option<Arc<dyn DurabilityControl>>) {
+        *self.durability.write() = control;
+    }
+
+    /// The durability handle, when the stack is durable.
+    pub fn durability(&self) -> Option<Arc<dyn DurabilityControl>> {
+        self.durability.read().clone()
     }
 
     pub fn db(&self) -> &Arc<Database<S>> {
@@ -481,7 +524,14 @@ impl<S: KvStore> StatementRegistry<S> {
     }
 
     fn uninstall(&self, name: &str) {
-        self.statements.write().remove(name);
+        let removed = self.statements.write().remove(name).is_some();
+        // journal only transitions: dropping a name that was never
+        // executable would bloat the log with no-op records
+        if removed {
+            if let Some(journal) = self.journal.read().as_ref() {
+                journal.dropped(name);
+            }
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -512,6 +562,9 @@ impl<S: KvStore> StatementRegistry<S> {
             metrics: Mutex::new(RunMetrics::bounded(METRICS_CAPACITY)),
         });
         self.statements.write().insert(name.to_string(), statement);
+        if let Some(journal) = self.journal.read().as_ref() {
+            journal.upserted(name, sql);
+        }
     }
 
     pub fn get(&self, name: &str) -> Option<Arc<RegisteredStatement>> {

@@ -570,6 +570,22 @@ pub fn handle_request<S: KvStore>(
                 ("shard_balance", balance_to_json(&balance)),
             ])
         }
+        Request::Snapshot => match registry.durability() {
+            Some(control) => match control.checkpoint() {
+                Ok(summary) => ok_response([
+                    ("generation", Json::Int(summary.generation as i64)),
+                    ("entries", Json::Int(summary.entries as i64)),
+                    ("bytes", Json::Int(summary.bytes as i64)),
+                    (
+                        "compacted_wal_bytes",
+                        Json::Int(summary.compacted_wal_bytes as i64),
+                    ),
+                    ("duration_ms", Json::Float(summary.duration_ms)),
+                ]),
+                Err(e) => err_response(format!("snapshot failed: {e}")),
+            },
+            None => err_response("durability is not enabled on this server"),
+        },
         Request::Batch { requests } => {
             let results: Vec<Json> = requests
                 .iter()
@@ -578,6 +594,39 @@ pub fn handle_request<S: KvStore>(
             ok_response([("results", Json::Arr(results))])
         }
     }
+}
+
+/// The `durability` object of a `stats` response (PROTOCOL.md §4.7).
+fn durability_to_json(health: &piql_durability::DurabilityHealth) -> Json {
+    let r = &health.recovery;
+    Json::obj([
+        ("generation", Json::Int(health.generation as i64)),
+        ("policy", Json::str(health.policy)),
+        ("wal_bytes", Json::Int(health.wal_bytes as i64)),
+        ("wal_records", Json::Int(health.wal_records as i64)),
+        ("commits", Json::Int(health.commits as i64)),
+        ("fsyncs", Json::Int(health.fsyncs as i64)),
+        (
+            "last_snapshot_age_ms",
+            match health.last_snapshot_age_ms {
+                Some(ms) => Json::Int(ms as i64),
+                None => Json::Null,
+            },
+        ),
+        (
+            "recovery",
+            Json::obj([
+                ("snapshot_loaded", Json::Bool(r.snapshot_loaded)),
+                ("snapshot_entries", Json::Int(r.snapshot_entries as i64)),
+                ("wal_records", Json::Int(r.wal_records as i64)),
+                ("wal_tail", Json::str(r.wal_tail.clone())),
+                ("truncated_bytes", Json::Int(r.truncated_bytes as i64)),
+                ("statements", Json::Int(r.statements as i64)),
+                ("ddl", Json::Int(r.ddl as i64)),
+                ("duration_ms", Json::Float(r.duration_ms)),
+            ]),
+        ),
+    ])
 }
 
 /// Per-namespace shard balance as the wire object (`stats` and the
@@ -635,6 +684,9 @@ fn run_execute<S: KvStore>(
 
 fn stats_response<S: KvStore>(registry: &StatementRegistry<S>) -> Json {
     let c = &registry.counters;
+    let durability = registry
+        .durability()
+        .map(|d| durability_to_json(&d.health()));
     let statements: Vec<Json> = registry
         .list()
         .iter()
@@ -684,7 +736,7 @@ fn stats_response<S: KvStore>(registry: &StatementRegistry<S>) -> Json {
             Json::obj(fields)
         })
         .collect();
-    ok_response([
+    let mut response = ok_response([
         (
             "admitted",
             Json::Int(c.admitted.load(Ordering::Relaxed) as i64),
@@ -743,5 +795,11 @@ fn stats_response<S: KvStore>(registry: &StatementRegistry<S>) -> Json {
         ),
         ("slo_ms", Json::Float(registry.slo().slo_ms)),
         ("statements", Json::Arr(statements)),
-    ])
+    ]);
+    // the durability health block only exists on durable stacks — its
+    // absence is how a client tells an in-memory server apart
+    if let (Json::Obj(m), Some(d)) = (&mut response, durability) {
+        m.insert("durability".into(), d);
+    }
+    response
 }

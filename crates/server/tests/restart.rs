@@ -1,0 +1,327 @@
+//! Restart-identity conformance: a durable stack that is `kill -9`ed
+//! mid-workload and reopened must come back with the same data, the same
+//! registered statements (re-admitted with the same verdicts), and the
+//! same predicted p99s — and no write that was acknowledged strictly
+//! before the crash may be missing afterwards.
+
+use piql_core::plan::params::Params;
+use piql_core::value::Value;
+use piql_engine::{Database, DbError};
+use piql_kv::{LiveCluster, Session};
+use piql_server::testkit::linear_predictor;
+use piql_server::{open_durable, DurableOptions, DurableStack, SloConfig};
+use piql_workloads::scadr::{self, ScadrConfig};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const FIND_USER: &str = "SELECT * FROM users WHERE username = <u>";
+const RECENT: &str = "SELECT * FROM thoughts WHERE owner = <u> ORDER BY timestamp DESC LIMIT 100";
+const POST_THOUGHT: &str = "INSERT INTO thoughts (owner, timestamp, text) VALUES (<u>, <ts>, <t>)";
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("piql-restart-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The deterministic boot routine both process lifetimes share: same
+/// schema, same seed rows, same namespace creation order every boot.
+fn bootstrap(db: &Arc<Database<LiveCluster>>) -> Result<(), DbError> {
+    let config = ScadrConfig {
+        users_per_node: 20,
+        thoughts_per_user: 6,
+        subscriptions_per_user: 4,
+        max_subscriptions: 100,
+        ..Default::default()
+    };
+    scadr::setup(db, &config, 2).map(|_| ())
+}
+
+fn options(dir: &Path, slo_ms: f64) -> DurableOptions {
+    let mut opts = DurableOptions::new(dir);
+    opts.slo = SloConfig {
+        slo_ms,
+        interval_confidence: 1.0,
+        allow_degrade: true,
+    };
+    opts
+}
+
+fn open(dir: &Path, slo_ms: f64) -> DurableStack {
+    open_durable(
+        options(dir, slo_ms),
+        linear_predictor(200, 100, 3),
+        bootstrap,
+    )
+    .expect("open durable stack")
+}
+
+fn post_thought(stack: &DurableStack, session: &mut Session, user: usize, ts: i64, text: &str) {
+    let mut params = Params::new();
+    params.set(0, Value::Varchar(scadr::username(user)));
+    params.set(1, Value::Timestamp(ts));
+    params.set(2, Value::Varchar(text.to_string()));
+    stack
+        .registry
+        .execute_dml(session, POST_THOUGHT, &params)
+        .expect("insert thought");
+}
+
+fn user_params(user: usize) -> Params {
+    let mut params = Params::new();
+    params.set(0, Value::Varchar(scadr::username(user)));
+    params
+}
+
+/// Execute `recent` for `user` through pagination, returning each page's
+/// rows (cursor results included so restart identity covers cursors too).
+fn paginate_recent(stack: &DurableStack, user: usize) -> Vec<Vec<piql_core::tuple::Tuple>> {
+    let params = user_params(user);
+    let mut session = Session::new();
+    let mut pages = Vec::new();
+    let mut cursor = None;
+    loop {
+        let result = stack
+            .registry
+            .execute(&mut session, "recent", &params, cursor.as_ref())
+            .expect("execute recent");
+        pages.push(result.rows);
+        match result.cursor {
+            Some(c) => cursor = Some(c),
+            None => return pages,
+        }
+    }
+}
+
+/// The acceptance demo as a test: workload → `kill -9` → restart →
+/// same data (scan + cursor results), same registered statements, same
+/// predicted p99s, zero client re-registration.
+#[test]
+fn restart_preserves_data_statements_and_predictions() {
+    let dir = test_dir("identity");
+
+    // ------------------------------------------- first process lifetime
+    let first = open(&dir, 5.0);
+    assert!(!first.report.snapshot_loaded, "fresh directory");
+    assert!(first.readmissions.is_empty(), "nothing to re-admit yet");
+
+    // the point lookup admits; the 100-row scan is over the 5 ms SLO and
+    // is admitted with an advisor-degraded LIMIT
+    let a = first.registry.register("find_user", FIND_USER).unwrap();
+    assert_eq!(a.verdict(), "admitted", "{a:?}");
+    let d = first.registry.register("recent", RECENT).unwrap();
+    assert_eq!(d.verdict(), "degraded", "{d:?}");
+
+    // runtime DDL goes through the stack so it survives the restart
+    first
+        .execute_ddl("CREATE INDEX thoughts_by_text ON thoughts (text, owner, timestamp)")
+        .expect("runtime CREATE INDEX");
+
+    // live workload: executions feed samples, a revalidation sweep folds
+    // them and rotates the models (journaling the closed interval)
+    let mut session = Session::new();
+    for user in 0..4 {
+        let params = user_params(user);
+        first
+            .registry
+            .execute(&mut session, "find_user", &params, None)
+            .unwrap();
+        first
+            .registry
+            .execute(&mut session, "recent", &params, None)
+            .unwrap();
+    }
+    first.registry.revalidate();
+
+    // writes before the checkpoint...
+    for i in 0..25 {
+        post_thought(&first, &mut session, 1, 2_000_000_000 + i, "pre-snapshot");
+    }
+    let summary = first.snapshot().expect("mid-workload checkpoint");
+    assert!(summary.entries > 0);
+
+    // ...writes and a second model rotation after it (replayed from the
+    // WAL tail on top of the snapshot's model checkpoint)
+    for i in 0..25 {
+        post_thought(&first, &mut session, 2, 3_000_000_000 + i, "post-snapshot");
+    }
+    for user in 0..4 {
+        let params = user_params(user);
+        first
+            .registry
+            .execute(&mut session, "recent", &params, None)
+            .unwrap();
+    }
+    first.registry.revalidate();
+
+    // pre-crash ground truth
+    let data_before = first.cluster.export_namespaces();
+    let pages_before_1 = paginate_recent(&first, 1);
+    let pages_before_2 = paginate_recent(&first, 2);
+    let mut statements_before: Vec<(String, String, &'static str, f64)> = first
+        .registry
+        .list()
+        .iter()
+        .map(|s| {
+            (
+                s.name.clone(),
+                s.sql.clone(),
+                s.admission().verdict(),
+                s.last_predicted_p99_ms(),
+            )
+        })
+        .collect();
+    statements_before.sort_by(|a, b| a.0.cmp(&b.0));
+
+    first.simulate_crash();
+    drop(first);
+
+    // ----------------------------------------- second process lifetime
+    let second = open(&dir, 5.0);
+    assert!(second.report.snapshot_loaded, "checkpoint found");
+    assert_eq!(second.report.statements, 2, "both statements recovered");
+    assert!(
+        second.report.wal_records > 0,
+        "post-snapshot tail replayed: {:?}",
+        second.report
+    );
+    assert_eq!(
+        second.report.ddl, 1,
+        "runtime CREATE INDEX replayed: {:?}",
+        second.report
+    );
+
+    // zero re-registration: both statements are back, re-admitted at boot
+    // with the same verdicts
+    let mut readmissions: Vec<(String, String)> = second
+        .readmissions
+        .iter()
+        .map(|r| (r.name.clone(), r.verdict.clone()))
+        .collect();
+    readmissions.sort();
+    assert_eq!(
+        readmissions,
+        vec![
+            ("find_user".to_string(), "admitted".to_string()),
+            ("recent".to_string(), "degraded".to_string()),
+        ]
+    );
+
+    // same data
+    assert_eq!(second.cluster.export_namespaces(), data_before);
+
+    // same statements, same predicted p99s (the recovered models are the
+    // checkpoint plus every journaled rotation — bit-identical, so the
+    // boot-time re-prediction lands on exactly the pre-crash numbers)
+    let mut statements_after: Vec<(String, String, &'static str, f64)> = second
+        .registry
+        .list()
+        .iter()
+        .map(|s| {
+            (
+                s.name.clone(),
+                s.sql.clone(),
+                s.admission().verdict(),
+                s.last_predicted_p99_ms(),
+            )
+        })
+        .collect();
+    statements_after.sort_by(|a, b| a.0.cmp(&b.0));
+    assert_eq!(statements_after, statements_before);
+
+    // same scan + cursor results
+    assert_eq!(paginate_recent(&second, 1), pages_before_1);
+    assert_eq!(paginate_recent(&second, 2), pages_before_2);
+
+    // and the recovered stack is live: new durable writes are accepted
+    let mut session = Session::new();
+    post_thought(&second, &mut session, 3, 4_000_000_000, "after recovery");
+    let rows: usize = paginate_recent(&second, 3).iter().map(Vec::len).sum();
+    assert!(rows > 0);
+    second.close();
+}
+
+/// Acknowledged-write durability: writers hammer the stack concurrently,
+/// the process "dies" mid-workload, and every DML that was acknowledged
+/// strictly before the crash must be present after recovery.
+#[test]
+fn no_acknowledged_write_is_lost_across_a_crash() {
+    let dir = test_dir("acked");
+    let stack = Arc::new(open(&dir, 1_000_000.0));
+
+    const WRITERS: usize = 8;
+    const CAP: i64 = 1200; // keeps the per-writer key range under RECENT_WIDE's LIMIT
+    let crashed = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for w in 0..WRITERS {
+        let stack = stack.clone();
+        let crashed = crashed.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut session = Session::new();
+            let mut acked: i64 = 0;
+            for i in 0..CAP {
+                let mut params = Params::new();
+                params.set(0, Value::Varchar(scadr::username(w)));
+                params.set(1, Value::Timestamp(5_000_000_000 + i));
+                params.set(2, Value::Varchar(format!("w{w}-{i}")));
+                if stack
+                    .registry
+                    .execute_dml(&mut session, POST_THOUGHT, &params)
+                    .is_err()
+                {
+                    break;
+                }
+                // count the write as acknowledged only if the crash flag
+                // was still clear when the acknowledgement came back: the
+                // flag is raised before the simulated kill, so such an ack
+                // can only have come from a completed group commit
+                if crashed.load(Ordering::SeqCst) {
+                    break;
+                }
+                acked = i + 1;
+            }
+            acked
+        }));
+    }
+
+    std::thread::sleep(std::time::Duration::from_millis(80));
+    crashed.store(true, Ordering::SeqCst);
+    stack.simulate_crash();
+    let acked: Vec<i64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let total: i64 = acked.iter().sum();
+    assert!(total > 0, "writers must have landed some acks: {acked:?}");
+    drop(stack);
+
+    let recovered = open(&dir, 1_000_000.0);
+    recovered
+        .registry
+        .register(
+            "recent_wide",
+            "SELECT * FROM thoughts WHERE owner = <u> ORDER BY timestamp DESC LIMIT 1500",
+        )
+        .unwrap();
+    let mut session = Session::new();
+    for (w, &n) in acked.iter().enumerate() {
+        let result = recovered
+            .registry
+            .execute(&mut session, "recent_wide", &user_params(w), None)
+            .unwrap();
+        let present: std::collections::BTreeSet<i64> = result
+            .rows
+            .iter()
+            .filter_map(|row| match row.get(1) {
+                Some(Value::Timestamp(ts)) => Some(*ts - 5_000_000_000),
+                _ => None,
+            })
+            .collect();
+        for i in 0..n {
+            assert!(
+                present.contains(&i),
+                "writer {w}: write {i} was acknowledged before the crash \
+                 (acked through {n}) but is missing after recovery"
+            );
+        }
+    }
+    recovered.close();
+}

@@ -8,20 +8,35 @@
 //! — same process, no restart.
 //!
 //! Run with: `cargo run --example serve`
+//!
+//! Pass `--data-dir <path>` to run the durable flavor: data, prepared
+//! statements, and live-trained models are journaled to a write-ahead log
+//! with group commit, and a second run against the same directory recovers
+//! everything and re-validates admissions at boot.
 
 use piql::engine::Database;
 use piql::kv::{LiveCluster, LiveConfig};
 use piql::Value;
 use piql_server::testkit::linear_predictor;
-use piql_server::{decode_page, Client, Json, PiqlServer, Request, SloConfig};
+use piql_server::{
+    decode_page, open_durable, Client, DurableOptions, Json, PiqlServer, Request, SloConfig,
+};
 use piql_workloads::scadr::{self, ScadrConfig};
 use std::sync::Arc;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // -- a wall-clock store with the SCADr schema and a little data
-    let cluster = Arc::new(LiveCluster::new(LiveConfig::default()));
-    let db = Arc::new(Database::new(cluster.clone()));
+    let mut args = std::env::args().skip(1);
+    let mut data_dir: Option<std::path::PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--data-dir" => {
+                data_dir = Some(args.next().ok_or("--data-dir needs a path")?.into());
+            }
+            other => return Err(format!("unknown argument '{other}'").into()),
+        }
+    }
+
     let config = ScadrConfig {
         users_per_node: 100,
         thoughts_per_user: 15,
@@ -29,25 +44,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_subscriptions: 100,
         ..Default::default()
     };
-    let n_users = scadr::setup(&db, &config, 2)?;
-    println!(
-        "loaded SCADr: {n_users} users on a live sharded store \
-         ({} round fan-out workers shared by all sessions)\n",
-        cluster.pool().worker_count()
-    );
-
     // -- the service: 80ms p99 SLO, operator costs from a linear model
     // (a deployment would train these against its own store, §6.1)
-    let mut server = PiqlServer::start(
-        db,
-        linear_predictor(200, 100, 3),
-        SloConfig {
-            slo_ms: 80.0,
-            interval_confidence: 1.0,
-            allow_degrade: true,
-        },
-        "127.0.0.1:0",
-    )?;
+    let slo = SloConfig {
+        slo_ms: 80.0,
+        interval_confidence: 1.0,
+        allow_degrade: true,
+    };
+
+    // -- a wall-clock store with the SCADr schema and a little data;
+    // with `--data-dir`, everything below survives a `kill -9`
+    let (cluster, mut server, stack) = if let Some(dir) = data_dir {
+        let mut opts = DurableOptions::new(&dir);
+        opts.slo = slo;
+        let bootstrap_config = config.clone();
+        let stack = open_durable(opts, linear_predictor(200, 100, 3), move |db| {
+            scadr::setup(db, &bootstrap_config, 2).map(|_| ())
+        })?;
+        let r = &stack.report;
+        println!(
+            "durable store at {}: generation {}, snapshot {} ({} entries), \
+             {} WAL record(s) replayed, {} statement(s), {} DDL, \
+             {} model rotation(s) — recovered in {}ms",
+            dir.display(),
+            r.generation,
+            if r.snapshot_loaded { "loaded" } else { "none" },
+            r.snapshot_entries,
+            r.wal_records,
+            r.statements,
+            r.ddl,
+            r.model_rotations,
+            r.duration_ms,
+        );
+        for re in &stack.readmissions {
+            println!("  re-admitted '{}': {}", re.name, re.verdict);
+        }
+        println!();
+        let server = PiqlServer::start_with_registry(stack.registry.clone(), "127.0.0.1:0")?;
+        (stack.cluster.clone(), server, Some(stack))
+    } else {
+        let cluster = Arc::new(LiveCluster::new(LiveConfig::default()));
+        let db = Arc::new(Database::new(cluster.clone()));
+        let n_users = scadr::setup(&db, &config, 2)?;
+        println!(
+            "loaded SCADr: {n_users} users on a live sharded store \
+             ({} round fan-out workers shared by all sessions)\n",
+            cluster.pool().worker_count()
+        );
+        let server = PiqlServer::start(db, linear_predictor(200, 100, 3), slo, "127.0.0.1:0")?;
+        (cluster, server, None)
+    };
     // live samples fold back into the models periodically; the period is
     // long so this demo's forced `revalidate` below owns the scripted
     // sweep (a background tick landing mid-script would drain the samples
@@ -225,6 +271,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .and_then(Json::as_i64)
             .unwrap_or(0),
     );
+
+    // -- durable mode: checkpoint over the wire, then shut down cleanly.
+    // Run again with the same --data-dir: same data, same predictions,
+    // zero re-registration.
+    if let Some(stack) = stack {
+        // what persists is the *live* model state, so a restarted server
+        // would re-admit find_user against the drifted models and reject
+        // it at boot. Let the cleared drift rotate out first, so the
+        // checkpointed prediction is the recovered one.
+        for _ in 0..3 {
+            for _ in 0..3 {
+                client.execute(
+                    "find_user",
+                    &[Value::Varchar(scadr::username(42)).into()],
+                    None,
+                )?;
+            }
+            client.revalidate()?;
+        }
+        let summary = client.snapshot()?;
+        println!(
+            "snapshot: generation {} — {} entries, {} bytes ({} WAL bytes compacted away)",
+            summary
+                .get("generation")
+                .and_then(Json::as_i64)
+                .unwrap_or(0),
+            summary.get("entries").and_then(Json::as_i64).unwrap_or(0),
+            summary.get("bytes").and_then(Json::as_i64).unwrap_or(0),
+            summary
+                .get("compacted_wal_bytes")
+                .and_then(Json::as_i64)
+                .unwrap_or(0),
+        );
+        if let Some(d) = client.stats()?.get("durability") {
+            println!(
+                "durability health: policy={} wal_bytes={} records_since_snapshot={}",
+                d.get("policy").and_then(Json::as_str).unwrap_or("?"),
+                d.get("wal_bytes").and_then(Json::as_i64).unwrap_or(0),
+                d.get("wal_records").and_then(Json::as_i64).unwrap_or(0),
+            );
+        }
+        stack.close();
+    }
     Ok(())
 }
 
