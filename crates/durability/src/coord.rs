@@ -104,6 +104,9 @@ pub struct SnapshotSummary {
 pub struct DurabilityHealth {
     pub generation: u64,
     pub policy: &'static str,
+    /// True once the WAL has hit an I/O error (or was abandoned): writes
+    /// still apply in memory but are no longer durable.
+    pub dead: bool,
     /// Bytes in the current WAL segment (records since last snapshot).
     pub wal_bytes: u64,
     /// Records appended since the last snapshot.
@@ -388,7 +391,14 @@ impl Durability {
                     WalRecord::Delete { ns, key } => {
                         recovered.kv_tail.push(KvOp::Delete { ns, key })
                     }
-                    WalRecord::Ddl { sql } => recovered.ddl.push(sql),
+                    WalRecord::Ddl { sql } => {
+                        // logs written before deduplication may carry
+                        // repeats; DDL is append-only, so replaying the
+                        // first occurrence re-derives the same state
+                        if !recovered.ddl.contains(&sql) {
+                            recovered.ddl.push(sql);
+                        }
+                    }
                     WalRecord::StatementUpsert { name, sql } => {
                         recovered.statements.insert(name, sql);
                     }
@@ -445,32 +455,55 @@ impl Durability {
     }
 
     /// Journal a DDL statement (call after it executed successfully).
+    ///
+    /// The mirror is deduplicated: DDL is append-only (`CREATE TABLE` /
+    /// `CREATE INDEX`, no drops), so re-executing a statement whose exact
+    /// text is already journaled re-derives the same catalog state on
+    /// replay — journaling it again would only grow every future snapshot
+    /// and recovery. This bounds the DDL section by the catalog size
+    /// instead of the server's lifetime; it must be revisited if DDL ever
+    /// grows non-idempotent forms. The append happens under the mirror
+    /// lock so journal order always matches mirror order.
     pub fn log_ddl(&self, sql: &str) {
-        self.ddl.lock().push(sql.to_string());
-        self.wal.append(&WalRecord::Ddl {
-            sql: sql.to_string(),
-        });
+        {
+            let mut ddl = self.ddl.lock();
+            if ddl.iter().any(|s| s == sql) {
+                return;
+            }
+            ddl.push(sql.to_string());
+            self.wal.append(&WalRecord::Ddl {
+                sql: sql.to_string(),
+            });
+        }
         self.wal.commit();
     }
 
-    /// Journal a statement registration (upsert semantics).
+    /// Journal a statement registration (upsert semantics). The append
+    /// happens under the mirror lock so two racing upserts of the same
+    /// name can never journal in the opposite order to the mirror state a
+    /// checkpoint would capture.
     pub fn log_statement_upsert(&self, name: &str, sql: &str) {
-        self.statements
-            .lock()
-            .insert(name.to_string(), sql.to_string());
-        self.wal.append(&WalRecord::StatementUpsert {
-            name: name.to_string(),
-            sql: sql.to_string(),
-        });
+        {
+            let mut statements = self.statements.lock();
+            statements.insert(name.to_string(), sql.to_string());
+            self.wal.append(&WalRecord::StatementUpsert {
+                name: name.to_string(),
+                sql: sql.to_string(),
+            });
+        }
         self.wal.commit();
     }
 
-    /// Journal a statement removal.
+    /// Journal a statement removal (append under the mirror lock, like
+    /// [`Durability::log_statement_upsert`]).
     pub fn log_statement_drop(&self, name: &str) {
-        self.statements.lock().remove(name);
-        self.wal.append(&WalRecord::StatementDrop {
-            name: name.to_string(),
-        });
+        {
+            let mut statements = self.statements.lock();
+            statements.remove(name);
+            self.wal.append(&WalRecord::StatementDrop {
+                name: name.to_string(),
+            });
+        }
         self.wal.commit();
     }
 
@@ -553,9 +586,10 @@ impl Durability {
         self.wal.counters().segment_bytes >= self.config.snapshot_wal_bytes
     }
 
-    /// Force everything appended so far to stable storage.
-    pub fn sync(&self) {
-        self.wal.commit();
+    /// Force everything appended so far to stable storage. Returns
+    /// `false` when the log died before the barrier was reached.
+    pub fn sync(&self) -> bool {
+        self.wal.commit()
     }
 
     /// Graceful shutdown: flush and stop the committer.
@@ -602,6 +636,7 @@ impl Durability {
         DurabilityHealth {
             generation: self.generation(),
             policy: self.config.policy.name(),
+            dead: self.wal.is_dead(),
             wal_bytes: counters.segment_bytes,
             wal_records: counters.segment_records,
             commits: counters.commits,
@@ -643,7 +678,7 @@ impl WalSink for Durability {
         });
     }
 
-    fn commit(&self) {
-        self.wal.commit();
+    fn commit(&self) -> bool {
+        self.wal.commit()
     }
 }

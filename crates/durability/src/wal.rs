@@ -251,7 +251,7 @@ impl Wal {
 
     fn committer_loop(&self) {
         loop {
-            let (chunk, target) = {
+            let (chunk, target, mut s) = {
                 let mut p = self.pending.lock().unwrap();
                 while p.buf.is_empty()
                     && !self.shutdown.load(Ordering::Acquire)
@@ -266,17 +266,22 @@ impl Wal {
                     // shutdown with nothing left to flush
                     return;
                 }
-                // the watermark target is the LSN at the moment we took
-                // the buffer: everything in `chunk` is below it
-                (
-                    std::mem::take(&mut p.buf),
-                    self.appended.load(Ordering::Acquire),
-                )
+                // Take the sink *before* releasing `pending` (the same
+                // pending→sink order `rotate_to` uses). A rotation can
+                // therefore never slip between taking the chunk and
+                // writing it: it would sync the old file without the
+                // chunk, swap segments, and publish a watermark covering
+                // LSNs that exist only in this thread's memory — losing
+                // acknowledged writes on a crash and spilling old-segment
+                // records into the new file. The watermark target is the
+                // LSN at the moment the buffer is taken: everything in
+                // `chunk` is below it.
+                let chunk = std::mem::take(&mut p.buf);
+                let target = self.appended.load(Ordering::Acquire);
+                (chunk, target, self.sink.lock().unwrap())
             };
-            let result = {
-                let mut s = self.sink.lock().unwrap();
-                s.file.write_all(&chunk).and_then(|_| s.file.sync_data())
-            };
+            let result = s.file.write_all(&chunk).and_then(|_| s.file.sync_data());
+            drop(s);
             self.fsyncs.fetch_add(1, Ordering::Relaxed);
             if let Err(e) = result {
                 // a failing log device voids the durability guarantee;
@@ -348,18 +353,26 @@ impl Wal {
 
     /// Block until every record appended before this call is durable —
     /// the barrier [`piql_kv::WalSink::commit`] maps to. Concurrent
-    /// callers coalesce onto the committer's next fsync.
-    pub fn commit(&self) {
+    /// callers coalesce onto the committer's next fsync. Returns `false`
+    /// when the log died before the barrier was reached: the records are
+    /// *not* durable and the caller must not acknowledge them as such.
+    pub fn commit(&self) -> bool {
         self.commits.fetch_add(1, Ordering::Relaxed);
-        self.wait_durable(self.appended.load(Ordering::Acquire));
+        let reached = self.wait_durable(self.appended.load(Ordering::Acquire));
+        // a dead log dropped appends at the door without advancing the
+        // barrier LSN, so reaching the watermark proves nothing — once
+        // dead, no commit may report durability
+        reached && !self.dead.load(Ordering::Acquire)
     }
 
-    /// Block until the watermark reaches `lsn` (or the log dies).
-    pub fn wait_durable(&self, lsn: u64) {
+    /// Block until the watermark reaches `lsn` (or the log dies). Returns
+    /// whether the watermark actually got there.
+    pub fn wait_durable(&self, lsn: u64) -> bool {
         let mut d = self.durable.lock().unwrap();
         while *d < lsn && !self.dead.load(Ordering::Acquire) {
             d = self.durable_cv.wait(d).unwrap();
         }
+        *d >= lsn
     }
 
     /// The durable watermark (reporting).
@@ -375,7 +388,10 @@ impl Wal {
     pub fn rotate_to(&self, new_path: &Path) -> io::Result<()> {
         // holding `pending` blocks group-commit appenders for the whole
         // swap; holding `sink` blocks sync-each appenders and waits out
-        // an in-flight committer write
+        // an in-flight committer write. The committer acquires sink
+        // before releasing pending, so once both locks are held here no
+        // chunk can be in flight: the watermark published below only
+        // covers bytes this call has actually synced.
         let mut p = self.pending.lock().unwrap();
         let chunk = std::mem::take(&mut p.buf);
         let target = self.appended.load(Ordering::Acquire);
@@ -570,6 +586,79 @@ mod tests {
         let tail = read_wal(&new).unwrap();
         assert_eq!(tail.records.len(), 3);
         assert_eq!(tail.records[0], put(5));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_concurrent_with_group_commit_keeps_lsn_layout() {
+        // Regression: the committer used to release `pending` before
+        // taking `sink`, so a rotation could sneak between the two, sync
+        // the old segment *without* the in-flight chunk, publish a
+        // watermark covering the chunk's LSNs (acknowledging writes that
+        // existed only in committer memory), and leave the chunk to be
+        // written into the freshly rotated segment. With consistent
+        // pending→sink ordering every acknowledged byte sits exactly at
+        // its returned LSN in the on-disk layout.
+        let dir = temp("rotate-race");
+        let wal = Wal::open(&dir.join("wal-0.log"), 0, 0, SyncPolicy::GroupCommit).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let wal = Arc::clone(&wal);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut acked = Vec::new(); // (record id, end LSN)
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Acquire) {
+                        let id = t * 1_000_000 + i;
+                        let lsn = wal.append(&put(id));
+                        assert!(wal.wait_durable(lsn), "log died mid-test");
+                        acked.push((id, lsn));
+                        i += 1;
+                    }
+                    acked
+                })
+            })
+            .collect();
+        let mut last_gen = 0u64;
+        for _ in 0..40 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            last_gen += 1;
+            wal.rotate_to(&dir.join(format!("wal-{last_gen}.log")))
+                .unwrap();
+        }
+        stop.store(true, Ordering::Release);
+        let mut acked = std::collections::HashMap::new();
+        for t in threads {
+            for (id, lsn) in t.join().unwrap() {
+                acked.insert(id, lsn);
+            }
+        }
+        wal.close();
+        // replay all segments in order and recompute each record's global
+        // end offset; it must equal the LSN its appender was acknowledged
+        // at, and every acknowledged record must be present
+        let mut offset = 0u64;
+        let mut seen = 0usize;
+        for g in 0..=last_gen {
+            let contents = read_wal(&dir.join(format!("wal-{g}.log"))).unwrap();
+            assert!(contents.tail.is_clean());
+            for rec in &contents.records {
+                offset += HEADER as u64 + rec.encode().len() as u64;
+                let WalRecord::Put { key, .. } = rec else {
+                    panic!("unexpected record type in test log")
+                };
+                let id = u64::from_be_bytes(key[..8].try_into().unwrap());
+                if let Some(lsn) = acked.get(&id) {
+                    assert_eq!(
+                        offset, *lsn,
+                        "record {id} is on disk at offset {offset}, not its acknowledged LSN"
+                    );
+                    seen += 1;
+                }
+            }
+        }
+        assert_eq!(seen, acked.len(), "acknowledged records missing from disk");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -332,6 +332,56 @@ fn cluster_put(cluster: &LiveCluster, d: &Arc<Durability>, key: &str, value: &st
     );
 }
 
+/// A dead log must not let write rounds keep acknowledging as durable:
+/// the cluster latches `wal_degraded` the first time a commit barrier
+/// fails, so the serving layer can surface the degradation instead of
+/// silently serving a store that no longer survives a restart.
+#[test]
+fn dead_wal_latches_the_degraded_flag() {
+    let dir = test_dir("degraded");
+    let cluster = LiveCluster::new(LiveConfig {
+        shards_per_namespace: 4,
+        pool_threads: 0,
+        request_delay_us: 0,
+    });
+    let (_, d) = open(&dir);
+    cluster.attach_wal(d.clone());
+    let ns = cluster.namespace("t:users");
+    let mut session = Session::new();
+    cluster.execute_round(
+        &mut session,
+        vec![KvRequest::Put {
+            ns,
+            key: b"a".to_vec(),
+            value: b"1".to_vec(),
+        }],
+    );
+    assert!(!cluster.wal_degraded(), "healthy log");
+    d.simulate_crash();
+    cluster.execute_round(
+        &mut session,
+        vec![KvRequest::Put {
+            ns,
+            key: b"b".to_vec(),
+            value: b"2".to_vec(),
+        }],
+    );
+    assert!(
+        cluster.wal_degraded(),
+        "a failed commit barrier must latch the degradation"
+    );
+    // the flag stays latched across later (read-only) rounds
+    cluster.execute_round(
+        &mut session,
+        vec![KvRequest::Get {
+            ns,
+            key: b"a".to_vec(),
+        }],
+    );
+    assert!(cluster.wal_degraded());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// A bootstrap that creates namespaces in a different order than the
 /// recorded ids must be detected, not silently mis-applied.
 #[test]

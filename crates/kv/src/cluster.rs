@@ -179,6 +179,13 @@ pub trait KvStore: Send + Sync {
     fn drain_samples(&self) -> Vec<crate::sample::OpSample> {
         Vec::new()
     }
+    /// True once an attached write-ahead sink has failed a commit barrier:
+    /// writes still apply in memory but are no longer durable, and the
+    /// serving layer must stop acknowledging them as such. Backends
+    /// without a WAL never degrade.
+    fn wal_degraded(&self) -> bool {
+        false
+    }
 }
 
 /// The simulated cluster.

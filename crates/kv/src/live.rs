@@ -47,7 +47,7 @@ use crate::wal::WalSink;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::ops::Bound;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -539,6 +539,9 @@ pub struct LiveCluster {
     sink: LiveSampleSink,
     /// Attached write-ahead sink, if any (see [`LiveCluster::attach_wal`]).
     wal: RwLock<Option<Arc<dyn WalSink>>>,
+    /// Latched when the attached sink fails a commit barrier: durability
+    /// has silently become memory-only and acknowledgements must say so.
+    wal_degraded: AtomicBool,
     pub stats: Arc<LiveStats>,
 }
 
@@ -567,6 +570,7 @@ impl LiveCluster {
             pool,
             sink: LiveSampleSink::default(),
             wal: RwLock::new(None),
+            wal_degraded: AtomicBool::new(false),
             stats: Arc::new(LiveStats::default()),
         }
     }
@@ -591,6 +595,8 @@ impl LiveCluster {
             }));
         }
         *self.wal.write() = Some(sink);
+        // a fresh sink starts with its durability guarantee intact
+        self.wal_degraded.store(false, Ordering::Release);
     }
 
     /// Detach the write-ahead sink (crash simulation and shutdown): later
@@ -601,6 +607,14 @@ impl LiveCluster {
             self.ns_data(*id).set_wal(None);
         }
         *self.wal.write() = None;
+        self.wal_degraded.store(false, Ordering::Release);
+    }
+
+    /// True once the attached write-ahead sink has failed a commit
+    /// barrier: writes from that point on apply in memory only. Latched
+    /// until a (fresh) sink is attached. See [`KvStore::wal_degraded`].
+    pub fn wal_degraded(&self) -> bool {
+        self.wal_degraded.load(Ordering::Acquire)
     }
 
     /// Change the injected per-request service time of a *running* cluster.
@@ -876,7 +890,13 @@ impl KvStore for LiveCluster {
         if has_write {
             let sink = self.wal.read().clone();
             if let Some(sink) = sink {
-                sink.commit();
+                if !sink.commit() {
+                    // the log died: these writes exist in memory only.
+                    // Latch the degradation so the serving layer can fail
+                    // (or flag) write acknowledgements instead of silently
+                    // serving a store that no longer survives a restart.
+                    self.wal_degraded.store(true, Ordering::Release);
+                }
             }
         }
         // advance to wall-clock completion (monotonic per session even if
@@ -924,6 +944,10 @@ impl KvStore for LiveCluster {
 
     fn drain_samples(&self) -> Vec<OpSample> {
         self.sink.drain()
+    }
+
+    fn wal_degraded(&self) -> bool {
+        LiveCluster::wal_degraded(self)
     }
 }
 

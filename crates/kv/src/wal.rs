@@ -17,9 +17,13 @@
 //!   contained at least one write, *before* the round is acknowledged to
 //!   the session. This is the durability barrier: block until every
 //!   record appended so far is on stable storage (group commit
-//!   implementations coalesce concurrent callers into one fsync). Bulk
-//!   loads (`bulk_put`) append without a barrier — they are recovery or
-//!   seed traffic, made durable by the next commit or snapshot.
+//!   implementations coalesce concurrent callers into one fsync) and
+//!   report whether the barrier was actually reached — a sink whose
+//!   backing log has failed returns `false`, and the store latches that
+//!   into [`LiveCluster::wal_degraded`](crate::LiveCluster) so the
+//!   serving layer can stop acknowledging writes as durable. Bulk loads
+//!   (`bulk_put`) append without a barrier — they are recovery or seed
+//!   traffic, made durable by the next commit or snapshot.
 //!
 //! The trait lives in `piql-kv` (not `piql-durability`) so the store has
 //! no dependency on the durability crate; a cluster with no sink attached
@@ -39,6 +43,8 @@ pub trait WalSink: Send + Sync {
     fn append_put(&self, ns: NsId, key: &[u8], value: &[u8]);
     /// `key` in `ns` is now absent.
     fn append_delete(&self, ns: NsId, key: &[u8]);
-    /// Block until everything appended so far is durable.
-    fn commit(&self);
+    /// Block until everything appended so far is durable. Returns `false`
+    /// when the sink can no longer make the barrier durable (its backing
+    /// log is dead) — the caller must not treat the writes as durable.
+    fn commit(&self) -> bool;
 }

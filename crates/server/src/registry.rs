@@ -524,7 +524,13 @@ impl<S: KvStore> StatementRegistry<S> {
     }
 
     fn uninstall(&self, name: &str) {
-        let removed = self.statements.write().remove(name).is_some();
+        // the journal append happens while the statements write lock is
+        // still held: two racing (un)registrations of the same name must
+        // journal in the same order their map updates land, or replay
+        // could resurrect the losing statement. Registration is a rare
+        // control-plane operation, so the fsync-length hold is acceptable.
+        let mut statements = self.statements.write();
+        let removed = statements.remove(name).is_some();
         // journal only transitions: dropping a name that was never
         // executable would bloat the log with no-op records
         if removed {
@@ -561,7 +567,10 @@ impl<S: KvStore> StatementRegistry<S> {
             executions: AtomicU64::new(0),
             metrics: Mutex::new(RunMetrics::bounded(METRICS_CAPACITY)),
         });
-        self.statements.write().insert(name.to_string(), statement);
+        // journal while still holding the write lock so journal order
+        // matches map-state order (see `uninstall`)
+        let mut statements = self.statements.write();
+        statements.insert(name.to_string(), statement);
         if let Some(journal) = self.journal.read().as_ref() {
             journal.upserted(name, sql);
         }

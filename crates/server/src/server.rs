@@ -541,6 +541,14 @@ pub fn handle_request<S: KvStore>(
         Request::Dml { sql, params } => {
             let p = build_params(params);
             match registry.execute_dml(session, sql, &p) {
+                // a dead WAL voids the durability guarantee: the write
+                // applied in memory, but acknowledging it as a success
+                // would silently promise durability the store can no
+                // longer provide — answer an error the client can see
+                // (the `stats` durability block reports `wal_dead` too)
+                Ok(()) if registry.db().cluster().wal_degraded() => err_response(
+                    "write-ahead log has failed: the write applied in memory but is not durable",
+                ),
                 Ok(()) => ok_response([]),
                 Err(e) => err_response(e.to_string()),
             }
@@ -602,6 +610,7 @@ fn durability_to_json(health: &piql_durability::DurabilityHealth) -> Json {
     Json::obj([
         ("generation", Json::Int(health.generation as i64)),
         ("policy", Json::str(health.policy)),
+        ("wal_dead", Json::Bool(health.dead)),
         ("wal_bytes", Json::Int(health.wal_bytes as i64)),
         ("wal_records", Json::Int(health.wal_records as i64)),
         ("commits", Json::Int(health.commits as i64)),

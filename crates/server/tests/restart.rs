@@ -242,6 +242,54 @@ fn restart_preserves_data_statements_and_predictions() {
     second.close();
 }
 
+/// Once the WAL is dead, the wire protocol must stop acknowledging DML:
+/// the write still applies in memory, but the response is an error (and
+/// the `stats` durability block reports `wal_dead`) — durability never
+/// silently degrades to memory-only.
+#[test]
+fn dead_wal_fails_dml_acknowledgements() {
+    use piql_core::plan::params::ParamValue;
+    use piql_server::protocol::Request;
+    use piql_server::server::handle_request;
+    use piql_server::Json;
+
+    let dir = test_dir("deadwal");
+    let stack = open(&dir, 1_000_000.0);
+    let mut session = Session::new();
+    let dml = |user: usize, ts: i64| Request::Dml {
+        sql: POST_THOUGHT.to_string(),
+        params: vec![
+            ParamValue::Scalar(Value::Varchar(scadr::username(user))),
+            ParamValue::Scalar(Value::Timestamp(ts)),
+            ParamValue::Scalar(Value::Varchar("t".to_string())),
+        ],
+    };
+
+    let healthy = handle_request(&dml(0, 1), &mut session, &stack.registry);
+    assert_eq!(healthy.get("ok").and_then(Json::as_bool), Some(true));
+    let stats = handle_request(&Request::Stats, &mut session, &stack.registry);
+    let wal_dead = |stats: &Json| {
+        stats
+            .get("durability")
+            .and_then(|d| d.get("wal_dead"))
+            .and_then(Json::as_bool)
+    };
+    assert_eq!(wal_dead(&stats), Some(false));
+
+    stack.simulate_crash();
+
+    let degraded = handle_request(&dml(0, 2), &mut session, &stack.registry);
+    assert_eq!(
+        degraded.get("ok").and_then(Json::as_bool),
+        Some(false),
+        "a non-durable write must not be acknowledged: {degraded}"
+    );
+    let error = degraded.get("error").and_then(Json::as_str).unwrap_or("");
+    assert!(error.contains("not durable"), "got: {error}");
+    let stats = handle_request(&Request::Stats, &mut session, &stack.registry);
+    assert_eq!(wal_dead(&stats), Some(true));
+}
+
 /// Acknowledged-write durability: writers hammer the stack concurrently,
 /// the process "dies" mid-workload, and every DML that was acknowledged
 /// strictly before the crash must be present after recovery.
