@@ -1,0 +1,143 @@
+//! Wire codec shoot-out — binary v3 vs JSON v2 point-read throughput.
+//!
+//! One `LiveCluster`-backed `piql-server`, two clients doing the same
+//! pipelined point reads: a v2 (newline-JSON) client on the dispatch-lane
+//! path and a v3 (binary) client on the allocation-free inline fast path.
+//! The acceptance bar for the v3 work is **≥ 2×** v2 throughput; the
+//! measured numbers are published to `BENCH_wire.json` at the repo root
+//! (consumed by the CI wire-bench job).
+//!
+//! `PIQL_QUICK=1` shrinks the run (the ratio assertion still applies).
+
+use piql_bench::{header, quick, row, scaled};
+use piql_core::plan::params::ParamValue;
+use piql_core::value::Value;
+use piql_engine::Database;
+use piql_kv::{LiveCluster, LiveConfig};
+use piql_server::testkit::linear_predictor;
+use piql_server::{Client, PiqlServer, SloConfig};
+use piql_workloads::scadr::{self, ScadrConfig};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+const POINT: &str = "SELECT * FROM users WHERE username = <u>";
+/// Requests per pipeline flush: deep enough to amortize the round trip,
+/// shallow enough to keep both sides' buffers resident.
+const PIPELINE_DEPTH: usize = 128;
+
+fn start_server() -> (PiqlServer, usize) {
+    let cluster = Arc::new(LiveCluster::new(LiveConfig::default()));
+    let db = Arc::new(Database::new(cluster));
+    let config = ScadrConfig {
+        users_per_node: 200,
+        thoughts_per_user: 5,
+        subscriptions_per_user: 4,
+        ..Default::default()
+    };
+    let n_users = scadr::setup(&db, &config, 4).unwrap();
+    let server = PiqlServer::start(
+        db,
+        linear_predictor(200, 100, 2),
+        SloConfig {
+            slo_ms: 1e9,
+            interval_confidence: 1.0,
+            allow_degrade: false,
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    (server, n_users)
+}
+
+fn uname(i: usize, n_users: usize) -> Vec<ParamValue> {
+    vec![Value::Varchar(scadr::username(i % n_users)).into()]
+}
+
+/// Drive `total` pipelined point reads and return queries/second.
+fn drive(client: &mut Client, total: u64, n_users: usize) -> f64 {
+    let t0 = Instant::now();
+    let mut sent = 0usize;
+    while (sent as u64) < total {
+        let batch = PIPELINE_DEPTH.min((total - sent as u64) as usize);
+        let mut pipeline = client.pipeline();
+        for i in 0..batch {
+            pipeline.queue_execute("point", &uname(sent + i, n_users));
+        }
+        let responses = pipeline.flush().unwrap();
+        assert_eq!(responses.len(), batch);
+        sent += batch;
+    }
+    sent as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    header(
+        "wire",
+        "binary wire protocol v3 (zero-allocation hot path)",
+        "pipelined point-read throughput, JSON v2 vs binary v3, one server",
+    );
+    let (server, n_users) = start_server();
+    let addr = server.local_addr();
+    let total = scaled(120_000, 4_000);
+
+    let mut v2 = Client::connect(addr).unwrap();
+    v2.prepare("point", POINT).unwrap();
+    let mut v3 = Client::connect_binary(addr).unwrap();
+
+    // interleave a warm-up for both codecs before timing either
+    drive(&mut v2, total / 10, n_users);
+    drive(&mut v3, total / 10, n_users);
+
+    let fast_before = server
+        .registry()
+        .counters
+        .fast_point_reads
+        .load(Ordering::Relaxed);
+    let v2_qps = drive(&mut v2, total, n_users);
+    let v3_qps = drive(&mut v3, total, n_users);
+    let fast_reads = server
+        .registry()
+        .counters
+        .fast_point_reads
+        .load(Ordering::Relaxed)
+        - fast_before;
+    let ratio = v3_qps / v2_qps;
+
+    row(&[
+        ("codec", "json-v2".into()),
+        ("requests", total.to_string()),
+        ("qps", format!("{v2_qps:.0}")),
+    ]);
+    row(&[
+        ("codec", "binary-v3".into()),
+        ("requests", total.to_string()),
+        ("qps", format!("{v3_qps:.0}")),
+        ("fast_point_reads", fast_reads.to_string()),
+    ]);
+    row(&[("ratio_v3_over_v2", format!("{ratio:.2}"))]);
+
+    // every timed v3 request must have taken the fast path
+    assert_eq!(fast_reads, total, "v3 reads bypassed the fast path");
+
+    let json = format!(
+        "{{\n  \"bench\": \"wire\",\n  \"quick\": {},\n  \"requests_per_codec\": {},\n  \
+         \"pipeline_depth\": {},\n  \"json_v2_qps\": {:.0},\n  \"binary_v3_qps\": {:.0},\n  \
+         \"ratio_v3_over_v2\": {:.2}\n}}\n",
+        quick(),
+        total,
+        PIPELINE_DEPTH,
+        v2_qps,
+        v3_qps,
+        ratio
+    );
+    let out = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_wire.json");
+    std::fs::write(&out, json).unwrap();
+    eprintln!("wrote {}", out.display());
+
+    assert!(
+        ratio >= 2.0,
+        "binary v3 must be >= 2x JSON v2 on point reads (got {ratio:.2}x: \
+         v2 {v2_qps:.0} qps, v3 {v3_qps:.0} qps)"
+    );
+}

@@ -20,7 +20,7 @@
 //! while preserving the order of the components around it. This is how
 //! `ORDER BY timestamp DESC` becomes a forward scan of a composite index.
 
-use crate::value::{DataType, Value};
+use crate::value::{DataType, Value, ValueRef};
 use std::fmt;
 
 /// Sort direction of one key component.
@@ -76,22 +76,33 @@ const TAG_VALUE: u8 = 0x01;
 
 /// Append one value to `out` with the given direction.
 pub fn encode_component(out: &mut Vec<u8>, value: &Value, dir: Dir) -> Result<(), KeyCodecError> {
+    encode_component_ref(out, ValueRef::of(value), dir)
+}
+
+/// [`encode_component`] over a borrowed [`ValueRef`] — the allocation-free
+/// entry point the server's point-read hot path encodes probe keys with
+/// (values decoded straight out of a wire frame, no `Value` materialized).
+pub fn encode_component_ref(
+    out: &mut Vec<u8>,
+    value: ValueRef<'_>,
+    dir: Dir,
+) -> Result<(), KeyCodecError> {
     let start = out.len();
     match value {
-        Value::Null => out.push(TAG_NULL),
-        Value::Int(v) => {
+        ValueRef::Null => out.push(TAG_NULL),
+        ValueRef::Int(v) => {
             out.push(TAG_VALUE);
-            out.extend_from_slice(&((*v as u32) ^ 0x8000_0000).to_be_bytes());
+            out.extend_from_slice(&((v as u32) ^ 0x8000_0000).to_be_bytes());
         }
-        Value::BigInt(v) | Value::Timestamp(v) => {
+        ValueRef::BigInt(v) | ValueRef::Timestamp(v) => {
             out.push(TAG_VALUE);
-            out.extend_from_slice(&((*v as u64) ^ 0x8000_0000_0000_0000).to_be_bytes());
+            out.extend_from_slice(&((v as u64) ^ 0x8000_0000_0000_0000).to_be_bytes());
         }
-        Value::Bool(b) => {
+        ValueRef::Bool(b) => {
             out.push(TAG_VALUE);
-            out.push(*b as u8);
+            out.push(b as u8);
         }
-        Value::Varchar(s) => {
+        ValueRef::Varchar(s) => {
             out.push(TAG_VALUE);
             for &b in s.as_bytes() {
                 if b == 0x00 {
@@ -104,7 +115,7 @@ pub fn encode_component(out: &mut Vec<u8>, value: &Value, dir: Dir) -> Result<()
             out.push(0x00);
             out.push(TAG_VALUE); // terminator 0x00 0x01: below every escape pair
         }
-        Value::Double(_) => return Err(KeyCodecError::UnsupportedType(DataType::Double)),
+        ValueRef::Double(_) => return Err(KeyCodecError::UnsupportedType(DataType::Double)),
     }
     if dir == Dir::Desc {
         for b in &mut out[start..] {

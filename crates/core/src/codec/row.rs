@@ -8,7 +8,7 @@
 //! only used for values, never keys.
 
 use crate::tuple::Tuple;
-use crate::value::Value;
+use crate::value::{Value, ValueRef};
 use std::fmt;
 
 /// Errors raised while decoding rows.
@@ -158,6 +158,90 @@ pub fn decode_tuple(bytes: &[u8]) -> Result<Tuple, RowCodecError> {
     Ok(Tuple::new(values))
 }
 
+/// A streaming, allocation-free reader over one encoded tuple: yields each
+/// value as a borrowed [`ValueRef`] instead of materializing a [`Tuple`].
+/// The server's point-read hot path transcodes stored rows straight onto
+/// the wire through this.
+pub struct RowReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    remaining: usize,
+}
+
+impl<'a> RowReader<'a> {
+    /// Open a reader over `bytes` (an [`encode_tuple`] encoding); returns
+    /// the reader and the tuple's arity.
+    pub fn new(bytes: &'a [u8]) -> Result<(RowReader<'a>, usize), RowCodecError> {
+        let mut pos = 0usize;
+        let arity = read_varint(bytes, &mut pos)? as usize;
+        if arity > bytes.len() {
+            return Err(RowCodecError::Corrupt("implausible arity"));
+        }
+        Ok((
+            RowReader {
+                bytes,
+                pos,
+                remaining: arity,
+            },
+            arity,
+        ))
+    }
+
+    /// Decode the next value. Calling past the arity is a codec error.
+    pub fn next_value(&mut self) -> Result<ValueRef<'a>, RowCodecError> {
+        if self.remaining == 0 {
+            return Err(RowCodecError::Corrupt("read past arity"));
+        }
+        self.remaining -= 1;
+        let tag = *self
+            .bytes
+            .get(self.pos)
+            .ok_or(RowCodecError::Corrupt("missing tag"))?;
+        self.pos += 1;
+        let take = |this: &mut Self, n: usize| -> Result<&'a [u8], RowCodecError> {
+            let s = this
+                .bytes
+                .get(this.pos..this.pos + n)
+                .ok_or(RowCodecError::Corrupt("truncated value"))?;
+            this.pos += n;
+            Ok(s)
+        };
+        Ok(match tag {
+            T_NULL => ValueRef::Null,
+            T_INT => ValueRef::Int(i32::from_le_bytes(take(self, 4)?.try_into().unwrap())),
+            T_BIGINT => ValueRef::BigInt(i64::from_le_bytes(take(self, 8)?.try_into().unwrap())),
+            T_VARCHAR => {
+                let len = read_varint(self.bytes, &mut self.pos)? as usize;
+                let raw = take(self, len)?;
+                ValueRef::Varchar(
+                    std::str::from_utf8(raw)
+                        .map_err(|_| RowCodecError::Corrupt("invalid utf-8"))?,
+                )
+            }
+            T_BOOL_FALSE => ValueRef::Bool(false),
+            T_BOOL_TRUE => ValueRef::Bool(true),
+            T_TIMESTAMP => {
+                ValueRef::Timestamp(i64::from_le_bytes(take(self, 8)?.try_into().unwrap()))
+            }
+            T_DOUBLE => ValueRef::Double(f64::from_le_bytes(take(self, 8)?.try_into().unwrap())),
+            _ => return Err(RowCodecError::Corrupt("unknown tag")),
+        })
+    }
+
+    /// Verify the reader consumed the encoding exactly (all values read,
+    /// no trailing bytes) — the streaming analogue of [`decode_tuple`]'s
+    /// trailing-bytes check.
+    pub fn finish(self) -> Result<(), RowCodecError> {
+        if self.remaining != 0 {
+            return Err(RowCodecError::Corrupt("values left unread"));
+        }
+        if self.pos != self.bytes.len() {
+            return Err(RowCodecError::Corrupt("trailing bytes"));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +277,32 @@ mod tests {
         let mut enc2 = encode_tuple(&tuple![1]);
         enc2.push(0xAA);
         assert!(decode_tuple(&enc2).is_err());
+    }
+
+    #[test]
+    fn row_reader_streams_what_decode_tuple_decodes() {
+        let t = Tuple::new(vec![
+            Value::Null,
+            Value::Int(-1),
+            Value::BigInt(i64::MIN),
+            Value::Varchar("héllo\0world".into()),
+            Value::Bool(true),
+            Value::Timestamp(1_700_000_000_000_000),
+            Value::Double(std::f64::consts::PI),
+        ]);
+        let enc = encode_tuple(&t);
+        let (mut reader, arity) = RowReader::new(&enc).unwrap();
+        assert_eq!(arity, t.len());
+        let streamed: Vec<Value> = (0..arity)
+            .map(|_| reader.next_value().unwrap().to_value())
+            .collect();
+        assert_eq!(Tuple::new(streamed), t);
+        reader.finish().unwrap();
+        // truncation surfaces as an error mid-stream, never a panic
+        let cut = &enc[..enc.len() - 1];
+        let (mut reader, arity) = RowReader::new(cut).unwrap();
+        let result: Result<Vec<_>, _> = (0..arity).map(|_| reader.next_value()).collect();
+        assert!(result.is_err());
     }
 
     #[test]

@@ -25,4 +25,4 @@ pub use catalog::Catalog;
 pub use opt::{Compiled, Objective, OptError, Optimizer, QueryClass};
 pub use parser::{parse, parse_select, ParseError};
 pub use tuple::Tuple;
-pub use value::{DataType, Value};
+pub use value::{DataType, Value, ValueRef};

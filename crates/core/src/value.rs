@@ -207,6 +207,57 @@ impl Value {
     }
 }
 
+/// A borrowed view of a [`Value`] — what zero-copy decoders yield.
+///
+/// Scalar variants are plain copies; `Varchar` borrows the underlying
+/// bytes, so a codec can stream values out of an encoded buffer without
+/// allocating a `String` per field (the server's point-read hot path
+/// depends on this).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueRef<'a> {
+    Null,
+    Int(i32),
+    BigInt(i64),
+    Varchar(&'a str),
+    Bool(bool),
+    Timestamp(i64),
+    Double(f64),
+}
+
+impl<'a> ValueRef<'a> {
+    /// Borrow an owned [`Value`].
+    pub fn of(value: &'a Value) -> ValueRef<'a> {
+        match value {
+            Value::Null => ValueRef::Null,
+            Value::Int(v) => ValueRef::Int(*v),
+            Value::BigInt(v) => ValueRef::BigInt(*v),
+            Value::Varchar(s) => ValueRef::Varchar(s),
+            Value::Bool(b) => ValueRef::Bool(*b),
+            Value::Timestamp(v) => ValueRef::Timestamp(*v),
+            Value::Double(d) => ValueRef::Double(*d),
+        }
+    }
+
+    /// Promote to an owned [`Value`] (allocates for `Varchar`).
+    pub fn to_value(self) -> Value {
+        match self {
+            ValueRef::Null => Value::Null,
+            ValueRef::Int(v) => Value::Int(v),
+            ValueRef::BigInt(v) => Value::BigInt(v),
+            ValueRef::Varchar(s) => Value::Varchar(s.to_string()),
+            ValueRef::Bool(b) => Value::Bool(b),
+            ValueRef::Timestamp(v) => Value::Timestamp(v),
+            ValueRef::Double(d) => Value::Double(d),
+        }
+    }
+}
+
+impl<'a> From<&'a Value> for ValueRef<'a> {
+    fn from(value: &'a Value) -> Self {
+        ValueRef::of(value)
+    }
+}
+
 impl Eq for Value {}
 
 impl std::hash::Hash for Value {

@@ -152,6 +152,26 @@ pub trait KvStore: Send + Sync {
     ///   least that many physical requests (replica fan-out and partition
     ///   or shard visits inflate the physical count) to the session stats.
     fn execute_round(&self, session: &mut Session, round: RequestRound) -> Vec<KvResponse>;
+    /// Allocation-free point read: look `key` up in `ns` and append the
+    /// stored value to `out`, with the same session-clock, stats, and
+    /// latency-sample accounting as a one-request `GetRange` round that
+    /// visited one shard and returned the entry (so the feedback loop sees
+    /// point reads served this way exactly like plan-executed ones).
+    ///
+    /// Returns `Some(found)` when the backend services the read, `None`
+    /// when it does not support the fast path — callers must then fall
+    /// back to [`KvStore::execute_round`]. The default declines; only
+    /// wall-clock backends on the server's binary hot path implement it.
+    fn point_get(
+        &self,
+        session: &mut Session,
+        ns: NsId,
+        key: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Option<bool> {
+        let _ = (session, ns, key, out);
+        None
+    }
     /// Write directly, bypassing timing and accounting (bulk load before an
     /// experiment or to seed a serving store).
     fn bulk_put(&self, ns: NsId, key: Vec<u8>, value: Vec<u8>);

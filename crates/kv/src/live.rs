@@ -920,6 +920,65 @@ impl KvStore for LiveCluster {
         responses
     }
 
+    /// Single-key fast path: equivalent to a one-request `GetRange` round
+    /// (same counters, same sampled latency, same session accounting), but
+    /// appending the value into a caller-owned buffer instead of returning
+    /// freshly allocated entries — in steady state this performs no heap
+    /// allocation at all.
+    fn point_get(
+        &self,
+        session: &mut Session,
+        ns: NsId,
+        key: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Option<bool> {
+        let delay_us = self.request_delay_us.load(Ordering::Relaxed);
+        if delay_us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(delay_us));
+        }
+        let started = self.now_micros();
+        let data = self.ns_data(ns);
+        let table = data.load();
+        let idx = table.shard_of(key);
+        table.touch(idx);
+        let mut entry_bytes = 0u64;
+        let found = {
+            let shard = table.shards[idx].read();
+            match shard.get(key) {
+                Some(v) => {
+                    entry_bytes = (key.len() + v.len()) as u64;
+                    out.extend_from_slice(v);
+                    true
+                }
+                None => false,
+            }
+        };
+        self.stats.ops.fetch_add(1, Ordering::Relaxed);
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        self.stats.physical_ops.fetch_add(1, Ordering::Relaxed);
+        self.stats.rounds.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_read
+            .fetch_add(entry_bytes, Ordering::Relaxed);
+        self.stats
+            .entries_returned
+            .fetch_add(found as u64, Ordering::Relaxed);
+        let completed = self.now_micros();
+        if let Some(tag) = session.op_tag {
+            self.sink.record(OpSample {
+                tag,
+                micros: completed.saturating_sub(started),
+            });
+        }
+        session.now = session.now.max(completed);
+        session.stats.rounds += 1;
+        session.stats.logical_requests += 1;
+        session.stats.physical_requests += 1;
+        session.stats.entries += found as u64;
+        session.stats.bytes += entry_bytes;
+        Some(found)
+    }
+
     fn bulk_put(&self, ns: NsId, key: Vec<u8>, value: Vec<u8>) {
         self.stats.ops.fetch_add(1, Ordering::Relaxed);
         self.stats.physical_ops.fetch_add(1, Ordering::Relaxed);
@@ -1289,6 +1348,39 @@ mod tests {
             }],
         );
         assert_eq!(c.ns_len(ns), 1);
+    }
+
+    #[test]
+    fn point_get_matches_single_get_range_round_accounting() {
+        let c = small();
+        let ns = c.namespace("pg");
+        c.bulk_put(ns, b"hit".to_vec(), b"value".to_vec());
+        let before = c.stats_snapshot();
+        let mut s = Session::new();
+        let mut out = Vec::new();
+        assert_eq!(c.point_get(&mut s, ns, b"hit", &mut out), Some(true));
+        assert_eq!(out, b"value");
+        assert_eq!(s.stats.rounds, 1);
+        assert_eq!(s.stats.logical_requests, 1);
+        assert_eq!(s.stats.physical_requests, 1);
+        assert_eq!(s.stats.entries, 1);
+        assert_eq!(s.stats.bytes, (b"hit".len() + b"value".len()) as u64);
+        let after = c.stats_snapshot();
+        assert_eq!(after.ops - before.ops, 1);
+        assert_eq!(after.reads - before.reads, 1);
+        assert_eq!(after.physical_ops - before.physical_ops, 1);
+        assert_eq!(after.rounds - before.rounds, 1);
+        assert_eq!(after.entries_returned - before.entries_returned, 1);
+        assert_eq!(
+            after.bytes_read - before.bytes_read,
+            (b"hit".len() + b"value".len()) as u64
+        );
+        // a miss still counts the round but ships no entry
+        out.clear();
+        assert_eq!(c.point_get(&mut s, ns, b"absent", &mut out), Some(false));
+        assert!(out.is_empty());
+        assert_eq!(s.stats.entries, 1);
+        assert_eq!(s.stats.rounds, 2);
     }
 
     #[test]

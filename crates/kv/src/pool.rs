@@ -23,12 +23,21 @@
 //! 4. **Panic containment.** A panicking task is caught on whichever
 //!    thread ran it and re-raised on the round's calling thread at join,
 //!    so workers survive and unrelated sessions are unaffected.
+//! 5. **Cross-round work stealing.** Helpers are capped at the pool
+//!    width, so a thread can go idle while *another* round still has
+//!    unclaimed tasks: a worker that finds the queue empty, or a caller
+//!    blocked in join on its round's slow tail, claims one task from any
+//!    registered in-flight round instead of sleeping. A stolen task can
+//!    outlive the thief's own round, but rounds are built from statically
+//!    bounded requests (the paper's premise), so the donated latency is
+//!    bounded by one request.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
@@ -42,10 +51,47 @@ pub struct PoolStats {
     pub worker_tasks: AtomicU64,
 }
 
+/// An in-flight round that can donate unstarted tasks to idle threads.
+trait StealSource: Send + Sync {
+    /// Claim and run one unstarted task; `false` if none remained.
+    fn steal_one(&self, as_worker: bool) -> bool;
+}
+
 struct PoolShared {
     queue: Mutex<VecDeque<Task>>,
     task_ready: Condvar,
     shutdown: AtomicBool,
+    /// Every in-flight round, weakly: the registry must not keep a
+    /// finished round's results alive. Dead entries are pruned lazily on
+    /// registration and steal attempts.
+    rounds: Mutex<Vec<Weak<dyn StealSource>>>,
+    /// Tasks claimed by steals (reporting only; see
+    /// [`RoundPool::stolen_tasks`]).
+    stolen: AtomicU64,
+}
+
+impl PoolShared {
+    fn register_round(&self, source: &Arc<dyn StealSource>) {
+        let mut rounds = self.rounds.lock().unwrap();
+        rounds.retain(|w| w.strong_count() > 0);
+        rounds.push(Arc::downgrade(source));
+    }
+
+    /// Claim and run one unstarted task from any registered round.
+    /// Collects candidates under the registry lock but runs the task
+    /// outside it, so a long task never blocks registration.
+    fn steal_one(&self, as_worker: bool) -> bool {
+        let sources: Vec<Arc<dyn StealSource>> = {
+            let mut rounds = self.rounds.lock().unwrap();
+            rounds.retain(|w| w.strong_count() > 0);
+            rounds.iter().filter_map(|w| w.upgrade()).collect()
+        };
+        let stole = sources.iter().any(|s| s.steal_one(as_worker));
+        if stole {
+            self.stolen.fetch_add(1, Ordering::Relaxed);
+        }
+        stole
+    }
 }
 
 /// A fixed-size worker pool scattering rounds of closures.
@@ -63,6 +109,8 @@ impl RoundPool {
             queue: Mutex::new(VecDeque::new()),
             task_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            rounds: Mutex::new(Vec::new()),
+            stolen: AtomicU64::new(0),
         });
         let workers = (0..threads)
             .map(|i| {
@@ -132,6 +180,10 @@ impl RoundPool {
         }
         self.stats.fanned_rounds.fetch_add(1, Ordering::Relaxed);
         let state = Arc::new(RoundState::new(fns));
+        // Advertise the round to idle threads before any helper can race
+        // ahead of the registration.
+        self.shared
+            .register_round(&(state.clone() as Arc<dyn StealSource>));
         // One helper per task beyond the caller's own, capped at the pool
         // width; a helper that arrives after the round drained just returns.
         let helpers = (n - 1).min(self.workers.len());
@@ -140,11 +192,17 @@ impl RoundPool {
             self.submit(Box::new(move || state.drain(true)));
         }
         state.drain(false);
-        let (results, worker_tasks) = state.join();
+        let (results, worker_tasks) = state.join(&self.shared);
         self.stats
             .worker_tasks
             .fetch_add(worker_tasks, Ordering::Relaxed);
         results
+    }
+
+    /// Tasks that idle threads claimed from *other* rounds (see module
+    /// docs, constraint 5).
+    pub fn stolen_tasks(&self) -> u64 {
+        self.shared.stolen.load(Ordering::Relaxed)
     }
 }
 
@@ -186,7 +244,19 @@ fn worker_loop(shared: &PoolShared) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                queue = shared.task_ready.wait(queue).unwrap();
+                // Queue empty: before sleeping, donate this thread to any
+                // in-flight round with unclaimed tasks (its helper quota
+                // is capped at the pool width and may be oversubscribed).
+                drop(queue);
+                let stole = shared.steal_one(true);
+                queue = shared.queue.lock().unwrap();
+                if !stole {
+                    // Nothing stealable either; re-checks the queue at
+                    // the loop top after waking. A round registered in
+                    // the unlocked gap always submits ≥1 helper task, so
+                    // its notify cannot be lost to this wait.
+                    queue = shared.task_ready.wait(queue).unwrap();
+                }
             }
         };
         task();
@@ -226,33 +296,57 @@ where
         }
     }
 
+    /// Claim and run one unstarted task; `false` if none remained.
+    fn run_one(&self, as_worker: bool) -> bool {
+        let claimed = self.pending.lock().unwrap().pop_front();
+        let Some((slot, f)) = claimed else {
+            return false;
+        };
+        let result = catch_unwind(AssertUnwindSafe(f));
+        let mut inner = self.inner.lock().unwrap();
+        match result {
+            Ok(value) => inner.slots[slot] = Some(value),
+            Err(payload) => inner.panic = Some(payload),
+        }
+        inner.remaining -= 1;
+        if as_worker {
+            inner.worker_tasks += 1;
+        }
+        if inner.remaining == 0 {
+            self.done.notify_all();
+        }
+        true
+    }
+
     /// Claim and run unstarted tasks until none remain.
     fn drain(&self, as_worker: bool) {
-        loop {
-            let claimed = self.pending.lock().unwrap().pop_front();
-            let Some((slot, f)) = claimed else { return };
-            let result = catch_unwind(AssertUnwindSafe(f));
-            let mut inner = self.inner.lock().unwrap();
-            match result {
-                Ok(value) => inner.slots[slot] = Some(value),
-                Err(payload) => inner.panic = Some(payload),
-            }
-            inner.remaining -= 1;
-            if as_worker {
-                inner.worker_tasks += 1;
-            }
-            if inner.remaining == 0 {
-                self.done.notify_all();
-            }
-        }
+        while self.run_one(as_worker) {}
     }
 
     /// Wait for every task (including ones claimed by workers) and take the
     /// ordered results; re-raises a task panic on this thread.
-    fn join(&self) -> (Vec<T>, u64) {
+    ///
+    /// While waiting on this round's slow tail the caller donates its
+    /// thread to other in-flight rounds (module docs, constraint 5): each
+    /// steal attempt runs between short completion-signal waits, so the
+    /// caller still returns promptly when its own round settles.
+    fn join(&self, pool: &PoolShared) -> (Vec<T>, u64) {
         let mut inner = self.inner.lock().unwrap();
         while inner.remaining > 0 {
-            inner = self.done.wait(inner).unwrap();
+            drop(inner);
+            if !pool.steal_one(false) {
+                inner = self.inner.lock().unwrap();
+                if inner.remaining == 0 {
+                    break;
+                }
+                let (guard, _) = self
+                    .done
+                    .wait_timeout(inner, Duration::from_millis(1))
+                    .unwrap();
+                inner = guard;
+                continue;
+            }
+            inner = self.inner.lock().unwrap();
         }
         if let Some(payload) = inner.panic.take() {
             drop(inner);
@@ -265,6 +359,16 @@ where
             .map(|slot| slot.take().expect("every slot filled"))
             .collect();
         (out, worker_tasks)
+    }
+}
+
+impl<T, F> StealSource for RoundState<T, F>
+where
+    F: FnOnce() -> T + Send,
+    T: Send,
+{
+    fn steal_one(&self, as_worker: bool) -> bool {
+        self.run_one(as_worker)
     }
 }
 
@@ -366,6 +470,39 @@ mod tests {
         // and the inline (zero-worker) path swallows panics too
         let inline = RoundPool::new(0);
         inline.spawn(|| panic!("inline boom"));
+    }
+
+    #[test]
+    fn join_waiters_steal_from_concurrent_rounds() {
+        // One worker. Round A's caller finishes its 20 ms task and then
+        // join-waits on the 600 ms task the worker claimed. Round B (six
+        // 60 ms tasks) starts concurrently with no worker free: alone,
+        // B's caller would run all six sequentially (360 ms). A's waiting
+        // caller must steal from B, splitting the round across two
+        // threads (~180 ms).
+        let pool = Arc::new(RoundPool::new(1));
+        let p = pool.clone();
+        let a = std::thread::spawn(move || {
+            p.scatter(vec![
+                Box::new(|| std::thread::sleep(Duration::from_millis(20)))
+                    as Box<dyn FnOnce() + Send>,
+                Box::new(|| std::thread::sleep(Duration::from_millis(600))),
+            ]);
+        });
+        // let A reach its join wait
+        std::thread::sleep(Duration::from_millis(60));
+        let t0 = Instant::now();
+        let fns: Vec<_> = (0..6)
+            .map(|_| || std::thread::sleep(Duration::from_millis(60)))
+            .collect();
+        pool.scatter(fns);
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(300),
+            "concurrent round must beat its serial time (360 ms): {elapsed:?}"
+        );
+        a.join().unwrap();
+        assert!(pool.stolen_tasks() > 0, "steals must be what made it fast");
     }
 
     #[test]

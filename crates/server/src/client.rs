@@ -1,25 +1,32 @@
-//! A small blocking client for the line protocol — what the examples,
+//! A small blocking client for the wire protocol — what the examples,
 //! benches, and differential tests drive the server with.
+//!
+//! The client speaks either codec through the same [`Wire`] seam the
+//! server uses: [`Client::connect`] opens a JSON (v2) connection,
+//! [`Client::connect_binary`] negotiates binary v3 (magic preamble, hello
+//! frame — and fails cleanly against a v2-only server, see
+//! [`crate::binary`]). Every typed method behaves identically on both.
 //!
 //! Two ways to amortize round trips (PROTOCOL.md §5–6): a [`Pipeline`]
 //! queues many independent requests and flushes them as one write (the
 //! server answers in completion order; the pipeline reassembles
 //! positionally by id), and [`Client::execute_batch`] ships many
-//! sub-requests on a single line answered by a single response (the
+//! sub-requests in a single frame answered by a single response (the
 //! server runs them sequentially on one session, so a write is visible
 //! to the read after it).
 
+use crate::binary::{self, BinaryWire};
 use crate::json::Json;
 use crate::protocol::{
-    envelope_to_line, hex_decode, request_to_line, value_from_json, Envelope, ProtoError, Request,
-    RequestId,
+    attach_id, hex_decode, value_from_json, Envelope, ProtoError, Request, RequestId,
 };
+use crate::wire::{JsonWire, Wire};
 use piql_core::plan::params::ParamValue;
 use piql_core::tuple::Tuple;
 use piql_core::value::Value;
 use piql_engine::Cursor;
 use std::fmt;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 /// Client-side failures.
@@ -62,16 +69,25 @@ pub struct Page {
     pub cursor: Option<Cursor>,
 }
 
-/// A connected protocol client.
+/// A connected protocol client (either codec; see [`Client::connect`] and
+/// [`Client::connect_binary`]).
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    /// The codec this connection negotiated.
+    wire: Box<dyn Wire>,
+    /// Reused read-side frame scratch.
+    frame: Vec<u8>,
+    /// Reused write-side encode scratch.
+    scratch: Vec<u8>,
     /// Monotonic source of pipeline request ids (unique per connection,
     /// which is all the protocol requires).
     next_id: i64,
 }
 
 impl Client {
+    /// Connect speaking the JSON line protocol (v2, the compatibility
+    /// default — works against every server).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
@@ -79,26 +95,90 @@ impl Client {
         Ok(Client {
             writer,
             reader: BufReader::new(stream),
+            wire: Box::new(JsonWire),
+            frame: Vec::new(),
+            scratch: Vec::new(),
             next_id: 1,
         })
+    }
+
+    /// Connect speaking binary v3: sends the magic preamble and requires
+    /// the server's hello. Against a v2-only server this fails with a
+    /// clean `InvalidData` ("server does not speak v3") instead of
+    /// hanging — the JSON error line the old server answers with reads as
+    /// an over-cap frame length (see [`crate::binary`]).
+    pub fn connect_binary(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        writer.write_all(&binary::MAGIC)?;
+        writer.flush()?;
+        let wire = BinaryWire;
+        let mut frame = Vec::new();
+        if !wire.read_frame(&mut reader, &mut frame)? {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed before the v3 hello",
+            ));
+        }
+        let version = binary::parse_hello(&frame)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if version != binary::VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "server speaks binary v{version}, this client speaks v{}",
+                    binary::VERSION
+                ),
+            ));
+        }
+        Ok(Client {
+            writer,
+            reader,
+            wire: Box::new(wire),
+            frame,
+            scratch: Vec::new(),
+            next_id: 1,
+        })
+    }
+
+    /// Protocol version this connection negotiated (2 or 3).
+    pub fn wire_version(&self) -> u8 {
+        self.wire.version()
     }
 
     /// Send one request, read one response object (the raw envelope,
     /// `ok` included).
     pub fn request_raw(&mut self, request: &Request) -> Result<Json, ClientError> {
-        let line = request_to_line(request);
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
+        self.scratch.clear();
+        self.wire.encode_envelope(
+            &Envelope {
+                id: None,
+                request: request.clone(),
+            },
+            &mut self.scratch,
+        );
+        self.writer.write_all(&self.scratch)?;
         self.writer.flush()?;
-        let mut response = String::new();
-        let n = self.reader.read_line(&mut response)?;
-        if n == 0 {
+        self.read_response()
+    }
+
+    /// Read and decode one response frame. The correlation id — carried
+    /// in-body by v2, in the frame header by v3 — is attached into the
+    /// returned object either way, so callers see one shape.
+    fn read_response(&mut self) -> Result<Json, ClientError> {
+        if !self.wire.read_frame(&mut self.reader, &mut self.frame)? {
             return Err(ClientError::Io(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
             )));
         }
-        Ok(crate::json::parse(response.trim()).map_err(ProtoError::Json)?)
+        let (id, mut json) = self.wire.decode_response(&self.frame)?;
+        if let Some(id) = id {
+            attach_id(&mut json, &id);
+        }
+        Ok(json)
     }
 
     /// Send one request; error if the server answered `ok = false`.
@@ -193,7 +273,7 @@ impl Client {
     pub fn pipeline(&mut self) -> Pipeline<'_> {
         Pipeline {
             client: self,
-            buffer: String::new(),
+            buffer: Vec::new(),
             pending: Vec::new(),
         }
     }
@@ -219,17 +299,10 @@ impl Client {
         self.writer.try_clone()
     }
 
-    /// Testing hook: read and parse one raw response line.
+    /// Testing hook: read and decode one raw response frame (the id, if
+    /// any, attached in-body whatever the codec).
     pub fn raw_read_line(&mut self) -> Result<Json, ClientError> {
-        let mut response = String::new();
-        let n = self.reader.read_line(&mut response)?;
-        if n == 0 {
-            return Err(ClientError::Io(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            )));
-        }
-        Ok(crate::json::parse(response.trim()).map_err(ProtoError::Json)?)
+        self.read_response()
     }
 }
 
@@ -240,8 +313,8 @@ impl Client {
 /// transmits nothing.
 pub struct Pipeline<'a> {
     client: &'a mut Client,
-    /// Encoded-but-untransmitted request lines.
-    buffer: String,
+    /// Encoded-but-untransmitted request frames.
+    buffer: Vec<u8>,
     /// Ids of queued requests, in queue order.
     pending: Vec<RequestId>,
 }
@@ -252,11 +325,13 @@ impl Pipeline<'_> {
     pub fn queue(&mut self, request: &Request) -> usize {
         let id = RequestId::Int(self.client.next_id);
         self.client.next_id += 1;
-        self.buffer.push_str(&envelope_to_line(&Envelope {
-            id: Some(id.clone()),
-            request: request.clone(),
-        }));
-        self.buffer.push('\n');
+        self.client.wire.encode_envelope(
+            &Envelope {
+                id: Some(id.clone()),
+                request: request.clone(),
+            },
+            &mut self.buffer,
+        );
         self.pending.push(id);
         self.pending.len() - 1
     }
@@ -288,12 +363,12 @@ impl Pipeline<'_> {
         if self.pending.is_empty() {
             return Ok(Vec::new());
         }
-        self.client.writer.write_all(self.buffer.as_bytes())?;
+        self.client.writer.write_all(&self.buffer)?;
         self.client.writer.flush()?;
         self.buffer.clear();
         let mut slots: Vec<Option<Json>> = self.pending.iter().map(|_| None).collect();
         for _ in 0..slots.len() {
-            let response = self.client.raw_read_line()?;
+            let response = self.client.read_response()?;
             let id = response
                 .get("id")
                 .map(RequestId::from_json)

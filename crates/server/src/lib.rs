@@ -39,6 +39,7 @@
 //! * The real-time backend itself lives in `piql_kv::LiveCluster`
 //!   (re-exported here) so the engine stack runs on wall-clock storage.
 
+pub mod binary;
 pub mod client;
 pub mod durable;
 pub mod json;
@@ -46,16 +47,19 @@ pub mod protocol;
 pub mod registry;
 pub mod server;
 pub mod testkit;
+pub mod wire;
 
+pub use binary::BinaryWire;
 pub use client::{decode_page, Client, ClientError, Page, Pipeline};
 pub use durable::{open_durable, DurableOptions, DurableStack, Readmission, SnapshotDaemon};
 pub use json::{Json, JsonError};
 pub use protocol::{Envelope, ProtoError, Request, RequestId};
 pub use registry::{
-    Admission, DriftAction, DriftEvent, DurabilityControl, RegisteredStatement, RegistryCounters,
-    RegistryError, RevalidationSummary, Revalidator, SloConfig, StatementJournal,
-    StatementRegistry,
+    Admission, DriftAction, DriftEvent, DurabilityControl, FastKeyPart, FastPointPlan,
+    RegisteredStatement, RegistryCounters, RegistryError, RevalidationSummary, Revalidator,
+    SloConfig, StatementJournal, StatementRegistry,
 };
-pub use server::PiqlServer;
+pub use server::{BinaryConn, PiqlServer};
+pub use wire::{JsonWire, Wire};
 
 pub use piql_kv::{LiveCluster, LiveConfig};

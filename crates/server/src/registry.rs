@@ -34,10 +34,13 @@
 
 use parking_lot::{Mutex, RwLock};
 use piql_core::ast::{RowBound, SelectStmt};
+use piql_core::catalog::Catalog;
 use piql_core::opt::{OptError, Optimizer};
-use piql_core::plan::physical::PhysicalPlan;
+use piql_core::plan::physical::{PhysicalPlan, ScanLimit};
+use piql_core::plan::pred::Operand;
+use piql_core::value::Value;
 use piql_engine::{Cursor, Database, DbError, ExecStrategy, Prepared, QueryResult};
-use piql_kv::{KvStore, LiveCluster, LiveOpKind, Session};
+use piql_kv::{KvStore, LiveCluster, LiveOpKind, NsId, Session};
 use piql_predict::{Heatmap, SharedModelStore, SloPredictor, ALPHA_GRID};
 use piql_workloads::RunMetrics;
 use std::collections::BTreeMap;
@@ -170,11 +173,112 @@ const DRIFT_HISTORY: usize = 32;
 /// a server that executes forever.
 const METRICS_CAPACITY: usize = 4_096;
 
+/// One key component of a [`FastPointPlan`]'s probe key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FastKeyPart {
+    /// Literal known at plan time.
+    Const(Value),
+    /// Taken from the execution's parameter at this index.
+    Param(usize),
+}
+
+/// A pre-resolved single-key read: everything the server's allocation-free
+/// point-read path needs, extracted once at install time so per-request
+/// work is *only* "encode key, get, transcode row".
+///
+/// A statement qualifies when its physical plan is exactly one primary
+/// `IndexScan` with a full-primary-key equality prefix, no range, no
+/// reverse, no deref, a bounded limit, and no `PAGINATE` (so the cursor is
+/// statically `None`). Full-pk keys are prefix-free under the order-
+/// preserving key codec, so the plan's `GetRange [key, upper)` is
+/// observably identical to an exact get — same rows, same accounting shape
+/// (see `KvStore::point_get`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FastPointPlan {
+    /// Primary namespace of the scanned table.
+    pub ns: NsId,
+    /// Key components in primary-key order (all `Dir::Asc` — primary
+    /// indexes have no explicit directions).
+    pub parts: Vec<FastKeyPart>,
+    /// The plan's bounded entry count (α_c of the scan's op tag).
+    pub alpha_c: u32,
+    /// The plan's per-tuple byte bound (β of the scan's op tag).
+    pub beta: u32,
+    /// Full-row arity — stored rows that decode to a different arity fall
+    /// back to the general path (which reports the shape error).
+    pub arity: usize,
+}
+
+/// Extract the fast point-read plan from a freshly prepared statement, if
+/// it qualifies. Resolves the namespace id eagerly (idempotent; the
+/// general path creates the same namespace on first execution anyway).
+fn fast_point_plan<S: KvStore>(
+    db: &Database<S>,
+    prepared: &Prepared,
+) -> Option<Arc<FastPointPlan>> {
+    let compiled = &prepared.compiled;
+    if compiled.page_size.is_some() {
+        return None;
+    }
+    // `SELECT *` compiles to an identity LocalProject over the scan; the
+    // fast path emits the stored row verbatim, so peel the wrapper only
+    // when it passes every scan column through in storage order (its
+    // completeness against the full row is checked below).
+    let mut physical = &compiled.physical;
+    let mut projected = None;
+    if let PhysicalPlan::LocalProject { child, columns, .. } = physical {
+        if columns.iter().enumerate().all(|(i, (pos, _))| *pos == i) {
+            projected = Some(columns.len());
+            physical = child;
+        }
+    }
+    let PhysicalPlan::IndexScan { spec, .. } = physical else {
+        return None;
+    };
+    if spec.index.secondary.is_some() || spec.range.is_some() || spec.reverse || spec.deref {
+        return None;
+    }
+    let ScanLimit::Bounded { count, .. } = &spec.limit else {
+        return None;
+    };
+    if *count == 0 {
+        return None;
+    }
+    let catalog = db.catalog();
+    let table = catalog.table_by_id(spec.index.table);
+    if spec.eq_prefix.len() != table.primary_key.len() {
+        return None;
+    }
+    // a peeled projection must cover the whole row, not a prefix of it
+    if projected.is_some_and(|n| n != table.columns.len()) {
+        return None;
+    }
+    let parts = spec
+        .eq_prefix
+        .iter()
+        .map(|op| match op {
+            Operand::Literal(v) => FastKeyPart::Const(v.clone()),
+            Operand::Param(p) => FastKeyPart::Param(p.index),
+        })
+        .collect();
+    let ns = db.store().namespace(&Catalog::table_namespace(table));
+    Some(Arc::new(FastPointPlan {
+        ns,
+        parts,
+        alpha_c: (*count).min(u32::MAX as u64) as u32,
+        beta: spec.row_bytes.min(u32::MAX as u64) as u32,
+        arity: table.columns.len(),
+    }))
+}
+
 /// The mutable half of a registered statement, swapped under one lock so
 /// executors always see a (plan, admission) pair that belongs together.
 #[derive(Debug)]
 struct StatementState {
     prepared: Arc<Prepared>,
+    /// Pre-resolved point-read plan when `prepared` qualifies (kept in
+    /// lockstep with every plan swap).
+    fast_point: Option<Arc<FastPointPlan>>,
     admission: Admission,
     /// Row bound the current plan enforces (`None`: no bound to degrade).
     limit: Option<u64>,
@@ -218,6 +322,13 @@ impl RegisteredStatement {
         self.state.read().admission.clone()
     }
 
+    /// The pre-resolved point-read plan, when the current plan qualifies
+    /// (atomic with [`RegisteredStatement::prepared`] — plan swaps replace
+    /// both under the same lock).
+    pub fn fast_point(&self) -> Option<Arc<FastPointPlan>> {
+        self.state.read().fast_point.clone()
+    }
+
     /// Latest re-validated prediction for the current plan, ms (the
     /// registration-time prediction until the first sweep).
     pub fn last_predicted_p99_ms(&self) -> f64 {
@@ -243,6 +354,9 @@ pub struct RegistryCounters {
     pub rejected_slo: AtomicU64,
     pub rejected_unbounded: AtomicU64,
     pub executed: AtomicU64,
+    /// Executions served by the allocation-free binary point-read path
+    /// (a subset of `executed`; see `server::BinaryConn`).
+    pub fast_point_reads: AtomicU64,
     pub exec_errors: AtomicU64,
     /// Data-placement rebalances performed via the `rebalance` verb.
     pub rebalances: AtomicU64,
@@ -552,6 +666,7 @@ impl<S: KvStore> StatementRegistry<S> {
         limit: Option<u64>,
     ) {
         let last_predicted_p99_ms = admission.predicted_p99_ms().unwrap_or(0.0);
+        let fast_point = fast_point_plan(&self.db, &prepared);
         let statement = Arc::new(RegisteredStatement {
             name: name.to_string(),
             sql: sql.to_string(),
@@ -559,6 +674,7 @@ impl<S: KvStore> StatementRegistry<S> {
             kind,
             state: RwLock::new(StatementState {
                 prepared: Arc::new(prepared),
+                fast_point,
                 admission,
                 limit,
                 last_predicted_p99_ms,
@@ -826,6 +942,7 @@ impl<S: KvStore> StatementRegistry<S> {
         state.admission = new_admission;
         state.last_predicted_p99_ms = p99;
         if let Some((new_prepared, new_limit, new_p99)) = swap {
+            state.fast_point = fast_point_plan(&self.db, &new_prepared);
             state.prepared = new_prepared;
             state.limit = new_limit;
             state.last_predicted_p99_ms = new_p99;

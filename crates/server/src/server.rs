@@ -1,6 +1,12 @@
 //! The multi-threaded, pipelined TCP front-end.
 //!
-//! Each connection is split into two halves (the wire contract they
+//! Every connection speaks one of two codecs behind the same [`Wire`]
+//! seam: newline-delimited JSON (v2, the default) or length-prefixed
+//! binary frames (v3, negotiated when the first byte is the
+//! [`binary::MAGIC`] preamble — no JSON line can start with `0xB3`, so
+//! sniffing is unambiguous).
+//!
+//! A JSON connection is split into two halves (the wire contract they
 //! implement is PROTOCOL.md §5):
 //!
 //! * a **reader** (the connection's own thread) that decodes request
@@ -27,6 +33,16 @@
 //! cursor the client holds, so reconnecting to the same (or another)
 //! server continues cleanly.
 //!
+//! A **binary** (v3) connection is one strictly ordered lane run inline
+//! on its own thread by a [`BinaryConn`]: decode → route → respond with
+//! per-connection scratch buffers, so the warm point-read path — a
+//! registered statement whose plan is a full-primary-key lookup (see
+//! `FastPointPlan`) — performs **zero heap allocations** per request
+//! (pinned by a counting-allocator test). Responses are byte-identical
+//! to the general path's; a client wanting concurrency opens N
+//! connections (PROTOCOL.md §9 makes no completion-order promise
+//! usable across frames of one binary connection).
+//!
 //! Threads only *block*; storage parallelism comes from the backing
 //! cluster. On a `LiveCluster`, every session's request rounds fan out
 //! over the cluster's one shared `RoundPool` (sized by
@@ -34,19 +50,23 @@
 //! dispatch pool — N concurrent connections add queueing, not thread
 //! stampede.
 
+use crate::binary::{self, BinaryWire, OP_EXECUTE, OP_RESPONSE};
 use crate::json::Json;
 use crate::protocol::{
-    attach_id, cursor_to_json, err_response, extract_id, ok_response, parse_envelope,
-    parse_request, row_to_json, Envelope, Request, RequestId,
+    cursor_to_json, err_response, ok_response, parse_request, row_to_json, Envelope, Request,
+    RequestId,
 };
-use crate::registry::{Admission, Revalidator, SloConfig, StatementRegistry};
+use crate::registry::{Admission, FastKeyPart, Revalidator, SloConfig, StatementRegistry};
+use crate::wire::{JsonWire, Wire};
 use parking_lot::Mutex;
+use piql_core::codec::key::{encode_component_ref, Dir};
+use piql_core::codec::row::RowReader;
 use piql_core::plan::params::Params;
 use piql_engine::Database;
-use piql_kv::{KvStore, LiveCluster, NsBalance, RoundPool, Session};
+use piql_kv::{KvStore, LiveCluster, LiveOpKind, NsBalance, OpTag, RoundPool, Session};
 use piql_predict::SloPredictor;
 use std::collections::VecDeque;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -226,9 +246,11 @@ impl<S: KvStore + 'static> Drop for PiqlServer<S> {
 struct ConnState<S: KvStore> {
     registry: Arc<StatementRegistry<S>>,
     dispatch: Arc<RoundPool>,
-    /// Completed responses travel to the writer half over this channel;
-    /// the writer exits once every holder of this state is done.
-    tx: mpsc::Sender<Json>,
+    /// Completed responses travel to the writer half over this channel as
+    /// `(correlation id, body)` — encoding (and id attachment) is the
+    /// writer's [`Wire`]'s job, so the lanes are codec-generic. The writer
+    /// exits once every holder of this state is done.
+    tx: mpsc::Sender<(Option<RequestId>, Json)>,
     serial: Mutex<SerialLane>,
     /// Sessions for concurrently handled (`id`-carrying) requests: popped
     /// per request, pushed back after, created on demand. Bounded by the
@@ -309,7 +331,7 @@ impl<S: KvStore + 'static> ConnState<S> {
             self.serial.lock().session = Some(session);
             // a send error means the client hung up; keep draining so the
             // lane empties and the state can drop
-            let _ = self.tx.send(response);
+            let _ = self.tx.send((None, response));
         }
         // batch exhausted with work (possibly) remaining: yield the worker
         // and continue at the back of the dispatch queue. `draining` stays
@@ -324,10 +346,9 @@ impl<S: KvStore + 'static> ConnState<S> {
         let state = self.clone();
         self.dispatch.spawn(move || {
             let mut session = state.idle_sessions.lock().pop().unwrap_or_default();
-            let mut response = run_handler(&request, &mut session, &state.registry);
+            let response = run_handler(&request, &mut session, &state.registry);
             state.idle_sessions.lock().push(session);
-            attach_id(&mut response, &id);
-            let _ = state.tx.send(response);
+            let _ = state.tx.send((Some(id), response));
         });
     }
 }
@@ -347,12 +368,10 @@ fn run_handler<S: KvStore>(
     .unwrap_or_else(|_| err_response("internal error: request handler panicked"))
 }
 
-/// Serve one client until EOF. Every request line gets exactly one
-/// response line; protocol errors are answered (not fatal) so a client
-/// bug cannot wedge the connection out from under its own pipeline. This
-/// thread is the *reader*: it only decodes and dispatches (see the module
-/// docs for the lane semantics), then joins the writer — which drains
-/// every in-flight response — before returning.
+/// Serve one client until EOF. Sniffs the codec from the first byte —
+/// [`binary::MAGIC`] starts with `0xB3`, which no JSON line can — then
+/// runs the matching loop: the pipelined reader/writer lanes for JSON, the
+/// inline [`BinaryConn`] loop for binary.
 fn serve_connection<S: KvStore + 'static>(
     stream: TcpStream,
     registry: Arc<StatementRegistry<S>>,
@@ -360,14 +379,46 @@ fn serve_connection<S: KvStore + 'static>(
 ) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     let write_half = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    let (tx, rx) = mpsc::channel::<Json>();
+    let mut reader = BufReader::new(stream);
+    let first = match reader.fill_buf() {
+        Ok([]) => return Ok(()), // EOF before the first byte
+        Ok(&[first, ..]) => first,
+        Err(e) => return Err(e),
+    };
+    if first == binary::MAGIC[0] {
+        let mut magic = [0u8; binary::MAGIC.len()];
+        reader.read_exact(&mut magic)?;
+        if magic != binary::MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad v3 magic preamble",
+            ));
+        }
+        return serve_binary(reader, write_half, registry);
+    }
+    serve_lanes(reader, write_half, registry, dispatch, JsonWire)
+}
+
+/// The pipelined reader/writer lanes over any [`Wire`]. Every request
+/// frame gets exactly one response frame; protocol errors are answered
+/// (not fatal) so a client bug cannot wedge the connection out from under
+/// its own pipeline. This thread is the *reader*: it only decodes and
+/// dispatches (see the module docs for the lane semantics), then joins
+/// the writer — which drains every in-flight response — before returning.
+fn serve_lanes<S: KvStore + 'static, W: Wire + Copy + Send + 'static>(
+    mut reader: BufReader<TcpStream>,
+    write_half: TcpStream,
+    registry: Arc<StatementRegistry<S>>,
+    dispatch: Arc<RoundPool>,
+    wire: W,
+) -> io::Result<()> {
+    let (tx, rx) = mpsc::channel::<(Option<RequestId>, Json)>();
     let alive = Arc::new(AtomicBool::new(true));
     let writer_thread = {
         let alive = alive.clone();
         std::thread::Builder::new()
             .name("piql-conn-writer".into())
-            .spawn(move || write_loop(write_half, rx, &alive))?
+            .spawn(move || write_loop(write_half, rx, &alive, wire))?
     };
     let state = Arc::new(ConnState {
         registry,
@@ -381,17 +432,14 @@ fn serve_connection<S: KvStore + 'static>(
         idle_sessions: Mutex::new(Vec::new()),
     });
     let read_result: io::Result<()> = (|| {
-        for line in reader.lines() {
-            let line = line?;
+        let mut frame = Vec::new();
+        while wire.read_frame(&mut reader, &mut frame)? {
             // the writer hit a socket error: responses can no longer be
             // delivered, so stop decoding (and executing) requests
             if !alive.load(Ordering::Relaxed) {
                 break;
             }
-            if line.trim().is_empty() {
-                continue;
-            }
-            match parse_envelope(&line) {
+            match wire.decode_envelope(&frame) {
                 Ok(Envelope {
                     id: Some(id),
                     request,
@@ -400,14 +448,13 @@ fn serve_connection<S: KvStore + 'static>(
                     state.enqueue_serial(SerialJob::Handle(request))
                 }
                 Err(e) => {
-                    let mut response = err_response(e.to_string());
-                    match extract_id(&line) {
+                    let response = err_response(e.to_string());
+                    match wire.extract_id(&frame) {
                         // a correlatable error answers like any tagged
                         // completion; uncorrelatable ones keep their slot
                         // in the ordered lane
                         Some(id) => {
-                            attach_id(&mut response, &id);
-                            let _ = state.tx.send(response);
+                            let _ = state.tx.send((Some(id), response));
                         }
                         None => state.enqueue_serial(SerialJob::Respond(response)),
                     }
@@ -426,15 +473,30 @@ fn serve_connection<S: KvStore + 'static>(
 /// The writer half: serialize responses in the order they complete,
 /// flushing only when nothing further is immediately ready — a pipelined
 /// burst coalesces into few flush syscalls instead of one per response.
-/// A socket error clears `alive` so the reader stops accepting work whose
-/// results would be discarded.
-fn write_loop(stream: TcpStream, rx: mpsc::Receiver<Json>, alive: &AtomicBool) {
+/// One scratch buffer is reused across responses. A socket error clears
+/// `alive` so the reader stops accepting work whose results would be
+/// discarded.
+fn write_loop<W: Wire>(
+    stream: TcpStream,
+    rx: mpsc::Receiver<(Option<RequestId>, Json)>,
+    alive: &AtomicBool,
+    wire: W,
+) {
     let mut writer = BufWriter::new(stream);
-    while let Ok(response) = rx.recv() {
-        let mut io = write_line(&mut writer, &response);
+    let mut buf = Vec::new();
+    let write_one = |writer: &mut BufWriter<TcpStream>,
+                     buf: &mut Vec<u8>,
+                     (id, response): (Option<RequestId>, Json)|
+     -> io::Result<()> {
+        buf.clear();
+        wire.encode_response(id.as_ref(), &response, buf);
+        writer.write_all(buf)
+    };
+    while let Ok(completed) = rx.recv() {
+        let mut io = write_one(&mut writer, &mut buf, completed);
         while io.is_ok() {
             match rx.try_recv() {
-                Ok(next) => io = write_line(&mut writer, &next),
+                Ok(next) => io = write_one(&mut writer, &mut buf, next),
                 Err(_) => break,
             }
         }
@@ -445,9 +507,209 @@ fn write_loop(stream: TcpStream, rx: mpsc::Receiver<Json>, alive: &AtomicBool) {
     }
 }
 
-fn write_line(writer: &mut BufWriter<TcpStream>, response: &Json) -> io::Result<()> {
-    writer.write_all(response.to_string().as_bytes())?;
-    writer.write_all(b"\n")
+/// Whether `buffered` (the reader's lookahead bytes) already holds one
+/// complete binary frame — if so, the serve loop handles it before
+/// flushing pending output, so a pipelined burst answers in one write.
+fn complete_frame_buffered(buffered: &[u8]) -> bool {
+    match buffered.first_chunk::<4>() {
+        Some(len) => {
+            let len = u32::from_le_bytes(*len) as usize;
+            len <= binary::MAX_FRAME && buffered.len() - 4 >= len
+        }
+        None => false,
+    }
+}
+
+/// The binary (v3) connection loop: one strictly ordered lane, run inline
+/// on the connection's own thread (no writer thread, no dispatch hop —
+/// the per-request overhead the hot path exists to avoid). Responses
+/// accumulate in the conn's output buffer and flush right before a read
+/// would block.
+fn serve_binary<S: KvStore + 'static>(
+    mut reader: BufReader<TcpStream>,
+    mut write_half: TcpStream,
+    registry: Arc<StatementRegistry<S>>,
+) -> io::Result<()> {
+    let mut hello = Vec::new();
+    binary::put_hello(&mut hello);
+    write_half.write_all(&hello)?;
+    let wire = BinaryWire;
+    let mut conn = BinaryConn::new(registry);
+    let mut frame = Vec::new();
+    loop {
+        if !conn.output().is_empty() && !complete_frame_buffered(reader.buffer()) {
+            write_half.write_all(conn.output())?;
+            conn.clear_output();
+        }
+        if !wire.read_frame(&mut reader, &mut frame)? {
+            break;
+        }
+        conn.handle_frame(&frame);
+    }
+    if !conn.output().is_empty() {
+        write_half.write_all(conn.output())?;
+    }
+    Ok(())
+}
+
+/// One binary (v3) connection's request handler: decode → route → respond
+/// into per-connection scratch buffers.
+///
+/// For a registered statement whose plan qualifies as a
+/// [`FastPointPlan`](crate::registry::FastPointPlan) — a full-primary-key
+/// equality lookup — `handle_frame` runs the **allocation-free** path:
+/// the probe key is encoded from frame-borrowed parameter values, the
+/// store answers through `KvStore::point_get` into a reused value buffer,
+/// and the stored row is transcoded straight onto the wire. The emitted
+/// frame is byte-identical to the general path's, and *any* irregularity
+/// (unknown statement, collection params, explicit cursor, trailing
+/// bytes, unsupported backend, corrupt row) rewinds the output and reruns
+/// the frame through the general decode → [`handle_request`] → encode
+/// path, which defines the behavior.
+pub struct BinaryConn<S: KvStore + 'static> {
+    registry: Arc<StatementRegistry<S>>,
+    session: Session,
+    /// Encoded response frames not yet handed to the socket.
+    out: Vec<u8>,
+    /// Probe-key scratch.
+    key_buf: Vec<u8>,
+    /// Stored-row scratch (`point_get` appends here).
+    val_buf: Vec<u8>,
+    /// Byte offsets (into the request payload) of each scalar parameter's
+    /// tagged value, re-scanned per fast-path attempt.
+    param_offsets: Vec<usize>,
+}
+
+impl<S: KvStore + 'static> BinaryConn<S> {
+    pub fn new(registry: Arc<StatementRegistry<S>>) -> Self {
+        BinaryConn {
+            registry,
+            session: Session::new(),
+            out: Vec::new(),
+            key_buf: Vec::new(),
+            val_buf: Vec::new(),
+            param_offsets: Vec::new(),
+        }
+    }
+
+    /// Encoded-but-unflushed response bytes.
+    pub fn output(&self) -> &[u8] {
+        &self.out
+    }
+
+    /// Discard flushed output (capacity is kept).
+    pub fn clear_output(&mut self) {
+        self.out.clear();
+    }
+
+    /// Handle one request frame (the bytes after the length prefix),
+    /// appending exactly one response frame to [`BinaryConn::output`].
+    pub fn handle_frame(&mut self, frame: &[u8]) {
+        let mark = self.out.len();
+        if self.try_fast_point(frame).is_none() {
+            self.out.truncate(mark);
+            self.handle_general(frame);
+        }
+    }
+
+    /// The zero-allocation point-read path. `None` means "not taken" (for
+    /// whatever reason) — the caller rewinds and runs the general path.
+    fn try_fast_point(&mut self, frame: &[u8]) -> Option<()> {
+        let (opcode, raw_id, payload) = binary::split_frame(frame).ok()?;
+        if opcode != OP_EXECUTE {
+            return None;
+        }
+        let mut cur = binary::Cur::new(payload);
+        let name = cur.str().ok()?;
+        let statement = self.registry.get(name)?;
+        let plan = statement.fast_point()?;
+        if !binary::scan_scalar_params(&mut cur, &mut self.param_offsets).ok()? {
+            return None;
+        }
+        if cur.u8().ok()? != 0 {
+            return None; // explicit cursor: not a point read
+        }
+        cur.done().ok()?;
+
+        // probe key: plan constants + frame-borrowed parameter values,
+        // through the same component codec the scan path probes with
+        self.key_buf.clear();
+        for part in &plan.parts {
+            let value = match part {
+                FastKeyPart::Const(v) => piql_core::value::ValueRef::of(v),
+                FastKeyPart::Param(i) => {
+                    let off = *self.param_offsets.get(*i)?;
+                    binary::read_value_ref(&mut binary::Cur::new(&payload[off..])).ok()?
+                }
+            };
+            encode_component_ref(&mut self.key_buf, value, Dir::Asc).ok()?;
+        }
+
+        let store = self.registry.db().store();
+        store.sync_session(&mut self.session);
+        let start = self.session.begin();
+        // same op tag the general plan's scan would carry, so the live
+        // model trains on fast-path samples identically
+        self.session.op_tag = Some(OpTag {
+            op: LiveOpKind::IndexScan,
+            alpha_c: plan.alpha_c,
+            alpha_j: 1,
+            beta: plan.beta,
+        });
+        self.val_buf.clear();
+        let found = store.point_get(&mut self.session, plan.ns, &self.key_buf, &mut self.val_buf);
+        self.session.op_tag = None;
+        // a backend without a fast get: fall back (nothing was accounted)
+        let found = found?;
+
+        let fmark = binary::begin_frame(&mut self.out);
+        self.out.push(OP_RESPONSE);
+        self.out.extend_from_slice(raw_id);
+        if found {
+            let (mut row, arity) = RowReader::new(&self.val_buf).ok()?;
+            if arity != plan.arity {
+                return None;
+            }
+            binary::put_fast_ok_header(&mut self.out, 1);
+            binary::put_row_header(&mut self.out, arity as u32);
+            for _ in 0..arity {
+                binary::put_row_value(&mut self.out, row.next_value().ok()?);
+            }
+            row.finish().ok()?;
+        } else {
+            binary::put_fast_ok_header(&mut self.out, 0);
+        }
+        binary::finish_frame(&mut self.out, fmark);
+
+        let latency = self.session.elapsed_since(start);
+        statement.executions.fetch_add(1, Ordering::Relaxed);
+        statement
+            .metrics
+            .lock()
+            .record(start, latency, statement.kind.index());
+        let counters = &self.registry.counters;
+        counters.executed.fetch_add(1, Ordering::Relaxed);
+        counters.fast_point_reads.fetch_add(1, Ordering::Relaxed);
+        Some(())
+    }
+
+    /// The general path: full decode → the shared request router → generic
+    /// encode. Mirrors the JSON lane's malformed-input rule — a decode
+    /// error is answered (echoing the header id when it parses) and the
+    /// stream stays alive.
+    fn handle_general(&mut self, frame: &[u8]) {
+        let wire = BinaryWire;
+        match wire.decode_envelope(frame) {
+            Ok(env) => {
+                let response = run_handler(&env.request, &mut self.session, &self.registry);
+                wire.encode_response(env.id.as_ref(), &response, &mut self.out);
+            }
+            Err(e) => {
+                let id = wire.extract_id(frame);
+                wire.encode_response(id.as_ref(), &err_response(e.to_string()), &mut self.out);
+            }
+        }
+    }
 }
 
 /// Dispatch one request line to a response object (ignoring any `id` —
@@ -765,6 +1027,10 @@ fn stats_response<S: KvStore>(registry: &StatementRegistry<S>) -> Json {
         (
             "executed",
             Json::Int(c.executed.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "fast_point_reads",
+            Json::Int(c.fast_point_reads.load(Ordering::Relaxed) as i64),
         ),
         (
             "exec_errors",

@@ -1,0 +1,141 @@
+//! The hot-path acceptance test: after warm-up, a binary point read —
+//! decode → registry lookup → `point_get` → encode — performs **zero**
+//! heap allocations on the serving thread.
+//!
+//! A counting `#[global_allocator]` (per-thread counter, so the cluster's
+//! pool workers don't pollute the measurement) wraps the system
+//! allocator. The warm-up must saturate every lazily-grown buffer that
+//! legitimately allocates early: the per-statement `RunMetrics` ring
+//! (4096 samples) and the cluster's `LiveSampleSink` (65,536 samples,
+//! dropped-not-grown once full) — hence the 72k warm requests.
+
+use piql_engine::Database;
+use piql_kv::{LiveCluster, LiveConfig};
+use piql_server::testkit::linear_predictor;
+use piql_server::{BinaryConn, BinaryWire, Envelope, Request, SloConfig, StatementRegistry, Wire};
+use piql_workloads::scadr::{self, ScadrConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    // `try_with`: TLS may already be torn down during thread exit
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+fn allocs_on_this_thread() -> u64 {
+    ALLOCS.with(Cell::get)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+const WARM_REQUESTS: usize = 72_000;
+const MEASURED_REQUESTS: usize = 2_000;
+
+#[test]
+fn warm_binary_point_reads_do_not_allocate() {
+    let cluster = Arc::new(LiveCluster::new(LiveConfig::default()));
+    let db = Arc::new(Database::new(cluster));
+    scadr::setup(
+        &db,
+        &ScadrConfig {
+            users_per_node: 20,
+            thoughts_per_user: 5,
+            subscriptions_per_user: 4,
+            ..Default::default()
+        },
+        2,
+    )
+    .unwrap();
+    let registry = Arc::new(StatementRegistry::new(
+        db,
+        linear_predictor(200, 100, 2),
+        SloConfig {
+            slo_ms: 1e9,
+            interval_confidence: 1.0,
+            allow_degrade: false,
+        },
+    ));
+    registry
+        .register("point", "SELECT * FROM users WHERE username = <u>")
+        .unwrap();
+    assert!(
+        registry.get("point").unwrap().fast_point().is_some(),
+        "statement must qualify for the fast path"
+    );
+
+    // pre-encode request frames (hits and a miss) outside the measurement
+    let wire = BinaryWire;
+    let frames: Vec<Vec<u8>> = (0..40)
+        .map(|i| {
+            let name = if i == 13 {
+                "absent-user".to_string() // a miss is a hot-path response too
+            } else {
+                scadr::username(i)
+            };
+            let mut frame = Vec::new();
+            wire.encode_envelope(
+                &Envelope {
+                    id: None,
+                    request: Request::Execute {
+                        name: "point".into(),
+                        params: vec![piql_core::value::Value::Varchar(name).into()],
+                        cursor: None,
+                    },
+                },
+                &mut frame,
+            );
+            frame.split_off(4) // body only, as the server's read loop delivers it
+        })
+        .collect();
+
+    let mut conn = BinaryConn::new(registry.clone());
+    for i in 0..WARM_REQUESTS {
+        conn.handle_frame(&frames[i % frames.len()]);
+        assert!(!conn.output().is_empty());
+        conn.clear_output();
+    }
+
+    let before = allocs_on_this_thread();
+    for i in 0..MEASURED_REQUESTS {
+        conn.handle_frame(&frames[i % frames.len()]);
+        conn.clear_output();
+    }
+    let delta = allocs_on_this_thread() - before;
+    assert_eq!(
+        delta, 0,
+        "warm point reads must not allocate ({delta} allocations across {MEASURED_REQUESTS} requests)"
+    );
+
+    // sanity: every measured request actually took the fast path
+    let fast = registry
+        .counters
+        .fast_point_reads
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(fast as usize, WARM_REQUESTS + MEASURED_REQUESTS);
+}

@@ -1,0 +1,259 @@
+//! End-to-end binary (v3) protocol tests against a `LiveCluster`-backed
+//! server: codec negotiation (magic / hello / clean failure against a
+//! v2-only endpoint), mixed v2+v3 clients sharing one server, pipelining,
+//! the malformed-frame id echo, and the acceptance property of the hot
+//! path — fast point-read responses byte-identical to the general path's,
+//! with `fast_point_reads` accounting for them.
+
+use piql_core::plan::params::ParamValue;
+use piql_core::value::Value;
+use piql_engine::Database;
+use piql_kv::{LiveCluster, LiveConfig, Session};
+use piql_server::server::handle_request;
+use piql_server::testkit::linear_predictor;
+use piql_server::{
+    BinaryConn, BinaryWire, Client, Envelope, Json, PiqlServer, Request, RequestId, SloConfig,
+    StatementRegistry, Wire,
+};
+use piql_workloads::scadr::{self, ScadrConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+const POINT: &str = "SELECT * FROM users WHERE username = <u>";
+
+fn permissive_slo() -> SloConfig {
+    SloConfig {
+        slo_ms: 1e9,
+        interval_confidence: 1.0,
+        allow_degrade: false,
+    }
+}
+
+fn scadr_db() -> Arc<Database<LiveCluster>> {
+    let cluster = Arc::new(LiveCluster::new(LiveConfig::default()));
+    let db = Arc::new(Database::new(cluster));
+    let config = ScadrConfig {
+        users_per_node: 20,
+        thoughts_per_user: 11,
+        subscriptions_per_user: 4,
+        ..Default::default()
+    };
+    scadr::setup(&db, &config, 2).unwrap();
+    db
+}
+
+fn start_server() -> PiqlServer {
+    PiqlServer::start(
+        scadr_db(),
+        linear_predictor(200, 100, 2),
+        permissive_slo(),
+        "127.0.0.1:0",
+    )
+    .unwrap()
+}
+
+fn uname_param(i: usize) -> Vec<ParamValue> {
+    vec![Value::Varchar(scadr::username(i)).into()]
+}
+
+#[test]
+fn binary_client_negotiates_and_matches_json_client() {
+    let server = start_server();
+    let addr = server.local_addr();
+
+    let mut v2 = Client::connect(addr).unwrap();
+    let mut v3 = Client::connect_binary(addr).unwrap();
+    assert_eq!(v2.wire_version(), 2);
+    assert_eq!(v3.wire_version(), 3);
+
+    let verdict = v3.prepare("point", POINT).unwrap();
+    assert_eq!(
+        verdict.get("status").and_then(Json::as_str),
+        Some("admitted")
+    );
+
+    // the same point reads over both codecs decode to the same pages
+    for i in [0, 3, 7, 19] {
+        let a = v2.execute("point", &uname_param(i), None).unwrap();
+        let b = v3.execute("point", &uname_param(i), None).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.rows.len(), 1);
+    }
+    // a miss answers an empty page on both
+    let params = vec![Value::Varchar("no-such-user".into()).into()];
+    let a = v2.execute("point", &params, None).unwrap();
+    let b = v3.execute("point", &params, None).unwrap();
+    assert_eq!(a, b);
+    assert!(a.rows.is_empty());
+
+    // every v3 point read went through the fast path
+    let fast = server
+        .registry()
+        .counters
+        .fast_point_reads
+        .load(Ordering::Relaxed);
+    assert_eq!(fast, 5);
+
+    // a paginated statement falls back transparently over v3
+    v3.prepare(
+        "stream",
+        "SELECT * FROM thoughts WHERE owner = <u> ORDER BY timestamp DESC PAGINATE 4",
+    )
+    .unwrap();
+    let page = v3.execute("stream", &uname_param(5), None).unwrap();
+    assert_eq!(page.rows.len(), 4);
+    let next = v3
+        .cursor_next("stream", &uname_param(5), page.cursor.unwrap())
+        .unwrap();
+    assert_eq!(next.rows.len(), 4);
+
+    // a v3 write is visible to the v2 reader: one server, one store
+    v3.dml(
+        "INSERT INTO users (username, password, home_town) VALUES (<u>, <p>, <h>)",
+        &[
+            Value::Varchar("binary-born".into()).into(),
+            Value::Varchar("hash".into()).into(),
+            Value::Varchar("town".into()).into(),
+        ],
+    )
+    .unwrap();
+    let seen = v2
+        .execute(
+            "point",
+            &[Value::Varchar("binary-born".into()).into()],
+            None,
+        )
+        .unwrap();
+    assert_eq!(seen.rows.len(), 1);
+
+    // control verbs work over v3 too
+    let stats = v3.stats().unwrap();
+    assert!(stats.get("statements").and_then(Json::as_arr).is_some());
+    assert!(v3.revalidate().unwrap().get("sweep").is_some());
+}
+
+#[test]
+fn fast_point_response_is_byte_identical_to_general_path() {
+    let db = scadr_db();
+    let registry = Arc::new(StatementRegistry::new(
+        db,
+        linear_predictor(200, 100, 2),
+        permissive_slo(),
+    ));
+    registry.register("point", POINT).unwrap();
+    let statement = registry.get("point").unwrap();
+    assert!(
+        statement.fast_point().is_some(),
+        "full-pk equality lookup must qualify for the fast path"
+    );
+
+    let wire = BinaryWire;
+    let mut conn = BinaryConn::new(registry.clone());
+    let cases = [
+        (Some(RequestId::Int(17)), scadr::username(4)),
+        (Some(RequestId::Str("req-β".into())), scadr::username(9)),
+        (None, scadr::username(12)),
+        (Some(RequestId::Int(-1)), "no-such-user".to_string()), // miss
+    ];
+    let n = cases.len() as u64;
+    for (id, user) in cases {
+        let env = Envelope {
+            id,
+            request: Request::Execute {
+                name: "point".into(),
+                params: vec![Value::Varchar(user).into()],
+                cursor: None,
+            },
+        };
+        let mut frame = Vec::new();
+        wire.encode_envelope(&env, &mut frame);
+        conn.handle_frame(&frame[4..]);
+
+        // the general path's encoding of the same request
+        let mut session = Session::new();
+        let response = handle_request(&env.request, &mut session, &registry);
+        let mut expected = Vec::new();
+        wire.encode_response(env.id.as_ref(), &response, &mut expected);
+
+        assert_eq!(conn.output(), &expected[..]);
+        conn.clear_output();
+    }
+    assert_eq!(
+        registry.counters.fast_point_reads.load(Ordering::Relaxed),
+        n
+    );
+    // fast handles + their general twins both count as executions
+    assert_eq!(registry.counters.executed.load(Ordering::Relaxed), 2 * n);
+    assert_eq!(statement.executions.load(Ordering::Relaxed), 2 * n);
+}
+
+#[test]
+fn malformed_binary_payload_echoes_header_id() {
+    let server = start_server();
+    let mut client = Client::connect_binary(server.local_addr()).unwrap();
+    let raw = client.raw_stream().unwrap();
+
+    // valid header (opcode `execute`, int id 77), garbage payload
+    let mut body = vec![piql_server::binary::OP_EXECUTE, 1];
+    body.extend_from_slice(&77i64.to_le_bytes());
+    body.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF]);
+    let mut frame = (body.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&body);
+    let mut w = raw;
+    w.write_all(&frame).unwrap();
+    w.flush().unwrap();
+
+    let response = client.raw_read_line().unwrap();
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(response.get("id"), Some(&Json::Int(77)));
+    assert!(response.get("error").is_some());
+
+    // the stream survives: the next well-formed request still answers
+    client.prepare("point", POINT).unwrap();
+    let page = client.execute("point", &uname_param(2), None).unwrap();
+    assert_eq!(page.rows.len(), 1);
+}
+
+#[test]
+fn binary_pipeline_reassembles_positionally() {
+    let server = start_server();
+    let mut client = Client::connect_binary(server.local_addr()).unwrap();
+    client.prepare("point", POINT).unwrap();
+
+    let mut pipeline = client.pipeline();
+    for i in 0..20 {
+        pipeline.queue_execute("point", &uname_param(i % 40));
+    }
+    let responses = pipeline.flush().unwrap();
+    assert_eq!(responses.len(), 20);
+    for (i, response) in responses.iter().enumerate() {
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+        let page = piql_server::decode_page(response).unwrap();
+        assert_eq!(page.rows.len(), 1, "request {i}");
+    }
+}
+
+#[test]
+fn binary_client_fails_cleanly_against_a_v2_only_endpoint() {
+    // a v2-only server reads the magic as one garbage line and answers a
+    // JSON error line; the v3 client must fail with InvalidData, not hang
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake_v2 = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = Vec::new();
+        reader.read_until(b'\n', &mut line).unwrap();
+        let mut w = stream;
+        w.write_all(b"{\"ok\":false,\"error\":\"malformed request\"}\n")
+            .unwrap();
+    });
+    let err = match Client::connect_binary(addr) {
+        Err(e) => e,
+        Ok(_) => panic!("negotiation against a v2-only endpoint must fail"),
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("does not speak v3"), "{err}");
+    fake_v2.join().unwrap();
+}

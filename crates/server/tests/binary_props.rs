@@ -1,0 +1,262 @@
+//! Property tests for the binary (v3) wire codec, mirroring
+//! `json_props.rs`: envelope and response round trips (awkward strings,
+//! astral chars, every id flavor), the no-panic guarantee on truncated /
+//! bit-flipped frames — a hostile frame must surface `ProtoError` or a
+//! frame-layer `io::Error`, never kill the connection handler — plus the
+//! framing layer itself (`read_frame` on cut-off streams) and the
+//! header-id recovery contract (`extract_id` on mangled payloads).
+
+use piql_core::plan::params::ParamValue;
+use piql_core::value::Value;
+use piql_server::json::Json;
+use piql_server::protocol::ok_response;
+use piql_server::{BinaryWire, Envelope, Request, RequestId, Wire};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+/// Strings mixing ASCII, escapes-required chars, control chars, wide BMP
+/// chars, and (sometimes) astral chars (same shape as `json_props.rs`).
+fn string_content() -> impl Strategy<Value = String> {
+    (
+        prop::collection::vec(any::<char>(), 0..16),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(chars, quoteish, astral)| {
+            let mut s: String = chars.into_iter().collect();
+            if quoteish {
+                s.push('"');
+                s.push('\\');
+                s.push('\n');
+                s.push('\u{0007}');
+            }
+            if astral {
+                s.push('😀');
+                s.push('🦀');
+            }
+            s
+        })
+}
+
+/// A scalar JSON value whose binary serialization round-trips exactly.
+/// Unlike the text codec, the binary codec carries `f64` bits verbatim,
+/// so infinities round-trip too; NaN is bit-exact as well but `==` can't
+/// see that, so it gets its own test (`nan_bits_roundtrip`).
+fn scalar() -> impl Strategy<Value = Json> {
+    prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        any::<i64>().prop_map(Json::Int),
+        any::<f64>().prop_map(|f| Json::Float(if f.is_nan() { f64::INFINITY } else { f })),
+        string_content().prop_map(Json::Str),
+    ]
+}
+
+/// A bounded-depth document: the response shapes the server produces.
+fn document() -> impl Strategy<Value = Json> {
+    prop_oneof![
+        scalar(),
+        prop::collection::vec(scalar(), 0..6).prop_map(Json::Arr),
+        prop::collection::btree_map(string_content(), scalar(), 0..6).prop_map(Json::Obj),
+        (
+            prop::collection::vec(scalar(), 0..4),
+            prop::collection::btree_map(string_content(), scalar(), 0..4),
+        )
+            .prop_map(|(arr, obj)| { Json::Arr(vec![Json::Arr(arr), Json::Obj(obj), Json::Null]) }),
+    ]
+}
+
+/// An arbitrary client-assigned request id (both flavors).
+fn request_id() -> impl Strategy<Value = RequestId> {
+    prop_oneof![
+        any::<i64>().prop_map(RequestId::Int),
+        string_content().prop_map(RequestId::Str),
+    ]
+}
+
+/// An arbitrary scalar wire value.
+fn scalar_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i32>().prop_map(Value::Int),
+        any::<i64>().prop_map(Value::BigInt),
+        string_content().prop_map(Value::Varchar),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Timestamp),
+        any::<f64>().prop_map(Value::Double),
+    ]
+}
+
+/// An arbitrary wire value parameter (scalar or IN-collection).
+fn param() -> impl Strategy<Value = ParamValue> {
+    prop_oneof![
+        scalar_value().prop_map(ParamValue::Scalar),
+        prop::collection::vec(scalar_value(), 0..4).prop_map(ParamValue::Collection),
+    ]
+}
+
+/// An arbitrary non-batch request (what a batch may carry).
+fn sub_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (string_content(), string_content()).prop_map(|(name, sql)| Request::Prepare { name, sql }),
+        (string_content(), prop::collection::vec(param(), 0..4)).prop_map(|(name, params)| {
+            Request::Execute {
+                name,
+                params,
+                cursor: None,
+            }
+        }),
+        (string_content(), prop::collection::vec(param(), 0..4))
+            .prop_map(|(sql, params)| Request::Dml { sql, params }),
+        Just(Request::Stats),
+        Just(Request::Revalidate),
+        Just(Request::Rebalance),
+    ]
+}
+
+/// Encode an envelope and strip the length prefix (the part
+/// `decode_envelope` consumes).
+fn encode_body(env: &Envelope) -> Vec<u8> {
+    let mut frame = Vec::new();
+    BinaryWire.encode_envelope(env, &mut frame);
+    frame.split_off(4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any request under any id (or none) survives the binary envelope
+    /// encode→decode exactly.
+    #[test]
+    fn envelopes_roundtrip(
+        tagged in any::<bool>(),
+        id in request_id(),
+        request in sub_request(),
+    ) {
+        let env = Envelope { id: tagged.then_some(id), request };
+        let body = encode_body(&env);
+        prop_assert_eq!(BinaryWire.decode_envelope(&body), Ok(env));
+    }
+
+    /// Any response document under any id survives encode→decode exactly,
+    /// id carried in the header (not in the body).
+    #[test]
+    fn responses_roundtrip(
+        tagged in any::<bool>(),
+        id in request_id(),
+        doc in document(),
+    ) {
+        let id = tagged.then_some(id);
+        let response = ok_response([("payload", doc)]);
+        let mut frame = Vec::new();
+        BinaryWire.encode_response(id.as_ref(), &response, &mut frame);
+        let decoded = BinaryWire.decode_response(&frame[4..]);
+        prop_assert_eq!(decoded, Ok((id, response)));
+    }
+
+    /// Every prefix of a valid frame body either decodes or returns a
+    /// `ProtoError` — truncation can never panic or loop.
+    #[test]
+    fn truncated_bodies_never_panic(
+        id in request_id(),
+        request in sub_request(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let body = encode_body(&Envelope { id: Some(id), request });
+        let at = cut.index(body.len() + 1);
+        let _ = BinaryWire.decode_envelope(&body[..at]);
+        let _ = BinaryWire.decode_response(&body[..at]);
+        let _ = BinaryWire.extract_id(&body[..at]);
+        prop_assert!(true);
+    }
+
+    /// A single flipped byte anywhere in the body either decodes (to
+    /// *something* — e.g. a flipped id value) or errors; never panics.
+    #[test]
+    fn corrupted_bodies_never_panic(
+        id in request_id(),
+        request in sub_request(),
+        pos in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let mut body = encode_body(&Envelope { id: Some(id), request });
+        if !body.is_empty() {
+            let at = pos.index(body.len());
+            body[at] ^= xor;
+        }
+        let _ = BinaryWire.decode_envelope(&body);
+        let _ = BinaryWire.decode_response(&body);
+        let _ = BinaryWire.extract_id(&body);
+        prop_assert!(true);
+    }
+
+    /// The framing layer: a stream cut anywhere inside a frame surfaces a
+    /// clean `io::Error` (mid-frame EOF) — except a cut at a frame
+    /// boundary, which is a clean end-of-stream. Never panics, never
+    /// yields a short frame.
+    #[test]
+    fn truncated_streams_never_panic(
+        id in request_id(),
+        request in sub_request(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let mut frame = Vec::new();
+        BinaryWire.encode_envelope(&Envelope { id: Some(id), request }, &mut frame);
+        let total = frame.len();
+        let at = cut.index(total + 1);
+        let mut reader = BufReader::new(&frame[..at]);
+        let mut buf = Vec::new();
+        match BinaryWire.read_frame(&mut reader, &mut buf) {
+            Ok(true) => prop_assert_eq!(at, total, "full frame only at full length"),
+            Ok(false) => prop_assert_eq!(at, 0, "clean EOF only at offset 0"),
+            Err(_) => prop_assert!(at > 0 && at < total),
+        }
+    }
+
+    /// Header-id recovery: a frame whose *payload* is garbage but whose
+    /// header is intact still yields the client's id via `extract_id` —
+    /// the binary half of the id-echo-on-malformed contract.
+    #[test]
+    fn header_ids_survive_garbage_payloads(
+        id in request_id(),
+        garbage in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        // a well-formed execute header...
+        let env = Envelope {
+            id: Some(id.clone()),
+            request: Request::Stats,
+        };
+        let mut body = encode_body(&env);
+        // ...with arbitrary junk appended (stats has an empty payload, so
+        // the junk is pure payload garbage)
+        body.extend_from_slice(&garbage);
+        prop_assert_eq!(BinaryWire.extract_id(&body), Some(id));
+    }
+
+    /// Arbitrary bytes fed straight into the decoders: error or decode,
+    /// never panic (fuzz-shaped safety net).
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = BinaryWire.decode_envelope(&bytes);
+        let _ = BinaryWire.decode_response(&bytes);
+        let _ = BinaryWire.extract_id(&bytes);
+        prop_assert!(true);
+    }
+
+    /// Every NaN payload's bits survive the codec verbatim (the property
+    /// `responses_roundtrip` can't assert through `==`).
+    #[test]
+    fn nan_bits_roundtrip(mantissa in 1u64..(1 << 52), sign in any::<bool>()) {
+        let bits = (u64::from(sign) << 63) | 0x7FF0_0000_0000_0000 | mantissa;
+        let nan = f64::from_bits(bits);
+        prop_assert!(nan.is_nan());
+        let response = ok_response([("payload", Json::Float(nan))]);
+        let mut frame = Vec::new();
+        BinaryWire.encode_response(None, &response, &mut frame);
+        let (_, decoded) = BinaryWire.decode_response(&frame[4..]).unwrap();
+        let Some(Json::Float(out)) = decoded.get("payload") else {
+            return Err(TestCaseError::fail("payload missing"));
+        };
+        prop_assert_eq!(out.to_bits(), bits);
+    }
+}

@@ -5,7 +5,9 @@
 //! Insight report) before it can touch storage. Then the feedback loop:
 //! the store drifts slow, a re-validation sweep folds the observed
 //! latencies back into the models, and the admitted statement is flagged
-//! — same process, no restart.
+//! — same process, no restart. Along the way a second client negotiates
+//! the binary v3 codec on the same port and races the JSON client through
+//! pipelined point reads (served by the zero-allocation fast path).
 //!
 //! Run with: `cargo run --example serve`
 //!
@@ -218,7 +220,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         read_back.rows[0],
     );
 
-    // -- 5. the feedback loop: the store drifts slow, live samples fold
+    // -- 5. the binary wire protocol (v3, PROTOCOL.md §9): same port —
+    //       a client opts in with a magic preamble, everything else keeps
+    //       speaking JSON v2. Point reads take the server's
+    //       allocation-free fast path.
+    let mut bclient = Client::connect_binary(server.local_addr())?;
+    let fast_before = client
+        .stats()?
+        .get("fast_point_reads")
+        .and_then(Json::as_i64)
+        .unwrap_or(0);
+    let reads = 400;
+    let t0 = Instant::now();
+    let mut pipeline = client.pipeline();
+    for i in 0..reads {
+        pipeline.queue_execute("find_user", &[Value::Varchar(scadr::username(i)).into()]);
+    }
+    pipeline.flush()?;
+    let json_elapsed = t0.elapsed();
+    let t0 = Instant::now();
+    let mut pipeline = bclient.pipeline();
+    for i in 0..reads {
+        pipeline.queue_execute("find_user", &[Value::Varchar(scadr::username(i)).into()]);
+    }
+    pipeline.flush()?;
+    let bin_elapsed = t0.elapsed();
+    let fast_reads = bclient
+        .stats()?
+        .get("fast_point_reads")
+        .and_then(Json::as_i64)
+        .unwrap_or(0)
+        - fast_before;
+    println!(
+        "binary v{} negotiated on the same port: {reads} pipelined point reads — \
+         json-v2 {:.2}ms, binary-v3 {:.2}ms ({fast_reads} answered by the \
+         zero-allocation fast path)\n",
+        bclient.wire_version(),
+        json_elapsed.as_secs_f64() * 1e3,
+        bin_elapsed.as_secs_f64() * 1e3,
+    );
+    // fold the race's healthy samples into the models now, so the drift
+    // sweep below sees the slow ones undiluted
+    client.revalidate()?;
+
+    // -- 6. the feedback loop: the store drifts slow, live samples fold
     //       back into the models, and a sweep flags the admitted statement
     println!("injecting 120ms/request latency drift into the running store...");
     cluster.set_request_delay_us(120_000);
