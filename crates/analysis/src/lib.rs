@@ -1,0 +1,27 @@
+//! Concurrency invariant analysis for the PIQL workspace.
+//!
+//! PIQL's thesis is that static analysis buys predictability: bound the
+//! work before running the query. This crate applies the same philosophy
+//! to the engine's own concurrency, turning the lock-ordering prose in
+//! ARCHITECTURE.md into machine-checked artifacts:
+//!
+//! - [`ordered`] — ranked `Mutex`/`RwLock`/`Condvar` wrappers. Free in
+//!   release builds; under the `lock-order` feature every acquisition is
+//!   checked against the thread's held ranks and inversions panic with
+//!   both acquisition backtraces.
+//! - [`rank`] — the global rank table, one constant per lock, ordered
+//!   outermost-first.
+//! - [`check`] — a deterministic mini model checker (virtual threads,
+//!   exhaustive and seeded-random schedule exploration) for small
+//!   concurrency models.
+//! - [`models`] — regression models for the two races this workspace has
+//!   shipped (PR 5 RoundPool baton-pass, PR 6 WAL rotation vs. group
+//!   commit), each with the fix revertible for fail/pass pairing.
+//! - [`lint`] — the offline source lint behind
+//!   `cargo run -p piql-analysis --bin lint`.
+
+pub mod check;
+pub mod lint;
+pub mod models;
+pub mod ordered;
+pub mod rank;

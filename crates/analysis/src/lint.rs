@@ -1,0 +1,202 @@
+//! The workspace concurrency lint: a small, offline, source-scanning
+//! checker run as `cargo run -p piql-analysis --bin lint` (and as a unit
+//! test, so `cargo test` enforces it).
+//!
+//! Rules:
+//!
+//! - **`raw-lock`** — `Mutex`/`RwLock`/`Condvar` must come from
+//!   `piql_analysis::ordered`, never from `std::sync` or `parking_lot`
+//!   directly. Raw locks dodge the rank table, so an inversion through one
+//!   is invisible to `lock-order` builds. Scope: `crates/*/src/**`, minus
+//!   the wrapper module itself.
+//! - **`request-unwrap`** — no `.unwrap()` / `.expect()` in server
+//!   request-handling sources. A panic there tears down a connection (or
+//!   the whole serve loop) for a condition a client can trigger; return a
+//!   protocol error instead. Scope: the request-path files listed in
+//!   [`REQUEST_PATH_FILES`], non-test code.
+//! - **`undocumented-unsafe`** — every `unsafe` block/fn needs a
+//!   `// SAFETY:` comment on the same line or within the three lines
+//!   above. Scope: `crates/*/src/**`.
+//!
+//! Suppress a finding with `// lint:allow(<rule>)` on the offending line
+//! or the line directly above, ideally with a justification after it.
+//! `#[cfg(test)]` modules are skipped entirely (the repo convention keeps
+//! them last in the file).
+//!
+//! The pattern constants below are assembled with `concat!` so this file's
+//! own source never contains the contiguous tokens it hunts for.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Rule identifiers, as used in `lint:allow(...)`.
+pub const RULE_RAW_LOCK: &str = "raw-lock";
+pub const RULE_REQUEST_UNWRAP: &str = "request-unwrap";
+pub const RULE_UNDOCUMENTED_UNSAFE: &str = concat!("undocumented-", "unsafe");
+
+/// Server sources on the request-handling path (relative to `crates/`).
+pub const REQUEST_PATH_FILES: &[&str] = &[
+    "server/src/server.rs",
+    "server/src/protocol.rs",
+    "server/src/binary.rs",
+    "server/src/json.rs",
+    "server/src/wire.rs",
+    "server/src/registry.rs",
+];
+
+/// Files exempt from `raw-lock`: the ranked wrapper implementation itself.
+const RAW_LOCK_EXEMPT: &[&str] = &["analysis/src/ordered.rs"];
+
+const SYNC_PROVENANCE: [&str; 5] = [
+    concat!("std::", "sync"),
+    concat!("parking", "_lot"),
+    concat!("sync::", "Mutex"),
+    concat!("sync::", "RwLock"),
+    concat!("sync::", "Condvar"),
+];
+const LOCK_TYPES: [&str; 3] = ["Mutex", "RwLock", "Condvar"];
+const UNWRAP_CALLS: [&str; 2] = [concat!(".unw", "rap()"), concat!(".exp", "ect(")];
+const UNSAFE_KEYWORD: [&str; 2] = [concat!("uns", "afe "), concat!("uns", "afe{")];
+const SAFETY_COMMENT: &str = concat!("SAF", "ETY:");
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Path relative to the workspace root.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    pub rule: &'static str,
+    pub excerpt: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.excerpt.trim()
+        )
+    }
+}
+
+/// Scan results for a workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+/// Lint every `crates/*/src/**/*.rs` file under `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    for entry in fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for file in files {
+        let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+        let text = fs::read_to_string(&file)?;
+        report.files_scanned += 1;
+        lint_file(&rel, &text, &mut report.findings);
+    }
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint one file's text. `rel` is the path relative to the workspace root
+/// (used for scoping and reporting). Exposed for tests.
+pub fn lint_file(rel: &Path, text: &str, out: &mut Vec<Finding>) {
+    let in_crates = rel.strip_prefix("crates").unwrap_or(rel);
+    let check_raw_lock = !RAW_LOCK_EXEMPT.iter().any(|e| in_crates == Path::new(e));
+    let check_unwrap = REQUEST_PATH_FILES.iter().any(|e| in_crates == Path::new(e));
+
+    let lines: Vec<&str> = text.lines().collect();
+    let mut i = 0;
+    while i < lines.len() {
+        let raw = lines[i];
+        let trimmed = raw.trim();
+
+        // Skip `#[cfg(test)] mod …` to end of file (repo convention keeps
+        // test modules last).
+        if trimmed == "#[cfg(test)]" {
+            let next = lines[i + 1..]
+                .iter()
+                .map(|l| l.trim())
+                .find(|l| !l.is_empty() && !l.starts_with("#["));
+            if next.is_some_and(|l| l.starts_with("mod ") || l.starts_with("pub mod ")) {
+                break;
+            }
+        }
+
+        let allowed = |rule: &str| {
+            let tag = format!("lint:allow({rule})");
+            raw.contains(&tag) || (i > 0 && lines[i - 1].contains(&tag))
+        };
+        // Comment-stripped view for code-pattern rules.
+        let code = raw.split("//").next().unwrap_or(raw);
+
+        if check_raw_lock
+            && SYNC_PROVENANCE.iter().any(|p| code.contains(p))
+            && LOCK_TYPES.iter().any(|t| code.contains(t))
+            && !allowed(RULE_RAW_LOCK)
+        {
+            out.push(Finding {
+                file: rel.to_path_buf(),
+                line: i + 1,
+                rule: RULE_RAW_LOCK,
+                excerpt: raw.to_string(),
+            });
+        }
+
+        if check_unwrap
+            && UNWRAP_CALLS.iter().any(|p| code.contains(p))
+            && !allowed(RULE_REQUEST_UNWRAP)
+        {
+            out.push(Finding {
+                file: rel.to_path_buf(),
+                line: i + 1,
+                rule: RULE_REQUEST_UNWRAP,
+                excerpt: raw.to_string(),
+            });
+        }
+
+        if UNSAFE_KEYWORD.iter().any(|p| code.contains(p)) && !allowed(RULE_UNDOCUMENTED_UNSAFE) {
+            let documented = raw.contains(SAFETY_COMMENT)
+                || lines[i.saturating_sub(3)..i]
+                    .iter()
+                    .any(|l| l.contains(SAFETY_COMMENT));
+            if !documented {
+                out.push(Finding {
+                    file: rel.to_path_buf(),
+                    line: i + 1,
+                    rule: RULE_UNDOCUMENTED_UNSAFE,
+                    excerpt: raw.to_string(),
+                });
+            }
+        }
+
+        i += 1;
+    }
+}

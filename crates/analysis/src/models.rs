@@ -1,0 +1,393 @@
+//! Regression models for the two concurrency bugs this workspace has
+//! actually shipped. Each model is the locking skeleton of the real
+//! algorithm, small enough for [`crate::check::explore`] to enumerate
+//! every schedule, and carries a `fix_enabled` switch: with the fix
+//! reverted the explorer finds the historical race; with it in place every
+//! schedule passes. The paired tests live in `tests/models.rs`.
+
+use crate::check::{Model, ModelCondvar, ModelMutex, Step};
+
+// ---------------------------------------------------------------------------
+// PR 5: RoundPool condvar baton-pass race
+// ---------------------------------------------------------------------------
+
+/// The RoundPool submit/worker handoff (`crates/kv/src/pool.rs`).
+///
+/// A submitter pushes two tasks, calling `notify_one` after each. Two
+/// workers pop tasks; a worker that pops then runs its task for a long
+/// time (modelled as exiting). The historical bug: both notifications can
+/// land on the same parked worker — a condvar permits a signalled-but-not-
+/// yet-awake thread to absorb further signals — so the second task strands
+/// while the other worker parks forever. The fix is the baton pass: a
+/// worker that pops a task while the queue is still non-empty re-notifies
+/// before running, handing the baton to a genuinely unsignalled waiter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BatonPassModel {
+    /// `true` = current code (pop re-notifies when queue stays non-empty);
+    /// `false` = the pre-PR 5 worker loop.
+    pub fix_enabled: bool,
+    queue: u8,
+    tasks_run: u8,
+    mutex: ModelMutex,
+    cv: ModelCondvar,
+    submitter_pc: u8,
+    worker_pc: [u8; 2],
+}
+
+/// Thread ids: 0 = submitter, 1..=2 = workers.
+impl BatonPassModel {
+    pub fn new(fix_enabled: bool) -> Self {
+        BatonPassModel {
+            fix_enabled,
+            queue: 0,
+            tasks_run: 0,
+            mutex: ModelMutex::default(),
+            cv: ModelCondvar::default(),
+            submitter_pc: 0,
+            worker_pc: [0, 0],
+        }
+    }
+
+    fn step_submitter(&mut self) -> Step {
+        match self.submitter_pc {
+            // Two rounds of: lock, push, unlock, notify_one.
+            0 | 3 => {
+                if !self.mutex.acquire(0) {
+                    return Step::Blocked;
+                }
+                self.submitter_pc += 1;
+                Step::Ran
+            }
+            1 | 4 => {
+                self.queue += 1;
+                self.mutex.release(0);
+                self.submitter_pc += 1;
+                Step::Ran
+            }
+            2 | 5 => {
+                self.cv.notify_one();
+                self.submitter_pc += 1;
+                Step::Ran
+            }
+            _ => Step::Done,
+        }
+    }
+
+    fn step_worker(&mut self, w: usize) -> Step {
+        let tid = w + 1;
+        match self.worker_pc[w] {
+            0 => {
+                if !self.mutex.acquire(tid) {
+                    return Step::Blocked;
+                }
+                self.worker_pc[w] = 1;
+                Step::Ran
+            }
+            // Holding the queue lock: pop or park.
+            1 => {
+                if self.queue > 0 {
+                    self.queue -= 1;
+                    if self.fix_enabled && self.queue > 0 {
+                        // Baton pass: more work remains and this worker is
+                        // about to go run a task, so wake a peer now.
+                        self.cv.notify_one();
+                    }
+                    self.mutex.release(tid);
+                    self.worker_pc[w] = 2;
+                } else {
+                    self.cv.enter_wait(tid);
+                    self.mutex.release(tid);
+                    self.worker_pc[w] = 3;
+                }
+                Step::Ran
+            }
+            // Run the task (outside the lock); the task is long, so the
+            // worker contributes nothing further to the handoff.
+            2 => {
+                self.tasks_run += 1;
+                self.worker_pc[w] = 5;
+                Step::Ran
+            }
+            // Parked: wake only on a signal addressed to us.
+            3 => {
+                if !self.cv.take_signal(tid) {
+                    return Step::Blocked;
+                }
+                self.worker_pc[w] = 4;
+                Step::Ran
+            }
+            // Awake: re-acquire the lock and re-check the queue.
+            4 => {
+                if !self.mutex.acquire(tid) {
+                    return Step::Blocked;
+                }
+                self.worker_pc[w] = 1;
+                Step::Ran
+            }
+            _ => Step::Done,
+        }
+    }
+}
+
+impl Model for BatonPassModel {
+    fn threads(&self) -> usize {
+        3
+    }
+
+    fn step(&mut self, tid: usize) -> Step {
+        match tid {
+            0 => self.step_submitter(),
+            w => self.step_worker(w - 1),
+        }
+    }
+
+    fn on_stuck(&self) -> Result<(), String> {
+        if self.queue > 0 {
+            Err(format!(
+                "lost wakeup: {} task(s) queued while every remaining worker parks \
+                 (ran {} of 2)",
+                self.queue, self.tasks_run
+            ))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PR 6: WAL rotation vs. group commit
+// ---------------------------------------------------------------------------
+
+/// The WAL group-commit/rotation interaction (`crates/durability/src/wal.rs`).
+///
+/// Appenders stage records in `pending` and block until the durable
+/// watermark covers their LSN. The committer drains the staged chunk and
+/// writes+fsyncs it under `sink`. `rotate_to` drains whatever is staged,
+/// syncs it, starts a new segment, and publishes `durable = appended` —
+/// all while holding `pending`.
+///
+/// The historical bug: the committer released `pending` *before* acquiring
+/// `sink`. In that window rotation could run in full — sealing the old
+/// segment and publishing a durable watermark that covered the chunk still
+/// sitting in the committer's memory. A crash then loses acknowledged
+/// records, and the late chunk lands in the wrong segment at the wrong
+/// offsets. The fix: the committer acquires `sink` while still holding
+/// `pending`, so a rotation can never overtake an in-flight chunk.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WalRotationModel {
+    /// `true` = current code (committer takes `sink` before releasing
+    /// `pending`); `false` = the pre-review PR 6 committer.
+    pub fix_enabled: bool,
+    pending: ModelMutex,
+    sink: ModelMutex,
+    /// Staged records (LSNs; each record is one offset unit).
+    buf: Vec<u64>,
+    /// LSN high-water mark of appended records.
+    appended: u64,
+    /// Synced on-disk records, per segment, in write order.
+    segments: Vec<Vec<u64>>,
+    /// Published durable watermark.
+    durable: u64,
+    appender_pc: [u8; 2],
+    appender_lsn: [u64; 2],
+    committer_pc: u8,
+    committer_chunk: Vec<u64>,
+    committer_target: u64,
+    rotator_pc: u8,
+}
+
+/// Thread ids: 0..=1 = appenders, 2 = committer, 3 = rotator.
+impl WalRotationModel {
+    pub fn new(fix_enabled: bool) -> Self {
+        WalRotationModel {
+            fix_enabled,
+            pending: ModelMutex::default(),
+            sink: ModelMutex::default(),
+            buf: Vec::new(),
+            appended: 0,
+            segments: vec![Vec::new()],
+            durable: 0,
+            appender_pc: [0, 0],
+            appender_lsn: [0, 0],
+            committer_pc: 0,
+            committer_chunk: Vec::new(),
+            committer_target: 0,
+            rotator_pc: 0,
+        }
+    }
+
+    fn step_appender(&mut self, a: usize) -> Step {
+        let tid = a;
+        match self.appender_pc[a] {
+            0 => {
+                if !self.pending.acquire(tid) {
+                    return Step::Blocked;
+                }
+                self.appender_pc[a] = 1;
+                Step::Ran
+            }
+            // append() under `pending`, then commit() waits for durability.
+            1 => {
+                self.appended += 1;
+                self.appender_lsn[a] = self.appended;
+                self.buf.push(self.appended);
+                self.pending.release(tid);
+                self.appender_pc[a] = 2;
+                Step::Ran
+            }
+            2 => {
+                if self.durable < self.appender_lsn[a] {
+                    return Step::Blocked;
+                }
+                self.appender_pc[a] = 3;
+                Step::Ran
+            }
+            _ => Step::Done,
+        }
+    }
+
+    /// One committer iteration: drain the staged chunk, write+sync it,
+    /// publish the watermark.
+    fn step_committer(&mut self) -> Step {
+        let tid = 2;
+        match self.committer_pc {
+            0 => {
+                if self.buf.is_empty() || !self.pending.acquire(tid) {
+                    return Step::Blocked;
+                }
+                self.committer_pc = 1;
+                Step::Ran
+            }
+            1 => {
+                if self.fix_enabled {
+                    // Fix: take `sink` while still holding `pending`.
+                    if !self.sink.acquire(tid) {
+                        return Step::Blocked;
+                    }
+                    self.committer_chunk = std::mem::take(&mut self.buf);
+                    self.committer_target = self.appended;
+                    self.pending.release(tid);
+                    self.committer_pc = 3;
+                } else {
+                    // Bug: release `pending` with the chunk only in memory;
+                    // rotation can now run before we reach `sink`.
+                    self.committer_chunk = std::mem::take(&mut self.buf);
+                    self.committer_target = self.appended;
+                    self.pending.release(tid);
+                    self.committer_pc = 2;
+                }
+                Step::Ran
+            }
+            2 => {
+                if !self.sink.acquire(tid) {
+                    return Step::Blocked;
+                }
+                self.committer_pc = 3;
+                Step::Ran
+            }
+            // Write + fsync the chunk into the current segment.
+            3 => {
+                let seg = self.segments.last_mut().expect("segment list nonempty");
+                seg.append(&mut self.committer_chunk);
+                self.sink.release(tid);
+                self.committer_pc = 4;
+                Step::Ran
+            }
+            4 => {
+                self.durable = self.durable.max(self.committer_target);
+                self.committer_pc = 5;
+                Step::Ran
+            }
+            _ => Step::Done,
+        }
+    }
+
+    /// `rotate_to`: drain + sync staged records, seal the segment, publish
+    /// the watermark — all while holding `pending`.
+    fn step_rotator(&mut self) -> Step {
+        let tid = 3;
+        match self.rotator_pc {
+            0 => {
+                if !self.pending.acquire(tid) {
+                    return Step::Blocked;
+                }
+                self.rotator_pc = 1;
+                Step::Ran
+            }
+            1 => {
+                if !self.sink.acquire(tid) {
+                    return Step::Blocked;
+                }
+                let mut chunk = std::mem::take(&mut self.buf);
+                let seg = self.segments.last_mut().expect("segment list nonempty");
+                seg.append(&mut chunk);
+                self.segments.push(Vec::new());
+                self.sink.release(tid);
+                self.rotator_pc = 2;
+                Step::Ran
+            }
+            2 => {
+                self.durable = self.durable.max(self.appended);
+                self.pending.release(tid);
+                self.rotator_pc = 3;
+                Step::Ran
+            }
+            _ => Step::Done,
+        }
+    }
+}
+
+impl Model for WalRotationModel {
+    fn threads(&self) -> usize {
+        4
+    }
+
+    fn step(&mut self, tid: usize) -> Step {
+        match tid {
+            0 | 1 => self.step_appender(tid),
+            2 => self.step_committer(),
+            _ => self.step_rotator(),
+        }
+    }
+
+    fn invariant(&self) -> Result<(), String> {
+        // Durability: every LSN the published watermark covers must be in
+        // a synced segment. This is exactly what the historical race broke
+        // — rotation published `durable = appended` while an acknowledged
+        // chunk sat in the committer's memory.
+        for lsn in 1..=self.durable {
+            if !self.segments.iter().any(|s| s.contains(&lsn)) {
+                return Err(format!(
+                    "durable watermark {} covers lsn {lsn}, which is not in any \
+                     synced segment (segments: {:?})",
+                    self.durable, self.segments
+                ));
+            }
+        }
+        // Layout: the concatenated segments must hold contiguous LSNs in
+        // order — a late chunk writing into the wrong segment breaks this.
+        let flat: Vec<u64> = self.segments.iter().flatten().copied().collect();
+        for (i, lsn) in flat.iter().enumerate() {
+            if *lsn != i as u64 + 1 {
+                return Err(format!(
+                    "segment layout corrupt: expected lsn {} at offset {i}, found \
+                     {lsn} (segments: {:?})",
+                    i + 1,
+                    self.segments
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn on_stuck(&self) -> Result<(), String> {
+        // Parked appenders whose records no committer iteration will reach
+        // are fine (the model's committer runs one iteration); a lock held
+        // in a stuck state is a deadlock.
+        if self.pending.is_held() || self.sink.is_held() {
+            Err("deadlock: model stuck with a lock still held".to_string())
+        } else {
+            Ok(())
+        }
+    }
+}

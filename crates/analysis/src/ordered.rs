@@ -1,0 +1,345 @@
+//! Ranked lock wrappers: `Mutex`, `RwLock`, and `Condvar`.
+//!
+//! Every lock is constructed with a rank from [`crate::rank`] and a static
+//! name. In a default build the wrappers are thin pass-throughs over
+//! `std::sync` (poison-ignoring, like the workspace `parking_lot` shim) and
+//! carry no bookkeeping at all. With the `lock-order` feature enabled, each
+//! thread tracks the ranks it currently holds, and acquiring a lock whose
+//! rank is not strictly greater than everything already held panics with
+//! the acquisition backtraces of both locks involved.
+//!
+//! Backtrace capture honours `RUST_BACKTRACE` — run checked builds with
+//! `RUST_BACKTRACE=1` to get the "earlier acquisition" trace resolved; the
+//! panic message always names both locks and ranks either way.
+//!
+//! [`Condvar::wait`] releases the mutex's rank for the duration of the wait
+//! (the thread does not hold the lock while parked) and re-registers it,
+//! re-checking the ordering, when the wait returns.
+
+// In default builds `Meta` is `()`, so the tracking shims take a unit —
+// the price of keeping the wrapper bodies free of cfg branches.
+#![allow(clippy::unit_arg)]
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync as sys;
+use std::time::Duration;
+
+pub use sys::WaitTimeoutResult;
+
+#[cfg(feature = "lock-order")]
+type Meta = tracking::LockMeta;
+#[cfg(not(feature = "lock-order"))]
+type Meta = ();
+
+#[cfg(feature = "lock-order")]
+fn meta(rank: u32, name: &'static str) -> Meta {
+    tracking::LockMeta { rank, name }
+}
+#[cfg(not(feature = "lock-order"))]
+fn meta(_rank: u32, _name: &'static str) -> Meta {}
+
+#[cfg(feature = "lock-order")]
+mod tracking {
+    use std::backtrace::Backtrace;
+    use std::cell::RefCell;
+
+    #[derive(Clone, Copy)]
+    pub(super) struct LockMeta {
+        pub rank: u32,
+        pub name: &'static str,
+    }
+
+    struct Held {
+        rank: u32,
+        name: &'static str,
+        backtrace: Backtrace,
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Register an acquisition, panicking if `m.rank` does not strictly
+    /// exceed every rank this thread already holds.
+    pub(super) fn acquire(m: LockMeta) {
+        HELD.with(|cell| {
+            let mut held = cell.borrow_mut();
+            if let Some(worst) = held.iter().max_by_key(|h| h.rank) {
+                if worst.rank >= m.rank {
+                    let here = Backtrace::capture();
+                    panic!(
+                        "lock-order violation: acquiring \"{new}\" (rank {new_rank}) while \
+                         \"{old}\" (rank {old_rank}) is held by this thread; ranks must be \
+                         strictly increasing in acquisition order (see piql_analysis::rank)\n\
+                         ---- earlier acquisition of \"{old}\" ----\n{old_bt}\n\
+                         ---- this acquisition of \"{new}\" ----\n{here}",
+                        new = m.name,
+                        new_rank = m.rank,
+                        old = worst.name,
+                        old_rank = worst.rank,
+                        old_bt = worst.backtrace,
+                    );
+                }
+            }
+            held.push(Held {
+                rank: m.rank,
+                name: m.name,
+                backtrace: Backtrace::capture(),
+            });
+        });
+    }
+
+    /// Deregister the most recent acquisition of `m` on this thread.
+    pub(super) fn release(m: LockMeta) {
+        HELD.with(|cell| {
+            let mut held = cell.borrow_mut();
+            if let Some(pos) = held
+                .iter()
+                .rposition(|h| h.rank == m.rank && std::ptr::eq(h.name, m.name))
+            {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+#[cfg(not(feature = "lock-order"))]
+mod tracking {
+    #[inline(always)]
+    pub(super) fn acquire(_m: ()) {}
+    #[inline(always)]
+    pub(super) fn release(_m: ()) {}
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// A ranked mutex. Pass-through over `std::sync::Mutex` unless the
+/// `lock-order` feature is enabled.
+pub struct Mutex<T: ?Sized> {
+    meta: Meta,
+    inner: sys::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(rank: u32, name: &'static str, value: T) -> Self {
+        Mutex {
+            meta: meta(rank, name),
+            inner: sys::Mutex::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the mutex, ignoring poison (a panicking holder does not
+    /// invalidate the data for this workspace's usage, matching the
+    /// `parking_lot` shim semantics).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        tracking::acquire(self.meta);
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(sys::PoisonError::into_inner);
+        MutexGuard {
+            meta: self.meta,
+            inner: Some(inner),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").field("inner", &self.inner).finish()
+    }
+}
+
+/// Guard for [`Mutex`]. Wraps the std guard so [`Condvar::wait`] can take
+/// ownership of the underlying lock for the duration of a wait.
+pub struct MutexGuard<'a, T: ?Sized> {
+    meta: Meta,
+    inner: Option<sys::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.is_some() {
+            tracking::release(self.meta);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// A condition variable paired with ranked [`Mutex`]es. While a thread is
+/// parked in `wait`, the mutex's rank is removed from its held set (the
+/// lock genuinely is released); it is re-registered — re-checking the
+/// ordering — when the wait returns.
+#[derive(Default)]
+pub struct Condvar {
+    inner: sys::Condvar,
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar {
+            inner: sys::Condvar::new(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let inner = guard.inner.take().expect("guard holds the lock");
+        tracking::release(guard.meta);
+        let inner = self
+            .inner
+            .wait(inner)
+            .unwrap_or_else(sys::PoisonError::into_inner);
+        tracking::acquire(guard.meta);
+        guard.inner = Some(inner);
+        guard
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        let inner = guard.inner.take().expect("guard holds the lock");
+        tracking::release(guard.meta);
+        let (inner, timeout) = self
+            .inner
+            .wait_timeout(inner, dur)
+            .unwrap_or_else(sys::PoisonError::into_inner);
+        tracking::acquire(guard.meta);
+        guard.inner = Some(inner);
+        (guard, timeout)
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// A ranked reader-writer lock. Read and write acquisitions are tracked
+/// identically: even a shared acquisition participates in the global order.
+pub struct RwLock<T: ?Sized> {
+    meta: Meta,
+    inner: sys::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(rank: u32, name: &'static str, value: T) -> Self {
+        RwLock {
+            meta: meta(rank, name),
+            inner: sys::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        tracking::acquire(self.meta);
+        let inner = self
+            .inner
+            .read()
+            .unwrap_or_else(sys::PoisonError::into_inner);
+        RwLockReadGuard {
+            meta: self.meta,
+            inner,
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        tracking::acquire(self.meta);
+        let inner = self
+            .inner
+            .write()
+            .unwrap_or_else(sys::PoisonError::into_inner);
+        RwLockWriteGuard {
+            meta: self.meta,
+            inner,
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock")
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// Shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    meta: Meta,
+    inner: sys::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        tracking::release(self.meta);
+    }
+}
+
+/// Exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    meta: Meta,
+    inner: sys::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        tracking::release(self.meta);
+    }
+}

@@ -1,0 +1,135 @@
+//! The global lock-rank table.
+//!
+//! Every lock in the workspace is constructed with one of these ranks. A
+//! thread may only acquire a lock whose rank is **strictly greater** than
+//! every rank it already holds, so any cycle in the runtime lock graph —
+//! the precondition for deadlock — trips a panic in `lock-order` builds
+//! instead of hanging in production. Equal ranks cannot nest either, which
+//! is deliberate: peers at one rank (e.g. the shard stripes of a table, or
+//! the DDL and statement mirrors of the durability coordinator) must never
+//! be held together, and giving them one shared rank machine-checks that.
+//!
+//! Ranks are ordered outermost-first: a small rank is an *outer* lock that
+//! may be held while inner (larger-rank) locks are taken. The gaps between
+//! neighbouring ranks are intentional slack for future locks.
+//!
+//! ## Adding a new lock
+//!
+//! 1. Enumerate every path that can hold an existing lock while taking the
+//!    new one, and every path that can hold the new one while taking an
+//!    existing one. ARCHITECTURE.md § "Concurrency analysis" lists the
+//!    current nesting chains.
+//! 2. Pick a rank strictly between the outermost lock that can be held
+//!    *around* it and the innermost lock it can be held *around*. If no such
+//!    gap exists the design has a cycle — fix the design, not the table.
+//! 3. Add the constant here with a doc comment naming the owning struct and
+//!    field, and run the full suite with `--features piql-analysis/lock-order`.
+
+// ---- server connection plumbing (outermost: held around whole requests) ----
+
+/// `Server` accept loop's registry of live connection streams.
+pub const SERVER_STREAMS: u32 = 5;
+/// `ConnState.serial`: the per-connection serial execution lane.
+pub const SERVER_SERIAL: u32 = 6;
+/// `ConnState.idle_sessions`: pooled sessions for tagged dispatch.
+pub const SERVER_IDLE_SESSIONS: u32 = 7;
+
+// ---- statement registry ----
+
+/// `StatementRegistry.sweep_lock`: serialises whole revalidation sweeps.
+pub const REGISTRY_SWEEP: u32 = 10;
+/// `StatementRegistry.statements`: the name → statement map. Journaling
+/// happens while this is held for write (install/uninstall ordering).
+pub const REGISTRY_STATEMENTS: u32 = 20;
+/// `StatementRegistry.journal`: the optional statement-journal sink handle.
+pub const REGISTRY_JOURNAL: u32 = 25;
+/// `StatementRegistry.durability`: the optional durability handle.
+pub const REGISTRY_DURABILITY: u32 = 26;
+/// `RegisteredStatement.state`: per-statement compiled plan + prediction.
+pub const STATEMENT_STATE: u32 = 30;
+/// `RegisteredStatement.metrics`: per-statement run-metrics reservoir.
+pub const STATEMENT_METRICS: u32 = 31;
+
+// ---- durability coordinator (outer half) ----
+
+/// `Durability.snapshot_lock`: serialises snapshot production.
+pub const DUR_SNAPSHOT: u32 = 35;
+
+// ---- engine ----
+
+/// `Database.catalog`: table/index definitions. Held only for short
+/// clone/update critical sections, but DDL paths take it before touching kv.
+pub const ENGINE_CATALOG: u32 = 40;
+
+// ---- predictor shared-model store ----
+
+/// `SharedModelStore.rotate_lock`: serialises model rotation.
+pub const MODEL_ROTATE: u32 = 44;
+/// `SharedModelStore.live`: the accumulating live interval.
+pub const MODEL_LIVE: u32 = 45;
+/// `SharedModelStore.published`: the published model snapshot.
+pub const MODEL_PUBLISHED: u32 = 46;
+/// `SharedModelStore.observer`: rotation observer callback slot. Held while
+/// the observer runs, which may append to the WAL (rank `WAL_PENDING`).
+pub const MODEL_OBSERVER: u32 = 47;
+
+// ---- kv clusters (live and simulated) ----
+
+/// `LiveCluster.names` / `SimCluster.names`: namespace name → id.
+pub const KV_NAMES: u32 = 50;
+/// `LiveCluster.namespaces` / `SimCluster.namespaces`: id → namespace.
+pub const KV_NAMESPACES: u32 = 52;
+/// `PartitionMap.placements`: simulated shard placement table.
+pub const SIM_PLACEMENTS: u32 = 53;
+/// `LiveCluster.wal`: the cluster-wide WAL sink handle.
+pub const KV_CLUSTER_WAL: u32 = 54;
+/// `LiveNamespace.wal`: the per-namespace WAL hook.
+pub const KV_NS_WAL: u32 = 56;
+/// `SimStore.entries`: a simulated table's versioned key space.
+pub const SIM_STORE: u32 = 57;
+/// `LiveNamespace.table`: the current `ShardSet` generation. Writers hold
+/// it for read across shard mutation; rebalance holds it for write.
+pub const KV_TABLE: u32 = 58;
+/// `ShardSet.shards[i]`: one shard stripe. Peers — never held together.
+pub const KV_SHARD: u32 = 60;
+/// `LiveSampleSink.stripes[i]`: one latency-sample stripe. Peers.
+pub const KV_SAMPLE_STRIPE: u32 = 62;
+/// `StorageNode.state`: simulated node timing state (leaf).
+pub const SIM_NODE: u32 = 63;
+
+// ---- durability coordinator (mirrors) ----
+
+/// `Durability.ddl` and `Durability.statements`: recovery mirrors. Peers —
+/// each log call appends to the WAL while exactly one mirror is held.
+pub const DUR_MIRROR: u32 = 70;
+/// `Durability.snapshot_time`: last-snapshot timestamp (leaf metadata).
+pub const DUR_SNAPSHOT_TIME: u32 = 72;
+
+// ---- write-ahead log ----
+
+/// `Wal.pending`: the group-commit staging buffer. The committer and
+/// `rotate_to` take `pending` before `sink` — never the reverse.
+pub const WAL_PENDING: u32 = 80;
+/// `Wal.sink`: the open segment file. Acquired while `pending` is still
+/// held so no later chunk can overtake a published durable watermark.
+pub const WAL_SINK: u32 = 82;
+/// `Wal.durable`: the durable-LSN watermark.
+pub const WAL_DURABLE: u32 = 84;
+/// `Wal.committer`: the committer thread's join handle.
+pub const WAL_COMMITTER: u32 = 86;
+
+// ---- dispatch pool (innermost) ----
+//
+// Pool ranks sit above every data-plane rank on purpose: task bodies take
+// kv/WAL locks, so a task body running while a pool lock is held would be
+// an inversion — which is exactly the invariant (no user code under pool
+// locks) we want machine-checked.
+
+/// `PoolShared.queue`: the submitted-task queue.
+pub const POOL_QUEUE: u32 = 90;
+/// `PoolShared.rounds`: weak registry of active rounds for work stealing.
+pub const POOL_ROUNDS: u32 = 92;
+/// `RoundState.pending`: a round's not-yet-claimed task list.
+pub const POOL_ROUND_PENDING: u32 = 94;
+/// `RoundState.inner`: a round's completion counters.
+pub const POOL_ROUND_INNER: u32 = 96;

@@ -1,0 +1,104 @@
+//! The lint gate: `cargo test` fails if any workspace source violates the
+//! concurrency lint, so the rules hold without anyone remembering to run
+//! the binary. Plus unit coverage for each rule and the escape hatch.
+
+use std::path::{Path, PathBuf};
+
+use piql_analysis::lint::{lint_file, lint_workspace, Finding};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint_workspace(&root).expect("workspace sources readable");
+    assert!(
+        report.files_scanned > 20,
+        "scan looks incomplete: {report:?}"
+    );
+    assert!(
+        report.findings.is_empty(),
+        "lint violations:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+fn run(rel: &str, text: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    lint_file(Path::new(rel), text, &mut out);
+    out
+}
+
+#[test]
+fn raw_lock_constructions_are_flagged() {
+    let stdsync = ["use std::", "sync::Mutex;"].concat();
+    let plot = ["use parking", "_lot::RwLock;"].concat();
+    let qualified = ["let m = std::", "sync::Condvar::new();"].concat();
+    for line in [stdsync, plot, qualified] {
+        let found = run("crates/kv/src/example.rs", &line);
+        assert_eq!(found.len(), 1, "line should be flagged: {line}");
+        assert_eq!(found[0].rule, "raw-lock");
+        assert_eq!(found[0].line, 1);
+    }
+    // Arc and atomics from std::sync are fine, as are the ordered wrappers.
+    let arc = ["use std::", "sync::Arc;"].concat();
+    assert!(run("crates/kv/src/example.rs", &arc).is_empty());
+    assert!(run(
+        "crates/kv/src/example.rs",
+        "use piql_analysis::ordered::{Mutex, RwLock};"
+    )
+    .is_empty());
+}
+
+#[test]
+fn raw_lock_exempts_the_wrapper_module() {
+    let line = ["use std::", "sync::Mutex;"].concat();
+    assert!(run("crates/analysis/src/ordered.rs", &line).is_empty());
+}
+
+#[test]
+fn request_path_unwraps_are_flagged_only_on_request_files() {
+    let text = "fn f() {\n    x.lock().unwrap();\n}\n";
+    let found = run("crates/server/src/server.rs", text);
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].rule, "request-unwrap");
+    assert_eq!(found[0].line, 2);
+    // Same text outside the request path: no finding.
+    assert!(run("crates/kv/src/pool.rs", text).is_empty());
+}
+
+#[test]
+fn allow_directive_suppresses_on_same_or_previous_line() {
+    let same = "x.expect(\"invariant\"); // lint:allow(request-unwrap): compile-time invariant\n";
+    assert!(run("crates/server/src/registry.rs", same).is_empty());
+    let above = "// lint:allow(request-unwrap): checked by caller\nx.unwrap();\n";
+    assert!(run("crates/server/src/registry.rs", above).is_empty());
+    // The wrong rule name does not suppress.
+    let wrong = "// lint:allow(raw-lock)\nx.unwrap();\n";
+    assert_eq!(run("crates/server/src/registry.rs", wrong).len(), 1);
+}
+
+#[test]
+fn cfg_test_modules_are_skipped() {
+    let text = format!(
+        "fn live() {{}}\n#[cfg(test)]\nmod tests {{\n    fn t() {{ x.{}(); }}\n}}\n",
+        ["unw", "rap"].concat()
+    );
+    assert!(run("crates/server/src/server.rs", &text).is_empty());
+}
+
+#[test]
+fn undocumented_unsafe_requires_safety_comment() {
+    let kw = ["uns", "afe"].concat();
+    let bare = format!("{kw} {{ ptr.read() }}\n");
+    let found = run("crates/kv/src/example.rs", &bare);
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].rule, ["undocumented-", &kw].concat());
+
+    let documented =
+        format!("// SAFETY: ptr is valid for reads, checked above.\n{kw} {{ ptr.read() }}\n");
+    assert!(run("crates/kv/src/example.rs", &documented).is_empty());
+}

@@ -1,0 +1,175 @@
+//! Behaviour of the ranked lock wrappers: pass-through semantics always,
+//! and — with `--features lock-order` — proof that inversions actually
+//! fire with both lock names in the panic.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use piql_analysis::ordered::{Condvar, Mutex, RwLock};
+
+#[test]
+fn mutex_and_condvar_pass_values_across_threads() {
+    let slot: Arc<(Mutex<Option<u32>>, Condvar)> =
+        Arc::new((Mutex::new(10, "test.slot", None), Condvar::new()));
+    let producer = {
+        let slot = Arc::clone(&slot);
+        thread::spawn(move || {
+            let mut g = slot.0.lock();
+            *g = Some(42);
+            drop(g);
+            slot.1.notify_one();
+        })
+    };
+    let mut g = slot.0.lock();
+    while g.is_none() {
+        let (next, _) = slot.1.wait_timeout(g, Duration::from_millis(50));
+        g = next;
+    }
+    assert_eq!(*g, Some(42));
+    drop(g);
+    producer.join().expect("producer exits cleanly");
+}
+
+#[test]
+fn rwlock_allows_concurrent_readers() {
+    let lock = Arc::new(RwLock::new(10, "test.rw", 7u32));
+    let in_read = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let lock = Arc::clone(&lock);
+        let in_read = Arc::clone(&in_read);
+        thread::spawn(move || {
+            let g = lock.read();
+            in_read.store(true, Ordering::SeqCst);
+            thread::sleep(Duration::from_millis(20));
+            *g
+        })
+    };
+    while !in_read.load(Ordering::SeqCst) {
+        thread::yield_now();
+    }
+    // A second reader must not block behind the first.
+    assert_eq!(*lock.read(), 7);
+    assert_eq!(reader.join().expect("reader exits"), 7);
+    *lock.write() += 1;
+    assert_eq!(*lock.read(), 8);
+}
+
+#[cfg(feature = "lock-order")]
+mod lock_order {
+    use super::*;
+    use std::panic::{self, AssertUnwindSafe};
+
+    /// Run `f` expecting a panic; return the panic message.
+    fn panic_message(f: impl FnOnce()) -> String {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(|_| {})); // keep the expected panic quiet
+        let result = panic::catch_unwind(AssertUnwindSafe(f));
+        panic::set_hook(prev);
+        let payload = result.expect_err("expected a lock-order panic");
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn seeded_inversion_fires_with_both_lock_names() {
+        let outer = Mutex::new(10, "test.outer", ());
+        let inner = Mutex::new(20, "test.inner", ());
+
+        // Documented order is fine.
+        {
+            let _o = outer.lock();
+            let _i = inner.lock();
+        }
+
+        // Seeded inversion: inner before outer must panic, naming both.
+        let msg = panic_message(|| {
+            let _i = inner.lock();
+            let _o = outer.lock();
+        });
+        assert!(msg.contains("lock-order violation"), "message: {msg}");
+        assert!(
+            msg.contains("test.outer") && msg.contains("(rank 10)"),
+            "message: {msg}"
+        );
+        assert!(
+            msg.contains("test.inner") && msg.contains("(rank 20)"),
+            "message: {msg}"
+        );
+    }
+
+    #[test]
+    fn equal_ranks_cannot_nest() {
+        let a = Mutex::new(60, "test.peer-a", ());
+        let b = Mutex::new(60, "test.peer-b", ());
+        let msg = panic_message(|| {
+            let _a = a.lock();
+            let _b = b.lock();
+        });
+        assert!(msg.contains("lock-order violation"), "message: {msg}");
+    }
+
+    #[test]
+    fn rwlock_reads_participate_in_ordering() {
+        let outer = RwLock::new(10, "test.rw-outer", ());
+        let inner = RwLock::new(20, "test.rw-inner", ());
+        {
+            let _o = outer.read();
+            let _i = inner.read();
+        }
+        let msg = panic_message(|| {
+            let _i = inner.write();
+            let _o = outer.read();
+        });
+        assert!(msg.contains("test.rw-outer"), "message: {msg}");
+    }
+
+    #[test]
+    fn released_ranks_no_longer_constrain() {
+        let outer = Mutex::new(10, "test.released-outer", ());
+        let inner = Mutex::new(20, "test.released-inner", ());
+        {
+            let _i = inner.lock();
+        }
+        // The higher rank was dropped, so the lower rank is fine now.
+        let _o = outer.lock();
+        let _i = inner.lock();
+    }
+
+    #[test]
+    fn condvar_wait_releases_the_rank_while_parked() {
+        // A waiter parked on rank 20 does not block its own wake-up path,
+        // and the rank is re-registered when the wait returns: taking a
+        // lower rank after waking must still panic.
+        let pair: Arc<(Mutex<bool>, Condvar)> =
+            Arc::new((Mutex::new(20, "test.cv-mutex", false), Condvar::new()));
+        let low = Arc::new(Mutex::new(10, "test.cv-low", ()));
+
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            let low = Arc::clone(&low);
+            thread::spawn(move || {
+                let mut g = pair.0.lock();
+                while !*g {
+                    g = pair.1.wait(g);
+                }
+                // Still holding rank 20 after the wait: rank 10 must trip.
+                panic_message(|| {
+                    let _l = low.lock();
+                })
+            })
+        };
+
+        // While the waiter is parked it holds no rank — this thread can
+        // take the mutex freely.
+        thread::sleep(Duration::from_millis(20));
+        *pair.0.lock() = true;
+        pair.1.notify_all();
+        let msg = waiter.join().expect("waiter exits");
+        assert!(msg.contains("lock-order violation"), "message: {msg}");
+    }
+}

@@ -29,7 +29,8 @@
 use crate::record::{decode_interval, encode_interval, SparseHistogram, WalRecord};
 use crate::snapshot::{read_snapshot, write_snapshot, ModelCheckpoint, SnapshotState};
 use crate::wal::{read_wal, SyncPolicy, Wal, WalCounters};
-use parking_lot::Mutex;
+use piql_analysis::ordered::Mutex;
+use piql_analysis::rank;
 use piql_kv::{KvEntry, KvStore, LiveCluster, NsId, WalSink};
 use piql_predict::{LatencyHistogram, ModelKey, ModelStore};
 use std::collections::BTreeMap;
@@ -442,12 +443,16 @@ impl Durability {
             wal,
             wal_gen: AtomicU64::new(gen),
             manifest_gen: AtomicU64::new(manifest_gen),
-            snapshot_lock: Mutex::new(()),
-            ddl: Mutex::new(recovered.ddl.clone()),
-            statements: Mutex::new(recovered.statements.clone()),
+            snapshot_lock: Mutex::new(rank::DUR_SNAPSHOT, "dur.snapshot", ()),
+            ddl: Mutex::new(rank::DUR_MIRROR, "dur.ddl-mirror", recovered.ddl.clone()),
+            statements: Mutex::new(
+                rank::DUR_MIRROR,
+                "dur.statements-mirror",
+                recovered.statements.clone(),
+            ),
             model_seq: AtomicU64::new(model_seq),
             model_seq_base: model_seq,
-            snapshot_time: Mutex::new(snapshot_time),
+            snapshot_time: Mutex::new(rank::DUR_SNAPSHOT_TIME, "dur.snapshot-time", snapshot_time),
             report: recovered.report.clone(),
             config,
         });

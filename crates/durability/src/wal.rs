@@ -22,12 +22,13 @@
 //! torn tail — it is the *expected* shape of a crashed log.
 
 use crate::record::{crc32, RecordError, WalRecord};
+use piql_analysis::ordered::{Condvar, Mutex};
+use piql_analysis::rank;
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
 
 /// Frame header: `[len: u32][crc: u32]`.
 const HEADER: usize = 8;
@@ -223,16 +224,16 @@ impl Wal {
         file.sync_data()?;
         let wal = std::sync::Arc::new(Wal {
             policy,
-            pending: Mutex::new(Pending::default()),
+            pending: Mutex::new(rank::WAL_PENDING, "wal.pending", Pending::default()),
             work: Condvar::new(),
-            sink: Mutex::new(Sink { file }),
-            durable: Mutex::new(valid_len),
+            sink: Mutex::new(rank::WAL_SINK, "wal.sink", Sink { file }),
+            durable: Mutex::new(rank::WAL_DURABLE, "wal.durable", valid_len),
             durable_cv: Condvar::new(),
             appended: AtomicU64::new(valid_len),
             segment_start: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             dead: AtomicBool::new(false),
-            committer: Mutex::new(None),
+            committer: Mutex::new(rank::WAL_COMMITTER, "wal.committer", None),
             segment_records: AtomicU64::new(existing_records),
             total_records: AtomicU64::new(existing_records),
             fsyncs: AtomicU64::new(0),
@@ -244,7 +245,7 @@ impl Wal {
                 .name("piql-wal-commit".into())
                 .spawn(move || w.committer_loop())
                 .map_err(io::Error::other)?;
-            *wal.committer.lock().unwrap() = Some(handle);
+            *wal.committer.lock() = Some(handle);
         }
         Ok(wal)
     }
@@ -252,12 +253,12 @@ impl Wal {
     fn committer_loop(&self) {
         loop {
             let (chunk, target, mut s) = {
-                let mut p = self.pending.lock().unwrap();
+                let mut p = self.pending.lock();
                 while p.buf.is_empty()
                     && !self.shutdown.load(Ordering::Acquire)
                     && !self.dead.load(Ordering::Acquire)
                 {
-                    p = self.work.wait(p).unwrap();
+                    p = self.work.wait(p);
                 }
                 if self.dead.load(Ordering::Acquire) {
                     return;
@@ -278,7 +279,7 @@ impl Wal {
                 // `chunk` is below it.
                 let chunk = std::mem::take(&mut p.buf);
                 let target = self.appended.load(Ordering::Acquire);
-                (chunk, target, self.sink.lock().unwrap())
+                (chunk, target, self.sink.lock())
             };
             let result = s.file.write_all(&chunk).and_then(|_| s.file.sync_data());
             drop(s);
@@ -291,7 +292,7 @@ impl Wal {
                 self.durable_cv.notify_all();
                 return;
             }
-            let mut d = self.durable.lock().unwrap();
+            let mut d = self.durable.lock();
             if target > *d {
                 *d = target;
             }
@@ -312,7 +313,7 @@ impl Wal {
         let bytes = frame(rec);
         let lsn = match self.policy {
             SyncPolicy::GroupCommit => {
-                let mut p = self.pending.lock().unwrap();
+                let mut p = self.pending.lock();
                 let lsn = self
                     .appended
                     .fetch_add(bytes.len() as u64, Ordering::AcqRel)
@@ -323,7 +324,7 @@ impl Wal {
                 lsn
             }
             SyncPolicy::SyncEach => {
-                let mut s = self.sink.lock().unwrap();
+                let mut s = self.sink.lock();
                 let lsn = self
                     .appended
                     .fetch_add(bytes.len() as u64, Ordering::AcqRel)
@@ -337,7 +338,7 @@ impl Wal {
                     self.durable_cv.notify_all();
                     return lsn;
                 }
-                let mut d = self.durable.lock().unwrap();
+                let mut d = self.durable.lock();
                 if lsn > *d {
                     *d = lsn;
                 }
@@ -368,16 +369,16 @@ impl Wal {
     /// Block until the watermark reaches `lsn` (or the log dies). Returns
     /// whether the watermark actually got there.
     pub fn wait_durable(&self, lsn: u64) -> bool {
-        let mut d = self.durable.lock().unwrap();
+        let mut d = self.durable.lock();
         while *d < lsn && !self.dead.load(Ordering::Acquire) {
-            d = self.durable_cv.wait(d).unwrap();
+            d = self.durable_cv.wait(d);
         }
         *d >= lsn
     }
 
     /// The durable watermark (reporting).
     pub fn durable_lsn(&self) -> u64 {
-        *self.durable.lock().unwrap()
+        *self.durable.lock()
     }
 
     /// Atomically flush + fsync the current segment and switch appends to
@@ -392,10 +393,10 @@ impl Wal {
         // before releasing pending, so once both locks are held here no
         // chunk can be in flight: the watermark published below only
         // covers bytes this call has actually synced.
-        let mut p = self.pending.lock().unwrap();
+        let mut p = self.pending.lock();
         let chunk = std::mem::take(&mut p.buf);
         let target = self.appended.load(Ordering::Acquire);
-        let mut s = self.sink.lock().unwrap();
+        let mut s = self.sink.lock();
         if !chunk.is_empty() {
             s.file.write_all(&chunk)?;
         }
@@ -407,7 +408,7 @@ impl Wal {
             .open(new_path)?;
         s.file = new_file;
         drop(s);
-        let mut d = self.durable.lock().unwrap();
+        let mut d = self.durable.lock();
         if target > *d {
             *d = target;
         }
@@ -425,13 +426,13 @@ impl Wal {
     /// exactly what a `kill -9` would have left: the durable prefix.
     pub fn abandon(&self) {
         {
-            let mut p = self.pending.lock().unwrap();
+            let mut p = self.pending.lock();
             p.buf.clear();
             self.dead.store(true, Ordering::Release);
         }
         self.work.notify_all();
         self.durable_cv.notify_all();
-        if let Some(h) = self.committer.lock().unwrap().take() {
+        if let Some(h) = self.committer.lock().take() {
             let _ = h.join();
         }
     }
@@ -445,7 +446,7 @@ impl Wal {
         self.commit();
         self.shutdown.store(true, Ordering::Release);
         self.work.notify_all();
-        if let Some(h) = self.committer.lock().unwrap().take() {
+        if let Some(h) = self.committer.lock().take() {
             let _ = h.join();
         }
     }

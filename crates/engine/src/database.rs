@@ -11,7 +11,8 @@ use crate::cursor::Cursor;
 use crate::exec::{ExecCtx, ExecError, ExecStrategy, QueryResult};
 use crate::reference::ReferenceExecutor;
 use crate::write::{WriteError, Writer};
-use parking_lot::RwLock;
+use piql_analysis::ordered::RwLock;
+use piql_analysis::rank;
 use piql_core::ast::{ScalarExpr, Statement};
 use piql_core::catalog::{Catalog, IndexDef, TableDef};
 use piql_core::opt::{Compiled, OptError, Optimizer};
@@ -96,7 +97,7 @@ impl<S: KvStore> Database<S> {
     pub fn new(cluster: Arc<S>) -> Self {
         Database {
             cluster,
-            catalog: RwLock::new(Catalog::new()),
+            catalog: RwLock::new(rank::ENGINE_CATALOG, "engine.catalog", Catalog::new()),
             optimizer: Optimizer::scale_independent(),
         }
     }

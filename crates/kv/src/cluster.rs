@@ -22,7 +22,8 @@ use crate::session::Session;
 use crate::stats::ClusterStats;
 use crate::store::Namespace;
 use crate::time::Micros;
-use parking_lot::RwLock;
+use piql_analysis::ordered::RwLock;
+use piql_analysis::rank;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -233,8 +234,8 @@ impl SimCluster {
             .collect();
         SimCluster {
             nodes,
-            namespaces: RwLock::new(Vec::new()),
-            names: RwLock::new(BTreeMap::new()),
+            namespaces: RwLock::new(rank::KV_NAMESPACES, "sim.namespaces", Vec::new()),
+            names: RwLock::new(rank::KV_NAMES, "sim.names", BTreeMap::new()),
             placement: PartitionMap::new(),
             stats: ClusterStats::default(),
             config,

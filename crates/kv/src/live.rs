@@ -44,7 +44,8 @@ use crate::pool::{default_pool_threads, RoundPool};
 use crate::sample::{LiveSampleSink, OpSample};
 use crate::session::Session;
 use crate::wal::WalSink;
-use parking_lot::RwLock;
+use piql_analysis::ordered::RwLock;
+use piql_analysis::rank;
 use std::collections::BTreeMap;
 use std::ops::Bound;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -162,7 +163,10 @@ impl ShardSet {
         let ops = (0..maps.len()).map(|_| AtomicU64::new(0)).collect();
         ShardSet {
             splits,
-            shards: maps.into_iter().map(RwLock::new).collect(),
+            shards: maps
+                .into_iter()
+                .map(|m| RwLock::new(rank::KV_SHARD, "kv.shard", m))
+                .collect(),
             ops,
         }
     }
@@ -443,8 +447,12 @@ struct LiveNamespace {
 impl LiveNamespace {
     fn new(shards: usize) -> Self {
         LiveNamespace {
-            table: RwLock::new(Arc::new(ShardSet::striped(shards))),
-            wal: RwLock::new(None),
+            table: RwLock::new(
+                rank::KV_TABLE,
+                "kv.ns.table",
+                Arc::new(ShardSet::striped(shards)),
+            ),
+            wal: RwLock::new(rank::KV_NS_WAL, "kv.ns.wal", None),
         }
     }
 
@@ -564,12 +572,12 @@ impl LiveCluster {
         LiveCluster {
             request_delay_us: AtomicU64::new(config.request_delay_us),
             config,
-            namespaces: RwLock::new(Vec::new()),
-            names: RwLock::new(BTreeMap::new()),
+            namespaces: RwLock::new(rank::KV_NAMESPACES, "kv.namespaces", Vec::new()),
+            names: RwLock::new(rank::KV_NAMES, "kv.names", BTreeMap::new()),
             epoch: Instant::now(),
             pool,
             sink: LiveSampleSink::default(),
-            wal: RwLock::new(None),
+            wal: RwLock::new(rank::KV_CLUSTER_WAL, "kv.cluster.wal", None),
             wal_degraded: AtomicBool::new(false),
             stats: Arc::new(LiveStats::default()),
         }

@@ -10,7 +10,8 @@
 use crate::latency::{InterferenceConfig, LatencyConfig};
 use crate::op::KvRequest;
 use crate::time::Micros;
-use parking_lot::Mutex;
+use piql_analysis::ordered::Mutex;
+use piql_analysis::rank;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
@@ -55,13 +56,17 @@ impl StorageNode {
         }
         StorageNode {
             id,
-            state: Mutex::new(NodeState {
-                slots,
-                rng: StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9)),
-                ops_served: 0,
-                busy_us: 0,
-                queue_us: 0,
-            }),
+            state: Mutex::new(
+                rank::SIM_NODE,
+                "sim.node",
+                NodeState {
+                    slots,
+                    rng: StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9)),
+                    ops_served: 0,
+                    busy_us: 0,
+                    queue_us: 0,
+                },
+            ),
             latency,
             interference,
             seed,

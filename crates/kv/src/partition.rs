@@ -7,7 +7,8 @@
 //! different nodes, which is where the cluster's parallelism comes from.
 
 use crate::op::NsId;
-use parking_lot::RwLock;
+use piql_analysis::ordered::RwLock;
+use piql_analysis::rank;
 use std::collections::BTreeMap;
 
 /// Placement of one namespace.
@@ -66,14 +67,22 @@ impl NsPlacement {
 }
 
 /// Placement for all namespaces.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PartitionMap {
     placements: RwLock<BTreeMap<NsId, NsPlacement>>,
 }
 
+impl Default for PartitionMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl PartitionMap {
     pub fn new() -> Self {
-        Self::default()
+        PartitionMap {
+            placements: RwLock::new(rank::SIM_PLACEMENTS, "sim.placements", BTreeMap::new()),
+        }
     }
 
     pub fn set(&self, ns: NsId, placement: NsPlacement) {

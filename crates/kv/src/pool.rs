@@ -32,10 +32,12 @@
 //!    bounded requests (the paper's premise), so the donated latency is
 //!    bounded by one request.
 
+use piql_analysis::ordered::{Condvar, Mutex};
+use piql_analysis::rank;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -72,7 +74,7 @@ struct PoolShared {
 
 impl PoolShared {
     fn register_round(&self, source: &Arc<dyn StealSource>) {
-        let mut rounds = self.rounds.lock().unwrap();
+        let mut rounds = self.rounds.lock();
         rounds.retain(|w| w.strong_count() > 0);
         rounds.push(Arc::downgrade(source));
     }
@@ -82,7 +84,7 @@ impl PoolShared {
     /// outside it, so a long task never blocks registration.
     fn steal_one(&self, as_worker: bool) -> bool {
         let sources: Vec<Arc<dyn StealSource>> = {
-            let mut rounds = self.rounds.lock().unwrap();
+            let mut rounds = self.rounds.lock();
             rounds.retain(|w| w.strong_count() > 0);
             rounds.iter().filter_map(|w| w.upgrade()).collect()
         };
@@ -106,10 +108,10 @@ impl RoundPool {
     /// runs sequentially on its calling thread.
     pub fn new(threads: usize) -> Self {
         let shared = Arc::new(PoolShared {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(rank::POOL_QUEUE, "pool.queue", VecDeque::new()),
             task_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            rounds: Mutex::new(Vec::new()),
+            rounds: Mutex::new(rank::POOL_ROUNDS, "pool.rounds", Vec::new()),
             stolen: AtomicU64::new(0),
         });
         let workers = (0..threads)
@@ -141,7 +143,7 @@ impl RoundPool {
     }
 
     fn submit(&self, task: Task) {
-        self.shared.queue.lock().unwrap().push_back(task);
+        self.shared.queue.lock().push_back(task);
         self.shared.task_ready.notify_one();
     }
 
@@ -228,7 +230,7 @@ impl Drop for RoundPool {
 fn worker_loop(shared: &PoolShared) {
     loop {
         let task = {
-            let mut queue = shared.queue.lock().unwrap();
+            let mut queue = shared.queue.lock();
             loop {
                 if let Some(task) = queue.pop_front() {
                     // Baton-pass before running: two rapid notify_one calls
@@ -249,13 +251,13 @@ fn worker_loop(shared: &PoolShared) {
                 // is capped at the pool width and may be oversubscribed).
                 drop(queue);
                 let stole = shared.steal_one(true);
-                queue = shared.queue.lock().unwrap();
+                queue = shared.queue.lock();
                 if !stole {
                     // Nothing stealable either; re-checks the queue at
                     // the loop top after waking. A round registered in
                     // the unlocked gap always submits ≥1 helper task, so
                     // its notify cannot be lost to this wait.
-                    queue = shared.task_ready.wait(queue).unwrap();
+                    queue = shared.task_ready.wait(queue);
                 }
             }
         };
@@ -285,25 +287,33 @@ where
     fn new(fns: Vec<F>) -> Self {
         let n = fns.len();
         RoundState {
-            pending: Mutex::new(fns.into_iter().enumerate().collect()),
-            inner: Mutex::new(RoundInner {
-                slots: (0..n).map(|_| None).collect(),
-                remaining: n,
-                worker_tasks: 0,
-                panic: None,
-            }),
+            pending: Mutex::new(
+                rank::POOL_ROUND_PENDING,
+                "pool.round.pending",
+                fns.into_iter().enumerate().collect(),
+            ),
+            inner: Mutex::new(
+                rank::POOL_ROUND_INNER,
+                "pool.round.inner",
+                RoundInner {
+                    slots: (0..n).map(|_| None).collect(),
+                    remaining: n,
+                    worker_tasks: 0,
+                    panic: None,
+                },
+            ),
             done: Condvar::new(),
         }
     }
 
     /// Claim and run one unstarted task; `false` if none remained.
     fn run_one(&self, as_worker: bool) -> bool {
-        let claimed = self.pending.lock().unwrap().pop_front();
+        let claimed = self.pending.lock().pop_front();
         let Some((slot, f)) = claimed else {
             return false;
         };
         let result = catch_unwind(AssertUnwindSafe(f));
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         match result {
             Ok(value) => inner.slots[slot] = Some(value),
             Err(payload) => inner.panic = Some(payload),
@@ -331,22 +341,19 @@ where
     /// steal attempt runs between short completion-signal waits, so the
     /// caller still returns promptly when its own round settles.
     fn join(&self, pool: &PoolShared) -> (Vec<T>, u64) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         while inner.remaining > 0 {
             drop(inner);
             if !pool.steal_one(false) {
-                inner = self.inner.lock().unwrap();
+                inner = self.inner.lock();
                 if inner.remaining == 0 {
                     break;
                 }
-                let (guard, _) = self
-                    .done
-                    .wait_timeout(inner, Duration::from_millis(1))
-                    .unwrap();
+                let (guard, _) = self.done.wait_timeout(inner, Duration::from_millis(1));
                 inner = guard;
                 continue;
             }
-            inner = self.inner.lock().unwrap();
+            inner = self.inner.lock();
         }
         if let Some(payload) = inner.panic.take() {
             drop(inner);

@@ -17,7 +17,8 @@
 //! draining swaps the buffers out wholesale.
 
 use crate::time::Micros;
-use parking_lot::Mutex;
+use piql_analysis::ordered::Mutex;
+use piql_analysis::rank;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Remote-operator kinds as the storage layer sees them — the same
@@ -101,7 +102,9 @@ impl Default for LiveSampleSink {
 impl LiveSampleSink {
     pub fn with_capacity(capacity: usize) -> Self {
         LiveSampleSink {
-            stripes: (0..SINK_STRIPES).map(|_| Mutex::new(Vec::new())).collect(),
+            stripes: (0..SINK_STRIPES)
+                .map(|_| Mutex::new(rank::KV_SAMPLE_STRIPE, "kv.sample.stripe", Vec::new()))
+                .collect(),
             per_stripe_capacity: capacity.div_ceil(SINK_STRIPES).max(1),
             cursor: AtomicUsize::new(0),
             recorded: AtomicU64::new(0),

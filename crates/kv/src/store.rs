@@ -12,7 +12,8 @@
 //! exhibits.
 
 use crate::time::Micros;
-use parking_lot::RwLock;
+use piql_analysis::ordered::RwLock;
+use piql_analysis::rank;
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
@@ -40,14 +41,22 @@ impl Versioned {
 }
 
 /// An ordered, versioned namespace.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Namespace {
     entries: RwLock<BTreeMap<Vec<u8>, Versioned>>,
 }
 
+impl Default for Namespace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Namespace {
     pub fn new() -> Self {
-        Self::default()
+        Namespace {
+            entries: RwLock::new(rank::SIM_STORE, "sim.store", BTreeMap::new()),
+        }
     }
 
     pub fn put(&self, key: Vec<u8>, value: Option<Vec<u8>>, at: Micros) {

@@ -22,7 +22,8 @@
 use crate::histogram::LatencyHistogram;
 use crate::model::{ModelKey, ModelStore};
 use crate::predict::SloPredictor;
-use parking_lot::{Mutex, RwLock};
+use piql_analysis::ordered::{Mutex, RwLock};
+use piql_analysis::rank;
 use piql_kv::{Micros, OpSample};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -62,10 +63,10 @@ impl SharedModelStore {
     /// Seed from an already-shared snapshot (no copy).
     pub fn from_snapshot(seed: Arc<ModelStore>) -> Self {
         SharedModelStore {
-            published: RwLock::new(seed),
-            live: Mutex::new(LiveInterval::default()),
-            rotate_lock: Mutex::new(()),
-            observer: RwLock::new(None),
+            published: RwLock::new(rank::MODEL_PUBLISHED, "model.published", seed),
+            live: Mutex::new(rank::MODEL_LIVE, "model.live", LiveInterval::default()),
+            rotate_lock: Mutex::new(rank::MODEL_ROTATE, "model.rotate", ()),
+            observer: RwLock::new(rank::MODEL_OBSERVER, "model.observer", None),
             rotations: std::sync::atomic::AtomicU64::new(0),
         }
     }

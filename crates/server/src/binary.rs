@@ -408,6 +408,12 @@ impl<'a> Cur<'a> {
         Ok(s)
     }
 
+    /// `take` as a fixed-size array, so the little-endian decoders below
+    /// stay free of unwraps on the request path.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], ProtoError> {
+        self.take(N)?.try_into().map_err(|_| truncated())
+    }
+
     pub(crate) fn u8(&mut self) -> Result<u8, ProtoError> {
         let b = *self.buf.get(self.pos).ok_or_else(truncated)?;
         self.pos += 1;
@@ -415,19 +421,19 @@ impl<'a> Cur<'a> {
     }
 
     pub(crate) fn u32(&mut self) -> Result<u32, ProtoError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     fn i32(&mut self) -> Result<i32, ProtoError> {
-        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(i32::from_le_bytes(self.take_array()?))
     }
 
     fn i64(&mut self) -> Result<i64, ProtoError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.take_array()?))
     }
 
     fn f64(&mut self) -> Result<f64, ProtoError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.take_array()?))
     }
 
     pub(crate) fn str(&mut self) -> Result<&'a str, ProtoError> {

@@ -32,7 +32,8 @@
 //! relaxed back toward their original bound. Admission therefore tracks
 //! the store the service actually runs on, interval by interval.
 
-use parking_lot::{Mutex, RwLock};
+use piql_analysis::ordered::{Mutex, RwLock};
+use piql_analysis::rank;
 use piql_core::ast::{RowBound, SelectStmt};
 use piql_core::catalog::Catalog;
 use piql_core::opt::{OptError, Optimizer};
@@ -477,11 +478,15 @@ impl<S: KvStore> StatementRegistry<S> {
             models,
             slo,
             optimizer: Optimizer::scale_independent(),
-            statements: RwLock::new(BTreeMap::new()),
+            statements: RwLock::new(
+                rank::REGISTRY_STATEMENTS,
+                "registry.statements",
+                BTreeMap::new(),
+            ),
             sweeps: AtomicU64::new(0),
-            sweep_lock: Mutex::new(()),
-            journal: RwLock::new(None),
-            durability: RwLock::new(None),
+            sweep_lock: Mutex::new(rank::REGISTRY_SWEEP, "registry.sweep", ()),
+            journal: RwLock::new(rank::REGISTRY_JOURNAL, "registry.journal", None),
+            durability: RwLock::new(rank::REGISTRY_DURABILITY, "registry.durability", None),
             counters: RegistryCounters::default(),
         }
     }
@@ -631,6 +636,11 @@ impl<S: KvStore> StatementRegistry<S> {
                 let probe = rebound(stmt, limit);
                 self.optimizer
                     .compile(catalog, &probe)
+                    // Rebinding an admitted statement to a smaller LIMIT
+                    // is a strict restriction of a plan that already
+                    // compiled; failure is a compiler bug, not
+                    // client-reachable input.
+                    // lint:allow(request-unwrap)
                     .expect("smaller bound of a bounded query must compile")
             },
         );
@@ -672,16 +682,24 @@ impl<S: KvStore> StatementRegistry<S> {
             sql: sql.to_string(),
             stmt,
             kind,
-            state: RwLock::new(StatementState {
-                prepared: Arc::new(prepared),
-                fast_point,
-                admission,
-                limit,
-                last_predicted_p99_ms,
-                drift: Vec::new(),
-            }),
+            state: RwLock::new(
+                rank::STATEMENT_STATE,
+                "registry.statement.state",
+                StatementState {
+                    prepared: Arc::new(prepared),
+                    fast_point,
+                    admission,
+                    limit,
+                    last_predicted_p99_ms,
+                    drift: Vec::new(),
+                },
+            ),
             executions: AtomicU64::new(0),
-            metrics: Mutex::new(RunMetrics::bounded(METRICS_CAPACITY)),
+            metrics: Mutex::new(
+                rank::STATEMENT_METRICS,
+                "registry.statement.metrics",
+                RunMetrics::bounded(METRICS_CAPACITY),
+            ),
         });
         // journal while still holding the write lock so journal order
         // matches map-state order (see `uninstall`)
@@ -1039,6 +1057,8 @@ impl Revalidator {
                         }
                     }
                 })
+                // Construction-time spawn, before any request is accepted.
+                // lint:allow(request-unwrap)
                 .expect("spawn revalidator thread")
         };
         Revalidator {

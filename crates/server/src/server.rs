@@ -58,7 +58,8 @@ use crate::protocol::{
 };
 use crate::registry::{Admission, FastKeyPart, Revalidator, SloConfig, StatementRegistry};
 use crate::wire::{JsonWire, Wire};
-use parking_lot::Mutex;
+use piql_analysis::ordered::Mutex;
+use piql_analysis::rank;
 use piql_core::codec::key::{encode_component_ref, Dir};
 use piql_core::codec::row::RowReader;
 use piql_core::plan::params::Params;
@@ -127,7 +128,11 @@ impl<S: KvStore + 'static> PiqlServer<S> {
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let connections = Arc::new(AtomicU64::new(0));
-        let streams: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let streams: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(
+            rank::SERVER_STREAMS,
+            "server.streams",
+            Vec::new(),
+        ));
         let accept_thread = {
             let registry = registry.clone();
             let dispatch = dispatch.clone();
@@ -312,10 +317,16 @@ impl<S: KvStore + 'static> ConnState<S> {
                 let mut lane = self.serial.lock();
                 match lane.queue.pop_front() {
                     Some(job) => {
-                        let session = lane
-                            .session
-                            .take()
-                            .expect("primary session held only by the single drainer");
+                        let Some(session) = lane.session.take() else {
+                            // Defensively tolerate a lost lane invariant
+                            // (the single drainer owns the session): put
+                            // the job back and let the next enqueue
+                            // restart the drain, rather than panic the
+                            // worker a client request is riding on.
+                            lane.queue.push_front(job);
+                            lane.draining = false;
+                            return;
+                        };
                         (job, session)
                     }
                     None => {
@@ -424,12 +435,16 @@ fn serve_lanes<S: KvStore + 'static, W: Wire + Copy + Send + 'static>(
         registry,
         dispatch,
         tx,
-        serial: Mutex::new(SerialLane {
-            queue: VecDeque::new(),
-            draining: false,
-            session: Some(Session::new()),
-        }),
-        idle_sessions: Mutex::new(Vec::new()),
+        serial: Mutex::new(
+            rank::SERVER_SERIAL,
+            "server.conn.serial",
+            SerialLane {
+                queue: VecDeque::new(),
+                draining: false,
+                session: Some(Session::new()),
+            },
+        ),
+        idle_sessions: Mutex::new(rank::SERVER_IDLE_SESSIONS, "server.conn.idle", Vec::new()),
     });
     let read_result: io::Result<()> = (|| {
         let mut frame = Vec::new();
@@ -764,7 +779,16 @@ pub fn handle_request<S: KvStore>(
                     }
                 }
                 if admission.is_admitted() {
-                    let statement = registry.get(name).expect("admitted statement installed");
+                    // Admission and this lookup are not atomic: a rival
+                    // prepare of the same name that lands on a rejection
+                    // path uninstalls the entry (see `register`), so the
+                    // statement can already be gone. That is an answerable
+                    // race, not a panic a client gets to trigger.
+                    let Some(statement) = registry.get(name) else {
+                        return err_response(format!(
+                            "statement '{name}' was removed by a concurrent prepare/unprepare"
+                        ));
+                    };
                     let prepared = statement.prepared();
                     fields.push((
                         "columns",

@@ -58,6 +58,14 @@ const WARM_REQUESTS: usize = 72_000;
 const MEASURED_REQUESTS: usize = 2_000;
 
 #[test]
+// Rank tracking in `lock-order` builds keeps per-thread held-lock state
+// (and captures backtraces), which allocates by design; the zero-alloc
+// guarantee is a property of release builds, where the wrappers are
+// pass-throughs.
+#[cfg_attr(
+    feature = "lock-order",
+    ignore = "lock-order tracking allocates by design"
+)]
 fn warm_binary_point_reads_do_not_allocate() {
     let cluster = Arc::new(LiveCluster::new(LiveConfig::default()));
     let db = Arc::new(Database::new(cluster));
