@@ -14,6 +14,12 @@
 //!   the whole serve loop) for a condition a client can trigger; return a
 //!   protocol error instead. Scope: the request-path files listed in
 //!   [`REQUEST_PATH_FILES`], non-test code.
+//! - **`durability-unwrap`** — no `.unwrap()` / `.expect()` in the
+//!   durability replay/recovery sources. Replay runs at boot over
+//!   whatever bytes survived the crash; a panic there turns a torn tail
+//!   (which recovery exists to tolerate) into a server that cannot start.
+//!   Decode errors must flow through the `Truncated`/`InvalidData` paths.
+//!   Scope: the files listed in [`DURABILITY_PATH_FILES`], non-test code.
 //! - **`undocumented-unsafe`** — every `unsafe` block/fn needs a
 //!   `// SAFETY:` comment on the same line or within the three lines
 //!   above. Scope: `crates/*/src/**`.
@@ -33,6 +39,7 @@ use std::path::{Path, PathBuf};
 /// Rule identifiers, as used in `lint:allow(...)`.
 pub const RULE_RAW_LOCK: &str = "raw-lock";
 pub const RULE_REQUEST_UNWRAP: &str = "request-unwrap";
+pub const RULE_DURABILITY_UNWRAP: &str = "durability-unwrap";
 pub const RULE_UNDOCUMENTED_UNSAFE: &str = concat!("undocumented-", "unsafe");
 
 /// Server sources on the request-handling path (relative to `crates/`).
@@ -43,6 +50,15 @@ pub const REQUEST_PATH_FILES: &[&str] = &[
     "server/src/json.rs",
     "server/src/wire.rs",
     "server/src/registry.rs",
+];
+
+/// Durability sources on the replay/recovery path (relative to `crates/`).
+pub const DURABILITY_PATH_FILES: &[&str] = &[
+    "durability/src/record.rs",
+    "durability/src/snapshot.rs",
+    "durability/src/wal.rs",
+    "durability/src/coord.rs",
+    "server/src/durable.rs",
 ];
 
 /// Files exempt from `raw-lock`: the ranked wrapper implementation itself.
@@ -131,6 +147,9 @@ pub fn lint_file(rel: &Path, text: &str, out: &mut Vec<Finding>) {
     let in_crates = rel.strip_prefix("crates").unwrap_or(rel);
     let check_raw_lock = !RAW_LOCK_EXEMPT.iter().any(|e| in_crates == Path::new(e));
     let check_unwrap = REQUEST_PATH_FILES.iter().any(|e| in_crates == Path::new(e));
+    let check_durability = DURABILITY_PATH_FILES
+        .iter()
+        .any(|e| in_crates == Path::new(e));
 
     let lines: Vec<&str> = text.lines().collect();
     let mut i = 0;
@@ -178,6 +197,18 @@ pub fn lint_file(rel: &Path, text: &str, out: &mut Vec<Finding>) {
                 file: rel.to_path_buf(),
                 line: i + 1,
                 rule: RULE_REQUEST_UNWRAP,
+                excerpt: raw.to_string(),
+            });
+        }
+
+        if check_durability
+            && UNWRAP_CALLS.iter().any(|p| code.contains(p))
+            && !allowed(RULE_DURABILITY_UNWRAP)
+        {
+            out.push(Finding {
+                file: rel.to_path_buf(),
+                line: i + 1,
+                rule: RULE_DURABILITY_UNWRAP,
                 excerpt: raw.to_string(),
             });
         }

@@ -71,6 +71,27 @@ fn request_path_unwraps_are_flagged_only_on_request_files() {
 }
 
 #[test]
+fn durability_replay_unwraps_are_flagged_only_on_replay_files() {
+    let text = "fn f() {\n    bytes.try_into().unwrap();\n}\n";
+    for rel in [
+        "crates/durability/src/record.rs",
+        "crates/durability/src/snapshot.rs",
+        "crates/durability/src/wal.rs",
+        "crates/server/src/durable.rs",
+    ] {
+        let found = run(rel, text);
+        assert_eq!(found.len(), 1, "{rel} should be flagged");
+        assert_eq!(found[0].rule, "durability-unwrap");
+        assert_eq!(found[0].line, 2);
+    }
+    // Same text outside the replay path: no finding.
+    assert!(run("crates/durability/src/lib.rs", text).is_empty());
+    // The escape hatch works, with a justification.
+    let allowed = "x.expect(\"spawn\"); // lint:allow(durability-unwrap): startup, not replay\n";
+    assert!(run("crates/durability/src/wal.rs", allowed).is_empty());
+}
+
+#[test]
 fn allow_directive_suppresses_on_same_or_previous_line() {
     let same = "x.expect(\"invariant\"); // lint:allow(request-unwrap): compile-time invariant\n";
     assert!(run("crates/server/src/registry.rs", same).is_empty());

@@ -1,0 +1,130 @@
+//! A minimal JSON emitter for audit reports.
+//!
+//! The audit crate sits below the server, so it cannot use the server's
+//! `Json` tree; it emits standard JSON text instead, which the server
+//! parses back into its own tree for the `explain` verb. Keeping the one
+//! emitter here makes the CLI report and the protocol response the same
+//! shape by construction.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonVal {
+    Null,
+    Bool(bool),
+    /// Finite floats only; non-finite values render as `null`.
+    Num(f64),
+    Int(u64),
+    Str(String),
+    Arr(Vec<JsonVal>),
+    /// Insertion-ordered object.
+    Obj(Vec<(String, JsonVal)>),
+}
+
+impl JsonVal {
+    pub fn str(s: impl Into<String>) -> JsonVal {
+        JsonVal::Str(s.into())
+    }
+
+    /// Round a float to 3 decimals so reports are stable across platforms.
+    pub fn ms(x: f64) -> JsonVal {
+        JsonVal::Num((x * 1000.0).round() / 1000.0)
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_val(v: &JsonVal, out: &mut String) {
+    match v {
+        JsonVal::Null => out.push_str("null"),
+        JsonVal::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonVal::Num(x) => {
+            if x.is_finite() {
+                // always include a decimal point so the value parses as a
+                // float on the other side
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&format!("{x}"));
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        JsonVal::Int(n) => out.push_str(&n.to_string()),
+        JsonVal::Str(s) => escape(s, out),
+        JsonVal::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_val(item, out);
+            }
+            out.push(']');
+        }
+        JsonVal::Obj(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape(k, out);
+                out.push(':');
+                write_val(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for JsonVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        write_val(self, &mut s);
+        f.write_str(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_standard_json() {
+        let v = JsonVal::Obj(vec![
+            ("name".into(), JsonVal::str("q\"1\"")),
+            ("p99".into(), JsonVal::Num(12.5)),
+            ("count".into(), JsonVal::Int(10)),
+            (
+                "tags".into(),
+                JsonVal::Arr(vec![JsonVal::Bool(true), JsonVal::Null]),
+            ),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            r#"{"name":"q\"1\"","p99":12.5,"count":10,"tags":[true,null]}"#
+        );
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal_point() {
+        assert_eq!(JsonVal::Num(50.0).to_string(), "50.0");
+        assert_eq!(JsonVal::Num(f64::NAN).to_string(), "null");
+    }
+}

@@ -1,0 +1,472 @@
+//! The bound-derivation tree.
+//!
+//! A compiled plan proves its scale-independence operator by operator:
+//! every remote operator carries a static bound, and every bound is
+//! justified by a [`Provenance`]. This module re-renders that proof as an
+//! explicit tree — one node per physical operator, annotated with the
+//! operator's op-count bounds, the clause or declaration the bound rests
+//! on, and (when a model snapshot is available) the operator's predicted
+//! share of the plan's latency.
+
+use crate::json::JsonVal;
+use piql_core::opt::Compiled;
+use piql_core::plan::physical::{PhysicalPlan, ScanLimit};
+use piql_core::plan::Provenance;
+use piql_predict::ThetaAttribution;
+
+/// Static per-operator op-count bounds (a plain-data copy of the plan's
+/// `OpBounds`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeBounds {
+    pub requests: u64,
+    pub rounds: u64,
+    pub tuples: u64,
+    pub bytes: u64,
+}
+
+/// One justified static limit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundInfo {
+    /// The bound's value (rows fetched / emitted, per probe for joins).
+    pub count: u64,
+    /// Machine-readable provenance tag (`Provenance::kind`).
+    pub kind: String,
+    /// Human rendering (`Provenance` display, as plan printers show it).
+    pub provenance: String,
+    /// The clause a developer would edit to change the bound.
+    pub source_clause: String,
+}
+
+impl BoundInfo {
+    fn from_provenance(count: u64, p: &Provenance) -> BoundInfo {
+        BoundInfo {
+            count,
+            kind: p.kind().to_string(),
+            provenance: p.to_string(),
+            source_clause: p.source_clause(),
+        }
+    }
+}
+
+/// One operator model term's predicted contribution, attached to the node
+/// it models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostTerm {
+    /// Model operator kind (`IndexScan` / `IndexFKJoin` / `SortedIndexJoin`;
+    /// a deref round shows up as an extra `IndexFKJoin` term on its scan).
+    pub op: String,
+    pub alpha_c: u32,
+    pub alpha_j: u32,
+    pub beta: u32,
+    pub mean_ms: f64,
+    pub p99_ms: f64,
+    /// Fraction of the plan's predicted mean latency, in `[0, 1]`.
+    pub share: f64,
+    /// Whether this is the plan's dominating term.
+    pub dominant: bool,
+}
+
+impl CostTerm {
+    fn from_attribution(a: &ThetaAttribution, dominant: bool) -> CostTerm {
+        CostTerm {
+            op: a.key.op.name().to_string(),
+            alpha_c: a.key.alpha_c,
+            alpha_j: a.key.alpha_j,
+            beta: a.key.beta,
+            mean_ms: a.mean_ms,
+            p99_ms: a.p99_ms,
+            share: a.share,
+            dominant,
+        }
+    }
+
+    /// `IndexScan(αc=100, αj=1, β=160)` — how diagnostics name the term.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}(αc={}, αj={}, β={})",
+            self.op, self.alpha_c, self.alpha_j, self.beta
+        )
+    }
+}
+
+/// One node of the derivation tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivationNode {
+    /// Physical operator name (`IndexScan`, `LocalStop`, ...).
+    pub operator: String,
+    /// Resolved index / relation / key context.
+    pub detail: String,
+    /// Whether this operator issues key/value-store requests.
+    pub remote: bool,
+    /// Position in `remote_ops()` order (remote nodes only) — the join key
+    /// to cost attributions.
+    pub op_index: Option<usize>,
+    pub bounds: NodeBounds,
+    /// The node's justified static limit, when it has one.
+    pub bound: Option<BoundInfo>,
+    /// Cost-based plans only: a statistics estimate instead of a bound.
+    pub estimate: Option<u64>,
+    /// Latency model terms attached to this node (empty for local
+    /// operators or when the model has no data).
+    pub cost_terms: Vec<CostTerm>,
+    /// Whether this node carries the plan's dominating cost term.
+    pub dominant: bool,
+    pub children: Vec<DerivationNode>,
+}
+
+impl DerivationNode {
+    /// Depth-first walk, parents before children.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a DerivationNode)) {
+        f(self);
+        for c in &self.children {
+            c.walk(f);
+        }
+    }
+
+    /// The node carrying the dominant cost term, if any.
+    pub fn dominant_node(&self) -> Option<&DerivationNode> {
+        let mut found = None;
+        self.walk(&mut |n| {
+            if n.dominant && found.is_none() {
+                found = Some(n);
+            }
+        });
+        found
+    }
+
+    /// `operator(detail)` — how diagnostics name the operator.
+    pub fn describe(&self) -> String {
+        if self.detail.is_empty() {
+            self.operator.clone()
+        } else {
+            format!("{}({})", self.operator, self.detail)
+        }
+    }
+
+    pub fn to_json(&self) -> JsonVal {
+        let mut fields = vec![
+            ("operator".to_string(), JsonVal::str(&self.operator)),
+            ("detail".to_string(), JsonVal::str(&self.detail)),
+            ("remote".to_string(), JsonVal::Bool(self.remote)),
+        ];
+        if let Some(idx) = self.op_index {
+            fields.push(("op_index".into(), JsonVal::Int(idx as u64)));
+        }
+        fields.push((
+            "bounds".into(),
+            JsonVal::Obj(vec![
+                ("requests".into(), JsonVal::Int(self.bounds.requests)),
+                ("rounds".into(), JsonVal::Int(self.bounds.rounds)),
+                ("tuples".into(), JsonVal::Int(self.bounds.tuples)),
+                ("bytes".into(), JsonVal::Int(self.bounds.bytes)),
+            ]),
+        ));
+        if let Some(b) = &self.bound {
+            fields.push((
+                "bound".into(),
+                JsonVal::Obj(vec![
+                    ("count".into(), JsonVal::Int(b.count)),
+                    ("kind".into(), JsonVal::str(&b.kind)),
+                    ("provenance".into(), JsonVal::str(&b.provenance)),
+                    ("source_clause".into(), JsonVal::str(&b.source_clause)),
+                ]),
+            ));
+        }
+        if let Some(est) = self.estimate {
+            fields.push(("estimate".into(), JsonVal::Int(est)));
+        }
+        if !self.cost_terms.is_empty() {
+            fields.push((
+                "cost_terms".into(),
+                JsonVal::Arr(
+                    self.cost_terms
+                        .iter()
+                        .map(|t| {
+                            JsonVal::Obj(vec![
+                                ("op".into(), JsonVal::str(&t.op)),
+                                ("alpha_c".into(), JsonVal::Int(t.alpha_c as u64)),
+                                ("alpha_j".into(), JsonVal::Int(t.alpha_j as u64)),
+                                ("beta".into(), JsonVal::Int(t.beta as u64)),
+                                ("mean_ms".into(), JsonVal::ms(t.mean_ms)),
+                                ("p99_ms".into(), JsonVal::ms(t.p99_ms)),
+                                ("share".into(), JsonVal::ms(t.share)),
+                                ("dominant".into(), JsonVal::Bool(t.dominant)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        fields.push(("dominant".into(), JsonVal::Bool(self.dominant)));
+        if !self.children.is_empty() {
+            fields.push((
+                "children".into(),
+                JsonVal::Arr(self.children.iter().map(|c| c.to_json()).collect()),
+            ));
+        }
+        JsonVal::Obj(fields)
+    }
+}
+
+/// Build the derivation tree for a compiled plan. `attributions` comes from
+/// [`piql_predict::SloPredictor::attribute`]; pass `&[]` to build a tree
+/// without cost annotations.
+pub fn derivation_tree(compiled: &Compiled, attributions: &[ThetaAttribution]) -> DerivationNode {
+    let dominant_index: Option<usize> = attributions
+        .iter()
+        .max_by(|a, b| a.mean_ms.total_cmp(&b.mean_ms))
+        .filter(|a| a.mean_ms > 0.0)
+        .map(|a| a.op_index);
+    let mut next_remote = 0usize;
+    build(
+        compiled,
+        &compiled.physical,
+        attributions,
+        dominant_index,
+        &mut next_remote,
+    )
+}
+
+fn build(
+    compiled: &Compiled,
+    plan: &PhysicalPlan,
+    attributions: &[ThetaAttribution],
+    dominant_index: Option<usize>,
+    next_remote: &mut usize,
+) -> DerivationNode {
+    // children first: remote_ops() numbers operators bottom-up
+    let children: Vec<DerivationNode> = plan
+        .child()
+        .map(|c| {
+            vec![build(
+                compiled,
+                c,
+                attributions,
+                dominant_index,
+                next_remote,
+            )]
+        })
+        .unwrap_or_default();
+
+    let schema = &compiled.schema;
+    let b = plan.bounds();
+    let bounds = NodeBounds {
+        requests: b.requests,
+        rounds: b.rounds,
+        tuples: b.tuples,
+        bytes: b.bytes,
+    };
+
+    let (operator, detail, remote, bound, estimate) = match plan {
+        PhysicalPlan::ParamSource { param, max, .. } => (
+            "ParamSource",
+            format!("{param}"),
+            false,
+            Some(BoundInfo::from_provenance(
+                *max,
+                &Provenance::ParamMax {
+                    param: param.name.clone(),
+                    max: *max,
+                },
+            )),
+            None,
+        ),
+        PhysicalPlan::IndexScan { spec, .. } => {
+            let rel = schema.relation(spec.index.rel);
+            let (bound, estimate) = match &spec.limit {
+                ScanLimit::Bounded { count, provenance } => {
+                    (Some(BoundInfo::from_provenance(*count, provenance)), None)
+                }
+                ScanLimit::Unbounded { estimate } => (None, Some(*estimate)),
+            };
+            (
+                "IndexScan",
+                spec.index.display_name(&rel.binding),
+                true,
+                bound,
+                estimate,
+            )
+        }
+        PhysicalPlan::IndexFKJoin { rel, .. } => {
+            let r = schema.relation(*rel);
+            // one parallel pk get per child tuple: the bound is structural
+            // (child tuples), not clause-derived, so there is no BoundInfo
+            ("IndexFKJoin", r.binding.clone(), true, None, None)
+        }
+        PhysicalPlan::SortedIndexJoin { rel, spec, .. } => {
+            let r = schema.relation(*rel);
+            (
+                "SortedIndexJoin",
+                format!(
+                    "{}, index={}",
+                    r.binding,
+                    spec.index.display_name(&r.binding)
+                ),
+                true,
+                Some(BoundInfo::from_provenance(
+                    spec.per_key,
+                    &spec.per_key_provenance,
+                )),
+                None,
+            )
+        }
+        PhysicalPlan::LocalSelection { predicates, .. } => (
+            "LocalSelection",
+            format!("{} predicate(s)", predicates.len()),
+            false,
+            None,
+            None,
+        ),
+        PhysicalPlan::LocalSort { keys, .. } => (
+            "LocalSort",
+            format!("{} key(s)", keys.len()),
+            false,
+            None,
+            None,
+        ),
+        PhysicalPlan::LocalStop { count, .. } => {
+            // a standard stop folds the query's LIMIT/PAGINATE clause
+            let p = match compiled.page_size {
+                Some(page) => Provenance::Paginate { page },
+                None => Provenance::Limit { count: *count },
+            };
+            (
+                "LocalStop",
+                String::new(),
+                false,
+                Some(BoundInfo::from_provenance(*count, &p)),
+                None,
+            )
+        }
+        PhysicalPlan::LocalProject { columns, .. } => (
+            "LocalProject",
+            format!("{} column(s)", columns.len()),
+            false,
+            None,
+            None,
+        ),
+        PhysicalPlan::LocalAggregate { aggs, .. } => (
+            "LocalAggregate",
+            format!("{} aggregate(s)", aggs.len()),
+            false,
+            None,
+            None,
+        ),
+    };
+
+    let op_index = if remote {
+        let idx = *next_remote;
+        *next_remote += 1;
+        Some(idx)
+    } else {
+        None
+    };
+    let cost_terms: Vec<CostTerm> = match op_index {
+        Some(idx) => attributions
+            .iter()
+            .filter(|a| a.op_index == idx)
+            .map(|a| {
+                CostTerm::from_attribution(
+                    a,
+                    dominant_index == Some(idx) && {
+                        // within the node, only the single largest term is dominant
+                        let max_mean = attributions
+                            .iter()
+                            .filter(|x| x.op_index == idx)
+                            .map(|x| x.mean_ms)
+                            .fold(0.0f64, f64::max);
+                        a.mean_ms == max_mean && max_mean > 0.0
+                    },
+                )
+            })
+            .collect(),
+        None => Vec::new(),
+    };
+    let dominant = op_index.is_some() && op_index == dominant_index;
+
+    DerivationNode {
+        operator: operator.to_string(),
+        detail,
+        remote,
+        op_index,
+        bounds,
+        bound,
+        estimate,
+        cost_terms,
+        dominant,
+        children,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piql_core::catalog::{Catalog, TableDef};
+    use piql_core::opt::Optimizer;
+    use piql_core::parser::parse_select;
+    use piql_core::value::DataType;
+
+    fn thoughtstream() -> Compiled {
+        let mut cat = Catalog::new();
+        cat.create_table(
+            TableDef::builder("subs")
+                .column("owner", DataType::Varchar(32))
+                .column("target", DataType::Varchar(32))
+                .primary_key(&["owner", "target"])
+                .cardinality_limit(100, &["owner"])
+                .build(),
+        )
+        .unwrap();
+        cat.create_table(
+            TableDef::builder("thoughts")
+                .column("owner", DataType::Varchar(32))
+                .column("ts", DataType::Timestamp)
+                .primary_key(&["owner", "ts"])
+                .build(),
+        )
+        .unwrap();
+        Optimizer::scale_independent()
+            .compile(
+                &cat,
+                &parse_select(
+                    "SELECT thoughts.* FROM subs s JOIN thoughts \
+                     WHERE thoughts.owner = s.target AND s.owner = <u> \
+                     ORDER BY thoughts.ts DESC LIMIT 10",
+                )
+                .unwrap(),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn tree_indexes_remote_ops_bottom_up() {
+        let compiled = thoughtstream();
+        let tree = derivation_tree(&compiled, &[]);
+        let mut remote = Vec::new();
+        tree.walk(&mut |n| {
+            if let Some(i) = n.op_index {
+                remote.push((i, n.operator.clone()));
+            }
+        });
+        remote.sort();
+        assert_eq!(remote.len(), compiled.physical.remote_ops().len());
+        assert_eq!(remote[0].1, "IndexScan", "{remote:?}");
+        // every remote node's bound names its justification
+        tree.walk(&mut |n| {
+            if n.operator == "IndexScan" {
+                let b = n.bound.as_ref().expect("scan is bounded");
+                assert_eq!(b.kind, "cardinality");
+                assert!(b.source_clause.contains("CARDINALITY LIMIT 100"));
+            }
+        });
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let compiled = thoughtstream();
+        let json = derivation_tree(&compiled, &[]).to_json().to_string();
+        assert!(json.contains(r#""operator":"#), "{json}");
+        assert!(json.contains(r#""bound":{"count":"#), "{json}");
+        assert!(json.contains(r#""source_clause":"#), "{json}");
+    }
+}

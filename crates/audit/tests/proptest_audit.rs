@@ -1,0 +1,131 @@
+//! Property tests for the auditor's total-function contract: auditing an
+//! arbitrary generated statement never panics, and always yields either a
+//! fully justified bound derivation (every remote node carries a bound
+//! with provenance) or at least one diagnostic explaining why not.
+
+use piql_audit::{audit_statement, LinearModelSpec, Outcome, SloSpec};
+use piql_core::catalog::{Catalog, TableDef};
+use piql_core::value::DataType;
+use piql_predict::SloPredictor;
+use proptest::prelude::*;
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.create_table(
+        TableDef::builder("users")
+            .column("username", DataType::Varchar(24))
+            .column("town", DataType::Varchar(24))
+            .primary_key(&["username"])
+            .build(),
+    )
+    .unwrap();
+    cat.create_table(
+        TableDef::builder("subs")
+            .column("owner", DataType::Varchar(24))
+            .column("target", DataType::Varchar(24))
+            .column("approved", DataType::Bool)
+            .primary_key(&["owner", "target"])
+            .cardinality_limit(100, &["owner"])
+            .build(),
+    )
+    .unwrap();
+    cat.create_table(
+        TableDef::builder("thoughts")
+            .column("owner", DataType::Varchar(24))
+            .column("ts", DataType::Timestamp)
+            .column("text", DataType::Varchar(140))
+            .primary_key(&["owner", "ts"])
+            .build(),
+    )
+    .unwrap();
+    cat
+}
+
+/// A generator over statement fragments: some compile to Class I/II, some
+/// are unbounded, some do not even parse.
+fn statement_strategy() -> impl Strategy<Value = String> {
+    let projection = prop_oneof![
+        Just("*".to_string()),
+        Just("username".to_string()),
+        Just("thoughts.*".to_string()),
+        Just("COUNT(*)".to_string()),
+    ];
+    let source = prop_oneof![
+        Just("users".to_string()),
+        Just("subs".to_string()),
+        Just("thoughts".to_string()),
+        Just("subs s JOIN thoughts".to_string()),
+        Just("nosuch".to_string()),
+    ];
+    let filter = prop_oneof![
+        Just(String::new()),
+        Just(" WHERE username = <u>".to_string()),
+        Just(" WHERE owner = <u>".to_string()),
+        Just(" WHERE thoughts.owner = s.target AND s.owner = <u>".to_string()),
+        Just(" WHERE town = <t>".to_string()),
+        Just(" WHERE owner IN [1: friends MAX 25]".to_string()),
+        Just(" WHERE garbage !!!".to_string()),
+    ];
+    let bound = prop_oneof![
+        Just(String::new()),
+        Just(" LIMIT 10".to_string()),
+        Just(" LIMIT 500".to_string()),
+        Just(" PAGINATE 20".to_string()),
+    ];
+    (projection, (source, (filter, bound)))
+        .prop_map(|(p, (s, (f, b)))| format!("SELECT {p} FROM {s}{f}{b}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn audit_never_panics_and_always_explains(
+        sql in statement_strategy(),
+        slo_ms in 1u64..400,
+    ) {
+        let cat = catalog();
+        let predictor = SloPredictor::new(LinearModelSpec::default().build());
+        let slo = SloSpec { slo_ms: slo_ms as f64, confidence: 0.9 };
+        let audit = audit_statement(&cat, &predictor, "gen", &sql, slo);
+
+        match &audit.outcome {
+            Outcome::Feasible { .. } | Outcome::Marginal { .. } => {
+                // bounded: the derivation tree must justify every remote op
+                let tree = audit.tree.as_ref().expect("bounded statements carry a tree");
+                let mut unjustified = 0usize;
+                tree.walk(&mut |n| {
+                    // IndexFKJoin's bound is structural (one get per child
+                    // tuple); every other remote operator must name the
+                    // clause its bound rests on
+                    if n.remote && n.operator != "IndexFKJoin" && n.bound.is_none() {
+                        unjustified += 1;
+                    }
+                });
+                prop_assert_eq!(unjustified, 0, "unjustified remote bound in {}", sql);
+            }
+            Outcome::Infeasible { .. } | Outcome::Unbounded | Outcome::Invalid { .. } => {
+                // not shippable: there must be a diagnostic saying why
+                prop_assert!(
+                    !audit.diagnostics.is_empty(),
+                    "gating outcome without diagnostics for {}",
+                    sql
+                );
+            }
+        }
+
+        // every error/warning diagnostic names an operator, a dominating
+        // term, and at least one concrete suggestion (parse/bind errors
+        // have no plan to point at and are exempt from the first two)
+        for d in &audit.diagnostics {
+            prop_assert!(!d.suggestions.is_empty(), "no suggestion in {:?}", d);
+            if d.code != "parse-error" && d.code != "bind-error" {
+                prop_assert!(d.operator.is_some(), "no operator in {:?}", d);
+                prop_assert!(d.dominant_term.is_some(), "no dominant term in {:?}", d);
+            }
+        }
+
+        // the JSON rendering is total too
+        let _ = audit.to_json().to_string();
+    }
+}

@@ -50,6 +50,31 @@ impl QueryClass {
             QueryClass::SuperLinear => "IV",
         }
     }
+
+    /// Why the class was assigned, in terms of the evidence
+    /// [`QueryClass::from_analysis`] consumed — the derivation line audit
+    /// reports attach to the root of the bound tree.
+    pub fn derivation(self) -> &'static str {
+        match self {
+            QueryClass::Constant => {
+                "every remote operator is statically bounded by a primary key, \
+                 LIMIT, or PAGINATE clause alone"
+            }
+            QueryClass::Bounded => {
+                "every remote operator is statically bounded, and at least one \
+                 bound rests on a declared relationship cardinality or \
+                 parameter maximum"
+            }
+            QueryClass::Linear => {
+                "exactly one remote operator has no static bound; the data \
+                 touched grows linearly with the database"
+            }
+            QueryClass::SuperLinear => {
+                "two or more remote operators have no static bound; \
+                 intermediate results compound faster than the database grows"
+            }
+        }
+    }
 }
 
 impl fmt::Display for QueryClass {

@@ -16,6 +16,7 @@ use super::chain::{Chain, Leg, LegItem};
 use crate::catalog::CardinalityConstraint;
 use crate::catalog::{Catalog, ColumnId, TableDef};
 use crate::plan::logical::{Stop, StopKind};
+use crate::plan::provenance::Provenance;
 use crate::plan::{BoundPredicate, InOperand, QuerySchema, RelId, RelationSource};
 use std::collections::BTreeSet;
 
@@ -120,7 +121,10 @@ pub fn rewrite_in_params(
                 new_leg.items.push(LegItem::Stop(Stop {
                     kind: StopKind::Data,
                     count: max,
-                    provenance: format!("[{} MAX {max}]", param.name),
+                    provenance: Provenance::ParamMax {
+                        param: param.name.clone(),
+                        max,
+                    },
                     cause: Vec::new(),
                 }));
                 new_legs.push(new_leg);
@@ -277,7 +281,7 @@ pub fn insert_data_stops(catalog: &Catalog, schema: &QuerySchema, chain: &mut Ch
                 }
                 _ => None,
             });
-        let (count, provenance, cause): (u64, String, Vec<BoundPredicate>) =
+        let (count, provenance, cause): (u64, Provenance, Vec<BoundPredicate>) =
             if table.covers_primary_key(&cols) {
                 let pk = table.primary_key_ids();
                 let cause = eq
@@ -285,7 +289,13 @@ pub fn insert_data_stops(catalog: &Catalog, schema: &QuerySchema, chain: &mut Ch
                     .filter(|(c, _)| pk.contains(c))
                     .map(|(_, p)| p.clone())
                     .collect();
-                (1, format!("pk({})", table.name), cause)
+                (
+                    1,
+                    Provenance::PrimaryKey {
+                        table: table.name.clone(),
+                    },
+                    cause,
+                )
             } else if let Some(cc) = table.matching_cardinality(&cols) {
                 let cc_cols: Vec<ColumnId> = cc
                     .columns
@@ -299,7 +309,11 @@ pub fn insert_data_stops(catalog: &Catalog, schema: &QuerySchema, chain: &mut Ch
                     .collect();
                 (
                     cc.limit,
-                    format!("CARDINALITY LIMIT {} ({})", cc.limit, cc.columns.join(", ")),
+                    Provenance::Cardinality {
+                        table: table.name.clone(),
+                        limit: cc.limit,
+                        columns: cc.columns.clone(),
+                    },
                     cause,
                 )
             } else if let Some((tc, tp)) = token_pred
@@ -309,11 +323,11 @@ pub fn insert_data_stops(catalog: &Catalog, schema: &QuerySchema, chain: &mut Ch
                     (
                         (
                             cc.limit,
-                            format!(
-                                "CARDINALITY LIMIT {} (TOKEN({}))",
-                                cc.limit,
-                                piql_cc_base(&cc.columns[0])
-                            ),
+                            Provenance::TokenCardinality {
+                                table: table.name.clone(),
+                                limit: cc.limit,
+                                column: piql_cc_base(&cc.columns[0]).to_string(),
+                            },
                         ),
                         p.clone(),
                     )

@@ -26,6 +26,7 @@ use crate::plan::physical::{
     IndexRef, KeySource, OpBounds, PhysAggregate, PhysicalPlan, RangeBound, RangeSpec, ScanLimit,
     ScanSpec, SortedJoinSpec,
 };
+use crate::plan::provenance::Provenance;
 use crate::plan::{
     BoundPredicate, FieldId, InOperand, Operand, QuerySchema, RelId, RelationSource,
 };
@@ -631,7 +632,11 @@ impl<'a> Phase2<'a> {
         let cc_bound = table.matching_cardinality(&probe_cols).map(|cc| {
             (
                 cc.limit,
-                format!("CARDINALITY LIMIT {} ({})", cc.limit, cc.columns.join(", ")),
+                Provenance::Cardinality {
+                    table: table.name.clone(),
+                    limit: cc.limit,
+                    columns: cc.columns.clone(),
+                },
             )
         });
         let (per_key, per_key_provenance, bounded) = match (can_fold, &chain.stop, cc_bound) {
@@ -659,7 +664,7 @@ impl<'a> Phase2<'a> {
                 Objective::CostBased => {
                     self.unbounded_ops += 1;
                     let est = self.estimate_group(&table, edge_cols.iter().next().copied());
-                    (est, "statistics estimate".to_string(), false)
+                    (est, Provenance::Estimate, false)
                 }
             },
         };
@@ -758,7 +763,7 @@ impl<'a> Phase2<'a> {
     // ------------------------------------------------------------ helpers
 
     fn record_data_stop(&mut self, ds: &Stop) {
-        if ds.provenance.contains("CARDINALITY") || ds.provenance.contains("MAX") {
+        if ds.provenance.is_cardinality_bound() {
             self.used_cardinality_bound = true;
             self.notes
                 .push(format!("scan bounded by {}", ds.provenance));

@@ -10,6 +10,7 @@
 
 use super::logical::{LogicalPlan, Stop, StopKind};
 use super::pred::{BoundPredicate, InOperand, Operand};
+use super::provenance::Provenance;
 use super::schema::{FieldId, QuerySchema, RelId, RelationSource, ResolveError};
 use crate::ast::{AggFunc, InList, Predicate, RowBound, ScalarExpr, SelectItem, SelectStmt};
 use crate::catalog::Catalog;
@@ -274,9 +275,13 @@ pub fn bind(catalog: &Catalog, stmt: &SelectStmt) -> Result<BoundQuery, BindErro
                 kind: StopKind::Standard,
                 count: bound.count(),
                 provenance: if bound.is_paginated() {
-                    format!("PAGINATE {}", bound.count())
+                    Provenance::Paginate {
+                        page: bound.count(),
+                    }
                 } else {
-                    format!("LIMIT {}", bound.count())
+                    Provenance::Limit {
+                        count: bound.count(),
+                    }
                 },
                 cause: Vec::new(),
             },

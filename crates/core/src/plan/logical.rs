@@ -7,6 +7,7 @@
 //! reordering, data-stop insertion, and stop push-down.
 
 use super::pred::BoundPredicate;
+use super::provenance::Provenance;
 use super::schema::{FieldId, QuerySchema, RelId};
 use crate::codec::key::Dir;
 use std::fmt;
@@ -29,9 +30,11 @@ pub enum StopKind {
 pub struct Stop {
     pub kind: StopKind,
     pub count: u64,
-    /// Where the bound came from, for display and EXPLAIN: e.g.
-    /// `"LIMIT"`, `"pk(users)"`, `"CARDINALITY LIMIT 100 (owner)"`.
-    pub provenance: String,
+    /// Where the bound came from — structured, so EXPLAIN and the audit
+    /// subsystem can name the justifying clause (`Display` renders the
+    /// legacy strings: `LIMIT 10`, `pk(users)`,
+    /// `CARDINALITY LIMIT 100 (owner)`).
+    pub provenance: Provenance,
     /// For data-stops: the equality predicates that justified insertion.
     /// The stop must stay above these.
     pub cause: Vec<BoundPredicate>,

@@ -5,10 +5,12 @@ pub mod logical;
 pub mod params;
 pub mod physical;
 pub mod pred;
+pub mod provenance;
 pub mod schema;
 
 pub use bind::{bind, BindError, BoundAggregate, BoundQuery, OutputField, ParamSlot};
 pub use logical::{LogicalPlan, Stop, StopKind};
 pub use params::{ParamError, ParamValue, Params};
 pub use pred::{BoundPredicate, InOperand, Operand};
+pub use provenance::Provenance;
 pub use schema::{Field, FieldId, QuerySchema, RelId, Relation, RelationSource};

@@ -12,6 +12,7 @@
 //! pre-remapped to positions by the planner.
 
 use super::pred::{BoundPredicate, Operand};
+use super::provenance::Provenance;
 use super::schema::{FieldId, QuerySchema, RelId};
 use crate::ast::{AggFunc, Param};
 use crate::catalog::{IndexDef, TableId};
@@ -49,7 +50,7 @@ pub struct QueryBounds {
 pub enum ScanLimit {
     /// Scale-independent: at most `count` entries are fetched, in one
     /// prefetched request (the executor's limit hint, §7.1).
-    Bounded { count: u64, provenance: String },
+    Bounded { count: u64, provenance: Provenance },
     /// Cost-based plans only: fetch until exhausted. `estimate` is the
     /// statistics-based expected entry count.
     Unbounded { estimate: u64 },
@@ -65,6 +66,14 @@ impl ScanLimit {
 
     pub fn is_bounded(&self) -> bool {
         matches!(self, ScanLimit::Bounded { .. })
+    }
+
+    /// The justification of the bound, when there is one.
+    pub fn provenance(&self) -> Option<&Provenance> {
+        match self {
+            ScanLimit::Bounded { provenance, .. } => Some(provenance),
+            ScanLimit::Unbounded { .. } => None,
+        }
     }
 }
 
@@ -152,7 +161,7 @@ pub struct SortedJoinSpec {
     pub prefix: Vec<KeySource>,
     /// Entries fetched per probe.
     pub per_key: u64,
-    pub per_key_provenance: String,
+    pub per_key_provenance: Provenance,
     /// Merge keys as positions in the *output* tuple, with direction.
     /// Empty means child order is kept (concatenation).
     pub merge_by: Vec<(usize, Dir)>,

@@ -1,0 +1,174 @@
+//! Structured bound provenance.
+//!
+//! Every static limit the optimizer derives — a scan's limit hint, a
+//! sorted join's per-probe fetch count, a data-stop's row count — is
+//! justified by something in the query or the schema: a `LIMIT` /
+//! `PAGINATE` clause, a primary key, a `CARDINALITY LIMIT` declaration,
+//! or a collection parameter's declared `MAX`. [`Provenance`] records
+//! that justification as data rather than a display string, so the
+//! audit subsystem can answer *why* a bound holds (and suggest what to
+//! change when it doesn't) while `Display` keeps the exact rendering
+//! the plan printers always used.
+
+use std::fmt;
+
+/// The justification for one static bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Provenance {
+    /// A `LIMIT k` clause on the query.
+    Limit { count: u64 },
+    /// A `PAGINATE k` clause on the query.
+    Paginate { page: u64 },
+    /// Equality on a full primary key: at most one matching row.
+    PrimaryKey { table: String },
+    /// A schema `CARDINALITY LIMIT n (columns)` relationship constraint.
+    Cardinality {
+        table: String,
+        limit: u64,
+        columns: Vec<String>,
+    },
+    /// A `CARDINALITY LIMIT` on an inverted `TOKEN(column)` index.
+    TokenCardinality {
+        table: String,
+        limit: u64,
+        column: String,
+    },
+    /// A collection parameter's declared maximum: `[p MAX n]`.
+    ParamMax { param: String, max: u64 },
+    /// Cost-based baseline only: a statistics-based expectation, not a
+    /// guarantee (§8.3). Plans carrying it are never scale-independent.
+    Estimate,
+}
+
+impl Provenance {
+    /// Stable machine-readable tag (JSON reports, diagnostics).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Provenance::Limit { .. } => "limit",
+            Provenance::Paginate { .. } => "paginate",
+            Provenance::PrimaryKey { .. } => "primary-key",
+            Provenance::Cardinality { .. } => "cardinality",
+            Provenance::TokenCardinality { .. } => "token-cardinality",
+            Provenance::ParamMax { .. } => "param-max",
+            Provenance::Estimate => "estimate",
+        }
+    }
+
+    /// Whether this bound rests on a declared relationship cardinality or
+    /// parameter maximum — the distinction that makes a bounded query
+    /// Class II instead of Class I (§4.1).
+    pub fn is_cardinality_bound(&self) -> bool {
+        matches!(
+            self,
+            Provenance::Cardinality { .. }
+                | Provenance::TokenCardinality { .. }
+                | Provenance::ParamMax { .. }
+        )
+    }
+
+    /// The clause or declaration a developer would edit to change the
+    /// bound, in source-like syntax (diagnostic spans).
+    pub fn source_clause(&self) -> String {
+        match self {
+            Provenance::Limit { count } => format!("LIMIT {count}"),
+            Provenance::Paginate { page } => format!("PAGINATE {page}"),
+            Provenance::PrimaryKey { table } => format!("PRIMARY KEY of {table}"),
+            Provenance::Cardinality {
+                table,
+                limit,
+                columns,
+            } => format!(
+                "CARDINALITY LIMIT {limit} ({}) ON {table}",
+                columns.join(", ")
+            ),
+            Provenance::TokenCardinality {
+                table,
+                limit,
+                column,
+            } => format!("CARDINALITY LIMIT {limit} (TOKEN({column})) ON {table}"),
+            Provenance::ParamMax { param, max } => format!("[{param} MAX {max}]"),
+            Provenance::Estimate => "table statistics (no declared bound)".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Provenance {
+    /// Renders the exact strings the plan printers historically used,
+    /// e.g. `LIMIT 10`, `pk(users)`, `CARDINALITY LIMIT 100 (owner)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Provenance::Limit { count } => write!(f, "LIMIT {count}"),
+            Provenance::Paginate { page } => write!(f, "PAGINATE {page}"),
+            Provenance::PrimaryKey { table } => write!(f, "pk({table})"),
+            Provenance::Cardinality { limit, columns, .. } => {
+                write!(f, "CARDINALITY LIMIT {limit} ({})", columns.join(", "))
+            }
+            Provenance::TokenCardinality { limit, column, .. } => {
+                write!(f, "CARDINALITY LIMIT {limit} (TOKEN({column}))")
+            }
+            Provenance::ParamMax { param, max } => write!(f, "[{param} MAX {max}]"),
+            Provenance::Estimate => write!(f, "statistics estimate"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_legacy_strings() {
+        assert_eq!(Provenance::Limit { count: 10 }.to_string(), "LIMIT 10");
+        assert_eq!(Provenance::Paginate { page: 20 }.to_string(), "PAGINATE 20");
+        assert_eq!(
+            Provenance::PrimaryKey {
+                table: "users".into()
+            }
+            .to_string(),
+            "pk(users)"
+        );
+        assert_eq!(
+            Provenance::Cardinality {
+                table: "subscriptions".into(),
+                limit: 100,
+                columns: vec!["owner".into()],
+            }
+            .to_string(),
+            "CARDINALITY LIMIT 100 (owner)"
+        );
+        assert_eq!(
+            Provenance::TokenCardinality {
+                table: "items".into(),
+                limit: 50,
+                column: "title".into(),
+            }
+            .to_string(),
+            "CARDINALITY LIMIT 50 (TOKEN(title))"
+        );
+        assert_eq!(
+            Provenance::ParamMax {
+                param: "ids".into(),
+                max: 5
+            }
+            .to_string(),
+            "[ids MAX 5]"
+        );
+    }
+
+    #[test]
+    fn cardinality_classification() {
+        assert!(!Provenance::Limit { count: 1 }.is_cardinality_bound());
+        assert!(!Provenance::PrimaryKey { table: "t".into() }.is_cardinality_bound());
+        assert!(Provenance::Cardinality {
+            table: "t".into(),
+            limit: 1,
+            columns: vec![]
+        }
+        .is_cardinality_bound());
+        assert!(Provenance::ParamMax {
+            param: "p".into(),
+            max: 1
+        }
+        .is_cardinality_bound());
+    }
+}

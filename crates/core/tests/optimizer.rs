@@ -87,7 +87,8 @@ fn thoughtstream_compiles_to_figure_3d() {
     match &spec.limit {
         ScanLimit::Bounded { count, provenance } => {
             assert_eq!(*count, MAX_SUBSCRIPTIONS);
-            assert!(provenance.contains("CARDINALITY"), "{provenance}");
+            assert_eq!(provenance.kind(), "cardinality", "{provenance}");
+            assert!(provenance.is_cardinality_bound());
         }
         other => panic!("unexpected limit {other:?}"),
     }

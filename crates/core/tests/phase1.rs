@@ -118,7 +118,7 @@ fn pk_coverage_beats_cardinality_for_the_data_stop() {
     insert_data_stops(&cat, &bq.schema, &mut chain);
     let stop = chain.legs[0].data_stop().expect("stop inserted");
     assert_eq!(stop.count, 1, "full pk -> cardinality 1");
-    assert!(stop.provenance.contains("pk("), "{}", stop.provenance);
+    assert_eq!(stop.provenance.kind(), "primary-key", "{}", stop.provenance);
 }
 
 #[test]

@@ -109,11 +109,19 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, RecordError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let bytes = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| RecordError::Truncated)?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     fn u64(&mut self) -> Result<u64, RecordError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let bytes = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| RecordError::Truncated)?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     fn bytes(&mut self) -> Result<Vec<u8>, RecordError> {

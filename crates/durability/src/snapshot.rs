@@ -61,6 +61,13 @@ fn op_tag(op: OpKind) -> u8 {
     }
 }
 
+fn short_body(_: std::array::TryFromSliceError) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        "snapshot body shorter than its fields",
+    )
+}
+
 struct Cursor<'a> {
     buf: &'a [u8],
     at: usize,
@@ -84,11 +91,13 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> io::Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let bytes = self.take(4)?.try_into().map_err(short_body)?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     fn u64(&mut self) -> io::Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let bytes = self.take(8)?.try_into().map_err(short_body)?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     fn bytes(&mut self) -> io::Result<Vec<u8>> {
@@ -263,7 +272,10 @@ pub fn read_snapshot(path: &Path) -> io::Result<SnapshotState> {
         ));
     }
     let body = &data[MAGIC.len()..data.len() - 4];
-    let stored = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
+    let stored = data[data.len() - 4..]
+        .try_into()
+        .map(u32::from_le_bytes)
+        .map_err(short_body)?;
     if crc32(body) != stored {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,

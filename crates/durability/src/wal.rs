@@ -118,8 +118,9 @@ pub fn read_wal(path: &Path) -> io::Result<WalContents> {
         if data.len() - at < HEADER {
             break TailState::TornHeader { at: at as u64 };
         }
-        let len = u32::from_le_bytes(data[at..at + 4].try_into().unwrap());
-        let crc = u32::from_le_bytes(data[at + 4..at + 8].try_into().unwrap());
+        let (Some(len), Some(crc)) = (le_u32_at(&data, at), le_u32_at(&data, at + 4)) else {
+            break TailState::TornHeader { at: at as u64 };
+        };
         if len > MAX_PAYLOAD || data.len() - at - HEADER < len as usize {
             break TailState::TornPayload { at: at as u64 };
         }
@@ -138,6 +139,13 @@ pub fn read_wal(path: &Path) -> io::Result<WalContents> {
         valid_len: at as u64,
         tail,
     })
+}
+
+/// Little-endian u32 at `at`, or `None` if the slice ends first — replay
+/// treats that as a torn header, never a panic.
+fn le_u32_at(data: &[u8], at: usize) -> Option<u32> {
+    let bytes = data.get(at..at + 4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(bytes))
 }
 
 fn frame(rec: &WalRecord) -> Vec<u8> {

@@ -17,6 +17,8 @@ pub mod train;
 pub use advisor::Heatmap;
 pub use histogram::{Distribution, LatencyHistogram};
 pub use model::{ModelKey, ModelStore, OpKind, ALPHA_GRID, BETA_GRID};
-pub use predict::{plan_thetas, OpTheta, QueryPrediction, SloPredictor};
+pub use predict::{
+    plan_thetas, plan_thetas_indexed, OpTheta, QueryPrediction, SloPredictor, ThetaAttribution,
+};
 pub use shared::{RotationObserver, SharedModelStore};
 pub use train::{train, TrainConfig};

@@ -22,72 +22,120 @@ pub struct OpTheta {
 /// [`OpKind::IndexFKJoin`] of the fetched entries, which is exactly what
 /// the executor issues).
 pub fn plan_thetas(compiled: &Compiled) -> Vec<OpTheta> {
+    plan_thetas_indexed(compiled)
+        .into_iter()
+        .map(|(_, t)| t)
+        .collect()
+}
+
+/// Like [`plan_thetas`], but each theta is tagged with the index of the
+/// remote operator (in [`PhysicalPlan::remote_ops`] order) it models — a
+/// deref theta shares its scan's index. This is the join key the audit
+/// subsystem uses to attach cost terms to bound-derivation tree nodes.
+pub fn plan_thetas_indexed(compiled: &Compiled) -> Vec<(usize, OpTheta)> {
     let mut out = Vec::new();
-    for op in compiled.physical.remote_ops() {
-        match op {
-            PhysicalPlan::IndexScan { spec, .. } => {
-                let alpha = match &spec.limit {
-                    ScanLimit::Bounded { count, .. } => *count,
-                    ScanLimit::Unbounded { estimate } => *estimate,
-                };
-                out.push(OpTheta {
+    for (idx, op) in compiled.physical.remote_ops().into_iter().enumerate() {
+        collect_op_thetas(idx, op, &mut out);
+    }
+    out
+}
+
+fn collect_op_thetas(idx: usize, op: &PhysicalPlan, out: &mut Vec<(usize, OpTheta)>) {
+    match op {
+        PhysicalPlan::IndexScan { spec, .. } => {
+            let alpha = match &spec.limit {
+                ScanLimit::Bounded { count, .. } => *count,
+                ScanLimit::Unbounded { estimate } => *estimate,
+            };
+            out.push((
+                idx,
+                OpTheta {
                     key: ModelKey {
                         op: OpKind::IndexScan,
                         alpha_c: alpha.min(u32::MAX as u64) as u32,
                         alpha_j: 1,
                         beta: spec.row_bytes.min(u32::MAX as u64) as u32,
                     },
-                });
-                if spec.deref {
-                    out.push(OpTheta {
+                },
+            ));
+            if spec.deref {
+                out.push((
+                    idx,
+                    OpTheta {
                         key: ModelKey {
                             op: OpKind::IndexFKJoin,
                             alpha_c: alpha.min(u32::MAX as u64) as u32,
                             alpha_j: 1,
                             beta: spec.row_bytes.min(u32::MAX as u64) as u32,
                         },
-                    });
-                }
+                    },
+                ));
             }
-            PhysicalPlan::IndexFKJoin {
-                child, row_bytes, ..
-            } => {
-                let alpha_c = child.bounds().tuples.min(u32::MAX as u64) as u32;
-                out.push(OpTheta {
+        }
+        PhysicalPlan::IndexFKJoin {
+            child, row_bytes, ..
+        } => {
+            let alpha_c = child.bounds().tuples.min(u32::MAX as u64) as u32;
+            out.push((
+                idx,
+                OpTheta {
                     key: ModelKey {
                         op: OpKind::IndexFKJoin,
                         alpha_c,
                         alpha_j: 1,
                         beta: (*row_bytes).min(u32::MAX as u64) as u32,
                     },
-                });
-            }
-            PhysicalPlan::SortedIndexJoin { child, spec, .. } => {
-                let alpha_c = child.bounds().tuples.min(u32::MAX as u64) as u32;
-                let alpha_j = spec.per_key.min(u32::MAX as u64) as u32;
-                out.push(OpTheta {
+                },
+            ));
+        }
+        PhysicalPlan::SortedIndexJoin { child, spec, .. } => {
+            let alpha_c = child.bounds().tuples.min(u32::MAX as u64) as u32;
+            let alpha_j = spec.per_key.min(u32::MAX as u64) as u32;
+            out.push((
+                idx,
+                OpTheta {
                     key: ModelKey {
                         op: OpKind::SortedIndexJoin,
                         alpha_c,
                         alpha_j,
                         beta: spec.row_bytes.min(u32::MAX as u64) as u32,
                     },
-                });
-                if spec.deref {
-                    out.push(OpTheta {
+                },
+            ));
+            if spec.deref {
+                out.push((
+                    idx,
+                    OpTheta {
                         key: ModelKey {
                             op: OpKind::IndexFKJoin,
                             alpha_c: alpha_c.saturating_mul(alpha_j),
                             alpha_j: 1,
                             beta: spec.row_bytes.min(u32::MAX as u64) as u32,
                         },
-                    });
-                }
+                    },
+                ));
             }
-            _ => {}
         }
+        _ => {}
     }
-    out
+}
+
+/// One operator term's contribution to a plan's predicted latency
+/// (dominance attribution for audit diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThetaAttribution {
+    /// Index of the remote operator (in `remote_ops()` order) this term
+    /// models; deref terms share their operator's index.
+    pub op_index: usize,
+    pub key: ModelKey,
+    /// Mean of the term's pooled latency distribution, ms (0 when the
+    /// model store has no data for the key).
+    pub mean_ms: f64,
+    /// p99 of the term's pooled latency distribution, ms.
+    pub p99_ms: f64,
+    /// Fraction of the plan's total predicted mean this term accounts
+    /// for, in `[0, 1]` (0 when no term has model data).
+    pub share: f64,
 }
 
 /// Per-query prediction output.
@@ -176,6 +224,49 @@ impl SloPredictor {
             max_p99_ms: max_p99,
             overall,
         }
+    }
+
+    /// Per-term latency attribution: how much each operator theta
+    /// contributes to the plan's predicted latency, from the pooled
+    /// histograms. `share` is the fraction of the summed per-term means
+    /// (means are additive under convolution, so this is the exact
+    /// decomposition of the predicted total mean; p99 is reported per
+    /// term for context but does not decompose additively).
+    pub fn attribute(&self, compiled: &Compiled) -> Vec<ThetaAttribution> {
+        let mut out: Vec<ThetaAttribution> = plan_thetas_indexed(compiled)
+            .into_iter()
+            .map(|(op_index, theta)| {
+                let (mean_ms, p99_ms) = match self.models.lookup_overall(theta.key) {
+                    Some(h) => {
+                        let d = h.to_distribution();
+                        (d.mean_ms(), d.quantile_ms(0.99))
+                    }
+                    None => (0.0, 0.0),
+                };
+                ThetaAttribution {
+                    op_index,
+                    key: theta.key,
+                    mean_ms,
+                    p99_ms,
+                    share: 0.0,
+                }
+            })
+            .collect();
+        let total: f64 = out.iter().map(|a| a.mean_ms).sum();
+        if total > 0.0 {
+            for a in &mut out {
+                a.share = a.mean_ms / total;
+            }
+        }
+        out
+    }
+
+    /// The term that dominates the predicted latency (largest mean share),
+    /// or `None` for plans with no remote operators.
+    pub fn dominant_term(&self, compiled: &Compiled) -> Option<ThetaAttribution> {
+        self.attribute(compiled)
+            .into_iter()
+            .max_by(|a, b| a.mean_ms.total_cmp(&b.mean_ms))
     }
 
     /// Convolve the operator distributions of one interval (`None` = pooled).

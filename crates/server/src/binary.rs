@@ -60,6 +60,7 @@ pub const OP_REVALIDATE: u8 = 0x06;
 pub const OP_REBALANCE: u8 = 0x07;
 pub const OP_SNAPSHOT: u8 = 0x08;
 pub const OP_BATCH: u8 = 0x09;
+pub const OP_EXPLAIN: u8 = 0x0A;
 /// Server → client greeting after the magic: payload is one version byte.
 pub const OP_HELLO: u8 = 0x7F;
 /// Every server → client answer frame.
@@ -211,6 +212,19 @@ fn opcode_of(req: &Request) -> u8 {
         Request::Rebalance => OP_REBALANCE,
         Request::Snapshot => OP_SNAPSHOT,
         Request::Batch { .. } => OP_BATCH,
+        Request::Explain { .. } => OP_EXPLAIN,
+    }
+}
+
+/// An optional string: presence byte, then the string when present (the
+/// `explain` verb's name-or-sql target).
+fn put_opt_str(out: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        None => out.push(0),
+        Some(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
     }
 }
 
@@ -243,6 +257,10 @@ fn put_body(out: &mut Vec<u8>, req: &Request) {
             put_params(out, params);
         }
         Request::Stats | Request::Revalidate | Request::Rebalance | Request::Snapshot => {}
+        Request::Explain { name, sql } => {
+            put_opt_str(out, name.as_deref());
+            put_opt_str(out, sql.as_deref());
+        }
         Request::Batch { requests } => {
             put_u32(out, requests.len() as u32);
             for sub in requests {
@@ -540,6 +558,16 @@ pub(crate) fn scan_scalar_params(
     Ok(true)
 }
 
+fn read_opt_str(cur: &mut Cur<'_>) -> Result<Option<String>, ProtoError> {
+    match cur.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(cur.str()?.to_string())),
+        other => Err(ProtoError::Malformed(format!(
+            "bad optional-string presence byte {other}"
+        ))),
+    }
+}
+
 fn read_cursor(cur: &mut Cur<'_>) -> Result<Option<Cursor>, ProtoError> {
     match cur.u8()? {
         0 => Ok(None),
@@ -586,6 +614,16 @@ fn read_body(cur: &mut Cur<'_>, opcode: u8, nested: bool) -> Result<Request, Pro
         OP_REVALIDATE => Request::Revalidate,
         OP_REBALANCE => Request::Rebalance,
         OP_SNAPSHOT => Request::Snapshot,
+        OP_EXPLAIN => {
+            let name = read_opt_str(cur)?;
+            let sql = read_opt_str(cur)?;
+            if name.is_some() == sql.is_some() {
+                return Err(ProtoError::Malformed(
+                    "explain requires exactly one of 'name' or 'sql'".into(),
+                ));
+            }
+            Request::Explain { name, sql }
+        }
         OP_BATCH => {
             if nested {
                 return Err(ProtoError::Malformed("batch cannot contain a batch".into()));
@@ -807,6 +845,20 @@ mod tests {
                         ParamValue::Scalar(Value::Double(f64::NAN)),
                     ],
                     cursor: None,
+                },
+            },
+            Envelope {
+                id: Some(RequestId::Int(9)),
+                request: Request::Explain {
+                    name: Some("q".into()),
+                    sql: None,
+                },
+            },
+            Envelope {
+                id: None,
+                request: Request::Explain {
+                    name: None,
+                    sql: Some("SELECT * FROM t LIMIT 3".into()),
                 },
             },
             Envelope {

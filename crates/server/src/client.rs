@@ -267,6 +267,30 @@ impl Client {
         self.request(&Request::Snapshot)
     }
 
+    /// Audit a *prepared* statement: returns the static auditor's report
+    /// (the `explain` object — bound-derivation tree with provenance,
+    /// cost-term attribution, and structured diagnostics) for the plan as
+    /// currently installed. Errors when `name` is not registered.
+    pub fn explain(&mut self, name: &str) -> Result<Json, ClientError> {
+        let response = self.request(&Request::Explain {
+            name: Some(name.to_string()),
+            sql: None,
+        })?;
+        explain_field(response)
+    }
+
+    /// Audit a *candidate* statement without registering it: the same
+    /// report as [`Client::explain`], for SQL compiled against the
+    /// server's catalog on the fly. Rejections don't error — they come
+    /// back as the report's `outcome`/`diagnostics`.
+    pub fn explain_sql(&mut self, sql: &str) -> Result<Json, ClientError> {
+        let response = self.request(&Request::Explain {
+            name: None,
+            sql: Some(sql.to_string()),
+        })?;
+        explain_field(response)
+    }
+
     /// Start a [`Pipeline`]: queue any number of requests, then
     /// [`Pipeline::flush`] them as one write and collect the responses
     /// positionally — N statements, ~1 round trip.
@@ -397,6 +421,14 @@ impl Pipeline<'_> {
             .map(|s| s.expect("every slot filled"))
             .collect())
     }
+}
+
+/// Extract the `explain` object from an `explain` response envelope.
+fn explain_field(response: Json) -> Result<Json, ClientError> {
+    response
+        .get("explain")
+        .cloned()
+        .ok_or_else(|| ClientError::Proto(ProtoError::Malformed("missing explain".into())))
 }
 
 /// Decode an `execute`/`cursor-next` response envelope into a [`Page`]

@@ -304,6 +304,7 @@ impl SnapshotDaemon {
                         }
                     }
                 })
+                // lint:allow(durability-unwrap): daemon startup, not replay
                 .expect("spawn snapshot daemon thread")
         };
         SnapshotDaemon {

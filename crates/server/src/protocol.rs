@@ -16,6 +16,7 @@
 //! | `revalidate`  | —                                     | forces one re-validation sweep; returns the sweep summary |
 //! | `rebalance`   | —                                     | recomputes the store's data placement (quantile split points); returns the post-rebalance shard balance |
 //! | `snapshot`    | —                                     | checkpoints the durable state and compacts the WAL behind it; errors when the server runs without durability |
+//! | `explain`     | `name` *or* `sql` (exactly one)       | the static auditor's bound-derivation tree + diagnostics for a prepared (`name`) or candidate (`sql`) statement |
 //!
 //! Every request may additionally carry a client-assigned `id` (integer
 //! or string), echoed verbatim on its response. An `id` opts the request
@@ -165,6 +166,17 @@ pub enum Request {
     /// delete the log segments behind it. Servers running without
     /// durability answer an error.
     Snapshot,
+    /// Run the static workload auditor over one statement and return its
+    /// bound-derivation tree with provenance, cost-term attribution, and
+    /// structured diagnostics — without executing anything. Exactly one of
+    /// `name` (a prepared statement, audited as currently installed) or
+    /// `sql` (a candidate statement, audited against the catalog without
+    /// registering it) must be present; carrying both or neither is
+    /// malformed.
+    Explain {
+        name: Option<String>,
+        sql: Option<String>,
+    },
     /// Many sub-requests on one line, answered by one response whose
     /// `results` array carries one response envelope per sub-request,
     /// positionally. Sub-requests run **sequentially on one session** (a
@@ -372,6 +384,25 @@ fn request_from_json(j: &Json, nested: bool) -> Result<Request, ProtoError> {
         "revalidate" => Ok(Request::Revalidate),
         "rebalance" => Ok(Request::Rebalance),
         "snapshot" => Ok(Request::Snapshot),
+        "explain" => {
+            let field = |key: &str| -> Result<Option<String>, ProtoError> {
+                match j.get(key) {
+                    None | Some(Json::Null) => Ok(None),
+                    Some(Json::Str(s)) => Ok(Some(s.clone())),
+                    Some(other) => Err(ProtoError::Malformed(format!(
+                        "'{key}' must be a string, got {other}"
+                    ))),
+                }
+            };
+            let name = field("name")?;
+            let sql = field("sql")?;
+            if name.is_some() == sql.is_some() {
+                return Err(ProtoError::Malformed(
+                    "explain requires exactly one of 'name' or 'sql'".into(),
+                ));
+            }
+            Ok(Request::Explain { name, sql })
+        }
         "batch" => {
             if nested {
                 return Err(ProtoError::Malformed("batch cannot contain a batch".into()));
@@ -444,6 +475,16 @@ pub fn request_to_json(req: &Request) -> Json {
         Request::Revalidate => Json::obj([("cmd", Json::str("revalidate"))]),
         Request::Rebalance => Json::obj([("cmd", Json::str("rebalance"))]),
         Request::Snapshot => Json::obj([("cmd", Json::str("snapshot"))]),
+        Request::Explain { name, sql } => {
+            let mut fields = vec![("cmd", Json::str("explain"))];
+            if let Some(n) = name {
+                fields.push(("name", Json::str(n.clone())));
+            }
+            if let Some(q) = sql {
+                fields.push(("sql", Json::str(q.clone())));
+            }
+            Json::obj(fields)
+        }
         Request::Batch { requests } => Json::obj([
             ("cmd", Json::str("batch")),
             (
@@ -549,6 +590,14 @@ mod tests {
             Request::Revalidate,
             Request::Rebalance,
             Request::Snapshot,
+            Request::Explain {
+                name: Some("q1".into()),
+                sql: None,
+            },
+            Request::Explain {
+                name: None,
+                sql: Some("SELECT * FROM t WHERE k = <k> LIMIT 5".into()),
+            },
             Request::Batch {
                 requests: vec![
                     Request::Dml {
@@ -605,6 +654,30 @@ mod tests {
         let mut resp = ok_response([]);
         attach_id(&mut resp, &RequestId::Str("a".into()));
         assert_eq!(resp.get("id").and_then(Json::as_str), Some("a"));
+    }
+
+    #[test]
+    fn explain_requires_exactly_one_target() {
+        // neither, both, and non-string targets are malformed
+        for bad in [
+            r#"{"cmd":"explain"}"#,
+            r#"{"cmd":"explain","name":"q","sql":"SELECT 1"}"#,
+            r#"{"cmd":"explain","name":7}"#,
+            r#"{"cmd":"explain","sql":[1]}"#,
+        ] {
+            assert!(
+                matches!(parse_request(bad), Err(ProtoError::Malformed(_))),
+                "{bad}"
+            );
+        }
+        // `null` means absent, mirroring the id rule
+        assert_eq!(
+            parse_request(r#"{"cmd":"explain","name":"q","sql":null}"#).unwrap(),
+            Request::Explain {
+                name: Some("q".into()),
+                sql: None,
+            }
+        );
     }
 
     #[test]

@@ -36,7 +36,7 @@ use piql_analysis::ordered::{Mutex, RwLock};
 use piql_analysis::rank;
 use piql_core::ast::{RowBound, SelectStmt};
 use piql_core::catalog::Catalog;
-use piql_core::opt::{OptError, Optimizer};
+use piql_core::opt::{InsightReport, OptError, Optimizer};
 use piql_core::plan::physical::{PhysicalPlan, ScanLimit};
 use piql_core::plan::pred::Operand;
 use piql_core::value::Value;
@@ -86,14 +86,22 @@ pub enum Admission {
     /// Bounded, but no feasible bound meets the SLO.
     RejectedSlo { predicted_p99_ms: f64 },
     /// The optimizer found no scale-independent plan; `report` is the
-    /// Performance Insight Assistant's diagnosis.
-    RejectedUnbounded { report: String },
+    /// Performance Insight Assistant's structured diagnosis (problem,
+    /// offending relation, concrete suggestions). Its `Display` is the
+    /// legacy flat string older clients showed verbatim.
+    RejectedUnbounded { report: InsightReport },
     /// Admitted earlier, but a re-validation sweep found the refreshed
     /// prediction over the SLO with no feasible tighter bound. The
     /// statement stays executable (revoking running statements would turn
     /// model drift into an outage); the flag — and the drift history — is
-    /// the Performance Insight signal to act on.
-    Flagged { predicted_p99_ms: f64 },
+    /// the Performance Insight signal to act on. `diagnostics` is the
+    /// static auditor's structured explanation of the violation (offending
+    /// operator, dominating cost term, rewrite suggestions), refreshed by
+    /// every sweep that keeps the statement flagged.
+    Flagged {
+        predicted_p99_ms: f64,
+        diagnostics: Vec<piql_audit::Diagnostic>,
+    },
 }
 
 impl Admission {
@@ -123,7 +131,9 @@ impl Admission {
                 predicted_p99_ms, ..
             }
             | Admission::RejectedSlo { predicted_p99_ms }
-            | Admission::Flagged { predicted_p99_ms } => Some(*predicted_p99_ms),
+            | Admission::Flagged {
+                predicted_p99_ms, ..
+            } => Some(*predicted_p99_ms),
             Admission::RejectedUnbounded { .. } => None,
         }
     }
@@ -540,9 +550,7 @@ impl<S: KvStore> StatementRegistry<S> {
                     .rejected_unbounded
                     .fetch_add(1, Ordering::Relaxed);
                 self.uninstall(name);
-                return Ok(Admission::RejectedUnbounded {
-                    report: report.to_string(),
-                });
+                return Ok(Admission::RejectedUnbounded { report });
             }
             Err(e) => return Err(RegistryError::Db(DbError::Compile(e))),
         };
@@ -927,6 +935,7 @@ impl<S: KvStore> StatementRegistry<S> {
             };
             let flagged = Admission::Flagged {
                 predicted_p99_ms: p99,
+                diagnostics: flag_diagnostics(predictor, statement, &prepared, &self.slo),
             };
             match (tighter, original_limit) {
                 (Some(l), Some(o)) => match self.db.prepare_stmt(&rebound(&statement.stmt, l)) {
@@ -995,6 +1004,30 @@ impl<S: KvStore> StatementRegistry<S> {
         let prepared = self.db.prepare_stmt(&statement.stmt).ok()?;
         Some((prepared, prediction.max_p99_ms))
     }
+}
+
+/// The structured payload of a [`Admission::Flagged`] verdict: run the
+/// static auditor over the statement's *current* plan (pure — attribution
+/// and prediction only, no storage operations) and keep its diagnostics,
+/// so a flag names the offending operator and the dominating cost term
+/// instead of just a number.
+fn flag_diagnostics(
+    predictor: &SloPredictor,
+    statement: &RegisteredStatement,
+    prepared: &Prepared,
+    slo: &SloConfig,
+) -> Vec<piql_audit::Diagnostic> {
+    piql_audit::audit_compiled(
+        predictor,
+        &statement.name,
+        &statement.sql,
+        &prepared.compiled,
+        piql_audit::SloSpec {
+            slo_ms: slo.slo_ms,
+            confidence: slo.interval_confidence,
+        },
+    )
+    .diagnostics
 }
 
 /// `stmt` with its row bound replaced by `limit` (kind-preserving).

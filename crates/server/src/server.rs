@@ -771,11 +771,37 @@ pub fn handle_request<S: KvStore>(
                         fields.push(("predicted_p99_ms", Json::Float(*predicted_p99_ms)));
                     }
                     Admission::RejectedUnbounded { report } => {
-                        fields.push(("report", Json::str(report.clone())));
+                        // the legacy flat string, plus the structured
+                        // diagnosis (problem / relation / suggestions) the
+                        // Insight Assistant computed all along — clients no
+                        // longer have to screen-scrape the report text
+                        fields.push(("report", Json::str(report.to_string())));
+                        fields.push(("problem", Json::str(report.problem.clone())));
+                        fields.push((
+                            "relation",
+                            match &report.relation {
+                                Some(rel) => Json::str(rel.clone()),
+                                None => Json::Null,
+                            },
+                        ));
+                        fields.push((
+                            "suggestions",
+                            Json::Arr(
+                                report
+                                    .suggestions
+                                    .iter()
+                                    .map(|s| Json::str(s.to_string()))
+                                    .collect(),
+                            ),
+                        ));
                     }
                     // registration never flags (flags come from sweeps)
-                    Admission::Flagged { predicted_p99_ms } => {
+                    Admission::Flagged {
+                        predicted_p99_ms,
+                        diagnostics,
+                    } => {
                         fields.push(("predicted_p99_ms", Json::Float(*predicted_p99_ms)));
+                        fields.push(("diagnostics", diagnostics_to_json(diagnostics)));
                     }
                 }
                 if admission.is_admitted() {
@@ -880,6 +906,9 @@ pub fn handle_request<S: KvStore>(
             },
             None => err_response("durability is not enabled on this server"),
         },
+        Request::Explain { name, sql } => {
+            explain_response(registry, name.as_deref(), sql.as_deref())
+        }
         Request::Batch { requests } => {
             let results: Vec<Json> = requests
                 .iter()
@@ -888,6 +917,60 @@ pub fn handle_request<S: KvStore>(
             ok_response([("results", Json::Arr(results))])
         }
     }
+}
+
+/// The `explain` verb: run the static auditor over a prepared statement
+/// (by `name`, auditing the plan *as currently installed* — degraded
+/// bounds and all) or a candidate statement (by `sql`, compiled against
+/// the catalog without registering anything), under the server's SLO.
+/// Pure analysis: no storage operation is issued either way.
+fn explain_response<S: KvStore>(
+    registry: &StatementRegistry<S>,
+    name: Option<&str>,
+    sql: Option<&str>,
+) -> Json {
+    let predictor = registry.models().predictor();
+    let slo = piql_audit::SloSpec {
+        slo_ms: registry.slo().slo_ms,
+        confidence: registry.slo().interval_confidence,
+    };
+    let audit = match (name, sql) {
+        (Some(name), None) => {
+            let Some(statement) = registry.get(name) else {
+                return err_response(format!("unknown statement '{name}' (prepare it first)"));
+            };
+            let prepared = statement.prepared();
+            piql_audit::audit_compiled(&predictor, name, &statement.sql, &prepared.compiled, slo)
+        }
+        (None, Some(sql)) => {
+            let catalog = registry.db().catalog();
+            piql_audit::audit_statement(&catalog, &predictor, "candidate", sql, slo)
+        }
+        // the codecs reject these shapes at decode time; embedders calling
+        // `handle_request` directly still get an answer, not a panic
+        _ => return err_response("explain requires exactly one of 'name' or 'sql'"),
+    };
+    ok_response([("explain", audit_to_json(&audit.to_json()))])
+}
+
+/// Re-parse an audit-crate JSON rendering into the server's [`Json`] tree
+/// — the audit report shape has exactly one source of truth (the audit
+/// crate), and both codecs encode the same tree from it. The audit
+/// crate's renderer emits strict JSON, so the parse is total in practice;
+/// a failure degrades to `Null` rather than panicking on the request path.
+fn audit_to_json(doc: &piql_audit::JsonVal) -> Json {
+    crate::json::parse(&doc.to_string()).unwrap_or(Json::Null)
+}
+
+/// Structured auditor diagnostics as a wire array (`prepare` responses for
+/// flagged re-registrations and the per-statement `stats` block).
+fn diagnostics_to_json(diagnostics: &[piql_audit::Diagnostic]) -> Json {
+    Json::Arr(
+        diagnostics
+            .iter()
+            .map(|d| audit_to_json(&d.to_json()))
+            .collect(),
+    )
 }
 
 /// The `durability` object of a `stats` response (PROTOCOL.md §4.7).
@@ -1009,6 +1092,13 @@ fn stats_response<S: KvStore>(registry: &StatementRegistry<S>) -> Json {
             {
                 fields.push(("original_limit", Json::Int(*original_limit as i64)));
                 fields.push(("limit", Json::Int(*limit as i64)));
+            }
+            // a flagged statement ships the auditor's structured
+            // explanation of the violation, not just the number
+            if let Admission::Flagged { diagnostics, .. } = &admission {
+                if !diagnostics.is_empty() {
+                    fields.push(("diagnostics", diagnostics_to_json(diagnostics)));
+                }
             }
             let drift = s.drift_history();
             if !drift.is_empty() {

@@ -121,8 +121,12 @@ fn unbounded_statement_is_rejected_with_zero_storage_operations() {
     match &verdict {
         Admission::RejectedUnbounded { report } => {
             assert!(
-                report.contains("not scale-independent"),
+                report.to_string().contains("not scale-independent"),
                 "insight report travels with the rejection: {report}"
+            );
+            assert!(
+                !report.suggestions.is_empty(),
+                "the structured rejection keeps the assistant's suggestions"
             );
         }
         other => panic!("expected unbounded rejection, got {other:?}"),

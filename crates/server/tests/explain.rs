@@ -1,0 +1,206 @@
+//! End-to-end tests for the `explain` verb: the static auditor's
+//! bound-derivation tree travels over both codecs and decodes to the
+//! same `Json` tree, every gating diagnostic names the operator, the
+//! dominating cost term, and at least one concrete suggestion, and a
+//! rejected `prepare` carries the Insight Assistant's structured
+//! diagnosis (problem / relation / suggestions) instead of a bare
+//! string.
+
+use piql_engine::Database;
+use piql_kv::{LiveCluster, LiveConfig};
+use piql_server::testkit::linear_predictor;
+use piql_server::{Client, Json, PiqlServer, SloConfig};
+use piql_workloads::scadr::{self, ScadrConfig};
+use std::sync::Arc;
+
+const THOUGHTSTREAM: &str = "SELECT thoughts.* FROM subscriptions s JOIN thoughts \
+     WHERE thoughts.owner = s.target AND s.owner = <u> AND s.approved = true \
+     ORDER BY thoughts.timestamp DESC LIMIT 10";
+
+const UNBOUNDED: &str = "SELECT * FROM thoughts WHERE text = <t>";
+
+fn scadr_db() -> Arc<Database<LiveCluster>> {
+    let cluster = Arc::new(LiveCluster::new(LiveConfig::default()));
+    let db = Arc::new(Database::new(cluster));
+    let config = ScadrConfig {
+        users_per_node: 30,
+        thoughts_per_user: 12,
+        subscriptions_per_user: 5,
+        max_subscriptions: 100,
+        ..Default::default()
+    };
+    scadr::setup(&db, &config, 2).unwrap();
+    db
+}
+
+/// ~0.1 ms/row linear model: the thoughtstream with a 100-subscription
+/// constraint predicts ~110ms, so it is feasible at 500ms and
+/// SLO-infeasible at 50ms.
+fn start_server(slo_ms: f64) -> PiqlServer {
+    PiqlServer::start(
+        scadr_db(),
+        linear_predictor(200, 100, 2),
+        SloConfig {
+            slo_ms,
+            interval_confidence: 1.0,
+            allow_degrade: true,
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap()
+}
+
+fn get<'j>(obj: &'j Json, key: &str) -> &'j Json {
+    obj.get(key)
+        .unwrap_or_else(|| panic!("missing field '{key}' in {obj}"))
+}
+
+fn str_field<'j>(obj: &'j Json, key: &str) -> &'j str {
+    get(obj, key)
+        .as_str()
+        .unwrap_or_else(|| panic!("field '{key}' is not a string in {obj}"))
+}
+
+#[test]
+fn explain_decodes_to_the_same_tree_over_both_codecs() {
+    let server = start_server(500.0);
+    let addr = server.local_addr();
+    let mut v2 = Client::connect(addr).unwrap();
+    let mut v3 = Client::connect_binary(addr).unwrap();
+
+    let verdict = v2.prepare("stream", THOUGHTSTREAM).unwrap();
+    assert_eq!(
+        verdict.get("status").and_then(Json::as_str),
+        Some("admitted")
+    );
+
+    // a prepared statement: both codecs must yield the identical tree
+    // (v2 re-parses the JSON text, v3 ships the float bits — the audit
+    // report contains no value where those disagree)
+    let a = v2.explain("stream").unwrap();
+    let b = v3.explain("stream").unwrap();
+    assert_eq!(a, b, "v2 and v3 explain trees diverged");
+
+    // and likewise for a candidate statement audited on the fly
+    let ca = v2.explain_sql(THOUGHTSTREAM).unwrap();
+    let cb = v3.explain_sql(THOUGHTSTREAM).unwrap();
+    assert_eq!(ca, cb, "v2 and v3 candidate explain trees diverged");
+
+    // the prepared audit and the candidate audit agree on everything
+    // but the statement's name
+    assert_eq!(str_field(&a, "name"), "stream");
+    assert_eq!(str_field(&ca, "name"), "candidate");
+    assert_eq!(get(&a, "outcome"), get(&ca, "outcome"));
+    assert_eq!(get(&a, "derivation_tree"), get(&ca, "derivation_tree"));
+
+    // the report is a full bound-provenance record, not just a verdict
+    assert_eq!(str_field(&a, "outcome"), "feasible");
+    assert!(
+        get(&a, "predicted_p99_ms").as_f64().unwrap() > 0.0,
+        "feasible audit must carry its prediction"
+    );
+    assert!(
+        str_field(&a, "class").starts_with("Class"),
+        "the audit names the statement's query class: {a}"
+    );
+    let tree = get(&a, "derivation_tree");
+    assert!(
+        tree.get("operator").is_some() && tree.get("children").is_some(),
+        "derivation tree root must carry operator + children: {tree}"
+    );
+    // somewhere in the tree, a bound names the clause it came from
+    let rendered = tree.to_string();
+    assert!(
+        rendered.contains("\"provenance\"") && rendered.contains("\"source_clause\""),
+        "bounds must carry provenance: {tree}"
+    );
+}
+
+#[test]
+fn candidate_explain_names_operator_cost_term_and_suggestion() {
+    let server = start_server(50.0);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // SLO-infeasible: bounded, but predicted over 50ms
+    let audit = client.explain_sql(THOUGHTSTREAM).unwrap();
+    assert_eq!(str_field(&audit, "outcome"), "infeasible");
+    let diagnostics = get(&audit, "diagnostics").as_arr().unwrap();
+    let error = diagnostics
+        .iter()
+        .find(|d| d.get("severity").and_then(Json::as_str) == Some("error"))
+        .unwrap_or_else(|| panic!("infeasible audit must carry an error diagnostic: {audit}"));
+    // the acceptance property: operator, dominating cost term, and at
+    // least one concrete suggestion — all named, none generic
+    assert!(
+        !str_field(error, "operator").is_empty(),
+        "diagnostic names the operator: {error}"
+    );
+    assert!(
+        !str_field(error, "dominant_term").is_empty(),
+        "diagnostic names the dominating cost term: {error}"
+    );
+    let suggestions = get(error, "suggestions").as_arr().unwrap();
+    assert!(
+        !suggestions.is_empty(),
+        "diagnostic carries a concrete suggestion: {error}"
+    );
+
+    // unbounded: no scale-independent plan at all
+    let audit = client.explain_sql(UNBOUNDED).unwrap();
+    assert_eq!(str_field(&audit, "outcome"), "unbounded");
+    let diagnostics = get(&audit, "diagnostics").as_arr().unwrap();
+    assert!(
+        diagnostics.iter().any(|d| {
+            d.get("severity").and_then(Json::as_str) == Some("error")
+                && d.get("suggestions")
+                    .and_then(Json::as_arr)
+                    .is_some_and(|s| !s.is_empty())
+        }),
+        "unbounded audit must explain itself with suggestions: {audit}"
+    );
+}
+
+#[test]
+fn explain_of_an_unknown_statement_is_a_clean_error() {
+    let server = start_server(500.0);
+    let mut client = Client::connect_binary(server.local_addr()).unwrap();
+    let err = client.explain("nope").unwrap_err();
+    assert!(err.to_string().contains("unknown statement"), "got: {err}");
+    // the connection survives the error
+    let audit = client.explain_sql(THOUGHTSTREAM).unwrap();
+    assert_eq!(str_field(&audit, "outcome"), "feasible");
+}
+
+#[test]
+fn rejected_prepare_carries_the_structured_insight_over_both_codecs() {
+    let server = start_server(500.0);
+    let addr = server.local_addr();
+    let mut v2 = Client::connect(addr).unwrap();
+    let mut v3 = Client::connect_binary(addr).unwrap();
+
+    let a = v2.prepare("grep_thoughts", UNBOUNDED).unwrap();
+    let b = v3.prepare("grep_thoughts", UNBOUNDED).unwrap();
+    assert_eq!(a, b, "v2 and v3 rejection responses diverged");
+
+    assert_eq!(str_field(&a, "status"), "rejected-unbounded");
+    // the legacy flat report string survives for old clients...
+    assert!(
+        str_field(&a, "report").contains("not scale-independent"),
+        "{a}"
+    );
+    // ...and the structured diagnosis rides alongside it
+    assert!(
+        str_field(&a, "problem").contains("scanned without a bound"),
+        "problem names the failure: {a}"
+    );
+    assert_eq!(str_field(&a, "relation"), "thoughts");
+    let suggestions = get(&a, "suggestions").as_arr().unwrap();
+    assert!(
+        !suggestions.is_empty(),
+        "rejection must carry the assistant's suggestions: {a}"
+    );
+    assert!(
+        suggestions.iter().all(|s| s.as_str().is_some()),
+        "suggestions are plain strings: {a}"
+    );
+}
