@@ -50,6 +50,7 @@ pub const REQUEST_PATH_FILES: &[&str] = &[
     "server/src/json.rs",
     "server/src/wire.rs",
     "server/src/registry.rs",
+    "server/src/budget.rs",
 ];
 
 /// Durability sources on the replay/recovery path (relative to `crates/`).

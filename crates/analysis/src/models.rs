@@ -391,3 +391,174 @@ impl Model for WalRotationModel {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// PR 10: RoundPool shutdown vs. the worker's steal gap
+// ---------------------------------------------------------------------------
+
+/// The RoundPool shutdown handshake (`crates/kv/src/pool.rs`).
+///
+/// An idle worker's loop has an *unlocked gap*: it checks `shutdown` under
+/// the queue lock, releases the lock to attempt a cross-round steal, then
+/// re-locks and parks on `task_ready`. `Drop` sets `shutdown` and calls
+/// `notify_all`, then joins every worker.
+///
+/// The historical bug: `Drop` stored the flag without holding the queue
+/// lock and the worker did not re-check it after the steal gap. If the
+/// store + notify landed inside the gap (or between the worker's check
+/// and its park), the notification found no waiter, the worker parked
+/// forever, and `Drop`'s join hung the dropping thread. The fix is both
+/// sides of the handshake: the flag is stored while holding the queue
+/// lock, and the worker re-checks it under that lock immediately before
+/// parking.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PoolShutdownModel {
+    /// `true` = current code (store under the queue lock + re-check before
+    /// parking); `false` = the pre-PR 10 shutdown path.
+    pub fix_enabled: bool,
+    queue_mutex: ModelMutex,
+    task_ready: ModelCondvar,
+    shutdown: bool,
+    worker_exited: bool,
+    worker_pc: u8,
+    dropper_pc: u8,
+}
+
+/// Thread ids: 0 = worker, 1 = dropper.
+impl PoolShutdownModel {
+    pub fn new(fix_enabled: bool) -> Self {
+        PoolShutdownModel {
+            fix_enabled,
+            queue_mutex: ModelMutex::default(),
+            task_ready: ModelCondvar::default(),
+            shutdown: false,
+            worker_exited: false,
+            worker_pc: 0,
+            dropper_pc: 0,
+        }
+    }
+
+    fn step_worker(&mut self) -> Step {
+        match self.worker_pc {
+            // Loop top: acquire the queue lock.
+            0 => {
+                if !self.queue_mutex.acquire(0) {
+                    return Step::Blocked;
+                }
+                self.worker_pc = 1;
+                Step::Ran
+            }
+            // Queue empty (this model has no tasks): the loop-top shutdown
+            // check, under the lock.
+            1 => {
+                if self.shutdown {
+                    self.queue_mutex.release(0);
+                    self.worker_exited = true;
+                    self.worker_pc = 6;
+                } else {
+                    // Enter the steal gap: release the lock.
+                    self.queue_mutex.release(0);
+                    self.worker_pc = 2;
+                }
+                Step::Ran
+            }
+            // The steal attempt, outside any lock (no rounds registered:
+            // it finds nothing).
+            2 => {
+                self.worker_pc = 3;
+                Step::Ran
+            }
+            // Re-acquire the queue lock after the gap.
+            3 => {
+                if !self.queue_mutex.acquire(0) {
+                    return Step::Blocked;
+                }
+                self.worker_pc = 4;
+                Step::Ran
+            }
+            // About to park. The fix re-checks shutdown here, under the
+            // lock; the old code went straight into the wait.
+            4 => {
+                if self.fix_enabled && self.shutdown {
+                    self.queue_mutex.release(0);
+                    self.worker_exited = true;
+                    self.worker_pc = 6;
+                } else {
+                    self.task_ready.enter_wait(0);
+                    self.queue_mutex.release(0);
+                    self.worker_pc = 5;
+                }
+                Step::Ran
+            }
+            // Parked: wake only on a delivered signal, then loop.
+            5 => {
+                if !self.task_ready.take_signal(0) {
+                    return Step::Blocked;
+                }
+                self.worker_pc = 0;
+                Step::Ran
+            }
+            _ => Step::Done,
+        }
+    }
+
+    fn step_dropper(&mut self) -> Step {
+        match self.dropper_pc {
+            // Set the flag. Fixed code holds the queue lock around the
+            // store; the old code stored it with no lock.
+            0 => {
+                if self.fix_enabled {
+                    if !self.queue_mutex.acquire(1) {
+                        return Step::Blocked;
+                    }
+                    self.shutdown = true;
+                    self.queue_mutex.release(1);
+                } else {
+                    self.shutdown = true;
+                }
+                self.dropper_pc = 1;
+                Step::Ran
+            }
+            // Wake every currently parked worker.
+            1 => {
+                self.task_ready.notify_all();
+                self.dropper_pc = 2;
+                Step::Ran
+            }
+            // Join: blocked until the worker has exited its loop.
+            2 => {
+                if !self.worker_exited {
+                    return Step::Blocked;
+                }
+                self.dropper_pc = 3;
+                Step::Done
+            }
+            _ => Step::Done,
+        }
+    }
+}
+
+impl Model for PoolShutdownModel {
+    fn threads(&self) -> usize {
+        2
+    }
+
+    fn step(&mut self, tid: usize) -> Step {
+        match tid {
+            0 => self.step_worker(),
+            _ => self.step_dropper(),
+        }
+    }
+
+    fn on_stuck(&self) -> Result<(), String> {
+        if !self.worker_exited {
+            Err(format!(
+                "shutdown lost: worker parked forever (pc {}) while drop blocks in \
+                 join with shutdown={} already set",
+                self.worker_pc, self.shutdown
+            ))
+        } else {
+            Ok(())
+        }
+    }
+}

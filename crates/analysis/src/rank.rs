@@ -33,6 +33,10 @@ pub const SERVER_STREAMS: u32 = 5;
 pub const SERVER_SERIAL: u32 = 6;
 /// `ConnState.idle_sessions`: pooled sessions for tagged dispatch.
 pub const SERVER_IDLE_SESSIONS: u32 = 7;
+/// `InFlight.state`: a connection's backpressure window (decoded-but-not-
+/// yet-written request count). Taken with nothing else held by both the
+/// reader (acquire/stall) and the writer (release/poison).
+pub const SERVER_INFLIGHT: u32 = 8;
 
 // ---- statement registry ----
 
@@ -41,10 +45,20 @@ pub const REGISTRY_SWEEP: u32 = 10;
 /// `StatementRegistry.statements`: the name → statement map. Journaling
 /// happens while this is held for write (install/uninstall ordering).
 pub const REGISTRY_STATEMENTS: u32 = 20;
+/// `StatementRegistry.overload`: the overload-control configuration.
+/// May be read while `REGISTRY_STATEMENTS` is held (tenant resolution at
+/// install), never the reverse.
+pub const REGISTRY_OVERLOAD: u32 = 22;
 /// `StatementRegistry.journal`: the optional statement-journal sink handle.
 pub const REGISTRY_JOURNAL: u32 = 25;
 /// `StatementRegistry.durability`: the optional durability handle.
 pub const REGISTRY_DURABILITY: u32 = 26;
+/// `StatementRegistry.tenants`: tenant name → admission budget map.
+pub const REGISTRY_TENANTS: u32 = 27;
+/// `TenantBudget.in_flight`: one tenant's concurrent-execution permit
+/// count. Held only for the permit bookkeeping (and the queue-policy
+/// wait), never across an execution.
+pub const TENANT_BUDGET: u32 = 28;
 /// `RegisteredStatement.state`: per-statement compiled plan + prediction.
 pub const STATEMENT_STATE: u32 = 30;
 /// `RegisteredStatement.metrics`: per-statement run-metrics reservoir.

@@ -3,7 +3,7 @@
 //! the current algorithm, so the models stay honest in both directions.
 
 use piql_analysis::check::{explore, explore_random};
-use piql_analysis::models::{BatonPassModel, WalRotationModel};
+use piql_analysis::models::{BatonPassModel, PoolShutdownModel, WalRotationModel};
 
 const MAX_STEPS: usize = 256;
 
@@ -64,5 +64,29 @@ fn random_exploration_agrees_with_exhaustive() {
     explore_random(&BatonPassModel::new(false), 0x5EED, 4000, MAX_STEPS)
         .expect_err("random exploration should hit the baton-pass race");
     explore_random(&BatonPassModel::new(true), 0x5EED, 4000, MAX_STEPS)
+        .unwrap_or_else(|v| panic!("fixed model violated under random schedules: {v}"));
+}
+
+#[test]
+fn pool_shutdown_race_rediscovered_with_fix_reverted() {
+    let violation = explore(&PoolShutdownModel::new(false), MAX_STEPS)
+        .expect_err("the pre-PR 10 shutdown path must strand a parked worker");
+    assert!(
+        violation.message.contains("shutdown lost"),
+        "unexpected violation: {violation}"
+    );
+}
+
+#[test]
+fn pool_shutdown_fix_passes_every_schedule() {
+    explore(&PoolShutdownModel::new(true), MAX_STEPS)
+        .unwrap_or_else(|v| panic!("fixed shutdown model violated: {v}"));
+}
+
+#[test]
+fn pool_shutdown_random_agrees_with_exhaustive() {
+    explore_random(&PoolShutdownModel::new(false), 0x5EED, 4000, MAX_STEPS)
+        .expect_err("random exploration should hit the shutdown race");
+    explore_random(&PoolShutdownModel::new(true), 0x5EED, 4000, MAX_STEPS)
         .unwrap_or_else(|v| panic!("fixed model violated under random schedules: {v}"));
 }

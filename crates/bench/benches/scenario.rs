@@ -1,0 +1,196 @@
+//! Flash-crowd overload scenario — the acceptance run for the overload
+//! controls (per-tenant admission budgets + per-connection backpressure).
+//!
+//! Two identical seeded scenarios, differing only in whether the
+//! server-side controls are enabled: a 10x flash crowd slams the
+//! `burst` tenant while `site` and `api` carry steady traffic on a
+//! deliberately small dispatch pool over slow-ish storage.
+//!
+//! * **baseline** (controls off) — the crowd's pipelined requests all
+//!   reach storage, the dispatch pool queues, and the victims' p99
+//!   demonstrably blows through their SLO.
+//! * **controls** (budgets + backpressure on) — crowd requests beyond
+//!   the `burst` budget are rejected at admission (microseconds, no
+//!   storage op), and every other tenant's p99 holds within its SLO.
+//!
+//! Both runs (and their invariant checks — acked writes never lost, no
+//! connection starved) are recorded in `BENCH_scenario.json` for the CI
+//! scenario job. `PIQL_QUICK=1` shrinks the fleet and the clock; the
+//! assertions still apply.
+
+use piql_bench::{header, quick, row};
+use piql_scenario::{run_scenario, Controls, Fault, ScenarioSpec, TenantSpec};
+use piql_server::BudgetPolicy;
+use std::time::Duration;
+
+/// Victim SLO the acceptance criterion is judged against.
+const VICTIM_SLO_MS: f64 = 60.0;
+
+fn spec(run_secs: u64, scale: usize) -> ScenarioSpec {
+    let burst_steady = 2 * scale;
+    ScenarioSpec {
+        seed: 0x0dd_ba11,
+        duration: Duration::from_secs(run_secs),
+        requests_per_conn: None,
+        tenants: vec![
+            TenantSpec {
+                slo_ms: VICTIM_SLO_MS,
+                assert_slo: true,
+                binary_share: 0.25,
+                ..TenantSpec::new("site", 8 * scale)
+            },
+            TenantSpec {
+                slo_ms: VICTIM_SLO_MS,
+                assert_slo: true,
+                ..TenantSpec::new("api", 4 * scale)
+            },
+            TenantSpec {
+                budget: Some(4),
+                policy: BudgetPolicy::Reject,
+                ..TenantSpec::new("burst", burst_steady)
+            },
+        ],
+        keys_per_tenant: 2_000,
+        zipf_exponent: 0.99,
+        write_fraction: 0.1,
+        think: Duration::from_millis(2),
+        diurnal_cycles: 2,
+        dispatch_threads: 8,
+        request_delay_us: 5_000,
+        controls: Controls {
+            enabled: true,
+            max_in_flight_per_conn: 16,
+            rebalance_max_op_share: 0.9,
+            rebalance_min_ops: 50_000,
+        },
+        faults: vec![Fault::FlashCrowd {
+            at: Duration::from_millis(500),
+            until: Duration::from_secs(run_secs.saturating_sub(1)),
+            tenant: "burst".to_string(),
+            // the 10x flash crowd, relative to the tenant's steady pool
+            extra_connections: 10 * burst_steady,
+        }],
+    }
+}
+
+fn main() {
+    header(
+        "scenario",
+        "overload control under a 10x flash crowd (§2, §10 service story)",
+        "same seeded scenario, controls off vs on; victim p99 vs SLO",
+    );
+    let (run_secs, scale) = if quick() { (3, 1) } else { (15, 2) };
+
+    let controls_spec = spec(run_secs, scale);
+    let mut baseline_spec = controls_spec.clone();
+    baseline_spec.controls.enabled = false;
+    // The baseline is *expected* to violate the victims' SLOs; record the
+    // p99s rather than failing the run inside the driver.
+    for t in &mut baseline_spec.tenants {
+        t.assert_slo = false;
+    }
+
+    let baseline = run_scenario(&baseline_spec);
+    let controls = run_scenario(&controls_spec);
+
+    for (label, report) in [("baseline", &baseline), ("controls", &controls)] {
+        for t in &report.tenants {
+            row(&[
+                ("run", (*label).into()),
+                ("tenant", t.tenant.clone()),
+                ("sent", t.sent.to_string()),
+                ("rejected", t.rejected.to_string()),
+                ("crowd_rejected", t.crowd_rejected.to_string()),
+                ("p99_ms", format!("{:.2}", t.p99_ms)),
+                ("slo_ms", format!("{:.0}", t.slo_ms)),
+                ("lost_writes", t.lost_writes.to_string()),
+            ]);
+        }
+        row(&[
+            ("run", (*label).into()),
+            (
+                "backpressure_stalls",
+                report.server.backpressure_stalls.to_string(),
+            ),
+            ("budget_rejected", report.server.budget_rejected.to_string()),
+            ("fingerprint", format!("{:016x}", report.fingerprint)),
+        ]);
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"scenario\",\n  \"quick\": {},\n  \"run_secs\": {},\n  \
+         \"victim_slo_ms\": {},\n  \"baseline\": {},\n  \"controls\": {}\n}}\n",
+        quick(),
+        run_secs,
+        VICTIM_SLO_MS,
+        baseline.to_json_obj(),
+        controls.to_json_obj(),
+    );
+    let out =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scenario.json");
+    std::fs::write(&out, json).unwrap();
+    eprintln!("wrote {}", out.display());
+
+    // ---- acceptance: durability holds in both runs.
+    assert_eq!(
+        baseline.total_lost_writes(),
+        0,
+        "baseline lost acked writes"
+    );
+    assert_eq!(
+        controls.total_lost_writes(),
+        0,
+        "controls lost acked writes"
+    );
+    assert!(
+        baseline.passed(),
+        "baseline run violations: {:?}",
+        baseline.violations
+    );
+    assert!(
+        controls.passed(),
+        "controls run violations: {:?}",
+        controls.violations
+    );
+
+    // The baseline demonstrably violates at least one victim SLO…
+    let baseline_worst = ["site", "api"]
+        .iter()
+        .filter_map(|n| baseline.tenant(n))
+        .map(|t| t.p99_ms)
+        .fold(0.0f64, f64::max);
+    assert!(
+        baseline_worst > VICTIM_SLO_MS,
+        "baseline did not demonstrate the violation (worst victim p99 \
+         {baseline_worst:.2}ms <= SLO {VICTIM_SLO_MS}ms) — overload too weak"
+    );
+
+    // …while with controls on, every victim holds (the driver asserted
+    // this via `assert_slo`; re-check explicitly) and the crowd was
+    // turned away at admission.
+    for name in ["site", "api"] {
+        let t = controls.tenant(name).unwrap();
+        assert!(
+            t.p99_ms <= VICTIM_SLO_MS,
+            "{name} p99 {:.2}ms over SLO with controls on",
+            t.p99_ms
+        );
+    }
+    let burst = controls.tenant("burst").unwrap();
+    assert!(
+        burst.crowd_rejected > 0,
+        "controls run never rejected the flash crowd"
+    );
+    let ratio = baseline_worst
+        / controls
+            .tenant("site")
+            .map(|t| t.p99_ms.max(0.001))
+            .unwrap_or(0.001);
+    row(&[
+        (
+            "baseline_worst_victim_p99_ms",
+            format!("{baseline_worst:.2}"),
+        ),
+        ("isolation_ratio", format!("{ratio:.1}x")),
+    ]);
+}

@@ -185,6 +185,20 @@ pub trait KvStore: Send + Sync {
     fn balance(&self) -> Vec<NsBalance> {
         Vec::new()
     }
+    /// Rebalance iff some multi-shard namespace is op-skewed: it has served
+    /// at least `min_ops` operations under its current layout and its
+    /// [`NsBalance::max_op_share`] exceeds `max_op_share`. Returns whether
+    /// a rebalance ran. Op counters restart at zero with the new layout,
+    /// so `min_ops` doubles as hysteresis between consecutive triggers.
+    fn maybe_rebalance(&self, max_op_share: f64, min_ops: u64) -> bool {
+        let skewed = self.balance().iter().any(|b| {
+            b.shards > 1 && b.ops.iter().sum::<u64>() >= min_ops && b.max_op_share() > max_op_share
+        });
+        if skewed {
+            self.rebalance();
+        }
+        skewed
+    }
     /// Advance the session clock to the backend's current time, so a
     /// latency measured as `begin()..now` starts *now* rather than at the
     /// previous round's completion. Wall-clock backends override this;

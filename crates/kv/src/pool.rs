@@ -219,7 +219,17 @@ pub fn default_pool_threads() -> usize {
 
 impl Drop for RoundPool {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Store the flag while holding the queue lock: a worker that is
+        // about to wait either holds the lock right now (its re-check of
+        // `shutdown` below happens after this store, so it sees it and
+        // returns) or is already parked in `wait` (so `notify_all` reaches
+        // it). Storing outside the lock loses the race where a worker
+        // checks `shutdown`, then the store + notify land before it parks
+        // — the notify wakes nobody and `join` blocks forever.
+        {
+            let _queue = self.shared.queue.lock();
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+        }
         self.shared.task_ready.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
@@ -253,6 +263,14 @@ fn worker_loop(shared: &PoolShared) {
                 let stole = shared.steal_one(true);
                 queue = shared.queue.lock();
                 if !stole {
+                    // Re-check shutdown before parking: the flag is set
+                    // under the queue lock, so a store that happened in
+                    // the unlocked steal gap (whose notify_all found no
+                    // waiter) is visible here — without this check that
+                    // shutdown would be lost and Drop's join would hang.
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
                     // Nothing stealable either; re-checks the queue at
                     // the loop top after waking. A round registered in
                     // the unlocked gap always submits ≥1 helper task, so
@@ -510,6 +528,31 @@ mod tests {
         );
         a.join().unwrap();
         assert!(pool.stolen_tasks() > 0, "steals must be what made it fast");
+    }
+
+    #[test]
+    fn drop_never_hangs_on_shutdown_race() {
+        // Regression (found as a wedged tier-1 run on a 1-core host): the
+        // shutdown flag used to be stored outside the queue lock and
+        // workers did not re-check it between the steal gap and parking,
+        // so a drop racing a worker's park could strand the worker on
+        // `task_ready` forever and hang `join`. Hammer the
+        // create/scatter/drop cycle under a watchdog; the exhaustive
+        // schedule proof is `piql_analysis::models::PoolShutdownModel`.
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            for i in 0..200 {
+                let pool = RoundPool::new(4);
+                if i % 2 == 0 {
+                    let fns: Vec<_> = (0..4).map(|j| move || j).collect();
+                    assert_eq!(pool.scatter(fns), vec![0, 1, 2, 3]);
+                }
+                drop(pool);
+            }
+            tx.send(()).unwrap();
+        });
+        rx.recv_timeout(Duration::from_secs(60))
+            .expect("a pool drop lost its shutdown wakeup and hung");
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Scenario outcomes: per-tenant counters, latency percentiles, the
+//! deterministic operation-stream fingerprint, and the invariant
+//! violations (if any). Reports render to the same tiny JSON the server
+//! speaks, so benches can write them straight into `BENCH_scenario.json`.
+
+use piql_server::Json;
+
+/// Latency percentile over a sample of microsecond measurements.
+/// Sorts in place; empty samples report 0.
+pub fn percentile_ms(samples: &mut [u64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_unstable();
+    let rank = ((samples.len() as f64 * p).ceil() as usize)
+        .saturating_sub(1)
+        .min(samples.len() - 1);
+    samples[rank] as f64 / 1_000.0
+}
+
+/// One tenant's aggregated outcome.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    pub tenant: String,
+    pub connections: usize,
+    /// Requests issued by steady-state connections.
+    pub sent: u64,
+    /// Successful full-plan responses.
+    pub ok: u64,
+    /// Successful responses served from the shed (degraded) plan.
+    pub degraded: u64,
+    /// `budget-exceeded` rejections.
+    pub rejected: u64,
+    /// Any other failure (transport errors, unexpected server errors).
+    pub errors: u64,
+    /// Acked writes recorded by this tenant's connections.
+    pub acked_writes: u64,
+    /// Acked writes re-read and found intact during verification.
+    pub verified_writes: u64,
+    /// Acked writes that verification could not find (must be 0).
+    pub lost_writes: u64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub slo_ms: f64,
+    /// Flash-crowd traffic against this tenant (tracked separately so
+    /// crowd rejections don't pollute steady-state counters).
+    pub crowd_sent: u64,
+    pub crowd_ok: u64,
+    pub crowd_rejected: u64,
+}
+
+impl TenantReport {
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("tenant", Json::str(self.tenant.clone())),
+            ("connections", Json::Int(self.connections as i64)),
+            ("sent", Json::Int(self.sent as i64)),
+            ("ok", Json::Int(self.ok as i64)),
+            ("degraded", Json::Int(self.degraded as i64)),
+            ("rejected", Json::Int(self.rejected as i64)),
+            ("errors", Json::Int(self.errors as i64)),
+            ("acked_writes", Json::Int(self.acked_writes as i64)),
+            ("verified_writes", Json::Int(self.verified_writes as i64)),
+            ("lost_writes", Json::Int(self.lost_writes as i64)),
+            ("p50_ms", Json::Float(self.p50_ms)),
+            ("p99_ms", Json::Float(self.p99_ms)),
+            ("slo_ms", Json::Float(self.slo_ms)),
+            ("crowd_sent", Json::Int(self.crowd_sent as i64)),
+            ("crowd_ok", Json::Int(self.crowd_ok as i64)),
+            ("crowd_rejected", Json::Int(self.crowd_rejected as i64)),
+        ])
+    }
+}
+
+/// Server-side overload counters sampled from `stats` at the end of the
+/// run (0 when the stats call failed).
+#[derive(Debug, Clone, Default)]
+pub struct ServerOverload {
+    pub backpressure_stalls: u64,
+    pub budget_rejected: u64,
+    pub budget_shed: u64,
+    pub auto_rebalances: u64,
+}
+
+impl ServerOverload {
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "backpressure_stalls",
+                Json::Int(self.backpressure_stalls as i64),
+            ),
+            ("budget_rejected", Json::Int(self.budget_rejected as i64)),
+            ("budget_shed", Json::Int(self.budget_shed as i64)),
+            ("auto_rebalances", Json::Int(self.auto_rebalances as i64)),
+        ])
+    }
+}
+
+/// The full outcome of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    pub seed: u64,
+    pub controls_enabled: bool,
+    /// XOR of every steady-state connection's FNV op-stream fingerprint —
+    /// order-independent, so a re-run with the same seed must reproduce
+    /// it exactly (fixed-count mode).
+    pub fingerprint: u64,
+    pub elapsed_ms: u64,
+    pub tenants: Vec<TenantReport>,
+    pub server: ServerOverload,
+    /// Invariant violations; an empty list means the run passed.
+    pub violations: Vec<String>,
+}
+
+impl ScenarioReport {
+    pub fn tenant(&self, name: &str) -> Option<&TenantReport> {
+        self.tenants.iter().find(|t| t.tenant == name)
+    }
+
+    pub fn total_sent(&self) -> u64 {
+        self.tenants.iter().map(|t| t.sent).sum()
+    }
+
+    pub fn total_rejected(&self) -> u64 {
+        self.tenants
+            .iter()
+            .map(|t| t.rejected + t.crowd_rejected)
+            .sum()
+    }
+
+    pub fn total_lost_writes(&self) -> u64 {
+        self.tenants.iter().map(|t| t.lost_writes).sum()
+    }
+
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::Arr(vec![self.to_json_obj()])
+    }
+
+    /// The report as a single JSON object (what benches embed).
+    pub fn to_json_obj(&self) -> Json {
+        Json::obj([
+            ("seed", Json::Int(self.seed as i64)),
+            ("controls_enabled", Json::Bool(self.controls_enabled)),
+            (
+                "fingerprint",
+                Json::str(format!("{:016x}", self.fingerprint)),
+            ),
+            ("elapsed_ms", Json::Int(self.elapsed_ms as i64)),
+            (
+                "tenants",
+                Json::Arr(self.tenants.iter().map(TenantReport::to_json).collect()),
+            ),
+            ("server", self.server.to_json()),
+            (
+                "violations",
+                Json::Arr(
+                    self.violations
+                        .iter()
+                        .map(|v| Json::str(v.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}

@@ -1,0 +1,109 @@
+//! Zipfian key popularity, the standard skewed-access model for
+//! social-network workloads (the paper's motivating domain, §2): a few
+//! hot entities absorb most reads. The sampler is the classic
+//! Gray et al. / YCSB construction — precompute the generalized
+//! harmonic number `zeta(n, theta)` once, then each draw is O(1).
+
+use rand::Rng;
+
+/// O(1) Zipfian sampler over `0..n` with exponent `theta` in `[0, 1)`.
+///
+/// `theta = 0` degenerates to uniform; YCSB's default skew is `0.99`.
+/// Draws are a pure function of the RNG stream, so a seeded generator
+/// yields an identical key sequence on every run.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// Build a sampler over `0..n`. `theta` is clamped to `[0, 0.999]`
+    /// (the closed-form eta below requires `theta < 1`).
+    pub fn new(n: u64, theta: f64) -> Zipfian {
+        let n = n.max(1);
+        let theta = theta.clamp(0.0, 0.999);
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    /// Draw one rank; rank 0 is the hottest key.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if self.n > 1 && uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn in_range_and_deterministic() {
+        let z = Zipfian::new(1000, 0.99);
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = z.sample(&mut a);
+            assert!(x < 1000);
+            assert_eq!(x, z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn skews_toward_low_ranks() {
+        let z = Zipfian::new(10_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut head = 0u64;
+        let draws = 20_000;
+        for _ in 0..draws {
+            if z.sample(&mut rng) < 100 {
+                head += 1;
+            }
+        }
+        // With theta=0.99 the top 1% of keys takes well over half the
+        // draws; uniform would give ~1%.
+        assert!(
+            head as f64 / draws as f64 > 0.4,
+            "head share {head}/{draws}"
+        );
+    }
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipfian::new(100, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hits = [0u32; 100];
+        for _ in 0..50_000 {
+            hits[z.sample(&mut rng) as usize] += 1;
+        }
+        let max = *hits.iter().max().unwrap_or(&0);
+        let min = *hits.iter().min().unwrap_or(&0);
+        assert!(min > 0 && max < 5 * min.max(1), "min {min} max {max}");
+    }
+}

@@ -1,0 +1,201 @@
+//! Scenario-harness integration tests: seeded reproducibility, the
+//! flash-crowd isolation e2e, and a fault-mix smoke run. Sizes are kept
+//! small (debug build, possibly one core); the 30-second version lives
+//! in `crates/bench/benches/scenario.rs`.
+
+use std::time::Duration;
+
+use piql_scenario::{run_scenario, Controls, Fault, ScenarioSpec, TenantSpec};
+use piql_server::BudgetPolicy;
+
+/// Fixed-count spec: every connection issues exactly `n` requests, think
+/// time zero, so the operation stream — and every admission decision
+/// driven purely by budget configuration — is a pure function of the
+/// seed.
+fn fixed_spec(seed: u64, n: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        seed,
+        requests_per_conn: Some(n),
+        tenants: vec![
+            // Capacity-zero reject budget: every read is deterministically
+            // rejected at admission (writes are DML and bypass budgets).
+            TenantSpec {
+                budget: Some(0),
+                policy: BudgetPolicy::Reject,
+                ..TenantSpec::new("busy", 3)
+            },
+            TenantSpec::new("calm", 3),
+        ],
+        keys_per_tenant: 200,
+        zipf_exponent: 0.99,
+        write_fraction: 0.25,
+        think: Duration::ZERO,
+        diurnal_cycles: 0,
+        dispatch_threads: 2,
+        request_delay_us: 0,
+        controls: Controls {
+            enabled: true,
+            max_in_flight_per_conn: 8,
+            rebalance_max_op_share: 0.0,
+            rebalance_min_ops: 0,
+        },
+        faults: Vec::new(),
+        duration: Duration::from_secs(30),
+    }
+}
+
+#[test]
+fn same_seed_reproduces_stream_and_admission_counts() {
+    let a = run_scenario(&fixed_spec(42, 40));
+    let b = run_scenario(&fixed_spec(42, 40));
+    assert!(a.passed(), "first run violations: {:?}", a.violations);
+    assert!(b.passed(), "second run violations: {:?}", b.violations);
+    assert_eq!(
+        a.fingerprint, b.fingerprint,
+        "op-stream fingerprint drifted"
+    );
+    for (ta, tb) in a.tenants.iter().zip(&b.tenants) {
+        assert_eq!(ta.tenant, tb.tenant);
+        assert_eq!(ta.sent, tb.sent, "tenant {} sent", ta.tenant);
+        assert_eq!(ta.rejected, tb.rejected, "tenant {} rejected", ta.tenant);
+        assert_eq!(
+            ta.acked_writes, tb.acked_writes,
+            "tenant {} acked writes",
+            ta.tenant
+        );
+    }
+    // The capacity-zero tenant must have had every read rejected and
+    // every write (DML, budget-exempt) acked — and a different seed must
+    // produce a different stream.
+    let busy = a.tenant("busy").expect("busy tenant report");
+    assert_eq!(busy.sent, 3 * 40);
+    assert!(busy.rejected > 0, "no reads rejected: {busy:?}");
+    assert_eq!(busy.ok + busy.rejected, busy.sent, "busy: {busy:?}");
+    assert_eq!(busy.ok as u64, busy.acked_writes, "busy: {busy:?}");
+    let c = run_scenario(&fixed_spec(43, 40));
+    assert_ne!(a.fingerprint, c.fingerprint, "seed not driving the stream");
+}
+
+#[test]
+fn acked_writes_survive_reported_loss_free() {
+    let mut spec = fixed_spec(7, 60);
+    spec.write_fraction = 0.5;
+    let report = run_scenario(&spec);
+    assert!(report.passed(), "violations: {:?}", report.violations);
+    assert_eq!(report.total_lost_writes(), 0);
+    let calm = report.tenant("calm").expect("calm tenant report");
+    assert!(calm.acked_writes > 0, "no writes acked: {calm:?}");
+    assert!(
+        calm.verified_writes > 0,
+        "verification did not run: {calm:?}"
+    );
+}
+
+/// The satellite e2e: with overload controls on, a flash crowd against a
+/// budgeted tenant is rejected at admission while an idle tenant's p99
+/// holds under its SLO.
+#[test]
+fn flash_crowd_is_rejected_and_idle_tenant_p99_holds() {
+    let spec = ScenarioSpec {
+        seed: 0xf1a5,
+        duration: Duration::from_millis(2_500),
+        requests_per_conn: None,
+        tenants: vec![
+            TenantSpec {
+                slo_ms: 250.0,
+                assert_slo: true,
+                ..TenantSpec::new("calm", 4)
+            },
+            TenantSpec {
+                budget: Some(4),
+                policy: BudgetPolicy::Reject,
+                ..TenantSpec::new("burst", 2)
+            },
+        ],
+        keys_per_tenant: 500,
+        zipf_exponent: 0.99,
+        write_fraction: 0.1,
+        think: Duration::from_millis(1),
+        diurnal_cycles: 0,
+        dispatch_threads: 4,
+        request_delay_us: 100,
+        controls: Controls {
+            enabled: true,
+            max_in_flight_per_conn: 16,
+            rebalance_max_op_share: 0.0,
+            rebalance_min_ops: 0,
+        },
+        faults: vec![Fault::FlashCrowd {
+            at: Duration::from_millis(300),
+            until: Duration::from_millis(2_000),
+            tenant: "burst".to_string(),
+            extra_connections: 6,
+        }],
+    };
+    let report = run_scenario(&spec);
+    assert!(report.passed(), "violations: {:?}", report.violations);
+    let burst = report.tenant("burst").expect("burst tenant report");
+    assert!(
+        burst.crowd_rejected > 0,
+        "flash crowd was never rejected: {burst:?}"
+    );
+    assert!(
+        report.server.budget_rejected >= burst.crowd_rejected,
+        "server counters disagree: {:?} vs {burst:?}",
+        report.server
+    );
+    let calm = report.tenant("calm").expect("calm tenant report");
+    assert!(
+        calm.sent > 0 && calm.p99_ms <= calm.slo_ms,
+        "calm: {calm:?}"
+    );
+}
+
+/// Fault-mix smoke: a slow shard and a paused (never-reading) consumer
+/// must not lose acked writes, starve connections, or surface untyped
+/// errors while backpressure and budgets are active.
+#[test]
+fn fault_mix_preserves_invariants() {
+    let spec = ScenarioSpec {
+        seed: 99,
+        duration: Duration::from_millis(1_500),
+        requests_per_conn: None,
+        tenants: vec![
+            TenantSpec::new("t0", 2),
+            TenantSpec {
+                budget: Some(8),
+                policy: BudgetPolicy::Shed,
+                ..TenantSpec::new("t1", 2)
+            },
+        ],
+        keys_per_tenant: 300,
+        zipf_exponent: 0.9,
+        write_fraction: 0.3,
+        think: Duration::from_millis(1),
+        diurnal_cycles: 2,
+        dispatch_threads: 2,
+        request_delay_us: 0,
+        controls: Controls {
+            enabled: true,
+            max_in_flight_per_conn: 8,
+            rebalance_max_op_share: 0.0,
+            rebalance_min_ops: 0,
+        },
+        faults: vec![
+            Fault::SlowShard {
+                at: Duration::from_millis(200),
+                until: Duration::from_millis(700),
+                delay_us: 2_000,
+            },
+            Fault::PausedReader {
+                at: Duration::from_millis(200),
+                tenant: "t0".to_string(),
+                frames: 64,
+            },
+        ],
+    };
+    let report = run_scenario(&spec);
+    assert!(report.passed(), "violations: {:?}", report.violations);
+    assert_eq!(report.total_lost_writes(), 0);
+    assert!(report.total_sent() > 0);
+}

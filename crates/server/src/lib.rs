@@ -40,6 +40,7 @@
 //!   (re-exported here) so the engine stack runs on wall-clock storage.
 
 pub mod binary;
+pub mod budget;
 pub mod client;
 pub mod durable;
 pub mod json;
@@ -50,16 +51,17 @@ pub mod testkit;
 pub mod wire;
 
 pub use binary::BinaryWire;
+pub use budget::{BudgetDecision, BudgetPermit, BudgetPolicy, BudgetSnapshot, TenantBudget};
 pub use client::{decode_page, Client, ClientError, Page, Pipeline};
 pub use durable::{open_durable, DurableOptions, DurableStack, Readmission, SnapshotDaemon};
 pub use json::{Json, JsonError};
 pub use protocol::{Envelope, ProtoError, Request, RequestId};
 pub use registry::{
-    Admission, DriftAction, DriftEvent, DurabilityControl, FastKeyPart, FastPointPlan,
-    RegisteredStatement, RegistryCounters, RegistryError, RevalidationSummary, Revalidator,
-    SloConfig, StatementJournal, StatementRegistry,
+    Admission, DriftAction, DriftEvent, DurabilityControl, ExecOutcome, FastKeyPart, FastPointPlan,
+    OverloadConfig, RegisteredStatement, RegistryCounters, RegistryError, RevalidationSummary,
+    Revalidator, SloConfig, StatementJournal, StatementRegistry,
 };
-pub use server::{BinaryConn, PiqlServer};
+pub use server::{BinaryConn, PiqlServer, ServerTuning};
 pub use wire::{JsonWire, Wire};
 
 pub use piql_kv::{LiveCluster, LiveConfig};

@@ -535,6 +535,21 @@ pub fn err_response(message: impl Into<String>) -> Json {
     ])
 }
 
+/// The admission-budget rejection envelope (PROTOCOL.md §4.2): a normal
+/// error plus a machine-readable `code` and the refusing tenant, so a
+/// client can back off instead of string-matching the message.
+pub fn budget_exceeded_response(tenant: &str) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::str(format!("admission budget exceeded for tenant '{tenant}'")),
+        ),
+        ("code", Json::str("budget-exceeded")),
+        ("tenant", Json::str(tenant.to_string())),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

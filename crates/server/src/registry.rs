@@ -32,6 +32,7 @@
 //! relaxed back toward their original bound. Admission therefore tracks
 //! the store the service actually runs on, interval by interval.
 
+use crate::budget::{BudgetDecision, BudgetPolicy, TenantBudget};
 use piql_analysis::ordered::{Mutex, RwLock};
 use piql_analysis::rank;
 use piql_core::ast::{RowBound, SelectStmt};
@@ -179,6 +180,44 @@ pub struct DriftEvent {
 /// Drift events retained per statement.
 const DRIFT_HISTORY: usize = 32;
 
+/// Registry-wide overload-control configuration. Per-tenant budgets created
+/// after a change inherit these defaults; explicitly configured budgets
+/// (see [`StatementRegistry::set_tenant_budget`]) are pinned and keep their
+/// settings.
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// Default per-tenant in-flight execution cap (`None` = unlimited).
+    pub default_tenant_capacity: Option<u32>,
+    /// Default policy once a tenant's cap is reached.
+    pub default_policy: BudgetPolicy,
+    /// Auto-rebalance when any namespace's [`piql_kv::NsBalance::max_op_share`]
+    /// exceeds this after a re-validation sweep. `0.0` disables the trigger.
+    pub rebalance_max_op_share: f64,
+    /// Minimum ops observed on a namespace since the last rebalance before
+    /// skew is acted on (avoids rebalancing on statistical noise).
+    pub rebalance_min_ops: u64,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            default_tenant_capacity: None,
+            default_policy: BudgetPolicy::Reject,
+            rebalance_max_op_share: 0.0,
+            rebalance_min_ops: 10_000,
+        }
+    }
+}
+
+/// The tenant a statement name belongs to: the prefix before the first
+/// `'.'` (`"t0.point"` → `"t0"`), or `"default"` for unqualified names.
+pub fn tenant_of(name: &str) -> &str {
+    match name.split_once('.') {
+        Some((tenant, _)) if !tenant.is_empty() => tenant,
+        _ => "default",
+    }
+}
+
 /// Recent latency samples retained per statement (ring; see
 /// [`RunMetrics::bounded`]). Roughly: enough for stable p99s, bounded for
 /// a server that executes forever.
@@ -293,6 +332,10 @@ struct StatementState {
     admission: Admission,
     /// Row bound the current plan enforces (`None`: no bound to degrade).
     limit: Option<u64>,
+    /// Pre-compiled shed plan (tightest advisor bound) served when the
+    /// tenant's budget admits under the `Shed` policy. Kept in lockstep
+    /// with plan swaps; `None` when the statement has no tighter bound.
+    shed: Option<Arc<Prepared>>,
     /// Latest re-validated prediction for the current plan, ms.
     last_predicted_p99_ms: f64,
     drift: Vec<DriftEvent>,
@@ -311,6 +354,9 @@ pub struct RegisteredStatement {
     /// [`LiveOpKind::index`], stats print [`LiveOpKind::name`].
     pub kind: LiveOpKind,
     state: RwLock<StatementState>,
+    /// The admission budget of the tenant this statement belongs to
+    /// (resolved from the name prefix at install time).
+    budget: Arc<TenantBudget>,
     pub executions: AtomicU64,
     /// Wall-clock latency samples (reuses the experiment metrics type, so
     /// the stats endpoint reports the same quantiles the benchmarks do);
@@ -351,6 +397,29 @@ impl RegisteredStatement {
         self.state.read().drift.clone()
     }
 
+    /// The most recent `n` drift events, oldest first. `stats` uses this
+    /// so the reply stays bounded no matter how long the server has run.
+    pub fn recent_drift(&self, n: usize) -> Vec<DriftEvent> {
+        let state = self.state.read();
+        let start = state.drift.len().saturating_sub(n);
+        state.drift[start..].to_vec()
+    }
+
+    /// Total drift events retained (bounded by the ring size).
+    pub fn drift_len(&self) -> usize {
+        self.state.read().drift.len()
+    }
+
+    /// The tenant budget governing this statement's executions.
+    pub fn budget(&self) -> &Arc<TenantBudget> {
+        &self.budget
+    }
+
+    /// The pre-compiled shed (degraded) plan, when one exists.
+    pub fn shed_prepared(&self) -> Option<Arc<Prepared>> {
+        self.state.read().shed.clone()
+    }
+
     /// The root remote operator's name (the `kind` label in words).
     pub fn kind_name(&self) -> &'static str {
         self.kind.name()
@@ -380,6 +449,18 @@ pub struct RegistryCounters {
     pub drift_relaxed: AtomicU64,
     pub drift_flagged: AtomicU64,
     pub drift_recovered: AtomicU64,
+    /// Executions refused because the tenant's admission budget was
+    /// exhausted (reject policy, shed overflow, or queue timeout).
+    pub budget_rejected: AtomicU64,
+    /// Executions admitted into a budget's overflow band under the `Shed`
+    /// policy (served the degraded plan when one exists).
+    pub budget_shed: AtomicU64,
+    /// Times a connection reader stalled on its max-in-flight cap (see
+    /// `server::ServerTuning`).
+    pub backpressure_stalls: AtomicU64,
+    /// Rebalances triggered automatically by the skew threshold (a subset
+    /// of `rebalances` is *not* implied: these are separate triggers).
+    pub auto_rebalances: AtomicU64,
 }
 
 /// What one [`StatementRegistry::revalidate`] sweep did.
@@ -396,6 +477,16 @@ pub struct RevalidationSummary {
     pub relaxed: u64,
     pub flagged: u64,
     pub recovered: u64,
+}
+
+/// Result of a budget-governed execution (see
+/// [`StatementRegistry::execute_governed`]).
+pub struct ExecOutcome {
+    pub result: QueryResult,
+    /// True when the tenant's budget admitted into the overflow band and
+    /// the statement's pre-compiled shed plan was served — the response is
+    /// flagged `degraded` on the wire.
+    pub shed: bool,
 }
 
 /// Journal for durable statement registration. The registry calls
@@ -421,6 +512,11 @@ pub trait DurabilityControl: Send + Sync {
 #[derive(Debug)]
 pub enum RegistryError {
     UnknownStatement(String),
+    /// The tenant's admission budget refused the execution (surfaced with
+    /// the `budget-exceeded` protocol code so clients can back off).
+    BudgetExceeded {
+        tenant: String,
+    },
     Db(DbError),
 }
 
@@ -429,6 +525,9 @@ impl std::fmt::Display for RegistryError {
         match self {
             RegistryError::UnknownStatement(name) => {
                 write!(f, "unknown statement '{name}' (prepare it first)")
+            }
+            RegistryError::BudgetExceeded { tenant } => {
+                write!(f, "admission budget exceeded for tenant '{tenant}'")
             }
             RegistryError::Db(e) => write!(f, "{e}"),
         }
@@ -464,6 +563,11 @@ pub struct StatementRegistry<S: KvStore = LiveCluster> {
     /// The durability subsystem, when the stack is durable (`stats` and
     /// `snapshot` reach it through here).
     durability: RwLock<Option<Arc<dyn DurabilityControl>>>,
+    /// Overload-control configuration (budget defaults + rebalance trigger).
+    overload: Mutex<OverloadConfig>,
+    /// Tenant name → admission budget. Budgets are created lazily on first
+    /// statement install / lookup and live for the registry's lifetime.
+    tenants: RwLock<BTreeMap<String, Arc<TenantBudget>>>,
     pub counters: RegistryCounters,
 }
 
@@ -497,8 +601,58 @@ impl<S: KvStore> StatementRegistry<S> {
             sweep_lock: Mutex::new(rank::REGISTRY_SWEEP, "registry.sweep", ()),
             journal: RwLock::new(rank::REGISTRY_JOURNAL, "registry.journal", None),
             durability: RwLock::new(rank::REGISTRY_DURABILITY, "registry.durability", None),
+            overload: Mutex::new(
+                rank::REGISTRY_OVERLOAD,
+                "registry.overload",
+                OverloadConfig::default(),
+            ),
+            tenants: RwLock::new(rank::REGISTRY_TENANTS, "registry.tenants", BTreeMap::new()),
             counters: RegistryCounters::default(),
         }
+    }
+
+    /// Replace the overload-control configuration. New defaults are pushed
+    /// to every existing tenant budget that was not configured explicitly.
+    pub fn set_overload(&self, cfg: OverloadConfig) {
+        {
+            let mut current = self.overload.lock();
+            *current = cfg.clone();
+        }
+        for budget in self.tenants.read().values() {
+            budget.apply_default(cfg.default_tenant_capacity, cfg.default_policy);
+        }
+    }
+
+    /// The current overload-control configuration.
+    pub fn overload_config(&self) -> OverloadConfig {
+        self.overload.lock().clone()
+    }
+
+    /// Explicitly configure (and pin) one tenant's budget.
+    pub fn set_tenant_budget(&self, tenant: &str, capacity: Option<u32>, policy: BudgetPolicy) {
+        self.budget_for(tenant).configure(capacity, policy);
+    }
+
+    /// Every tenant budget the registry has materialized, by tenant name.
+    pub fn tenant_budgets(&self) -> Vec<Arc<TenantBudget>> {
+        self.tenants.read().values().cloned().collect()
+    }
+
+    /// The budget for `tenant`, creating it with the current defaults on
+    /// first sight.
+    pub fn budget_for(&self, tenant: &str) -> Arc<TenantBudget> {
+        if let Some(budget) = self.tenants.read().get(tenant) {
+            return budget.clone();
+        }
+        let (capacity, policy) = {
+            let cfg = self.overload.lock();
+            (cfg.default_tenant_capacity, cfg.default_policy)
+        };
+        let mut tenants = self.tenants.write();
+        tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantBudget::new(tenant, capacity, policy))
+            .clone()
     }
 
     /// Install (or clear) the registration journal. Install it *after*
@@ -655,6 +809,22 @@ impl<S: KvStore> StatementRegistry<S> {
         heatmap.suggest_row_limit(0, self.slo.slo_ms)
     }
 
+    /// Pre-compile the shed plan: the statement rebound to the tightest
+    /// advisor grid bound, when that is strictly tighter than the current
+    /// plan's bound. Pure control-plane work — runs at install and in the
+    /// sweep's decide phase, never under the statement state lock.
+    fn build_shed(&self, stmt: &SelectStmt, limit: Option<u64>) -> Option<Arc<Prepared>> {
+        let current = limit?;
+        let tightest = ALPHA_GRID.iter().map(|&a| a as u64).min()?;
+        if tightest >= current {
+            return None;
+        }
+        self.db
+            .prepare_stmt(&rebound(stmt, tightest))
+            .ok()
+            .map(Arc::new)
+    }
+
     fn uninstall(&self, name: &str) {
         // the journal append happens while the statements write lock is
         // still held: two racing (un)registrations of the same name must
@@ -685,6 +855,10 @@ impl<S: KvStore> StatementRegistry<S> {
     ) {
         let last_predicted_p99_ms = admission.predicted_p99_ms().unwrap_or(0.0);
         let fast_point = fast_point_plan(&self.db, &prepared);
+        // tenant budget + shed plan resolve before the statements write
+        // lock: both take their own locks and must not nest inside it
+        let budget = self.budget_for(tenant_of(name));
+        let shed = self.build_shed(&stmt, limit);
         let statement = Arc::new(RegisteredStatement {
             name: name.to_string(),
             sql: sql.to_string(),
@@ -698,10 +872,12 @@ impl<S: KvStore> StatementRegistry<S> {
                     fast_point,
                     admission,
                     limit,
+                    shed,
                     last_predicted_p99_ms,
                     drift: Vec::new(),
                 },
             ),
+            budget,
             executions: AtomicU64::new(0),
             metrics: Mutex::new(
                 rank::STATEMENT_METRICS,
@@ -727,7 +903,8 @@ impl<S: KvStore> StatementRegistry<S> {
     }
 
     /// Execute a registered statement, recording wall-clock latency under
-    /// the statement's interaction kind.
+    /// the statement's interaction kind. Equivalent to
+    /// [`StatementRegistry::execute_governed`] with the shed flag dropped.
     pub fn execute(
         &self,
         session: &mut Session,
@@ -735,10 +912,47 @@ impl<S: KvStore> StatementRegistry<S> {
         params: &piql_core::plan::params::Params,
         cursor: Option<&Cursor>,
     ) -> Result<QueryResult, RegistryError> {
+        self.execute_governed(session, name, params, cursor)
+            .map(|outcome| outcome.result)
+    }
+
+    /// Execute a registered statement through its tenant's admission
+    /// budget. The budget permit is held (RAII) for the whole execution —
+    /// it releases on success, error, and panic-unwind alike, so in-flight
+    /// accounting cannot leak across disconnects.
+    pub fn execute_governed(
+        &self,
+        session: &mut Session,
+        name: &str,
+        params: &piql_core::plan::params::Params,
+        cursor: Option<&Cursor>,
+    ) -> Result<ExecOutcome, RegistryError> {
         let statement = self
             .get(name)
             .ok_or_else(|| RegistryError::UnknownStatement(name.to_string()))?;
-        let prepared = statement.prepared();
+        let (_permit, shed_admission) = match statement.budget().admit() {
+            BudgetDecision::Go(permit) => (permit, false),
+            BudgetDecision::Shed(permit) => (Some(permit), true),
+            BudgetDecision::Reject => {
+                self.counters
+                    .budget_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(RegistryError::BudgetExceeded {
+                    tenant: statement.budget().tenant().to_string(),
+                });
+            }
+        };
+        // a shed admission serves the pre-compiled degraded plan when the
+        // statement has one; otherwise the overflow slot runs the full plan
+        let (prepared, shed) = if shed_admission {
+            self.counters.budget_shed.fetch_add(1, Ordering::Relaxed);
+            match statement.shed_prepared() {
+                Some(shed_plan) => (shed_plan, true),
+                None => (statement.prepared(), false),
+            }
+        } else {
+            (statement.prepared(), false)
+        };
         // start timing from *now*, not from the previous round's completion
         // — otherwise client think-time (and, on a fresh session, the whole
         // backend uptime) would pollute the latency quantiles
@@ -756,7 +970,7 @@ impl<S: KvStore> StatementRegistry<S> {
                     .lock()
                     .record(start, latency, statement.kind.index());
                 self.counters.executed.fetch_add(1, Ordering::Relaxed);
-                Ok(r)
+                Ok(ExecOutcome { result: r, shed })
             }
             Err(e) => {
                 self.counters.exec_errors.fetch_add(1, Ordering::Relaxed);
@@ -834,6 +1048,18 @@ impl<S: KvStore> StatementRegistry<S> {
             .fetch_add(summary.flagged, Ordering::Relaxed);
         c.drift_recovered
             .fetch_add(summary.recovered, Ordering::Relaxed);
+
+        // Skew-triggered rebalance: a sweep already looked at the whole
+        // service, so it is the natural place to act on placement skew.
+        // Op counters reset on rebalance, so `rebalance_min_ops` doubles
+        // as the hysteresis between consecutive triggers.
+        let (threshold, min_ops) = {
+            let cfg = self.overload.lock();
+            (cfg.rebalance_max_op_share, cfg.rebalance_min_ops)
+        };
+        if threshold > 0.0 && self.db.cluster().maybe_rebalance(threshold, min_ops) {
+            c.auto_rebalances.fetch_add(1, Ordering::Relaxed);
+        }
         summary
     }
 
@@ -866,8 +1092,9 @@ impl<S: KvStore> StatementRegistry<S> {
         let was_degraded = matches!(admission, Admission::Degraded { .. });
 
         // (action, new admission, plan swap) — the swap carries the newly
-        // prepared plan, its bound, and its prediction
-        type Swap = Option<(Arc<Prepared>, Option<u64>, f64)>;
+        // prepared plan, its bound, its prediction, and the matching
+        // pre-compiled shed plan
+        type Swap = Option<(Arc<Prepared>, Option<u64>, f64, Option<Arc<Prepared>>)>;
         let (action, new_admission, swap): (DriftAction, Admission, Swap) = if meets {
             if was_flagged {
                 // a flagged statement meets the SLO again: restore the
@@ -893,7 +1120,12 @@ impl<S: KvStore> StatementRegistry<S> {
                             Admission::Admitted {
                                 predicted_p99_ms: restored_p99,
                             },
-                            Some((Arc::new(restored), Some(o), restored_p99)),
+                            Some((
+                                Arc::new(restored),
+                                Some(o),
+                                restored_p99,
+                                self.build_shed(&statement.stmt, Some(o)),
+                            )),
                         ),
                         None => (
                             DriftAction::Steady,
@@ -948,7 +1180,12 @@ impl<S: KvStore> StatementRegistry<S> {
                                 original_limit: o,
                                 limit: l,
                             },
-                            Some((Arc::new(tightened), Some(l), new_p99)),
+                            Some((
+                                Arc::new(tightened),
+                                Some(l),
+                                new_p99,
+                                self.build_shed(&statement.stmt, Some(l)),
+                            )),
                         )
                     }
                     Err(_) => (DriftAction::Flagged, flagged, None),
@@ -968,11 +1205,12 @@ impl<S: KvStore> StatementRegistry<S> {
         let mut state = statement.state.write();
         state.admission = new_admission;
         state.last_predicted_p99_ms = p99;
-        if let Some((new_prepared, new_limit, new_p99)) = swap {
+        if let Some((new_prepared, new_limit, new_p99, new_shed)) = swap {
             state.fast_point = fast_point_plan(&self.db, &new_prepared);
             state.prepared = new_prepared;
             state.limit = new_limit;
             state.last_predicted_p99_ms = new_p99;
+            state.shed = new_shed;
         }
         let recorded_p99 = state.last_predicted_p99_ms;
         state.drift.push(DriftEvent {

@@ -51,14 +51,17 @@
 //! stampede.
 
 use crate::binary::{self, BinaryWire, OP_EXECUTE, OP_RESPONSE};
+use crate::budget::BudgetDecision;
 use crate::json::Json;
 use crate::protocol::{
-    cursor_to_json, err_response, ok_response, parse_request, row_to_json, Envelope, Request,
-    RequestId,
+    budget_exceeded_response, cursor_to_json, err_response, ok_response, parse_request,
+    row_to_json, Envelope, Request, RequestId,
 };
-use crate::registry::{Admission, FastKeyPart, Revalidator, SloConfig, StatementRegistry};
+use crate::registry::{
+    Admission, FastKeyPart, RegistryError, Revalidator, SloConfig, StatementRegistry,
+};
 use crate::wire::{JsonWire, Wire};
-use piql_analysis::ordered::Mutex;
+use piql_analysis::ordered::{Condvar, Mutex};
 use piql_analysis::rank;
 use piql_core::codec::key::{encode_component_ref, Dir};
 use piql_core::codec::row::RowReader;
@@ -72,6 +75,29 @@ use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, Tc
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+
+/// Server-level knobs beyond the registry's own configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerTuning {
+    /// Width of the server-wide request-handling pool. `0` degrades every
+    /// connection to inline (strictly sequential) handling.
+    pub dispatch_threads: usize,
+    /// Per-connection backpressure: the reader lane stops decoding once
+    /// this many requests are decoded but not yet written back. `0`
+    /// disables the cap (the pre-existing behavior — an unbounded window).
+    /// Applies to JSON (v2) connections; a binary (v3) connection is
+    /// inherently one-at-a-time and needs no cap.
+    pub max_in_flight_per_conn: usize,
+}
+
+impl Default for ServerTuning {
+    fn default() -> Self {
+        ServerTuning {
+            dispatch_threads: piql_kv::pool::default_pool_threads(),
+            max_in_flight_per_conn: 0,
+        }
+    }
+}
 
 /// A running query service.
 pub struct PiqlServer<S: KvStore + 'static = LiveCluster> {
@@ -123,7 +149,25 @@ impl<S: KvStore + 'static> PiqlServer<S> {
         addr: &str,
         dispatch_threads: usize,
     ) -> io::Result<Self> {
-        let dispatch = Arc::new(RoundPool::new(dispatch_threads));
+        Self::start_tuned(
+            registry,
+            addr,
+            ServerTuning {
+                dispatch_threads,
+                max_in_flight_per_conn: 0,
+            },
+        )
+    }
+
+    /// [`PiqlServer::start_with_registry`] with the full [`ServerTuning`]
+    /// knob set (dispatch width + per-connection backpressure).
+    pub fn start_tuned(
+        registry: Arc<StatementRegistry<S>>,
+        addr: &str,
+        tuning: ServerTuning,
+    ) -> io::Result<Self> {
+        let max_in_flight = tuning.max_in_flight_per_conn;
+        let dispatch = Arc::new(RoundPool::new(tuning.dispatch_threads));
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -170,7 +214,8 @@ impl<S: KvStore + 'static> PiqlServer<S> {
                             std::thread::Builder::new()
                                 .name("piql-conn".into())
                                 .spawn(move || {
-                                    let _ = serve_connection(stream, registry, dispatch);
+                                    let _ =
+                                        serve_connection(stream, registry, dispatch, max_in_flight);
                                 });
                     }
                 })?
@@ -243,6 +288,75 @@ impl<S: KvStore + 'static> Drop for PiqlServer<S> {
         for stream in self.streams.lock().drain(..) {
             let _ = stream.shutdown(Shutdown::Both);
         }
+    }
+}
+
+/// One JSON connection's backpressure window: how many requests are
+/// decoded but not yet written back. The reader acquires a slot per frame
+/// *before* dispatching it; the writer releases one per response written.
+/// Every frame produces exactly one response through the writer (handled,
+/// decode-errored, or serial-lane answered), so the accounting balances.
+/// When the window is full the reader parks — TCP flow control then
+/// pushes back on the client — instead of decoding an unbounded backlog
+/// into the dispatch pool.
+struct InFlight {
+    cap: usize,
+    state: Mutex<InFlightState>,
+    ready: Condvar,
+}
+
+struct InFlightState {
+    count: usize,
+    /// Set when the writer dies: responses can no longer be delivered, so
+    /// a parked reader must wake and stop decoding, not wait forever.
+    dead: bool,
+}
+
+impl InFlight {
+    fn new(cap: usize) -> Arc<Self> {
+        Arc::new(InFlight {
+            cap,
+            state: Mutex::new(
+                rank::SERVER_INFLIGHT,
+                "server.conn.inflight",
+                InFlightState {
+                    count: 0,
+                    dead: false,
+                },
+            ),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Reader side: take one slot, parking while the window is full.
+    /// Counts one stall per park. Returns `false` when the writer died.
+    fn acquire(&self, stalls: &AtomicU64) -> bool {
+        let mut state = self.state.lock();
+        if state.count >= self.cap && !state.dead {
+            stalls.fetch_add(1, Ordering::Relaxed);
+            while state.count >= self.cap && !state.dead {
+                state = self.ready.wait(state);
+            }
+        }
+        if state.dead {
+            return false;
+        }
+        state.count += 1;
+        true
+    }
+
+    /// Writer side: one response made it onto the socket.
+    fn release(&self) {
+        let mut state = self.state.lock();
+        state.count = state.count.saturating_sub(1);
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    /// Writer side, on socket error: wake any parked reader for teardown.
+    fn poison(&self) {
+        self.state.lock().dead = true;
+        self.ready.notify_all();
     }
 }
 
@@ -387,6 +501,7 @@ fn serve_connection<S: KvStore + 'static>(
     stream: TcpStream,
     registry: Arc<StatementRegistry<S>>,
     dispatch: Arc<RoundPool>,
+    max_in_flight: usize,
 ) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     let write_half = stream.try_clone()?;
@@ -407,7 +522,14 @@ fn serve_connection<S: KvStore + 'static>(
         }
         return serve_binary(reader, write_half, registry);
     }
-    serve_lanes(reader, write_half, registry, dispatch, JsonWire)
+    serve_lanes(
+        reader,
+        write_half,
+        registry,
+        dispatch,
+        JsonWire,
+        max_in_flight,
+    )
 }
 
 /// The pipelined reader/writer lanes over any [`Wire`]. Every request
@@ -422,14 +544,19 @@ fn serve_lanes<S: KvStore + 'static, W: Wire + Copy + Send + 'static>(
     registry: Arc<StatementRegistry<S>>,
     dispatch: Arc<RoundPool>,
     wire: W,
+    max_in_flight: usize,
 ) -> io::Result<()> {
     let (tx, rx) = mpsc::channel::<(Option<RequestId>, Json)>();
     let alive = Arc::new(AtomicBool::new(true));
+    // cap 0 = unlimited: no window is even allocated, the lanes behave
+    // exactly as before the backpressure control existed
+    let inflight = (max_in_flight > 0).then(|| InFlight::new(max_in_flight));
     let writer_thread = {
         let alive = alive.clone();
+        let inflight = inflight.clone();
         std::thread::Builder::new()
             .name("piql-conn-writer".into())
-            .spawn(move || write_loop(write_half, rx, &alive, wire))?
+            .spawn(move || write_loop(write_half, rx, &alive, wire, inflight))?
     };
     let state = Arc::new(ConnState {
         registry,
@@ -453,6 +580,14 @@ fn serve_lanes<S: KvStore + 'static, W: Wire + Copy + Send + 'static>(
             // delivered, so stop decoding (and executing) requests
             if !alive.load(Ordering::Relaxed) {
                 break;
+            }
+            // backpressure: park until the in-flight window has room (a
+            // full window means the client outran the server — TCP stops
+            // reading new bytes while we park, pushing back upstream)
+            if let Some(window) = &inflight {
+                if !window.acquire(&state.registry.counters.backpressure_stalls) {
+                    break;
+                }
             }
             match wire.decode_envelope(&frame) {
                 Ok(Envelope {
@@ -496,6 +631,7 @@ fn write_loop<W: Wire>(
     rx: mpsc::Receiver<(Option<RequestId>, Json)>,
     alive: &AtomicBool,
     wire: W,
+    inflight: Option<Arc<InFlight>>,
 ) {
     let mut writer = BufWriter::new(stream);
     let mut buf = Vec::new();
@@ -507,16 +643,37 @@ fn write_loop<W: Wire>(
         wire.encode_response(id.as_ref(), &response, buf);
         writer.write_all(buf)
     };
+    // every response written releases one backpressure slot, even when it
+    // only reached the BufWriter: the bytes are out of the server's
+    // request pipeline either way
+    let release = |inflight: &Option<Arc<InFlight>>| {
+        if let Some(window) = inflight {
+            window.release();
+        }
+    };
     while let Ok(completed) = rx.recv() {
         let mut io = write_one(&mut writer, &mut buf, completed);
+        if io.is_ok() {
+            release(&inflight);
+        }
         while io.is_ok() {
             match rx.try_recv() {
-                Ok(next) => io = write_one(&mut writer, &mut buf, next),
+                Ok(next) => {
+                    io = write_one(&mut writer, &mut buf, next);
+                    if io.is_ok() {
+                        release(&inflight);
+                    }
+                }
                 Err(_) => break,
             }
         }
         if io.and_then(|()| writer.flush()).is_err() {
             alive.store(false, Ordering::Relaxed);
+            // a reader parked on a full window must wake up and exit, not
+            // wait for releases that will never come
+            if let Some(window) = &inflight {
+                window.poison();
+            }
             return;
         }
     }
@@ -638,6 +795,18 @@ impl<S: KvStore + 'static> BinaryConn<S> {
         let name = cur.str().ok()?;
         let statement = self.registry.get(name)?;
         let plan = statement.fast_point()?;
+        // a budget-limited tenant goes through the governed general path
+        // (permits, shed plans, coded rejections); only the unlimited
+        // default keeps the zero-allocation shortcut
+        if !statement.budget().is_unlimited() {
+            return None;
+        }
+        // counts the admission; on the unlimited path this is two atomic
+        // ops and allocates nothing
+        let _permit = match statement.budget().admit() {
+            BudgetDecision::Go(permit) => permit,
+            _ => return None,
+        };
         if !binary::scan_scalar_params(&mut cur, &mut self.param_offsets).ok()? {
             return None;
         }
@@ -973,7 +1142,7 @@ fn diagnostics_to_json(diagnostics: &[piql_audit::Diagnostic]) -> Json {
     )
 }
 
-/// The `durability` object of a `stats` response (PROTOCOL.md §4.7).
+/// The `durability` object of a `stats` response (PROTOCOL.md §4.6).
 fn durability_to_json(health: &piql_durability::DurabilityHealth) -> Json {
     let r = &health.recovery;
     Json::obj([
@@ -1026,6 +1195,56 @@ fn balance_to_json(balance: &[NsBalance]) -> Json {
     )
 }
 
+/// The `overload` object of a `stats` response (PROTOCOL.md §4.6):
+/// service-wide overload-control counters plus one entry per tenant
+/// budget the registry has materialized.
+fn overload_to_json<S: KvStore>(registry: &StatementRegistry<S>) -> Json {
+    let c = &registry.counters;
+    let tenants: Vec<Json> = registry
+        .tenant_budgets()
+        .iter()
+        .map(|budget| {
+            let snap = budget.snapshot();
+            Json::obj([
+                ("tenant", Json::str(snap.tenant)),
+                (
+                    "capacity",
+                    match snap.capacity {
+                        Some(cap) => Json::Int(cap as i64),
+                        None => Json::Null,
+                    },
+                ),
+                ("policy", Json::str(snap.policy)),
+                ("in_flight", Json::Int(snap.in_flight as i64)),
+                ("admitted", Json::Int(snap.admitted as i64)),
+                ("rejected", Json::Int(snap.rejected as i64)),
+                ("queued", Json::Int(snap.queued as i64)),
+                ("queue_timeouts", Json::Int(snap.queue_timeouts as i64)),
+                ("shed", Json::Int(snap.shed as i64)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        (
+            "backpressure_stalls",
+            Json::Int(c.backpressure_stalls.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "budget_rejected",
+            Json::Int(c.budget_rejected.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "budget_shed",
+            Json::Int(c.budget_shed.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "auto_rebalances",
+            Json::Int(c.auto_rebalances.load(Ordering::Relaxed) as i64),
+        ),
+        ("tenants", Json::Arr(tenants)),
+    ])
+}
+
 fn build_params(values: &[piql_core::plan::params::ParamValue]) -> Params {
     let mut p = Params::new();
     for (i, v) in values.iter().enumerate() {
@@ -1042,23 +1261,38 @@ fn run_execute<S: KvStore>(
     cursor: Option<&piql_engine::Cursor>,
 ) -> Json {
     let p = build_params(params);
-    match registry.execute(session, name, &p, cursor) {
-        Ok(result) => ok_response([
-            (
-                "rows",
-                Json::Arr(
-                    result
-                        .rows
-                        .iter()
-                        .map(|t| row_to_json(t.values()))
-                        .collect(),
+    match registry.execute_governed(session, name, &p, cursor) {
+        Ok(outcome) => {
+            let mut fields = vec![
+                (
+                    "rows",
+                    Json::Arr(
+                        outcome
+                            .result
+                            .rows
+                            .iter()
+                            .map(|t| row_to_json(t.values()))
+                            .collect(),
+                    ),
                 ),
-            ),
-            ("cursor", cursor_to_json(&result.cursor)),
-        ]),
+                ("cursor", cursor_to_json(&outcome.result.cursor)),
+            ];
+            // a shed admission served the degraded plan: tell the client
+            // its result was truncated by overload control
+            if outcome.shed {
+                fields.push(("degraded", Json::Bool(true)));
+            }
+            ok_response(fields)
+        }
+        Err(RegistryError::BudgetExceeded { tenant }) => budget_exceeded_response(&tenant),
         Err(e) => err_response(e.to_string()),
     }
 }
+
+/// Drift intervals shipped per statement in a `stats` reply. The registry
+/// retains more; capping the wire copy keeps `stats` cost flat no matter
+/// how many sweeps a long-lived server has run (pinned by a test).
+const STATS_DRIFT_INTERVALS: usize = 8;
 
 fn stats_response<S: KvStore>(registry: &StatementRegistry<S>) -> Json {
     let c = &registry.counters;
@@ -1100,7 +1334,7 @@ fn stats_response<S: KvStore>(registry: &StatementRegistry<S>) -> Json {
                     fields.push(("diagnostics", diagnostics_to_json(diagnostics)));
                 }
             }
-            let drift = s.drift_history();
+            let drift = s.recent_drift(STATS_DRIFT_INTERVALS);
             if !drift.is_empty() {
                 fields.push((
                     "drift",
@@ -1182,6 +1416,7 @@ fn stats_response<S: KvStore>(registry: &StatementRegistry<S>) -> Json {
             "shard_balance",
             balance_to_json(&registry.db().cluster().balance()),
         ),
+        ("overload", overload_to_json(registry)),
         ("slo_ms", Json::Float(registry.slo().slo_ms)),
         ("statements", Json::Arr(statements)),
     ]);
